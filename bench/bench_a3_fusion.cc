@@ -1,0 +1,105 @@
+// A3 (ablation) — Which fusion operator should combine the evidence
+// streams?
+//
+// The engine's default (weighted linear fusion of min-max-normalised
+// scores) is one of several classical choices. We fuse the text and
+// visual-example runs per topic with every operator the library ships,
+// plus a text-weight sweep for the weighted-linear default — justifying
+// the EngineOptions defaults (text_weight 0.75 / visual 0.25).
+//
+// Expected shape: good fusion operators beat both single modalities
+// (CombMNZ and RRF reward cross-modality agreement most; Borda's
+// untruncated rank averaging can fall below text alone); the weight
+// sweep rises towards text-heavy mixtures and then cliffs at 1.0 where
+// the visual evidence is discarded entirely.
+
+#include "bench_util.h"
+#include "ivr/retrieval/fusion.h"
+
+namespace ivr {
+namespace bench {
+namespace {
+
+void Run() {
+  Banner("A3", "fusion operator and weight ablation (text + visual)");
+  SetLogLevel(LogLevel::kWarning);
+
+  const GeneratedCollection g = MustGenerate(StandardCollectionOptions());
+  auto engine = MustBuildEngine(g.collection);
+  const std::vector<SearchTopicId> ids = TopicIds(g.topics);
+
+  // Per-topic single-modality runs.
+  std::map<SearchTopicId, ResultList> text_runs;
+  std::map<SearchTopicId, ResultList> visual_runs;
+  for (const SearchTopic& topic : g.topics.topics) {
+    Query text_query;
+    text_query.text = topic.title;
+    text_runs[topic.id] = engine->Search(text_query, 1000);
+    Query visual_query;
+    visual_query.examples = topic.examples;
+    visual_runs[topic.id] = engine->Search(visual_query, 1000);
+  }
+
+  auto evaluate = [&](const char* label,
+                      ResultList (*fuse)(const std::vector<ResultList>&)) {
+    SystemRun run;
+    run.system = label;
+    for (SearchTopicId id : ids) {
+      run.runs[id] = fuse({text_runs.at(id), visual_runs.at(id)});
+    }
+    return EvaluateSystem(run, g.qrels, ids);
+  };
+
+  TextTable table({"method", "MAP", "P@10", "nDCG@10"});
+  // Single modalities first.
+  for (const auto& [label, runs] :
+       {std::pair{"text only", &text_runs},
+        std::pair{"visual only", &visual_runs}}) {
+    SystemRun run;
+    run.system = label;
+    run.runs = *runs;
+    const SystemEvaluation eval = EvaluateSystem(run, g.qrels, ids);
+    table.AddRow({label, FormatMetric(eval.mean.ap),
+                  FormatMetric(eval.mean.p10),
+                  FormatMetric(eval.mean.ndcg10)});
+  }
+  const SystemEvaluation combsum = evaluate("CombSUM", &CombSum);
+  const SystemEvaluation combmnz = evaluate("CombMNZ", &CombMnz);
+  const SystemEvaluation borda = evaluate("Borda", &BordaCount);
+  SystemRun rrf_run;
+  rrf_run.system = "RRF(k=60)";
+  for (SearchTopicId id : ids) {
+    rrf_run.runs[id] =
+        ReciprocalRankFusion({text_runs.at(id), visual_runs.at(id)});
+  }
+  const SystemEvaluation rrf = EvaluateSystem(rrf_run, g.qrels, ids);
+  for (const SystemEvaluation* eval : {&combsum, &combmnz, &rrf, &borda}) {
+    table.AddRow({eval->system, FormatMetric(eval->mean.ap),
+                  FormatMetric(eval->mean.p10),
+                  FormatMetric(eval->mean.ndcg10)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Weighted-linear text-weight sweep (the engine default is 0.75).
+  TextTable sweep({"text weight", "MAP"});
+  for (double w : {0.0, 0.25, 0.5, 0.625, 0.75, 0.875, 1.0}) {
+    SystemRun run;
+    run.system = "weighted";
+    for (SearchTopicId id : ids) {
+      run.runs[id] = WeightedLinear(
+          {text_runs.at(id), visual_runs.at(id)}, {w, 1.0 - w});
+    }
+    const SystemEvaluation eval = EvaluateSystem(run, g.qrels, ids);
+    sweep.AddRow({StrFormat("%.3f", w), FormatMetric(eval.mean.ap)});
+  }
+  std::printf("%s\n", sweep.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ivr
+
+int main() {
+  ivr::bench::Run();
+  return 0;
+}

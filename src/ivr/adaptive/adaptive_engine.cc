@@ -1,0 +1,110 @@
+#include "ivr/adaptive/adaptive_engine.h"
+
+#include <utility>
+
+#include "ivr/profile/profile_reranker.h"
+#include "ivr/retrieval/fusion.h"
+
+namespace ivr {
+
+AdaptiveEngine::AdaptiveEngine(const RetrievalEngine& engine,
+                               AdaptiveOptions options,
+                               const UserProfile* profile)
+    : engine_(&engine), options_(std::move(options)), profile_(profile) {
+  owned_scheme_ = MakeWeightingScheme(options_.weighting_scheme);
+  if (owned_scheme_ == nullptr) {
+    // Unknown name: fall back to the linear default rather than failing a
+    // constructor; callers can always inject explicitly.
+    owned_scheme_ = std::make_unique<LinearWeighting>();
+  }
+  scheme_ = owned_scheme_.get();
+}
+
+void AdaptiveEngine::SetWeightingScheme(const WeightingScheme* scheme) {
+  if (scheme != nullptr) scheme_ = scheme;
+}
+
+void AdaptiveEngine::BeginSession() { events_.clear(); }
+
+void AdaptiveEngine::ObserveEvent(const InteractionEvent& event) {
+  events_.push_back(event);
+}
+
+std::vector<RelevanceEvidence> AdaptiveEngine::CurrentEvidence() const {
+  ImplicitRelevanceEstimator::Options opts;
+  opts.use_ostensive = options_.use_ostensive;
+  opts.ostensive_half_life_ms = options_.ostensive_half_life_ms;
+  const ImplicitRelevanceEstimator estimator(*scheme_, opts);
+  return estimator.Estimate(events_, &engine_->collection());
+}
+
+void AdaptiveEngine::EvidenceToFeedbackDocs(
+    const std::vector<RelevanceEvidence>& evidence,
+    std::vector<FeedbackDoc>* positive,
+    std::vector<FeedbackDoc>* negative) const {
+  for (const RelevanceEvidence& e : evidence) {
+    const std::string text = engine_->IndexedText(e.shot);
+    if (text.empty()) continue;
+    if (e.weight > 0.0) {
+      positive->push_back(FeedbackDoc{text, e.weight});
+    } else if (e.weight < 0.0) {
+      negative->push_back(FeedbackDoc{text, -e.weight});
+    }
+  }
+}
+
+ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
+  std::vector<ResultList> lists;
+  std::vector<double> weights;
+
+  if (query.HasText()) {
+    TermQuery terms = engine_->ParseText(query.text);
+    if (options_.use_implicit) {
+      std::vector<FeedbackDoc> positive;
+      std::vector<FeedbackDoc> negative;
+      EvidenceToFeedbackDocs(CurrentEvidence(), &positive, &negative);
+      if (!positive.empty() || !negative.empty()) {
+        terms = RocchioExpand(terms, positive, negative,
+                              engine_->analyzer(), options_.rocchio);
+      }
+    }
+    lists.push_back(engine_->SearchTerms(terms, options_.candidate_pool));
+    weights.push_back(engine_->options().text_weight);
+  }
+  if (query.HasExamples()) {
+    std::vector<ResultList> visual;
+    visual.reserve(query.examples.size());
+    for (const ColorHistogram& example : query.examples) {
+      visual.push_back(
+          engine_->SearchVisual(example, options_.candidate_pool));
+    }
+    lists.push_back(CombSum(visual));
+    weights.push_back(engine_->options().visual_weight);
+  }
+  if (lists.empty()) return ResultList();
+
+  ResultList fused = lists.size() == 1 ? std::move(lists.front())
+                                       : WeightedLinear(lists, weights);
+
+  if (options_.use_profile && profile_ != nullptr) {
+    ProfileRerankOptions rerank;
+    rerank.lambda = options_.profile_lambda;
+    fused = RerankWithProfile(fused, *profile_, engine_->collection(),
+                              rerank);
+  }
+  fused.Truncate(k);
+  return fused;
+}
+
+std::string AdaptiveEngine::name() const {
+  std::string n = "adaptive";
+  if (options_.use_implicit) {
+    n += "+implicit(" + scheme_->name() + ")";
+  }
+  if (options_.use_profile) n += "+profile";
+  if (options_.use_ostensive) n += "+ostensive";
+  if (!options_.use_implicit && !options_.use_profile) n += "(passthrough)";
+  return n;
+}
+
+}  // namespace ivr

@@ -1,0 +1,90 @@
+#ifndef IVR_ADAPTIVE_ADAPTIVE_ENGINE_H_
+#define IVR_ADAPTIVE_ADAPTIVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/feedback/backend.h"
+#include "ivr/feedback/estimator.h"
+#include "ivr/feedback/weighting.h"
+#include "ivr/profile/user_profile.h"
+#include "ivr/retrieval/rocchio.h"
+
+namespace ivr {
+
+/// Configuration of the adaptive video retrieval model — the combination
+/// the paper proposes to study: static user profiles, implicit relevance
+/// feedback, and their fusion, with optional ostensive (recency) decay.
+struct AdaptiveOptions {
+  /// Use within-session implicit feedback for Rocchio query expansion.
+  bool use_implicit = true;
+  /// Re-rank with the user's static profile.
+  bool use_profile = false;
+  /// Apply ostensive decay to implicit evidence (Campbell & van
+  /// Rijsbergen): recent interactions outweigh old ones.
+  bool use_ostensive = false;
+  TimeMs ostensive_half_life_ms = 2 * kMillisPerMinute;
+
+  /// Weighting scheme name for implicit indicators ("binary" | "uniform" |
+  /// "linear"); ignored when a scheme is injected via SetWeightingScheme.
+  std::string weighting_scheme = "linear";
+
+  RocchioOptions rocchio;
+
+  /// Profile interpolation weight when use_profile is set.
+  double profile_lambda = 0.25;
+
+  /// Candidate depth fetched from the base engine before rerank/truncate.
+  size_t candidate_pool = 500;
+};
+
+/// The adaptive retrieval model: wraps a static RetrievalEngine, watches
+/// the interaction stream of the current session, infers graded relevance
+/// evidence from it, and answers subsequent queries with feedback-expanded
+/// queries re-ranked by the user's static profile. The goal, per the
+/// paper, is "to significantly reduce the number of steps the user has to
+/// perform before he retrieves satisfying search results".
+class AdaptiveEngine : public SearchBackend {
+ public:
+  /// `engine` must outlive this object; `profile` may be nullptr (no
+  /// profile available) and must outlive this object otherwise.
+  AdaptiveEngine(const RetrievalEngine& engine, AdaptiveOptions options,
+                 const UserProfile* profile);
+
+  /// Replaces the indicator weighting scheme (e.g. with a trained
+  /// LearnedWeighting). The scheme must outlive this object.
+  void SetWeightingScheme(const WeightingScheme* scheme);
+
+  // --- SearchBackend ---
+  ResultList Search(const Query& query, size_t k) override;
+  void ObserveEvent(const InteractionEvent& event) override;
+  void BeginSession() override;
+  std::string name() const override;
+
+  // --- introspection (used by experiments) ---
+  const std::vector<InteractionEvent>& session_events() const {
+    return events_;
+  }
+  /// Evidence the engine would act on right now.
+  std::vector<RelevanceEvidence> CurrentEvidence() const;
+  const AdaptiveOptions& options() const { return options_; }
+  const RetrievalEngine& engine() const { return *engine_; }
+
+ private:
+  /// Splits evidence into Rocchio feedback documents.
+  void EvidenceToFeedbackDocs(const std::vector<RelevanceEvidence>& evidence,
+                              std::vector<FeedbackDoc>* positive,
+                              std::vector<FeedbackDoc>* negative) const;
+
+  const RetrievalEngine* engine_;
+  AdaptiveOptions options_;
+  const UserProfile* profile_;
+  std::unique_ptr<WeightingScheme> owned_scheme_;
+  const WeightingScheme* scheme_;
+  std::vector<InteractionEvent> events_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_ADAPTIVE_ADAPTIVE_ENGINE_H_

@@ -1,0 +1,219 @@
+#include "ivr/adaptive/implicit_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ivr/core/string_util.h"
+#include "ivr/feedback/indicators.h"
+
+namespace ivr {
+
+std::string ImplicitGraph::CanonicalKey(
+    const std::string& text, std::vector<std::string>* terms_out) const {
+  std::vector<std::string> terms = analyzer_.Analyze(text);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  if (terms_out != nullptr) *terms_out = terms;
+  return Join(terms, " ");
+}
+
+void ImplicitGraph::AddSession(const std::vector<InteractionEvent>& events,
+                               const WeightingScheme& scheme,
+                               const VideoCollection* collection) {
+  // Queries issued during the session.
+  std::vector<std::string> queries;
+  for (const InteractionEvent& ev : events) {
+    if (ev.type == EventType::kQuerySubmit && !ev.text.empty()) {
+      queries.push_back(ev.text);
+    }
+  }
+  // Positive shots with their evidence weight.
+  std::vector<std::pair<ShotId, double>> positives;
+  for (const auto& [shot, ind] : AggregateIndicators(events, collection)) {
+    const double w = scheme.Score(ind);
+    if (w > 0.0) positives.emplace_back(shot, w);
+  }
+  if (positives.empty()) return;
+
+  // query -> shot edges.
+  for (const std::string& query : queries) {
+    std::vector<std::string> terms;
+    const std::string key = CanonicalKey(query, &terms);
+    if (key.empty()) continue;
+    QueryNode& node = query_nodes_[key];
+    if (node.terms.empty()) node.terms = std::move(terms);
+    for (const auto& [shot, w] : positives) {
+      node.shot_edges[shot] += w;
+    }
+  }
+  // shot <-> shot co-interaction edges (symmetric).
+  for (size_t i = 0; i < positives.size(); ++i) {
+    for (size_t j = 0; j < positives.size(); ++j) {
+      if (i == j) continue;
+      shot_edges_[positives[i].first][positives[j].first] +=
+          std::min(positives[i].second, positives[j].second);
+    }
+  }
+}
+
+ResultList ImplicitGraph::Recommend(const std::string& query_text, size_t k,
+                                    double damping) const {
+  std::vector<std::string> terms;
+  CanonicalKey(query_text, &terms);
+  if (terms.empty()) return ResultList();
+  const std::set<std::string> query_terms(terms.begin(), terms.end());
+
+  // Hop 0: activate query nodes by Jaccard overlap of term sets.
+  std::unordered_map<ShotId, double> activation;
+  for (const auto& [key, node] : query_nodes_) {
+    (void)key;
+    size_t common = 0;
+    for (const std::string& t : node.terms) {
+      if (query_terms.count(t) > 0) ++common;
+    }
+    if (common == 0) continue;
+    const size_t unioned = node.terms.size() + query_terms.size() - common;
+    const double act =
+        static_cast<double>(common) / static_cast<double>(unioned);
+    // Hop 1: query -> shot.
+    for (const auto& [shot, w] : node.shot_edges) {
+      activation[shot] += act * w;
+    }
+  }
+  // Hop 2: shot -> shot, damped, from the hop-1 activation snapshot.
+  if (damping > 0.0) {
+    const std::unordered_map<ShotId, double> hop1 = activation;
+    for (const auto& [shot, act] : hop1) {
+      auto it = shot_edges_.find(shot);
+      if (it == shot_edges_.end()) continue;
+      // Normalise outgoing mass so hubs do not dominate.
+      double out_total = 0.0;
+      for (const auto& [to, w] : it->second) {
+        (void)to;
+        out_total += w;
+      }
+      if (out_total <= 0.0) continue;
+      for (const auto& [to, w] : it->second) {
+        activation[to] += damping * act * (w / out_total);
+      }
+    }
+  }
+
+  std::vector<RankedShot> items;
+  items.reserve(activation.size());
+  for (const auto& [shot, act] : activation) {
+    items.push_back(RankedShot{shot, act});
+  }
+  ResultList out(std::move(items));
+  out.Truncate(k);
+  return out;
+}
+
+std::vector<ImplicitGraph::QuerySuggestion> ImplicitGraph::SuggestQueries(
+    const std::string& query_text, size_t k) const {
+  std::vector<std::string> terms;
+  const std::string self_key = CanonicalKey(query_text, &terms);
+  if (terms.empty()) return {};
+  const std::set<std::string> query_terms(terms.begin(), terms.end());
+
+  // The input query's "outcome profile": the union of shot edges of the
+  // nodes it overlaps with, activation-weighted.
+  std::unordered_map<ShotId, double> own_shots;
+  for (const auto& [key, node] : query_nodes_) {
+    if (key == self_key) {
+      for (const auto& [shot, w] : node.shot_edges) {
+        own_shots[shot] += w;
+      }
+      continue;
+    }
+    size_t common = 0;
+    for (const std::string& t : node.terms) {
+      if (query_terms.count(t) > 0) ++common;
+    }
+    if (common == 0) continue;
+    const double act =
+        static_cast<double>(common) /
+        static_cast<double>(node.terms.size() + query_terms.size() -
+                            common);
+    for (const auto& [shot, w] : node.shot_edges) {
+      own_shots[shot] += act * w;
+    }
+  }
+
+  auto cosine = [](const std::unordered_map<ShotId, double>& a,
+                   const std::unordered_map<ShotId, double>& b) {
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (const auto& [shot, w] : a) {
+      na += w * w;
+      auto it = b.find(shot);
+      if (it != b.end()) dot += w * it->second;
+    }
+    for (const auto& [shot, w] : b) {
+      (void)shot;
+      nb += w * w;
+    }
+    if (na <= 0.0 || nb <= 0.0) return 0.0;
+    return dot / std::sqrt(na * nb);
+  };
+
+  std::vector<QuerySuggestion> out;
+  for (const auto& [key, node] : query_nodes_) {
+    if (key == self_key) continue;
+    size_t common = 0;
+    for (const std::string& t : node.terms) {
+      if (query_terms.count(t) > 0) ++common;
+    }
+    const double jaccard =
+        static_cast<double>(common) /
+        static_cast<double>(node.terms.size() + query_terms.size() -
+                            common);
+    const double outcome = cosine(own_shots, node.shot_edges);
+    const double score = 0.5 * jaccard + 0.5 * outcome;
+    if (score <= 0.0) continue;
+    out.push_back(QuerySuggestion{key, score});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QuerySuggestion& a, const QuerySuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.query < b.query;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+size_t ImplicitGraph::num_shot_nodes() const {
+  std::set<ShotId> shots;
+  for (const auto& [key, node] : query_nodes_) {
+    (void)key;
+    for (const auto& [shot, w] : node.shot_edges) {
+      (void)w;
+      shots.insert(shot);
+    }
+  }
+  for (const auto& [from, edges] : shot_edges_) {
+    shots.insert(from);
+    for (const auto& [to, w] : edges) {
+      (void)w;
+      shots.insert(to);
+    }
+  }
+  return shots.size();
+}
+
+size_t ImplicitGraph::num_edges() const {
+  size_t n = 0;
+  for (const auto& [key, node] : query_nodes_) {
+    (void)key;
+    n += node.shot_edges.size();
+  }
+  for (const auto& [from, edges] : shot_edges_) {
+    (void)from;
+    n += edges.size();
+  }
+  return n;
+}
+
+}  // namespace ivr

@@ -1,0 +1,82 @@
+#ifndef IVR_ADAPTIVE_IMPLICIT_GRAPH_H_
+#define IVR_ADAPTIVE_IMPLICIT_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ivr/feedback/events.h"
+#include "ivr/feedback/weighting.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/text/analyzer.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// Community-based implicit feedback (Vallet, Hopfgartner & Jose [21]):
+/// a graph mined from the interaction logs of *previous* users, used "to
+/// aid users in their search tasks". Nodes are normalised queries and
+/// shots; edges carry accumulated positive implicit evidence:
+///   query --w--> shot   when a session that issued the query went on to
+///                       interact positively with the shot;
+///   shot  --w--> shot   when one session interacted positively with both
+///                       (co-interaction).
+/// Recommendation is two-hop spreading activation from the query nodes
+/// matching the new user's query.
+class ImplicitGraph {
+ public:
+  explicit ImplicitGraph(Analyzer analyzer = Analyzer())
+      : analyzer_(std::move(analyzer)) {}
+
+  /// Mines one past session: aggregates its events with `scheme`, then
+  /// connects each query issued in the session to the positively-scored
+  /// shots, and positive shots to each other. The collection may be
+  /// nullptr (play fractions then unavailable to the scheme).
+  void AddSession(const std::vector<InteractionEvent>& events,
+                  const WeightingScheme& scheme,
+                  const VideoCollection* collection);
+
+  /// Recommends shots for a fresh query by spreading activation:
+  /// activation of a known query node = term-set Jaccard overlap with the
+  /// new query; hop 1 activates shots via query->shot edges; hop 2 adds
+  /// damped shot->shot mass. Returns the top-k activated shots.
+  ResultList Recommend(const std::string& query_text, size_t k,
+                       double damping = 0.5) const;
+
+  /// A related past query with its similarity to the input.
+  struct QuerySuggestion {
+    std::string query;   ///< canonical form (sorted analysed terms)
+    double score = 0.0;  ///< term overlap + shared-outcome similarity
+  };
+
+  /// Suggests queries other users issued for similar needs: past query
+  /// nodes ranked by term-set Jaccard overlap plus the cosine overlap of
+  /// their positively-evidenced shot sets with those of the matching
+  /// nodes ("people who searched like you also tried..."). The input's
+  /// own canonical form is excluded.
+  std::vector<QuerySuggestion> SuggestQueries(
+      const std::string& query_text, size_t k) const;
+
+  size_t num_query_nodes() const { return query_nodes_.size(); }
+  size_t num_shot_nodes() const;
+  size_t num_edges() const;
+
+ private:
+  struct QueryNode {
+    std::vector<std::string> terms;  // sorted unique analysed terms
+    std::unordered_map<ShotId, double> shot_edges;
+  };
+
+  /// Canonical key of a query: sorted unique analysed terms joined by ' '.
+  std::string CanonicalKey(const std::string& text,
+                           std::vector<std::string>* terms_out) const;
+
+  Analyzer analyzer_;
+  std::map<std::string, QueryNode> query_nodes_;
+  std::map<ShotId, std::unordered_map<ShotId, double>> shot_edges_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_ADAPTIVE_IMPLICIT_GRAPH_H_

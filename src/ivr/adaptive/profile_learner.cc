@@ -1,0 +1,29 @@
+#include "ivr/adaptive/profile_learner.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+void ProfileLearner::UpdateFromEvidence(
+    const std::vector<RelevanceEvidence>& evidence,
+    const VideoCollection& collection, UserProfile* profile) const {
+  profile->Decay(std::clamp(options_.retention, 0.0, 1.0));
+  for (const RelevanceEvidence& e : evidence) {
+    Result<const Shot*> shot = collection.shot(e.shot);
+    if (!shot.ok()) continue;
+    const TopicLabel topic = (*shot)->primary_topic;
+    if (e.weight > 0.0) {
+      profile->Reinforce(topic, options_.learning_rate * e.weight);
+    } else if (e.weight < 0.0) {
+      // Suppress, bounded below at zero via SetInterest semantics.
+      const double current = profile->Interest(topic);
+      const double reduced =
+          current + options_.learning_rate * options_.negative_scale *
+                        e.weight;  // e.weight < 0
+      profile->SetInterest(topic, std::max(reduced, 0.0));
+    }
+  }
+  profile->Normalize();
+}
+
+}  // namespace ivr

@@ -1,0 +1,50 @@
+#ifndef IVR_ADAPTIVE_PROFILE_LEARNER_H_
+#define IVR_ADAPTIVE_PROFILE_LEARNER_H_
+
+#include <vector>
+
+#include "ivr/feedback/estimator.h"
+#include "ivr/profile/user_profile.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// Cross-session profile learning — the long-term half of the paper's
+/// adaptive model. Within a session, implicit feedback drives immediate
+/// adaptation; *between* sessions, the same evidence should update the
+/// user's standing topic interests, so the profile stops being purely
+/// self-declared and starts reflecting observed behaviour. The learner
+/// first decays existing interests (forgetting), then adds interest mass
+/// to the topics of positively-evidenced shots (reinforcement), keeping
+/// the profile normalised.
+class ProfileLearner {
+ public:
+  struct Options {
+    /// Multiplicative retention applied before each update; < 1 makes old
+    /// declared interests fade unless behaviour keeps confirming them.
+    double retention = 0.9;
+    /// Interest mass contributed per unit of positive evidence weight.
+    double learning_rate = 0.1;
+    /// Negative evidence subtracts at this fraction of the rate.
+    double negative_scale = 0.5;
+  };
+
+  ProfileLearner() = default;
+  explicit ProfileLearner(Options options) : options_(options) {}
+
+  /// Folds one session's implicit evidence into the profile. Evidence on
+  /// shots outside the collection is ignored; the profile is
+  /// re-normalised afterwards.
+  void UpdateFromEvidence(const std::vector<RelevanceEvidence>& evidence,
+                          const VideoCollection& collection,
+                          UserProfile* profile) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_ADAPTIVE_PROFILE_LEARNER_H_

@@ -1,0 +1,87 @@
+#include "ivr/adaptive/recommender.h"
+
+#include <algorithm>
+
+#include "ivr/retrieval/rocchio.h"
+
+namespace ivr {
+
+std::vector<StoryRecommendation> NewsRecommender::Recommend(
+    const UserProfile& profile,
+    const std::vector<RelevanceEvidence>& history, size_t top_n,
+    const RecommenderOptions& options) const {
+  double wp = std::max(0.0, options.profile_weight);
+  double wi = std::max(0.0, options.implicit_weight);
+  const double total = wp + wi;
+  if (total > 0.0) {
+    wp /= total;
+    wi /= total;
+  }
+
+  // Interest centroid from positive implicit history, expressed as a
+  // weighted term query over the engine's index.
+  TermQuery interest;
+  if (wi > 0.0 && !history.empty()) {
+    std::vector<FeedbackDoc> positive;
+    for (const RelevanceEvidence& e : history) {
+      if (e.weight <= 0.0) continue;
+      const std::string text = engine_->IndexedText(e.shot);
+      if (!text.empty()) positive.push_back(FeedbackDoc{text, e.weight});
+    }
+    RocchioOptions rocchio;
+    rocchio.alpha = 0.0;  // no explicit query; pure interest centroid
+    rocchio.beta = 1.0;
+    rocchio.gamma = 0.0;
+    rocchio.max_expansion_terms = 40;
+    interest = RocchioExpand(TermQuery(), positive, {}, engine_->analyzer(),
+                             rocchio);
+  }
+
+  // Raw per-story components.
+  std::vector<StoryRecommendation> out;
+  std::vector<double> implicit_raw;
+  double implicit_max = 0.0;
+  for (const NewsStory& story : collection_->stories()) {
+    if (options.day >= 0) {
+      Result<const Video*> video = collection_->video(story.video);
+      if (!video.ok() || (*video)->day != options.day) continue;
+    }
+    // Profile affinity: mean over the story's shots.
+    double affinity = 0.0;
+    double content = 0.0;
+    size_t counted = 0;
+    for (ShotId shot_id : story.shots) {
+      Result<const Shot*> shot = collection_->shot(shot_id);
+      if (!shot.ok()) continue;
+      affinity += profile.ShotAffinity(**shot);
+      if (!interest.empty()) {
+        content += engine_->ScoreShot(interest, shot_id);
+      }
+      ++counted;
+    }
+    if (counted > 0) {
+      affinity /= static_cast<double>(counted);
+      content /= static_cast<double>(counted);
+    }
+    out.push_back(StoryRecommendation{story.id, affinity});  // profile part
+    implicit_raw.push_back(content);
+    implicit_max = std::max(implicit_max, content);
+  }
+
+  // Normalise the implicit component to [0,1] and blend.
+  for (size_t i = 0; i < out.size(); ++i) {
+    const double implicit_norm =
+        implicit_max > 0.0 ? implicit_raw[i] / implicit_max : 0.0;
+    out[i].score = wp * out[i].score + wi * implicit_norm;
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const StoryRecommendation& a, const StoryRecommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.story < b.story;
+            });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,57 @@
+#ifndef IVR_ADAPTIVE_RECOMMENDER_H_
+#define IVR_ADAPTIVE_RECOMMENDER_H_
+
+#include <vector>
+
+#include "ivr/feedback/estimator.h"
+#include "ivr/profile/user_profile.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// A scored story suggestion.
+struct StoryRecommendation {
+  StoryId story = kInvalidStoryId;
+  double score = 0.0;
+};
+
+struct RecommenderOptions {
+  /// Mixing weights between declared (profile) and observed (implicit
+  /// history) interest; normalised internally.
+  double profile_weight = 0.5;
+  double implicit_weight = 0.5;
+  /// Only recommend stories from this broadcast day; -1 = whole archive.
+  int32_t day = -1;
+};
+
+/// The paper's Section 3 scenario: "automatically identify news stories
+/// which are of interest for the user and recommend them to him". Scores
+/// every story by combining
+///   * the static profile's affinity for the story's shots, and
+///   * content similarity between the story and the shots the user's
+///     implicit history marked as positively interesting (a Rocchio-style
+///     interest centroid queried against the engine's index).
+class NewsRecommender {
+ public:
+  /// Both references must outlive the recommender.
+  NewsRecommender(const VideoCollection& collection,
+                  const RetrievalEngine& engine)
+      : collection_(&collection), engine_(&engine) {}
+
+  /// Top-n story recommendations, descending score (ties by story id).
+  /// `history` is signed implicit evidence from past sessions; pass empty
+  /// when only the profile is available.
+  std::vector<StoryRecommendation> Recommend(
+      const UserProfile& profile,
+      const std::vector<RelevanceEvidence>& history, size_t top_n,
+      const RecommenderOptions& options = RecommenderOptions()) const;
+
+ private:
+  const VideoCollection* collection_;
+  const RetrievalEngine* engine_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_ADAPTIVE_RECOMMENDER_H_

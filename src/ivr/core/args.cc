@@ -1,0 +1,69 @@
+#include "ivr/core/args.h"
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+
+Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      parser.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      parser.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself a flag.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      parser.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      parser.values_[body] = "true";
+    }
+  }
+  return parser;
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> ArgParser::GetInt(const std::string& key,
+                                  int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  IVR_ASSIGN_OR_RETURN(int64_t value, ParseInt(it->second));
+  return value;
+}
+
+Result<double> ArgParser::GetDouble(const std::string& key,
+                                    double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  IVR_ASSIGN_OR_RETURN(double value, ParseDouble(it->second));
+  return value;
+}
+
+bool ArgParser::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string lower = ToLower(it->second);
+  return lower == "true" || lower == "1" || lower == "yes" ||
+         lower == "on";
+}
+
+}  // namespace ivr

@@ -1,0 +1,42 @@
+#ifndef IVR_CORE_ARGS_H_
+#define IVR_CORE_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// Minimal command-line parser for the CLI tools: recognises
+/// `--key=value`, `--key value`, and bare `--flag` (value "true");
+/// everything else is a positional argument. Unknown keys are fine — the
+/// tool decides what it needs.
+class ArgParser {
+ public:
+  /// Parses argv (argv[0] is skipped). Fails on a lone "--".
+  static Result<ArgParser> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+
+  /// Value of --key, or `fallback` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Typed getters; InvalidArgument when present but malformed.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_ARGS_H_

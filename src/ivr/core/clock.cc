@@ -1,0 +1,23 @@
+#include "ivr/core/clock.h"
+
+#include <cstdio>
+
+namespace ivr {
+
+std::string FormatDuration(TimeMs ms) {
+  const bool negative = ms < 0;
+  if (negative) ms = -ms;
+  const int64_t hours = ms / kMillisPerHour;
+  const int64_t minutes = (ms / kMillisPerMinute) % 60;
+  const int64_t seconds = (ms / kMillisPerSecond) % 60;
+  const int64_t millis = ms % kMillisPerSecond;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld.%03lld",
+                negative ? "-" : "", static_cast<long long>(hours),
+                static_cast<long long>(minutes),
+                static_cast<long long>(seconds),
+                static_cast<long long>(millis));
+  return buf;
+}
+
+}  // namespace ivr

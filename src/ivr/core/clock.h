@@ -1,0 +1,45 @@
+#ifndef IVR_CORE_CLOCK_H_
+#define IVR_CORE_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ivr {
+
+/// Milliseconds since an arbitrary epoch. All timestamps in interaction
+/// logs and simulations use this type.
+using TimeMs = int64_t;
+
+constexpr TimeMs kMillisPerSecond = 1000;
+constexpr TimeMs kMillisPerMinute = 60 * kMillisPerSecond;
+constexpr TimeMs kMillisPerHour = 60 * kMillisPerMinute;
+
+/// Renders a duration as "h:mm:ss.mmm" for logs and reports.
+std::string FormatDuration(TimeMs ms);
+
+/// A purely simulated clock. Interfaces and simulators advance it
+/// explicitly (e.g. by the cost of a user action), which makes sessions
+/// deterministic and lets experiments model dwell time without sleeping.
+class SimulatedClock {
+ public:
+  explicit SimulatedClock(TimeMs start = 0) : now_(start) {}
+
+  TimeMs Now() const { return now_; }
+
+  /// Advances time; negative deltas are ignored (time is monotonic).
+  void Advance(TimeMs delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jumps to an absolute time, provided it is not in the past.
+  void AdvanceTo(TimeMs t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  TimeMs now_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_CLOCK_H_

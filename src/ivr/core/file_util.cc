@@ -1,0 +1,44 @@
+#include "ivr/core/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ivr {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::IOError("read failed for " + path);
+  }
+  return content;
+}
+
+Status WriteStringToFile(const std::string& path,
+                         std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ivr

@@ -1,0 +1,20 @@
+#ifndef IVR_CORE_FILE_UTIL_H_
+#define IVR_CORE_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// Reads an entire file into a string; IOError with errno detail on
+/// failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes (truncating) `content` to `path`.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_FILE_UTIL_H_

@@ -1,0 +1,47 @@
+#ifndef IVR_CORE_LOGGING_H_
+#define IVR_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ivr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded. Defaults to
+/// kInfo. Benchmarks raise it to kWarning to keep output tables clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction. Use via IVR_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define IVR_LOG(level)                                              \
+  ::ivr::internal_logging::LogMessage(::ivr::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_LOGGING_H_

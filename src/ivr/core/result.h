@@ -1,0 +1,101 @@
+#ifndef IVR_CORE_RESULT_H_
+#define IVR_CORE_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "ivr/core/status.h"
+
+namespace ivr {
+
+/// Result<T> holds either a value of type T or a non-OK Status. It is the
+/// return type of fallible functions that produce a value, mirroring
+/// arrow::Result / absl::StatusOr.
+///
+/// Accessing the value of an errored Result aborts the process; callers
+/// must check ok() (or use IVR_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors absl::StatusOr so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status. Constructing from an OK
+  /// status is a programming error and aborts.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return std::get<T>(rep_);
+    }
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+/// IVR_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on error
+/// returns the error status from the enclosing function, otherwise assigns
+/// the value to `lhs` (which may be a declaration).
+#define IVR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value();
+
+#define IVR_ASSIGN_OR_RETURN_CONCAT_(a, b) a##b
+#define IVR_ASSIGN_OR_RETURN_NAME_(a, b) IVR_ASSIGN_OR_RETURN_CONCAT_(a, b)
+#define IVR_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  IVR_ASSIGN_OR_RETURN_IMPL_(                                               \
+      IVR_ASSIGN_OR_RETURN_NAME_(ivr_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_RESULT_H_

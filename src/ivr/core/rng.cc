@@ -1,0 +1,168 @@
+#include "ivr/core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ivr {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ull); }
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = range * (UINT64_MAX / range);
+  uint64_t v = Next();
+  while (v >= limit) {
+    v = Next();
+  }
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box–Muller; draw until u1 is nonzero so log() is finite.
+  double u1 = UniformDouble();
+  while (u1 <= 0.0) {
+    u1 = UniformDouble();
+  }
+  const double u2 = UniformDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Exponential(double lambda) {
+  double u = UniformDouble();
+  while (u <= 0.0) {
+    u = UniformDouble();
+  }
+  return -std::log(u) / (lambda > 0.0 ? lambda : 1.0);
+}
+
+int64_t Rng::Geometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) p = 1e-12;
+  double u = UniformDouble();
+  while (u <= 0.0) {
+    u = UniformDouble();
+  }
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  double prod = UniformDouble();
+  int64_t n = 0;
+  while (prod > limit) {
+    prod *= UniformDouble();
+    ++n;
+  }
+  return n;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (weights.empty() || total <= 0.0) return 0;
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k > n) k = n;
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  // Partial Fisher–Yates: only the first k positions need randomising.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) : s_(s) {
+  if (n < 1) n = 1;
+  if (s < 0.0) s_ = 0.0;
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s_);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(int64_t k) const {
+  if (k < 0 || k >= n()) return 0.0;
+  const size_t i = static_cast<size_t>(k);
+  return k == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace ivr

@@ -1,0 +1,90 @@
+#ifndef IVR_CORE_RNG_H_
+#define IVR_CORE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ivr {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. Every stochastic component of the library draws from an Rng
+/// it is handed explicitly, so simulations are reproducible from a seed and
+/// independent streams can be forked per user/session.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Forks an independent generator; the child stream is decorrelated from
+  /// the parent's subsequent output.
+  Rng Fork();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+  /// Geometric number of failures before first success, p in (0,1].
+  int64_t Geometric(double p);
+  /// Poisson-distributed count with given mean (Knuth's method; mean
+  /// expected to be modest, < ~100).
+  int64_t Poisson(double mean);
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// Returns 0 if the vector is empty or sums to zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n), in random
+  /// order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf distribution over ranks [0, n) with exponent s >= 0 (s = 0 is
+/// uniform). Precomputes the CDF once (O(n) memory) and samples by binary
+/// search, so repeated draws are O(log n) and exact.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+  double exponent() const { return s_; }
+  /// Probability mass of rank k (0-based).
+  double Pmf(int64_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_RNG_H_

@@ -1,0 +1,107 @@
+#include "ivr/eval/experiment.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+
+std::vector<double> SystemEvaluation::ApVector() const {
+  std::vector<double> out;
+  out.reserve(per_topic.size());
+  for (const TopicMetrics& m : per_topic) {
+    out.push_back(m.ap);
+  }
+  return out;
+}
+
+SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
+                                const std::vector<SearchTopicId>& topics,
+                                int min_grade) {
+  SystemEvaluation eval;
+  eval.system = run.system;
+  for (SearchTopicId topic : topics) {
+    auto it = run.runs.find(topic);
+    const ResultList empty;
+    const ResultList& list = it == run.runs.end() ? empty : it->second;
+    eval.per_topic.push_back(
+        ComputeTopicMetrics(list, qrels, topic, min_grade));
+  }
+  eval.mean = MeanMetrics(eval.per_topic);
+  return eval;
+}
+
+namespace {
+
+bool LooksNumeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'e' && c != 'E' &&
+        c != 'x' && c != 'n' && c != '/' && c != 'a') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(cell[0])) ||
+         cell[0] == '-' || cell[0] == '+' || cell[0] == '.' ||
+         cell == "n/a";
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += "  ";
+      const std::string& cell = row[c];
+      const size_t pad = widths[c] - cell.size();
+      if (LooksNumeric(cell)) {
+        line += std::string(pad, ' ') + cell;
+      } else {
+        line += cell + std::string(pad, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string FormatMetric(double value) { return StrFormat("%.4f", value); }
+
+std::string FormatRelativeChange(double value, double baseline) {
+  if (baseline == 0.0) return "n/a";
+  const double pct = 100.0 * (value - baseline) / baseline;
+  return StrFormat("%+.1f%%", pct);
+}
+
+}  // namespace ivr

@@ -1,0 +1,62 @@
+#ifndef IVR_EVAL_EXPERIMENT_H_
+#define IVR_EVAL_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ivr/eval/metrics.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/topics.h"
+
+namespace ivr {
+
+/// One system's runs over a topic set.
+struct SystemRun {
+  std::string system;
+  std::map<SearchTopicId, ResultList> runs;
+};
+
+/// Per-system evaluation of a SystemRun against qrels: per-topic metrics
+/// plus their mean. Topics in `topics` without a run count as empty runs.
+struct SystemEvaluation {
+  std::string system;
+  std::vector<TopicMetrics> per_topic;
+  TopicMetrics mean;
+
+  /// Per-topic AP vector aligned with the topic order used at evaluation
+  /// time — the input to paired significance tests.
+  std::vector<double> ApVector() const;
+};
+
+SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
+                                const std::vector<SearchTopicId>& topics,
+                                int min_grade = 1);
+
+/// Minimal fixed-width text table for benchmark/report output; renders
+/// with a header rule, right-aligning numeric-looking cells.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with 4 decimals (the usual trec_eval precision).
+std::string FormatMetric(double value);
+
+/// "+31.2%" style relative-change formatting against a baseline value;
+/// "n/a" when the baseline is 0.
+std::string FormatRelativeChange(double value, double baseline);
+
+}  // namespace ivr
+
+#endif  // IVR_EVAL_EXPERIMENT_H_

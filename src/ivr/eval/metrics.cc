@@ -1,0 +1,145 @@
+#include "ivr/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivr {
+
+double AveragePrecision(const ResultList& run, const Qrels& qrels,
+                        SearchTopicId topic, int min_grade) {
+  const size_t total_relevant = qrels.NumRelevant(topic, min_grade);
+  if (total_relevant == 0) return 0.0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+double PrecisionAtK(const ResultList& run, const Qrels& qrels,
+                    SearchTopicId topic, size_t k, int min_grade) {
+  if (k == 0) return 0.0;
+  size_t hits = 0;
+  const size_t depth = std::min(k, run.size());
+  for (size_t i = 0; i < depth; ++i) {
+    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RecallAtK(const ResultList& run, const Qrels& qrels,
+                 SearchTopicId topic, size_t k, int min_grade) {
+  const size_t total_relevant = qrels.NumRelevant(topic, min_grade);
+  if (total_relevant == 0) return 0.0;
+  size_t hits = 0;
+  const size_t depth = std::min(k, run.size());
+  for (size_t i = 0; i < depth; ++i) {
+    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double NdcgAtK(const ResultList& run, const Qrels& qrels,
+               SearchTopicId topic, size_t k) {
+  if (k == 0) return 0.0;
+  double dcg = 0.0;
+  const size_t depth = std::min(k, run.size());
+  for (size_t i = 0; i < depth; ++i) {
+    const int grade = qrels.Grade(topic, run.at(i).shot);
+    if (grade > 0) {
+      dcg += static_cast<double>(grade) /
+             std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  // Ideal DCG: grades sorted descending.
+  std::vector<int> grades;
+  for (ShotId shot : qrels.RelevantShots(topic, 1)) {
+    grades.push_back(qrels.Grade(topic, shot));
+  }
+  std::sort(grades.rbegin(), grades.rend());
+  double idcg = 0.0;
+  for (size_t i = 0; i < std::min(k, grades.size()); ++i) {
+    idcg += static_cast<double>(grades[i]) /
+            std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+double Bpref(const ResultList& run, const Qrels& qrels, SearchTopicId topic,
+             int min_grade) {
+  const size_t r = qrels.NumRelevant(topic, min_grade);
+  if (r == 0) return 0.0;
+  size_t nonrelevant_seen = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) {
+      const double penalty =
+          static_cast<double>(std::min(nonrelevant_seen, r)) /
+          static_cast<double>(r);
+      sum += 1.0 - penalty;
+    } else {
+      ++nonrelevant_seen;
+    }
+  }
+  return sum / static_cast<double>(r);
+}
+
+double ReciprocalRank(const ResultList& run, const Qrels& qrels,
+                      SearchTopicId topic, int min_grade) {
+  for (size_t i = 0; i < run.size(); ++i) {
+    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+TopicMetrics ComputeTopicMetrics(const ResultList& run, const Qrels& qrels,
+                                 SearchTopicId topic, int min_grade) {
+  TopicMetrics m;
+  m.topic = topic;
+  m.num_relevant = qrels.NumRelevant(topic, min_grade);
+  m.num_retrieved = run.size();
+  m.ap = AveragePrecision(run, qrels, topic, min_grade);
+  m.p5 = PrecisionAtK(run, qrels, topic, 5, min_grade);
+  m.p10 = PrecisionAtK(run, qrels, topic, 10, min_grade);
+  m.p20 = PrecisionAtK(run, qrels, topic, 20, min_grade);
+  m.recall100 = RecallAtK(run, qrels, topic, 100, min_grade);
+  m.ndcg10 = NdcgAtK(run, qrels, topic, 10);
+  m.bpref = Bpref(run, qrels, topic, min_grade);
+  m.rr = ReciprocalRank(run, qrels, topic, min_grade);
+  return m;
+}
+
+TopicMetrics MeanMetrics(const std::vector<TopicMetrics>& per_topic) {
+  TopicMetrics mean;
+  if (per_topic.empty()) return mean;
+  for (const TopicMetrics& m : per_topic) {
+    mean.num_relevant += m.num_relevant;
+    mean.num_retrieved += m.num_retrieved;
+    mean.ap += m.ap;
+    mean.p5 += m.p5;
+    mean.p10 += m.p10;
+    mean.p20 += m.p20;
+    mean.recall100 += m.recall100;
+    mean.ndcg10 += m.ndcg10;
+    mean.bpref += m.bpref;
+    mean.rr += m.rr;
+  }
+  const double n = static_cast<double>(per_topic.size());
+  mean.ap /= n;
+  mean.p5 /= n;
+  mean.p10 /= n;
+  mean.p20 /= n;
+  mean.recall100 /= n;
+  mean.ndcg10 /= n;
+  mean.bpref /= n;
+  mean.rr /= n;
+  return mean;
+}
+
+}  // namespace ivr

@@ -1,0 +1,63 @@
+#ifndef IVR_EVAL_METRICS_H_
+#define IVR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/qrels.h"
+
+namespace ivr {
+
+/// trec_eval-style effectiveness measures over a ranked list and graded
+/// judgements. All binary measures treat grade >= min_grade as relevant.
+/// Topics with no relevant shots yield 0 for every measure (trec_eval
+/// convention when averaging).
+
+double AveragePrecision(const ResultList& run, const Qrels& qrels,
+                        SearchTopicId topic, int min_grade = 1);
+
+double PrecisionAtK(const ResultList& run, const Qrels& qrels,
+                    SearchTopicId topic, size_t k, int min_grade = 1);
+
+double RecallAtK(const ResultList& run, const Qrels& qrels,
+                 SearchTopicId topic, size_t k, int min_grade = 1);
+
+/// Graded nDCG with the standard log2 discount and gain = grade.
+double NdcgAtK(const ResultList& run, const Qrels& qrels,
+               SearchTopicId topic, size_t k);
+
+/// Buckley & Voorhees bpref (robust to incomplete judgements). With our
+/// exhaustive synthetic qrels every unjudged shot counts as judged
+/// non-relevant.
+double Bpref(const ResultList& run, const Qrels& qrels, SearchTopicId topic,
+             int min_grade = 1);
+
+/// Reciprocal rank of the first relevant result (0 when none retrieved).
+double ReciprocalRank(const ResultList& run, const Qrels& qrels,
+                      SearchTopicId topic, int min_grade = 1);
+
+/// The per-topic scorecard experiments report.
+struct TopicMetrics {
+  SearchTopicId topic = 0;
+  size_t num_relevant = 0;
+  size_t num_retrieved = 0;
+  double ap = 0.0;
+  double p5 = 0.0;
+  double p10 = 0.0;
+  double p20 = 0.0;
+  double recall100 = 0.0;
+  double ndcg10 = 0.0;
+  double bpref = 0.0;
+  double rr = 0.0;
+};
+
+TopicMetrics ComputeTopicMetrics(const ResultList& run, const Qrels& qrels,
+                                 SearchTopicId topic, int min_grade = 1);
+
+/// Arithmetic mean over topics (MAP etc.). Empty input -> all zeros.
+TopicMetrics MeanMetrics(const std::vector<TopicMetrics>& per_topic);
+
+}  // namespace ivr
+
+#endif  // IVR_EVAL_METRICS_H_

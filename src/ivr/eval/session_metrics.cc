@@ -1,0 +1,90 @@
+#include "ivr/eval/session_metrics.h"
+
+#include <set>
+
+namespace ivr {
+
+double SessionEffortMetrics::RelevantPerMinute() const {
+  if (session_ms <= 0) return 0.0;
+  return static_cast<double>(relevant_played) /
+         (static_cast<double>(session_ms) /
+          static_cast<double>(kMillisPerMinute));
+}
+
+double SessionEffortMetrics::PlayPrecision() const {
+  const size_t total = relevant_played + nonrelevant_played;
+  if (total == 0) return 0.0;
+  return static_cast<double>(relevant_played) /
+         static_cast<double>(total);
+}
+
+SessionEffortMetrics ComputeSessionEffort(
+    const std::vector<InteractionEvent>& events, const Qrels& qrels,
+    SearchTopicId topic, int min_grade) {
+  std::vector<InteractionEvent> sorted = events;
+  SortEvents(&sorted);
+
+  SessionEffortMetrics m;
+  if (sorted.empty()) return m;
+  const TimeMs start = sorted.front().time;
+  m.session_ms = sorted.back().time - start;
+
+  std::set<ShotId> relevant_seen;
+  std::set<ShotId> nonrelevant_seen;
+  bool found_first = false;
+  for (const InteractionEvent& ev : sorted) {
+    const bool is_action = ev.type != EventType::kResultDisplayed &&
+                           ev.type != EventType::kSessionEnd;
+    if (is_action) {
+      ++m.total_actions;
+      if (!found_first) ++m.actions_to_first_relevant;
+    }
+    if (ev.type == EventType::kPlayStart) {
+      if (qrels.IsRelevant(topic, ev.shot, min_grade)) {
+        relevant_seen.insert(ev.shot);
+        if (!found_first) {
+          found_first = true;
+          m.time_to_first_relevant_ms = ev.time - start;
+        }
+      } else {
+        nonrelevant_seen.insert(ev.shot);
+      }
+    }
+  }
+  m.relevant_played = relevant_seen.size();
+  m.nonrelevant_played = nonrelevant_seen.size();
+  if (!found_first) {
+    m.actions_to_first_relevant = m.total_actions;
+  }
+  return m;
+}
+
+SessionEffortMetrics MeanSessionEffort(
+    const std::vector<SessionEffortMetrics>& sessions) {
+  SessionEffortMetrics mean;
+  if (sessions.empty()) return mean;
+  size_t with_first = 0;
+  TimeMs first_total = 0;
+  for (const SessionEffortMetrics& s : sessions) {
+    mean.total_actions += s.total_actions;
+    mean.actions_to_first_relevant += s.actions_to_first_relevant;
+    mean.relevant_played += s.relevant_played;
+    mean.nonrelevant_played += s.nonrelevant_played;
+    mean.session_ms += s.session_ms;
+    if (s.time_to_first_relevant_ms >= 0) {
+      ++with_first;
+      first_total += s.time_to_first_relevant_ms;
+    }
+  }
+  const size_t n = sessions.size();
+  mean.total_actions /= n;
+  mean.actions_to_first_relevant /= n;
+  mean.relevant_played /= n;
+  mean.nonrelevant_played /= n;
+  mean.session_ms /= static_cast<TimeMs>(n);
+  mean.time_to_first_relevant_ms =
+      with_first > 0 ? first_total / static_cast<TimeMs>(with_first) : -1;
+  return mean;
+}
+
+}  // namespace ivr

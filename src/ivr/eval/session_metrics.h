@@ -1,0 +1,53 @@
+#ifndef IVR_EVAL_SESSION_METRICS_H_
+#define IVR_EVAL_SESSION_METRICS_H_
+
+#include <vector>
+
+#include "ivr/core/clock.h"
+#include "ivr/feedback/events.h"
+#include "ivr/video/qrels.h"
+
+namespace ivr {
+
+/// User-effort measures over one session's interaction log — the paper's
+/// success criterion is exactly this: an adaptive model should
+/// "significantly reduce the number of steps the user has to perform
+/// before he retrieves satisfying search results". Unlike rank-based
+/// metrics these are computed from what the user actually did.
+struct SessionEffortMetrics {
+  /// User actions (everything except result_displayed and session_end).
+  size_t total_actions = 0;
+  /// Actions performed before the first playback of a truly relevant
+  /// shot; equals total_actions when none happened.
+  size_t actions_to_first_relevant = 0;
+  /// Wall-clock time to that first relevant playback; -1 when none.
+  TimeMs time_to_first_relevant_ms = -1;
+  /// Distinct truly relevant shots the user played at all.
+  size_t relevant_played = 0;
+  /// Distinct non-relevant shots the user played (wasted watching).
+  size_t nonrelevant_played = 0;
+  /// Session wall-clock length.
+  TimeMs session_ms = 0;
+
+  /// Relevant shots found per minute of session time (0 for an empty
+  /// session).
+  double RelevantPerMinute() const;
+  /// Fraction of played shots that were relevant (precision of effort).
+  double PlayPrecision() const;
+};
+
+/// Computes effort metrics for one session's events against the truth.
+/// Events need not be pre-sorted. `topic` is the task the session worked
+/// on (usually events.front().topic).
+SessionEffortMetrics ComputeSessionEffort(
+    const std::vector<InteractionEvent>& events, const Qrels& qrels,
+    SearchTopicId topic, int min_grade = 1);
+
+/// Arithmetic mean over sessions (time_to_first averages only over
+/// sessions that found something; -1 when none did).
+SessionEffortMetrics MeanSessionEffort(
+    const std::vector<SessionEffortMetrics>& sessions);
+
+}  // namespace ivr
+
+#endif  // IVR_EVAL_SESSION_METRICS_H_

@@ -1,0 +1,233 @@
+#include "ivr/eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+namespace {
+
+// Regularised incomplete beta function I_x(a, b) via the continued
+// fraction expansion (Numerical Recipes' betacf/betai structure).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) -
+                         std::lgamma(b) + a * std::log(x) +
+                         b * std::log(1.0 - x);
+  const double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+Status CheckPaired(const std::vector<double>& a,
+                   const std::vector<double>& b, size_t min_size) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired vectors must have equal size");
+  }
+  if (a.size() < min_size) {
+    return Status::InvalidArgument("too few pairs for this test");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double StudentTTwoSidedPValue(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+double NormalTwoSidedPValue(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+Result<PairedTestResult> PairedTTest(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  IVR_RETURN_IF_ERROR(CheckPaired(a, b, 2));
+  const size_t n = a.size();
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean += a[i] - b[i];
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+
+  PairedTestResult result;
+  result.n = n;
+  if (var <= 0.0) {
+    result.statistic = mean == 0.0 ? 0.0
+                                   : std::numeric_limits<double>::infinity();
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  result.statistic =
+      mean / std::sqrt(var / static_cast<double>(n));
+  result.p_value = StudentTTwoSidedPValue(result.statistic,
+                                          static_cast<double>(n - 1));
+  return result;
+}
+
+Result<PairedTestResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                            const std::vector<double>& b) {
+  IVR_RETURN_IF_ERROR(CheckPaired(a, b, 1));
+  // Non-zero differences with their absolute values.
+  std::vector<std::pair<double, double>> diffs;  // (|d|, sign)
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) diffs.emplace_back(std::fabs(d), d > 0 ? 1.0 : -1.0);
+  }
+  PairedTestResult result;
+  result.n = diffs.size();
+  if (diffs.empty()) {
+    result.p_value = 1.0;
+    return result;
+  }
+  std::sort(diffs.begin(), diffs.end());
+
+  // Average ranks over ties; accumulate tie correction.
+  const size_t n = diffs.size();
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && diffs[j + 1].first == diffs[i].first) ++j;
+    const double avg_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    for (size_t k = i; k <= j; ++k) ranks[k] = avg_rank;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (diffs[k].second > 0) w_plus += ranks[k];
+  }
+  const double nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  double var = nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 -
+               tie_correction / 48.0;
+  if (var <= 0.0) {
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction.
+  double z = w_plus - mean;
+  if (z > 0.5) {
+    z -= 0.5;
+  } else if (z < -0.5) {
+    z += 0.5;
+  } else {
+    z = 0.0;
+  }
+  result.statistic = z / std::sqrt(var);
+  result.p_value = NormalTwoSidedPValue(result.statistic);
+  return result;
+}
+
+Result<PairedTestResult> RandomizationTest(const std::vector<double>& a,
+                                           const std::vector<double>& b,
+                                           size_t rounds, uint64_t seed) {
+  IVR_RETURN_IF_ERROR(CheckPaired(a, b, 1));
+  const size_t n = a.size();
+  std::vector<double> diffs(n);
+  double observed = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diffs[i] = a[i] - b[i];
+    observed += diffs[i];
+  }
+  observed = std::fabs(observed / static_cast<double>(n));
+
+  Rng rng(seed);
+  size_t at_least_as_extreme = 1;  // the observed assignment itself
+  for (size_t round = 0; round < rounds; ++round) {
+    double mean = 0.0;
+    for (double d : diffs) {
+      mean += rng.Bernoulli(0.5) ? d : -d;
+    }
+    if (std::fabs(mean / static_cast<double>(n)) >= observed - 1e-15) {
+      ++at_least_as_extreme;
+    }
+  }
+  PairedTestResult result;
+  result.n = n;
+  result.statistic = observed;
+  result.p_value = static_cast<double>(at_least_as_extreme) /
+                   static_cast<double>(rounds + 1);
+  return result;
+}
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vectors must have equal size");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0;
+  long long discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) {
+        ++concordant;
+      } else if (prod < 0.0) {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(n) *
+                       static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace ivr

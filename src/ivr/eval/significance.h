@@ -1,0 +1,58 @@
+#ifndef IVR_EVAL_SIGNIFICANCE_H_
+#define IVR_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// Outcome of a paired significance test between two systems' per-topic
+/// scores.
+struct PairedTestResult {
+  double statistic = 0.0;  ///< t (t-test) or z (Wilcoxon approximation)
+  double p_value = 1.0;    ///< two-sided
+  size_t n = 0;            ///< effective sample size (non-zero differences
+                           ///< for Wilcoxon)
+};
+
+/// Two-sided paired Student t-test. Requires equally sized inputs with at
+/// least two entries; InvalidArgument otherwise. A zero-variance
+/// difference vector yields p = 1 when the mean difference is 0 and p = 0
+/// otherwise (deterministic dominance).
+Result<PairedTestResult> PairedTTest(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Two-sided Wilcoxon signed-rank test with normal approximation and tie
+/// correction. Requires equally sized inputs; pairs with zero difference
+/// are dropped (p = 1 when none remain).
+Result<PairedTestResult> WilcoxonSignedRank(const std::vector<double>& a,
+                                            const std::vector<double>& b);
+
+/// Kendall rank-correlation tau-a between two score vectors (used to
+/// compare system rankings produced by simulation vs replay, E9).
+/// Equal-length inputs required; returns 0 for fewer than 2 items.
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Fisher randomization (sign-flip permutation) test — the
+/// distribution-free paired test preferred in IR evaluation (Smucker et
+/// al.): the two-sided p-value is the fraction of random sign
+/// assignments of the per-topic differences whose |mean| reaches the
+/// observed |mean|. Deterministic in `seed`; `rounds` Monte-Carlo
+/// samples (the observed assignment is always included, so p >= 1/(rounds+1)).
+Result<PairedTestResult> RandomizationTest(const std::vector<double>& a,
+                                           const std::vector<double>& b,
+                                           size_t rounds = 10000,
+                                           uint64_t seed = 1);
+
+/// Student-t two-sided p-value for statistic `t` with `df` degrees of
+/// freedom (regularised incomplete beta). Exposed for tests.
+double StudentTTwoSidedPValue(double t, double df);
+
+/// Standard normal two-sided p-value for statistic `z`.
+double NormalTwoSidedPValue(double z);
+
+}  // namespace ivr
+
+#endif  // IVR_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,28 @@
+#ifndef IVR_EVAL_TREC_RUN_H_
+#define IVR_EVAL_TREC_RUN_H_
+
+#include <map>
+#include <string>
+
+#include "ivr/core/result.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/qrels.h"
+
+namespace ivr {
+
+/// Classic 6-column TREC run format:
+///   <topic> Q0 shot<id> <rank> <score> <tag>
+/// so runs written by the CLI tools can be evaluated by ivr_eval or by
+/// external trec_eval-compatible tooling.
+std::string RunsToTrecFormat(
+    const std::map<SearchTopicId, ResultList>& runs,
+    const std::string& tag);
+
+/// Parses the format above; rank columns are ignored (order is recovered
+/// from the scores), the tag is returned via `tag_out` when non-null.
+Result<std::map<SearchTopicId, ResultList>> RunsFromTrecFormat(
+    const std::string& text, std::string* tag_out = nullptr);
+
+}  // namespace ivr
+
+#endif  // IVR_EVAL_TREC_RUN_H_

@@ -1,0 +1,34 @@
+#include "ivr/features/concept_detector.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+SimulatedConceptDetector::SimulatedConceptDetector(size_t num_concepts,
+                                                   Options options,
+                                                   uint64_t seed)
+    : num_concepts_(num_concepts), options_(options), seed_(seed) {}
+
+double SimulatedConceptDetector::Detect(uint64_t shot_key, ConceptId concept_id,
+                                        bool truly_present) const {
+  // Derive a per-(shot, concept) RNG so detection is a pure function of
+  // the inputs — a detector gives the same answer every time it is asked.
+  Rng rng(seed_ ^ (shot_key * 0x9E3779B97F4A7C15ull) ^
+          (static_cast<uint64_t>(concept_id) + 1) * 0xC2B2AE3D27D4EB4Full);
+  const double mean =
+      truly_present ? options_.mean_positive : 1.0 - options_.mean_positive;
+  const double raw = rng.Normal(mean, options_.noise_stddev);
+  return std::clamp(raw, 0.0, 1.0);
+}
+
+std::vector<double> SimulatedConceptDetector::DetectAll(
+    uint64_t shot_key, const std::vector<bool>& truth) const {
+  std::vector<double> out(num_concepts_, 0.0);
+  for (size_t c = 0; c < num_concepts_; ++c) {
+    const bool present = c < truth.size() && truth[c];
+    out[c] = Detect(shot_key, static_cast<ConceptId>(c), present);
+  }
+  return out;
+}
+
+}  // namespace ivr

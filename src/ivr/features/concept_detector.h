@@ -1,0 +1,58 @@
+#ifndef IVR_FEATURES_CONCEPT_DETECTOR_H_
+#define IVR_FEATURES_CONCEPT_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+
+/// Identifier of a semantic concept ("sports", "politics", ...). In the
+/// synthetic collection the concept space coincides with the topic space.
+using ConceptId = uint32_t;
+
+/// A simulated high-level concept detector — the substitution for trained
+/// TRECVID concept detectors. Given a shot's ground-truth concept
+/// memberships it emits confidence scores whose reliability is controlled
+/// by one parameter, so experiments can sweep detector quality from random
+/// (0.5 AUC) to near-perfect and reproduce the semantic-gap regimes the
+/// paper discusses.
+class SimulatedConceptDetector {
+ public:
+  struct Options {
+    /// Mean confidence emitted for a concept that is truly present; the
+    /// mean for an absent concept is (1 - mean_positive). 0.5 makes the
+    /// detector uninformative.
+    double mean_positive = 0.8;
+    /// Standard deviation of the Gaussian noise added to the mean before
+    /// clamping to [0, 1]. Larger -> less reliable detector.
+    double noise_stddev = 0.15;
+  };
+
+  SimulatedConceptDetector(size_t num_concepts, Options options,
+                           uint64_t seed);
+
+  /// Confidence in [0,1] that `concept` is present given the ground truth.
+  /// Deterministic per (detector instance, shot_key, concept): repeated
+  /// calls return the same value, as a real detector would.
+  double Detect(uint64_t shot_key, ConceptId concept_id,
+                bool truly_present) const;
+
+  /// Scores all concepts at once; `truth[i]` is ground truth for concept i.
+  std::vector<double> DetectAll(uint64_t shot_key,
+                                const std::vector<bool>& truth) const;
+
+  size_t num_concepts() const { return num_concepts_; }
+  const Options& options() const { return options_; }
+
+ private:
+  size_t num_concepts_;
+  Options options_;
+  uint64_t seed_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_FEATURES_CONCEPT_DETECTOR_H_

@@ -1,0 +1,90 @@
+#include "ivr/features/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ivr {
+
+ColorHistogram ColorHistogram::RandomPrototype(Rng* rng, size_t bins) {
+  std::vector<double> b(bins);
+  for (double& v : b) {
+    // Exponential draws normalised to sum 1 give a flat Dirichlet sample,
+    // producing diverse but valid prototypes.
+    v = rng->Exponential(1.0);
+  }
+  ColorHistogram h(std::move(b));
+  h.NormalizeL1();
+  return h;
+}
+
+ColorHistogram ColorHistogram::Perturb(Rng* rng, double sigma) const {
+  ColorHistogram out(*this);
+  if (sigma > 0.0) {
+    for (double& v : *out.mutable_bins()) {
+      v *= std::exp(rng->Normal(0.0, sigma));
+    }
+    out.NormalizeL1();
+  }
+  return out;
+}
+
+void ColorHistogram::NormalizeL1() {
+  double total = 0.0;
+  for (double v : bins_) {
+    total += std::max(v, 0.0);
+  }
+  if (total <= 0.0) return;
+  for (double& v : bins_) {
+    v = std::max(v, 0.0) / total;
+  }
+}
+
+double L1Distance(const ColorHistogram& a, const ColorHistogram& b) {
+  if (a.size() != b.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += std::fabs(a[i] - b[i]);
+  }
+  return d;
+}
+
+double L2Distance(const ColorHistogram& a, const ColorHistogram& b) {
+  if (a.size() != b.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return std::sqrt(d);
+}
+
+double CosineSimilarity(const ColorHistogram& a, const ColorHistogram& b) {
+  if (a.size() != b.size()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double HistogramIntersection(const ColorHistogram& a,
+                             const ColorHistogram& b) {
+  if (a.size() != b.size()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += std::min(a[i], b[i]);
+  }
+  return s;
+}
+
+}  // namespace ivr

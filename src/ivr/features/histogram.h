@@ -1,0 +1,59 @@
+#ifndef IVR_FEATURES_HISTOGRAM_H_
+#define IVR_FEATURES_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+
+/// A keyframe's visual feature vector, modelled as an L1-normalised colour
+/// histogram. The synthetic collection generator produces one per keyframe
+/// by perturbing a topic-specific prototype, so that visual similarity
+/// correlates (noisily) with topical relatedness — the property content-
+/// based video retrieval exploits.
+class ColorHistogram {
+ public:
+  /// Default dimensionality: 8 bins per RGB-ish channel -> 64 bins works
+  /// well; we use 64 throughout the library.
+  static constexpr size_t kDefaultBins = 64;
+
+  ColorHistogram() : bins_(kDefaultBins, 0.0) {}
+  explicit ColorHistogram(std::vector<double> bins)
+      : bins_(std::move(bins)) {}
+
+  /// Builds a random prototype histogram (Dirichlet-ish via exponential
+  /// draws, then normalised). Used for topic prototypes.
+  static ColorHistogram RandomPrototype(Rng* rng,
+                                        size_t bins = kDefaultBins);
+
+  /// Returns a perturbed copy: each bin multiplied by exp(noise) with
+  /// noise ~ N(0, sigma), then re-normalised. sigma=0 returns a copy.
+  ColorHistogram Perturb(Rng* rng, double sigma) const;
+
+  /// Normalises bins to sum 1 (no-op for the zero vector).
+  void NormalizeL1();
+
+  size_t size() const { return bins_.size(); }
+  double operator[](size_t i) const { return bins_[i]; }
+  const std::vector<double>& bins() const { return bins_; }
+  std::vector<double>* mutable_bins() { return &bins_; }
+
+ private:
+  std::vector<double> bins_;
+};
+
+/// Distance / similarity measures between histograms of equal size.
+/// Mismatched sizes yield worst-case values (distance infinity /
+/// similarity 0) rather than UB.
+double L1Distance(const ColorHistogram& a, const ColorHistogram& b);
+double L2Distance(const ColorHistogram& a, const ColorHistogram& b);
+double CosineSimilarity(const ColorHistogram& a, const ColorHistogram& b);
+/// Histogram intersection in [0,1] for L1-normalised inputs (1 = equal).
+double HistogramIntersection(const ColorHistogram& a,
+                             const ColorHistogram& b);
+
+}  // namespace ivr
+
+#endif  // IVR_FEATURES_HISTOGRAM_H_

@@ -1,0 +1,51 @@
+#include "ivr/features/similarity.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+double ComputeSimilarity(VisualSimilarity kind, const ColorHistogram& a,
+                         const ColorHistogram& b) {
+  switch (kind) {
+    case VisualSimilarity::kHistogramIntersection:
+      return HistogramIntersection(a, b);
+    case VisualSimilarity::kCosine:
+      return CosineSimilarity(a, b);
+    case VisualSimilarity::kInverseL1:
+      return 1.0 / (1.0 + L1Distance(a, b));
+  }
+  return 0.0;
+}
+
+std::vector<Neighbor> VisualSearcher::NearestNeighbors(
+    const ColorHistogram& query, size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(corpus_.size());
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    all.push_back(Neighbor{i, ComputeSimilarity(kind_, query, corpus_[i])});
+  }
+  auto better = [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), better);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), better);
+  }
+  return all;
+}
+
+std::vector<double> VisualSearcher::ScoreAll(
+    const ColorHistogram& query) const {
+  std::vector<double> scores;
+  scores.reserve(corpus_.size());
+  for (const ColorHistogram& h : corpus_) {
+    scores.push_back(ComputeSimilarity(kind_, query, h));
+  }
+  return scores;
+}
+
+}  // namespace ivr

@@ -1,0 +1,51 @@
+#ifndef IVR_FEEDBACK_BACKEND_H_
+#define IVR_FEEDBACK_BACKEND_H_
+
+#include <string>
+
+#include "ivr/feedback/events.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/retrieval/result_list.h"
+
+namespace ivr {
+
+/// What an interface talks to: something that answers queries and may
+/// observe the interaction stream. A plain engine ignores the stream; an
+/// AdaptiveEngine uses it to personalise subsequent results. This is the
+/// seam experiments E3/E4/E7 swap systems through.
+class SearchBackend {
+ public:
+  virtual ~SearchBackend() = default;
+
+  /// Answers a query. Non-const because adaptive backends consult and
+  /// update per-session state.
+  virtual ResultList Search(const Query& query, size_t k) = 0;
+
+  /// Receives every interaction event the interface logs. Default: ignore.
+  virtual void ObserveEvent(const InteractionEvent& event) { (void)event; }
+
+  /// Resets any per-session adaptation state. Default: nothing.
+  virtual void BeginSession() {}
+
+  virtual std::string name() const = 0;
+};
+
+/// The non-adaptive baseline: forwards to a RetrievalEngine verbatim.
+class StaticBackend : public SearchBackend {
+ public:
+  /// The engine must outlive the backend.
+  explicit StaticBackend(const RetrievalEngine& engine) : engine_(&engine) {}
+
+  ResultList Search(const Query& query, size_t k) override {
+    return engine_->Search(query, k);
+  }
+  std::string name() const override { return "static-" +
+                                             engine_->options().scorer; }
+
+ private:
+  const RetrievalEngine* engine_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_BACKEND_H_

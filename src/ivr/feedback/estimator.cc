@@ -1,0 +1,35 @@
+#include "ivr/feedback/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivr {
+
+std::vector<RelevanceEvidence> ImplicitRelevanceEstimator::Estimate(
+    const std::vector<InteractionEvent>& events,
+    const VideoCollection* collection) const {
+  TimeMs now = 0;
+  for (const InteractionEvent& ev : events) {
+    now = std::max(now, ev.time);
+  }
+  return EstimateFromIndicators(AggregateIndicators(events, collection),
+                                now);
+}
+
+std::vector<RelevanceEvidence>
+ImplicitRelevanceEstimator::EstimateFromIndicators(
+    const std::map<ShotId, ShotIndicators>& indicators, TimeMs now) const {
+  const OstensiveModel ostensive(options_.ostensive_half_life_ms);
+  std::vector<RelevanceEvidence> out;
+  for (const auto& [shot, ind] : indicators) {
+    double weight = scheme_->Score(ind);
+    if (options_.use_ostensive && ind.last_interaction >= 0) {
+      weight *= ostensive.Weight(ind.last_interaction, now);
+    }
+    if (std::fabs(weight) < options_.min_abs_weight) continue;
+    out.push_back(RelevanceEvidence{shot, weight});
+  }
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,63 @@
+#ifndef IVR_FEEDBACK_ESTIMATOR_H_
+#define IVR_FEEDBACK_ESTIMATOR_H_
+
+#include <vector>
+
+#include "ivr/feedback/events.h"
+#include "ivr/feedback/indicators.h"
+#include "ivr/feedback/ostensive.h"
+#include "ivr/feedback/weighting.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// Signed relevance evidence for one shot, as inferred from implicit
+/// feedback: weight > 0 "the user seems to find this relevant", < 0 the
+/// opposite. This is the bridge between raw interaction logs and the
+/// adaptation machinery (Rocchio expansion, reranking, profiles).
+struct RelevanceEvidence {
+  ShotId shot = kInvalidShotId;
+  double weight = 0.0;
+};
+
+/// Combines a weighting scheme with the ostensive recency model to turn a
+/// session's event stream into weighted evidence.
+class ImplicitRelevanceEstimator {
+ public:
+  struct Options {
+    /// Apply ostensive decay by the recency of each shot's last
+    /// interaction (relative to the newest event in the stream).
+    bool use_ostensive = false;
+    TimeMs ostensive_half_life_ms = 2 * kMillisPerMinute;
+    /// Evidence with |weight| below this is dropped.
+    double min_abs_weight = 1e-6;
+  };
+
+  /// The scheme must outlive the estimator.
+  explicit ImplicitRelevanceEstimator(const WeightingScheme& scheme)
+      : scheme_(&scheme) {}
+  ImplicitRelevanceEstimator(const WeightingScheme& scheme, Options options)
+      : scheme_(&scheme), options_(options) {}
+
+  /// Estimates evidence from raw events. The collection (nullable)
+  /// supplies shot durations for play-fraction computation.
+  std::vector<RelevanceEvidence> Estimate(
+      const std::vector<InteractionEvent>& events,
+      const VideoCollection* collection) const;
+
+  /// Same, starting from already-aggregated indicators (ostensive decay
+  /// uses each record's last_interaction; `now` anchors the decay).
+  std::vector<RelevanceEvidence> EstimateFromIndicators(
+      const std::map<ShotId, ShotIndicators>& indicators, TimeMs now) const;
+
+  const Options& options() const { return options_; }
+  const WeightingScheme& scheme() const { return *scheme_; }
+
+ private:
+  const WeightingScheme* scheme_;
+  Options options_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_ESTIMATOR_H_

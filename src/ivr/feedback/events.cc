@@ -1,0 +1,77 @@
+#include "ivr/feedback/events.h"
+
+#include <algorithm>
+
+namespace ivr {
+namespace {
+
+struct NameEntry {
+  EventType type;
+  std::string_view name;
+};
+
+constexpr NameEntry kNames[] = {
+    {EventType::kQuerySubmit, "query_submit"},
+    {EventType::kVisualExample, "visual_example"},
+    {EventType::kResultDisplayed, "result_displayed"},
+    {EventType::kBrowseNextPage, "browse_next_page"},
+    {EventType::kBrowsePrevPage, "browse_prev_page"},
+    {EventType::kTooltipHover, "tooltip_hover"},
+    {EventType::kClickKeyframe, "click_keyframe"},
+    {EventType::kPlayStart, "play_start"},
+    {EventType::kPlayStop, "play_stop"},
+    {EventType::kSeek, "seek"},
+    {EventType::kHighlightMetadata, "highlight_metadata"},
+    {EventType::kMarkRelevant, "mark_relevant"},
+    {EventType::kMarkNotRelevant, "mark_not_relevant"},
+    {EventType::kSessionEnd, "session_end"},
+};
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  for (const NameEntry& entry : kNames) {
+    if (entry.type == type) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<EventType> EventTypeFromName(std::string_view name) {
+  for (const NameEntry& entry : kNames) {
+    if (entry.name == name) return entry.type;
+  }
+  return Status::InvalidArgument("unknown event type: " + std::string(name));
+}
+
+bool EventHasShot(EventType type) {
+  switch (type) {
+    case EventType::kVisualExample:
+    case EventType::kResultDisplayed:
+    case EventType::kTooltipHover:
+    case EventType::kClickKeyframe:
+    case EventType::kPlayStart:
+    case EventType::kPlayStop:
+    case EventType::kSeek:
+    case EventType::kHighlightMetadata:
+    case EventType::kMarkRelevant:
+    case EventType::kMarkNotRelevant:
+      return true;
+    case EventType::kQuerySubmit:
+    case EventType::kBrowseNextPage:
+    case EventType::kBrowsePrevPage:
+    case EventType::kSessionEnd:
+      return false;
+  }
+  return false;
+}
+
+bool EventTimeLess(const InteractionEvent& a, const InteractionEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return static_cast<int>(a.type) < static_cast<int>(b.type);
+}
+
+void SortEvents(std::vector<InteractionEvent>* events) {
+  std::stable_sort(events->begin(), events->end(), EventTimeLess);
+}
+
+}  // namespace ivr

@@ -1,0 +1,71 @@
+#ifndef IVR_FEEDBACK_EVENTS_H_
+#define IVR_FEEDBACK_EVENTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ivr/core/clock.h"
+#include "ivr/core/result.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/types.h"
+
+namespace ivr {
+
+/// The interaction vocabulary shared by every interface. The implicit
+/// indicators are exactly those Hopfgartner & Jose [9] identified across
+/// state-of-the-art video retrieval tools: clicking a keyframe to start
+/// playback, browsing through the result list, sliding (seeking) through a
+/// video, highlighting additional metadata, and playing a video for some
+/// amount of time — plus the explicit relevance keys the TV environment
+/// emphasises.
+enum class EventType {
+  kQuerySubmit = 0,     ///< text query issued; `text` holds the query
+  kVisualExample,       ///< query-by-example issued; `shot` is the example
+  kResultDisplayed,     ///< a shot became visible; `value` = 0-based rank
+  kBrowseNextPage,      ///< user paged forward; `value` = new page
+  kBrowsePrevPage,      ///< user paged back; `value` = new page
+  kTooltipHover,        ///< hovered a keyframe; `value` = hover ms
+  kClickKeyframe,       ///< clicked a keyframe to open/play the shot
+  kPlayStart,           ///< playback began
+  kPlayStop,            ///< playback ended; `value` = played ms
+  kSeek,                ///< slider jump inside the shot; `value` = offset ms
+  kHighlightMetadata,   ///< expanded the metadata/transcript panel
+  kMarkRelevant,        ///< explicit positive judgement
+  kMarkNotRelevant,     ///< explicit negative judgement
+  kSessionEnd,          ///< session closed
+};
+
+/// Stable lower-snake name used in logfiles ("click_keyframe").
+std::string_view EventTypeName(EventType type);
+Result<EventType> EventTypeFromName(std::string_view name);
+
+/// True for event types that reference a shot.
+bool EventHasShot(EventType type);
+
+/// One record of a user interaction, the unit every feedback component
+/// consumes. Produced live by interfaces and recovered from logfiles.
+struct InteractionEvent {
+  TimeMs time = 0;
+  std::string session_id;
+  std::string user_id;
+  /// The search task the user is working on (0 if free browsing).
+  SearchTopicId topic = 0;
+  EventType type = EventType::kSessionEnd;
+  /// Subject shot, kInvalidShotId when not applicable.
+  ShotId shot = kInvalidShotId;
+  /// Type-specific scalar (rank, milliseconds, page, ...).
+  double value = 0.0;
+  /// Type-specific text (the query string).
+  std::string text;
+};
+
+/// Chronological comparison (stable across equal timestamps by type).
+bool EventTimeLess(const InteractionEvent& a, const InteractionEvent& b);
+
+/// Sorts events chronologically in place.
+void SortEvents(std::vector<InteractionEvent>* events);
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_EVENTS_H_

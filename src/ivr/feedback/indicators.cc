@@ -1,0 +1,130 @@
+#include "ivr/feedback/indicators.h"
+
+#include <algorithm>
+
+namespace ivr {
+namespace {
+
+ShotIndicators& Entry(std::map<ShotId, ShotIndicators>* map, ShotId shot) {
+  ShotIndicators& e = (*map)[shot];
+  if (e.shot == kInvalidShotId) e.shot = shot;
+  return e;
+}
+
+void Touch(ShotIndicators* e, TimeMs t) {
+  if (e->first_interaction < 0) e->first_interaction = t;
+  e->last_interaction = std::max(e->last_interaction, t);
+}
+
+}  // namespace
+
+std::map<ShotId, ShotIndicators> AggregateIndicators(
+    std::vector<InteractionEvent> events,
+    const VideoCollection* collection) {
+  SortEvents(&events);
+  std::map<ShotId, ShotIndicators> out;
+
+  // Dwell tracking: the shot currently "open" (last clicked) and when.
+  ShotId open_shot = kInvalidShotId;
+  TimeMs open_since = 0;
+
+  auto close_dwell = [&](TimeMs now) {
+    if (open_shot == kInvalidShotId) return;
+    ShotIndicators& e = Entry(&out, open_shot);
+    e.dwell_ms += static_cast<double>(std::max<TimeMs>(0, now - open_since));
+    open_shot = kInvalidShotId;
+  };
+
+  for (const InteractionEvent& ev : events) {
+    switch (ev.type) {
+      case EventType::kResultDisplayed: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.displays;
+        const int rank = static_cast<int>(ev.value);
+        if (e.best_rank < 0 || rank < e.best_rank) e.best_rank = rank;
+        break;
+      }
+      case EventType::kTooltipHover: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.tooltip_hovers;
+        e.tooltip_ms += std::max(0.0, ev.value);
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kClickKeyframe: {
+        if (ev.shot != open_shot) close_dwell(ev.time);
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.clicks;
+        Touch(&e, ev.time);
+        open_shot = ev.shot;
+        open_since = ev.time;
+        break;
+      }
+      case EventType::kPlayStart: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.play_count;
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kPlayStop: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        e.play_time_ms += std::max(0.0, ev.value);
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kSeek: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.seeks;
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kHighlightMetadata: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.metadata_highlights;
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kMarkRelevant:
+      case EventType::kMarkNotRelevant: {
+        ShotIndicators& e = Entry(&out, ev.shot);
+        e.explicit_judgment = ev.type == EventType::kMarkRelevant ? 1 : -1;
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kVisualExample: {
+        // Both a navigation (new results replace the old) and strong
+        // positive evidence for the example shot itself.
+        close_dwell(ev.time);
+        ShotIndicators& e = Entry(&out, ev.shot);
+        ++e.used_as_example;
+        Touch(&e, ev.time);
+        break;
+      }
+      case EventType::kQuerySubmit:
+      case EventType::kBrowseNextPage:
+      case EventType::kBrowsePrevPage:
+      case EventType::kSessionEnd:
+        // Navigation away from whatever was open ends its dwell window.
+        close_dwell(ev.time);
+        break;
+    }
+  }
+  if (!events.empty()) {
+    close_dwell(events.back().time);
+  }
+
+  for (auto& [shot, e] : out) {
+    (void)shot;
+    e.browsed_past = e.displays > 0 && !e.HasActiveInteraction();
+    if (collection != nullptr) {
+      Result<const Shot*> s = collection->shot(e.shot);
+      if (s.ok() && (*s)->duration_ms > 0) {
+        e.play_fraction = std::min(
+            1.0, e.play_time_ms / static_cast<double>((*s)->duration_ms));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ivr

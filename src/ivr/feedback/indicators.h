@@ -1,0 +1,69 @@
+#ifndef IVR_FEEDBACK_INDICATORS_H_
+#define IVR_FEEDBACK_INDICATORS_H_
+
+#include <map>
+#include <vector>
+
+#include "ivr/feedback/events.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// Per-shot aggregation of one session's interactions — the "implicit
+/// indicator vector" whose components the paper asks to weigh.
+struct ShotIndicators {
+  ShotId shot = kInvalidShotId;
+
+  /// Times the shot was shown in a result page, and its best (lowest) rank.
+  int displays = 0;
+  int best_rank = -1;
+
+  int clicks = 0;               ///< keyframe clicks
+  int play_count = 0;           ///< playbacks started
+  double play_time_ms = 0.0;    ///< total milliseconds played
+  /// play_time / duration in [0,1] (0 when the duration is unknown).
+  double play_fraction = 0.0;
+  int seeks = 0;                ///< slider jumps while playing
+  int metadata_highlights = 0;  ///< metadata panel expansions
+  int tooltip_hovers = 0;
+  double tooltip_ms = 0.0;
+  /// Times the user issued "find more like this" with this shot as the
+  /// example — a deliberate act and one of the strongest implicit
+  /// signals an interface offers.
+  int used_as_example = 0;
+
+  /// Displayed but never touched while the user browsed on — weak negative
+  /// evidence.
+  bool browsed_past = false;
+
+  /// Explicit judgement: +1 marked relevant, -1 marked not relevant,
+  /// 0 unjudged (the latest mark wins).
+  int explicit_judgment = 0;
+
+  /// Dwell: time between the first click on the shot and the next action
+  /// on a different target (the "display time" of Kelly & Belkin).
+  double dwell_ms = 0.0;
+
+  TimeMs first_interaction = -1;
+  TimeMs last_interaction = -1;
+
+  /// True if any active (non-display) interaction happened.
+  bool HasActiveInteraction() const {
+    return clicks > 0 || play_count > 0 || seeks > 0 ||
+           metadata_highlights > 0 || tooltip_hovers > 0 ||
+           used_as_example > 0 || explicit_judgment != 0;
+  }
+};
+
+/// Aggregates a (chronologically sortable) event stream into per-shot
+/// indicators. The collection pointer, when given, supplies shot durations
+/// so play_fraction can be computed; pass nullptr to skip that.
+///
+/// Ordered map so iteration order (and everything derived from it) is
+/// deterministic.
+std::map<ShotId, ShotIndicators> AggregateIndicators(
+    std::vector<InteractionEvent> events, const VideoCollection* collection);
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_INDICATORS_H_

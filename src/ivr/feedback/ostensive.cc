@@ -1,0 +1,21 @@
+#include "ivr/feedback/ostensive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivr {
+
+double OstensiveModel::Weight(TimeMs event_time, TimeMs now) const {
+  if (!enabled()) return 1.0;
+  const TimeMs age = now - event_time;
+  if (age <= 0) return 1.0;
+  return std::pow(
+      0.5, static_cast<double>(age) / static_cast<double>(half_life_ms_));
+}
+
+double OstensiveModel::WeightByRank(size_t age_rank, double decay_per_step) {
+  decay_per_step = std::clamp(decay_per_step, 0.0, 1.0);
+  return std::pow(decay_per_step, static_cast<double>(age_rank));
+}
+
+}  // namespace ivr

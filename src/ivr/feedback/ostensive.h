@@ -1,0 +1,40 @@
+#ifndef IVR_FEEDBACK_OSTENSIVE_H_
+#define IVR_FEEDBACK_OSTENSIVE_H_
+
+#include <cstddef>
+
+#include "ivr/core/clock.h"
+
+namespace ivr {
+
+/// The ostensive model of developing information needs (Campbell & van
+/// Rijsbergen [3]): evidence gathered recently reflects the user's current
+/// interest better than older evidence, because the need drifts within a
+/// session. This class converts evidence age into a multiplicative weight.
+class OstensiveModel {
+ public:
+  /// `half_life_ms`: age at which evidence weight halves. Must be > 0;
+  /// values <= 0 disable decay (weight 1 everywhere).
+  explicit OstensiveModel(TimeMs half_life_ms = 2 * kMillisPerMinute)
+      : half_life_ms_(half_life_ms) {}
+
+  /// Weight in (0, 1] of evidence observed at `event_time` as of `now`.
+  /// Future events (event_time > now) get weight 1.
+  double Weight(TimeMs event_time, TimeMs now) const;
+
+  /// Rank-based variant: weight of the k-th most recent piece of evidence
+  /// (k = 0 is the newest) with per-step decay factor derived from the
+  /// half-life interpretation: 0.5^k when treating each step as one
+  /// half-life; here parameterised directly.
+  static double WeightByRank(size_t age_rank, double decay_per_step);
+
+  TimeMs half_life_ms() const { return half_life_ms_; }
+  bool enabled() const { return half_life_ms_ > 0; }
+
+ private:
+  TimeMs half_life_ms_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_OSTENSIVE_H_

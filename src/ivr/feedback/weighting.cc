@@ -1,0 +1,150 @@
+#include "ivr/feedback/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+namespace {
+
+double Squash(double x) { return x / (1.0 + x); }
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+std::array<double, kNumIndicatorFeatures> IndicatorFeatures(
+    const ShotIndicators& s) {
+  return {
+      s.clicks > 0 ? 1.0 : 0.0,
+      s.play_fraction,
+      Squash(static_cast<double>(s.play_count)),
+      s.play_fraction >= 0.9 ? 1.0 : 0.0,
+      Squash(static_cast<double>(s.seeks)),
+      Squash(static_cast<double>(s.metadata_highlights)),
+      Squash(s.tooltip_ms / 1000.0),
+      Squash(s.dwell_ms / 1000.0),
+      s.used_as_example > 0 ? 1.0 : 0.0,
+      s.browsed_past ? 1.0 : 0.0,
+      static_cast<double>(s.explicit_judgment),
+  };
+}
+
+const std::array<std::string, kNumIndicatorFeatures>&
+IndicatorFeatureNames() {
+  static const auto& kNames =
+      *new std::array<std::string, kNumIndicatorFeatures>{
+          "clicked",        "play_fraction", "play_count",
+          "completed_play", "seeks",         "metadata",
+          "tooltip_s",      "dwell_s",       "used_as_example",
+          "browsed_past",   "explicit",
+      };
+  return kNames;
+}
+
+double BinaryWeighting::Score(const ShotIndicators& s) const {
+  if (s.explicit_judgment < 0) return -1.0;
+  return s.HasActiveInteraction() ? 1.0 : 0.0;
+}
+
+double UniformWeighting::Score(const ShotIndicators& s) const {
+  double score = 0.0;
+  if (s.clicks > 0) score += 1.0;
+  if (s.play_count > 0) score += 1.0;
+  if (s.seeks > 0) score += 1.0;
+  if (s.metadata_highlights > 0) score += 1.0;
+  if (s.tooltip_hovers > 0) score += 1.0;
+  if (s.used_as_example > 0) score += 1.0;
+  if (s.explicit_judgment > 0) score += 1.0;
+  if (s.explicit_judgment < 0) score -= 1.0;
+  if (s.browsed_past) score -= 1.0;
+  return score;
+}
+
+double LinearWeighting::Score(const ShotIndicators& s) const {
+  double score = 0.0;
+  if (s.clicks > 0) score += weights_.click;
+  score += weights_.play_fraction * s.play_fraction;
+  if (s.play_fraction >= 0.9) score += weights_.play_completion_bonus;
+  score += weights_.seek * Squash(static_cast<double>(s.seeks));
+  score +=
+      weights_.metadata * Squash(static_cast<double>(s.metadata_highlights));
+  score += weights_.tooltip_per_second * (s.tooltip_ms / 1000.0);
+  score += weights_.dwell_per_second * (s.dwell_ms / 1000.0);
+  if (s.used_as_example > 0) score += weights_.used_as_example;
+  if (s.browsed_past) score += weights_.browse_past;
+  if (s.explicit_judgment > 0) score += weights_.explicit_positive;
+  if (s.explicit_judgment < 0) score += weights_.explicit_negative;
+  return score;
+}
+
+LearnedWeighting::LearnedWeighting() { weights_.fill(0.0); }
+
+double LearnedWeighting::Train(
+    const std::vector<LabeledIndicators>& examples,
+    const TrainOptions& options) {
+  weights_.fill(0.0);
+  bias_ = 0.0;
+  if (examples.empty()) return 0.0;
+
+  Rng rng(options.shuffle_seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double loss = 0.0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    loss = 0.0;
+    for (size_t idx : order) {
+      const auto x = IndicatorFeatures(examples[idx].indicators);
+      const double y = examples[idx].relevant ? 1.0 : 0.0;
+      double z = bias_;
+      for (size_t j = 0; j < x.size(); ++j) {
+        z += weights_[j] * x[j];
+      }
+      const double p = Sigmoid(z);
+      const double g = p - y;  // d(logloss)/dz
+      for (size_t j = 0; j < x.size(); ++j) {
+        weights_[j] -= options.learning_rate *
+                       (g * x[j] + options.l2 * weights_[j]);
+      }
+      bias_ -= options.learning_rate * g;
+      const double clamped = std::clamp(examples[idx].relevant ? p : 1 - p,
+                                        1e-12, 1.0);
+      loss -= std::log(clamped);
+    }
+    loss /= static_cast<double>(examples.size());
+  }
+  return loss;
+}
+
+double LearnedWeighting::Probability(const ShotIndicators& s) const {
+  const auto x = IndicatorFeatures(s);
+  double z = bias_;
+  for (size_t j = 0; j < x.size(); ++j) {
+    z += weights_[j] * x[j];
+  }
+  return Sigmoid(z);
+}
+
+double LearnedWeighting::Score(const ShotIndicators& s) const {
+  return 2.0 * Probability(s) - 1.0;
+}
+
+std::unique_ptr<WeightingScheme> MakeWeightingScheme(
+    const std::string& name) {
+  if (name == "binary") return std::make_unique<BinaryWeighting>();
+  if (name == "uniform") return std::make_unique<UniformWeighting>();
+  if (name == "linear") return std::make_unique<LinearWeighting>();
+  return nullptr;
+}
+
+}  // namespace ivr

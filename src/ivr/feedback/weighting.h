@@ -1,0 +1,144 @@
+#ifndef IVR_FEEDBACK_WEIGHTING_H_
+#define IVR_FEEDBACK_WEIGHTING_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/feedback/indicators.h"
+
+namespace ivr {
+
+/// Number of numeric features extracted from a ShotIndicators record for
+/// the learned scheme (and for indicator analyses).
+constexpr size_t kNumIndicatorFeatures = 11;
+
+/// Feature vector: [clicked, play_fraction, play_count, completed_play,
+/// seeks, metadata, tooltip_s, dwell_s, used_as_example, browsed_past,
+/// explicit_judgment].
+/// Counts are lightly squashed (x / (1 + x)) so single outlier sessions
+/// cannot dominate a linear model.
+std::array<double, kNumIndicatorFeatures> IndicatorFeatures(
+    const ShotIndicators& s);
+
+/// Names for reports, index-aligned with IndicatorFeatures.
+const std::array<std::string, kNumIndicatorFeatures>&
+IndicatorFeatureNames();
+
+/// A weighting scheme turns a shot's implicit indicators into a signed
+/// relevance score: > 0 is evidence the user found the shot relevant,
+/// < 0 evidence of the opposite, magnitude is confidence. This is the
+/// paper's research question 2 ("how do these features have to be
+/// weighted") as an interface.
+class WeightingScheme {
+ public:
+  virtual ~WeightingScheme() = default;
+  virtual double Score(const ShotIndicators& s) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Binary: 1 if the user actively touched the shot at all (unless they
+/// explicitly marked it non-relevant, which gives -1), else 0. The
+/// crudest possible interpretation of implicit feedback.
+class BinaryWeighting : public WeightingScheme {
+ public:
+  double Score(const ShotIndicators& s) const override;
+  std::string name() const override { return "binary"; }
+};
+
+/// Uniform: each indicator type present contributes +1 (browse-past -1);
+/// all indicators are treated as equally informative.
+class UniformWeighting : public WeightingScheme {
+ public:
+  double Score(const ShotIndicators& s) const override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Hand-tuned per-indicator weights; defaults encode the intuition the
+/// paper cites from [9]: playing (especially to completion) and clicking
+/// are strong, browsing weak, explicit judgements strongest.
+struct IndicatorWeights {
+  double click = 1.0;
+  double play_fraction = 2.0;       ///< scaled by fraction played
+  double play_completion_bonus = 1.0;  ///< extra when >= 90% played
+  double seek = 0.3;
+  double metadata = 0.8;
+  double tooltip_per_second = 0.05;
+  double dwell_per_second = 0.02;
+  double used_as_example = 2.0;
+  double browse_past = -0.3;
+  double explicit_positive = 3.0;
+  double explicit_negative = -5.0;
+};
+
+class LinearWeighting : public WeightingScheme {
+ public:
+  LinearWeighting() = default;
+  explicit LinearWeighting(IndicatorWeights weights,
+                           std::string name = "linear")
+      : weights_(weights), name_(std::move(name)) {}
+
+  double Score(const ShotIndicators& s) const override;
+  std::string name() const override { return name_; }
+
+  const IndicatorWeights& weights() const { return weights_; }
+
+ private:
+  IndicatorWeights weights_;
+  std::string name_ = "linear";
+};
+
+/// One labelled training example for the learned scheme.
+struct LabeledIndicators {
+  ShotIndicators indicators;
+  bool relevant = false;
+};
+
+/// Logistic regression over IndicatorFeatures, trained by mini-batch-free
+/// SGD with L2 regularisation. Score is mapped to [-1, 1] via
+/// 2 * sigma(w.x + b) - 1 so it plugs into the same signed-evidence
+/// contract as the other schemes. This is the "learned from past logs"
+/// scheme of experiment E3.
+class LearnedWeighting : public WeightingScheme {
+ public:
+  struct TrainOptions {
+    size_t epochs = 50;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    uint64_t shuffle_seed = 7;
+  };
+
+  LearnedWeighting();
+
+  /// Trains from scratch; returns the final training log-loss.
+  double Train(const std::vector<LabeledIndicators>& examples,
+               const TrainOptions& options);
+  double Train(const std::vector<LabeledIndicators>& examples) {
+    return Train(examples, TrainOptions());
+  }
+
+  double Score(const ShotIndicators& s) const override;
+  std::string name() const override { return "learned"; }
+
+  /// P(relevant | indicators) under the trained model.
+  double Probability(const ShotIndicators& s) const;
+
+  const std::array<double, kNumIndicatorFeatures>& weights() const {
+    return weights_;
+  }
+  double bias() const { return bias_; }
+
+ private:
+  std::array<double, kNumIndicatorFeatures> weights_;
+  double bias_ = 0.0;
+};
+
+/// Factory: "binary" | "uniform" | "linear"; nullptr for unknown (the
+/// learned scheme needs training data, so it is constructed directly).
+std::unique_ptr<WeightingScheme> MakeWeightingScheme(
+    const std::string& name);
+
+}  // namespace ivr
+
+#endif  // IVR_FEEDBACK_WEIGHTING_H_

@@ -1,0 +1,77 @@
+#include "ivr/iface/actions.h"
+
+namespace ivr {
+
+std::string_view ActionKindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kTypeQueryChar:
+      return "type_query_char";
+    case ActionKind::kSubmitQuery:
+      return "submit_query";
+    case ActionKind::kNextPage:
+      return "next_page";
+    case ActionKind::kPrevPage:
+      return "prev_page";
+    case ActionKind::kHoverTooltip:
+      return "hover_tooltip";
+    case ActionKind::kClickKeyframe:
+      return "click_keyframe";
+    case ActionKind::kSeek:
+      return "seek";
+    case ActionKind::kHighlightMetadata:
+      return "highlight_metadata";
+    case ActionKind::kMarkRelevance:
+      return "mark_relevance";
+    case ActionKind::kVisualExample:
+      return "visual_example";
+  }
+  return "unknown";
+}
+
+TimeMs ActionCosts::Cost(ActionKind kind) const {
+  switch (kind) {
+    case ActionKind::kTypeQueryChar:
+      return type_query_char;
+    case ActionKind::kSubmitQuery:
+      return submit_query;
+    case ActionKind::kNextPage:
+      return next_page;
+    case ActionKind::kPrevPage:
+      return prev_page;
+    case ActionKind::kHoverTooltip:
+      return hover_tooltip;
+    case ActionKind::kClickKeyframe:
+      return click_keyframe;
+    case ActionKind::kSeek:
+      return seek;
+    case ActionKind::kHighlightMetadata:
+      return highlight_metadata;
+    case ActionKind::kMarkRelevance:
+      return mark_relevance;
+    case ActionKind::kVisualExample:
+      return visual_example;
+  }
+  return 0;
+}
+
+ActionCosts DesktopActionCosts() {
+  // The defaults in the struct describe the desktop environment.
+  return ActionCosts{};
+}
+
+ActionCosts TvActionCosts() {
+  ActionCosts costs;
+  costs.type_query_char = 1800;  // multi-tap on numeric keys
+  costs.submit_query = 700;
+  costs.next_page = 500;         // one button press
+  costs.prev_page = 500;
+  costs.hover_tooltip = 0;       // unsupported; capability is off
+  costs.click_keyframe = 900;    // navigate highlight + OK
+  costs.seek = 1200;             // fast-forward key
+  costs.highlight_metadata = 0;  // unsupported; capability is off
+  costs.mark_relevance = 400;    // dedicated coloured key
+  costs.visual_example = 800;    // "more like this" key
+  return costs;
+}
+
+}  // namespace ivr

@@ -1,0 +1,56 @@
+#ifndef IVR_IFACE_ACTIONS_H_
+#define IVR_IFACE_ACTIONS_H_
+
+#include <string_view>
+
+#include "ivr/core/clock.h"
+
+namespace ivr {
+
+/// The atomic things a user can do with a retrieval interface. Each
+/// environment prices these differently — the core mechanism by which the
+/// desktop and TV interfaces induce different behaviour (paper Section 3).
+enum class ActionKind {
+  kTypeQueryChar = 0,   ///< one character of text entry
+  kSubmitQuery,         ///< pressing enter / OK
+  kNextPage,
+  kPrevPage,
+  kHoverTooltip,        ///< moving the pointer onto a keyframe
+  kClickKeyframe,
+  kSeek,
+  kHighlightMetadata,
+  kMarkRelevance,       ///< explicit judgement key
+  kVisualExample,       ///< issuing a query-by-example
+};
+
+std::string_view ActionKindName(ActionKind kind);
+
+/// Time costs per action, in milliseconds. Playback cost is the played
+/// duration itself and is not listed here.
+struct ActionCosts {
+  TimeMs type_query_char = 150;
+  TimeMs submit_query = 500;
+  TimeMs next_page = 900;
+  TimeMs prev_page = 900;
+  TimeMs hover_tooltip = 300;  ///< plus the hover duration itself
+  TimeMs click_keyframe = 700;
+  TimeMs seek = 600;
+  TimeMs highlight_metadata = 1100;
+  TimeMs mark_relevance = 1400;
+  TimeMs visual_example = 1200;
+
+  TimeMs Cost(ActionKind kind) const;
+};
+
+/// Desktop PC: keyboard and mouse — fast text entry, cheap pointing.
+ActionCosts DesktopActionCosts();
+
+/// Interactive TV with a remote control: multi-tap text entry is slow,
+/// paging is a button press, and the coloured keys make explicit
+/// judgements cheap (the paper's observation that the selection keys
+/// "provide a method to give explicit relevance feedback").
+ActionCosts TvActionCosts();
+
+}  // namespace ivr
+
+#endif  // IVR_IFACE_ACTIONS_H_

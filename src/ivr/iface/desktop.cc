@@ -1,0 +1,5 @@
+#include "ivr/iface/desktop.h"
+
+// DesktopInterface is fully defined in the header; this file anchors the
+// vtable so the type has a single home translation unit.
+namespace ivr {}  // namespace ivr

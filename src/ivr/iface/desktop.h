@@ -1,0 +1,37 @@
+#ifndef IVR_IFACE_DESKTOP_H_
+#define IVR_IFACE_DESKTOP_H_
+
+#include <string>
+
+#include "ivr/iface/interface.h"
+
+namespace ivr {
+
+/// The desktop-PC environment: keyboard and mouse, the full action
+/// vocabulary, ten results per page. "From today's point of view, this
+/// environment offers the highest amount of possible implicit relevance
+/// feedback" (paper, Section 3).
+class DesktopInterface : public SearchInterface {
+ public:
+  using SearchInterface::SearchInterface;
+
+  std::string name() const override { return "desktop"; }
+
+  InterfaceCapabilities capabilities() const override {
+    InterfaceCapabilities caps;
+    caps.text_query = true;
+    caps.visual_example = true;
+    caps.tooltip = true;
+    caps.seek = true;
+    caps.metadata_highlight = true;
+    caps.explicit_judgment = true;
+    caps.results_per_page = 10;
+    return caps;
+  }
+
+  ActionCosts costs() const override { return DesktopActionCosts(); }
+};
+
+}  // namespace ivr
+
+#endif  // IVR_IFACE_DESKTOP_H_

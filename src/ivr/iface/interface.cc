@@ -1,0 +1,249 @@
+#include "ivr/iface/interface.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+namespace {
+constexpr size_t kBackendK = 200;  // depth requested from the backend
+}  // namespace
+
+SearchInterface::SearchInterface(SearchBackend* backend,
+                                 const VideoCollection& collection,
+                                 Config config, SessionLog* log,
+                                 SimulatedClock* clock)
+    : backend_(backend),
+      collection_(&collection),
+      config_(std::move(config)),
+      log_(log),
+      clock_(clock) {}
+
+Status SearchInterface::CheckLive() const {
+  if (ended_) {
+    return Status::FailedPrecondition("session has ended");
+  }
+  return Status::OK();
+}
+
+void SearchInterface::Charge(ActionKind kind) {
+  clock_->Advance(costs().Cost(kind));
+}
+
+void SearchInterface::Emit(EventType type, ShotId shot, double value,
+                           const std::string& text) {
+  InteractionEvent ev;
+  ev.time = clock_->Now();
+  ev.session_id = config_.session_id;
+  ev.user_id = config_.user_id;
+  ev.topic = config_.topic;
+  ev.type = type;
+  ev.shot = shot;
+  ev.value = value;
+  ev.text = text;
+  if (log_ != nullptr) log_->Append(ev);
+  backend_->ObserveEvent(ev);
+}
+
+void SearchInterface::ShowResults(const Query& query) {
+  results_ = backend_->Search(query, kBackendK);
+  has_results_ = true;
+  page_ = 0;
+  open_shot_ = kInvalidShotId;
+  ++queries_issued_;
+  DisplayCurrentPage();
+}
+
+void SearchInterface::DisplayCurrentPage() {
+  for (ShotId shot : VisibleShots()) {
+    const std::optional<size_t> rank = results_.RankOf(shot);
+    Emit(EventType::kResultDisplayed, shot,
+         static_cast<double>(rank.value_or(0)), "");
+  }
+}
+
+Status SearchInterface::SubmitQuery(const std::string& text) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().text_query) {
+    return Status::Unimplemented(name() + " cannot enter text queries");
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument("query text must not be empty");
+  }
+  clock_->Advance(static_cast<TimeMs>(text.size()) *
+                  costs().Cost(ActionKind::kTypeQueryChar));
+  Charge(ActionKind::kSubmitQuery);
+  Emit(EventType::kQuerySubmit, kInvalidShotId, 0.0, text);
+  Query query;
+  query.text = text;
+  ShowResults(query);
+  return Status::OK();
+}
+
+Status SearchInterface::SubmitVisualExample(ShotId shot) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().visual_example) {
+    return Status::Unimplemented(name() + " cannot query by example");
+  }
+  if (!IsVisible(shot) && shot != open_shot_) {
+    return Status::FailedPrecondition(
+        "visual example must be a visible or open shot");
+  }
+  IVR_ASSIGN_OR_RETURN(const Shot* s, collection_->shot(shot));
+  Charge(ActionKind::kVisualExample);
+  Emit(EventType::kVisualExample, shot, 0.0, "");
+  Query query;
+  query.examples.push_back(s->keyframe);
+  ShowResults(query);
+  return Status::OK();
+}
+
+size_t SearchInterface::NumPages() const {
+  const size_t per_page = capabilities().results_per_page;
+  if (per_page == 0 || results_.empty()) return 0;
+  return (results_.size() + per_page - 1) / per_page;
+}
+
+Status SearchInterface::NextPage() {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!has_results_) {
+    return Status::FailedPrecondition("no results to browse");
+  }
+  if (page_ + 1 >= NumPages()) {
+    return Status::OutOfRange("already on the last page");
+  }
+  ++page_;
+  Charge(ActionKind::kNextPage);
+  Emit(EventType::kBrowseNextPage, kInvalidShotId,
+       static_cast<double>(page_), "");
+  DisplayCurrentPage();
+  return Status::OK();
+}
+
+Status SearchInterface::PrevPage() {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!has_results_) {
+    return Status::FailedPrecondition("no results to browse");
+  }
+  if (page_ == 0) {
+    return Status::OutOfRange("already on the first page");
+  }
+  --page_;
+  Charge(ActionKind::kPrevPage);
+  Emit(EventType::kBrowsePrevPage, kInvalidShotId,
+       static_cast<double>(page_), "");
+  DisplayCurrentPage();
+  return Status::OK();
+}
+
+std::vector<ShotId> SearchInterface::VisibleShots() const {
+  std::vector<ShotId> out;
+  if (!has_results_) return out;
+  const size_t per_page = capabilities().results_per_page;
+  const size_t begin = page_ * per_page;
+  const size_t end = std::min(begin + per_page, results_.size());
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(results_.at(i).shot);
+  }
+  return out;
+}
+
+bool SearchInterface::IsVisible(ShotId shot) const {
+  for (ShotId s : VisibleShots()) {
+    if (s == shot) return true;
+  }
+  return false;
+}
+
+Status SearchInterface::HoverTooltip(ShotId shot, TimeMs duration_ms) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().tooltip) {
+    return Status::Unimplemented(name() + " has no tooltips");
+  }
+  if (!IsVisible(shot)) {
+    return Status::FailedPrecondition("can only hover visible shots");
+  }
+  Charge(ActionKind::kHoverTooltip);
+  clock_->Advance(std::max<TimeMs>(0, duration_ms));
+  Emit(EventType::kTooltipHover, shot,
+       static_cast<double>(std::max<TimeMs>(0, duration_ms)), "");
+  return Status::OK();
+}
+
+Status SearchInterface::ClickKeyframe(ShotId shot) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!IsVisible(shot)) {
+    return Status::FailedPrecondition("can only click visible shots");
+  }
+  Charge(ActionKind::kClickKeyframe);
+  open_shot_ = shot;
+  Emit(EventType::kClickKeyframe, shot, 0.0, "");
+  return Status::OK();
+}
+
+Status SearchInterface::Play(double fraction) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (open_shot_ == kInvalidShotId) {
+    return Status::FailedPrecondition("no shot is open for playback");
+  }
+  IVR_ASSIGN_OR_RETURN(const Shot* s, collection_->shot(open_shot_));
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const TimeMs played =
+      static_cast<TimeMs>(fraction * static_cast<double>(s->duration_ms));
+  Emit(EventType::kPlayStart, open_shot_, 0.0, "");
+  clock_->Advance(played);
+  Emit(EventType::kPlayStop, open_shot_, static_cast<double>(played), "");
+  return Status::OK();
+}
+
+Status SearchInterface::Seek(TimeMs offset_ms) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().seek) {
+    return Status::Unimplemented(name() + " cannot seek");
+  }
+  if (open_shot_ == kInvalidShotId) {
+    return Status::FailedPrecondition("no shot is open for seeking");
+  }
+  IVR_ASSIGN_OR_RETURN(const Shot* s, collection_->shot(open_shot_));
+  offset_ms = std::clamp<TimeMs>(offset_ms, 0, s->duration_ms);
+  Charge(ActionKind::kSeek);
+  Emit(EventType::kSeek, open_shot_, static_cast<double>(offset_ms), "");
+  return Status::OK();
+}
+
+Status SearchInterface::HighlightMetadata(ShotId shot) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().metadata_highlight) {
+    return Status::Unimplemented(name() + " has no metadata panel");
+  }
+  if (!IsVisible(shot) && shot != open_shot_) {
+    return Status::FailedPrecondition(
+        "can only inspect visible or open shots");
+  }
+  Charge(ActionKind::kHighlightMetadata);
+  Emit(EventType::kHighlightMetadata, shot, 0.0, "");
+  return Status::OK();
+}
+
+Status SearchInterface::MarkRelevance(ShotId shot, bool relevant) {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  if (!capabilities().explicit_judgment) {
+    return Status::Unimplemented(name() + " has no judgement keys");
+  }
+  if (!IsVisible(shot) && shot != open_shot_) {
+    return Status::FailedPrecondition(
+        "can only judge visible or open shots");
+  }
+  Charge(ActionKind::kMarkRelevance);
+  Emit(relevant ? EventType::kMarkRelevant : EventType::kMarkNotRelevant,
+       shot, 0.0, "");
+  return Status::OK();
+}
+
+Status SearchInterface::EndSession() {
+  IVR_RETURN_IF_ERROR(CheckLive());
+  ended_ = true;
+  Emit(EventType::kSessionEnd, kInvalidShotId, 0.0, "");
+  return Status::OK();
+}
+
+}  // namespace ivr

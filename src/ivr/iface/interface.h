@@ -1,0 +1,142 @@
+#ifndef IVR_IFACE_INTERFACE_H_
+#define IVR_IFACE_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "ivr/core/clock.h"
+#include "ivr/core/result.h"
+#include "ivr/feedback/backend.h"
+#include "ivr/iface/actions.h"
+#include "ivr/iface/session_log.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// What an environment's interface can and cannot do.
+struct InterfaceCapabilities {
+  bool text_query = true;
+  bool visual_example = true;
+  bool tooltip = true;
+  bool seek = true;
+  bool metadata_highlight = true;
+  bool explicit_judgment = true;
+  size_t results_per_page = 10;
+};
+
+/// A headless retrieval interface: the state machine of a search UI
+/// without its pixels. Every user action
+///   * is validated against the interface state (you can only click what
+///     is on screen, only play what you opened),
+///   * advances the simulated clock by the environment's action cost,
+///   * appends structured events to the session log, and
+///   * is forwarded to the backend so adaptive systems can react.
+/// Desktop and TV subclasses differ in capabilities and costs only — the
+/// interaction contract is shared, which is what makes cross-environment
+/// indicator comparisons (experiment E5) meaningful.
+class SearchInterface {
+ public:
+  struct Config {
+    std::string session_id;
+    std::string user_id;
+    SearchTopicId topic = 0;
+  };
+
+  /// All pointers/references must outlive the interface. `log` may be
+  /// nullptr (events are then only forwarded to the backend).
+  SearchInterface(SearchBackend* backend, const VideoCollection& collection,
+                  Config config, SessionLog* log, SimulatedClock* clock);
+  virtual ~SearchInterface() = default;
+
+  SearchInterface(const SearchInterface&) = delete;
+  SearchInterface& operator=(const SearchInterface&) = delete;
+
+  virtual std::string name() const = 0;
+  virtual InterfaceCapabilities capabilities() const = 0;
+  virtual ActionCosts costs() const = 0;
+
+  // --- user actions ---
+
+  /// Types and submits a text query; costs per-character typing time plus
+  /// submission. Unimplemented when the environment cannot enter text.
+  Status SubmitQuery(const std::string& text);
+
+  /// Issues a query-by-example using a visible shot's keyframe ("find
+  /// more like this").
+  Status SubmitVisualExample(ShotId shot);
+
+  Status NextPage();
+  Status PrevPage();
+
+  /// Hovers a visible keyframe for `duration_ms`.
+  Status HoverTooltip(ShotId shot, TimeMs duration_ms);
+
+  /// Clicks a visible keyframe, opening the shot.
+  Status ClickKeyframe(ShotId shot);
+
+  /// Plays the currently open shot for `fraction` of its duration
+  /// (clamped to [0,1]); logs play_start/play_stop and costs the played
+  /// time.
+  Status Play(double fraction);
+
+  /// Slider jump inside the open shot to `offset_ms`.
+  Status Seek(TimeMs offset_ms);
+
+  /// Expands the metadata panel of a visible or open shot.
+  Status HighlightMetadata(ShotId shot);
+
+  /// Explicit judgement of a visible or open shot.
+  Status MarkRelevance(ShotId shot, bool relevant);
+
+  /// Ends the session (logs session_end). Further actions fail.
+  Status EndSession();
+
+  // --- state inspection ---
+
+  /// True once a query has produced results.
+  bool HasResults() const { return has_results_; }
+  const ResultList& results() const { return results_; }
+  size_t page() const { return page_; }
+  size_t NumPages() const;
+  /// Shots on the current page, in rank order.
+  std::vector<ShotId> VisibleShots() const;
+  bool IsVisible(ShotId shot) const;
+  /// The shot opened by the last click, kInvalidShotId when none.
+  ShotId open_shot() const { return open_shot_; }
+  bool session_ended() const { return ended_; }
+
+  TimeMs Now() const { return clock_->Now(); }
+  const Config& config() const { return config_; }
+  /// Number of result-returning queries issued so far.
+  size_t queries_issued() const { return queries_issued_; }
+
+ protected:
+  const VideoCollection& collection() const { return *collection_; }
+
+ private:
+  Status CheckLive() const;
+  void Charge(ActionKind kind);
+  void Emit(EventType type, ShotId shot, double value,
+            const std::string& text);
+  /// Runs the query against the backend and displays page 0.
+  void ShowResults(const Query& query);
+  void DisplayCurrentPage();
+
+  SearchBackend* backend_;
+  const VideoCollection* collection_;
+  Config config_;
+  SessionLog* log_;
+  SimulatedClock* clock_;
+
+  ResultList results_;
+  bool has_results_ = false;
+  size_t page_ = 0;
+  ShotId open_shot_ = kInvalidShotId;
+  bool ended_ = false;
+  size_t queries_issued_ = 0;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_IFACE_INTERFACE_H_

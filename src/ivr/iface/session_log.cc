@@ -1,0 +1,116 @@
+#include "ivr/iface/session_log.h"
+
+#include <utility>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+std::string Sanitize(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+void SessionLog::Append(InteractionEvent event) {
+  events_.push_back(std::move(event));
+}
+
+std::vector<InteractionEvent> SessionLog::EventsForSession(
+    std::string_view session_id) const {
+  std::vector<InteractionEvent> out;
+  for (const InteractionEvent& ev : events_) {
+    if (ev.session_id == session_id) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<std::string> SessionLog::SessionIds() const {
+  std::vector<std::string> out;
+  for (const InteractionEvent& ev : events_) {
+    bool seen = false;
+    for (const std::string& id : out) {
+      if (id == ev.session_id) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(ev.session_id);
+  }
+  return out;
+}
+
+size_t SessionLog::CountType(EventType type) const {
+  size_t n = 0;
+  for (const InteractionEvent& ev : events_) {
+    if (ev.type == type) ++n;
+  }
+  return n;
+}
+
+std::string SessionLog::Serialize() const {
+  std::string out;
+  for (const InteractionEvent& ev : events_) {
+    out += EventToLine(ev);
+    out += "\n";
+  }
+  return out;
+}
+
+Result<SessionLog> SessionLog::Parse(const std::string& text) {
+  SessionLog log;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    IVR_ASSIGN_OR_RETURN(InteractionEvent ev, LineToEvent(line));
+    log.Append(std::move(ev));
+  }
+  return log;
+}
+
+std::string SessionLog::EventToLine(const InteractionEvent& event) {
+  const std::string shot = event.shot == kInvalidShotId
+                               ? std::string("-")
+                               : StrFormat("%u", event.shot);
+  return StrFormat("%lld\t%s\t%s\t%u\t%s\t%s\t%.17g\t%s",
+                   static_cast<long long>(event.time),
+                   Sanitize(event.session_id).c_str(),
+                   Sanitize(event.user_id).c_str(), event.topic,
+                   std::string(EventTypeName(event.type)).c_str(),
+                   shot.c_str(), event.value,
+                   Sanitize(event.text).c_str());
+}
+
+Result<InteractionEvent> SessionLog::LineToEvent(std::string_view line) {
+  const std::vector<std::string> cols = Split(line, '\t');
+  if (cols.size() != 8) {
+    return Status::Corruption(
+        StrFormat("log line must have 8 tab-separated columns, got %zu",
+                  cols.size()));
+  }
+  InteractionEvent ev;
+  IVR_ASSIGN_OR_RETURN(int64_t time, ParseInt(cols[0]));
+  ev.time = time;
+  ev.session_id = cols[1];
+  ev.user_id = cols[2];
+  IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[3]));
+  if (topic < 0) return Status::Corruption("negative topic id");
+  ev.topic = static_cast<SearchTopicId>(topic);
+  IVR_ASSIGN_OR_RETURN(ev.type, EventTypeFromName(cols[4]));
+  if (cols[5] == "-") {
+    ev.shot = kInvalidShotId;
+  } else {
+    IVR_ASSIGN_OR_RETURN(int64_t shot, ParseInt(cols[5]));
+    if (shot < 0) return Status::Corruption("negative shot id");
+    ev.shot = static_cast<ShotId>(shot);
+  }
+  IVR_ASSIGN_OR_RETURN(ev.value, ParseDouble(cols[6]));
+  ev.text = cols[7];
+  return ev;
+}
+
+}  // namespace ivr

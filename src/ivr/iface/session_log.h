@@ -1,0 +1,54 @@
+#ifndef IVR_IFACE_SESSION_LOG_H_
+#define IVR_IFACE_SESSION_LOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/feedback/events.h"
+
+namespace ivr {
+
+/// The interaction logfile — the artefact the paper's methodology analyses
+/// ("to monitor the users' interactions and to analyse the resulting
+/// logfiles"). Append-only in memory with a lossless TSV text format, so
+/// logs can be persisted, diffed, and replayed.
+///
+/// Line format (tab-separated):
+///   time  session  user  topic  event  shot  value  text
+/// with "-" for absent shot ids; tabs/newlines inside `text` are replaced
+/// by spaces on write.
+class SessionLog {
+ public:
+  SessionLog() = default;
+
+  void Append(InteractionEvent event);
+
+  const std::vector<InteractionEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Events belonging to one session id, in log order.
+  std::vector<InteractionEvent> EventsForSession(
+      std::string_view session_id) const;
+
+  /// Distinct session ids in first-seen order.
+  std::vector<std::string> SessionIds() const;
+
+  /// Number of events of a given type.
+  size_t CountType(EventType type) const;
+
+  std::string Serialize() const;
+  static Result<SessionLog> Parse(const std::string& text);
+
+  static std::string EventToLine(const InteractionEvent& event);
+  static Result<InteractionEvent> LineToEvent(std::string_view line);
+
+ private:
+  std::vector<InteractionEvent> events_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_IFACE_SESSION_LOG_H_

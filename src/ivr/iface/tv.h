@@ -1,0 +1,38 @@
+#ifndef IVR_IFACE_TV_H_
+#define IVR_IFACE_TV_H_
+
+#include <string>
+
+#include "ivr/iface/interface.h"
+
+namespace ivr {
+
+/// The interactive-TV environment: a remote control in a lean-back
+/// setting. Text entry via multi-tap is punishingly slow (so users avoid
+/// keywords, as the paper predicts), tooltips and metadata panels do not
+/// exist, only four results fit on screen — but the coloured selection
+/// keys make explicit relevance judgements a single cheap button press.
+class TvInterface : public SearchInterface {
+ public:
+  using SearchInterface::SearchInterface;
+
+  std::string name() const override { return "tv"; }
+
+  InterfaceCapabilities capabilities() const override {
+    InterfaceCapabilities caps;
+    caps.text_query = true;  // possible, just expensive
+    caps.visual_example = true;
+    caps.tooltip = false;
+    caps.seek = true;
+    caps.metadata_highlight = false;
+    caps.explicit_judgment = true;
+    caps.results_per_page = 4;
+    return caps;
+  }
+
+  ActionCosts costs() const override { return TvActionCosts(); }
+};
+
+}  // namespace ivr
+
+#endif  // IVR_IFACE_TV_H_

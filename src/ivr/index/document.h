@@ -1,0 +1,31 @@
+#ifndef IVR_INDEX_DOCUMENT_H_
+#define IVR_INDEX_DOCUMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ivr {
+
+/// Dense identifier of a document inside one DocumentStore / index.
+using DocId = uint32_t;
+constexpr DocId kInvalidDocId = static_cast<DocId>(-1);
+
+/// A retrievable text unit. In the video framework a document corresponds
+/// to one shot (its ASR transcript plus metadata), but the index layer is
+/// agnostic to that.
+struct Document {
+  /// Assigned by the DocumentStore on insertion.
+  DocId id = kInvalidDocId;
+  /// Application-level key, e.g. "video12/shot3". Unique per store.
+  std::string external_id;
+  /// Main body text (for shots: the ASR transcript).
+  std::string text;
+  /// Named auxiliary fields ("title", "metadata", ...), indexed together
+  /// with the body but kept separate for display.
+  std::map<std::string, std::string> fields;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_DOCUMENT_H_

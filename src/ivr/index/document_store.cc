@@ -1,0 +1,38 @@
+#include "ivr/index/document_store.h"
+
+#include <utility>
+
+namespace ivr {
+
+Result<DocId> DocumentStore::Add(Document doc) {
+  if (doc.external_id.empty()) {
+    return Status::InvalidArgument("document external_id must not be empty");
+  }
+  if (by_external_id_.count(doc.external_id) > 0) {
+    return Status::AlreadyExists("duplicate external_id: " + doc.external_id);
+  }
+  const DocId id = static_cast<DocId>(docs_.size());
+  doc.id = id;
+  by_external_id_.emplace(doc.external_id, id);
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+Result<const Document*> DocumentStore::Get(DocId id) const {
+  if (id >= docs_.size()) {
+    return Status::OutOfRange("DocId out of range");
+  }
+  return &docs_[id];
+}
+
+Result<DocId> DocumentStore::LookupExternal(
+    std::string_view external_id) const {
+  auto it = by_external_id_.find(std::string(external_id));
+  if (it == by_external_id_.end()) {
+    return Status::NotFound("no document with external_id: " +
+                            std::string(external_id));
+  }
+  return it->second;
+}
+
+}  // namespace ivr

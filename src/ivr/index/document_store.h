@@ -1,0 +1,50 @@
+#ifndef IVR_INDEX_DOCUMENT_STORE_H_
+#define IVR_INDEX_DOCUMENT_STORE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/index/document.h"
+
+namespace ivr {
+
+/// Owning, append-only store of documents with dense DocIds and an
+/// external-id lookup. Mirrors the "document table" every IR engine keeps
+/// next to its inverted index.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+  DocumentStore(DocumentStore&&) = default;
+  DocumentStore& operator=(DocumentStore&&) = default;
+
+  /// Adds a document (id field is overwritten with the assigned DocId).
+  /// Fails with AlreadyExists if the external id is taken and
+  /// InvalidArgument if it is empty.
+  Result<DocId> Add(Document doc);
+
+  /// Returns the document for `id` or OutOfRange.
+  Result<const Document*> Get(DocId id) const;
+
+  /// Returns the DocId for an external id or NotFound.
+  Result<DocId> LookupExternal(std::string_view external_id) const;
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Direct access for iteration; index == DocId.
+  const std::vector<Document>& documents() const { return docs_; }
+
+ private:
+  std::vector<Document> docs_;
+  std::unordered_map<std::string, DocId> by_external_id_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_DOCUMENT_STORE_H_

@@ -1,0 +1,64 @@
+#include "ivr/index/inverted_index.h"
+
+#include <map>
+
+namespace ivr {
+
+Status InvertedIndex::IndexText(DocId doc, std::string_view text) {
+  return IndexTerms(doc, analyzer_.Analyze(text));
+}
+
+Status InvertedIndex::IndexTerms(DocId doc,
+                                 const std::vector<std::string>& terms) {
+  if (doc != doc_lengths_.size()) {
+    return Status::FailedPrecondition(
+        "documents must be indexed in dense ascending DocId order");
+  }
+  // Aggregate within-document term frequencies first so each posting list
+  // receives a single Add per document.
+  std::map<TermId, uint32_t> tf;
+  for (const std::string& term : terms) {
+    const TermId id = vocabulary_.GetOrAdd(term);
+    ++tf[id];
+  }
+  if (vocabulary_.size() > postings_.size()) {
+    postings_.resize(vocabulary_.size());
+  }
+  for (const auto& [id, count] : tf) {
+    postings_[id].Add(doc, count);
+  }
+  doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
+  total_term_count_ += terms.size();
+  return Status::OK();
+}
+
+double InvertedIndex::average_document_length() const {
+  if (doc_lengths_.empty()) return 0.0;
+  return static_cast<double>(total_term_count_) /
+         static_cast<double>(doc_lengths_.size());
+}
+
+const PostingList* InvertedIndex::Lookup(std::string_view raw_term) const {
+  const std::string analyzed = analyzer_.AnalyzeToken(raw_term);
+  if (analyzed.empty()) return nullptr;
+  return LookupAnalyzed(analyzed);
+}
+
+const PostingList* InvertedIndex::LookupAnalyzed(
+    std::string_view term) const {
+  const TermId id = vocabulary_.Lookup(term);
+  if (id == kInvalidTermId) return nullptr;
+  return LookupId(id);
+}
+
+const PostingList* InvertedIndex::LookupId(TermId id) const {
+  if (id >= postings_.size()) return nullptr;
+  return &postings_[id];
+}
+
+size_t InvertedIndex::DocumentFrequency(std::string_view term) const {
+  const PostingList* pl = LookupAnalyzed(term);
+  return pl == nullptr ? 0 : pl->document_frequency();
+}
+
+}  // namespace ivr

@@ -1,0 +1,77 @@
+#ifndef IVR_INDEX_INVERTED_INDEX_H_
+#define IVR_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/index/document.h"
+#include "ivr/index/posting_list.h"
+#include "ivr/text/analyzer.h"
+#include "ivr/text/vocabulary.h"
+
+namespace ivr {
+
+/// In-memory inverted index over analysed text. Documents must be added in
+/// ascending DocId order (AddDocument assigns ids itself when driven via
+/// text). The index keeps collection statistics (document lengths, average
+/// length, collection size) needed by the scorers.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(Analyzer analyzer = Analyzer())
+      : analyzer_(std::move(analyzer)) {}
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Analyses `text` and indexes it as document `doc`. Ids must be added in
+  /// strictly increasing order starting from 0; FailedPrecondition
+  /// otherwise.
+  Status IndexText(DocId doc, std::string_view text);
+
+  /// Indexes pre-analysed terms (used when the caller already ran the
+  /// analyzer, e.g. to index multiple fields with different boosts).
+  Status IndexTerms(DocId doc, const std::vector<std::string>& terms);
+
+  /// Number of indexed documents.
+  size_t num_documents() const { return doc_lengths_.size(); }
+  /// Number of distinct terms.
+  size_t num_terms() const { return vocabulary_.size(); }
+  /// Total number of term occurrences in the collection.
+  uint64_t total_term_count() const { return total_term_count_; }
+  /// Average document length in terms (0 when empty).
+  double average_document_length() const;
+  /// Length (in indexed terms) of one document.
+  uint32_t document_length(DocId doc) const {
+    return doc < doc_lengths_.size() ? doc_lengths_[doc] : 0;
+  }
+
+  const Analyzer& analyzer() const { return analyzer_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Returns the posting list for a raw (un-analysed) term, applying the
+  /// analyzer first; nullptr if the term is filtered out or unseen.
+  const PostingList* Lookup(std::string_view raw_term) const;
+  /// Returns the posting list for an already-analysed term.
+  const PostingList* LookupAnalyzed(std::string_view term) const;
+  /// Returns the posting list by TermId.
+  const PostingList* LookupId(TermId id) const;
+
+  /// Document frequency of an analysed term (0 if unseen).
+  size_t DocumentFrequency(std::string_view term) const;
+
+ private:
+  Analyzer analyzer_;
+  Vocabulary vocabulary_;
+  std::vector<PostingList> postings_;   // indexed by TermId
+  std::vector<uint32_t> doc_lengths_;   // indexed by DocId
+  uint64_t total_term_count_ = 0;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_INVERTED_INDEX_H_

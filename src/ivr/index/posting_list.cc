@@ -1,0 +1,27 @@
+#include "ivr/index/posting_list.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+void PostingList::Add(DocId doc, uint32_t count) {
+  if (count == 0) return;
+  collection_frequency_ += count;
+  if (!postings_.empty() && postings_.back().doc == doc) {
+    postings_.back().tf += count;
+    return;
+  }
+  postings_.push_back(Posting{doc, count});
+}
+
+const Posting* PostingList::Find(DocId doc) const {
+  auto it = std::lower_bound(
+      postings_.begin(), postings_.end(), doc,
+      [](const Posting& p, DocId d) { return p.doc < d; });
+  if (it == postings_.end() || it->doc != doc) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+}  // namespace ivr

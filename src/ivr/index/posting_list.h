@@ -1,0 +1,49 @@
+#ifndef IVR_INDEX_POSTING_LIST_H_
+#define IVR_INDEX_POSTING_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ivr/index/document.h"
+
+namespace ivr {
+
+/// One (document, term-frequency) entry in a posting list.
+struct Posting {
+  DocId doc = kInvalidDocId;
+  uint32_t tf = 0;
+
+  friend bool operator==(const Posting& a, const Posting& b) {
+    return a.doc == b.doc && a.tf == b.tf;
+  }
+};
+
+/// Postings for one term, kept sorted by ascending DocId. Documents are
+/// appended in id order during indexing; Add() tolerates repeated calls for
+/// the same (latest) document by accumulating the term frequency.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Records `count` occurrences of the term in `doc`. Requires doc ids to
+  /// arrive in non-decreasing order (the index builder guarantees this).
+  void Add(DocId doc, uint32_t count = 1);
+
+  /// Number of documents containing the term.
+  size_t document_frequency() const { return postings_.size(); }
+  /// Total occurrences of the term across the collection.
+  uint64_t collection_frequency() const { return collection_frequency_; }
+
+  const std::vector<Posting>& postings() const { return postings_; }
+
+  /// Binary-searches for a document; returns nullptr if absent.
+  const Posting* Find(DocId doc) const;
+
+ private:
+  std::vector<Posting> postings_;
+  uint64_t collection_frequency_ = 0;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_POSTING_LIST_H_

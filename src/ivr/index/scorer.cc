@@ -1,0 +1,64 @@
+#include "ivr/index/scorer.h"
+
+#include <cmath>
+
+namespace ivr {
+
+double Bm25Scorer::Score(const InvertedIndex& index, uint32_t tf,
+                         uint32_t doc_len, size_t df, uint64_t /*cf*/,
+                         uint32_t query_tf) const {
+  if (tf == 0 || df == 0) return 0.0;
+  const double n = static_cast<double>(index.num_documents());
+  const double dfd = static_cast<double>(df);
+  // Robertson–Sparck-Jones IDF with +1 inside the log to keep it positive
+  // for very common terms (the Lucene variant).
+  const double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
+  const double avgdl = index.average_document_length();
+  const double norm =
+      k1_ * (1.0 - b_ + b_ * (avgdl > 0.0 ? doc_len / avgdl : 1.0));
+  const double tf_component = (tf * (k1_ + 1.0)) / (tf + norm);
+  return static_cast<double>(query_tf) * idf * tf_component;
+}
+
+double TfIdfScorer::Score(const InvertedIndex& index, uint32_t tf,
+                          uint32_t doc_len, size_t df, uint64_t /*cf*/,
+                          uint32_t query_tf) const {
+  if (tf == 0 || df == 0) return 0.0;
+  const double n = static_cast<double>(index.num_documents());
+  const double idf = std::log(n / static_cast<double>(df));
+  const double ltf = 1.0 + std::log(static_cast<double>(tf));
+  const double norm = doc_len > 0 ? std::sqrt(static_cast<double>(doc_len))
+                                  : 1.0;
+  return static_cast<double>(query_tf) * idf * ltf / norm;
+}
+
+double DirichletLmScorer::Score(const InvertedIndex& index, uint32_t tf,
+                                uint32_t doc_len, size_t /*df*/, uint64_t cf,
+                                uint32_t query_tf) const {
+  const double collection_size =
+      static_cast<double>(index.total_term_count());
+  if (collection_size <= 0.0 || cf == 0) return 0.0;
+  const double p_collection = static_cast<double>(cf) / collection_size;
+  // log[ (tf + mu * p_c) / (|d| + mu) ] - log[ mu * p_c / (|d| + mu) ]
+  // = log(1 + tf / (mu * p_c)); the document-length dependent part that
+  // does not cancel per-term is added once per matched term.
+  const double ratio = 1.0 + static_cast<double>(tf) / (mu_ * p_collection);
+  const double len_part =
+      std::log(mu_ / (static_cast<double>(doc_len) + mu_));
+  // len_part is <= 0 and shared across terms of the same document; adding
+  // it per matched query term mirrors the standard query-likelihood
+  // decomposition restricted to matching terms (Zhai & Lafferty).
+  return static_cast<double>(query_tf) * (std::log(ratio) + len_part) +
+         static_cast<double>(query_tf) * 10.0;  // shift to keep scores > 0
+}
+
+std::unique_ptr<Scorer> MakeScorer(const std::string& name) {
+  if (name == "bm25") return std::make_unique<Bm25Scorer>();
+  if (name == "tfidf") return std::make_unique<TfIdfScorer>();
+  if (name == "lm" || name == "lm-dirichlet") {
+    return std::make_unique<DirichletLmScorer>();
+  }
+  return nullptr;
+}
+
+}  // namespace ivr

@@ -1,0 +1,77 @@
+#ifndef IVR_INDEX_SCORER_H_
+#define IVR_INDEX_SCORER_H_
+
+#include <memory>
+#include <string>
+
+#include "ivr/index/inverted_index.h"
+
+namespace ivr {
+
+/// A term-at-a-time scoring function: given collection statistics and one
+/// (term, document) observation, produce the document's partial score for
+/// that query term. Scores are additive across query terms.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Partial score contribution of a term occurring `tf` times in a
+  /// document of length `doc_len`, where the term occurs in `df` documents
+  /// with total collection frequency `cf`. `query_tf` is the term's
+  /// frequency in the query.
+  virtual double Score(const InvertedIndex& index, uint32_t tf,
+                       uint32_t doc_len, size_t df, uint64_t cf,
+                       uint32_t query_tf) const = 0;
+
+  /// Human-readable name for reports ("bm25", "tfidf", "lm-dirichlet").
+  virtual std::string name() const = 0;
+};
+
+/// Okapi BM25. Standard parameters k1 (term-frequency saturation) and b
+/// (length normalisation).
+class Bm25Scorer : public Scorer {
+ public:
+  explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+               size_t df, uint64_t cf, uint32_t query_tf) const override;
+  std::string name() const override { return "bm25"; }
+
+  double k1() const { return k1_; }
+  double b() const { return b_; }
+
+ private:
+  double k1_;
+  double b_;
+};
+
+/// Classic log TF * IDF with cosine-free length normalisation (divides by
+/// document length).
+class TfIdfScorer : public Scorer {
+ public:
+  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+               size_t df, uint64_t cf, uint32_t query_tf) const override;
+  std::string name() const override { return "tfidf"; }
+};
+
+/// Query-likelihood language model with Dirichlet smoothing, expressed as
+/// an additive positive score (shifted log-likelihood ratio so that it is
+/// comparable across documents and safe to accumulate term-at-a-time).
+class DirichletLmScorer : public Scorer {
+ public:
+  explicit DirichletLmScorer(double mu = 2000.0) : mu_(mu) {}
+  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+               size_t df, uint64_t cf, uint32_t query_tf) const override;
+  std::string name() const override { return "lm-dirichlet"; }
+
+  double mu() const { return mu_; }
+
+ private:
+  double mu_;
+};
+
+/// Factory by name ("bm25" | "tfidf" | "lm"), nullptr for unknown names.
+std::unique_ptr<Scorer> MakeScorer(const std::string& name);
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_SCORER_H_

@@ -1,0 +1,71 @@
+#include "ivr/index/searcher.h"
+
+#include <algorithm>
+
+namespace ivr {
+
+TermQuery Searcher::ParseQuery(std::string_view text) const {
+  TermQuery query;
+  for (const std::string& term : index_.analyzer().Analyze(text)) {
+    query.weights[term] += 1.0;
+  }
+  return query;
+}
+
+std::vector<SearchHit> Searcher::Search(const TermQuery& query,
+                                        size_t k) const {
+  std::unordered_map<DocId, double> accum;
+  for (const auto& [term, weight] : query.weights) {
+    if (weight == 0.0) continue;
+    const PostingList* pl = index_.LookupAnalyzed(term);
+    if (pl == nullptr) continue;
+    const size_t df = pl->document_frequency();
+    const uint64_t cf = pl->collection_frequency();
+    for (const Posting& p : pl->postings()) {
+      const double partial = scorer_.Score(
+          index_, p.tf, index_.document_length(p.doc), df, cf, /*query_tf=*/1);
+      accum[p.doc] += weight * partial;
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(accum.size());
+  for (const auto& [doc, score] : accum) {
+    hits.push_back(SearchHit{doc, score});
+  }
+  auto better = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+std::vector<SearchHit> Searcher::SearchText(std::string_view text,
+                                            size_t k) const {
+  return Search(ParseQuery(text), k);
+}
+
+double Searcher::ScoreDocument(const TermQuery& query, DocId doc) const {
+  double score = 0.0;
+  for (const auto& [term, weight] : query.weights) {
+    if (weight == 0.0) continue;
+    const PostingList* pl = index_.LookupAnalyzed(term);
+    if (pl == nullptr) continue;
+    const Posting* p = pl->Find(doc);
+    if (p == nullptr) continue;
+    score += weight * scorer_.Score(index_, p->tf,
+                                    index_.document_length(doc),
+                                    pl->document_frequency(),
+                                    pl->collection_frequency(),
+                                    /*query_tf=*/1);
+  }
+  return score;
+}
+
+}  // namespace ivr

@@ -1,0 +1,66 @@
+#ifndef IVR_INDEX_SEARCHER_H_
+#define IVR_INDEX_SEARCHER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/index/document.h"
+#include "ivr/index/inverted_index.h"
+#include "ivr/index/scorer.h"
+
+namespace ivr {
+
+/// One search hit.
+struct SearchHit {
+  DocId doc = kInvalidDocId;
+  double score = 0.0;
+
+  friend bool operator==(const SearchHit& a, const SearchHit& b) {
+    return a.doc == b.doc && a.score == b.score;
+  }
+};
+
+/// A weighted bag-of-terms query in analysed term space. Produced from raw
+/// text via Searcher::ParseQuery or built directly by feedback components
+/// (Rocchio emits weighted terms).
+struct TermQuery {
+  /// Analysed term -> weight (a raw text query uses its term frequencies).
+  std::unordered_map<std::string, double> weights;
+
+  bool empty() const { return weights.empty(); }
+};
+
+/// Term-at-a-time top-k retrieval over an InvertedIndex.
+class Searcher {
+ public:
+  /// Both references must outlive the searcher.
+  Searcher(const InvertedIndex& index, const Scorer& scorer)
+      : index_(index), scorer_(scorer) {}
+
+  /// Analyses raw text into a TermQuery (duplicate terms accumulate
+  /// weight).
+  TermQuery ParseQuery(std::string_view text) const;
+
+  /// Scores all matching documents and returns the top `k` by descending
+  /// score (ties broken by ascending DocId for determinism). An empty query
+  /// yields an empty result.
+  std::vector<SearchHit> Search(const TermQuery& query, size_t k) const;
+
+  /// Convenience: parse + search.
+  std::vector<SearchHit> SearchText(std::string_view text, size_t k) const;
+
+  /// Scores a single document against a query (0 when nothing matches);
+  /// used by rerankers that need absolute scores for arbitrary documents.
+  double ScoreDocument(const TermQuery& query, DocId doc) const;
+
+ private:
+  const InvertedIndex& index_;
+  const Scorer& scorer_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_SEARCHER_H_

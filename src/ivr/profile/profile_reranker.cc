@@ -1,0 +1,30 @@
+#include "ivr/profile/profile_reranker.h"
+
+#include <algorithm>
+
+#include "ivr/retrieval/fusion.h"
+
+namespace ivr {
+
+ResultList RerankWithProfile(const ResultList& results,
+                             const UserProfile& profile,
+                             const VideoCollection& collection,
+                             const ProfileRerankOptions& options) {
+  const double lambda = std::clamp(options.lambda, 0.0, 1.0);
+  if (lambda == 0.0 || results.empty()) return results;
+  const ResultList normalized = MinMaxNormalize(results);
+  std::vector<RankedShot> items;
+  items.reserve(normalized.size());
+  for (const RankedShot& r : normalized.items()) {
+    double affinity = 0.0;
+    Result<const Shot*> shot = collection.shot(r.shot);
+    if (shot.ok()) {
+      affinity = profile.ShotAffinity(**shot);
+    }
+    items.push_back(
+        RankedShot{r.shot, (1.0 - lambda) * r.score + lambda * affinity});
+  }
+  return ResultList(std::move(items));
+}
+
+}  // namespace ivr

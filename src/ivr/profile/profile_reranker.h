@@ -1,0 +1,29 @@
+#ifndef IVR_PROFILE_PROFILE_RERANKER_H_
+#define IVR_PROFILE_PROFILE_RERANKER_H_
+
+#include "ivr/profile/user_profile.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+struct ProfileRerankOptions {
+  /// Interpolation weight of the profile affinity: 0 leaves the list
+  /// untouched, 1 ranks purely by declared interests. The paper's example
+  /// ("football fan queries 'goal'") corresponds to a moderate lambda.
+  double lambda = 0.3;
+};
+
+/// Re-ranks a retrieval result by interpolating the (min-max normalised)
+/// retrieval score with the user's profile affinity for each shot:
+///   score' = (1 - lambda) * norm(score) + lambda * affinity(shot).
+/// Shots outside the collection keep their normalised score.
+ResultList RerankWithProfile(const ResultList& results,
+                             const UserProfile& profile,
+                             const VideoCollection& collection,
+                             const ProfileRerankOptions& options =
+                                 ProfileRerankOptions());
+
+}  // namespace ivr
+
+#endif  // IVR_PROFILE_PROFILE_RERANKER_H_

@@ -1,0 +1,66 @@
+#include "ivr/profile/profile_store.h"
+
+#include <utility>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+
+Status ProfileStore::Add(UserProfile profile) {
+  const std::string id = profile.user_id();
+  if (id.empty()) {
+    return Status::InvalidArgument("profile user id must not be empty");
+  }
+  auto [it, inserted] = profiles_.emplace(id, std::move(profile));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("profile exists for user: " + id);
+  }
+  return Status::OK();
+}
+
+Result<const UserProfile*> ProfileStore::Get(std::string_view user_id) const {
+  auto it = profiles_.find(std::string(user_id));
+  if (it == profiles_.end()) {
+    return Status::NotFound("no profile for user: " + std::string(user_id));
+  }
+  return &it->second;
+}
+
+UserProfile* ProfileStore::GetOrCreate(std::string_view user_id) {
+  auto it = profiles_.find(std::string(user_id));
+  if (it == profiles_.end()) {
+    it = profiles_
+             .emplace(std::string(user_id),
+                      UserProfile(std::string(user_id)))
+             .first;
+  }
+  return &it->second;
+}
+
+bool ProfileStore::Contains(std::string_view user_id) const {
+  return profiles_.count(std::string(user_id)) > 0;
+}
+
+std::string ProfileStore::Serialize() const {
+  std::string out;
+  for (const auto& [id, profile] : profiles_) {
+    (void)id;
+    out += profile.Serialize();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ProfileStore> ProfileStore::Deserialize(const std::string& text) {
+  ProfileStore store;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    IVR_ASSIGN_OR_RETURN(UserProfile profile,
+                         UserProfile::Deserialize(line));
+    IVR_RETURN_IF_ERROR(store.Add(std::move(profile)));
+  }
+  return store;
+}
+
+}  // namespace ivr

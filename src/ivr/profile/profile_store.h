@@ -1,0 +1,46 @@
+#ifndef IVR_PROFILE_PROFILE_STORE_H_
+#define IVR_PROFILE_PROFILE_STORE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "ivr/core/result.h"
+#include "ivr/profile/user_profile.h"
+
+namespace ivr {
+
+/// Registry of user profiles, as a service's account database would hold.
+/// Ordered by user id for deterministic iteration/serialisation.
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Adds a profile; AlreadyExists if the user id is taken.
+  Status Add(UserProfile profile);
+
+  /// Looks up a profile; NotFound when absent.
+  Result<const UserProfile*> Get(std::string_view user_id) const;
+
+  /// Mutable lookup, creating an empty profile on first access (the
+  /// "register on first use" flow).
+  UserProfile* GetOrCreate(std::string_view user_id);
+
+  bool Contains(std::string_view user_id) const;
+  size_t size() const { return profiles_.size(); }
+
+  const std::map<std::string, UserProfile>& profiles() const {
+    return profiles_;
+  }
+
+  /// Newline-separated profile lines (see UserProfile::Serialize).
+  std::string Serialize() const;
+  static Result<ProfileStore> Deserialize(const std::string& text);
+
+ private:
+  std::map<std::string, UserProfile> profiles_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_PROFILE_PROFILE_STORE_H_

@@ -1,0 +1,49 @@
+#ifndef IVR_RETRIEVAL_CONCEPT_INDEX_H_
+#define IVR_RETRIEVAL_CONCEPT_INDEX_H_
+
+#include <vector>
+
+#include "ivr/features/concept_detector.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// Precomputed high-level concept confidences for every shot — what a
+/// TRECVID-style concept-detector bank produces offline. This is the
+/// "automatic detection of high level concepts" retrieval route the paper
+/// discusses (and reports as "not efficient enough" at 2008 detector
+/// quality); experiment A1 sweeps detector quality over exactly this
+/// index.
+class ConceptIndex {
+ public:
+  /// Runs the detector over every shot of the collection. The detector's
+  /// concept space must cover the collection's topic space.
+  ConceptIndex(const VideoCollection& collection,
+               const SimulatedConceptDetector& detector);
+
+  /// Detector confidence that `concept_id` appears in `shot`; 0 for ids
+  /// out of range.
+  double Confidence(ShotId shot, ConceptId concept_id) const;
+
+  /// Ranks all shots by confidence for one concept.
+  ResultList Search(ConceptId concept_id, size_t k) const;
+
+  /// Ranks by the mean confidence over several concepts (a concept-bag
+  /// query). Empty input yields an empty list.
+  ResultList SearchAll(const std::vector<ConceptId>& concepts,
+                       size_t k) const;
+
+  size_t num_shots() const { return num_shots_; }
+  size_t num_concepts() const { return num_concepts_; }
+
+ private:
+  size_t num_shots_ = 0;
+  size_t num_concepts_ = 0;
+  /// Row-major [shot][concept].
+  std::vector<double> confidences_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_CONCEPT_INDEX_H_

@@ -1,0 +1,150 @@
+#include "ivr/retrieval/engine.h"
+
+#include <utility>
+
+#include "ivr/retrieval/fusion.h"
+
+namespace ivr {
+
+RetrievalEngine::RetrievalEngine(const VideoCollection& collection,
+                                 EngineOptions options,
+                                 std::unique_ptr<Scorer> scorer)
+    : collection_(&collection),
+      options_(std::move(options)),
+      scorer_(std::move(scorer)) {}
+
+Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Build(
+    const VideoCollection& collection, EngineOptions options) {
+  std::unique_ptr<Scorer> scorer = MakeScorer(options.scorer);
+  if (scorer == nullptr) {
+    return Status::InvalidArgument("unknown scorer: " + options.scorer);
+  }
+  if (options.text_weight < 0.0 || options.visual_weight < 0.0 ||
+      options.text_weight + options.visual_weight <= 0.0) {
+    return Status::InvalidArgument("fusion weights must be non-negative "
+                                   "and not both zero");
+  }
+  auto engine = std::unique_ptr<RetrievalEngine>(
+      new RetrievalEngine(collection, std::move(options), std::move(scorer)));
+  IVR_RETURN_IF_ERROR(engine->BuildIndex());
+  if (engine->options_.use_concepts) {
+    const SimulatedConceptDetector detector(collection.num_topics(),
+                                            engine->options_.detector,
+                                            engine->options_.detector_seed);
+    engine->concepts_ =
+        std::make_unique<ConceptIndex>(collection, detector);
+  }
+  return engine;
+}
+
+Status RetrievalEngine::BuildIndex() {
+  keyframes_.reserve(collection_->num_shots());
+  for (const Shot& shot : collection_->shots()) {
+    Document doc;
+    doc.external_id = shot.external_id;
+    doc.text = shot.asr_transcript;
+    if (options_.index_headlines) {
+      IVR_ASSIGN_OR_RETURN(const NewsStory* story,
+                           collection_->story(shot.story));
+      doc.fields["headline"] = story->headline;
+    }
+    IVR_ASSIGN_OR_RETURN(DocId id, docs_.Add(std::move(doc)));
+    if (id != shot.id) {
+      return Status::Internal("DocId / ShotId misalignment");
+    }
+    // Index transcript and headline together.
+    std::string text = shot.asr_transcript;
+    if (options_.index_headlines) {
+      IVR_ASSIGN_OR_RETURN(const Document* stored, docs_.Get(id));
+      text += " ";
+      text += stored->fields.at("headline");
+    }
+    IVR_RETURN_IF_ERROR(index_.IndexText(id, text));
+    keyframes_.push_back(shot.keyframe);
+  }
+  return Status::OK();
+}
+
+ResultList RetrievalEngine::Search(const Query& query, size_t k) const {
+  std::vector<ResultList> lists;
+  std::vector<double> weights;
+  if (query.HasText()) {
+    lists.push_back(SearchTerms(ParseText(query.text),
+                                options_.candidate_pool));
+    weights.push_back(options_.text_weight);
+  }
+  if (query.HasExamples()) {
+    // Average the evidence over all examples.
+    std::vector<ResultList> visual;
+    visual.reserve(query.examples.size());
+    for (const ColorHistogram& example : query.examples) {
+      visual.push_back(SearchVisual(example, options_.candidate_pool));
+    }
+    lists.push_back(CombSum(visual));
+    weights.push_back(options_.visual_weight);
+  }
+  if (query.HasConcepts() && concepts_ != nullptr) {
+    lists.push_back(concepts_->SearchAll(query.concepts,
+                                         options_.candidate_pool));
+    weights.push_back(options_.concept_weight);
+  }
+  if (lists.empty()) return ResultList();
+  ResultList fused = lists.size() == 1
+                         ? std::move(lists.front())
+                         : WeightedLinear(lists, weights);
+  fused.Truncate(k);
+  return fused;
+}
+
+Result<ResultList> RetrievalEngine::SearchConcepts(
+    const std::vector<ConceptId>& concepts, size_t k) const {
+  if (concepts_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine was built without use_concepts");
+  }
+  return concepts_->SearchAll(concepts, k);
+}
+
+ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
+                                        size_t k) const {
+  const Searcher searcher(index_, *scorer_);
+  ResultList out;
+  for (const SearchHit& hit : searcher.Search(query, k)) {
+    out.Add(static_cast<ShotId>(hit.doc), hit.score);
+  }
+  return out;
+}
+
+ResultList RetrievalEngine::SearchVisual(const ColorHistogram& example,
+                                         size_t k) const {
+  const VisualSearcher searcher(keyframes_, options_.visual_similarity);
+  ResultList out;
+  for (const Neighbor& n : searcher.NearestNeighbors(example, k)) {
+    out.Add(static_cast<ShotId>(n.index), n.score);
+  }
+  return out;
+}
+
+TermQuery RetrievalEngine::ParseText(const std::string& text) const {
+  const Searcher searcher(index_, *scorer_);
+  return searcher.ParseQuery(text);
+}
+
+double RetrievalEngine::ScoreShot(const TermQuery& query, ShotId shot) const {
+  const Searcher searcher(index_, *scorer_);
+  return searcher.ScoreDocument(query, static_cast<DocId>(shot));
+}
+
+std::string RetrievalEngine::IndexedText(ShotId shot) const {
+  Result<const Document*> doc = docs_.Get(static_cast<DocId>(shot));
+  if (!doc.ok()) return std::string();
+  std::string text = (*doc)->text;
+  auto it = (*doc)->fields.find("headline");
+  if (it != (*doc)->fields.end()) {
+    text += " ";
+    text += it->second;
+  }
+  return text;
+}
+
+}  // namespace ivr

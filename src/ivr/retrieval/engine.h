@@ -1,0 +1,124 @@
+#ifndef IVR_RETRIEVAL_ENGINE_H_
+#define IVR_RETRIEVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/features/concept_detector.h"
+#include "ivr/features/similarity.h"
+#include "ivr/index/document_store.h"
+#include "ivr/index/inverted_index.h"
+#include "ivr/index/scorer.h"
+#include "ivr/index/searcher.h"
+#include "ivr/retrieval/concept_index.h"
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// A multimodal query: free text, optional visual examples, optional
+/// high-level concept targets (available when the engine was built with
+/// use_concepts).
+struct Query {
+  std::string text;
+  std::vector<ColorHistogram> examples;
+  std::vector<ConceptId> concepts;
+
+  bool HasText() const { return !text.empty(); }
+  bool HasExamples() const { return !examples.empty(); }
+  bool HasConcepts() const { return !concepts.empty(); }
+};
+
+struct EngineOptions {
+  /// "bm25" | "tfidf" | "lm".
+  std::string scorer = "bm25";
+  /// Fusion weights for text vs. visual evidence (normalised internally).
+  double text_weight = 0.75;
+  double visual_weight = 0.25;
+  /// Similarity used for query-by-visual-example.
+  VisualSimilarity visual_similarity =
+      VisualSimilarity::kHistogramIntersection;
+  /// Index story headlines together with shot transcripts.
+  bool index_headlines = true;
+  /// Build a concept index (simulated detector bank over the collection's
+  /// topic space) and allow concept-bag queries.
+  bool use_concepts = false;
+  double concept_weight = 0.25;
+  SimulatedConceptDetector::Options detector;
+  uint64_t detector_seed = 7;
+  /// Candidate pool size per modality before fusion.
+  size_t candidate_pool = 1000;
+};
+
+/// The news-video retrieval engine of the framework (the paper's Section 3
+/// "recording, analysing, indexing and retrieving news videos" backend,
+/// minus the recording hardware). It indexes one document per shot — ASR
+/// transcript plus story headline metadata — and answers multimodal
+/// queries by fusing text and visual-example evidence.
+///
+/// The engine itself is stateless across queries; all personalisation and
+/// feedback adaptation lives above it (AdaptiveEngine).
+class RetrievalEngine {
+ public:
+  /// Builds the index over `collection`, which must outlive the engine.
+  static Result<std::unique_ptr<RetrievalEngine>> Build(
+      const VideoCollection& collection,
+      EngineOptions options = EngineOptions());
+
+  RetrievalEngine(const RetrievalEngine&) = delete;
+  RetrievalEngine& operator=(const RetrievalEngine&) = delete;
+
+  /// Multimodal search: runs each present modality and fuses with the
+  /// configured weights.
+  ResultList Search(const Query& query, size_t k) const;
+
+  /// Text-only search over an explicit weighted term query (used by
+  /// feedback/expansion components).
+  ResultList SearchTerms(const TermQuery& query, size_t k) const;
+
+  /// Visual-only search by example keyframe.
+  ResultList SearchVisual(const ColorHistogram& example, size_t k) const;
+
+  /// Concept-only search; FailedPrecondition unless built with
+  /// use_concepts.
+  Result<ResultList> SearchConcepts(const std::vector<ConceptId>& concepts,
+                                    size_t k) const;
+
+  /// The concept index, or nullptr when concepts are disabled.
+  const ConceptIndex* concept_index() const { return concepts_.get(); }
+
+  /// Parses raw text into the engine's analysed term space.
+  TermQuery ParseText(const std::string& text) const;
+
+  /// Absolute text score of one shot for a term query.
+  double ScoreShot(const TermQuery& query, ShotId shot) const;
+
+  /// Indexed text of one shot (what Rocchio feeds back); empty for bad id.
+  std::string IndexedText(ShotId shot) const;
+
+  const VideoCollection& collection() const { return *collection_; }
+  const InvertedIndex& index() const { return index_; }
+  const Analyzer& analyzer() const { return index_.analyzer(); }
+  const EngineOptions& options() const { return options_; }
+  size_t num_shots() const { return collection_->num_shots(); }
+
+ private:
+  RetrievalEngine(const VideoCollection& collection, EngineOptions options,
+                  std::unique_ptr<Scorer> scorer);
+
+  Status BuildIndex();
+
+  const VideoCollection* collection_;
+  EngineOptions options_;
+  std::unique_ptr<Scorer> scorer_;
+  InvertedIndex index_;
+  DocumentStore docs_;                  // DocId == ShotId
+  std::vector<ColorHistogram> keyframes_;  // index-aligned with ShotId
+  std::unique_ptr<ConceptIndex> concepts_;  // null unless use_concepts
+};
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_ENGINE_H_

@@ -1,0 +1,103 @@
+#include "ivr/retrieval/fusion.h"
+
+#include <unordered_map>
+
+namespace ivr {
+namespace {
+
+ResultList FromMap(const std::unordered_map<ShotId, double>& scores) {
+  std::vector<RankedShot> items;
+  items.reserve(scores.size());
+  for (const auto& [shot, score] : scores) {
+    items.push_back(RankedShot{shot, score});
+  }
+  return ResultList(std::move(items));
+}
+
+}  // namespace
+
+ResultList MinMaxNormalize(const ResultList& list) {
+  if (list.empty()) return ResultList();
+  double lo = list.at(0).score;
+  double hi = list.at(0).score;
+  for (const RankedShot& r : list.items()) {
+    lo = std::min(lo, r.score);
+    hi = std::max(hi, r.score);
+  }
+  std::vector<RankedShot> items;
+  items.reserve(list.size());
+  const double range = hi - lo;
+  for (const RankedShot& r : list.items()) {
+    const double s = range > 0.0 ? (r.score - lo) / range : 1.0;
+    items.push_back(RankedShot{r.shot, s});
+  }
+  return ResultList(std::move(items));
+}
+
+ResultList CombSum(const std::vector<ResultList>& lists) {
+  std::unordered_map<ShotId, double> acc;
+  for (const ResultList& list : lists) {
+    const ResultList norm = MinMaxNormalize(list);
+    for (const RankedShot& r : norm.items()) {
+      acc[r.shot] += r.score;
+    }
+  }
+  return FromMap(acc);
+}
+
+ResultList CombMnz(const std::vector<ResultList>& lists) {
+  std::unordered_map<ShotId, double> sum;
+  std::unordered_map<ShotId, int> hits;
+  for (const ResultList& list : lists) {
+    const ResultList norm = MinMaxNormalize(list);
+    for (const RankedShot& r : norm.items()) {
+      sum[r.shot] += r.score;
+      ++hits[r.shot];
+    }
+  }
+  std::unordered_map<ShotId, double> acc;
+  for (const auto& [shot, s] : sum) {
+    acc[shot] = s * hits[shot];
+  }
+  return FromMap(acc);
+}
+
+ResultList WeightedLinear(const std::vector<ResultList>& lists,
+                          const std::vector<double>& weights) {
+  std::unordered_map<ShotId, double> acc;
+  const size_t n = std::min(lists.size(), weights.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0) continue;
+    const ResultList norm = MinMaxNormalize(lists[i]);
+    for (const RankedShot& r : norm.items()) {
+      acc[r.shot] += weights[i] * r.score;
+    }
+  }
+  return FromMap(acc);
+}
+
+ResultList ReciprocalRankFusion(const std::vector<ResultList>& lists,
+                                double k) {
+  std::unordered_map<ShotId, double> acc;
+  for (const ResultList& list : lists) {
+    const auto& items = list.items();
+    for (size_t rank = 0; rank < items.size(); ++rank) {
+      acc[items[rank].shot] += 1.0 / (k + static_cast<double>(rank) + 1.0);
+    }
+  }
+  return FromMap(acc);
+}
+
+ResultList BordaCount(const std::vector<ResultList>& lists) {
+  std::unordered_map<ShotId, double> acc;
+  for (const ResultList& list : lists) {
+    const auto& items = list.items();
+    const double n = static_cast<double>(items.size());
+    for (size_t rank = 0; rank < items.size(); ++rank) {
+      acc[items[rank].shot] += n - static_cast<double>(rank);
+    }
+  }
+  return FromMap(acc);
+}
+
+}  // namespace ivr

@@ -1,0 +1,38 @@
+#ifndef IVR_RETRIEVAL_FUSION_H_
+#define IVR_RETRIEVAL_FUSION_H_
+
+#include <vector>
+
+#include "ivr/retrieval/result_list.h"
+
+namespace ivr {
+
+/// Rank/score fusion operators for combining evidence from several
+/// retrieval runs (e.g. text search + visual example search, or results
+/// before/after feedback). All operators are deterministic.
+
+/// Min–max normalises scores of a list into [0,1]; a constant list maps to
+/// all-ones (everything equally good).
+ResultList MinMaxNormalize(const ResultList& list);
+
+/// CombSUM: sum of min-max-normalised scores.
+ResultList CombSum(const std::vector<ResultList>& lists);
+
+/// CombMNZ: CombSUM multiplied by the number of lists containing the shot.
+ResultList CombMnz(const std::vector<ResultList>& lists);
+
+/// Weighted linear combination of min-max-normalised scores. `weights`
+/// must be the same length as `lists`; missing shots contribute 0.
+ResultList WeightedLinear(const std::vector<ResultList>& lists,
+                          const std::vector<double>& weights);
+
+/// Reciprocal rank fusion: sum over lists of 1 / (k + rank + 1).
+ResultList ReciprocalRankFusion(const std::vector<ResultList>& lists,
+                                double k = 60.0);
+
+/// Borda count: each list awards (list_size - rank) points.
+ResultList BordaCount(const std::vector<ResultList>& lists);
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_FUSION_H_

@@ -1,0 +1,84 @@
+#include "ivr/retrieval/result_list.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ivr {
+namespace {
+
+bool Better(const RankedShot& a, const RankedShot& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.shot < b.shot;
+}
+
+}  // namespace
+
+ResultList::ResultList(std::vector<RankedShot> items)
+    : items_(std::move(items)), sorted_(false) {}
+
+void ResultList::Add(ShotId shot, double score) {
+  items_.push_back(RankedShot{shot, score});
+  sorted_ = false;
+}
+
+void ResultList::Truncate(size_t k) {
+  EnsureSorted();
+  if (items_.size() > k) items_.resize(k);
+}
+
+size_t ResultList::size() const {
+  EnsureSorted();  // deduplication can shrink the list
+  return items_.size();
+}
+
+const RankedShot& ResultList::at(size_t i) const {
+  EnsureSorted();
+  return items_[i];
+}
+
+std::optional<size_t> ResultList::RankOf(ShotId shot) const {
+  EnsureSorted();
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].shot == shot) return i;
+  }
+  return std::nullopt;
+}
+
+double ResultList::ScoreOf(ShotId shot) const {
+  const std::optional<size_t> rank = RankOf(shot);
+  return rank.has_value() ? items_[*rank].score : 0.0;
+}
+
+std::vector<ShotId> ResultList::ShotIds() const {
+  EnsureSorted();
+  std::vector<ShotId> out;
+  out.reserve(items_.size());
+  for (const RankedShot& r : items_) {
+    out.push_back(r.shot);
+  }
+  return out;
+}
+
+const std::vector<RankedShot>& ResultList::items() const {
+  EnsureSorted();
+  return items_;
+}
+
+void ResultList::EnsureSorted() const {
+  if (sorted_) return;
+  // Deduplicate by shot (keeping the max score), then order by score.
+  std::sort(items_.begin(), items_.end(),
+            [](const RankedShot& a, const RankedShot& b) {
+              if (a.shot != b.shot) return a.shot < b.shot;
+              return a.score > b.score;
+            });
+  items_.erase(std::unique(items_.begin(), items_.end(),
+                           [](const RankedShot& a, const RankedShot& b) {
+                             return a.shot == b.shot;
+                           }),
+               items_.end());
+  std::sort(items_.begin(), items_.end(), Better);
+  sorted_ = true;
+}
+
+}  // namespace ivr

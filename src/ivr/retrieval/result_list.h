@@ -1,0 +1,64 @@
+#ifndef IVR_RETRIEVAL_RESULT_LIST_H_
+#define IVR_RETRIEVAL_RESULT_LIST_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ivr/video/types.h"
+
+namespace ivr {
+
+/// One ranked entry of a result list.
+struct RankedShot {
+  ShotId shot = kInvalidShotId;
+  double score = 0.0;
+
+  friend bool operator==(const RankedShot& a, const RankedShot& b) {
+    return a.shot == b.shot && a.score == b.score;
+  }
+};
+
+/// An ordered retrieval result over shots. Always kept sorted by
+/// descending score with ties broken by ascending ShotId, so equal inputs
+/// produce byte-identical rankings.
+class ResultList {
+ public:
+  ResultList() = default;
+  /// Takes arbitrary (shot, score) pairs; duplicates keep the max score.
+  explicit ResultList(std::vector<RankedShot> items);
+
+  /// Adds one entry (re-sorts lazily on next read).
+  void Add(ShotId shot, double score);
+
+  /// Keeps only the top k entries.
+  void Truncate(size_t k);
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// i-th ranked entry (0-based); requires i < size().
+  const RankedShot& at(size_t i) const;
+
+  /// 0-based rank of a shot, nullopt when absent.
+  std::optional<size_t> RankOf(ShotId shot) const;
+
+  bool Contains(ShotId shot) const { return RankOf(shot).has_value(); }
+
+  double ScoreOf(ShotId shot) const;
+
+  /// Shot ids in rank order.
+  std::vector<ShotId> ShotIds() const;
+
+  const std::vector<RankedShot>& items() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<RankedShot> items_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_RESULT_LIST_H_

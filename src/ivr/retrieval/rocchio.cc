@@ -1,0 +1,92 @@
+#include "ivr/retrieval/rocchio.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ivr {
+namespace {
+
+// Weight-normalised centroid of analysed term frequencies.
+std::unordered_map<std::string, double> Centroid(
+    const std::vector<FeedbackDoc>& docs, const Analyzer& analyzer) {
+  std::unordered_map<std::string, double> centroid;
+  double total_weight = 0.0;
+  for (const FeedbackDoc& doc : docs) {
+    if (doc.weight <= 0.0) continue;
+    total_weight += doc.weight;
+    std::unordered_map<std::string, double> tf;
+    const std::vector<std::string> terms = analyzer.Analyze(doc.text);
+    if (terms.empty()) continue;
+    for (const std::string& term : terms) {
+      tf[term] += 1.0;
+    }
+    // Length-normalise each document before weighting so long transcripts
+    // do not dominate the centroid.
+    const double len = static_cast<double>(terms.size());
+    for (const auto& [term, count] : tf) {
+      centroid[term] += doc.weight * count / len;
+    }
+  }
+  if (total_weight > 0.0) {
+    for (auto& [term, w] : centroid) {
+      (void)term;
+      w /= total_weight;
+    }
+  }
+  return centroid;
+}
+
+}  // namespace
+
+TermQuery RocchioExpand(const TermQuery& original,
+                        const std::vector<FeedbackDoc>& positive,
+                        const std::vector<FeedbackDoc>& negative,
+                        const Analyzer& analyzer,
+                        const RocchioOptions& options) {
+  std::unordered_map<std::string, double> weights;
+  for (const auto& [term, w] : original.weights) {
+    weights[term] += options.alpha * w;
+  }
+  const auto pos = Centroid(positive, analyzer);
+  const auto neg = Centroid(negative, analyzer);
+
+  // Candidate expansion terms, ranked by their positive-centroid mass so
+  // max_expansion_terms keeps the most informative ones.
+  std::vector<std::pair<std::string, double>> candidates;
+  for (const auto& [term, w] : pos) {
+    if (original.weights.count(term) == 0) {
+      candidates.emplace_back(term, w);
+    } else {
+      weights[term] += options.beta * w;
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  const size_t keep = options.max_expansion_terms == 0
+                          ? candidates.size()
+                          : std::min(candidates.size(),
+                                     options.max_expansion_terms);
+  for (size_t i = 0; i < keep; ++i) {
+    weights[candidates[i].first] += options.beta * candidates[i].second;
+  }
+
+  for (const auto& [term, w] : neg) {
+    auto it = weights.find(term);
+    if (it != weights.end()) {
+      it->second -= options.gamma * w;
+    }
+  }
+
+  TermQuery out;
+  for (const auto& [term, w] : weights) {
+    if (w > 0.0) {
+      out.weights.emplace(term, w);
+    }
+  }
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,42 @@
+#ifndef IVR_RETRIEVAL_ROCCHIO_H_
+#define IVR_RETRIEVAL_ROCCHIO_H_
+
+#include <string>
+#include <vector>
+
+#include "ivr/index/searcher.h"
+#include "ivr/text/analyzer.h"
+
+namespace ivr {
+
+/// Rocchio relevance-feedback query expansion. Feedback documents can be
+/// weighted (implicit feedback yields graded, not binary, evidence — a
+/// shot played to the end counts more than one merely clicked).
+struct RocchioOptions {
+  double alpha = 1.0;  ///< weight of the original query
+  double beta = 0.75;  ///< weight of the positive centroid
+  double gamma = 0.15; ///< weight of the negative centroid (subtracted)
+  /// Keep only the strongest N expansion terms (original terms always
+  /// survive). 0 keeps everything.
+  size_t max_expansion_terms = 20;
+};
+
+/// One feedback document with its evidence weight (> 0).
+struct FeedbackDoc {
+  std::string text;
+  double weight = 1.0;
+};
+
+/// Produces the expanded query
+///   alpha * q + beta * centroid(positive) - gamma * centroid(negative),
+/// where centroids are weight-normalised term-frequency vectors in
+/// analysed term space. Terms whose final weight is <= 0 are dropped.
+TermQuery RocchioExpand(const TermQuery& original,
+                        const std::vector<FeedbackDoc>& positive,
+                        const std::vector<FeedbackDoc>& negative,
+                        const Analyzer& analyzer,
+                        const RocchioOptions& options = RocchioOptions());
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_ROCCHIO_H_

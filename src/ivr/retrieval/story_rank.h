@@ -1,0 +1,37 @@
+#ifndef IVR_RETRIEVAL_STORY_RANK_H_
+#define IVR_RETRIEVAL_STORY_RANK_H_
+
+#include <vector>
+
+#include "ivr/retrieval/result_list.h"
+#include "ivr/video/collection.h"
+
+namespace ivr {
+
+/// A ranked news story.
+struct RankedStory {
+  StoryId story = kInvalidStoryId;
+  double score = 0.0;
+  /// Shots of this story that appeared in the shot-level result list,
+  /// best first (the story's "entry points" for the UI).
+  std::vector<ShotId> supporting_shots;
+};
+
+/// How shot evidence aggregates to the story level.
+enum class StoryAggregation {
+  kMax,   ///< best shot wins (precision-oriented; default)
+  kSum,   ///< total evidence (favours long, consistently matching stories)
+  kMean,  ///< average over the story's *retrieved* shots
+};
+
+/// Aggregates a shot-level result list into a story ranking — what a news
+/// interface actually presents ("stories about X tonight"), while shots
+/// remain the unit of playback and judgement. Stories without any
+/// retrieved shot are omitted; ties break by ascending StoryId.
+std::vector<RankedStory> RankStories(
+    const ResultList& shots, const VideoCollection& collection, size_t k,
+    StoryAggregation aggregation = StoryAggregation::kMax);
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_STORY_RANK_H_

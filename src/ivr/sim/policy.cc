@@ -1,0 +1,183 @@
+#include "ivr/sim/policy.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+
+namespace {
+
+/// Mutable state threaded through one session run.
+struct SessionState {
+  SessionOutcome outcome;
+  std::set<ShotId> seen;
+  std::set<ShotId> found;  // perceived-relevant plays (deduplicated)
+  TimeMs start = 0;
+};
+
+}  // namespace
+
+BehaviorPolicy::BehaviorPolicy(UserModel model, const SearchTopic& topic,
+                               const Qrels& qrels, uint64_t seed)
+    : model_(std::move(model)),
+      topic_(&topic),
+      qrels_(&qrels),
+      rng_(seed) {}
+
+std::string BehaviorPolicy::FormulateQuery(size_t index) const {
+  // First attempt: the topic title (what the user would naturally type).
+  // Reformulations draw successive windows of the description, modelling a
+  // user recalling more specific vocabulary.
+  const std::vector<std::string> title = SplitWhitespace(topic_->title);
+  const std::vector<std::string> desc =
+      SplitWhitespace(topic_->description);
+  std::vector<std::string> words;
+  if (index == 0 || desc.empty()) {
+    words = title;
+  } else {
+    const size_t window = std::max<size_t>(model_.query_terms, 1);
+    const size_t start = (index * window) % desc.size();
+    for (size_t i = 0; i < window; ++i) {
+      words.push_back(desc[(start + i) % desc.size()]);
+    }
+    // Keep one anchoring title word so reformulations stay on topic.
+    if (!title.empty()) words.insert(words.begin(), title[0]);
+  }
+  if (words.size() > model_.query_terms) {
+    words.resize(std::max<size_t>(model_.query_terms, 1));
+  }
+  return Join(words, " ");
+}
+
+bool BehaviorPolicy::PerceivedRelevant(ShotId shot) {
+  for (const auto& [cached_shot, verdict] : perception_cache_) {
+    if (cached_shot == shot) return verdict;
+  }
+  const bool truth = qrels_->IsRelevant(topic_->id, shot);
+  const bool verdict =
+      rng_.Bernoulli(model_.judgment_accuracy) ? truth : !truth;
+  perception_cache_.emplace_back(shot, verdict);
+  return verdict;
+}
+
+Result<SessionOutcome> BehaviorPolicy::RunSession(SearchInterface* iface) {
+  SessionState state;
+  state.start = iface->Now();
+  const InterfaceCapabilities caps = iface->capabilities();
+
+  auto out_of_budget = [&]() {
+    return iface->Now() - state.start >= model_.session_budget_ms;
+  };
+  auto satisfied = [&]() {
+    return state.found.size() >= model_.satisfaction_target;
+  };
+
+  // Examines the current result pages; returns the shot the user wants to
+  // use as a "find more like this" example, or nullopt when the user is
+  // done with these results.
+  auto examine_pages = [&]() -> Result<std::optional<ShotId>> {
+    for (size_t page = 0; page < model_.max_pages; ++page) {
+      if (page > 0) {
+        if (!rng_.Bernoulli(model_.page_patience)) break;
+        const Status next = iface->NextPage();
+        if (next.IsOutOfRange()) break;  // no more pages
+        IVR_RETURN_IF_ERROR(next);
+      }
+      for (ShotId shot : iface->VisibleShots()) {
+        if (out_of_budget() || satisfied()) {
+          return std::optional<ShotId>();
+        }
+        state.seen.insert(shot);
+        ++state.outcome.shots_examined;
+
+        // Optionally inspect the surrogate before deciding.
+        if (caps.tooltip && rng_.Bernoulli(model_.tooltip_propensity)) {
+          IVR_RETURN_IF_ERROR(
+              iface->HoverTooltip(shot, rng_.UniformInt(400, 2500)));
+        }
+
+        const bool promising = PerceivedRelevant(shot);
+        const double p_click = promising ? model_.click_if_promising
+                                         : model_.click_if_unpromising;
+        if (!rng_.Bernoulli(p_click)) continue;
+
+        IVR_RETURN_IF_ERROR(iface->ClickKeyframe(shot));
+        ++state.outcome.clicks;
+
+        // Watch: liked shots play (nearly) through, disliked ones get
+        // abandoned early.
+        const double mean_fraction = promising
+                                         ? model_.play_through_fraction
+                                         : model_.play_abandon_fraction;
+        const double fraction =
+            std::clamp(rng_.Normal(mean_fraction, 0.1), 0.0, 1.0);
+        IVR_RETURN_IF_ERROR(iface->Play(fraction));
+        ++state.outcome.plays;
+
+        if (caps.seek && promising &&
+            rng_.Bernoulli(model_.seek_propensity)) {
+          IVR_RETURN_IF_ERROR(iface->Seek(rng_.UniformInt(0, 5000)));
+        }
+        if (caps.metadata_highlight &&
+            rng_.Bernoulli(model_.metadata_curiosity)) {
+          IVR_RETURN_IF_ERROR(iface->HighlightMetadata(shot));
+        }
+        if (caps.explicit_judgment &&
+            rng_.Bernoulli(model_.explicit_propensity)) {
+          IVR_RETURN_IF_ERROR(iface->MarkRelevance(shot, promising));
+          ++state.outcome.explicit_judgments;
+        }
+
+        if (promising && fraction > 0.5) {
+          if (state.found.insert(shot).second &&
+              qrels_->IsRelevant(topic_->id, shot)) {
+            ++state.outcome.truly_relevant_found;
+          }
+          // A liked shot may prompt "find more like this".
+          if (caps.visual_example &&
+              rng_.Bernoulli(model_.visual_example_propensity)) {
+            return std::optional<ShotId>(shot);
+          }
+        }
+      }
+    }
+    return std::optional<ShotId>();
+  };
+
+  for (size_t q = 0; q < std::max<size_t>(model_.max_queries, 1); ++q) {
+    if (out_of_budget() || satisfied()) break;
+    const std::string query = FormulateQuery(q);
+    if (query.empty()) break;
+    IVR_RETURN_IF_ERROR(iface->SubmitQuery(query));
+    ++state.outcome.queries_issued;
+    state.outcome.per_query_results.push_back(iface->results());
+
+    // Examine these results, following up to max_visual_examples
+    // query-by-example hops off shots the user liked.
+    size_t example_budget = model_.max_visual_examples;
+    while (true) {
+      IVR_ASSIGN_OR_RETURN(std::optional<ShotId> example,
+                           examine_pages());
+      if (!example.has_value() || example_budget == 0 ||
+          out_of_budget() || satisfied()) {
+        break;
+      }
+      --example_budget;
+      IVR_RETURN_IF_ERROR(iface->SubmitVisualExample(*example));
+      ++state.outcome.queries_issued;
+      state.outcome.per_query_results.push_back(iface->results());
+    }
+  }
+  IVR_RETURN_IF_ERROR(iface->EndSession());
+
+  state.outcome.perceived_relevant.assign(state.found.begin(),
+                                          state.found.end());
+  state.outcome.distinct_shots_seen = state.seen.size();
+  state.outcome.session_ms = iface->Now() - state.start;
+  return state.outcome;
+}
+
+}  // namespace ivr

@@ -1,0 +1,67 @@
+#ifndef IVR_SIM_POLICY_H_
+#define IVR_SIM_POLICY_H_
+
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/core/rng.h"
+#include "ivr/iface/interface.h"
+#include "ivr/sim/user_model.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/topics.h"
+
+namespace ivr {
+
+/// What a simulated session produced, beyond its log.
+struct SessionOutcome {
+  size_t queries_issued = 0;
+  size_t shots_examined = 0;  ///< results looked at (incl. tooltips)
+  size_t clicks = 0;
+  size_t plays = 0;
+  size_t explicit_judgments = 0;
+  /// Shots the user played and perceived as relevant.
+  std::vector<ShotId> perceived_relevant;
+  /// Of those, the ones that truly are (per qrels).
+  size_t truly_relevant_found = 0;
+  /// Distinct shots displayed to the user across the session.
+  size_t distinct_shots_seen = 0;
+  TimeMs session_ms = 0;
+  /// Result list captured after each query (adaptive systems improve over
+  /// these snapshots within a session).
+  std::vector<ResultList> per_query_results;
+};
+
+/// Drives a SearchInterface the way a stereotype user would work on a
+/// search topic, using the qrels as the user's (noisy) internal sense of
+/// relevance — the simulated-evaluation methodology of White et al. [22]
+/// and Hopfgartner et al. [9,11] that the paper adopts.
+class BehaviorPolicy {
+ public:
+  /// References must outlive the policy.
+  BehaviorPolicy(UserModel model, const SearchTopic& topic,
+                 const Qrels& qrels, uint64_t seed);
+
+  /// Runs one full session (queries, browsing, playback, judgements,
+  /// session end). The interface must be fresh (no query issued yet).
+  Result<SessionOutcome> RunSession(SearchInterface* iface);
+
+  /// The query string the policy would issue as its `index`-th attempt —
+  /// exposed for tests and for building query logs.
+  std::string FormulateQuery(size_t index) const;
+
+ private:
+  /// Noisy relevance perception: the truth flipped with probability
+  /// (1 - judgment_accuracy), memoised per shot so the user is
+  /// self-consistent within the session.
+  bool PerceivedRelevant(ShotId shot);
+
+  UserModel model_;
+  const SearchTopic* topic_;
+  const Qrels* qrels_;
+  Rng rng_;
+  std::vector<std::pair<ShotId, bool>> perception_cache_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_SIM_POLICY_H_

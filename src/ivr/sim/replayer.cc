@@ -1,0 +1,46 @@
+#include "ivr/sim/replayer.h"
+
+namespace ivr {
+
+Result<ReplayedSession> LogReplayer::ReplaySession(
+    const std::vector<InteractionEvent>& events,
+    SearchBackend* backend) const {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("backend must not be null");
+  }
+  ReplayedSession out;
+  backend->BeginSession();
+  for (const InteractionEvent& ev : events) {
+    if (out.session_id.empty()) {
+      out.session_id = ev.session_id;
+      out.topic = ev.topic;
+    } else if (ev.session_id != out.session_id) {
+      return Status::InvalidArgument(
+          "ReplaySession expects events of a single session; found '" +
+          ev.session_id + "' after '" + out.session_id + "'");
+    }
+    if (ev.type == EventType::kQuerySubmit && !ev.text.empty()) {
+      Query query;
+      query.text = ev.text;
+      out.queries.push_back(ev.text);
+      out.per_query_results.push_back(
+          backend->Search(query, results_per_query_));
+    }
+    backend->ObserveEvent(ev);
+  }
+  return out;
+}
+
+Result<std::vector<ReplayedSession>> LogReplayer::ReplayAll(
+    const SessionLog& log, SearchBackend* backend) const {
+  std::vector<ReplayedSession> out;
+  for (const std::string& id : log.SessionIds()) {
+    IVR_ASSIGN_OR_RETURN(
+        ReplayedSession session,
+        ReplaySession(log.EventsForSession(id), backend));
+    out.push_back(std::move(session));
+  }
+  return out;
+}
+
+}  // namespace ivr

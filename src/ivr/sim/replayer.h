@@ -1,0 +1,49 @@
+#ifndef IVR_SIM_REPLAYER_H_
+#define IVR_SIM_REPLAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/feedback/backend.h"
+#include "ivr/iface/session_log.h"
+#include "ivr/retrieval/result_list.h"
+
+namespace ivr {
+
+/// What a replayed session yields: the results each logged query would
+/// receive from the backend under test, in log order.
+struct ReplayedSession {
+  std::string session_id;
+  SearchTopicId topic = 0;
+  std::vector<std::string> queries;
+  std::vector<ResultList> per_query_results;
+};
+
+/// Replays recorded interaction logs against a (possibly different,
+/// possibly adaptive) backend — the Vallet et al. [21] methodology of
+/// "mimicking the interaction of past users" to evaluate new systems on
+/// old behaviour. Every logged event is fed to the backend in order; each
+/// logged query is re-executed and its fresh results captured.
+class LogReplayer {
+ public:
+  explicit LogReplayer(size_t results_per_query = 200)
+      : results_per_query_(results_per_query) {}
+
+  /// Replays the events of one session (assumed chronologically ordered,
+  /// all with the same session id). BeginSession() is called first.
+  Result<ReplayedSession> ReplaySession(
+      const std::vector<InteractionEvent>& events,
+      SearchBackend* backend) const;
+
+  /// Replays every session found in `log`, in first-appearance order.
+  Result<std::vector<ReplayedSession>> ReplayAll(
+      const SessionLog& log, SearchBackend* backend) const;
+
+ private:
+  size_t results_per_query_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_SIM_REPLAYER_H_

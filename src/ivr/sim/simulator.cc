@@ -1,0 +1,77 @@
+#include "ivr/sim/simulator.h"
+
+#include <utility>
+
+#include "ivr/iface/desktop.h"
+#include "ivr/iface/tv.h"
+
+namespace ivr {
+
+std::string_view EnvironmentName(Environment env) {
+  switch (env) {
+    case Environment::kDesktop:
+      return "desktop";
+    case Environment::kTv:
+      return "tv";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SearchInterface> MakeInterface(
+    Environment env, SearchBackend* backend,
+    const VideoCollection& collection, SearchInterface::Config config,
+    SessionLog* log, SimulatedClock* clock) {
+  switch (env) {
+    case Environment::kDesktop:
+      return std::make_unique<DesktopInterface>(backend, collection,
+                                                std::move(config), log,
+                                                clock);
+    case Environment::kTv:
+      return std::make_unique<TvInterface>(backend, collection,
+                                           std::move(config), log, clock);
+  }
+  return nullptr;
+}
+
+Result<SimulatedSession> SessionSimulator::Run(SearchBackend* backend,
+                                               const SearchTopic& topic,
+                                               const UserModel& user,
+                                               const RunConfig& config,
+                                               SessionLog* log) const {
+  SimulatedSession session;
+  session.session_id = config.session_id;
+  session.user_id = config.user_id;
+  session.topic = topic.id;
+  session.environment = config.environment;
+
+  SimulatedClock clock(config.start_time);
+  // Private log so the session's own events are recoverable even when the
+  // caller passed a shared (multi-session) log.
+  SessionLog local_log;
+
+  SearchInterface::Config iface_config;
+  iface_config.session_id = config.session_id;
+  iface_config.user_id = config.user_id;
+  iface_config.topic = topic.id;
+
+  backend->BeginSession();
+  std::unique_ptr<SearchInterface> iface =
+      MakeInterface(config.environment, backend, *collection_,
+                    std::move(iface_config), &local_log, &clock);
+  if (iface == nullptr) {
+    return Status::InvalidArgument("unknown environment");
+  }
+
+  BehaviorPolicy policy(user, topic, *qrels_, config.seed);
+  IVR_ASSIGN_OR_RETURN(session.outcome, policy.RunSession(iface.get()));
+
+  session.events = local_log.events();
+  if (log != nullptr) {
+    for (const InteractionEvent& ev : session.events) {
+      log->Append(ev);
+    }
+  }
+  return session;
+}
+
+}  // namespace ivr

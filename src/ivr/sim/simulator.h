@@ -1,0 +1,75 @@
+#ifndef IVR_SIM_SIMULATOR_H_
+#define IVR_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/feedback/backend.h"
+#include "ivr/iface/session_log.h"
+#include "ivr/sim/policy.h"
+#include "ivr/sim/user_model.h"
+#include "ivr/video/collection.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/topics.h"
+
+namespace ivr {
+
+/// Which interaction environment a session runs in.
+enum class Environment { kDesktop, kTv };
+
+std::string_view EnvironmentName(Environment env);
+
+/// Constructs the matching interface for an environment. All pointers and
+/// references must outlive the returned interface.
+std::unique_ptr<SearchInterface> MakeInterface(
+    Environment env, SearchBackend* backend,
+    const VideoCollection& collection, SearchInterface::Config config,
+    SessionLog* log, SimulatedClock* clock);
+
+/// One simulated session's full record.
+struct SimulatedSession {
+  std::string session_id;
+  std::string user_id;
+  SearchTopicId topic = 0;
+  Environment environment = Environment::kDesktop;
+  SessionOutcome outcome;
+  std::vector<InteractionEvent> events;
+};
+
+/// Orchestrates simulated user sessions: wires clock + interface + policy
+/// + backend, runs the session, and collects outcome plus events. The
+/// central harness every experiment drives.
+class SessionSimulator {
+ public:
+  /// References must outlive the simulator.
+  SessionSimulator(const VideoCollection& collection, const Qrels& qrels)
+      : collection_(&collection), qrels_(&qrels) {}
+
+  struct RunConfig {
+    Environment environment = Environment::kDesktop;
+    std::string session_id = "s0";
+    std::string user_id = "u0";
+    uint64_t seed = 1;
+    /// Session start time (lets multi-session logs stay chronological).
+    TimeMs start_time = 0;
+  };
+
+  /// Runs one session of `user` working on `topic` against `backend`.
+  /// The backend's BeginSession() is called first; events are appended to
+  /// `log` when non-null.
+  Result<SimulatedSession> Run(SearchBackend* backend,
+                               const SearchTopic& topic,
+                               const UserModel& user,
+                               const RunConfig& config,
+                               SessionLog* log) const;
+
+ private:
+  const VideoCollection* collection_;
+  const Qrels* qrels_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_SIM_SIMULATOR_H_

@@ -1,0 +1,65 @@
+#include "ivr/sim/user_model.h"
+
+namespace ivr {
+
+UserModel NoviceUser() {
+  UserModel m;
+  m.name = "novice";
+  m.judgment_accuracy = 0.75;
+  m.query_terms = 2;
+  m.max_queries = 3;
+  m.max_pages = 4;
+  m.page_patience = 0.75;
+  m.tooltip_propensity = 0.6;
+  m.click_if_promising = 0.8;
+  m.click_if_unpromising = 0.15;
+  m.play_through_fraction = 0.85;
+  m.play_abandon_fraction = 0.25;
+  m.seek_propensity = 0.2;
+  m.metadata_curiosity = 0.2;
+  m.visual_example_propensity = 0.08;
+  m.explicit_propensity = 0.05;
+  return m;
+}
+
+UserModel ExpertUser() {
+  UserModel m;
+  m.name = "expert";
+  m.judgment_accuracy = 0.92;
+  m.query_terms = 4;
+  m.max_queries = 5;
+  m.max_pages = 3;
+  m.page_patience = 0.6;
+  m.tooltip_propensity = 0.35;
+  m.click_if_promising = 0.9;
+  m.click_if_unpromising = 0.04;
+  m.play_through_fraction = 0.95;
+  m.play_abandon_fraction = 0.1;
+  m.seek_propensity = 0.45;
+  m.metadata_curiosity = 0.4;
+  m.visual_example_propensity = 0.2;
+  m.explicit_propensity = 0.15;
+  return m;
+}
+
+UserModel CouchViewerUser() {
+  UserModel m;
+  m.name = "couch-viewer";
+  m.judgment_accuracy = 0.8;
+  m.query_terms = 1;  // text entry is painful on a remote
+  m.max_queries = 2;
+  m.max_pages = 5;  // paging is one button press
+  m.page_patience = 0.85;
+  m.tooltip_propensity = 0.0;  // no pointer
+  m.click_if_promising = 0.85;
+  m.click_if_unpromising = 0.1;
+  m.play_through_fraction = 0.95;  // lean-back: watches things through
+  m.play_abandon_fraction = 0.3;
+  m.seek_propensity = 0.15;
+  m.metadata_curiosity = 0.0;   // no panel
+  m.visual_example_propensity = 0.3;  // "more like this" beats typing
+  m.explicit_propensity = 0.6;  // coloured keys are right there
+  return m;
+}
+
+}  // namespace ivr

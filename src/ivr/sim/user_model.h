@@ -1,0 +1,69 @@
+#ifndef IVR_SIM_USER_MODEL_H_
+#define IVR_SIM_USER_MODEL_H_
+
+#include <string>
+
+#include "ivr/core/clock.h"
+
+namespace ivr {
+
+/// A GUMS-style stereotype user (Finin [6]): a parameter vector describing
+/// how a class of users perceives relevance and behaves at an interface.
+/// The simulator draws every stochastic decision from these parameters, so
+/// a user model plus a seed fully determines a session.
+struct UserModel {
+  std::string name = "default";
+
+  // --- perception ---
+  /// Probability of correctly assessing a shot's relevance from its
+  /// surrogate (keyframe + tooltip). 0.5 = guessing.
+  double judgment_accuracy = 0.85;
+
+  // --- search behaviour ---
+  /// Terms per issued query (later queries draw deeper description terms).
+  size_t query_terms = 3;
+  /// Maximum queries (original + reformulations) per session.
+  size_t max_queries = 4;
+  /// Maximum result pages examined per query.
+  size_t max_pages = 3;
+  /// Probability of moving to the next page after finishing one (within
+  /// max_pages).
+  double page_patience = 0.7;
+  /// Stop the session once this many shots were played and perceived
+  /// relevant (the user is satisfied).
+  size_t satisfaction_target = 10;
+  /// Wall-clock budget for the session.
+  TimeMs session_budget_ms = 10 * kMillisPerMinute;
+
+  // --- result examination ---
+  double tooltip_propensity = 0.5;   ///< P(hover before deciding), if able
+  double click_if_promising = 0.85;  ///< P(click | perceived relevant)
+  double click_if_unpromising = 0.08;
+  double play_through_fraction = 0.9;   ///< mean played fraction if liked
+  double play_abandon_fraction = 0.15;  ///< mean if disliked
+  double seek_propensity = 0.3;         ///< P(seek while playing), if able
+  double metadata_curiosity = 0.3;      ///< P(expand metadata), if able
+  /// P(issuing "find more like this" after watching a shot the user
+  /// liked), if the interface supports query-by-example. At most
+  /// `max_visual_examples` per text query.
+  double visual_example_propensity = 0.1;
+  size_t max_visual_examples = 2;
+  /// P(explicitly judging a shot after examining it), if the interface has
+  /// judgement keys. Remote-control users do this far more (the keys are
+  /// cheap and text is not).
+  double explicit_propensity = 0.15;
+};
+
+/// Stereotypes used throughout the experiments.
+
+/// A non-expert desktop searcher: moderate accuracy, browses a lot.
+UserModel NoviceUser();
+/// An experienced searcher: accurate, reformulates often, scans fast.
+UserModel ExpertUser();
+/// A lean-back TV viewer: avoids typing, judges with the coloured keys,
+/// watches clips through.
+UserModel CouchViewerUser();
+
+}  // namespace ivr
+
+#endif  // IVR_SIM_USER_MODEL_H_

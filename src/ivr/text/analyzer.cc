@@ -1,0 +1,30 @@
+#include "ivr/text/analyzer.h"
+
+#include "ivr/text/porter_stemmer.h"
+#include "ivr/text/stopwords.h"
+#include "ivr/text/tokenizer.h"
+
+namespace ivr {
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> out;
+  for (const std::string& token : Tokenize(text)) {
+    std::string term = AnalyzeToken(token);
+    if (!term.empty()) {
+      out.push_back(std::move(term));
+    }
+  }
+  return out;
+}
+
+std::string Analyzer::AnalyzeToken(std::string_view token) const {
+  if (token.empty()) return std::string();
+  if (options_.drop_numeric && IsNumericToken(token)) return std::string();
+  if (options_.remove_stopwords && IsStopword(token)) return std::string();
+  std::string term =
+      options_.stem ? PorterStem(token) : std::string(token);
+  if (term.size() < options_.min_token_length) return std::string();
+  return term;
+}
+
+}  // namespace ivr

@@ -1,0 +1,44 @@
+#ifndef IVR_TEXT_ANALYZER_H_
+#define IVR_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivr {
+
+/// Options controlling the analysis pipeline (tokenize -> stopword filter
+/// -> stem). Defaults match standard TREC-style text retrieval practice.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  /// Tokens shorter than this (after stemming) are dropped.
+  size_t min_token_length = 1;
+  /// Drop tokens that are purely numeric.
+  bool drop_numeric = false;
+};
+
+/// Turns raw text into index/query terms. Stateless and cheap to copy;
+/// the same analyzer instance must be used on both the indexing and the
+/// query side so that terms agree.
+class Analyzer {
+ public:
+  Analyzer() = default;
+  explicit Analyzer(AnalyzerOptions options) : options_(options) {}
+
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Full pipeline over a text: tokenize, filter, stem.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  /// Pipeline over a single already-tokenised word; returns empty string if
+  /// the token is filtered out.
+  std::string AnalyzeToken(std::string_view token) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_TEXT_ANALYZER_H_

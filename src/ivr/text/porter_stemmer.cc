@@ -1,0 +1,324 @@
+#include "ivr/text/porter_stemmer.h"
+
+namespace ivr {
+namespace {
+
+// Implementation of the Porter (1980) stemming algorithm. The helper class
+// mirrors the structure of the reference implementation: `b_` holds the
+// word, `k_` is the index of its last character, and `j_` marks the end of
+// the stem while a suffix is under consideration.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Stem() {
+    if (k_ <= 1) return b_;  // Words of length <= 2 are left alone.
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  // True if b_[i] is a consonant.
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j_]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if the stem b_[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // True if b_[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y; used to restore an 'e' (e.g. hop(e) -> hope).
+  bool CvcEndsAt(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) ||
+        !IsConsonant(i - 2)) {
+      return false;
+    }
+    const char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True if b_[0..k_] ends with suffix `s`; sets j_ to the stem end.
+  bool Ends(std::string_view s) {
+    const int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - len + 1), static_cast<size_t>(len),
+                   s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the matched suffix with `s`.
+  void SetTo(std::string_view s) {
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s);
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  void ReplaceIfMeasurePositive(std::string_view s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. Step 1b: -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    b_.resize(static_cast<size_t>(k_ + 1));
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+      b_.resize(static_cast<size_t>(k_ + 1));
+      return;
+    }
+    if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      b_.resize(static_cast<size_t>(k_ + 1));
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        const char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') {
+          --k_;
+          b_.resize(static_cast<size_t>(k_ + 1));
+        }
+      } else if (Measure() == 1 && CvcEndsAt(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double suffixes -> single ones, when measure > 0.
+  void Step2() {
+    if (k_ < 2) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfMeasurePositive("ate"); return; }
+        if (Ends("tional")) { ReplaceIfMeasurePositive("tion"); return; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfMeasurePositive("ence"); return; }
+        if (Ends("anci")) { ReplaceIfMeasurePositive("ance"); return; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfMeasurePositive("ize"); return; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfMeasurePositive("ble"); return; }
+        if (Ends("alli")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("entli")) { ReplaceIfMeasurePositive("ent"); return; }
+        if (Ends("eli")) { ReplaceIfMeasurePositive("e"); return; }
+        if (Ends("ousli")) { ReplaceIfMeasurePositive("ous"); return; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfMeasurePositive("ize"); return; }
+        if (Ends("ation")) { ReplaceIfMeasurePositive("ate"); return; }
+        if (Ends("ator")) { ReplaceIfMeasurePositive("ate"); return; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("iveness")) { ReplaceIfMeasurePositive("ive"); return; }
+        if (Ends("fulness")) { ReplaceIfMeasurePositive("ful"); return; }
+        if (Ends("ousness")) { ReplaceIfMeasurePositive("ous"); return; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfMeasurePositive("al"); return; }
+        if (Ends("iviti")) { ReplaceIfMeasurePositive("ive"); return; }
+        if (Ends("biliti")) { ReplaceIfMeasurePositive("ble"); return; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfMeasurePositive("log"); return; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -ic-, -full, -ness etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfMeasurePositive("ic"); return; }
+        if (Ends("ative")) { ReplaceIfMeasurePositive(""); return; }
+        if (Ends("alize")) { ReplaceIfMeasurePositive("al"); return; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfMeasurePositive("ic"); return; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfMeasurePositive("ic"); return; }
+        if (Ends("ful")) { ReplaceIfMeasurePositive(""); return; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfMeasurePositive(""); return; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: removes -ant, -ence etc. when measure > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance") || Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able") || Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent")) {
+          break;
+        }
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate") || Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) {
+      k_ = j_;
+      b_.resize(static_cast<size_t>(k_ + 1));
+    }
+  }
+
+  // Step 5: removes final -e and maps -ll -> -l under measure conditions.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      const int a = Measure();
+      if (a > 1 || (a == 1 && !CvcEndsAt(k_ - 1))) {
+        --k_;
+        b_.resize(static_cast<size_t>(k_ + 1));
+      }
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_)) {
+      j_ = k_;
+      if (Measure() > 1) {
+        --k_;
+        b_.resize(static_cast<size_t>(k_ + 1));
+      }
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(word).Stem();
+}
+
+}  // namespace ivr

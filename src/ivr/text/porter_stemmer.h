@@ -1,0 +1,16 @@
+#ifndef IVR_TEXT_PORTER_STEMMER_H_
+#define IVR_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ivr {
+
+/// Stems a lower-case English word using the classic Porter (1980)
+/// algorithm (steps 1a–5b). Words shorter than three characters are
+/// returned unchanged, matching the reference implementation.
+std::string PorterStem(std::string_view word);
+
+}  // namespace ivr
+
+#endif  // IVR_TEXT_PORTER_STEMMER_H_

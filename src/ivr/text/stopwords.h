@@ -1,0 +1,18 @@
+#ifndef IVR_TEXT_STOPWORDS_H_
+#define IVR_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <unordered_set>
+
+namespace ivr {
+
+/// Returns the built-in English stopword list (a superset of the classic
+/// van Rijsbergen / SMART short list). The set is lower-case, unstemmed.
+const std::unordered_set<std::string_view>& EnglishStopwords();
+
+/// True if `token` (already lower-case) is a stopword.
+bool IsStopword(std::string_view token);
+
+}  // namespace ivr
+
+#endif  // IVR_TEXT_STOPWORDS_H_

@@ -1,0 +1,37 @@
+#include "ivr/text/tokenizer.h"
+
+#include <cctype>
+
+namespace ivr {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : text) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    if (c < 0x80 && std::isalnum(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(c)));
+    } else if (ch == '\'' && !current.empty()) {
+      // Drop intra-word apostrophes so "don't" tokenises as "dont".
+      continue;
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+bool IsNumericToken(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace ivr

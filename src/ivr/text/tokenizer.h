@@ -1,0 +1,21 @@
+#ifndef IVR_TEXT_TOKENIZER_H_
+#define IVR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivr {
+
+/// Splits raw text into lower-case alphanumeric tokens. Apostrophes inside
+/// words are dropped ("don't" -> "dont"); every other non-alphanumeric
+/// character is a separator. Purely ASCII: bytes >= 0x80 are separators,
+/// which is sufficient for the synthetic collections this library builds.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// True if `token` consists only of digits.
+bool IsNumericToken(std::string_view token);
+
+}  // namespace ivr
+
+#endif  // IVR_TEXT_TOKENIZER_H_

@@ -1,0 +1,42 @@
+#ifndef IVR_TEXT_VOCABULARY_H_
+#define IVR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ivr {
+
+/// Dense integer id assigned to each distinct term.
+using TermId = uint32_t;
+constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// Bidirectional term <-> id dictionary. Ids are assigned densely in
+/// insertion order, which lets downstream structures use vectors keyed by
+/// TermId.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id for `term`, inserting it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id for `term` or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term for a valid id; must be < size().
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_TEXT_VOCABULARY_H_

@@ -1,0 +1,387 @@
+#include "ivr/video/generator.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "ivr/core/rng.h"
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "fa", "fe",
+    "fi", "fo", "fu", "ga", "ge", "gi", "go", "gu", "ka", "ke", "ki", "ko",
+    "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na",
+    "ne", "ni", "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri",
+    "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+    "va", "ve", "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+constexpr const char* kTopicNames[] = {
+    "politics", "sports",     "weather",  "finance", "health",
+    "science",  "culture",    "crime",    "technology", "travel",
+    "education", "environment", "military", "elections", "energy",
+    "housing",  "transport",  "agriculture", "justice", "media"};
+constexpr size_t kNumTopicNames = sizeof(kTopicNames) / sizeof(kTopicNames[0]);
+
+// Index spaces for word generation: general words and per-topic words live
+// in disjoint ranges so the vocabularies never collide.
+constexpr uint64_t kGeneralWordBase = 0;
+constexpr uint64_t kTopicWordBase = 1u << 20;
+constexpr uint64_t kTopicWordStride = 1u << 12;
+
+Status ValidateOptions(const GeneratorOptions& o) {
+  if (o.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be > 0");
+  }
+  if (o.num_videos == 0) {
+    return Status::InvalidArgument("num_videos must be > 0");
+  }
+  if (o.topic_vocabulary_size == 0 || o.general_vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary sizes must be > 0");
+  }
+  if (o.topic_vocabulary_size > kTopicWordStride) {
+    return Status::InvalidArgument("topic_vocabulary_size too large");
+  }
+  if (o.num_topics > (1u << 8)) {
+    return Status::InvalidArgument("num_topics too large");
+  }
+  for (double p : {o.general_word_prob, o.asr_word_error_rate,
+                   o.off_topic_shot_prob, o.secondary_concept_prob,
+                   o.topic_word_leak_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must be in [0,1]");
+    }
+  }
+  if (o.stories_per_video_mean <= 0.0 || o.shots_per_story_mean <= 0.0 ||
+      o.words_per_shot_mean <= 0.0) {
+    return Status::InvalidArgument("per-unit means must be > 0");
+  }
+  if (o.min_shot_duration_ms <= 0 ||
+      o.max_shot_duration_ms < o.min_shot_duration_ms) {
+    return Status::InvalidArgument("invalid shot duration range");
+  }
+  return Status::OK();
+}
+
+// Per-topic language model: its own word table plus the shared general
+// table, both Zipf-weighted.
+class TopicLanguageModel {
+ public:
+  TopicLanguageModel(TopicLabel topic, const GeneratorOptions& o)
+      : topic_(topic),
+        topic_zipf_(static_cast<int64_t>(o.topic_vocabulary_size),
+                    o.word_zipf_exponent),
+        general_zipf_(static_cast<int64_t>(o.general_vocabulary_size),
+                      o.word_zipf_exponent),
+        general_word_prob_(o.general_word_prob) {}
+
+  std::string SampleWord(Rng* rng) const {
+    if (rng->Bernoulli(general_word_prob_)) {
+      return SampleGeneralWord(rng);
+    }
+    return SampleTopicWord(rng);
+  }
+
+  std::string SampleGeneralWord(Rng* rng) const {
+    return MakeSyntheticWord(
+        kGeneralWordBase + static_cast<uint64_t>(general_zipf_.Sample(rng)));
+  }
+
+  std::string SampleTopicWord(Rng* rng) const {
+    return TopicWord(static_cast<uint64_t>(topic_zipf_.Sample(rng)));
+  }
+
+  // The rank-k word of this topic's exclusive vocabulary.
+  std::string TopicWord(uint64_t rank) const {
+    return MakeSyntheticWord(kTopicWordBase +
+                             static_cast<uint64_t>(topic_) *
+                                 kTopicWordStride +
+                             rank);
+  }
+
+ private:
+  TopicLabel topic_;
+  ZipfDistribution topic_zipf_;
+  ZipfDistribution general_zipf_;
+  double general_word_prob_;
+};
+
+// Draws one spoken word for a shot of `topic`: general language with
+// probability general_word_prob, otherwise topical — and a topical word
+// leaks from a random other topic's vocabulary with topic_word_leak_prob
+// (shared jargon like "minister" or "record" across subjects).
+std::string SampleSpokenWord(const std::vector<TopicLanguageModel>& lms,
+                             TopicLabel topic, const GeneratorOptions& o,
+                             Rng* rng) {
+  if (rng->Bernoulli(o.general_word_prob)) {
+    return lms[topic].SampleGeneralWord(rng);
+  }
+  TopicLabel source = topic;
+  if (lms.size() > 1 && rng->Bernoulli(o.topic_word_leak_prob)) {
+    TopicLabel other = static_cast<TopicLabel>(
+        rng->UniformInt(0, static_cast<int64_t>(lms.size()) - 2));
+    if (other >= topic) ++other;
+    source = other;
+  }
+  return lms[source].SampleTopicWord(rng);
+}
+
+// What a misrecognition sounds like: usually a common general-language
+// word, sometimes a topical word of some *other* subject (the classic
+// out-of-vocabulary confusion that poisons transcript search). Never a
+// word of the shot's own topic — that would leave the topical signal
+// intact and make ASR noise harmless.
+std::string ConfusionWord(const std::vector<TopicLanguageModel>& lms,
+                          TopicLabel topic, Rng* rng) {
+  if (lms.size() > 1 && rng->Bernoulli(0.2)) {
+    TopicLabel other = static_cast<TopicLabel>(
+        rng->UniformInt(0, static_cast<int64_t>(lms.size()) - 2));
+    if (other >= topic) ++other;
+    return lms[other].TopicWord(
+        static_cast<uint64_t>(rng->UniformInt(0, 30)));
+  }
+  return MakeSyntheticWord(kGeneralWordBase +
+                           static_cast<uint64_t>(rng->UniformInt(0, 200)));
+}
+
+// Applies ASR noise to the spoken words: substitution / deletion /
+// insertion with the classic 60/20/20 split of the word error rate.
+std::vector<std::string> DegradeTranscript(
+    const std::vector<std::string>& truth, double wer,
+    const std::vector<TopicLanguageModel>& lms, TopicLabel topic,
+    Rng* rng) {
+  std::vector<std::string> out;
+  out.reserve(truth.size() + 2);
+  for (const std::string& word : truth) {
+    if (!rng->Bernoulli(wer)) {
+      out.push_back(word);
+      continue;
+    }
+    const double kind = rng->UniformDouble();
+    if (kind < 0.6) {
+      // Substitution: the recogniser hears a wrong word.
+      out.push_back(ConfusionWord(lms, topic, rng));
+    } else if (kind < 0.8) {
+      // Deletion: the word is lost.
+    } else {
+      // Insertion: keep the word and add a spurious one.
+      out.push_back(word);
+      out.push_back(ConfusionWord(lms, topic, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MakeSyntheticWord(uint64_t index) {
+  // Mixed-radix expansion over the syllable alphabet; always emit at least
+  // three syllables so words survive stopword/short-token filters.
+  std::string word;
+  uint64_t v = index;
+  for (int i = 0; i < 3 || v > 0; ++i) {
+    word += kSyllables[v % kNumSyllables];
+    v /= kNumSyllables;
+    if (i > 8) break;  // never loops this far; safety bound
+  }
+  return word;
+}
+
+std::string DefaultTopicName(TopicLabel label) {
+  if (label < kNumTopicNames) return kTopicNames[label];
+  return StrFormat("topic%u", label);
+}
+
+Result<GeneratedCollection> GenerateCollection(
+    const GeneratorOptions& options) {
+  IVR_RETURN_IF_ERROR(ValidateOptions(options));
+  Rng rng(options.seed);
+
+  GeneratedCollection out;
+  out.options = options;
+
+  const size_t num_topics = options.num_topics;
+
+  // Topic names.
+  std::vector<std::string> names;
+  names.reserve(num_topics);
+  for (TopicLabel t = 0; t < num_topics; ++t) {
+    names.push_back(DefaultTopicName(t));
+  }
+  out.collection.SetTopicNames(std::move(names));
+
+  // Per-topic language models and visual prototypes. Every prototype is
+  // blended with a shared "studio" prototype so visual separability is
+  // governed by keyframe_topic_strength.
+  std::vector<TopicLanguageModel> lms;
+  std::vector<ColorHistogram> prototypes;
+  lms.reserve(num_topics);
+  prototypes.reserve(num_topics);
+  const ColorHistogram studio = ColorHistogram::RandomPrototype(&rng);
+  const double alpha =
+      std::clamp(options.keyframe_topic_strength, 0.0, 1.0);
+  for (TopicLabel t = 0; t < num_topics; ++t) {
+    lms.emplace_back(t, options);
+    ColorHistogram proto = ColorHistogram::RandomPrototype(&rng);
+    std::vector<double> mixed(proto.size());
+    for (size_t b = 0; b < proto.size(); ++b) {
+      mixed[b] = alpha * proto[b] + (1.0 - alpha) * studio[b];
+    }
+    ColorHistogram blended(std::move(mixed));
+    blended.NormalizeL1();
+    prototypes.push_back(std::move(blended));
+  }
+
+  const ZipfDistribution topic_popularity(
+      static_cast<int64_t>(num_topics), options.topic_popularity_exponent);
+
+  // --- Broadcasts, stories, shots ---
+  for (size_t v = 0; v < options.num_videos; ++v) {
+    Video video;
+    video.name = StrFormat("broadcast-day%03zu", v);
+    video.day = static_cast<int32_t>(v);
+    const VideoId vid = out.collection.AddVideo(video);
+
+    const int64_t num_stories =
+        std::max<int64_t>(1, rng.Poisson(options.stories_per_video_mean));
+    TimeMs cursor = 0;
+    for (int64_t s = 0; s < num_stories; ++s) {
+      NewsStory story;
+      story.video = vid;
+      story.topic =
+          static_cast<TopicLabel>(topic_popularity.Sample(&rng));
+      // Editorial headline: topical vocabulary but NOT the literal topic
+      // label — otherwise title queries would match headlines exactly and
+      // retrieval would be an oracle immune to ASR noise.
+      story.headline = StrFormat(
+          "%s %s day %d",
+          lms[story.topic]
+              .TopicWord(static_cast<uint64_t>(rng.UniformInt(0, 3)))
+              .c_str(),
+          lms[story.topic]
+              .TopicWord(1 + static_cast<uint64_t>(rng.UniformInt(0, 8)))
+              .c_str(),
+          video.day);
+      const StoryId sid = out.collection.AddStory(story);
+      out.collection.mutable_video(vid)->stories.push_back(sid);
+
+      const int64_t num_shots =
+          std::max<int64_t>(1, rng.Poisson(options.shots_per_story_mean));
+      std::vector<ShotId> shot_ids;
+      for (int64_t k = 0; k < num_shots; ++k) {
+        Shot shot;
+        shot.story = sid;
+        shot.video = vid;
+        shot.primary_topic = story.topic;
+        if (num_topics > 1 && rng.Bernoulli(options.off_topic_shot_prob)) {
+          // Off-topic insert: pick a different topic.
+          TopicLabel other = static_cast<TopicLabel>(
+              rng.UniformInt(0, static_cast<int64_t>(num_topics) - 2));
+          if (other >= story.topic) ++other;
+          shot.primary_topic = other;
+        }
+        shot.concepts.assign(num_topics, false);
+        shot.concepts[shot.primary_topic] = true;
+        if (num_topics > 1 &&
+            rng.Bernoulli(options.secondary_concept_prob)) {
+          TopicLabel secondary = static_cast<TopicLabel>(
+              rng.UniformInt(0, static_cast<int64_t>(num_topics) - 2));
+          if (secondary >= shot.primary_topic) ++secondary;
+          shot.concepts[secondary] = true;
+        }
+
+        shot.start_ms = cursor;
+        shot.duration_ms = rng.UniformInt(options.min_shot_duration_ms,
+                                          options.max_shot_duration_ms);
+        cursor += shot.duration_ms;
+
+        // Spoken words then ASR degradation.
+        const int64_t num_words =
+            std::max<int64_t>(3, rng.Poisson(options.words_per_shot_mean));
+        std::vector<std::string> spoken;
+        spoken.reserve(static_cast<size_t>(num_words));
+        for (int64_t w = 0; w < num_words; ++w) {
+          spoken.push_back(
+              SampleSpokenWord(lms, shot.primary_topic, options, &rng));
+        }
+        shot.true_transcript = Join(spoken, " ");
+        shot.asr_transcript =
+            Join(DegradeTranscript(spoken, options.asr_word_error_rate, lms,
+                                   shot.primary_topic, &rng),
+                 " ");
+
+        shot.keyframe = prototypes[shot.primary_topic].Perturb(
+            &rng, options.keyframe_noise);
+        shot.external_id =
+            StrFormat("v%03u/s%05u/k%lld", vid, sid,
+                      static_cast<long long>(k));
+        shot_ids.push_back(out.collection.AddShot(shot));
+      }
+      // Backfill the story's shot list (the story was added before its
+      // shots existed).
+      out.collection.mutable_story(sid)->shots = std::move(shot_ids);
+    }
+  }
+
+  // --- Search topics + qrels ---
+  const size_t num_search_topics =
+      options.num_search_topics == 0
+          ? num_topics
+          : std::min(options.num_search_topics, num_topics);
+  for (size_t i = 0; i < num_search_topics; ++i) {
+    SearchTopic topic;
+    topic.id = static_cast<SearchTopicId>(i + 1);  // TREC ids start at 1
+    topic.target_topic = static_cast<TopicLabel>(i);
+
+    // Titles are what users type: the subject's own high-frequency
+    // vocabulary (every prefix of the title is a workable query, which
+    // matters for remote-control users who type one word).
+    std::vector<std::string> title_words;
+    const uint64_t offset = options.topic_title_word_offset;
+    for (size_t w = 0; w < options.topic_title_words; ++w) {
+      title_words.push_back(
+          lms[topic.target_topic].TopicWord(offset + w));
+    }
+    topic.title = Join(title_words, " ");
+
+    // The description surrounds the title terms with further topical
+    // vocabulary at nearby ranks — the pool reformulating users draw on.
+    std::vector<std::string> desc_words = title_words;
+    for (size_t w = 0; w < options.topic_description_words; ++w) {
+      desc_words.push_back(lms[topic.target_topic].TopicWord(
+          offset + options.topic_title_words + (w % 24)));
+    }
+    topic.description = Join(desc_words, " ");
+
+    for (size_t e = 0; e < options.topic_example_keyframes; ++e) {
+      topic.examples.push_back(prototypes[topic.target_topic].Perturb(
+          &rng, options.keyframe_noise * 0.5));
+    }
+
+    size_t relevant = 0;
+    for (const Shot& shot : out.collection.shots()) {
+      if (shot.primary_topic == topic.target_topic) {
+        out.qrels.Set(topic.id, shot.id, 2);
+        ++relevant;
+      } else if (topic.target_topic < shot.concepts.size() &&
+                 shot.concepts[topic.target_topic]) {
+        out.qrels.Set(topic.id, shot.id, 1);
+        ++relevant;
+      }
+    }
+    // A subject with no coverage in the collection makes no search topic
+    // (TRECVID drops topics without relevant shots); rare topics can end
+    // up story-less under a skewed popularity distribution.
+    if (relevant == 0) {
+      continue;
+    }
+    out.topics.topics.push_back(std::move(topic));
+  }
+
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,111 @@
+#ifndef IVR_VIDEO_GENERATOR_H_
+#define IVR_VIDEO_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ivr/core/result.h"
+#include "ivr/video/collection.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/topics.h"
+
+namespace ivr {
+
+/// Parameters of the synthetic news-video test collection. The generator
+/// replaces the paper's BBC One O'Clock News recordings and the TRECVID
+/// collection/topics/qrels triple with a fully controllable equivalent:
+/// broadcasts consist of stories about Zipf-popular topics, each story is a
+/// run of shots with per-topic language-model transcripts degraded by a
+/// configurable ASR word-error rate, keyframes cluster around per-topic
+/// visual prototypes, and exhaustive relevance judgements fall out of the
+/// ground truth.
+struct GeneratorOptions {
+  uint64_t seed = 42;
+
+  /// Semantic space.
+  size_t num_topics = 12;
+
+  /// Collection size.
+  size_t num_videos = 30;            ///< number of broadcasts (days)
+  double stories_per_video_mean = 8.0;
+  double shots_per_story_mean = 6.0;
+  double words_per_shot_mean = 30.0;
+
+  /// Language model. Each topic owns `topic_vocabulary_size` exclusive
+  /// words; all topics share `general_vocabulary_size` common words. Each
+  /// transcript word is general with probability `general_word_prob`,
+  /// topical otherwise; within a class words follow a Zipf distribution.
+  size_t topic_vocabulary_size = 120;
+  size_t general_vocabulary_size = 800;
+  double general_word_prob = 0.45;
+  double word_zipf_exponent = 1.0;
+  /// Probability that a topical word is borrowed from a *different*
+  /// topic's vocabulary ("minister" shows up in both politics and
+  /// finance stories). This is what makes non-relevant shots match
+  /// topical queries — without it every result list would be pure.
+  double topic_word_leak_prob = 0.18;
+
+  /// Story topics are drawn with this Zipf skew (0 = uniform popularity).
+  double topic_popularity_exponent = 0.7;
+
+  /// ASR degradation: probability that a spoken word is corrupted. Of the
+  /// corrupted words, 60% are substituted, 20% deleted, 20% gain an
+  /// inserted extra word.
+  double asr_word_error_rate = 0.15;
+
+  /// Probability that a shot inside a story is off-topic (anchor link,
+  /// weather insert, ...), taking a random other topic.
+  double off_topic_shot_prob = 0.10;
+  /// Probability that a shot carries a secondary concept label.
+  double secondary_concept_prob = 0.15;
+
+  /// Visual model: keyframes are a mixture of the topic prototype and a
+  /// global "studio" prototype, perturbed with log-normal sigma
+  /// `keyframe_noise`. `keyframe_topic_strength` in [0,1] is the topic
+  /// share of the mixture — 1 gives perfectly separable visual clusters,
+  /// small values approach the regime where query-by-example barely beats
+  /// chance (the semantic gap for low-level features).
+  double keyframe_noise = 0.35;
+  double keyframe_topic_strength = 1.0;
+
+  /// Search-topic generation. 0 means one per collection topic.
+  size_t num_search_topics = 0;
+  size_t topic_title_words = 3;
+  /// Rank of the first title word within the target topic's vocabulary.
+  /// 0 asks for the subject's most frequent words (easy, category-style
+  /// topics); larger offsets give narrow, aspect-style topics whose terms
+  /// appear in only part of the relevant shots — the TRECVID regime.
+  size_t topic_title_word_offset = 0;
+  size_t topic_description_words = 15;
+  size_t topic_example_keyframes = 2;
+
+  /// Shot timing (uniform range, milliseconds).
+  TimeMs min_shot_duration_ms = 2000;
+  TimeMs max_shot_duration_ms = 15000;
+};
+
+/// The full generated test collection.
+struct GeneratedCollection {
+  VideoCollection collection;
+  TopicSet topics;
+  Qrels qrels;
+  GeneratorOptions options;
+};
+
+/// Generates a collection. Deterministic in `options.seed`. Fails with
+/// InvalidArgument on nonsensical parameters (zero topics/videos, WER or
+/// probabilities outside [0,1], inverted duration range).
+Result<GeneratedCollection> GenerateCollection(
+    const GeneratorOptions& options);
+
+/// Deterministically maps an index to a pronounceable synthetic word
+/// ("bakedo"). Injective for indices < 65^4.
+std::string MakeSyntheticWord(uint64_t index);
+
+/// Human-readable names for the first topics ("politics", "sports", ...),
+/// falling back to "topic<k>".
+std::string DefaultTopicName(TopicLabel label);
+
+}  // namespace ivr
+
+#endif  // IVR_VIDEO_GENERATOR_H_

@@ -1,0 +1,61 @@
+#ifndef IVR_VIDEO_QRELS_H_
+#define IVR_VIDEO_QRELS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/video/types.h"
+
+namespace ivr {
+
+/// Identifier of a search topic (an information need with judgements), as
+/// in TRECVID. Distinct from TopicLabel (a collection subject label).
+using SearchTopicId = uint32_t;
+
+/// Graded relevance judgements, TREC-style. Grade 0 (or absence) means not
+/// relevant; the generator emits 1 = partially and 2 = highly relevant.
+class Qrels {
+ public:
+  Qrels() = default;
+
+  /// Records a judgement; grade 0 removes any existing judgement.
+  void Set(SearchTopicId topic, ShotId shot, int grade);
+
+  /// Judged grade, 0 when unjudged.
+  int Grade(SearchTopicId topic, ShotId shot) const;
+
+  /// True if the shot's grade is >= min_grade.
+  bool IsRelevant(SearchTopicId topic, ShotId shot, int min_grade = 1) const;
+
+  /// All shots with grade >= min_grade, ascending by ShotId.
+  std::vector<ShotId> RelevantShots(SearchTopicId topic,
+                                    int min_grade = 1) const;
+
+  size_t NumRelevant(SearchTopicId topic, int min_grade = 1) const;
+
+  /// Topic ids that have at least one judgement, ascending.
+  std::vector<SearchTopicId> Topics() const;
+
+  size_t TotalJudgments() const;
+
+  /// Serialises in the classic 4-column TREC format:
+  ///   <topic> 0 shot<id> <grade>
+  std::string ToTrecFormat() const;
+
+  /// Parses the format produced by ToTrecFormat(). Lines with grade 0 are
+  /// accepted and ignored. Returns Corruption on malformed input.
+  static Result<Qrels> FromTrecFormat(const std::string& text);
+
+ private:
+  // map (ordered) at the topic level for deterministic serialisation;
+  // unordered within a topic for O(1) lookup on the hot path.
+  std::map<SearchTopicId, std::unordered_map<ShotId, int>> judgments_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_VIDEO_QRELS_H_

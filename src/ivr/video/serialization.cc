@@ -1,0 +1,256 @@
+#include "ivr/video/serialization.h"
+
+#include <utility>
+
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+constexpr std::string_view kMagic = "ivr-collection v1";
+
+std::string EncodeHistogram(const ColorHistogram& h) {
+  std::vector<std::string> parts;
+  parts.reserve(h.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    parts.push_back(StrFormat("%.17g", h[i]));
+  }
+  return Join(parts, ",");
+}
+
+Result<ColorHistogram> DecodeHistogram(std::string_view text) {
+  std::vector<double> bins;
+  for (const std::string& part : Split(text, ',')) {
+    IVR_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+    bins.push_back(v);
+  }
+  return ColorHistogram(std::move(bins));
+}
+
+std::string EncodeConcepts(const std::vector<bool>& concepts) {
+  std::string out;
+  out.reserve(concepts.size());
+  for (bool b : concepts) {
+    out.push_back(b ? '1' : '0');
+  }
+  return out;
+}
+
+// Line cursor over the archive.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : lines_(Split(text, '\n')) {}
+
+  Result<std::string> Next() {
+    if (pos_ >= lines_.size()) {
+      return Status::Corruption("unexpected end of collection archive");
+    }
+    return lines_[pos_++];
+  }
+
+  /// Reads "keyword <count>".
+  Result<size_t> Section(std::string_view keyword) {
+    IVR_ASSIGN_OR_RETURN(std::string line, Next());
+    const std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() != 2 || parts[0] != keyword) {
+      return Status::Corruption("expected section '" +
+                                std::string(keyword) + "', got: " + line);
+    }
+    IVR_ASSIGN_OR_RETURN(int64_t n, ParseInt(parts[1]));
+    if (n < 0) return Status::Corruption("negative section size");
+    return static_cast<size_t>(n);
+  }
+
+ private:
+  std::vector<std::string> lines_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<std::string>> Columns(const std::string& line,
+                                         size_t expected) {
+  std::vector<std::string> cols = Split(line, '\t');
+  if (cols.size() != expected) {
+    return Status::Corruption(StrFormat(
+        "expected %zu tab-separated columns, got %zu in: ", expected,
+        cols.size()) + line);
+  }
+  return cols;
+}
+
+}  // namespace
+
+std::string SerializeCollection(const GeneratedCollection& generated) {
+  const VideoCollection& c = generated.collection;
+  std::string out(kMagic);
+  out += "\n";
+
+  out += StrFormat("topics %zu\n", c.num_topics());
+  for (const std::string& name : c.topic_names()) {
+    out += name + "\n";
+  }
+
+  out += StrFormat("videos %zu\n", c.num_videos());
+  for (const Video& v : c.videos()) {
+    out += StrFormat("%u\t%s\t%d\n", v.id, v.name.c_str(), v.day);
+  }
+
+  out += StrFormat("stories %zu\n", c.num_stories());
+  for (const NewsStory& s : c.stories()) {
+    out += StrFormat("%u\t%u\t%u\t%s\n", s.id, s.video, s.topic,
+                     s.headline.c_str());
+  }
+
+  out += StrFormat("shots %zu\n", c.num_shots());
+  for (const Shot& s : c.shots()) {
+    out += StrFormat(
+        "%u\t%u\t%u\t%lld\t%lld\t%u\t%s\t%s\t%s\t%s\t%s\n", s.id, s.story,
+        s.video, static_cast<long long>(s.start_ms),
+        static_cast<long long>(s.duration_ms), s.primary_topic,
+        EncodeConcepts(s.concepts).c_str(), s.external_id.c_str(),
+        s.asr_transcript.c_str(), s.true_transcript.c_str(),
+        EncodeHistogram(s.keyframe).c_str());
+  }
+
+  out += StrFormat("searchtopics %zu\n", generated.topics.size());
+  for (const SearchTopic& t : generated.topics.topics) {
+    std::vector<std::string> examples;
+    for (const ColorHistogram& h : t.examples) {
+      examples.push_back(EncodeHistogram(h));
+    }
+    out += StrFormat("%u\t%u\t%s\t%s\t%s\n", t.id, t.target_topic,
+                     t.title.c_str(), t.description.c_str(),
+                     Join(examples, ";").c_str());
+  }
+
+  const std::string qrels = generated.qrels.ToTrecFormat();
+  const std::vector<std::string> qrel_lines = Split(qrels, '\n');
+  // Split leaves one trailing empty line for a \n-terminated blob.
+  const size_t num_qrels =
+      qrel_lines.empty() ? 0 : qrel_lines.size() - 1;
+  out += StrFormat("qrels %zu\n", num_qrels);
+  out += qrels;
+  return out;
+}
+
+Result<GeneratedCollection> ParseCollection(const std::string& text) {
+  LineReader reader(text);
+  IVR_ASSIGN_OR_RETURN(std::string magic, reader.Next());
+  if (Trim(magic) != kMagic) {
+    return Status::Corruption("not an ivr-collection v1 archive");
+  }
+
+  GeneratedCollection out;
+
+  IVR_ASSIGN_OR_RETURN(size_t num_topics, reader.Section("topics"));
+  std::vector<std::string> names;
+  for (size_t i = 0; i < num_topics; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string name, reader.Next());
+    names.push_back(std::move(name));
+  }
+  out.collection.SetTopicNames(std::move(names));
+
+  IVR_ASSIGN_OR_RETURN(size_t num_videos, reader.Section("videos"));
+  for (size_t i = 0; i < num_videos; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string line, reader.Next());
+    IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 3));
+    Video v;
+    v.name = cols[1];
+    IVR_ASSIGN_OR_RETURN(int64_t day, ParseInt(cols[2]));
+    v.day = static_cast<int32_t>(day);
+    const VideoId id = out.collection.AddVideo(std::move(v));
+    if (id != i) return Status::Corruption("non-dense video ids");
+  }
+
+  IVR_ASSIGN_OR_RETURN(size_t num_stories, reader.Section("stories"));
+  for (size_t i = 0; i < num_stories; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string line, reader.Next());
+    IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 4));
+    NewsStory s;
+    IVR_ASSIGN_OR_RETURN(int64_t video, ParseInt(cols[1]));
+    IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[2]));
+    s.video = static_cast<VideoId>(video);
+    s.topic = static_cast<TopicLabel>(topic);
+    s.headline = cols[3];
+    const StoryId id = out.collection.AddStory(std::move(s));
+    if (id != i) return Status::Corruption("non-dense story ids");
+    Video* v = out.collection.mutable_video(static_cast<VideoId>(video));
+    if (v == nullptr) return Status::Corruption("story with bad video id");
+    v->stories.push_back(id);
+  }
+
+  IVR_ASSIGN_OR_RETURN(size_t num_shots, reader.Section("shots"));
+  for (size_t i = 0; i < num_shots; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string line, reader.Next());
+    IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 11));
+    Shot s;
+    IVR_ASSIGN_OR_RETURN(int64_t story, ParseInt(cols[1]));
+    IVR_ASSIGN_OR_RETURN(int64_t video, ParseInt(cols[2]));
+    IVR_ASSIGN_OR_RETURN(int64_t start, ParseInt(cols[3]));
+    IVR_ASSIGN_OR_RETURN(int64_t duration, ParseInt(cols[4]));
+    IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[5]));
+    s.story = static_cast<StoryId>(story);
+    s.video = static_cast<VideoId>(video);
+    s.start_ms = start;
+    s.duration_ms = duration;
+    s.primary_topic = static_cast<TopicLabel>(topic);
+    for (char bit : cols[6]) {
+      if (bit != '0' && bit != '1') {
+        return Status::Corruption("bad concept bitstring");
+      }
+      s.concepts.push_back(bit == '1');
+    }
+    s.external_id = cols[7];
+    s.asr_transcript = cols[8];
+    s.true_transcript = cols[9];
+    IVR_ASSIGN_OR_RETURN(s.keyframe, DecodeHistogram(cols[10]));
+    const ShotId id = out.collection.AddShot(std::move(s));
+    if (id != i) return Status::Corruption("non-dense shot ids");
+    NewsStory* st =
+        out.collection.mutable_story(static_cast<StoryId>(story));
+    if (st == nullptr) return Status::Corruption("shot with bad story id");
+    st->shots.push_back(id);
+  }
+
+  IVR_ASSIGN_OR_RETURN(size_t num_search, reader.Section("searchtopics"));
+  for (size_t i = 0; i < num_search; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string line, reader.Next());
+    IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 5));
+    SearchTopic t;
+    IVR_ASSIGN_OR_RETURN(int64_t id, ParseInt(cols[0]));
+    IVR_ASSIGN_OR_RETURN(int64_t target, ParseInt(cols[1]));
+    t.id = static_cast<SearchTopicId>(id);
+    t.target_topic = static_cast<TopicLabel>(target);
+    t.title = cols[2];
+    t.description = cols[3];
+    if (!Trim(cols[4]).empty()) {
+      for (const std::string& enc : Split(cols[4], ';')) {
+        IVR_ASSIGN_OR_RETURN(ColorHistogram h, DecodeHistogram(enc));
+        t.examples.push_back(std::move(h));
+      }
+    }
+    out.topics.topics.push_back(std::move(t));
+  }
+
+  IVR_ASSIGN_OR_RETURN(size_t num_qrels, reader.Section("qrels"));
+  std::string qrel_text;
+  for (size_t i = 0; i < num_qrels; ++i) {
+    IVR_ASSIGN_OR_RETURN(std::string line, reader.Next());
+    qrel_text += line;
+    qrel_text += "\n";
+  }
+  IVR_ASSIGN_OR_RETURN(out.qrels, Qrels::FromTrecFormat(qrel_text));
+  return out;
+}
+
+Status SaveCollection(const GeneratedCollection& generated,
+                      const std::string& path) {
+  return WriteStringToFile(path, SerializeCollection(generated));
+}
+
+Result<GeneratedCollection> LoadCollection(const std::string& path) {
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseCollection(text);
+}
+
+}  // namespace ivr

@@ -1,0 +1,41 @@
+#ifndef IVR_VIDEO_SERIALIZATION_H_
+#define IVR_VIDEO_SERIALIZATION_H_
+
+#include <string>
+
+#include "ivr/core/result.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+
+/// Text archive format for a full test collection (collection + search
+/// topics + qrels), so generated corpora can be saved once and shared
+/// between the CLI tools, experiments, and external scripts.
+///
+/// Layout (all fields tab-separated within a line):
+///   ivr-collection v1
+///   topics <n>            followed by n topic-name lines
+///   videos <n>            id name day
+///   stories <n>           id video topic headline
+///   shots <n>             id story video start dur topic concepts
+///                         external asr true keyframe(csv floats)
+///   searchtopics <n>      id target title|desc|example-histograms
+///   qrels <n>             TREC qrels lines
+///
+/// Free-text fields never contain tabs (the generator's vocabulary is
+/// alphanumeric; loaders reject embedded tabs on write).
+std::string SerializeCollection(const GeneratedCollection& generated);
+
+/// Parses the format produced by SerializeCollection. The `options`
+/// member of the result is default-initialised (the archive captures the
+/// data, not the recipe).
+Result<GeneratedCollection> ParseCollection(const std::string& text);
+
+/// Convenience file wrappers.
+Status SaveCollection(const GeneratedCollection& generated,
+                      const std::string& path);
+Result<GeneratedCollection> LoadCollection(const std::string& path);
+
+}  // namespace ivr
+
+#endif  // IVR_VIDEO_SERIALIZATION_H_

@@ -1,0 +1,5 @@
+#include "ivr/video/topics.h"
+
+// TopicSet is header-only today; this file anchors the translation unit so
+// the build target exists and future serialisation code has a home.
+namespace ivr {}  // namespace ivr

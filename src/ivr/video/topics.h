@@ -1,0 +1,45 @@
+#ifndef IVR_VIDEO_TOPICS_H_
+#define IVR_VIDEO_TOPICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ivr/features/histogram.h"
+#include "ivr/video/qrels.h"
+#include "ivr/video/types.h"
+
+namespace ivr {
+
+/// A TRECVID-style search topic: a statement of an information need with a
+/// short title (what a user would type), a longer description, and example
+/// keyframes for query-by-visual-example.
+struct SearchTopic {
+  SearchTopicId id = 0;
+  /// Short query-like phrasing, e.g. "finance market shares bank".
+  std::string title;
+  /// Fuller narrative; simulated users draw reformulation terms from it.
+  std::string description;
+  /// Visual examples (topic-typical keyframes).
+  std::vector<ColorHistogram> examples;
+  /// Ground-truth subject this topic asks about (used by the generator to
+  /// derive qrels; retrieval systems never see it).
+  TopicLabel target_topic = 0;
+};
+
+/// A topic set plus its judgements — the full "test collection" triple is
+/// (VideoCollection, TopicSet, Qrels).
+struct TopicSet {
+  std::vector<SearchTopic> topics;
+
+  const SearchTopic* Find(SearchTopicId id) const {
+    for (const SearchTopic& t : topics) {
+      if (t.id == id) return &t;
+    }
+    return nullptr;
+  }
+  size_t size() const { return topics.size(); }
+};
+
+}  // namespace ivr
+
+#endif  // IVR_VIDEO_TOPICS_H_

@@ -1,0 +1,71 @@
+#ifndef IVR_VIDEO_TYPES_H_
+#define IVR_VIDEO_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivr/core/clock.h"
+#include "ivr/features/concept_detector.h"
+#include "ivr/features/histogram.h"
+
+namespace ivr {
+
+using VideoId = uint32_t;
+using StoryId = uint32_t;
+using ShotId = uint32_t;
+constexpr ShotId kInvalidShotId = static_cast<ShotId>(-1);
+constexpr StoryId kInvalidStoryId = static_cast<StoryId>(-1);
+constexpr VideoId kInvalidVideoId = static_cast<VideoId>(-1);
+
+/// A topic label in the collection's semantic space. Topics double as the
+/// concept vocabulary for the simulated concept detectors.
+using TopicLabel = ConceptId;
+
+/// The smallest retrievable unit: a camera shot within a news story. This
+/// is the granularity TRECVID-style search evaluates at, and the unit users
+/// click, play and judge.
+struct Shot {
+  ShotId id = kInvalidShotId;
+  StoryId story = kInvalidStoryId;
+  VideoId video = kInvalidVideoId;
+  /// Offset of the shot within its video and its playback length.
+  TimeMs start_ms = 0;
+  TimeMs duration_ms = 0;
+  /// What was actually said (generator ground truth, never indexed).
+  std::string true_transcript;
+  /// Speech-recogniser output (indexed); degraded copy of the truth.
+  std::string asr_transcript;
+  /// Ground-truth concept memberships, indexed by TopicLabel.
+  std::vector<bool> concepts;
+  /// The dominant topic of the shot.
+  TopicLabel primary_topic = 0;
+  /// Representative keyframe feature.
+  ColorHistogram keyframe;
+
+  /// Stable external key, e.g. "v003/s012/k2".
+  std::string external_id;
+};
+
+/// A news story: a run of consecutive shots about one subject.
+struct NewsStory {
+  StoryId id = kInvalidStoryId;
+  VideoId video = kInvalidVideoId;
+  TopicLabel topic = 0;
+  /// Editorial headline (metadata shown in interfaces; also indexed).
+  std::string headline;
+  std::vector<ShotId> shots;
+};
+
+/// One broadcast (e.g. an evening-news episode), a sequence of stories.
+struct Video {
+  VideoId id = kInvalidVideoId;
+  std::string name;
+  /// Broadcast day index (0 = first day of the collection).
+  int32_t day = 0;
+  std::vector<StoryId> stories;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_VIDEO_TYPES_H_

@@ -1,0 +1,236 @@
+#include "ivr/adaptive/adaptive_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/eval/metrics.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class AdaptiveEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 31;
+    options.num_topics = 6;
+    options.num_videos = 10;
+    // Hard ASR conditions: text retrieval alone leaves headroom for
+    // feedback to exploit.
+    options.asr_word_error_rate = 0.45;
+    options.general_word_prob = 0.6;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+  }
+
+  // Feeds positive interactions on `shots` into the backend. Each
+  // engagement is closed by a query event so dwell windows stay bounded.
+  void Engage(AdaptiveEngine* adaptive, const std::vector<ShotId>& shots,
+              TimeMs start = 0) {
+    TimeMs t = start;
+    for (ShotId shot : shots) {
+      InteractionEvent click;
+      click.time = t;
+      click.type = EventType::kClickKeyframe;
+      click.shot = shot;
+      adaptive->ObserveEvent(click);
+      InteractionEvent play;
+      play.time = t + 1000;
+      play.type = EventType::kPlayStop;
+      play.value = 20000.0;  // longer than any shot: fraction caps at 1
+      play.shot = shot;
+      adaptive->ObserveEvent(play);
+      InteractionEvent nav;
+      nav.time = t + 2000;
+      nav.type = EventType::kQuerySubmit;
+      nav.text = "next";
+      adaptive->ObserveEvent(nav);
+      t += 5000;
+    }
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+};
+
+TEST_F(AdaptiveEngineTest, PassthroughMatchesBaseEngine) {
+  AdaptiveOptions options;
+  options.use_implicit = false;
+  options.use_profile = false;
+  AdaptiveEngine adaptive(*engine_, options, nullptr);
+  Query query;
+  query.text = generated_->topics.topics[0].title;
+  const ResultList base = engine_->Search(query, 50);
+  const ResultList adapted = adaptive.Search(query, 50);
+  ASSERT_EQ(base.size(), adapted.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.at(i).shot, adapted.at(i).shot);
+  }
+}
+
+TEST_F(AdaptiveEngineTest, ImplicitFeedbackImprovesAp) {
+  const SearchTopic& topic = generated_->topics.topics[0];
+  Query query;
+  query.text = topic.title;
+
+  AdaptiveOptions options;
+  options.use_implicit = true;
+  AdaptiveEngine adaptive(*engine_, options, nullptr);
+  adaptive.BeginSession();
+
+  const ResultList before = adaptive.Search(query, 1000);
+  const double ap_before =
+      AveragePrecision(before, generated_->qrels, topic.id);
+
+  // The user engages with three truly relevant shots.
+  const std::vector<ShotId> relevant =
+      generated_->qrels.RelevantShots(topic.id, 2);
+  ASSERT_GE(relevant.size(), 3u);
+  Engage(&adaptive, {relevant[0], relevant[1], relevant[2]});
+
+  const ResultList after = adaptive.Search(query, 1000);
+  const double ap_after =
+      AveragePrecision(after, generated_->qrels, topic.id);
+  EXPECT_GT(ap_after, ap_before);
+}
+
+TEST_F(AdaptiveEngineTest, BeginSessionClearsFeedback) {
+  const SearchTopic& topic = generated_->topics.topics[0];
+  Query query;
+  query.text = topic.title;
+  AdaptiveEngine adaptive(*engine_, AdaptiveOptions(), nullptr);
+  adaptive.BeginSession();
+  const ResultList clean = adaptive.Search(query, 50);
+
+  const std::vector<ShotId> relevant =
+      generated_->qrels.RelevantShots(topic.id, 2);
+  Engage(&adaptive, {relevant[0], relevant[1]});
+  EXPECT_FALSE(adaptive.session_events().empty());
+  EXPECT_FALSE(adaptive.CurrentEvidence().empty());
+
+  adaptive.BeginSession();
+  EXPECT_TRUE(adaptive.session_events().empty());
+  EXPECT_TRUE(adaptive.CurrentEvidence().empty());
+  const ResultList again = adaptive.Search(query, 50);
+  ASSERT_EQ(clean.size(), again.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean.at(i).shot, again.at(i).shot);
+  }
+}
+
+TEST_F(AdaptiveEngineTest, ProfileRerankingBoostsPreferredTopic) {
+  // Profile loves topic 1; query for topic 0's vocabulary would normally
+  // rank topic-0 shots on top. With profile reranking at high lambda, the
+  // user's preferred shots that still match text move up.
+  UserProfile profile("fan");
+  profile.SetInterest(generated_->topics.topics[1].target_topic, 1.0);
+
+  AdaptiveOptions options;
+  options.use_implicit = false;
+  options.use_profile = true;
+  options.profile_lambda = 0.9;
+  AdaptiveEngine adaptive(*engine_, options, &profile);
+
+  Query query;
+  query.text = generated_->topics.topics[0].title + " " +
+               generated_->topics.topics[1].title;
+  const ResultList plain = engine_->Search(query, 50);
+  const ResultList personalised = adaptive.Search(query, 50);
+
+  // Count preferred-topic shots in the top 10 of each.
+  auto count_preferred = [&](const ResultList& list) {
+    size_t n = 0;
+    for (size_t i = 0; i < std::min<size_t>(10, list.size()); ++i) {
+      const Shot* shot =
+          generated_->collection.shot(list.at(i).shot).value();
+      if (shot->primary_topic ==
+          generated_->topics.topics[1].target_topic) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GE(count_preferred(personalised), count_preferred(plain));
+}
+
+TEST_F(AdaptiveEngineTest, OstensiveOptionChangesEvidence) {
+  const SearchTopic& topic = generated_->topics.topics[0];
+  const std::vector<ShotId> relevant =
+      generated_->qrels.RelevantShots(topic.id, 2);
+  ASSERT_GE(relevant.size(), 2u);
+
+  AdaptiveOptions plain;
+  plain.use_ostensive = false;
+  AdaptiveOptions decayed;
+  decayed.use_ostensive = true;
+  decayed.ostensive_half_life_ms = kMillisPerMinute;
+
+  AdaptiveEngine a(*engine_, plain, nullptr);
+  AdaptiveEngine b(*engine_, decayed, nullptr);
+  for (AdaptiveEngine* e : {&a, &b}) {
+    Engage(e, {relevant[0]}, /*start=*/0);
+    Engage(e, {relevant[1]}, /*start=*/10 * kMillisPerMinute);
+  }
+  const auto ev_a = a.CurrentEvidence();
+  const auto ev_b = b.CurrentEvidence();
+  ASSERT_EQ(ev_a.size(), 2u);
+  ASSERT_EQ(ev_b.size(), 2u);
+  // Without decay both shots weigh the same; with decay the old one is
+  // discounted.
+  EXPECT_NEAR(ev_a[0].weight, ev_a[1].weight, 1e-9);
+  const double old_w =
+      ev_b[0].shot == relevant[0] ? ev_b[0].weight : ev_b[1].weight;
+  const double new_w =
+      ev_b[0].shot == relevant[0] ? ev_b[1].weight : ev_b[0].weight;
+  EXPECT_LT(old_w, new_w);
+}
+
+TEST_F(AdaptiveEngineTest, InjectedSchemeUsed) {
+  AdaptiveEngine adaptive(*engine_, AdaptiveOptions(), nullptr);
+  const BinaryWeighting binary;
+  adaptive.SetWeightingScheme(&binary);
+  InteractionEvent ev;
+  ev.type = EventType::kClickKeyframe;
+  ev.shot = 0;
+  adaptive.ObserveEvent(ev);
+  const auto evidence = adaptive.CurrentEvidence();
+  ASSERT_EQ(evidence.size(), 1u);
+  EXPECT_DOUBLE_EQ(evidence[0].weight, 1.0);  // binary scheme signature
+  adaptive.SetWeightingScheme(nullptr);       // ignored
+  EXPECT_DOUBLE_EQ(adaptive.CurrentEvidence()[0].weight, 1.0);
+}
+
+TEST_F(AdaptiveEngineTest, NameReflectsConfiguration) {
+  AdaptiveOptions options;
+  options.use_implicit = true;
+  options.use_profile = true;
+  options.use_ostensive = true;
+  UserProfile profile("u");
+  AdaptiveEngine adaptive(*engine_, options, &profile);
+  const std::string name = adaptive.name();
+  EXPECT_NE(name.find("implicit"), std::string::npos);
+  EXPECT_NE(name.find("profile"), std::string::npos);
+  EXPECT_NE(name.find("ostensive"), std::string::npos);
+
+  AdaptiveOptions off;
+  off.use_implicit = false;
+  off.use_profile = false;
+  AdaptiveEngine passthrough(*engine_, off, nullptr);
+  EXPECT_NE(passthrough.name().find("passthrough"), std::string::npos);
+}
+
+TEST_F(AdaptiveEngineTest, UnknownSchemeNameFallsBackToLinear) {
+  AdaptiveOptions options;
+  options.weighting_scheme = "no-such-scheme";
+  AdaptiveEngine adaptive(*engine_, options, nullptr);
+  EXPECT_NE(adaptive.name().find("linear"), std::string::npos);
+}
+
+TEST_F(AdaptiveEngineTest, EmptyQueryStillEmpty) {
+  AdaptiveEngine adaptive(*engine_, AdaptiveOptions(), nullptr);
+  EXPECT_TRUE(adaptive.Search(Query(), 10).empty());
+}
+
+}  // namespace
+}  // namespace ivr

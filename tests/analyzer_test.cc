@@ -1,0 +1,79 @@
+#include "ivr/text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/text/stopwords.h"
+
+namespace ivr {
+namespace {
+
+TEST(StopwordsTest, CommonWordsPresent) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("is"));
+  EXPECT_TRUE(IsStopword("dont"));  // post-tokenizer form of "don't"
+  EXPECT_FALSE(IsStopword("news"));
+  EXPECT_FALSE(IsStopword("retrieval"));
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(AnalyzerTest, DefaultPipelineStopsAndStems) {
+  const Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("The connected videos are playing"),
+            (std::vector<std::string>{"connect", "video", "plai"}));
+}
+
+TEST(AnalyzerTest, QueryAndDocumentAgree) {
+  const Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("connections"), analyzer.Analyze("connected"));
+}
+
+TEST(AnalyzerTest, NoStemmingOption) {
+  AnalyzerOptions options;
+  options.stem = false;
+  const Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("connected videos"),
+            (std::vector<std::string>{"connected", "videos"}));
+}
+
+TEST(AnalyzerTest, KeepStopwordsOption) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  const Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("the news"),
+            (std::vector<std::string>{"the", "news"}));
+}
+
+TEST(AnalyzerTest, DropNumericOption) {
+  AnalyzerOptions options;
+  options.drop_numeric = true;
+  const Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("match 2008 finals"),
+            (std::vector<std::string>{"match", "final"}));
+}
+
+TEST(AnalyzerTest, MinTokenLength) {
+  AnalyzerOptions options;
+  options.min_token_length = 4;
+  options.stem = false;
+  const Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("go find news now"),
+            (std::vector<std::string>{"find", "news"}));
+}
+
+TEST(AnalyzerTest, AnalyzeTokenFiltersAndStems) {
+  const Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeToken("the"), "");
+  EXPECT_EQ(analyzer.AnalyzeToken(""), "");
+  EXPECT_EQ(analyzer.AnalyzeToken("videos"), "video");
+}
+
+TEST(AnalyzerTest, EmptyInput) {
+  const Analyzer analyzer;
+  EXPECT_TRUE(analyzer.Analyze("").empty());
+  EXPECT_TRUE(analyzer.Analyze("the is a of").empty());
+}
+
+}  // namespace
+}  // namespace ivr

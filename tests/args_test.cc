@@ -1,0 +1,77 @@
+#include "ivr/core/args.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "tool");
+  return ArgParser::Parse(static_cast<int>(argv.size()), argv.data())
+      .value();
+}
+
+TEST(ArgParserTest, KeyEqualsValue) {
+  const ArgParser args = Parse({"--seed=42", "--name=test"});
+  EXPECT_TRUE(args.Has("seed"));
+  EXPECT_EQ(args.GetString("seed"), "42");
+  EXPECT_EQ(args.GetString("name"), "test");
+}
+
+TEST(ArgParserTest, KeySpaceValue) {
+  const ArgParser args = Parse({"--seed", "42", "--out", "file.txt"});
+  EXPECT_EQ(args.GetString("seed"), "42");
+  EXPECT_EQ(args.GetString("out"), "file.txt");
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  const ArgParser args = Parse({"--visual", "--k", "5"});
+  EXPECT_TRUE(args.GetBool("visual"));
+  EXPECT_EQ(args.GetString("visual"), "true");
+  EXPECT_EQ(args.GetInt("k", 0).value(), 5);
+}
+
+TEST(ArgParserTest, FlagFollowedByFlagStaysBare) {
+  const ArgParser args = Parse({"--a", "--b", "x"});
+  EXPECT_EQ(args.GetString("a"), "true");
+  EXPECT_EQ(args.GetString("b"), "x");
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const ArgParser args = Parse({"input.txt", "--k=3", "output.txt"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.txt", "output.txt"}));
+}
+
+TEST(ArgParserTest, TypedGetters) {
+  const ArgParser args = Parse({"--n=7", "--rate=0.25", "--on=yes",
+                                "--off=0"});
+  EXPECT_EQ(args.GetInt("n", -1).value(), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0).value(), 0.25);
+  EXPECT_TRUE(args.GetBool("on"));
+  EXPECT_FALSE(args.GetBool("off"));
+  // Fallbacks for absent keys.
+  EXPECT_EQ(args.GetInt("missing", 9).value(), 9);
+  EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5).value(), 1.5);
+  EXPECT_TRUE(args.GetBool("missing", true));
+  EXPECT_EQ(args.GetString("missing", "dft"), "dft");
+}
+
+TEST(ArgParserTest, MalformedTypedValuesError) {
+  const ArgParser args = Parse({"--n=notanumber"});
+  EXPECT_FALSE(args.GetInt("n", 0).ok());
+  EXPECT_FALSE(args.GetDouble("n", 0.0).ok());
+}
+
+TEST(ArgParserTest, BareDoubleDashRejected) {
+  const char* argv[] = {"tool", "--"};
+  EXPECT_TRUE(ArgParser::Parse(2, argv).status().IsInvalidArgument());
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  const ArgParser args = Parse({"--k=1", "--k=2"});
+  EXPECT_EQ(args.GetInt("k", 0).value(), 2);
+}
+
+}  // namespace
+}  // namespace ivr

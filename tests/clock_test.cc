@@ -1,0 +1,51 @@
+#include "ivr/core/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(SimulatedClockTest, StartsAtGivenTime) {
+  SimulatedClock clock(1500);
+  EXPECT_EQ(clock.Now(), 1500);
+  EXPECT_EQ(SimulatedClock().Now(), 0);
+}
+
+TEST(SimulatedClockTest, AdvanceAccumulates) {
+  SimulatedClock clock;
+  clock.Advance(100);
+  clock.Advance(250);
+  EXPECT_EQ(clock.Now(), 350);
+}
+
+TEST(SimulatedClockTest, NegativeAdvanceIgnored) {
+  SimulatedClock clock(100);
+  clock.Advance(-50);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(0);
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(SimulatedClockTest, AdvanceToIsMonotonic) {
+  SimulatedClock clock(100);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.Now(), 500);
+  clock.AdvanceTo(200);  // past: ignored
+  EXPECT_EQ(clock.Now(), 500);
+}
+
+TEST(FormatDurationTest, FormatsComponents) {
+  EXPECT_EQ(FormatDuration(0), "0:00:00.000");
+  EXPECT_EQ(FormatDuration(1234), "0:00:01.234");
+  EXPECT_EQ(FormatDuration(kMillisPerMinute + 2 * kMillisPerSecond + 3),
+            "0:01:02.003");
+  EXPECT_EQ(FormatDuration(2 * kMillisPerHour + 30 * kMillisPerMinute),
+            "2:30:00.000");
+}
+
+TEST(FormatDurationTest, NegativeDurations) {
+  EXPECT_EQ(FormatDuration(-1500), "-0:00:01.500");
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,85 @@
+#include "ivr/features/concept_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(ConceptDetectorTest, Deterministic) {
+  SimulatedConceptDetector detector(4, {}, 42);
+  const double a = detector.Detect(7, 2, true);
+  const double b = detector.Detect(7, 2, true);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(ConceptDetectorTest, ConfidencesInUnitInterval) {
+  SimulatedConceptDetector::Options options;
+  options.noise_stddev = 1.0;  // force clamping to happen
+  SimulatedConceptDetector detector(4, options, 1);
+  for (uint64_t shot = 0; shot < 200; ++shot) {
+    const double c = detector.Detect(shot, 0, shot % 2 == 0);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST(ConceptDetectorTest, SeparatesPresentFromAbsent) {
+  SimulatedConceptDetector detector(1, {}, 3);
+  double present_mean = 0.0;
+  double absent_mean = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    present_mean += detector.Detect(static_cast<uint64_t>(i), 0, true);
+    absent_mean +=
+        detector.Detect(static_cast<uint64_t>(i) + 100000, 0, false);
+  }
+  present_mean /= n;
+  absent_mean /= n;
+  EXPECT_NEAR(present_mean, 0.8, 0.02);
+  EXPECT_NEAR(absent_mean, 0.2, 0.02);
+}
+
+TEST(ConceptDetectorTest, UninformativeAtHalf) {
+  SimulatedConceptDetector::Options options;
+  options.mean_positive = 0.5;
+  SimulatedConceptDetector detector(1, options, 5);
+  double diff = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    diff += detector.Detect(static_cast<uint64_t>(i), 0, true) -
+            detector.Detect(static_cast<uint64_t>(i) + 50000, 0, false);
+  }
+  EXPECT_NEAR(diff / n, 0.0, 0.02);
+}
+
+TEST(ConceptDetectorTest, DifferentSeedsGiveDifferentScores) {
+  SimulatedConceptDetector a(1, {}, 1);
+  SimulatedConceptDetector b(1, {}, 2);
+  int identical = 0;
+  for (uint64_t shot = 0; shot < 50; ++shot) {
+    if (a.Detect(shot, 0, true) == b.Detect(shot, 0, true)) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(ConceptDetectorTest, DetectAllAlignsWithTruth) {
+  SimulatedConceptDetector detector(3, {}, 9);
+  const std::vector<bool> truth = {true, false, true};
+  const std::vector<double> scores = detector.DetectAll(11, truth);
+  ASSERT_EQ(scores.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(
+        scores[c],
+        detector.Detect(11, static_cast<ConceptId>(c), truth[c]));
+  }
+}
+
+TEST(ConceptDetectorTest, DetectAllTreatsMissingTruthAsAbsent) {
+  SimulatedConceptDetector detector(3, {}, 9);
+  const std::vector<double> scores = detector.DetectAll(11, {true});
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[1], detector.Detect(11, 1, false));
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,74 @@
+#include "ivr/index/document_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+Document MakeDoc(const std::string& ext, const std::string& text) {
+  Document doc;
+  doc.external_id = ext;
+  doc.text = text;
+  return doc;
+}
+
+TEST(DocumentStoreTest, AddAssignsDenseIds) {
+  DocumentStore store;
+  EXPECT_EQ(store.Add(MakeDoc("a", "x")).value(), 0u);
+  EXPECT_EQ(store.Add(MakeDoc("b", "y")).value(), 1u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(DocumentStoreTest, GetReturnsStoredDocument) {
+  DocumentStore store;
+  Document doc = MakeDoc("shot1", "hello world");
+  doc.fields["headline"] = "breaking";
+  const DocId id = store.Add(doc).value();
+  const Document* got = store.Get(id).value();
+  EXPECT_EQ(got->id, id);
+  EXPECT_EQ(got->external_id, "shot1");
+  EXPECT_EQ(got->text, "hello world");
+  EXPECT_EQ(got->fields.at("headline"), "breaking");
+}
+
+TEST(DocumentStoreTest, GetOutOfRange) {
+  DocumentStore store;
+  EXPECT_TRUE(store.Get(0).status().IsOutOfRange());
+  store.Add(MakeDoc("a", "x")).value();
+  EXPECT_TRUE(store.Get(1).status().IsOutOfRange());
+  EXPECT_TRUE(store.Get(kInvalidDocId).status().IsOutOfRange());
+}
+
+TEST(DocumentStoreTest, DuplicateExternalIdRejected) {
+  DocumentStore store;
+  ASSERT_TRUE(store.Add(MakeDoc("dup", "1")).ok());
+  EXPECT_TRUE(store.Add(MakeDoc("dup", "2")).status().IsAlreadyExists());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(DocumentStoreTest, EmptyExternalIdRejected) {
+  DocumentStore store;
+  EXPECT_TRUE(store.Add(MakeDoc("", "x")).status().IsInvalidArgument());
+}
+
+TEST(DocumentStoreTest, LookupExternal) {
+  DocumentStore store;
+  store.Add(MakeDoc("v1/s1", "a")).value();
+  const DocId id = store.Add(MakeDoc("v1/s2", "b")).value();
+  EXPECT_EQ(store.LookupExternal("v1/s2").value(), id);
+  EXPECT_TRUE(store.LookupExternal("v9/s9").status().IsNotFound());
+}
+
+TEST(DocumentStoreTest, DocumentsVectorAlignedWithIds) {
+  DocumentStore store;
+  store.Add(MakeDoc("a", "1")).value();
+  store.Add(MakeDoc("b", "2")).value();
+  const auto& docs = store.documents();
+  ASSERT_EQ(docs.size(), 2u);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].id, static_cast<DocId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,110 @@
+#include "ivr/feedback/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+InteractionEvent MakeEvent(TimeMs time, EventType type, ShotId shot,
+                           double value = 0.0) {
+  InteractionEvent ev;
+  ev.time = time;
+  ev.type = type;
+  ev.shot = shot;
+  ev.value = value;
+  return ev;
+}
+
+std::vector<InteractionEvent> EngagedAndIgnored() {
+  return {
+      MakeEvent(0, EventType::kResultDisplayed, 1, 0.0),
+      MakeEvent(0, EventType::kResultDisplayed, 2, 1.0),
+      MakeEvent(1000, EventType::kClickKeyframe, 1),
+      MakeEvent(2000, EventType::kPlayStart, 1),
+      MakeEvent(9000, EventType::kPlayStop, 1, 7000.0),
+  };
+}
+
+TEST(EstimatorTest, PositiveForEngagedNegativeForBrowsedPast) {
+  const LinearWeighting scheme;
+  const ImplicitRelevanceEstimator estimator(scheme);
+  const auto evidence = estimator.Estimate(EngagedAndIgnored(), nullptr);
+  ASSERT_EQ(evidence.size(), 2u);
+  double engaged = 0.0;
+  double ignored = 0.0;
+  for (const RelevanceEvidence& e : evidence) {
+    if (e.shot == 1) engaged = e.weight;
+    if (e.shot == 2) ignored = e.weight;
+  }
+  EXPECT_GT(engaged, 0.0);
+  EXPECT_LT(ignored, 0.0);
+}
+
+TEST(EstimatorTest, MinAbsWeightFiltersWeakEvidence) {
+  const LinearWeighting scheme;
+  ImplicitRelevanceEstimator::Options options;
+  options.min_abs_weight = 100.0;  // absurdly high threshold
+  const ImplicitRelevanceEstimator estimator(scheme, options);
+  EXPECT_TRUE(estimator.Estimate(EngagedAndIgnored(), nullptr).empty());
+}
+
+TEST(EstimatorTest, OstensiveDecayDiscountsOldEvidence) {
+  const BinaryWeighting scheme;  // both shots get identical raw score 1
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 1),
+      MakeEvent(10 * kMillisPerMinute, EventType::kClickKeyframe, 2),
+  };
+  ImplicitRelevanceEstimator::Options options;
+  options.use_ostensive = true;
+  options.ostensive_half_life_ms = kMillisPerMinute;
+  const ImplicitRelevanceEstimator estimator(scheme, options);
+  const auto evidence = estimator.Estimate(events, nullptr);
+  ASSERT_EQ(evidence.size(), 2u);
+  double old_weight = 0.0;
+  double new_weight = 0.0;
+  for (const RelevanceEvidence& e : evidence) {
+    if (e.shot == 1) old_weight = e.weight;
+    if (e.shot == 2) new_weight = e.weight;
+  }
+  EXPECT_DOUBLE_EQ(new_weight, 1.0);
+  EXPECT_NEAR(old_weight, std::pow(0.5, 10.0), 1e-9);
+  EXPECT_LT(old_weight, new_weight);
+}
+
+TEST(EstimatorTest, WithoutOstensiveAgeIrrelevant) {
+  const BinaryWeighting scheme;
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 1),
+      MakeEvent(10 * kMillisPerMinute, EventType::kClickKeyframe, 2),
+  };
+  const ImplicitRelevanceEstimator estimator(scheme);
+  const auto evidence = estimator.Estimate(events, nullptr);
+  ASSERT_EQ(evidence.size(), 2u);
+  EXPECT_DOUBLE_EQ(evidence[0].weight, evidence[1].weight);
+}
+
+TEST(EstimatorTest, EmptyEventsYieldNoEvidence) {
+  const LinearWeighting scheme;
+  const ImplicitRelevanceEstimator estimator(scheme);
+  EXPECT_TRUE(estimator.Estimate({}, nullptr).empty());
+}
+
+TEST(EstimatorTest, EvidenceOrderedByShotId) {
+  const LinearWeighting scheme;
+  const ImplicitRelevanceEstimator estimator(scheme);
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 9),
+      MakeEvent(1, EventType::kClickKeyframe, 3),
+      MakeEvent(2, EventType::kClickKeyframe, 5),
+  };
+  const auto evidence = estimator.Estimate(events, nullptr);
+  ASSERT_EQ(evidence.size(), 3u);
+  EXPECT_EQ(evidence[0].shot, 3u);
+  EXPECT_EQ(evidence[1].shot, 5u);
+  EXPECT_EQ(evidence[2].shot, 9u);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,69 @@
+#include "ivr/feedback/events.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(EventTypeTest, NameRoundTrip) {
+  const EventType all[] = {
+      EventType::kQuerySubmit,       EventType::kVisualExample,
+      EventType::kResultDisplayed,   EventType::kBrowseNextPage,
+      EventType::kBrowsePrevPage,    EventType::kTooltipHover,
+      EventType::kClickKeyframe,     EventType::kPlayStart,
+      EventType::kPlayStop,          EventType::kSeek,
+      EventType::kHighlightMetadata, EventType::kMarkRelevant,
+      EventType::kMarkNotRelevant,   EventType::kSessionEnd,
+  };
+  for (EventType type : all) {
+    const std::string_view name = EventTypeName(type);
+    EXPECT_NE(name, "unknown");
+    EXPECT_EQ(EventTypeFromName(name).value(), type);
+  }
+}
+
+TEST(EventTypeTest, UnknownNameRejected) {
+  EXPECT_TRUE(EventTypeFromName("teleport").status().IsInvalidArgument());
+  EXPECT_TRUE(EventTypeFromName("").status().IsInvalidArgument());
+}
+
+TEST(EventTypeTest, EventHasShotClassification) {
+  EXPECT_TRUE(EventHasShot(EventType::kClickKeyframe));
+  EXPECT_TRUE(EventHasShot(EventType::kPlayStop));
+  EXPECT_TRUE(EventHasShot(EventType::kMarkRelevant));
+  EXPECT_FALSE(EventHasShot(EventType::kQuerySubmit));
+  EXPECT_FALSE(EventHasShot(EventType::kBrowseNextPage));
+  EXPECT_FALSE(EventHasShot(EventType::kSessionEnd));
+}
+
+TEST(SortEventsTest, ChronologicalStableOrder) {
+  InteractionEvent a;
+  a.time = 100;
+  a.type = EventType::kClickKeyframe;
+  InteractionEvent b;
+  b.time = 50;
+  b.type = EventType::kQuerySubmit;
+  InteractionEvent c;
+  c.time = 100;
+  c.type = EventType::kPlayStart;  // later enum than click
+
+  std::vector<InteractionEvent> events = {c, a, b};
+  SortEvents(&events);
+  EXPECT_EQ(events[0].type, EventType::kQuerySubmit);
+  EXPECT_EQ(events[1].type, EventType::kClickKeyframe);
+  EXPECT_EQ(events[2].type, EventType::kPlayStart);
+}
+
+TEST(EventTimeLessTest, TimeDominatesType) {
+  InteractionEvent early;
+  early.time = 1;
+  early.type = EventType::kSessionEnd;
+  InteractionEvent late;
+  late.time = 2;
+  late.type = EventType::kQuerySubmit;
+  EXPECT_TRUE(EventTimeLess(early, late));
+  EXPECT_FALSE(EventTimeLess(late, early));
+}
+
+}  // namespace
+}  // namespace ivr

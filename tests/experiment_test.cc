@@ -1,0 +1,73 @@
+#include "ivr/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+Qrels MakeQrels() {
+  Qrels qrels;
+  qrels.Set(1, 1, 1);
+  qrels.Set(1, 2, 1);
+  qrels.Set(2, 5, 2);
+  return qrels;
+}
+
+TEST(EvaluateSystemTest, PerTopicAndMean) {
+  SystemRun run;
+  run.system = "bm25";
+  run.runs[1] = ResultList({{1, 2.0}, {2, 1.0}});  // perfect for topic 1
+  run.runs[2] = ResultList({{9, 2.0}, {5, 1.0}});  // AP 0.5 for topic 2
+  const SystemEvaluation eval =
+      EvaluateSystem(run, MakeQrels(), {1, 2});
+  EXPECT_EQ(eval.system, "bm25");
+  ASSERT_EQ(eval.per_topic.size(), 2u);
+  EXPECT_DOUBLE_EQ(eval.per_topic[0].ap, 1.0);
+  EXPECT_DOUBLE_EQ(eval.per_topic[1].ap, 0.5);
+  EXPECT_DOUBLE_EQ(eval.mean.ap, 0.75);
+  EXPECT_EQ(eval.ApVector(), (std::vector<double>{1.0, 0.5}));
+}
+
+TEST(EvaluateSystemTest, MissingTopicCountsAsEmptyRun) {
+  SystemRun run;
+  run.system = "partial";
+  run.runs[1] = ResultList({{1, 2.0}, {2, 1.0}});
+  const SystemEvaluation eval =
+      EvaluateSystem(run, MakeQrels(), {1, 2});
+  EXPECT_DOUBLE_EQ(eval.per_topic[1].ap, 0.0);
+  EXPECT_DOUBLE_EQ(eval.mean.ap, 0.5);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"system", "map"});
+  table.AddRow({"baseline", "0.1234"});
+  table.AddRow({"adaptive", "0.2345"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("0.2345"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(FormatMetricTest, FourDecimals) {
+  EXPECT_EQ(FormatMetric(0.5), "0.5000");
+  EXPECT_EQ(FormatMetric(0.123456), "0.1235");
+}
+
+TEST(FormatRelativeChangeTest, SignedPercent) {
+  EXPECT_EQ(FormatRelativeChange(0.62, 0.5), "+24.0%");
+  EXPECT_EQ(FormatRelativeChange(0.4, 0.5), "-20.0%");
+  EXPECT_EQ(FormatRelativeChange(0.5, 0.5), "+0.0%");
+  EXPECT_EQ(FormatRelativeChange(0.5, 0.0), "n/a");
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,97 @@
+#include "ivr/retrieval/fusion.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  const ResultList norm =
+      MinMaxNormalize(ResultList({{1, 10.0}, {2, 20.0}, {3, 15.0}}));
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(1), 0.0);
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(3), 0.5);
+}
+
+TEST(MinMaxNormalizeTest, ConstantListMapsToOnes) {
+  const ResultList norm = MinMaxNormalize(ResultList({{1, 5.0}, {2, 5.0}}));
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(2), 1.0);
+}
+
+TEST(MinMaxNormalizeTest, EmptyList) {
+  EXPECT_TRUE(MinMaxNormalize(ResultList()).empty());
+}
+
+TEST(CombSumTest, AddsNormalizedEvidence) {
+  const ResultList a({{1, 1.0}, {2, 0.0}});
+  const ResultList b({{2, 2.0}, {3, 0.0}});
+  const ResultList fused = CombSum({a, b});
+  // Shot 1: 1.0; shot 2: 0.0 + 1.0; shot 3: 0.0.
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(3), 0.0);
+  EXPECT_EQ(fused.size(), 3u);
+}
+
+TEST(CombMnzTest, RewardsMultiListPresence) {
+  const ResultList a({{1, 1.0}, {2, 0.5}, {4, 0.0}});
+  const ResultList b({{2, 1.0}, {3, 0.0}});
+  const ResultList fused = CombMnz({a, b});
+  // Shot 2 appears in both lists: (0.5 + 1.0) * 2 = 3.0.
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 3.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 1.0);
+}
+
+TEST(WeightedLinearTest, RespectsWeights) {
+  const ResultList a({{1, 1.0}, {2, 0.0}});
+  const ResultList b({{2, 1.0}, {1, 0.0}});
+  const ResultList fused = WeightedLinear({a, b}, {0.9, 0.1});
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 0.9);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 0.1);
+  EXPECT_EQ(fused.at(0).shot, 1u);
+}
+
+TEST(WeightedLinearTest, ZeroWeightListIgnored) {
+  const ResultList a({{1, 1.0}});
+  const ResultList b({{2, 1.0}});
+  const ResultList fused = WeightedLinear({a, b}, {1.0, 0.0});
+  EXPECT_FALSE(fused.Contains(2));
+}
+
+TEST(ReciprocalRankFusionTest, EarlierRanksScoreHigher) {
+  const ResultList a({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  const ResultList fused = ReciprocalRankFusion({a}, 60.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 1.0 / 61.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 1.0 / 62.0);
+  EXPECT_GT(fused.ScoreOf(1), fused.ScoreOf(3));
+}
+
+TEST(ReciprocalRankFusionTest, AgreementWins) {
+  const ResultList a({{1, 3.0}, {2, 2.0}});
+  const ResultList b({{2, 9.0}, {3, 1.0}});
+  const ResultList fused = ReciprocalRankFusion({a, b});
+  // Shot 2 is in both lists (ranks 2 and 1) and must beat both
+  // single-list shots.
+  EXPECT_EQ(fused.at(0).shot, 2u);
+}
+
+TEST(BordaCountTest, AwardsPositionPoints) {
+  const ResultList a({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  const ResultList fused = BordaCount({a});
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 3.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 2.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(3), 1.0);
+}
+
+TEST(FusionTest, EmptyInputs) {
+  EXPECT_TRUE(CombSum({}).empty());
+  EXPECT_TRUE(CombMnz({}).empty());
+  EXPECT_TRUE(WeightedLinear({}, {}).empty());
+  EXPECT_TRUE(ReciprocalRankFusion({}).empty());
+  EXPECT_TRUE(BordaCount({}).empty());
+  EXPECT_TRUE(CombSum({ResultList(), ResultList()}).empty());
+}
+
+}  // namespace
+}  // namespace ivr

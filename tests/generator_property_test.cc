@@ -1,0 +1,167 @@
+// Property suite for the collection generator across a parameter grid:
+// the structural invariants every downstream component relies on must
+// hold at every point of the configuration space.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+struct GridPoint {
+  uint64_t seed;
+  size_t num_topics;
+  double wer;
+  double leak;
+  double off_topic;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  GeneratedCollection Generate() const {
+    const GridPoint& p = GetParam();
+    GeneratorOptions options;
+    options.seed = p.seed;
+    options.num_topics = p.num_topics;
+    options.num_videos = 6;
+    options.asr_word_error_rate = p.wer;
+    options.topic_word_leak_prob = p.leak;
+    options.off_topic_shot_prob = p.off_topic;
+    return GenerateCollection(options).value();
+  }
+};
+
+TEST_P(GeneratorPropertyTest, IdsAreDenseAndCrossLinked) {
+  const GeneratedCollection g = Generate();
+  const VideoCollection& c = g.collection;
+  for (size_t i = 0; i < c.num_videos(); ++i) {
+    EXPECT_EQ(c.videos()[i].id, static_cast<VideoId>(i));
+  }
+  for (size_t i = 0; i < c.num_stories(); ++i) {
+    const NewsStory& s = c.stories()[i];
+    EXPECT_EQ(s.id, static_cast<StoryId>(i));
+    EXPECT_LT(s.video, c.num_videos());
+    EXPECT_LT(s.topic, g.options.num_topics);
+  }
+  for (size_t i = 0; i < c.num_shots(); ++i) {
+    const Shot& s = c.shots()[i];
+    EXPECT_EQ(s.id, static_cast<ShotId>(i));
+    EXPECT_LT(s.story, c.num_stories());
+    EXPECT_EQ(c.story(s.story).value()->video, s.video);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, ShotsWithinStoryAreContiguousInTime) {
+  const GeneratedCollection g = Generate();
+  for (const Video& video : g.collection.videos()) {
+    TimeMs cursor = 0;
+    for (StoryId sid : video.stories) {
+      const NewsStory* story = g.collection.story(sid).value();
+      for (ShotId shot_id : story->shots) {
+        const Shot* shot = g.collection.shot(shot_id).value();
+        EXPECT_EQ(shot->start_ms, cursor);
+        EXPECT_GT(shot->duration_ms, 0);
+        cursor += shot->duration_ms;
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, ConceptVectorsWellFormed) {
+  const GeneratedCollection g = Generate();
+  for (const Shot& shot : g.collection.shots()) {
+    ASSERT_EQ(shot.concepts.size(), GetParam().num_topics);
+    EXPECT_TRUE(shot.concepts[shot.primary_topic]);
+    size_t set_bits = 0;
+    for (bool b : shot.concepts) {
+      if (b) ++set_bits;
+    }
+    EXPECT_LE(set_bits, 2u);  // primary + at most one secondary
+  }
+}
+
+TEST_P(GeneratorPropertyTest, KeyframesAreNormalized) {
+  const GeneratedCollection g = Generate();
+  for (const Shot& shot : g.collection.shots()) {
+    double total = 0.0;
+    for (size_t b = 0; b < shot.keyframe.size(); ++b) {
+      EXPECT_GE(shot.keyframe[b], 0.0);
+      total += shot.keyframe[b];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, QrelsConsistentWithGroundTruth) {
+  const GeneratedCollection g = Generate();
+  for (const SearchTopic& topic : g.topics.topics) {
+    EXPECT_GT(g.qrels.NumRelevant(topic.id), 0u);
+    for (ShotId shot_id : g.qrels.RelevantShots(topic.id)) {
+      const Shot* shot = g.collection.shot(shot_id).value();
+      EXPECT_TRUE(shot->concepts[topic.target_topic]);
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, ExternalIdsUniqueAndTranscriptsTabFree) {
+  const GeneratedCollection g = Generate();
+  std::set<std::string> ids;
+  for (const Shot& shot : g.collection.shots()) {
+    EXPECT_TRUE(ids.insert(shot.external_id).second);
+    EXPECT_EQ(shot.asr_transcript.find('\t'), std::string::npos);
+    EXPECT_EQ(shot.true_transcript.find('\t'), std::string::npos);
+    EXPECT_FALSE(shot.true_transcript.empty());
+  }
+}
+
+TEST_P(GeneratorPropertyTest, ObservedWerTracksConfiguredWer) {
+  const GeneratedCollection g = Generate();
+  size_t kept = 0;
+  size_t total = 0;
+  for (const Shot& shot : g.collection.shots()) {
+    // Count ground-truth words surviving verbatim into the ASR output
+    // (multiset intersection would be exact; per-word containment is a
+    // good cheap proxy at these vocabulary sizes).
+    std::set<std::string> asr_words;
+    size_t start = 0;
+    const std::string& asr = shot.asr_transcript;
+    while (start < asr.size()) {
+      size_t end = asr.find(' ', start);
+      if (end == std::string::npos) end = asr.size();
+      asr_words.insert(asr.substr(start, end - start));
+      start = end + 1;
+    }
+    start = 0;
+    const std::string& truth = shot.true_transcript;
+    while (start < truth.size()) {
+      size_t end = truth.find(' ', start);
+      if (end == std::string::npos) end = truth.size();
+      ++total;
+      if (asr_words.count(truth.substr(start, end - start)) > 0) ++kept;
+      start = end + 1;
+    }
+  }
+  const double survival =
+      static_cast<double>(kept) / static_cast<double>(total);
+  // Words survive unless corrupted (subs/deletes remove ~80% of WER hits;
+  // duplicates inflate survival slightly), so survival should be well
+  // above 1 - wer and at most ~1.
+  EXPECT_GE(survival, 1.0 - GetParam().wer - 0.05);
+  EXPECT_LE(survival, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorPropertyTest,
+    ::testing::Values(GridPoint{1, 2, 0.0, 0.0, 0.0},
+                      GridPoint{2, 4, 0.15, 0.2, 0.1},
+                      GridPoint{3, 8, 0.3, 0.3, 0.1},
+                      GridPoint{4, 12, 0.45, 0.4, 0.2},
+                      GridPoint{5, 1, 0.3, 0.5, 0.5},
+                      GridPoint{6, 20, 0.6, 0.1, 0.0},
+                      GridPoint{7, 4, 1.0, 0.0, 1.0}));
+
+}  // namespace
+}  // namespace ivr

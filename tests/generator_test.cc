@@ -1,0 +1,203 @@
+#include "ivr/video/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions options;
+  options.seed = 7;
+  options.num_topics = 5;
+  options.num_videos = 6;
+  options.stories_per_video_mean = 4;
+  options.shots_per_story_mean = 4;
+  options.words_per_shot_mean = 20;
+  return options;
+}
+
+TEST(MakeSyntheticWordTest, InjectiveAndPronounceable) {
+  std::set<std::string> seen;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const std::string w = MakeSyntheticWord(i);
+    EXPECT_GE(w.size(), 6u);  // at least three syllables
+    EXPECT_TRUE(seen.insert(w).second) << "collision at " << i;
+  }
+}
+
+TEST(DefaultTopicNameTest, NamedThenNumbered) {
+  EXPECT_EQ(DefaultTopicName(0), "politics");
+  EXPECT_EQ(DefaultTopicName(1), "sports");
+  EXPECT_EQ(DefaultTopicName(100), "topic100");
+}
+
+TEST(GeneratorTest, ValidatesOptions) {
+  GeneratorOptions bad = SmallOptions();
+  bad.num_topics = 0;
+  EXPECT_TRUE(GenerateCollection(bad).status().IsInvalidArgument());
+
+  bad = SmallOptions();
+  bad.num_videos = 0;
+  EXPECT_TRUE(GenerateCollection(bad).status().IsInvalidArgument());
+
+  bad = SmallOptions();
+  bad.asr_word_error_rate = 1.5;
+  EXPECT_TRUE(GenerateCollection(bad).status().IsInvalidArgument());
+
+  bad = SmallOptions();
+  bad.min_shot_duration_ms = 5000;
+  bad.max_shot_duration_ms = 1000;
+  EXPECT_TRUE(GenerateCollection(bad).status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const GeneratedCollection a = GenerateCollection(SmallOptions()).value();
+  const GeneratedCollection b = GenerateCollection(SmallOptions()).value();
+  ASSERT_EQ(a.collection.num_shots(), b.collection.num_shots());
+  for (size_t i = 0; i < a.collection.num_shots(); ++i) {
+    EXPECT_EQ(a.collection.shots()[i].asr_transcript,
+              b.collection.shots()[i].asr_transcript);
+    EXPECT_EQ(a.collection.shots()[i].primary_topic,
+              b.collection.shots()[i].primary_topic);
+  }
+  EXPECT_EQ(a.qrels.ToTrecFormat(), b.qrels.ToTrecFormat());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions other = SmallOptions();
+  other.seed = 8;
+  const GeneratedCollection a = GenerateCollection(SmallOptions()).value();
+  const GeneratedCollection b = GenerateCollection(other).value();
+  EXPECT_NE(a.collection.shots()[0].asr_transcript,
+            b.collection.shots()[0].asr_transcript);
+}
+
+TEST(GeneratorTest, StructuralConsistency) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  const VideoCollection& c = g.collection;
+  EXPECT_EQ(c.num_videos(), 6u);
+  EXPECT_GT(c.num_stories(), 0u);
+  EXPECT_GT(c.num_shots(), 0u);
+
+  // Every shot belongs to its story's shot list; timing is contiguous.
+  for (const NewsStory& story : c.stories()) {
+    EXPECT_FALSE(story.shots.empty());
+    for (ShotId id : story.shots) {
+      const Shot* shot = c.shot(id).value();
+      EXPECT_EQ(shot->story, story.id);
+      EXPECT_EQ(shot->video, story.video);
+      EXPECT_GT(shot->duration_ms, 0);
+    }
+  }
+  for (const Video& video : c.videos()) {
+    EXPECT_FALSE(video.stories.empty());
+    for (StoryId sid : video.stories) {
+      EXPECT_EQ(c.story(sid).value()->video, video.id);
+    }
+  }
+}
+
+TEST(GeneratorTest, ShotConceptsIncludePrimaryTopic) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  for (const Shot& shot : g.collection.shots()) {
+    ASSERT_EQ(shot.concepts.size(), 5u);
+    EXPECT_TRUE(shot.concepts[shot.primary_topic]);
+    EXPECT_LT(shot.primary_topic, 5u);
+  }
+}
+
+TEST(GeneratorTest, ExternalIdsUnique) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  std::set<std::string> ids;
+  for (const Shot& shot : g.collection.shots()) {
+    EXPECT_TRUE(ids.insert(shot.external_id).second);
+  }
+}
+
+TEST(GeneratorTest, QrelsMatchGroundTruth) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  ASSERT_EQ(g.topics.size(), 5u);
+  for (const SearchTopic& topic : g.topics.topics) {
+    for (const Shot& shot : g.collection.shots()) {
+      const int grade = g.qrels.Grade(topic.id, shot.id);
+      if (shot.primary_topic == topic.target_topic) {
+        EXPECT_EQ(grade, 2);
+      } else if (shot.concepts[topic.target_topic]) {
+        EXPECT_EQ(grade, 1);
+      } else {
+        EXPECT_EQ(grade, 0);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, EveryTopicHasRelevantShots) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  for (const SearchTopic& topic : g.topics.topics) {
+    EXPECT_GT(g.qrels.NumRelevant(topic.id), 0u)
+        << "topic " << topic.id << " has no relevant shots";
+  }
+}
+
+TEST(GeneratorTest, TopicsHaveTitleDescriptionExamples) {
+  const GeneratedCollection g = GenerateCollection(SmallOptions()).value();
+  for (const SearchTopic& topic : g.topics.topics) {
+    EXPECT_FALSE(topic.title.empty());
+    EXPECT_GT(topic.description.size(), topic.title.size());
+    EXPECT_EQ(topic.examples.size(), 2u);
+  }
+}
+
+TEST(GeneratorTest, ZeroWerKeepsTranscriptIntact) {
+  GeneratorOptions options = SmallOptions();
+  options.asr_word_error_rate = 0.0;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  for (const Shot& shot : g.collection.shots()) {
+    EXPECT_EQ(shot.asr_transcript, shot.true_transcript);
+  }
+}
+
+TEST(GeneratorTest, HighWerCorruptsTranscripts) {
+  GeneratorOptions options = SmallOptions();
+  options.asr_word_error_rate = 0.5;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  size_t corrupted = 0;
+  for (const Shot& shot : g.collection.shots()) {
+    if (shot.asr_transcript != shot.true_transcript) ++corrupted;
+  }
+  EXPECT_GT(corrupted, g.collection.num_shots() / 2);
+}
+
+TEST(GeneratorTest, OffTopicShotsAppearAtConfiguredRate) {
+  GeneratorOptions options = SmallOptions();
+  options.num_videos = 20;
+  options.off_topic_shot_prob = 0.3;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  size_t off_topic = 0;
+  size_t total = 0;
+  for (const NewsStory& story : g.collection.stories()) {
+    for (ShotId id : story.shots) {
+      if (g.collection.shot(id).value()->primary_topic != story.topic) {
+        ++off_topic;
+      }
+      ++total;
+    }
+  }
+  const double rate = static_cast<double>(off_topic) /
+                      static_cast<double>(total);
+  EXPECT_NEAR(rate, 0.3, 0.06);
+}
+
+TEST(GeneratorTest, SearchTopicCountCanBeLimited) {
+  GeneratorOptions options = SmallOptions();
+  options.num_search_topics = 3;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  EXPECT_EQ(g.topics.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ivr

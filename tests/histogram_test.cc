@@ -1,0 +1,116 @@
+#include "ivr/features/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(ColorHistogramTest, DefaultIsZeroVector) {
+  ColorHistogram h;
+  EXPECT_EQ(h.size(), ColorHistogram::kDefaultBins);
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h[i], 0.0);
+  }
+}
+
+TEST(ColorHistogramTest, RandomPrototypeIsNormalized) {
+  Rng rng(1);
+  const ColorHistogram h = ColorHistogram::RandomPrototype(&rng);
+  double total = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_GE(h[i], 0.0);
+    total += h[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ColorHistogramTest, NormalizeL1HandlesZeroAndNegatives) {
+  ColorHistogram zero(std::vector<double>{0.0, 0.0});
+  zero.NormalizeL1();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+
+  ColorHistogram mixed(std::vector<double>{-1.0, 2.0, 2.0});
+  mixed.NormalizeL1();
+  EXPECT_DOUBLE_EQ(mixed[0], 0.0);  // negatives clamp to zero
+  EXPECT_NEAR(mixed[1], 0.5, 1e-12);
+}
+
+TEST(ColorHistogramTest, PerturbZeroSigmaIsCopy) {
+  Rng rng(2);
+  const ColorHistogram proto = ColorHistogram::RandomPrototype(&rng);
+  const ColorHistogram copy = proto.Perturb(&rng, 0.0);
+  EXPECT_NEAR(L1Distance(proto, copy), 0.0, 1e-12);
+}
+
+TEST(ColorHistogramTest, PerturbedStaysCloserToOwnPrototype) {
+  Rng rng(3);
+  const ColorHistogram a = ColorHistogram::RandomPrototype(&rng);
+  const ColorHistogram b = ColorHistogram::RandomPrototype(&rng);
+  int closer = 0;
+  for (int i = 0; i < 50; ++i) {
+    const ColorHistogram p = a.Perturb(&rng, 0.3);
+    if (L1Distance(p, a) < L1Distance(p, b)) ++closer;
+  }
+  EXPECT_GE(closer, 45);  // visual signal survives perturbation
+}
+
+TEST(DistanceTest, IdentityProperties) {
+  Rng rng(4);
+  const ColorHistogram h = ColorHistogram::RandomPrototype(&rng);
+  EXPECT_DOUBLE_EQ(L1Distance(h, h), 0.0);
+  EXPECT_DOUBLE_EQ(L2Distance(h, h), 0.0);
+  EXPECT_NEAR(CosineSimilarity(h, h), 1.0, 1e-12);
+  EXPECT_NEAR(HistogramIntersection(h, h), 1.0, 1e-9);
+}
+
+TEST(DistanceTest, Symmetry) {
+  Rng rng(5);
+  const ColorHistogram a = ColorHistogram::RandomPrototype(&rng);
+  const ColorHistogram b = ColorHistogram::RandomPrototype(&rng);
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), L1Distance(b, a));
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), L2Distance(b, a));
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+  EXPECT_DOUBLE_EQ(HistogramIntersection(a, b),
+                   HistogramIntersection(b, a));
+}
+
+TEST(DistanceTest, RangesForNormalizedInput) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const ColorHistogram a = ColorHistogram::RandomPrototype(&rng);
+    const ColorHistogram b = ColorHistogram::RandomPrototype(&rng);
+    EXPECT_GE(L1Distance(a, b), 0.0);
+    EXPECT_LE(L1Distance(a, b), 2.0 + 1e-9);  // L1 of two unit vectors
+    const double hi = HistogramIntersection(a, b);
+    EXPECT_GE(hi, 0.0);
+    EXPECT_LE(hi, 1.0 + 1e-9);
+    const double cos = CosineSimilarity(a, b);
+    EXPECT_GE(cos, 0.0);
+    EXPECT_LE(cos, 1.0 + 1e-9);
+  }
+}
+
+TEST(DistanceTest, MismatchedSizesAreWorstCase) {
+  const ColorHistogram a(std::vector<double>{1.0});
+  const ColorHistogram b(std::vector<double>{0.5, 0.5});
+  EXPECT_TRUE(std::isinf(L1Distance(a, b)));
+  EXPECT_TRUE(std::isinf(L2Distance(a, b)));
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramIntersection(a, b), 0.0);
+}
+
+TEST(DistanceTest, TriangleInequalityL2) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const ColorHistogram a = ColorHistogram::RandomPrototype(&rng);
+    const ColorHistogram b = ColorHistogram::RandomPrototype(&rng);
+    const ColorHistogram c = ColorHistogram::RandomPrototype(&rng);
+    EXPECT_LE(L2Distance(a, c),
+              L2Distance(a, b) + L2Distance(b, c) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ivr

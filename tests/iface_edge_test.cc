@@ -1,0 +1,187 @@
+// Edge-case coverage for the interface state machine beyond the basic
+// flows in interface_test.cc: clamping, capability gating, and the
+// backend event-forwarding contract.
+
+#include <gtest/gtest.h>
+
+#include "ivr/iface/desktop.h"
+#include "ivr/iface/tv.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+// Backend that counts the events it observes.
+class CountingBackend : public SearchBackend {
+ public:
+  explicit CountingBackend(const RetrievalEngine& engine)
+      : engine_(&engine) {}
+
+  ResultList Search(const Query& query, size_t k) override {
+    ++searches_;
+    return engine_->Search(query, k);
+  }
+  void ObserveEvent(const InteractionEvent& event) override {
+    events_.push_back(event);
+  }
+  void BeginSession() override { ++sessions_; }
+  std::string name() const override { return "counting"; }
+
+  const std::vector<InteractionEvent>& events() const { return events_; }
+  size_t searches() const { return searches_; }
+  size_t sessions() const { return sessions_; }
+
+ private:
+  const RetrievalEngine* engine_;
+  std::vector<InteractionEvent> events_;
+  size_t searches_ = 0;
+  size_t sessions_ = 0;
+};
+
+class IfaceEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 131;
+    options.num_topics = 4;
+    options.num_videos = 8;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    backend_ = std::make_unique<CountingBackend>(*engine_);
+  }
+
+  std::unique_ptr<DesktopInterface> MakeDesktop() {
+    SearchInterface::Config config;
+    config.session_id = "edge";
+    return std::make_unique<DesktopInterface>(
+        backend_.get(), generated_->collection, config, &log_, &clock_);
+  }
+
+  std::string Title() const { return generated_->topics.topics[0].title; }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<CountingBackend> backend_;
+  SessionLog log_;
+  SimulatedClock clock_;
+};
+
+TEST_F(IfaceEdgeTest, NoResultsStateIsSafe) {
+  auto iface = MakeDesktop();
+  EXPECT_EQ(iface->NumPages(), 0u);
+  EXPECT_TRUE(iface->VisibleShots().empty());
+  EXPECT_FALSE(iface->IsVisible(0));
+  EXPECT_EQ(iface->open_shot(), kInvalidShotId);
+  EXPECT_TRUE(iface->ClickKeyframe(0).IsFailedPrecondition());
+  EXPECT_TRUE(iface->HoverTooltip(0, 100).IsFailedPrecondition());
+  EXPECT_TRUE(iface->MarkRelevance(0, true).IsFailedPrecondition());
+  EXPECT_TRUE(iface->SubmitVisualExample(0).IsFailedPrecondition());
+}
+
+TEST_F(IfaceEdgeTest, UnmatchedQueryYieldsEmptyResults) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery("zzzunmatchablezzz").ok());
+  EXPECT_TRUE(iface->HasResults());
+  EXPECT_TRUE(iface->results().empty());
+  EXPECT_EQ(iface->NumPages(), 0u);
+  EXPECT_TRUE(iface->NextPage().IsOutOfRange());
+}
+
+TEST_F(IfaceEdgeTest, PlayFractionClampsToShotDuration) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->ClickKeyframe(shot).ok());
+  const TimeMs before = clock_.Now();
+  ASSERT_TRUE(iface->Play(7.5).ok());  // clamped to 1.0
+  const Shot* s = generated_->collection.shot(shot).value();
+  EXPECT_EQ(clock_.Now() - before, s->duration_ms);
+  // Negative fraction: zero-length playback still logs start/stop.
+  const TimeMs mid = clock_.Now();
+  ASSERT_TRUE(iface->Play(-3.0).ok());
+  EXPECT_EQ(clock_.Now(), mid);
+}
+
+TEST_F(IfaceEdgeTest, SeekClampsToShotBounds) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->ClickKeyframe(shot).ok());
+  ASSERT_TRUE(iface->Seek(-500).ok());
+  ASSERT_TRUE(iface->Seek(100000000).ok());
+  const Shot* s = generated_->collection.shot(shot).value();
+  double last_offset = -1.0;
+  for (const InteractionEvent& ev : log_.events()) {
+    if (ev.type == EventType::kSeek) last_offset = ev.value;
+  }
+  EXPECT_DOUBLE_EQ(last_offset, static_cast<double>(s->duration_ms));
+}
+
+TEST_F(IfaceEdgeTest, NegativeTooltipDurationClamped) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const TimeMs before = clock_.Now();
+  ASSERT_TRUE(iface->HoverTooltip(iface->VisibleShots()[0], -999).ok());
+  // Only the fixed hover cost is charged, never negative time.
+  EXPECT_EQ(clock_.Now() - before,
+            iface->costs().Cost(ActionKind::kHoverTooltip));
+}
+
+TEST_F(IfaceEdgeTest, EveryLoggedEventReachesTheBackend) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->ClickKeyframe(shot).ok());
+  ASSERT_TRUE(iface->Play(0.4).ok());
+  ASSERT_TRUE(iface->EndSession().ok());
+  ASSERT_EQ(backend_->events().size(), log_.size());
+  for (size_t i = 0; i < log_.size(); ++i) {
+    EXPECT_EQ(backend_->events()[i].type, log_.events()[i].type);
+    EXPECT_EQ(backend_->events()[i].time, log_.events()[i].time);
+  }
+}
+
+TEST_F(IfaceEdgeTest, RejectedActionsLogNothingAndCostNothing) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const size_t events_before = log_.size();
+  const TimeMs time_before = clock_.Now();
+  EXPECT_FALSE(iface->ClickKeyframe(999999).ok());
+  EXPECT_FALSE(iface->Play(0.5).ok());  // nothing open
+  EXPECT_FALSE(iface->PrevPage().ok());
+  EXPECT_EQ(log_.size(), events_before);
+  EXPECT_EQ(clock_.Now(), time_before);
+}
+
+TEST_F(IfaceEdgeTest, VisualExampleResetsPagination) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  if (iface->NumPages() > 1) {
+    ASSERT_TRUE(iface->NextPage().ok());
+    EXPECT_EQ(iface->page(), 1u);
+  }
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->SubmitVisualExample(shot).ok());
+  EXPECT_EQ(iface->page(), 0u);
+  EXPECT_EQ(iface->open_shot(), kInvalidShotId);
+  EXPECT_EQ(backend_->searches(), 2u);
+}
+
+TEST_F(IfaceEdgeTest, OpenShotStaysJudgeableAfterPaging) {
+  // The playback panel keeps the opened shot actionable even when the
+  // result page scrolls away underneath.
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->ClickKeyframe(shot).ok());
+  if (iface->NumPages() > 1) {
+    ASSERT_TRUE(iface->NextPage().ok());
+    EXPECT_FALSE(iface->IsVisible(shot));
+    EXPECT_TRUE(iface->MarkRelevance(shot, true).ok());
+    EXPECT_TRUE(iface->HighlightMetadata(shot).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ivr

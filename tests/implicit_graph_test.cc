@@ -1,0 +1,194 @@
+#include "ivr/adaptive/implicit_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+InteractionEvent MakeEvent(TimeMs time, EventType type,
+                           ShotId shot = kInvalidShotId,
+                           const std::string& text = "",
+                           double value = 0.0) {
+  InteractionEvent ev;
+  ev.time = time;
+  ev.type = type;
+  ev.shot = shot;
+  ev.text = text;
+  ev.value = value;
+  return ev;
+}
+
+// A session that queried `query` and then engaged with `shots`.
+std::vector<InteractionEvent> EngagedSession(const std::string& query,
+                                             std::vector<ShotId> shots) {
+  std::vector<InteractionEvent> events;
+  events.push_back(
+      MakeEvent(0, EventType::kQuerySubmit, kInvalidShotId, query));
+  TimeMs t = 1000;
+  for (ShotId shot : shots) {
+    events.push_back(MakeEvent(t, EventType::kClickKeyframe, shot));
+    events.push_back(
+        MakeEvent(t + 500, EventType::kPlayStop, shot, "", 9000.0));
+    t += 2000;
+  }
+  return events;
+}
+
+class ImplicitGraphTest : public ::testing::Test {
+ protected:
+  ImplicitGraph graph_;
+  LinearWeighting scheme_;
+};
+
+TEST_F(ImplicitGraphTest, EmptyGraphRecommendsNothing) {
+  EXPECT_TRUE(graph_.Recommend("football goal", 10).empty());
+  EXPECT_EQ(graph_.num_query_nodes(), 0u);
+  EXPECT_EQ(graph_.num_shot_nodes(), 0u);
+  EXPECT_EQ(graph_.num_edges(), 0u);
+}
+
+TEST_F(ImplicitGraphTest, ExactQueryMatchRecommendsPastPositives) {
+  graph_.AddSession(EngagedSession("football goal", {5, 9}), scheme_,
+                    nullptr);
+  const ResultList recs = graph_.Recommend("football goal", 10);
+  EXPECT_TRUE(recs.Contains(5));
+  EXPECT_TRUE(recs.Contains(9));
+}
+
+TEST_F(ImplicitGraphTest, TermOverlapMatchesPartially) {
+  graph_.AddSession(EngagedSession("football goal striker", {5}), scheme_,
+                    nullptr);
+  // One shared term out of three.
+  const ResultList partial = graph_.Recommend("goal", 10);
+  EXPECT_TRUE(partial.Contains(5));
+  // No shared terms: nothing.
+  EXPECT_TRUE(graph_.Recommend("weather", 10).empty());
+}
+
+TEST_F(ImplicitGraphTest, CloserQueriesScoreHigher) {
+  graph_.AddSession(EngagedSession("football goal", {5}), scheme_,
+                    nullptr);
+  const double exact = graph_.Recommend("football goal", 10).ScoreOf(5);
+  const double partial = graph_.Recommend("goal", 10).ScoreOf(5);
+  EXPECT_GT(exact, partial);
+  EXPECT_GT(partial, 0.0);
+}
+
+TEST_F(ImplicitGraphTest, CoInteractionSpreadsActivation) {
+  // Session A: query + shots 1,2. Session B (no query): engages 2 and 7.
+  graph_.AddSession(EngagedSession("football goal", {1, 2}), scheme_,
+                    nullptr);
+  graph_.AddSession(EngagedSession("", {2, 7}), scheme_, nullptr);
+  // Shot 7 is reachable only via the shot->shot co-interaction hop.
+  const ResultList recs = graph_.Recommend("football goal", 10, 0.5);
+  EXPECT_TRUE(recs.Contains(7));
+  // With damping 0 the second hop is disabled.
+  const ResultList direct = graph_.Recommend("football goal", 10, 0.0);
+  EXPECT_FALSE(direct.Contains(7));
+}
+
+TEST_F(ImplicitGraphTest, QueryNormalizationMergesVariants) {
+  graph_.AddSession(EngagedSession("Football GOAL", {3}), scheme_,
+                    nullptr);
+  graph_.AddSession(EngagedSession("goal football", {4}), scheme_,
+                    nullptr);
+  // Both sessions collapse onto one canonical query node.
+  EXPECT_EQ(graph_.num_query_nodes(), 1u);
+  const ResultList recs = graph_.Recommend("football goal", 10);
+  EXPECT_TRUE(recs.Contains(3));
+  EXPECT_TRUE(recs.Contains(4));
+}
+
+TEST_F(ImplicitGraphTest, SessionsWithoutPositivesIgnored) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kQuerySubmit, kInvalidShotId, "football"),
+      MakeEvent(1, EventType::kResultDisplayed, 1, "", 0.0),
+  };
+  graph_.AddSession(events, scheme_, nullptr);
+  EXPECT_EQ(graph_.num_query_nodes(), 0u);
+  EXPECT_EQ(graph_.num_edges(), 0u);
+}
+
+TEST_F(ImplicitGraphTest, RepeatedSessionsStrengthenEdges) {
+  graph_.AddSession(EngagedSession("football", {5}), scheme_, nullptr);
+  const double once = graph_.Recommend("football", 10).ScoreOf(5);
+  graph_.AddSession(EngagedSession("football", {5}), scheme_, nullptr);
+  const double twice = graph_.Recommend("football", 10).ScoreOf(5);
+  EXPECT_GT(twice, once);
+}
+
+TEST_F(ImplicitGraphTest, KTruncatesRecommendations) {
+  graph_.AddSession(EngagedSession("football", {1, 2, 3, 4, 5}), scheme_,
+                    nullptr);
+  EXPECT_LE(graph_.Recommend("football", 2).size(), 2u);
+}
+
+TEST_F(ImplicitGraphTest, NodeAndEdgeCounts) {
+  graph_.AddSession(EngagedSession("football goal", {1, 2}), scheme_,
+                    nullptr);
+  EXPECT_EQ(graph_.num_query_nodes(), 1u);
+  EXPECT_EQ(graph_.num_shot_nodes(), 2u);
+  // query->1, query->2, 1->2, 2->1.
+  EXPECT_EQ(graph_.num_edges(), 4u);
+}
+
+TEST_F(ImplicitGraphTest, SuggestQueriesRanksByRelatedness) {
+  // Two past queries share the outcome shot 5; a third is unrelated.
+  graph_.AddSession(EngagedSession("football goal", {5}), scheme_,
+                    nullptr);
+  graph_.AddSession(EngagedSession("goal striker", {5}), scheme_,
+                    nullptr);
+  graph_.AddSession(EngagedSession("weather rain", {9}), scheme_,
+                    nullptr);
+  const auto suggestions = graph_.SuggestQueries("football goal", 10);
+  ASSERT_FALSE(suggestions.empty());
+  // The shared-term, shared-outcome query comes first; weather never
+  // appears (no overlap at all).
+  EXPECT_EQ(suggestions[0].query, "goal striker");
+  for (const auto& s : suggestions) {
+    EXPECT_EQ(s.query.find("weather"), std::string::npos);
+    EXPECT_GT(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ImplicitGraphTest, SuggestQueriesExcludesSelf) {
+  graph_.AddSession(EngagedSession("football goal", {5}), scheme_,
+                    nullptr);
+  for (const auto& s : graph_.SuggestQueries("football goal", 10)) {
+    EXPECT_NE(s.query, "footbal goal");  // canonical (stemmed) self form
+  }
+  // A lone node suggests nothing for its own query.
+  EXPECT_TRUE(graph_.SuggestQueries("football goal", 10).empty());
+}
+
+TEST_F(ImplicitGraphTest, SuggestQueriesOutcomeSimilarityCounts) {
+  // Same outcome, zero term overlap: still suggested via hop through a
+  // bridging query sharing terms with the input.
+  graph_.AddSession(EngagedSession("football goal", {5}), scheme_,
+                    nullptr);
+  graph_.AddSession(EngagedSession("striker penalty", {5}), scheme_,
+                    nullptr);
+  const auto suggestions = graph_.SuggestQueries("football", 10);
+  bool found = false;
+  for (const auto& s : suggestions) {
+    if (s.query.find("striker") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ImplicitGraphTest, SuggestQueriesEmptyInputs) {
+  EXPECT_TRUE(graph_.SuggestQueries("anything", 5).empty());
+  graph_.AddSession(EngagedSession("football", {1}), scheme_, nullptr);
+  EXPECT_TRUE(graph_.SuggestQueries("", 5).empty());
+  EXPECT_TRUE(graph_.SuggestQueries("the of", 5).empty());
+}
+
+TEST_F(ImplicitGraphTest, EmptyQueryRecommendsNothing) {
+  graph_.AddSession(EngagedSession("football", {1}), scheme_, nullptr);
+  EXPECT_TRUE(graph_.Recommend("", 10).empty());
+  EXPECT_TRUE(graph_.Recommend("the of and", 10).empty());
+}
+
+}  // namespace
+}  // namespace ivr

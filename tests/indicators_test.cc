@@ -1,0 +1,207 @@
+#include "ivr/feedback/indicators.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+InteractionEvent MakeEvent(TimeMs time, EventType type,
+                           ShotId shot = kInvalidShotId,
+                           double value = 0.0) {
+  InteractionEvent ev;
+  ev.time = time;
+  ev.session_id = "s";
+  ev.user_id = "u";
+  ev.type = type;
+  ev.shot = shot;
+  ev.value = value;
+  return ev;
+}
+
+TEST(IndicatorsTest, EmptyEvents) {
+  EXPECT_TRUE(AggregateIndicators({}, nullptr).empty());
+}
+
+TEST(IndicatorsTest, DisplayAndBestRank) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kResultDisplayed, 7, 4.0),
+      MakeEvent(2, EventType::kResultDisplayed, 7, 2.0),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  ASSERT_EQ(agg.size(), 1u);
+  const ShotIndicators& s = agg.at(7);
+  EXPECT_EQ(s.displays, 2);
+  EXPECT_EQ(s.best_rank, 2);
+  EXPECT_TRUE(s.browsed_past);  // displayed but never touched
+  EXPECT_FALSE(s.HasActiveInteraction());
+}
+
+TEST(IndicatorsTest, ClicksAndPlaysAccumulate) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kResultDisplayed, 3, 0.0),
+      MakeEvent(2, EventType::kClickKeyframe, 3),
+      MakeEvent(3, EventType::kPlayStart, 3),
+      MakeEvent(8, EventType::kPlayStop, 3, 5000.0),
+      MakeEvent(9, EventType::kPlayStart, 3),
+      MakeEvent(10, EventType::kPlayStop, 3, 1000.0),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  const ShotIndicators& s = agg.at(3);
+  EXPECT_EQ(s.clicks, 1);
+  EXPECT_EQ(s.play_count, 2);
+  EXPECT_DOUBLE_EQ(s.play_time_ms, 6000.0);
+  EXPECT_FALSE(s.browsed_past);
+  EXPECT_TRUE(s.HasActiveInteraction());
+  EXPECT_EQ(s.first_interaction, 2);
+  EXPECT_EQ(s.last_interaction, 10);
+}
+
+TEST(IndicatorsTest, PlayFractionNeedsCollection) {
+  VideoCollection collection;
+  collection.SetTopicNames({"t"});
+  Video v;
+  const VideoId vid = collection.AddVideo(v);
+  NewsStory story;
+  story.video = vid;
+  const StoryId sid = collection.AddStory(story);
+  Shot shot;
+  shot.story = sid;
+  shot.video = vid;
+  shot.duration_ms = 10000;
+  shot.concepts = {true};
+  shot.external_id = "x";
+  const ShotId id = collection.AddShot(shot);
+
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kPlayStart, id),
+      MakeEvent(2, EventType::kPlayStop, id, 4000.0),
+  };
+  const auto with = AggregateIndicators(events, &collection);
+  EXPECT_DOUBLE_EQ(with.at(id).play_fraction, 0.4);
+  const auto without = AggregateIndicators(events, nullptr);
+  EXPECT_DOUBLE_EQ(without.at(id).play_fraction, 0.0);
+}
+
+TEST(IndicatorsTest, PlayFractionCapsAtOne) {
+  VideoCollection collection;
+  Video v;
+  const VideoId vid = collection.AddVideo(v);
+  NewsStory story;
+  story.video = vid;
+  const StoryId sid = collection.AddStory(story);
+  Shot shot;
+  shot.story = sid;
+  shot.video = vid;
+  shot.duration_ms = 1000;
+  shot.external_id = "x";
+  const ShotId id = collection.AddShot(shot);
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kPlayStop, id, 5000.0),
+  };
+  EXPECT_DOUBLE_EQ(
+      AggregateIndicators(events, &collection).at(id).play_fraction, 1.0);
+}
+
+TEST(IndicatorsTest, TooltipSeekMetadataCounted) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kTooltipHover, 5, 1200.0),
+      MakeEvent(2, EventType::kSeek, 5, 3000.0),
+      MakeEvent(3, EventType::kSeek, 5, 500.0),
+      MakeEvent(4, EventType::kHighlightMetadata, 5),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  const ShotIndicators& s = agg.at(5);
+  EXPECT_EQ(s.tooltip_hovers, 1);
+  EXPECT_DOUBLE_EQ(s.tooltip_ms, 1200.0);
+  EXPECT_EQ(s.seeks, 2);
+  EXPECT_EQ(s.metadata_highlights, 1);
+}
+
+TEST(IndicatorsTest, ExplicitJudgmentLatestWins) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kMarkRelevant, 2),
+      MakeEvent(2, EventType::kMarkNotRelevant, 2),
+  };
+  EXPECT_EQ(AggregateIndicators(events, nullptr).at(2).explicit_judgment,
+            -1);
+  std::vector<InteractionEvent> reversed = {
+      MakeEvent(1, EventType::kMarkNotRelevant, 2),
+      MakeEvent(2, EventType::kMarkRelevant, 2),
+  };
+  EXPECT_EQ(AggregateIndicators(reversed, nullptr).at(2).explicit_judgment,
+            1);
+}
+
+TEST(IndicatorsTest, DwellMeasuredUntilNextNavigation) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(100, EventType::kClickKeyframe, 1),
+      MakeEvent(5100, EventType::kQuerySubmit),  // navigates away
+  };
+  EXPECT_DOUBLE_EQ(AggregateIndicators(events, nullptr).at(1).dwell_ms,
+                   5000.0);
+}
+
+TEST(IndicatorsTest, DwellClosedByClickOnOtherShot) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 1),
+      MakeEvent(3000, EventType::kClickKeyframe, 2),
+      MakeEvent(4000, EventType::kSessionEnd),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  EXPECT_DOUBLE_EQ(agg.at(1).dwell_ms, 3000.0);
+  EXPECT_DOUBLE_EQ(agg.at(2).dwell_ms, 1000.0);
+}
+
+TEST(IndicatorsTest, DwellClosedAtStreamEndWithoutNavigation) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 1),
+      MakeEvent(2000, EventType::kPlayStart, 1),
+  };
+  EXPECT_DOUBLE_EQ(AggregateIndicators(events, nullptr).at(1).dwell_ms,
+                   2000.0);
+}
+
+TEST(IndicatorsTest, UnsortedInputIsSortedFirst) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(5100, EventType::kQuerySubmit),
+      MakeEvent(100, EventType::kClickKeyframe, 1),
+  };
+  EXPECT_DOUBLE_EQ(AggregateIndicators(events, nullptr).at(1).dwell_ms,
+                   5000.0);
+}
+
+TEST(IndicatorsTest, VisualExampleCountsAndClosesDwell) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kClickKeyframe, 1),
+      MakeEvent(3000, EventType::kVisualExample, 1),
+      MakeEvent(9000, EventType::kSessionEnd),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  const ShotIndicators& s = agg.at(1);
+  EXPECT_EQ(s.used_as_example, 1);
+  EXPECT_TRUE(s.HasActiveInteraction());
+  // The example submission navigated away: dwell stops at 3000, not 9000.
+  EXPECT_DOUBLE_EQ(s.dwell_ms, 3000.0);
+}
+
+TEST(IndicatorsTest, VisualExampleAloneIsNotBrowsedPast) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kResultDisplayed, 2, 0.0),
+      MakeEvent(1, EventType::kVisualExample, 2),
+  };
+  EXPECT_FALSE(AggregateIndicators(events, nullptr).at(2).browsed_past);
+}
+
+TEST(IndicatorsTest, BrowsedPastOnlyWithoutInteraction) {
+  std::vector<InteractionEvent> events = {
+      MakeEvent(1, EventType::kResultDisplayed, 1, 0.0),
+      MakeEvent(2, EventType::kResultDisplayed, 2, 1.0),
+      MakeEvent(3, EventType::kClickKeyframe, 2),
+  };
+  const auto agg = AggregateIndicators(events, nullptr);
+  EXPECT_TRUE(agg.at(1).browsed_past);
+  EXPECT_FALSE(agg.at(2).browsed_past);
+}
+
+}  // namespace
+}  // namespace ivr

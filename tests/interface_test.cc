@@ -1,0 +1,232 @@
+#include "ivr/iface/interface.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/iface/desktop.h"
+#include "ivr/iface/tv.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class InterfaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 21;
+    options.num_topics = 4;
+    options.num_videos = 10;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    backend_ = std::make_unique<StaticBackend>(*engine_);
+  }
+
+  std::unique_ptr<DesktopInterface> MakeDesktop() {
+    SearchInterface::Config config;
+    config.session_id = "s1";
+    config.user_id = "u1";
+    config.topic = 1;
+    return std::make_unique<DesktopInterface>(
+        backend_.get(), generated_->collection, config, &log_, &clock_);
+  }
+
+  std::unique_ptr<TvInterface> MakeTv() {
+    SearchInterface::Config config;
+    config.session_id = "s2";
+    config.user_id = "u1";
+    config.topic = 1;
+    return std::make_unique<TvInterface>(
+        backend_.get(), generated_->collection, config, &log_, &clock_);
+  }
+
+  std::string Title() const {
+    return generated_->topics.topics[0].title;
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<StaticBackend> backend_;
+  SessionLog log_;
+  SimulatedClock clock_;
+};
+
+TEST_F(InterfaceTest, QueryProducesResultsAndLogs) {
+  auto iface = MakeDesktop();
+  EXPECT_FALSE(iface->HasResults());
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  EXPECT_TRUE(iface->HasResults());
+  EXPECT_FALSE(iface->results().empty());
+  EXPECT_EQ(iface->queries_issued(), 1u);
+  EXPECT_EQ(log_.CountType(EventType::kQuerySubmit), 1u);
+  // One display event per visible shot.
+  EXPECT_EQ(log_.CountType(EventType::kResultDisplayed),
+            iface->VisibleShots().size());
+}
+
+TEST_F(InterfaceTest, QueryCostsTypingTime) {
+  auto iface = MakeDesktop();
+  const TimeMs before = clock_.Now();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ActionCosts costs = iface->costs();
+  const TimeMs expected =
+      static_cast<TimeMs>(Title().size()) * costs.type_query_char +
+      costs.submit_query;
+  EXPECT_EQ(clock_.Now() - before, expected);
+}
+
+TEST_F(InterfaceTest, TvTypingIsSlower) {
+  auto desktop = MakeDesktop();
+  SimulatedClock tv_clock;
+  SearchInterface::Config config;
+  config.session_id = "tv";
+  TvInterface tv(backend_.get(), generated_->collection, config, nullptr,
+                 &tv_clock);
+  ASSERT_TRUE(desktop->SubmitQuery(Title()).ok());
+  ASSERT_TRUE(tv.SubmitQuery(Title()).ok());
+  EXPECT_GT(tv_clock.Now(), clock_.Now());
+}
+
+TEST_F(InterfaceTest, EmptyQueryRejected) {
+  auto iface = MakeDesktop();
+  EXPECT_TRUE(iface->SubmitQuery("").IsInvalidArgument());
+}
+
+TEST_F(InterfaceTest, PagingBounds) {
+  auto iface = MakeDesktop();
+  EXPECT_TRUE(iface->NextPage().IsFailedPrecondition());  // no results yet
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  EXPECT_TRUE(iface->PrevPage().IsOutOfRange());  // on first page
+  if (iface->NumPages() > 1) {
+    ASSERT_TRUE(iface->NextPage().ok());
+    EXPECT_EQ(iface->page(), 1u);
+    ASSERT_TRUE(iface->PrevPage().ok());
+    EXPECT_EQ(iface->page(), 0u);
+  }
+}
+
+TEST_F(InterfaceTest, PagesShowDistinctShots) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const auto page0 = iface->VisibleShots();
+  ASSERT_GT(iface->NumPages(), 1u);
+  ASSERT_TRUE(iface->NextPage().ok());
+  const auto page1 = iface->VisibleShots();
+  for (ShotId shot : page1) {
+    for (ShotId prev : page0) {
+      EXPECT_NE(shot, prev);
+    }
+  }
+}
+
+TEST_F(InterfaceTest, DesktopShowsMoreResultsPerPage) {
+  auto desktop = MakeDesktop();
+  auto tv = MakeTv();
+  EXPECT_GT(desktop->capabilities().results_per_page,
+            tv->capabilities().results_per_page);
+}
+
+TEST_F(InterfaceTest, ClickRequiresVisibility) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  // Find a shot NOT on the current page.
+  ShotId hidden = kInvalidShotId;
+  for (const Shot& shot : generated_->collection.shots()) {
+    if (!iface->IsVisible(shot.id)) {
+      hidden = shot.id;
+      break;
+    }
+  }
+  ASSERT_NE(hidden, kInvalidShotId);
+  EXPECT_TRUE(iface->ClickKeyframe(hidden).IsFailedPrecondition());
+  const ShotId visible = iface->VisibleShots()[0];
+  EXPECT_TRUE(iface->ClickKeyframe(visible).ok());
+  EXPECT_EQ(iface->open_shot(), visible);
+}
+
+TEST_F(InterfaceTest, PlayRequiresOpenShot) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  EXPECT_TRUE(iface->Play(0.5).IsFailedPrecondition());
+  ASSERT_TRUE(iface->ClickKeyframe(iface->VisibleShots()[0]).ok());
+  const TimeMs before = clock_.Now();
+  ASSERT_TRUE(iface->Play(0.5).ok());
+  EXPECT_GT(clock_.Now(), before);  // playback consumes time
+  EXPECT_EQ(log_.CountType(EventType::kPlayStart), 1u);
+  EXPECT_EQ(log_.CountType(EventType::kPlayStop), 1u);
+}
+
+TEST_F(InterfaceTest, PlayLogsPlayedMilliseconds) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->ClickKeyframe(shot).ok());
+  ASSERT_TRUE(iface->Play(1.0).ok());
+  const Shot* s = generated_->collection.shot(shot).value();
+  double logged = -1.0;
+  for (const InteractionEvent& ev : log_.events()) {
+    if (ev.type == EventType::kPlayStop) logged = ev.value;
+  }
+  EXPECT_DOUBLE_EQ(logged, static_cast<double>(s->duration_ms));
+}
+
+TEST_F(InterfaceTest, SeekRequiresOpenShotAndCapability) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  EXPECT_TRUE(iface->Seek(1000).IsFailedPrecondition());
+  ASSERT_TRUE(iface->ClickKeyframe(iface->VisibleShots()[0]).ok());
+  EXPECT_TRUE(iface->Seek(1000).ok());
+}
+
+TEST_F(InterfaceTest, TvLacksTooltipAndMetadata) {
+  auto tv = MakeTv();
+  ASSERT_TRUE(tv->SubmitQuery(Title()).ok());
+  const ShotId shot = tv->VisibleShots()[0];
+  EXPECT_TRUE(tv->HoverTooltip(shot, 500).IsUnimplemented());
+  EXPECT_TRUE(tv->HighlightMetadata(shot).IsUnimplemented());
+  // But it does have explicit judgement keys.
+  EXPECT_TRUE(tv->MarkRelevance(shot, true).ok());
+}
+
+TEST_F(InterfaceTest, DesktopTooltipAndMetadataWork) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  EXPECT_TRUE(iface->HoverTooltip(shot, 800).ok());
+  EXPECT_TRUE(iface->HighlightMetadata(shot).ok());
+  EXPECT_EQ(log_.CountType(EventType::kTooltipHover), 1u);
+  EXPECT_EQ(log_.CountType(EventType::kHighlightMetadata), 1u);
+}
+
+TEST_F(InterfaceTest, VisualExampleNeedsVisibleShot) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  const ShotId shot = iface->VisibleShots()[0];
+  ASSERT_TRUE(iface->SubmitVisualExample(shot).ok());
+  EXPECT_TRUE(iface->HasResults());
+  EXPECT_EQ(iface->queries_issued(), 2u);
+}
+
+TEST_F(InterfaceTest, SessionEndBlocksFurtherActions) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  ASSERT_TRUE(iface->EndSession().ok());
+  EXPECT_TRUE(iface->session_ended());
+  EXPECT_TRUE(iface->SubmitQuery("again").IsFailedPrecondition());
+  EXPECT_TRUE(iface->NextPage().IsFailedPrecondition());
+  EXPECT_TRUE(iface->EndSession().IsFailedPrecondition());
+  EXPECT_EQ(log_.CountType(EventType::kSessionEnd), 1u);
+}
+
+TEST_F(InterfaceTest, EventsCarrySessionMetadata) {
+  auto iface = MakeDesktop();
+  ASSERT_TRUE(iface->SubmitQuery(Title()).ok());
+  for (const InteractionEvent& ev : log_.events()) {
+    EXPECT_EQ(ev.session_id, "s1");
+    EXPECT_EQ(ev.user_id, "u1");
+    EXPECT_EQ(ev.topic, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,92 @@
+#include "ivr/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(InvertedIndexTest, EmptyIndex) {
+  InvertedIndex index;
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_EQ(index.num_terms(), 0u);
+  EXPECT_EQ(index.total_term_count(), 0u);
+  EXPECT_DOUBLE_EQ(index.average_document_length(), 0.0);
+  EXPECT_EQ(index.Lookup("anything"), nullptr);
+}
+
+TEST(InvertedIndexTest, IndexTextBuildsPostings) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "football match football goal").ok());
+  ASSERT_TRUE(index.IndexText(1, "weather forecast").ok());
+  EXPECT_EQ(index.num_documents(), 2u);
+
+  const PostingList* pl = index.Lookup("football");
+  ASSERT_NE(pl, nullptr);
+  EXPECT_EQ(pl->document_frequency(), 1u);
+  const Posting* p = pl->Find(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->tf, 2u);
+}
+
+TEST(InvertedIndexTest, RequiresDenseAscendingIds) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "a b c").ok());
+  EXPECT_TRUE(index.IndexText(2, "skip").IsFailedPrecondition());
+  EXPECT_TRUE(index.IndexText(0, "again").IsFailedPrecondition());
+  EXPECT_TRUE(index.IndexText(1, "next ok").ok());
+}
+
+TEST(InvertedIndexTest, StemmingUnifiesQueryAndDocument) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "connected networks").ok());
+  // Raw lookup analyses the query term with the same pipeline.
+  const PostingList* pl = index.Lookup("connections");
+  ASSERT_NE(pl, nullptr);
+  EXPECT_EQ(pl->document_frequency(), 1u);
+}
+
+TEST(InvertedIndexTest, StopwordsNotIndexed) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "the and of").ok());
+  EXPECT_EQ(index.num_terms(), 0u);
+  EXPECT_EQ(index.document_length(0), 0u);
+  EXPECT_EQ(index.Lookup("the"), nullptr);
+}
+
+TEST(InvertedIndexTest, DocumentLengthsAndAverage) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "alpha beta gamma").ok());
+  ASSERT_TRUE(index.IndexText(1, "delta").ok());
+  EXPECT_EQ(index.document_length(0), 3u);
+  EXPECT_EQ(index.document_length(1), 1u);
+  EXPECT_EQ(index.document_length(99), 0u);
+  EXPECT_DOUBLE_EQ(index.average_document_length(), 2.0);
+  EXPECT_EQ(index.total_term_count(), 4u);
+}
+
+TEST(InvertedIndexTest, DocumentFrequencyAcrossDocs) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "goal match").ok());
+  ASSERT_TRUE(index.IndexText(1, "goal keeper").ok());
+  ASSERT_TRUE(index.IndexText(2, "weather").ok());
+  EXPECT_EQ(index.DocumentFrequency("goal"), 2u);
+  EXPECT_EQ(index.DocumentFrequency("keeper"), 1u);
+  EXPECT_EQ(index.DocumentFrequency("absent"), 0u);
+}
+
+TEST(InvertedIndexTest, IndexTermsBypassesAnalyzer) {
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexTerms(0, {"the", "the", "raw"}).ok());
+  // "the" was indexed verbatim because IndexTerms skips analysis.
+  EXPECT_NE(index.LookupAnalyzed("the"), nullptr);
+  EXPECT_EQ(index.LookupAnalyzed("the")->Find(0)->tf, 2u);
+}
+
+TEST(InvertedIndexTest, LookupIdOutOfRange) {
+  InvertedIndex index;
+  EXPECT_EQ(index.LookupId(0), nullptr);
+  EXPECT_EQ(index.LookupId(kInvalidTermId), nullptr);
+}
+
+}  // namespace
+}  // namespace ivr

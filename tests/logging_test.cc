@@ -1,0 +1,53 @@
+#include "ivr/core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, MessagesAtOrAboveLevelAreEmitted) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  IVR_LOG(Info) << "hello " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesBelowLevelAreSuppressed) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  IVR_LOG(Info) << "should not appear";
+  IVR_LOG(Debug) << "nor this";
+  IVR_LOG(Warning) << "but this does";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_EQ(out.find("nor this"), std::string::npos);
+  EXPECT_NE(out.find("but this does"), std::string::npos);
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysEmitted) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  IVR_LOG(Error) << "boom";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ivr

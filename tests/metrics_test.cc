@@ -1,0 +1,149 @@
+#include "ivr/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+// Topic 1: shots 1, 2, 3 relevant (3 highly relevant = grade 2 for shot 1).
+Qrels MakeQrels() {
+  Qrels qrels;
+  qrels.Set(1, 1, 2);
+  qrels.Set(1, 2, 1);
+  qrels.Set(1, 3, 1);
+  return qrels;
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(AveragePrecision(run, qrels, 1), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingAmongRetrieved) {
+  const Qrels qrels = MakeQrels();
+  // Two non-relevant shots first.
+  const ResultList run({{10, 5.0}, {11, 4.0}, {1, 3.0}, {2, 2.0},
+                        {3, 1.0}});
+  // AP = (1/3 + 2/4 + 3/5) / 3.
+  EXPECT_NEAR(AveragePrecision(run, qrels, 1),
+              (1.0 / 3 + 2.0 / 4 + 3.0 / 5) / 3, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantPenalized) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 1.0}});  // finds 1 of 3
+  EXPECT_NEAR(AveragePrecision(run, qrels, 1), 1.0 / 3, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoRelevantTopicIsZero) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(AveragePrecision(run, qrels, 99), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(ResultList(), qrels, 1), 0.0);
+}
+
+TEST(AveragePrecisionTest, MinGradeRestrictsRelevantSet) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 3.0}, {2, 2.0}});
+  // Only shot 1 has grade >= 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision(run, qrels, 1, 2), 1.0);
+}
+
+TEST(PrecisionAtKTest, CountsRelevantInPrefix) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 5.0}, {10, 4.0}, {2, 3.0}, {11, 2.0}});
+  EXPECT_DOUBLE_EQ(PrecisionAtK(run, qrels, 1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(run, qrels, 1, 4), 0.5);
+  // Shorter run than k: divisor stays k (trec_eval convention).
+  EXPECT_DOUBLE_EQ(PrecisionAtK(run, qrels, 1, 8), 0.25);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(run, qrels, 1, 0), 0.0);
+}
+
+TEST(RecallAtKTest, FractionOfRelevantFound) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 5.0}, {10, 4.0}, {2, 3.0}});
+  EXPECT_NEAR(RecallAtK(run, qrels, 1, 1), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(RecallAtK(run, qrels, 1, 3), 2.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(RecallAtK(run, qrels, 99, 3), 0.0);
+}
+
+TEST(NdcgTest, PerfectOrderIsOne) {
+  const Qrels qrels = MakeQrels();
+  // Ideal order: grade 2 first.
+  const ResultList run({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  EXPECT_NEAR(NdcgAtK(run, qrels, 1, 10), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, GradedOrderMatters) {
+  const Qrels qrels = MakeQrels();
+  const ResultList good({{1, 3.0}, {2, 2.0}});   // grade2 first
+  const ResultList bad({{2, 3.0}, {1, 2.0}});    // grade1 first
+  EXPECT_GT(NdcgAtK(good, qrels, 1, 10), NdcgAtK(bad, qrels, 1, 10));
+}
+
+TEST(NdcgTest, EmptyRunIsZero) {
+  const Qrels qrels = MakeQrels();
+  EXPECT_DOUBLE_EQ(NdcgAtK(ResultList(), qrels, 1, 10), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(ResultList({{1, 1.0}}), qrels, 1, 0), 0.0);
+}
+
+TEST(BprefTest, PerfectRunIsOne) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(Bpref(run, qrels, 1), 1.0);
+}
+
+TEST(BprefTest, NonRelevantAboveRelevantPenalized) {
+  const Qrels qrels = MakeQrels();
+  // 1 non-relevant before each relevant.
+  const ResultList run({{10, 9.0}, {1, 8.0}, {11, 7.0}, {2, 6.0},
+                        {12, 5.0}, {3, 4.0}});
+  // bpref = 1/3 * [(1 - 1/3) + (1 - 2/3) + (1 - 3/3)].
+  EXPECT_NEAR(Bpref(run, qrels, 1),
+              ((1 - 1.0 / 3) + (1 - 2.0 / 3) + 0.0) / 3, 1e-12);
+}
+
+TEST(ReciprocalRankTest, FirstRelevantPosition) {
+  const Qrels qrels = MakeQrels();
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRank(ResultList({{10, 2.0}, {1, 1.0}}), qrels, 1), 0.5);
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRank(ResultList({{10, 2.0}, {11, 1.0}}), qrels, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank(ResultList({{1, 1.0}}), qrels, 1), 1.0);
+}
+
+TEST(TopicMetricsTest, ComputesAllFields) {
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 3.0}, {2, 2.0}, {3, 1.0}});
+  const TopicMetrics m = ComputeTopicMetrics(run, qrels, 1);
+  EXPECT_EQ(m.topic, 1u);
+  EXPECT_EQ(m.num_relevant, 3u);
+  EXPECT_EQ(m.num_retrieved, 3u);
+  EXPECT_DOUBLE_EQ(m.ap, 1.0);
+  EXPECT_DOUBLE_EQ(m.p5, 3.0 / 5);
+  EXPECT_DOUBLE_EQ(m.rr, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall100, 1.0);
+  EXPECT_DOUBLE_EQ(m.bpref, 1.0);
+}
+
+TEST(MeanMetricsTest, Averages) {
+  TopicMetrics a;
+  a.ap = 0.4;
+  a.p10 = 0.2;
+  TopicMetrics b;
+  b.ap = 0.8;
+  b.p10 = 0.6;
+  const TopicMetrics mean = MeanMetrics({a, b});
+  EXPECT_DOUBLE_EQ(mean.ap, 0.6);
+  EXPECT_DOUBLE_EQ(mean.p10, 0.4);
+}
+
+TEST(MeanMetricsTest, EmptyIsZero) {
+  const TopicMetrics mean = MeanMetrics({});
+  EXPECT_DOUBLE_EQ(mean.ap, 0.0);
+  EXPECT_EQ(mean.num_relevant, 0u);
+}
+
+}  // namespace
+}  // namespace ivr

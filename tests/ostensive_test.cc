@@ -1,0 +1,55 @@
+#include "ivr/feedback/ostensive.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(OstensiveModelTest, FreshEvidenceHasFullWeight) {
+  const OstensiveModel model(kMillisPerMinute);
+  EXPECT_DOUBLE_EQ(model.Weight(1000, 1000), 1.0);
+  // Future evidence (clock skew) also clamps to 1.
+  EXPECT_DOUBLE_EQ(model.Weight(2000, 1000), 1.0);
+}
+
+TEST(OstensiveModelTest, HalfLifeHalves) {
+  const OstensiveModel model(kMillisPerMinute);
+  EXPECT_NEAR(model.Weight(0, kMillisPerMinute), 0.5, 1e-12);
+  EXPECT_NEAR(model.Weight(0, 2 * kMillisPerMinute), 0.25, 1e-12);
+  EXPECT_NEAR(model.Weight(0, 3 * kMillisPerMinute), 0.125, 1e-12);
+}
+
+TEST(OstensiveModelTest, MonotonicallyDecreasingInAge) {
+  const OstensiveModel model(30 * kMillisPerSecond);
+  double prev = 2.0;
+  for (TimeMs age = 0; age <= 10 * kMillisPerMinute;
+       age += 10 * kMillisPerSecond) {
+    const double w = model.Weight(0, age);
+    EXPECT_LE(w, prev);
+    EXPECT_GT(w, 0.0);
+    prev = w;
+  }
+}
+
+TEST(OstensiveModelTest, DisabledModelIsIdentity) {
+  const OstensiveModel model(0);
+  EXPECT_FALSE(model.enabled());
+  EXPECT_DOUBLE_EQ(model.Weight(0, 100 * kMillisPerHour), 1.0);
+  const OstensiveModel negative(-5);
+  EXPECT_DOUBLE_EQ(negative.Weight(0, 100), 1.0);
+}
+
+TEST(OstensiveModelTest, WeightByRankGeometric) {
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(3, 0.5), 0.125);
+}
+
+TEST(OstensiveModelTest, WeightByRankClampsDecay) {
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(2, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(2, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(OstensiveModel::WeightByRank(0, -0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace ivr

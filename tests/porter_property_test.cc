@@ -1,0 +1,82 @@
+// Property suite for the Porter stemmer over synthetic and adversarial
+// inputs: the stemmer must never crash, lengthen a word, produce empty
+// output for non-trivial input, or emit characters it did not receive.
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/rng.h"
+#include "ivr/text/porter_stemmer.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class PorterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomWord(Rng* rng) {
+  const int64_t len = rng->UniformInt(1, 20);
+  std::string word;
+  for (int64_t i = 0; i < len; ++i) {
+    word.push_back(static_cast<char>('a' + rng->UniformInt(0, 25)));
+  }
+  return word;
+}
+
+TEST_P(PorterPropertyTest, NeverLengthensAndNeverEmpties) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::string word = RandomWord(&rng);
+    const std::string stem = PorterStem(word);
+    EXPECT_LE(stem.size(), word.size()) << word;
+    EXPECT_FALSE(stem.empty()) << word;
+  }
+}
+
+TEST_P(PorterPropertyTest, OutputIsLowercaseAlpha) {
+  Rng rng(GetParam() + 100);
+  for (int i = 0; i < 500; ++i) {
+    const std::string stem = PorterStem(RandomWord(&rng));
+    for (char c : stem) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+TEST_P(PorterPropertyTest, FirstCharacterSurvives) {
+  // Porter only rewrites suffixes (including y->i as early as position
+  // 1, e.g. "oys" -> "oi"), so the first character is always untouched.
+  Rng rng(GetParam() + 200);
+  for (int i = 0; i < 500; ++i) {
+    const std::string word = RandomWord(&rng);
+    const std::string stem = PorterStem(word);
+    ASSERT_FALSE(stem.empty());
+    EXPECT_EQ(stem[0], word[0]) << word;
+  }
+}
+
+TEST_P(PorterPropertyTest, SyntheticVocabularyStemsConsistently) {
+  // The generator's synthetic words must stem deterministically and
+  // never collide catastrophically with their own plural-like suffixed
+  // variants (the analyzer relies on this to keep topic vocabularies
+  // separable).
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 300; ++i) {
+    const std::string word =
+        MakeSyntheticWord(static_cast<uint64_t>(rng.UniformInt(0, 100000)));
+    const std::string stem = PorterStem(word);
+    EXPECT_EQ(stem, PorterStem(word));  // deterministic
+    // A synthetic word and a different synthetic word must not be merged
+    // by stemming too aggressively: check against its index neighbour.
+    const std::string other = MakeSyntheticWord(
+        static_cast<uint64_t>(rng.UniformInt(100001, 200000)));
+    EXPECT_NE(PorterStem(other), stem);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PorterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,93 @@
+#include "ivr/text/porter_stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+// Reference pairs from Porter's published examples and the classic
+// test vocabulary.
+class PorterStemKnownPairs : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemKnownPairs, StemsAsReference) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.input), c.expected) << "input=" << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classic, PorterStemKnownPairs,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti",
+                                                    "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti",
+                                                  "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous",
+                                                    "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize",
+                                                  "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemTest, StableFixedPoints) {
+  // Porter is famously not idempotent in general (television -> televis ->
+  // televi), but these stems are fixed points and must stay stable.
+  const char* words[] = {"retriev", "implicit", "feedback",
+                         "video",   "goal",     "weather"};
+  for (const char* w : words) {
+    EXPECT_EQ(PorterStem(w), w) << "word=" << w;
+  }
+}
+
+TEST(PorterStemTest, RelatedFormsConflate) {
+  EXPECT_EQ(PorterStem("retrieval"), PorterStem("retrieval"));
+  EXPECT_EQ(PorterStem("connected"), PorterStem("connecting"));
+  EXPECT_EQ(PorterStem("connection"), PorterStem("connections"));
+  EXPECT_EQ(PorterStem("relate"), PorterStem("related"));
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,67 @@
+#include "ivr/index/posting_list.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(PostingListTest, EmptyList) {
+  PostingList pl;
+  EXPECT_EQ(pl.document_frequency(), 0u);
+  EXPECT_EQ(pl.collection_frequency(), 0u);
+  EXPECT_EQ(pl.Find(0), nullptr);
+}
+
+TEST(PostingListTest, AddAccumulatesStats) {
+  PostingList pl;
+  pl.Add(0, 3);
+  pl.Add(2, 1);
+  pl.Add(5, 2);
+  EXPECT_EQ(pl.document_frequency(), 3u);
+  EXPECT_EQ(pl.collection_frequency(), 6u);
+}
+
+TEST(PostingListTest, RepeatedAddForSameDocMerges) {
+  PostingList pl;
+  pl.Add(4, 1);
+  pl.Add(4, 2);
+  EXPECT_EQ(pl.document_frequency(), 1u);
+  EXPECT_EQ(pl.collection_frequency(), 3u);
+  const Posting* p = pl.Find(4);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->tf, 3u);
+}
+
+TEST(PostingListTest, ZeroCountIgnored) {
+  PostingList pl;
+  pl.Add(1, 0);
+  EXPECT_EQ(pl.document_frequency(), 0u);
+  EXPECT_EQ(pl.collection_frequency(), 0u);
+}
+
+TEST(PostingListTest, FindBinarySearches) {
+  PostingList pl;
+  for (DocId d = 0; d < 100; d += 2) {
+    pl.Add(d, d + 1);
+  }
+  const Posting* p = pl.Find(42);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->doc, 42u);
+  EXPECT_EQ(p->tf, 43u);
+  EXPECT_EQ(pl.Find(43), nullptr);   // absent odd id
+  EXPECT_EQ(pl.Find(1000), nullptr); // beyond the end
+}
+
+TEST(PostingListTest, PostingsStaySortedByDoc) {
+  PostingList pl;
+  pl.Add(1, 1);
+  pl.Add(3, 1);
+  pl.Add(9, 1);
+  const auto& postings = pl.postings();
+  for (size_t i = 1; i < postings.size(); ++i) {
+    EXPECT_LT(postings[i - 1].doc, postings[i].doc);
+  }
+}
+
+}  // namespace
+}  // namespace ivr

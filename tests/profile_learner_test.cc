@@ -1,0 +1,129 @@
+#include "ivr/adaptive/profile_learner.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class ProfileLearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 101;
+    options.num_topics = 4;
+    options.num_videos = 6;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+  }
+
+  // Positive evidence on `n` shots of `topic`.
+  std::vector<RelevanceEvidence> PositiveOn(TopicLabel topic, size_t n,
+                                            double weight = 1.0) {
+    std::vector<RelevanceEvidence> out;
+    for (ShotId shot :
+         generated_->collection.ShotsWithPrimaryTopic(topic)) {
+      out.push_back(RelevanceEvidence{shot, weight});
+      if (out.size() >= n) break;
+    }
+    return out;
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+};
+
+TEST_F(ProfileLearnerTest, PositiveEvidenceBuildsInterest) {
+  UserProfile profile("u");
+  const ProfileLearner learner;
+  learner.UpdateFromEvidence(PositiveOn(2, 5), generated_->collection,
+                             &profile);
+  EXPECT_GT(profile.Interest(2), 0.0);
+  EXPECT_DOUBLE_EQ(profile.Interest(0), 0.0);
+}
+
+TEST_F(ProfileLearnerTest, ProfileStaysNormalized) {
+  UserProfile profile("u");
+  const ProfileLearner learner;
+  learner.UpdateFromEvidence(PositiveOn(1, 4), generated_->collection,
+                             &profile);
+  learner.UpdateFromEvidence(PositiveOn(2, 4), generated_->collection,
+                             &profile);
+  double total = 0.0;
+  for (const auto& [topic, w] : profile.interests()) {
+    (void)topic;
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(ProfileLearnerTest, RepeatedSessionsShiftInterests) {
+  // Declared sports fan keeps watching finance; over sessions the profile
+  // follows the behaviour.
+  UserProfile profile("drifter");
+  profile.SetInterest(1, 1.0);  // declared: topic 1
+  const ProfileLearner learner;
+  const double before = profile.Interest(1);
+  for (int session = 0; session < 6; ++session) {
+    learner.UpdateFromEvidence(PositiveOn(3, 5), generated_->collection,
+                               &profile);
+  }
+  EXPECT_GT(profile.Interest(3), profile.Interest(1));
+  EXPECT_LT(profile.Interest(1), before);
+}
+
+TEST_F(ProfileLearnerTest, NegativeEvidenceSuppresses) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 0.5);
+  profile.SetInterest(1, 0.5);
+  const ProfileLearner learner;
+  std::vector<RelevanceEvidence> negative;
+  for (const RelevanceEvidence& e : PositiveOn(0, 4)) {
+    negative.push_back(RelevanceEvidence{e.shot, -2.0});
+  }
+  learner.UpdateFromEvidence(negative, generated_->collection, &profile);
+  EXPECT_LT(profile.Interest(0), profile.Interest(1));
+}
+
+TEST_F(ProfileLearnerTest, EvidenceOnUnknownShotsIgnored) {
+  UserProfile profile("u");
+  const ProfileLearner learner;
+  learner.UpdateFromEvidence({RelevanceEvidence{9999999, 5.0}},
+                             generated_->collection, &profile);
+  EXPECT_TRUE(profile.interests().empty());
+}
+
+TEST_F(ProfileLearnerTest, RetentionControlsForgetting) {
+  ProfileLearner::Options fast_forget;
+  fast_forget.retention = 0.1;
+  ProfileLearner::Options slow_forget;
+  slow_forget.retention = 0.99;
+
+  for (const auto& [options, expect_flip] :
+       {std::pair{fast_forget, true}, std::pair{slow_forget, false}}) {
+    UserProfile profile("u");
+    profile.SetInterest(0, 1.0);
+    const ProfileLearner learner(options);
+    learner.UpdateFromEvidence(PositiveOn(2, 3, 0.5),
+                               generated_->collection, &profile);
+    if (expect_flip) {
+      EXPECT_GT(profile.Interest(2), profile.Interest(0));
+    } else {
+      EXPECT_GT(profile.Interest(0), profile.Interest(2));
+    }
+  }
+}
+
+TEST_F(ProfileLearnerTest, EmptyEvidenceOnlyDecaysAndNormalizes) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 0.3);
+  profile.SetInterest(1, 0.7);
+  const ProfileLearner learner;
+  learner.UpdateFromEvidence({}, generated_->collection, &profile);
+  // Relative proportions survive decay + renormalisation.
+  EXPECT_NEAR(profile.Interest(0), 0.3, 1e-9);
+  EXPECT_NEAR(profile.Interest(1), 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,105 @@
+#include "ivr/profile/profile_reranker.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+// Collection with two shots: shot 0 about topic 0, shot 1 about topic 1.
+VideoCollection MakeCollection() {
+  VideoCollection c;
+  c.SetTopicNames({"politics", "sports"});
+  Video v;
+  const VideoId vid = c.AddVideo(v);
+  NewsStory s;
+  s.video = vid;
+  const StoryId sid = c.AddStory(s);
+  for (TopicLabel t = 0; t < 2; ++t) {
+    Shot shot;
+    shot.story = sid;
+    shot.video = vid;
+    shot.primary_topic = t;
+    shot.concepts = {t == 0, t == 1};
+    shot.external_id = "s" + std::to_string(t);
+    c.AddShot(shot);
+  }
+  return c;
+}
+
+TEST(ProfileRerankerTest, LambdaZeroLeavesListUntouched) {
+  const VideoCollection c = MakeCollection();
+  UserProfile profile("u");
+  profile.SetInterest(1, 1.0);
+  const ResultList original({{0, 2.0}, {1, 1.0}});
+  ProfileRerankOptions options;
+  options.lambda = 0.0;
+  const ResultList reranked =
+      RerankWithProfile(original, profile, c, options);
+  EXPECT_EQ(reranked.ShotIds(), original.ShotIds());
+}
+
+TEST(ProfileRerankerTest, StrongProfileFlipsRanking) {
+  const VideoCollection c = MakeCollection();
+  UserProfile profile("sports-fan");
+  profile.SetInterest(1, 1.0);
+  // Retrieval slightly prefers shot 0; the fan's profile prefers shot 1.
+  const ResultList original({{0, 1.01}, {1, 1.0}});
+  ProfileRerankOptions options;
+  options.lambda = 0.8;
+  const ResultList reranked =
+      RerankWithProfile(original, profile, c, options);
+  EXPECT_EQ(reranked.at(0).shot, 1u);
+}
+
+TEST(ProfileRerankerTest, WeakProfilePreservesStrongRetrievalSignal) {
+  const VideoCollection c = MakeCollection();
+  UserProfile profile("sports-fan");
+  profile.SetInterest(1, 1.0);
+  const ResultList original({{0, 100.0}, {1, 1.0}});
+  ProfileRerankOptions options;
+  options.lambda = 0.2;
+  const ResultList reranked =
+      RerankWithProfile(original, profile, c, options);
+  EXPECT_EQ(reranked.at(0).shot, 0u);
+}
+
+TEST(ProfileRerankerTest, EmptyListAndEmptyProfile) {
+  const VideoCollection c = MakeCollection();
+  const UserProfile profile("empty");
+  EXPECT_TRUE(RerankWithProfile(ResultList(), profile, c).empty());
+  const ResultList original({{0, 2.0}, {1, 1.0}});
+  // Empty profile: affinity 0 everywhere, order preserved.
+  const ResultList reranked = RerankWithProfile(original, profile, c);
+  EXPECT_EQ(reranked.ShotIds(), original.ShotIds());
+}
+
+TEST(ProfileRerankerTest, ShotsOutsideCollectionKeepScore) {
+  const VideoCollection c = MakeCollection();
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);
+  const ResultList original({{99, 1.0}, {0, 0.5}});
+  ProfileRerankOptions options;
+  options.lambda = 0.5;
+  const ResultList reranked =
+      RerankWithProfile(original, profile, c, options);
+  // Shot 99 is unknown: affinity 0, normalised score 1 -> 0.5 total.
+  // Shot 0: normalised 0 + affinity 1 -> 0.5. Tie broken by id: 0 first.
+  EXPECT_EQ(reranked.at(0).shot, 0u);
+  EXPECT_DOUBLE_EQ(reranked.ScoreOf(99), 0.5);
+}
+
+TEST(ProfileRerankerTest, LambdaClampedToUnitInterval) {
+  const VideoCollection c = MakeCollection();
+  UserProfile profile("u");
+  profile.SetInterest(1, 1.0);
+  const ResultList original({{0, 2.0}, {1, 1.0}});
+  ProfileRerankOptions options;
+  options.lambda = 5.0;  // clamped to 1: pure profile ranking
+  const ResultList reranked =
+      RerankWithProfile(original, profile, c, options);
+  EXPECT_EQ(reranked.at(0).shot, 1u);
+  EXPECT_DOUBLE_EQ(reranked.ScoreOf(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,89 @@
+#include "ivr/video/qrels.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(QrelsTest, SetAndGrade) {
+  Qrels qrels;
+  qrels.Set(1, 10, 2);
+  qrels.Set(1, 11, 1);
+  EXPECT_EQ(qrels.Grade(1, 10), 2);
+  EXPECT_EQ(qrels.Grade(1, 11), 1);
+  EXPECT_EQ(qrels.Grade(1, 12), 0);
+  EXPECT_EQ(qrels.Grade(2, 10), 0);
+}
+
+TEST(QrelsTest, SettingZeroRemoves) {
+  Qrels qrels;
+  qrels.Set(1, 10, 2);
+  qrels.Set(1, 10, 0);
+  EXPECT_EQ(qrels.Grade(1, 10), 0);
+  EXPECT_TRUE(qrels.Topics().empty());
+  EXPECT_EQ(qrels.TotalJudgments(), 0u);
+}
+
+TEST(QrelsTest, IsRelevantRespectsMinGrade) {
+  Qrels qrels;
+  qrels.Set(1, 10, 1);
+  qrels.Set(1, 20, 2);
+  EXPECT_TRUE(qrels.IsRelevant(1, 10));
+  EXPECT_FALSE(qrels.IsRelevant(1, 10, 2));
+  EXPECT_TRUE(qrels.IsRelevant(1, 20, 2));
+  EXPECT_FALSE(qrels.IsRelevant(1, 30));
+}
+
+TEST(QrelsTest, RelevantShotsSortedAndFiltered) {
+  Qrels qrels;
+  qrels.Set(1, 30, 1);
+  qrels.Set(1, 10, 2);
+  qrels.Set(1, 20, 1);
+  EXPECT_EQ(qrels.RelevantShots(1), (std::vector<ShotId>{10, 20, 30}));
+  EXPECT_EQ(qrels.RelevantShots(1, 2), (std::vector<ShotId>{10}));
+  EXPECT_TRUE(qrels.RelevantShots(9).empty());
+}
+
+TEST(QrelsTest, CountsAndTopics) {
+  Qrels qrels;
+  qrels.Set(3, 1, 1);
+  qrels.Set(1, 2, 2);
+  qrels.Set(1, 3, 1);
+  EXPECT_EQ(qrels.NumRelevant(1), 2u);
+  EXPECT_EQ(qrels.NumRelevant(1, 2), 1u);
+  EXPECT_EQ(qrels.NumRelevant(7), 0u);
+  EXPECT_EQ(qrels.Topics(), (std::vector<SearchTopicId>{1, 3}));
+  EXPECT_EQ(qrels.TotalJudgments(), 3u);
+}
+
+TEST(QrelsTest, TrecFormatRoundTrip) {
+  Qrels qrels;
+  qrels.Set(1, 5, 2);
+  qrels.Set(1, 9, 1);
+  qrels.Set(4, 2, 1);
+  const std::string text = qrels.ToTrecFormat();
+  EXPECT_EQ(text, "1 0 shot5 2\n1 0 shot9 1\n4 0 shot2 1\n");
+  const Qrels parsed = Qrels::FromTrecFormat(text).value();
+  EXPECT_EQ(parsed.ToTrecFormat(), text);
+}
+
+TEST(QrelsTest, ParseIgnoresBlankAndZeroGradeLines) {
+  const Qrels parsed =
+      Qrels::FromTrecFormat("\n1 0 shot5 2\n\n2 0 shot3 0\n").value();
+  EXPECT_EQ(parsed.Grade(1, 5), 2);
+  EXPECT_EQ(parsed.Grade(2, 3), 0);
+  EXPECT_EQ(parsed.TotalJudgments(), 1u);
+}
+
+TEST(QrelsTest, ParseRejectsMalformedLines) {
+  EXPECT_TRUE(Qrels::FromTrecFormat("1 0 shot5").status().IsCorruption());
+  EXPECT_TRUE(
+      Qrels::FromTrecFormat("1 0 doc5 2").status().IsCorruption());
+  EXPECT_TRUE(
+      Qrels::FromTrecFormat("x 0 shot5 2").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Qrels::FromTrecFormat("1 0 shotX 2").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ivr

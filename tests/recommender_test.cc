@@ -1,0 +1,136 @@
+#include "ivr/adaptive/recommender.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class RecommenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 41;
+    options.num_topics = 5;
+    options.num_videos = 12;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    recommender_ = std::make_unique<NewsRecommender>(
+        generated_->collection, *engine_);
+  }
+
+  TopicLabel StoryTopic(StoryId id) const {
+    return generated_->collection.story(id).value()->topic;
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<NewsRecommender> recommender_;
+};
+
+TEST_F(RecommenderTest, ProfileDrivenRecommendationsMatchInterests) {
+  UserProfile profile("politics-junkie");
+  profile.SetInterest(0, 1.0);  // topic 0 = politics
+  const auto recs = recommender_->Recommend(profile, {}, 5);
+  ASSERT_FALSE(recs.empty());
+  // Most of the top stories should be about the preferred topic.
+  size_t on_topic = 0;
+  for (const StoryRecommendation& r : recs) {
+    if (StoryTopic(r.story) == 0) ++on_topic;
+  }
+  EXPECT_GE(on_topic, recs.size() - 1);
+}
+
+TEST_F(RecommenderTest, ScoresDescending) {
+  UserProfile profile("u");
+  profile.SetInterest(1, 1.0);
+  const auto recs = recommender_->Recommend(profile, {}, 10);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].score, recs[i].score);
+  }
+}
+
+TEST_F(RecommenderTest, TopNLimits) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);
+  EXPECT_LE(recommender_->Recommend(profile, {}, 3).size(), 3u);
+  const size_t all =
+      recommender_->Recommend(profile, {}, 1000000).size();
+  EXPECT_EQ(all, generated_->collection.num_stories());
+}
+
+TEST_F(RecommenderTest, ImplicitHistoryDrivesContentMatch) {
+  // Empty profile; history full of positive evidence on topic-2 shots.
+  const UserProfile profile("newcomer");
+  std::vector<RelevanceEvidence> history;
+  for (ShotId shot : generated_->collection.ShotsWithPrimaryTopic(2)) {
+    history.push_back(RelevanceEvidence{shot, 1.0});
+    if (history.size() >= 8) break;
+  }
+  RecommenderOptions options;
+  options.profile_weight = 0.0;
+  options.implicit_weight = 1.0;
+  const auto recs = recommender_->Recommend(profile, history, 5, options);
+  ASSERT_FALSE(recs.empty());
+  size_t on_topic = 0;
+  for (const StoryRecommendation& r : recs) {
+    if (StoryTopic(r.story) == 2) ++on_topic;
+  }
+  EXPECT_GE(on_topic, 4u);
+}
+
+TEST_F(RecommenderTest, DayFilterRestrictsStories) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);
+  RecommenderOptions options;
+  options.day = 3;
+  const auto recs =
+      recommender_->Recommend(profile, {}, 100, options);
+  ASSERT_FALSE(recs.empty());
+  for (const StoryRecommendation& r : recs) {
+    const NewsStory* story =
+        generated_->collection.story(r.story).value();
+    EXPECT_EQ(generated_->collection.video(story->video).value()->day, 3);
+  }
+}
+
+TEST_F(RecommenderTest, EmptyProfileAndHistoryYieldsUniformZero) {
+  const UserProfile profile("blank");
+  const auto recs = recommender_->Recommend(profile, {}, 5);
+  for (const StoryRecommendation& r : recs) {
+    EXPECT_DOUBLE_EQ(r.score, 0.0);
+  }
+}
+
+TEST_F(RecommenderTest, BlendWeightsSteerTheTopRecommendation) {
+  // Profile likes topic 0, history likes topic 1: whichever signal the
+  // blend weights favour determines the top story.
+  UserProfile profile("mixed");
+  profile.SetInterest(0, 1.0);
+  std::vector<RelevanceEvidence> history;
+  for (ShotId shot : generated_->collection.ShotsWithPrimaryTopic(1)) {
+    history.push_back(RelevanceEvidence{shot, 1.0});
+    if (history.size() >= 8) break;
+  }
+
+  RecommenderOptions profile_heavy;
+  profile_heavy.profile_weight = 0.9;
+  profile_heavy.implicit_weight = 0.1;
+  const auto by_profile =
+      recommender_->Recommend(profile, history, 1, profile_heavy);
+  ASSERT_EQ(by_profile.size(), 1u);
+  EXPECT_EQ(StoryTopic(by_profile[0].story), 0u);
+
+  RecommenderOptions implicit_heavy;
+  implicit_heavy.profile_weight = 0.1;
+  implicit_heavy.implicit_weight = 0.9;
+  const auto by_history =
+      recommender_->Recommend(profile, history, 1, implicit_heavy);
+  ASSERT_EQ(by_history.size(), 1u);
+  EXPECT_EQ(StoryTopic(by_history[0].story), 1u);
+}
+
+}  // namespace
+}  // namespace ivr

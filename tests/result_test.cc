@@ -1,0 +1,84 @@
+#include "ivr/core/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, ArrowOperatorOnStructs) {
+  struct Payload {
+    std::string name;
+  };
+  Result<Payload> r = Payload{"shot1"};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name, "shot1");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto fail = []() -> Result<int> { return Status::OutOfRange("far"); };
+  auto wrapper = [&]() -> Status {
+    IVR_ASSIGN_OR_RETURN(int v, fail());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnMacroAssignsValue) {
+  auto make = []() -> Result<std::vector<int>> {
+    return std::vector<int>{1, 2, 3};
+  };
+  auto wrapper = [&]() -> Result<size_t> {
+    IVR_ASSIGN_OR_RETURN(std::vector<int> v, make());
+    return v.size();
+  };
+  Result<size_t> r = wrapper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3u);
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r(Status::OK()); (void)r; }, "");
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,235 @@
+#include "ivr/core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  // lo > hi returns lo (documented clamp).
+  EXPECT_EQ(rng.UniformInt(9, 2), 9);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(2.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(6.0));
+  EXPECT_NEAR(sum / n, 6.0, 0.1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.Geometric(0.25);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  // Mean of failures-before-success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, CategoricalDegenerateInputs) {
+  Rng rng(37);
+  EXPECT_EQ(rng.Categorical({}), 0u);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(43);
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 50).size(), 5u);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(4, 0.0);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfMonotonicallyDecreasing) {
+  ZipfDistribution zipf(100, 1.1);
+  for (int64_t k = 1; k < 100; ++k) {
+    EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 0.8);
+  double total = 0.0;
+  for (int64_t k = 0; k < 50; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t k = zipf.Sample(&rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 10);
+    ++counts[static_cast<size_t>(k)];
+  }
+  for (int64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(k)]) / n,
+                zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfTest, DegenerateSupport) {
+  ZipfDistribution zipf(0, 1.0);
+  EXPECT_EQ(zipf.n(), 1);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(&rng), 0);
+  EXPECT_EQ(zipf.Pmf(-1), 0.0);
+  EXPECT_EQ(zipf.Pmf(5), 0.0);
+}
+
+}  // namespace
+}  // namespace ivr

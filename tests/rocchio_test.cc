@@ -1,0 +1,125 @@
+#include "ivr/retrieval/rocchio.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TermQuery MakeQuery(const Analyzer& analyzer, const std::string& text) {
+  TermQuery q;
+  for (const std::string& term : analyzer.Analyze(text)) {
+    q.weights[term] += 1.0;
+  }
+  return q;
+}
+
+TEST(RocchioTest, NoFeedbackScalesOriginalByAlpha) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal football");
+  RocchioOptions options;
+  options.alpha = 2.0;
+  const TermQuery expanded =
+      RocchioExpand(original, {}, {}, analyzer, options);
+  EXPECT_EQ(expanded.weights.size(), original.weights.size());
+  for (const auto& [term, w] : original.weights) {
+    EXPECT_DOUBLE_EQ(expanded.weights.at(term), 2.0 * w);
+  }
+}
+
+TEST(RocchioTest, PositiveFeedbackAddsNewTerms) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  const std::vector<FeedbackDoc> positive = {
+      {"goal striker penalty", 1.0}};
+  const TermQuery expanded =
+      RocchioExpand(original, positive, {}, analyzer);
+  EXPECT_GT(expanded.weights.count("striker"), 0u);
+  EXPECT_GT(expanded.weights.count("penalti"), 0u);  // stemmed
+  // Original term reinforced beyond alpha alone.
+  EXPECT_GT(expanded.weights.at("goal"), 1.0);
+}
+
+TEST(RocchioTest, NegativeFeedbackSuppressesTerms) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal weather");
+  const std::vector<FeedbackDoc> negative = {
+      {"weather weather weather", 1.0}};
+  RocchioOptions options;
+  options.gamma = 2.0;  // strong negative to force removal
+  const TermQuery expanded =
+      RocchioExpand(original, {}, negative, analyzer, options);
+  // "weather" should be suppressed below zero and dropped.
+  EXPECT_EQ(expanded.weights.count("weather"), 0u);
+  EXPECT_GT(expanded.weights.count("goal"), 0u);
+}
+
+TEST(RocchioTest, NegativeFeedbackNeverIntroducesTerms) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  const std::vector<FeedbackDoc> negative = {{"politics scandal", 1.0}};
+  const TermQuery expanded =
+      RocchioExpand(original, {}, negative, analyzer);
+  EXPECT_EQ(expanded.weights.count("polit"), 0u);
+  EXPECT_EQ(expanded.weights.count("scandal"), 0u);
+}
+
+TEST(RocchioTest, WeightsScaleFeedbackInfluence) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  const std::vector<FeedbackDoc> strong = {{"striker", 4.0},
+                                           {"referee", 1.0}};
+  const TermQuery expanded =
+      RocchioExpand(original, strong, {}, analyzer);
+  // The heavier feedback document dominates the centroid.
+  EXPECT_GT(expanded.weights.at("striker"), expanded.weights.at("refere"));
+}
+
+TEST(RocchioTest, MaxExpansionTermsLimitsGrowth) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  std::string many_terms;
+  for (int i = 0; i < 50; ++i) {
+    many_terms += " uniqueterm" + std::to_string(i);
+  }
+  RocchioOptions options;
+  options.max_expansion_terms = 5;
+  const TermQuery expanded = RocchioExpand(
+      original, {{many_terms, 1.0}}, {}, analyzer, options);
+  // Original term + at most 5 expansion terms.
+  EXPECT_LE(expanded.weights.size(), 6u);
+  EXPECT_GT(expanded.weights.count("goal"), 0u);
+}
+
+TEST(RocchioTest, ZeroWeightFeedbackIgnored) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  const TermQuery expanded = RocchioExpand(
+      original, {{"striker", 0.0}}, {}, analyzer);
+  EXPECT_EQ(expanded.weights.count("striker"), 0u);
+}
+
+TEST(RocchioTest, EmptyOriginalQueryBuildsCentroidQuery) {
+  const Analyzer analyzer;
+  RocchioOptions options;
+  options.alpha = 0.0;
+  options.beta = 1.0;
+  const TermQuery expanded = RocchioExpand(
+      TermQuery(), {{"football striker", 1.0}}, {}, analyzer, options);
+  EXPECT_EQ(expanded.weights.size(), 2u);
+}
+
+TEST(RocchioTest, LongDocumentsDoNotDominate) {
+  const Analyzer analyzer;
+  const TermQuery original = MakeQuery(analyzer, "goal");
+  // One long document about weather vs one short about strikers, equal
+  // weights: length normalisation should keep them comparable.
+  std::string long_doc;
+  for (int i = 0; i < 100; ++i) long_doc += " weather";
+  const TermQuery expanded = RocchioExpand(
+      original, {{long_doc, 1.0}, {"striker", 1.0}}, {}, analyzer);
+  EXPECT_NEAR(expanded.weights.at("weather"),
+              expanded.weights.at("striker"), 1e-9);
+}
+
+}  // namespace
+}  // namespace ivr

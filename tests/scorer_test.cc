@@ -1,0 +1,102 @@
+#include "ivr/index/scorer.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+class ScorerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 4 documents over a small vocabulary with varied lengths.
+    ASSERT_TRUE(index_.IndexText(0, "goal goal match football").ok());
+    ASSERT_TRUE(index_.IndexText(1, "goal weather").ok());
+    ASSERT_TRUE(
+        index_.IndexText(2, "weather forecast rain rain rain").ok());
+    ASSERT_TRUE(index_.IndexText(3, "football stadium crowd").ok());
+  }
+
+  InvertedIndex index_;
+};
+
+TEST_F(ScorerTest, Bm25HigherTfScoresHigher) {
+  const Bm25Scorer scorer;
+  const size_t df = 2;
+  const uint64_t cf = 3;
+  const double s1 = scorer.Score(index_, 1, 4, df, cf, 1);
+  const double s2 = scorer.Score(index_, 2, 4, df, cf, 1);
+  EXPECT_GT(s2, s1);
+  EXPECT_GT(s1, 0.0);
+}
+
+TEST_F(ScorerTest, Bm25TfSaturates) {
+  const Bm25Scorer scorer;
+  const double s2 = scorer.Score(index_, 2, 4, 1, 2, 1);
+  const double s1 = scorer.Score(index_, 1, 4, 1, 2, 1);
+  const double s20 = scorer.Score(index_, 20, 4, 1, 20, 1);
+  const double s19 = scorer.Score(index_, 19, 4, 1, 20, 1);
+  // Marginal gain shrinks with tf.
+  EXPECT_GT(s2 - s1, s20 - s19);
+}
+
+TEST_F(ScorerTest, Bm25PenalizesLongDocuments) {
+  const Bm25Scorer scorer;
+  const double short_doc = scorer.Score(index_, 1, 2, 2, 3, 1);
+  const double long_doc = scorer.Score(index_, 1, 5, 2, 3, 1);
+  EXPECT_GT(short_doc, long_doc);
+}
+
+TEST_F(ScorerTest, Bm25RareTermsWorthMore) {
+  const Bm25Scorer scorer;
+  const double rare = scorer.Score(index_, 1, 4, 1, 1, 1);
+  const double common = scorer.Score(index_, 1, 4, 4, 8, 1);
+  EXPECT_GT(rare, common);
+}
+
+TEST_F(ScorerTest, Bm25ZeroWhenAbsent) {
+  const Bm25Scorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.Score(index_, 0, 4, 2, 3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(index_, 1, 4, 0, 0, 1), 0.0);
+}
+
+TEST_F(ScorerTest, Bm25QueryTfScales) {
+  const Bm25Scorer scorer;
+  const double once = scorer.Score(index_, 2, 4, 2, 3, 1);
+  const double twice = scorer.Score(index_, 2, 4, 2, 3, 2);
+  EXPECT_DOUBLE_EQ(twice, 2.0 * once);
+}
+
+TEST_F(ScorerTest, TfIdfBasicOrdering) {
+  const TfIdfScorer scorer;
+  const double high_tf = scorer.Score(index_, 3, 5, 2, 5, 1);
+  const double low_tf = scorer.Score(index_, 1, 5, 2, 5, 1);
+  EXPECT_GT(high_tf, low_tf);
+  // A term occurring in every document has idf log(1)=0.
+  EXPECT_DOUBLE_EQ(scorer.Score(index_, 2, 5, 4, 8, 1), 0.0);
+}
+
+TEST_F(ScorerTest, DirichletPrefersHigherTf) {
+  const DirichletLmScorer scorer(2000.0);
+  const double s2 = scorer.Score(index_, 2, 4, 1, 3, 1);
+  const double s1 = scorer.Score(index_, 1, 4, 1, 3, 1);
+  EXPECT_GT(s2, s1);
+}
+
+TEST_F(ScorerTest, DirichletZeroForUnseenTerm) {
+  const DirichletLmScorer scorer;
+  EXPECT_DOUBLE_EQ(scorer.Score(index_, 1, 4, 1, 0, 1), 0.0);
+}
+
+TEST(MakeScorerTest, FactoryNames) {
+  EXPECT_NE(MakeScorer("bm25"), nullptr);
+  EXPECT_NE(MakeScorer("tfidf"), nullptr);
+  EXPECT_NE(MakeScorer("lm"), nullptr);
+  EXPECT_NE(MakeScorer("lm-dirichlet"), nullptr);
+  EXPECT_EQ(MakeScorer("pagerank"), nullptr);
+  EXPECT_EQ(MakeScorer("bm25")->name(), "bm25");
+  EXPECT_EQ(MakeScorer("tfidf")->name(), "tfidf");
+  EXPECT_EQ(MakeScorer("lm")->name(), "lm-dirichlet");
+}
+
+}  // namespace
+}  // namespace ivr

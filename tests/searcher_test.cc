@@ -1,0 +1,102 @@
+#include "ivr/index/searcher.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(index_.IndexText(0, "football goal goal striker").ok());
+    ASSERT_TRUE(index_.IndexText(1, "football stadium").ok());
+    ASSERT_TRUE(index_.IndexText(2, "weather rain forecast").ok());
+    ASSERT_TRUE(index_.IndexText(3, "goal weather").ok());
+  }
+
+  InvertedIndex index_;
+  Bm25Scorer scorer_;
+};
+
+TEST_F(SearcherTest, ParseQueryAccumulatesDuplicates) {
+  const Searcher searcher(index_, scorer_);
+  const TermQuery q = searcher.ParseQuery("goal goal football");
+  EXPECT_EQ(q.weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.weights.at("goal"), 2.0);
+  EXPECT_DOUBLE_EQ(q.weights.at("footbal"), 1.0);  // stemmed
+}
+
+TEST_F(SearcherTest, TopDocMatchesMostTerms) {
+  const Searcher searcher(index_, scorer_);
+  const auto hits = searcher.SearchText("football goal", 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 0u);  // matches both terms, goal twice
+}
+
+TEST_F(SearcherTest, ScoresDescendingAndDeterministic) {
+  const Searcher searcher(index_, scorer_);
+  const auto hits = searcher.SearchText("goal weather", 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  const auto again = searcher.SearchText("goal weather", 10);
+  EXPECT_EQ(hits, again);
+}
+
+TEST_F(SearcherTest, KLimitsResults) {
+  const Searcher searcher(index_, scorer_);
+  EXPECT_EQ(searcher.SearchText("goal", 1).size(), 1u);
+  EXPECT_EQ(searcher.SearchText("goal", 0).size(), 0u);
+}
+
+TEST_F(SearcherTest, EmptyAndUnknownQueries) {
+  const Searcher searcher(index_, scorer_);
+  EXPECT_TRUE(searcher.SearchText("", 10).empty());
+  EXPECT_TRUE(searcher.SearchText("zzzunknownzzz", 10).empty());
+  EXPECT_TRUE(searcher.SearchText("the of and", 10).empty());
+}
+
+TEST_F(SearcherTest, WeightedTermQueryShiftsRanking) {
+  const Searcher searcher(index_, scorer_);
+  TermQuery q;
+  q.weights["goal"] = 0.1;
+  q.weights["weather"] = 5.0;
+  const auto hits = searcher.Search(q, 10);
+  ASSERT_FALSE(hits.empty());
+  // Weather-dominated query should put a weather doc first.
+  EXPECT_TRUE(hits[0].doc == 2u || hits[0].doc == 3u);
+}
+
+TEST_F(SearcherTest, ZeroWeightTermIgnored) {
+  const Searcher searcher(index_, scorer_);
+  TermQuery q;
+  q.weights["goal"] = 0.0;
+  EXPECT_TRUE(searcher.Search(q, 10).empty());
+}
+
+TEST_F(SearcherTest, ScoreDocumentMatchesSearchScores) {
+  const Searcher searcher(index_, scorer_);
+  const TermQuery q = searcher.ParseQuery("football goal");
+  const auto hits = searcher.Search(q, 10);
+  for (const SearchHit& hit : hits) {
+    EXPECT_NEAR(searcher.ScoreDocument(q, hit.doc), hit.score, 1e-9);
+  }
+  // Non-matching document scores zero.
+  EXPECT_DOUBLE_EQ(searcher.ScoreDocument(q, 2), 0.0);
+}
+
+TEST_F(SearcherTest, TieBreaksByDocId) {
+  // Two identical documents must rank by ascending id.
+  InvertedIndex index;
+  ASSERT_TRUE(index.IndexText(0, "identical text").ok());
+  ASSERT_TRUE(index.IndexText(1, "identical text").ok());
+  const Searcher searcher(index, scorer_);
+  const auto hits = searcher.SearchText("identical", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_EQ(hits[1].doc, 1u);
+  EXPECT_DOUBLE_EQ(hits[0].score, hits[1].score);
+}
+
+}  // namespace
+}  // namespace ivr

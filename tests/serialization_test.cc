@@ -1,0 +1,138 @@
+#include "ivr/video/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/file_util.h"
+#include "ivr/retrieval/engine.h"
+
+namespace ivr {
+namespace {
+
+GeneratedCollection MakeCollection() {
+  GeneratorOptions options;
+  options.seed = 91;
+  options.num_topics = 4;
+  options.num_videos = 5;
+  return GenerateCollection(options).value();
+}
+
+TEST(SerializationTest, RoundTripPreservesStructure) {
+  const GeneratedCollection original = MakeCollection();
+  const std::string text = SerializeCollection(original);
+  const GeneratedCollection parsed = ParseCollection(text).value();
+
+  EXPECT_EQ(parsed.collection.num_videos(),
+            original.collection.num_videos());
+  EXPECT_EQ(parsed.collection.num_stories(),
+            original.collection.num_stories());
+  EXPECT_EQ(parsed.collection.num_shots(),
+            original.collection.num_shots());
+  EXPECT_EQ(parsed.collection.topic_names(),
+            original.collection.topic_names());
+  EXPECT_EQ(parsed.topics.size(), original.topics.size());
+  EXPECT_EQ(parsed.qrels.ToTrecFormat(), original.qrels.ToTrecFormat());
+}
+
+TEST(SerializationTest, RoundTripPreservesShotContent) {
+  const GeneratedCollection original = MakeCollection();
+  const GeneratedCollection parsed =
+      ParseCollection(SerializeCollection(original)).value();
+  for (size_t i = 0; i < original.collection.num_shots(); ++i) {
+    const Shot& a = original.collection.shots()[i];
+    const Shot& b = parsed.collection.shots()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.story, b.story);
+    EXPECT_EQ(a.video, b.video);
+    EXPECT_EQ(a.start_ms, b.start_ms);
+    EXPECT_EQ(a.duration_ms, b.duration_ms);
+    EXPECT_EQ(a.primary_topic, b.primary_topic);
+    EXPECT_EQ(a.concepts, b.concepts);
+    EXPECT_EQ(a.external_id, b.external_id);
+    EXPECT_EQ(a.asr_transcript, b.asr_transcript);
+    EXPECT_EQ(a.true_transcript, b.true_transcript);
+    ASSERT_EQ(a.keyframe.size(), b.keyframe.size());
+    for (size_t bin = 0; bin < a.keyframe.size(); ++bin) {
+      EXPECT_DOUBLE_EQ(a.keyframe[bin], b.keyframe[bin]);
+    }
+  }
+}
+
+TEST(SerializationTest, RoundTripPreservesTopicsAndBackfills) {
+  const GeneratedCollection original = MakeCollection();
+  const GeneratedCollection parsed =
+      ParseCollection(SerializeCollection(original)).value();
+  for (size_t i = 0; i < original.topics.size(); ++i) {
+    const SearchTopic& a = original.topics.topics[i];
+    const SearchTopic& b = parsed.topics.topics[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.target_topic, b.target_topic);
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(a.examples.size(), b.examples.size());
+  }
+  // Story/video child lists were rebuilt.
+  for (const NewsStory& story : parsed.collection.stories()) {
+    EXPECT_FALSE(story.shots.empty());
+    for (ShotId shot : story.shots) {
+      EXPECT_EQ(parsed.collection.shot(shot).value()->story, story.id);
+    }
+  }
+}
+
+TEST(SerializationTest, ReserializingIsByteStable) {
+  const GeneratedCollection original = MakeCollection();
+  const std::string once = SerializeCollection(original);
+  const std::string twice =
+      SerializeCollection(ParseCollection(once).value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SerializationTest, ParsedCollectionIsSearchable) {
+  const GeneratedCollection original = MakeCollection();
+  const GeneratedCollection parsed =
+      ParseCollection(SerializeCollection(original)).value();
+  auto engine = RetrievalEngine::Build(parsed.collection).value();
+  Query query;
+  query.text = parsed.topics.topics[0].title;
+  EXPECT_FALSE(engine->Search(query, 10).empty());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_TRUE(ParseCollection("").status().IsCorruption());
+  EXPECT_TRUE(ParseCollection("not an archive").status().IsCorruption());
+  EXPECT_TRUE(ParseCollection("ivr-collection v1\nbogus 3")
+                  .status()
+                  .IsCorruption());
+  // Truncated archive.
+  const std::string text =
+      SerializeCollection(MakeCollection()).substr(0, 200);
+  EXPECT_FALSE(ParseCollection(text).ok());
+}
+
+TEST(SerializationTest, SaveLoadFileRoundTrip) {
+  const GeneratedCollection original = MakeCollection();
+  const std::string path = ::testing::TempDir() + "/ivr_ser_test.ivr";
+  ASSERT_TRUE(SaveCollection(original, path).ok());
+  const GeneratedCollection loaded = LoadCollection(path).value();
+  EXPECT_EQ(loaded.collection.num_shots(),
+            original.collection.num_shots());
+  std::remove(path.c_str());
+  EXPECT_TRUE(LoadCollection(path).status().IsIOError());
+}
+
+TEST(FileUtilTest, ReadWriteRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ivr_file_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "hello\nworld");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());  // truncates
+  EXPECT_EQ(ReadFileToString(path).value(), "");
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadFileToString(path).status().IsIOError());
+  EXPECT_TRUE(
+      WriteStringToFile("/nonexistent-dir/x", "y").IsIOError());
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,101 @@
+// Fuzz-style property suite for the session-log text format: randomly
+// generated event streams must survive serialize -> parse -> serialize
+// byte-identically (after the documented text sanitisation).
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/rng.h"
+#include "ivr/iface/session_log.h"
+
+namespace ivr {
+namespace {
+
+constexpr EventType kAllTypes[] = {
+    EventType::kQuerySubmit,       EventType::kVisualExample,
+    EventType::kResultDisplayed,   EventType::kBrowseNextPage,
+    EventType::kBrowsePrevPage,    EventType::kTooltipHover,
+    EventType::kClickKeyframe,     EventType::kPlayStart,
+    EventType::kPlayStop,          EventType::kSeek,
+    EventType::kHighlightMetadata, EventType::kMarkRelevant,
+    EventType::kMarkNotRelevant,   EventType::kSessionEnd,
+};
+
+std::string RandomText(Rng* rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,:;!?-_/";
+  const int64_t len = rng->UniformInt(0, 40);
+  std::string out;
+  for (int64_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->UniformInt(
+        0, static_cast<int64_t>(sizeof(kAlphabet)) - 2)]);
+  }
+  return out;
+}
+
+SessionLog RandomLog(uint64_t seed) {
+  Rng rng(seed);
+  SessionLog log;
+  const int64_t n = rng.UniformInt(0, 120);
+  TimeMs t = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    InteractionEvent ev;
+    t += rng.UniformInt(0, 10000);
+    ev.time = t;
+    ev.session_id = "s" + std::to_string(rng.UniformInt(0, 3));
+    ev.user_id = "user" + std::to_string(rng.UniformInt(0, 2));
+    ev.topic = static_cast<SearchTopicId>(rng.UniformInt(0, 20));
+    ev.type = kAllTypes[rng.UniformInt(
+        0, static_cast<int64_t>(std::size(kAllTypes)) - 1)];
+    ev.shot = EventHasShot(ev.type)
+                  ? static_cast<ShotId>(rng.UniformInt(0, 100000))
+                  : kInvalidShotId;
+    ev.value = rng.Uniform(-1e6, 1e6);
+    if (ev.type == EventType::kQuerySubmit) {
+      ev.text = RandomText(&rng);
+    }
+    log.Append(ev);
+  }
+  return log;
+}
+
+class SessionLogPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionLogPropertyTest, SerializeParseSerializeIsStable) {
+  const SessionLog log = RandomLog(GetParam());
+  const std::string once = log.Serialize();
+  const SessionLog parsed = SessionLog::Parse(once).value();
+  EXPECT_EQ(parsed.Serialize(), once);
+}
+
+TEST_P(SessionLogPropertyTest, ParsePreservesEveryField) {
+  const SessionLog log = RandomLog(GetParam());
+  const SessionLog parsed = SessionLog::Parse(log.Serialize()).value();
+  ASSERT_EQ(parsed.size(), log.size());
+  for (size_t i = 0; i < log.size(); ++i) {
+    const InteractionEvent& a = log.events()[i];
+    const InteractionEvent& b = parsed.events()[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.session_id, b.session_id);
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.topic, b.topic);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.shot, b.shot);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(a.text, b.text);
+  }
+}
+
+TEST_P(SessionLogPropertyTest, SessionPartitionCoversLog) {
+  const SessionLog log = RandomLog(GetParam());
+  size_t total = 0;
+  for (const std::string& id : log.SessionIds()) {
+    total += log.EventsForSession(id).size();
+  }
+  EXPECT_EQ(total, log.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionLogPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ivr

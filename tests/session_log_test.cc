@@ -1,0 +1,133 @@
+#include "ivr/iface/session_log.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+InteractionEvent MakeEvent(TimeMs time, const std::string& session,
+                           EventType type, ShotId shot = kInvalidShotId,
+                           double value = 0.0,
+                           const std::string& text = "") {
+  InteractionEvent ev;
+  ev.time = time;
+  ev.session_id = session;
+  ev.user_id = "user-" + session;
+  ev.topic = 3;
+  ev.type = type;
+  ev.shot = shot;
+  ev.value = value;
+  ev.text = text;
+  return ev;
+}
+
+TEST(SessionLogTest, AppendAndCount) {
+  SessionLog log;
+  EXPECT_TRUE(log.empty());
+  log.Append(MakeEvent(1, "a", EventType::kQuerySubmit, kInvalidShotId,
+                       0.0, "goal"));
+  log.Append(MakeEvent(2, "a", EventType::kClickKeyframe, 7));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.CountType(EventType::kQuerySubmit), 1u);
+  EXPECT_EQ(log.CountType(EventType::kSeek), 0u);
+}
+
+TEST(SessionLogTest, EventLineRoundTrip) {
+  const InteractionEvent original = MakeEvent(
+      12345, "sess1", EventType::kPlayStop, 42, 3500.0, "");
+  const std::string line = SessionLog::EventToLine(original);
+  const InteractionEvent parsed = SessionLog::LineToEvent(line).value();
+  EXPECT_EQ(parsed.time, original.time);
+  EXPECT_EQ(parsed.session_id, original.session_id);
+  EXPECT_EQ(parsed.user_id, original.user_id);
+  EXPECT_EQ(parsed.topic, original.topic);
+  EXPECT_EQ(parsed.type, original.type);
+  EXPECT_EQ(parsed.shot, original.shot);
+  EXPECT_DOUBLE_EQ(parsed.value, original.value);
+  EXPECT_EQ(parsed.text, original.text);
+}
+
+TEST(SessionLogTest, QueryTextRoundTrips) {
+  const InteractionEvent original = MakeEvent(
+      1, "s", EventType::kQuerySubmit, kInvalidShotId, 0.0,
+      "football goal 2008");
+  const InteractionEvent parsed =
+      SessionLog::LineToEvent(SessionLog::EventToLine(original)).value();
+  EXPECT_EQ(parsed.text, "football goal 2008");
+}
+
+TEST(SessionLogTest, MissingShotSerializedAsDash) {
+  const std::string line = SessionLog::EventToLine(
+      MakeEvent(1, "s", EventType::kQuerySubmit));
+  EXPECT_NE(line.find("\t-\t"), std::string::npos);
+  const InteractionEvent parsed = SessionLog::LineToEvent(line).value();
+  EXPECT_EQ(parsed.shot, kInvalidShotId);
+}
+
+TEST(SessionLogTest, TabsInTextSanitized) {
+  const InteractionEvent original = MakeEvent(
+      1, "s", EventType::kQuerySubmit, kInvalidShotId, 0.0,
+      "bad\ttext\nwith breaks");
+  const InteractionEvent parsed =
+      SessionLog::LineToEvent(SessionLog::EventToLine(original)).value();
+  EXPECT_EQ(parsed.text, "bad text with breaks");
+}
+
+TEST(SessionLogTest, SerializeParseRoundTrip) {
+  SessionLog log;
+  log.Append(MakeEvent(1, "a", EventType::kQuerySubmit, kInvalidShotId,
+                       0.0, "news"));
+  log.Append(MakeEvent(2, "a", EventType::kResultDisplayed, 5, 0.0));
+  log.Append(MakeEvent(3, "b", EventType::kClickKeyframe, 9));
+  log.Append(MakeEvent(4, "b", EventType::kSessionEnd));
+
+  const SessionLog parsed = SessionLog::Parse(log.Serialize()).value();
+  ASSERT_EQ(parsed.size(), log.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.events()[i].type, log.events()[i].type);
+    EXPECT_EQ(parsed.events()[i].time, log.events()[i].time);
+    EXPECT_EQ(parsed.events()[i].session_id, log.events()[i].session_id);
+  }
+}
+
+TEST(SessionLogTest, ParseSkipsBlankLines) {
+  const SessionLog parsed = SessionLog::Parse("\n\n").value();
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(SessionLogTest, ParseRejectsMalformedLines) {
+  EXPECT_TRUE(SessionLog::Parse("not a log line").status().IsCorruption());
+  EXPECT_TRUE(SessionLog::LineToEvent("1\ts\tu\t3\tbogus_event\t-\t0\t")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SessionLog::LineToEvent("x\ts\tu\t3\tseek\t1\t0\t")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SessionLog::LineToEvent("1\ts\tu\t-2\tseek\t1\t0\t")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(SessionLogTest, SessionIdsFirstSeenOrder) {
+  SessionLog log;
+  log.Append(MakeEvent(1, "b", EventType::kSessionEnd));
+  log.Append(MakeEvent(2, "a", EventType::kSessionEnd));
+  log.Append(MakeEvent(3, "b", EventType::kSessionEnd));
+  EXPECT_EQ(log.SessionIds(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(SessionLogTest, EventsForSessionFilters) {
+  SessionLog log;
+  log.Append(MakeEvent(1, "a", EventType::kQuerySubmit, kInvalidShotId,
+                       0.0, "x"));
+  log.Append(MakeEvent(2, "b", EventType::kClickKeyframe, 1));
+  log.Append(MakeEvent(3, "a", EventType::kSessionEnd));
+  const auto a_events = log.EventsForSession("a");
+  ASSERT_EQ(a_events.size(), 2u);
+  EXPECT_EQ(a_events[0].type, EventType::kQuerySubmit);
+  EXPECT_EQ(a_events[1].type, EventType::kSessionEnd);
+  EXPECT_TRUE(log.EventsForSession("zzz").empty());
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,128 @@
+#include "ivr/eval/session_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+InteractionEvent MakeEvent(TimeMs time, EventType type,
+                           ShotId shot = kInvalidShotId) {
+  InteractionEvent ev;
+  ev.time = time;
+  ev.type = type;
+  ev.shot = shot;
+  ev.topic = 1;
+  return ev;
+}
+
+Qrels MakeQrels() {
+  Qrels qrels;
+  qrels.Set(1, 10, 2);
+  qrels.Set(1, 11, 1);
+  return qrels;
+}
+
+TEST(SessionEffortTest, EmptySession) {
+  const SessionEffortMetrics m = ComputeSessionEffort({}, MakeQrels(), 1);
+  EXPECT_EQ(m.total_actions, 0u);
+  EXPECT_EQ(m.time_to_first_relevant_ms, -1);
+  EXPECT_DOUBLE_EQ(m.RelevantPerMinute(), 0.0);
+  EXPECT_DOUBLE_EQ(m.PlayPrecision(), 0.0);
+}
+
+TEST(SessionEffortTest, CountsActionsNotDisplays) {
+  const std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kQuerySubmit),
+      MakeEvent(1, EventType::kResultDisplayed, 10),
+      MakeEvent(2, EventType::kResultDisplayed, 11),
+      MakeEvent(3, EventType::kClickKeyframe, 10),
+      MakeEvent(4, EventType::kSessionEnd),
+  };
+  const SessionEffortMetrics m =
+      ComputeSessionEffort(events, MakeQrels(), 1);
+  EXPECT_EQ(m.total_actions, 2u);  // query + click
+}
+
+TEST(SessionEffortTest, FirstRelevantPlayStopsTheClock) {
+  const std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kQuerySubmit),
+      MakeEvent(1000, EventType::kClickKeyframe, 99),   // non-relevant
+      MakeEvent(2000, EventType::kPlayStart, 99),
+      MakeEvent(3000, EventType::kClickKeyframe, 10),   // relevant
+      MakeEvent(4000, EventType::kPlayStart, 10),
+      MakeEvent(5000, EventType::kClickKeyframe, 11),
+      MakeEvent(6000, EventType::kSessionEnd),
+  };
+  const SessionEffortMetrics m =
+      ComputeSessionEffort(events, MakeQrels(), 1);
+  // Actions before (and including) the relevant play: query, click99,
+  // play99, click10, play10.
+  EXPECT_EQ(m.actions_to_first_relevant, 5u);
+  EXPECT_EQ(m.time_to_first_relevant_ms, 4000);
+  EXPECT_EQ(m.total_actions, 6u);
+  EXPECT_EQ(m.relevant_played, 1u);
+  EXPECT_EQ(m.nonrelevant_played, 1u);
+  EXPECT_DOUBLE_EQ(m.PlayPrecision(), 0.5);
+  EXPECT_EQ(m.session_ms, 6000);
+}
+
+TEST(SessionEffortTest, NoRelevantFound) {
+  const std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kQuerySubmit),
+      MakeEvent(1000, EventType::kPlayStart, 99),
+      MakeEvent(2000, EventType::kSessionEnd),
+  };
+  const SessionEffortMetrics m =
+      ComputeSessionEffort(events, MakeQrels(), 1);
+  EXPECT_EQ(m.time_to_first_relevant_ms, -1);
+  EXPECT_EQ(m.actions_to_first_relevant, m.total_actions);
+  EXPECT_EQ(m.relevant_played, 0u);
+}
+
+TEST(SessionEffortTest, RepeatedPlaysCountedOnce) {
+  const std::vector<InteractionEvent> events = {
+      MakeEvent(0, EventType::kPlayStart, 10),
+      MakeEvent(1000, EventType::kPlayStart, 10),
+      MakeEvent(60000, EventType::kSessionEnd),
+  };
+  const SessionEffortMetrics m =
+      ComputeSessionEffort(events, MakeQrels(), 1);
+  EXPECT_EQ(m.relevant_played, 1u);
+  EXPECT_NEAR(m.RelevantPerMinute(), 1.0, 1e-9);
+}
+
+TEST(SessionEffortTest, UnsortedEventsHandled) {
+  const std::vector<InteractionEvent> events = {
+      MakeEvent(4000, EventType::kPlayStart, 10),
+      MakeEvent(0, EventType::kQuerySubmit),
+  };
+  const SessionEffortMetrics m =
+      ComputeSessionEffort(events, MakeQrels(), 1);
+  EXPECT_EQ(m.time_to_first_relevant_ms, 4000);
+}
+
+TEST(SessionEffortTest, MeanAggregates) {
+  SessionEffortMetrics a;
+  a.total_actions = 10;
+  a.actions_to_first_relevant = 4;
+  a.time_to_first_relevant_ms = 2000;
+  a.relevant_played = 2;
+  a.session_ms = 60000;
+  SessionEffortMetrics b;
+  b.total_actions = 20;
+  b.actions_to_first_relevant = 20;
+  b.time_to_first_relevant_ms = -1;  // found nothing
+  b.relevant_played = 0;
+  b.session_ms = 120000;
+  const SessionEffortMetrics mean = MeanSessionEffort({a, b});
+  EXPECT_EQ(mean.total_actions, 15u);
+  EXPECT_EQ(mean.actions_to_first_relevant, 12u);
+  EXPECT_EQ(mean.relevant_played, 1u);
+  EXPECT_EQ(mean.session_ms, 90000);
+  // time averages only over sessions that found something.
+  EXPECT_EQ(mean.time_to_first_relevant_ms, 2000);
+  EXPECT_EQ(MeanSessionEffort({}).total_actions, 0u);
+}
+
+}  // namespace
+}  // namespace ivr

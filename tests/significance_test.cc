@@ -1,0 +1,188 @@
+#include "ivr/eval/significance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+namespace {
+
+TEST(StudentTTest, PValueReferencePoints) {
+  // Two-sided p for t=2.0, df=10 is ~0.0734 (standard tables).
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.0, 10.0), 0.0734, 0.001);
+  // t=0 means p=1.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10.0), 1.0, 1e-9);
+  // Symmetric in t.
+  EXPECT_NEAR(StudentTTwoSidedPValue(-2.0, 10.0),
+              StudentTTwoSidedPValue(2.0, 10.0), 1e-12);
+  // t=12.706, df=1 -> p ~ 0.05 (the classic 95% quantile).
+  EXPECT_NEAR(StudentTTwoSidedPValue(12.706, 1.0), 0.05, 0.001);
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(1.0, 0.0), 1.0);
+}
+
+TEST(NormalPValueTest, ReferencePoints) {
+  EXPECT_NEAR(NormalTwoSidedPValue(1.959964), 0.05, 1e-4);
+  EXPECT_NEAR(NormalTwoSidedPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(NormalTwoSidedPValue(-2.575829), 0.01, 1e-4);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {0.1, 0.2, 0.3, 0.4};
+  const PairedTestResult r = PairedTTest(a, a).value();
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_EQ(r.n, 4u);
+}
+
+TEST(PairedTTestTest, LargeConsistentDifferenceSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.5 + 0.01 * i);
+    b.push_back(0.3 + 0.011 * i);
+  }
+  const PairedTestResult r = PairedTTest(a, b).value();
+  EXPECT_GT(r.statistic, 2.0);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(PairedTTestTest, NoisyEqualMeansNotSignificant) {
+  // Alternating differences with mean zero.
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.5);
+    b.push_back(i % 2 == 0 ? 0.45 : 0.55);
+  }
+  const PairedTestResult r = PairedTTest(a, b).value();
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroDifferenceDominates) {
+  const std::vector<double> a = {0.5, 0.6, 0.7};
+  const std::vector<double> b = {0.4, 0.5, 0.6};
+  const PairedTestResult r = PairedTTest(a, b).value();
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);  // zero variance, nonzero mean
+}
+
+TEST(PairedTTestTest, InputValidation) {
+  EXPECT_TRUE(PairedTTest({1.0}, {1.0, 2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(PairedTTest({1.0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(PairedTTest({}, {}).status().IsInvalidArgument());
+}
+
+TEST(WilcoxonTest, IdenticalSamplesPIsOne) {
+  const std::vector<double> a = {0.1, 0.2, 0.3};
+  const PairedTestResult r = WilcoxonSignedRank(a, a).value();
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_EQ(r.n, 0u);  // all pairs dropped as zero-difference
+}
+
+TEST(WilcoxonTest, ConsistentImprovementSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(0.5 + 0.01 * (i % 7));
+    b.push_back(a.back() - 0.05 - 0.001 * i);
+  }
+  const PairedTestResult r = WilcoxonSignedRank(a, b).value();
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(WilcoxonTest, BalancedSignsNotSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(0.5);
+    b.push_back(i % 2 == 0 ? 0.5 - 0.01 * (i + 1) : 0.5 + 0.01 * i);
+  }
+  const PairedTestResult r = WilcoxonSignedRank(a, b).value();
+  EXPECT_GT(r.p_value, 0.1);
+}
+
+TEST(WilcoxonTest, InputValidation) {
+  EXPECT_TRUE(
+      WilcoxonSignedRank({1.0}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(RandomizationTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {0.1, 0.2, 0.3, 0.4};
+  const PairedTestResult r = RandomizationTest(a, a).value();
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);  // every permutation ties at zero
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+}
+
+TEST(RandomizationTest, ConsistentDifferenceSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 15; ++i) {
+    a.push_back(0.5 + 0.01 * i);
+    b.push_back(a.back() - 0.1);
+  }
+  const PairedTestResult r = RandomizationTest(a, b).value();
+  // All-same-sign differences: only the 2 all-positive/all-negative sign
+  // assignments reach the observed mean -> p ~ 2/2^15.
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(RandomizationTest, AgreesWithTTestOnModerateEffects) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const double base = rng.Uniform(0.2, 0.6);
+    a.push_back(base + rng.Normal(0.03, 0.05));
+    b.push_back(base);
+  }
+  const double p_rand = RandomizationTest(a, b).value().p_value;
+  const double p_t = PairedTTest(a, b).value().p_value;
+  // The two tests should broadly agree (within a factor of ~2 at these
+  // sample sizes).
+  EXPECT_LT(std::fabs(std::log((p_rand + 1e-6) / (p_t + 1e-6))), 1.0);
+}
+
+TEST(RandomizationTest, DeterministicInSeed) {
+  const std::vector<double> a = {0.5, 0.7, 0.6, 0.9, 0.4};
+  const std::vector<double> b = {0.4, 0.6, 0.7, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(RandomizationTest(a, b, 2000, 9).value().p_value,
+                   RandomizationTest(a, b, 2000, 9).value().p_value);
+}
+
+TEST(RandomizationTest, InputValidation) {
+  EXPECT_TRUE(
+      RandomizationTest({1.0}, {1.0, 2.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(RandomizationTest({}, {}).status().IsInvalidArgument());
+}
+
+TEST(KendallTauTest, PerfectAgreementAndReversal) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> reversed = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a).value(), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(a, reversed).value(), -1.0);
+}
+
+TEST(KendallTauTest, PartialAgreement) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 3.0, 2.0};
+  // 2 concordant, 1 discordant over 3 pairs.
+  EXPECT_NEAR(KendallTau(a, b).value(), (2.0 - 1.0) / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}).value(), 0.0);
+  EXPECT_TRUE(KendallTau({1.0}, {1.0, 2.0}).status().IsInvalidArgument());
+}
+
+TEST(KendallTauTest, TiesContributeZero) {
+  const std::vector<double> a = {1.0, 1.0, 2.0};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  // Pair (0,1) tied in a: neither concordant nor discordant.
+  EXPECT_NEAR(KendallTau(a, b).value(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,174 @@
+// Property suite for the session simulator across environments × user
+// stereotypes × seeds: every simulated session must produce a
+// well-formed, capability-consistent, chronologically ordered log.
+
+#include <gtest/gtest.h>
+
+#include "ivr/sim/simulator.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+struct SimCase {
+  Environment env;
+  int user_kind;  // 0 novice, 1 expert, 2 couch
+  uint64_t seed;
+};
+
+UserModel UserFor(int kind) {
+  switch (kind) {
+    case 0:
+      return NoviceUser();
+    case 1:
+      return ExpertUser();
+    default:
+      return CouchViewerUser();
+  }
+}
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<SimCase> {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions options;
+    options.seed = 111;
+    options.num_topics = 6;
+    options.num_videos = 10;
+    options.topic_title_word_offset = 4;
+    generated_ = new GeneratedCollection(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection)
+                  .value()
+                  .release();
+  }
+
+  SimulatedSession Run() const {
+    const SimCase& c = GetParam();
+    StaticBackend backend(*engine_);
+    SessionSimulator simulator(generated_->collection, generated_->qrels);
+    SessionSimulator::RunConfig config;
+    config.environment = c.env;
+    config.seed = c.seed;
+    config.session_id = "prop";
+    config.user_id = "u";
+    return simulator
+        .Run(&backend, generated_->topics.topics[c.seed %
+                                                 generated_->topics.size()],
+             UserFor(c.user_kind), config, nullptr)
+        .value();
+  }
+
+  static GeneratedCollection* generated_;
+  static RetrievalEngine* engine_;
+};
+
+GeneratedCollection* SimulatorPropertyTest::generated_ = nullptr;
+RetrievalEngine* SimulatorPropertyTest::engine_ = nullptr;
+
+TEST_P(SimulatorPropertyTest, EventsChronologicalAndTerminated) {
+  const SimulatedSession session = Run();
+  ASSERT_FALSE(session.events.empty());
+  TimeMs previous = session.events.front().time;
+  for (const InteractionEvent& ev : session.events) {
+    EXPECT_GE(ev.time, previous);
+    previous = ev.time;
+    EXPECT_EQ(ev.session_id, "prop");
+  }
+  EXPECT_EQ(session.events.back().type, EventType::kSessionEnd);
+  // Exactly one session end.
+  size_t ends = 0;
+  for (const InteractionEvent& ev : session.events) {
+    if (ev.type == EventType::kSessionEnd) ++ends;
+  }
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST_P(SimulatorPropertyTest, ShotEventsReferenceValidShots) {
+  const SimulatedSession session = Run();
+  for (const InteractionEvent& ev : session.events) {
+    if (EventHasShot(ev.type)) {
+      EXPECT_LT(ev.shot, generated_->collection.num_shots());
+    } else {
+      EXPECT_EQ(ev.shot, kInvalidShotId);
+    }
+  }
+}
+
+TEST_P(SimulatorPropertyTest, EventsRespectEnvironmentCapabilities) {
+  const SimulatedSession session = Run();
+  if (GetParam().env != Environment::kTv) return;
+  for (const InteractionEvent& ev : session.events) {
+    EXPECT_NE(ev.type, EventType::kTooltipHover);
+    EXPECT_NE(ev.type, EventType::kHighlightMetadata);
+  }
+}
+
+TEST_P(SimulatorPropertyTest, OutcomeCountsMatchEvents) {
+  const SimulatedSession session = Run();
+  size_t queries = 0;
+  size_t clicks = 0;
+  size_t plays = 0;
+  size_t marks = 0;
+  for (const InteractionEvent& ev : session.events) {
+    switch (ev.type) {
+      case EventType::kQuerySubmit:
+      case EventType::kVisualExample:  // query-by-example counts too
+        ++queries;
+        break;
+      case EventType::kClickKeyframe:
+        ++clicks;
+        break;
+      case EventType::kPlayStart:
+        ++plays;
+        break;
+      case EventType::kMarkRelevant:
+      case EventType::kMarkNotRelevant:
+        ++marks;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(session.outcome.queries_issued, queries);
+  EXPECT_EQ(session.outcome.clicks, clicks);
+  EXPECT_EQ(session.outcome.plays, plays);
+  EXPECT_EQ(session.outcome.explicit_judgments, marks);
+  EXPECT_EQ(session.outcome.per_query_results.size(), queries);
+}
+
+TEST_P(SimulatorPropertyTest, SessionDurationWithinBudgetPlusSlack) {
+  const SimulatedSession session = Run();
+  const UserModel user = UserFor(GetParam().user_kind);
+  // The policy checks the budget between actions, so a session may
+  // overshoot by at most one playback (max shot duration) plus a small
+  // number of fixed-cost actions.
+  const TimeMs slack = 15000 + 30000;
+  EXPECT_LE(session.outcome.session_ms, user.session_budget_ms + slack);
+}
+
+TEST_P(SimulatorPropertyTest, PerceivedRelevantShotsWereTouched) {
+  const SimulatedSession session = Run();
+  std::set<ShotId> touched;
+  for (const InteractionEvent& ev : session.events) {
+    if (ev.type == EventType::kClickKeyframe) touched.insert(ev.shot);
+  }
+  for (ShotId shot : session.outcome.perceived_relevant) {
+    EXPECT_TRUE(touched.count(shot) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SimulatorPropertyTest,
+    ::testing::Values(SimCase{Environment::kDesktop, 0, 1},
+                      SimCase{Environment::kDesktop, 1, 2},
+                      SimCase{Environment::kDesktop, 2, 3},
+                      SimCase{Environment::kTv, 0, 4},
+                      SimCase{Environment::kTv, 1, 5},
+                      SimCase{Environment::kTv, 2, 6},
+                      SimCase{Environment::kDesktop, 0, 7},
+                      SimCase{Environment::kTv, 2, 8},
+                      SimCase{Environment::kDesktop, 1, 9},
+                      SimCase{Environment::kTv, 1, 10}));
+
+}  // namespace
+}  // namespace ivr

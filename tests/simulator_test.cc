@@ -1,0 +1,164 @@
+#include "ivr/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/sim/policy.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 51;
+    options.num_topics = 4;
+    options.num_videos = 10;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    backend_ = std::make_unique<StaticBackend>(*engine_);
+    simulator_ = std::make_unique<SessionSimulator>(generated_->collection,
+                                                    generated_->qrels);
+  }
+
+  SimulatedSession RunOnce(Environment env, uint64_t seed,
+                           SessionLog* log = nullptr) {
+    SessionSimulator::RunConfig config;
+    config.environment = env;
+    config.session_id = "sess-" + std::to_string(seed);
+    config.user_id = "user";
+    config.seed = seed;
+    return simulator_
+        ->Run(backend_.get(), generated_->topics.topics[0], NoviceUser(),
+              config, log)
+        .value();
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<StaticBackend> backend_;
+  std::unique_ptr<SessionSimulator> simulator_;
+};
+
+TEST_F(SimulatorTest, SessionProducesEventsAndOutcome) {
+  const SimulatedSession session = RunOnce(Environment::kDesktop, 1);
+  EXPECT_GT(session.outcome.queries_issued, 0u);
+  EXPECT_GT(session.outcome.shots_examined, 0u);
+  EXPECT_FALSE(session.events.empty());
+  EXPECT_EQ(session.events.back().type, EventType::kSessionEnd);
+  EXPECT_GT(session.outcome.session_ms, 0);
+  EXPECT_EQ(session.outcome.per_query_results.size(),
+            session.outcome.queries_issued);
+}
+
+TEST_F(SimulatorTest, DeterministicInSeed) {
+  const SimulatedSession a = RunOnce(Environment::kDesktop, 7);
+  const SimulatedSession b = RunOnce(Environment::kDesktop, 7);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].shot, b.events[i].shot);
+  }
+  const SimulatedSession c = RunOnce(Environment::kDesktop, 8);
+  EXPECT_NE(a.events.size(), c.events.size());
+}
+
+TEST_F(SimulatorTest, EventsAppendedToSharedLog) {
+  SessionLog log;
+  RunOnce(Environment::kDesktop, 1, &log);
+  RunOnce(Environment::kTv, 2, &log);
+  EXPECT_EQ(log.SessionIds().size(), 2u);
+  EXPECT_GE(log.CountType(EventType::kSessionEnd), 2u);
+}
+
+TEST_F(SimulatorTest, SimulatedUserFindsRelevantShots) {
+  size_t found = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    found += RunOnce(Environment::kDesktop, seed)
+                 .outcome.truly_relevant_found;
+  }
+  EXPECT_GT(found, 0u);
+}
+
+TEST_F(SimulatorTest, TvSessionsEmitNoTooltipOrMetadataEvents) {
+  SessionLog log;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SessionSimulator::RunConfig config;
+    config.environment = Environment::kTv;
+    config.session_id = "tv-" + std::to_string(seed);
+    config.seed = seed;
+    simulator_
+        ->Run(backend_.get(), generated_->topics.topics[0],
+              CouchViewerUser(), config, &log)
+        .value();
+  }
+  EXPECT_EQ(log.CountType(EventType::kTooltipHover), 0u);
+  EXPECT_EQ(log.CountType(EventType::kHighlightMetadata), 0u);
+}
+
+TEST_F(SimulatorTest, CouchViewerJudgesMoreExplicitly) {
+  size_t tv_marks = 0;
+  size_t desktop_marks = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SessionSimulator::RunConfig config;
+    config.seed = seed;
+    config.environment = Environment::kTv;
+    config.session_id = "tv";
+    tv_marks += simulator_
+                    ->Run(backend_.get(), generated_->topics.topics[0],
+                          CouchViewerUser(), config, nullptr)
+                    .value()
+                    .outcome.explicit_judgments;
+    config.environment = Environment::kDesktop;
+    config.session_id = "pc";
+    desktop_marks += simulator_
+                         ->Run(backend_.get(),
+                               generated_->topics.topics[0],
+                               NoviceUser(), config, nullptr)
+                         .value()
+                         .outcome.explicit_judgments;
+  }
+  EXPECT_GT(tv_marks, desktop_marks);
+}
+
+TEST_F(SimulatorTest, StartTimeShiftsEventTimestamps) {
+  SessionSimulator::RunConfig config;
+  config.seed = 3;
+  config.start_time = 1000000;
+  config.session_id = "late";
+  const SimulatedSession session =
+      simulator_
+          ->Run(backend_.get(), generated_->topics.topics[0],
+                NoviceUser(), config, nullptr)
+          .value();
+  for (const InteractionEvent& ev : session.events) {
+    EXPECT_GE(ev.time, 1000000);
+  }
+}
+
+TEST(EnvironmentTest, Names) {
+  EXPECT_EQ(EnvironmentName(Environment::kDesktop), "desktop");
+  EXPECT_EQ(EnvironmentName(Environment::kTv), "tv");
+}
+
+TEST(PolicyTest, FormulateQueryUsesTitleThenDescription) {
+  GeneratorOptions options;
+  options.seed = 51;
+  options.num_topics = 3;
+  options.num_videos = 4;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  const BehaviorPolicy policy(ExpertUser(), g.topics.topics[0], g.qrels,
+                              1);
+  const std::string first = policy.FormulateQuery(0);
+  EXPECT_FALSE(first.empty());
+  // First query is a prefix of the topic title.
+  EXPECT_EQ(g.topics.topics[0].title.find(first.substr(0, 4)), 0u);
+  // Reformulations differ from the original.
+  EXPECT_NE(policy.FormulateQuery(1), first);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,50 @@
+#include "ivr/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Hello World"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(Tokenize("news,sports;finance.politics"),
+            (std::vector<std::string>{"news", "sports", "finance",
+                                      "politics"}));
+}
+
+TEST(TokenizerTest, ApostrophesCollapse) {
+  EXPECT_EQ(Tokenize("don't can't"),
+            (std::vector<std::string>{"dont", "cant"}));
+  // Leading apostrophe is a separator, not part of a word.
+  EXPECT_EQ(Tokenize("'quoted'"), (std::vector<std::string>{"quoted"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("top10 2008"),
+            (std::vector<std::string>{"top10", "2008"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n .,!?").empty());
+}
+
+TEST(TokenizerTest, NonAsciiBytesAreSeparators) {
+  const std::string input = "caf\xC3\xA9 news";
+  EXPECT_EQ(Tokenize(input),
+            (std::vector<std::string>{"caf", "news"}));
+}
+
+TEST(IsNumericTokenTest, Basics) {
+  EXPECT_TRUE(IsNumericToken("2008"));
+  EXPECT_FALSE(IsNumericToken("top10"));
+  EXPECT_FALSE(IsNumericToken(""));
+  EXPECT_FALSE(IsNumericToken("1.5"));
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,54 @@
+#include "ivr/eval/trec_run.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(TrecRunTest, SerializesRankedOrder) {
+  std::map<SearchTopicId, ResultList> runs;
+  runs[1] = ResultList({{5, 2.0}, {9, 1.0}});
+  const std::string text = RunsToTrecFormat(runs, "mytag");
+  EXPECT_EQ(text,
+            "1 Q0 shot5 1 2 mytag\n"
+            "1 Q0 shot9 2 1 mytag\n");
+}
+
+TEST(TrecRunTest, RoundTrip) {
+  std::map<SearchTopicId, ResultList> runs;
+  runs[1] = ResultList({{5, 2.5}, {9, 1.25}});
+  runs[3] = ResultList({{2, 0.75}});
+  std::string tag;
+  const auto parsed =
+      RunsFromTrecFormat(RunsToTrecFormat(runs, "t"), &tag).value();
+  EXPECT_EQ(tag, "t");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.at(1).ShotIds(), runs.at(1).ShotIds());
+  EXPECT_DOUBLE_EQ(parsed.at(1).ScoreOf(5), 2.5);
+  EXPECT_EQ(parsed.at(3).ShotIds(), runs.at(3).ShotIds());
+}
+
+TEST(TrecRunTest, ParseSkipsBlankLines) {
+  const auto parsed =
+      RunsFromTrecFormat("\n1 Q0 shot5 1 2.0 x\n\n").value();
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(TrecRunTest, ParseRejectsMalformed) {
+  EXPECT_TRUE(RunsFromTrecFormat("1 Q0 shot5 1 2.0").status()
+                  .IsCorruption());
+  EXPECT_TRUE(RunsFromTrecFormat("1 Q0 doc5 1 2.0 x").status()
+                  .IsCorruption());
+  EXPECT_TRUE(RunsFromTrecFormat("a Q0 shot5 1 2.0 x").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunsFromTrecFormat("1 Q0 shot5 1 abc x").status()
+                  .IsInvalidArgument());
+}
+
+TEST(TrecRunTest, EmptyInputAndOutput) {
+  EXPECT_TRUE(RunsFromTrecFormat("").value().empty());
+  EXPECT_EQ(RunsToTrecFormat({}, "x"), "");
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,163 @@
+#include "ivr/profile/user_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/profile/profile_store.h"
+
+namespace ivr {
+namespace {
+
+Shot MakeShot(TopicLabel primary, std::vector<bool> concepts) {
+  Shot shot;
+  shot.primary_topic = primary;
+  shot.concepts = std::move(concepts);
+  return shot;
+}
+
+TEST(UserProfileTest, SetAndGetInterest) {
+  UserProfile profile("alice");
+  EXPECT_EQ(profile.user_id(), "alice");
+  profile.SetInterest(1, 0.8);
+  profile.SetInterest(2, 0.2);
+  EXPECT_DOUBLE_EQ(profile.Interest(1), 0.8);
+  EXPECT_DOUBLE_EQ(profile.Interest(2), 0.2);
+  EXPECT_DOUBLE_EQ(profile.Interest(9), 0.0);
+}
+
+TEST(UserProfileTest, NonPositiveInterestRemoves) {
+  UserProfile profile("u");
+  profile.SetInterest(1, 0.5);
+  profile.SetInterest(1, 0.0);
+  EXPECT_TRUE(profile.interests().empty());
+  profile.SetInterest(2, -1.0);
+  EXPECT_TRUE(profile.interests().empty());
+}
+
+TEST(UserProfileTest, NormalizeSumsToOne) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 2.0);
+  profile.SetInterest(1, 6.0);
+  profile.Normalize();
+  EXPECT_DOUBLE_EQ(profile.Interest(0), 0.25);
+  EXPECT_DOUBLE_EQ(profile.Interest(1), 0.75);
+  UserProfile empty("e");
+  empty.Normalize();  // must not crash
+  EXPECT_TRUE(empty.interests().empty());
+}
+
+TEST(UserProfileTest, ReinforceAccumulates) {
+  UserProfile profile("u");
+  profile.Reinforce(3, 0.5);
+  profile.Reinforce(3, 0.5);
+  EXPECT_DOUBLE_EQ(profile.Interest(3), 1.0);
+  profile.Reinforce(3, -0.5);  // ignored
+  EXPECT_DOUBLE_EQ(profile.Interest(3), 1.0);
+}
+
+TEST(UserProfileTest, DecayShrinksAndPrunes) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);
+  profile.SetInterest(1, 1e-12);
+  profile.Decay(0.5);
+  EXPECT_DOUBLE_EQ(profile.Interest(0), 0.5);
+  EXPECT_EQ(profile.interests().count(1), 0u);  // pruned
+  profile.Decay(0.0);
+  EXPECT_TRUE(profile.interests().empty());
+}
+
+TEST(UserProfileTest, ShotAffinityPrimaryAndSecondary) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);  // only topic 0
+  // Shot primarily about topic 0.
+  EXPECT_DOUBLE_EQ(profile.ShotAffinity(MakeShot(0, {true, false})), 1.0);
+  // Shot about topic 1 with secondary concept 0: half credit.
+  EXPECT_DOUBLE_EQ(profile.ShotAffinity(MakeShot(1, {true, true})), 0.5);
+  // Unrelated shot.
+  EXPECT_DOUBLE_EQ(profile.ShotAffinity(MakeShot(1, {false, true})), 0.0);
+}
+
+TEST(UserProfileTest, ShotAffinityEmptyProfileIsZero) {
+  const UserProfile profile("u");
+  EXPECT_DOUBLE_EQ(profile.ShotAffinity(MakeShot(0, {true})), 0.0);
+}
+
+TEST(UserProfileTest, ShotAffinityNormalizedByTotalInterest) {
+  UserProfile profile("u");
+  profile.SetInterest(0, 1.0);
+  profile.SetInterest(1, 3.0);
+  // Affinity of a topic-0 shot = 1/4.
+  EXPECT_DOUBLE_EQ(profile.ShotAffinity(MakeShot(0, {true, false})), 0.25);
+}
+
+TEST(UserProfileTest, SerializeRoundTrip) {
+  UserProfile profile("bob");
+  profile.SetInterest(2, 0.75);
+  profile.SetInterest(0, 0.25);
+  const std::string line = profile.Serialize();
+  const UserProfile parsed = UserProfile::Deserialize(line).value();
+  EXPECT_EQ(parsed.user_id(), "bob");
+  EXPECT_DOUBLE_EQ(parsed.Interest(0), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.Interest(2), 0.75);
+}
+
+TEST(UserProfileTest, DeserializeRejectsGarbage) {
+  EXPECT_TRUE(UserProfile::Deserialize("").status().IsCorruption());
+  EXPECT_TRUE(
+      UserProfile::Deserialize("u\tnotkv").status().IsCorruption());
+  EXPECT_TRUE(
+      UserProfile::Deserialize("u\tx:1").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      UserProfile::Deserialize("u\t-1:0.5").status().IsCorruption());
+}
+
+TEST(UserProfileTest, DeserializeEmptyInterests) {
+  const UserProfile parsed = UserProfile::Deserialize("carol\t").value();
+  EXPECT_EQ(parsed.user_id(), "carol");
+  EXPECT_TRUE(parsed.interests().empty());
+}
+
+TEST(ProfileStoreTest, AddGetContains) {
+  ProfileStore store;
+  UserProfile p("alice");
+  p.SetInterest(1, 0.5);
+  ASSERT_TRUE(store.Add(p).ok());
+  EXPECT_TRUE(store.Contains("alice"));
+  EXPECT_FALSE(store.Contains("bob"));
+  EXPECT_DOUBLE_EQ(store.Get("alice").value()->Interest(1), 0.5);
+  EXPECT_TRUE(store.Get("bob").status().IsNotFound());
+}
+
+TEST(ProfileStoreTest, AddRejectsDuplicatesAndEmptyIds) {
+  ProfileStore store;
+  ASSERT_TRUE(store.Add(UserProfile("alice")).ok());
+  EXPECT_TRUE(store.Add(UserProfile("alice")).IsAlreadyExists());
+  EXPECT_TRUE(store.Add(UserProfile("")).IsInvalidArgument());
+}
+
+TEST(ProfileStoreTest, GetOrCreateRegistersOnFirstUse) {
+  ProfileStore store;
+  UserProfile* p = store.GetOrCreate("dave");
+  ASSERT_NE(p, nullptr);
+  p->SetInterest(0, 1.0);
+  EXPECT_EQ(store.GetOrCreate("dave"), p);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.Get("dave").value()->Interest(0), 1.0);
+}
+
+TEST(ProfileStoreTest, SerializeRoundTrip) {
+  ProfileStore store;
+  UserProfile a("alice");
+  a.SetInterest(1, 0.9);
+  UserProfile b("bob");
+  b.SetInterest(2, 0.4);
+  ASSERT_TRUE(store.Add(a).ok());
+  ASSERT_TRUE(store.Add(b).ok());
+  const ProfileStore parsed =
+      ProfileStore::Deserialize(store.Serialize()).value();
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.Get("alice").value()->Interest(1), 0.9);
+  EXPECT_DOUBLE_EQ(parsed.Get("bob").value()->Interest(2), 0.4);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,59 @@
+#include "ivr/text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInInsertionOrder) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, GetOrAddIsIdempotent) {
+  Vocabulary vocab;
+  const TermId a = vocab.GetOrAdd("term");
+  const TermId b = vocab.GetOrAdd("term");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("present");
+  EXPECT_EQ(vocab.Lookup("absent"), kInvalidTermId);
+  EXPECT_EQ(vocab.Lookup("present"), 0u);
+}
+
+TEST(VocabularyTest, RoundTripsTermStrings) {
+  Vocabulary vocab;
+  const TermId id = vocab.GetOrAdd("retrieval");
+  EXPECT_EQ(vocab.term(id), "retrieval");
+}
+
+TEST(VocabularyTest, EmptyState) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.empty());
+  EXPECT_EQ(vocab.size(), 0u);
+  EXPECT_EQ(vocab.Lookup("x"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary vocab;
+  for (int i = 0; i < 1000; ++i) {
+    vocab.GetOrAdd("term" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string term = "term" + std::to_string(i);
+    const TermId id = vocab.Lookup(term);
+    ASSERT_NE(id, kInvalidTermId);
+    EXPECT_EQ(vocab.term(id), term);
+  }
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,200 @@
+#include "ivr/feedback/weighting.h"
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+namespace {
+
+ShotIndicators Touched() {
+  ShotIndicators s;
+  s.shot = 1;
+  s.clicks = 1;
+  s.play_count = 1;
+  s.play_fraction = 0.95;
+  s.play_time_ms = 5000;
+  return s;
+}
+
+ShotIndicators BrowsedPast() {
+  ShotIndicators s;
+  s.shot = 2;
+  s.displays = 1;
+  s.browsed_past = true;
+  return s;
+}
+
+TEST(IndicatorFeaturesTest, DimensionsAndNames) {
+  const auto features = IndicatorFeatures(Touched());
+  EXPECT_EQ(features.size(), kNumIndicatorFeatures);
+  EXPECT_EQ(IndicatorFeatureNames().size(), kNumIndicatorFeatures);
+}
+
+TEST(IndicatorFeaturesTest, SquashingBoundsCounts) {
+  ShotIndicators s;
+  s.seeks = 1000000;
+  s.metadata_highlights = 1000000;
+  const auto features = IndicatorFeatures(s);
+  for (double f : features) {
+    EXPECT_GE(f, -1.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(BinaryWeightingTest, SignedTriState) {
+  const BinaryWeighting scheme;
+  EXPECT_DOUBLE_EQ(scheme.Score(Touched()), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.Score(BrowsedPast()), 0.0);
+  ShotIndicators negative = Touched();
+  negative.explicit_judgment = -1;
+  EXPECT_DOUBLE_EQ(scheme.Score(negative), -1.0);
+  EXPECT_EQ(scheme.name(), "binary");
+}
+
+TEST(UniformWeightingTest, CountsDistinctIndicators) {
+  const UniformWeighting scheme;
+  ShotIndicators s = Touched();  // click + play
+  EXPECT_DOUBLE_EQ(scheme.Score(s), 2.0);
+  s.seeks = 3;  // still one indicator type
+  EXPECT_DOUBLE_EQ(scheme.Score(s), 3.0);
+  EXPECT_DOUBLE_EQ(scheme.Score(BrowsedPast()), -1.0);
+}
+
+TEST(LinearWeightingTest, DefaultsRewardEngagement) {
+  const LinearWeighting scheme;
+  const double touched = scheme.Score(Touched());
+  const double browsed = scheme.Score(BrowsedPast());
+  EXPECT_GT(touched, 0.0);
+  EXPECT_LT(browsed, 0.0);
+  EXPECT_GT(touched, browsed);
+}
+
+TEST(LinearWeightingTest, PlayCompletionBonusApplies) {
+  const LinearWeighting scheme;
+  ShotIndicators complete = Touched();
+  complete.play_fraction = 0.95;
+  ShotIndicators partial = Touched();
+  partial.play_fraction = 0.85;
+  EXPECT_GT(scheme.Score(complete) - scheme.Score(partial),
+            scheme.weights().play_completion_bonus * 0.9);
+}
+
+TEST(LinearWeightingTest, UsedAsExampleIsStrongEvidence) {
+  const LinearWeighting scheme;
+  ShotIndicators with = Touched();
+  with.used_as_example = 1;
+  EXPECT_NEAR(scheme.Score(with) - scheme.Score(Touched()),
+              scheme.weights().used_as_example, 1e-12);
+  // It alone makes a shot "actively interacted with" for binary/uniform.
+  ShotIndicators only_example;
+  only_example.used_as_example = 1;
+  EXPECT_DOUBLE_EQ(BinaryWeighting().Score(only_example), 1.0);
+  EXPECT_DOUBLE_EQ(UniformWeighting().Score(only_example), 1.0);
+}
+
+TEST(LinearWeightingTest, ExplicitJudgmentsDominate) {
+  const LinearWeighting scheme;
+  ShotIndicators pos = Touched();
+  pos.explicit_judgment = 1;
+  ShotIndicators neg = Touched();
+  neg.explicit_judgment = -1;
+  EXPECT_GT(scheme.Score(pos), scheme.Score(Touched()));
+  EXPECT_LT(scheme.Score(neg), 0.0);
+}
+
+TEST(LinearWeightingTest, CustomWeightsRespected) {
+  IndicatorWeights weights;
+  weights.click = 10.0;
+  weights.play_fraction = 0.0;
+  weights.play_completion_bonus = 0.0;
+  const LinearWeighting scheme(weights, "custom");
+  EXPECT_EQ(scheme.name(), "custom");
+  ShotIndicators s;
+  s.clicks = 2;
+  EXPECT_DOUBLE_EQ(scheme.Score(s), 10.0);
+}
+
+// Build a labelled dataset where relevant shots are played long and
+// clicked, irrelevant ones browsed past — the learnable structure.
+std::vector<LabeledIndicators> MakeTrainingData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledIndicators> data;
+  for (size_t i = 0; i < n; ++i) {
+    LabeledIndicators ex;
+    ex.relevant = rng.Bernoulli(0.5);
+    ex.indicators.shot = static_cast<ShotId>(i);
+    ex.indicators.displays = 1;
+    if (ex.relevant) {
+      ex.indicators.clicks = rng.Bernoulli(0.85) ? 1 : 0;
+      ex.indicators.play_fraction = rng.Uniform(0.6, 1.0);
+      ex.indicators.play_count = 1;
+    } else {
+      ex.indicators.clicks = rng.Bernoulli(0.15) ? 1 : 0;
+      ex.indicators.play_fraction = rng.Uniform(0.0, 0.3);
+      ex.indicators.play_count = ex.indicators.clicks;
+      ex.indicators.browsed_past = ex.indicators.clicks == 0;
+    }
+    data.push_back(ex);
+  }
+  return data;
+}
+
+TEST(LearnedWeightingTest, LearnsSeparableStructure) {
+  LearnedWeighting scheme;
+  const auto train = MakeTrainingData(400, 1);
+  const double loss = scheme.Train(train);
+  EXPECT_LT(loss, 0.5);  // much better than chance (log 2 ~ 0.69)
+
+  // Evaluate accuracy on held-out data.
+  const auto test = MakeTrainingData(400, 2);
+  size_t correct = 0;
+  for (const LabeledIndicators& ex : test) {
+    const bool predicted = scheme.Probability(ex.indicators) > 0.5;
+    if (predicted == ex.relevant) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.8);
+}
+
+TEST(LearnedWeightingTest, ScoreInSignedUnitRange) {
+  LearnedWeighting scheme;
+  scheme.Train(MakeTrainingData(200, 3));
+  for (const LabeledIndicators& ex : MakeTrainingData(50, 4)) {
+    const double score = scheme.Score(ex.indicators);
+    EXPECT_GE(score, -1.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(LearnedWeightingTest, UntrainedIsNeutral) {
+  const LearnedWeighting scheme;
+  EXPECT_DOUBLE_EQ(scheme.Probability(Touched()), 0.5);
+  EXPECT_DOUBLE_EQ(scheme.Score(Touched()), 0.0);
+}
+
+TEST(LearnedWeightingTest, EmptyTrainingIsNoop) {
+  LearnedWeighting scheme;
+  EXPECT_DOUBLE_EQ(scheme.Train({}), 0.0);
+  EXPECT_DOUBLE_EQ(scheme.Score(Touched()), 0.0);
+}
+
+TEST(LearnedWeightingTest, TrainingIsDeterministic) {
+  LearnedWeighting a;
+  LearnedWeighting b;
+  const auto data = MakeTrainingData(100, 5);
+  a.Train(data);
+  b.Train(data);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(MakeWeightingSchemeTest, Factory) {
+  EXPECT_NE(MakeWeightingScheme("binary"), nullptr);
+  EXPECT_NE(MakeWeightingScheme("uniform"), nullptr);
+  EXPECT_NE(MakeWeightingScheme("linear"), nullptr);
+  EXPECT_EQ(MakeWeightingScheme("learned"), nullptr);  // needs training
+  EXPECT_EQ(MakeWeightingScheme("bogus"), nullptr);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,130 @@
+// ivr_eval — trec_eval-style evaluation of run files.
+//
+//   ivr_eval --collection c.ivr --run run.txt [--run2 other.txt]
+//   ivr_eval --qrels qrels.txt --run run.txt
+//
+// Prints per-topic and mean metrics; with --run2 additionally reports the
+// paired t-test and Wilcoxon signed-rank comparison on per-topic AP.
+
+#include <cstdio>
+
+#include "ivr/core/args.h"
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+#include "ivr/eval/experiment.h"
+#include "ivr/eval/significance.h"
+#include "ivr/eval/trec_run.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+Result<SystemEvaluation> Evaluate(const std::string& path,
+                                  const Qrels& qrels,
+                                  const std::vector<SearchTopicId>& topics) {
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::string tag = path;
+  IVR_ASSIGN_OR_RETURN(auto runs, RunsFromTrecFormat(text, &tag));
+  SystemRun run;
+  run.system = tag;
+  run.runs = std::move(runs);
+  return EvaluateSystem(run, qrels, topics);
+}
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const std::string run_path = args->GetString("run");
+  if (run_path.empty() || (!args->Has("collection") && !args->Has("qrels"))) {
+    std::fprintf(stderr,
+                 "usage: ivr_eval (--collection FILE | --qrels FILE) "
+                 "--run FILE [--run2 FILE]\n");
+    return 2;
+  }
+
+  Qrels qrels;
+  if (args->Has("collection")) {
+    Result<GeneratedCollection> loaded =
+        LoadCollection(args->GetString("collection"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    qrels = std::move(loaded->qrels);
+  } else {
+    Result<std::string> text = ReadFileToString(args->GetString("qrels"));
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Result<Qrels> parsed = Qrels::FromTrecFormat(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    qrels = std::move(parsed).value();
+  }
+  const std::vector<SearchTopicId> topics = qrels.Topics();
+
+  Result<SystemEvaluation> eval = Evaluate(run_path, qrels, topics);
+  if (!eval.ok()) {
+    std::fprintf(stderr, "%s\n", eval.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table({"topic", "num_rel", "AP", "P@10", "nDCG@10", "bpref",
+                   "RR"});
+  for (const TopicMetrics& m : eval->per_topic) {
+    table.AddRow({StrFormat("%u", m.topic), StrFormat("%zu", m.num_relevant),
+                  FormatMetric(m.ap), FormatMetric(m.p10),
+                  FormatMetric(m.ndcg10), FormatMetric(m.bpref),
+                  FormatMetric(m.rr)});
+  }
+  table.AddRow({"mean", "", FormatMetric(eval->mean.ap),
+                FormatMetric(eval->mean.p10),
+                FormatMetric(eval->mean.ndcg10),
+                FormatMetric(eval->mean.bpref), FormatMetric(eval->mean.rr)});
+  std::printf("run: %s\n%s\n", eval->system.c_str(),
+              table.ToString().c_str());
+
+  const std::string run2_path = args->GetString("run2");
+  if (!run2_path.empty()) {
+    Result<SystemEvaluation> eval2 = Evaluate(run2_path, qrels, topics);
+    if (!eval2.ok()) {
+      std::fprintf(stderr, "%s\n", eval2.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("comparison vs %s (MAP %s vs %s, %s):\n",
+                eval2->system.c_str(), FormatMetric(eval->mean.ap).c_str(),
+                FormatMetric(eval2->mean.ap).c_str(),
+                FormatRelativeChange(eval->mean.ap, eval2->mean.ap).c_str());
+    Result<PairedTestResult> ttest =
+        PairedTTest(eval->ApVector(), eval2->ApVector());
+    if (ttest.ok()) {
+      std::printf("  paired t-test:        t=%+.3f  p=%.4f (n=%zu)\n",
+                  ttest->statistic, ttest->p_value, ttest->n);
+    }
+    Result<PairedTestResult> wilcoxon =
+        WilcoxonSignedRank(eval->ApVector(), eval2->ApVector());
+    if (wilcoxon.ok()) {
+      std::printf("  Wilcoxon signed-rank: z=%+.3f  p=%.4f (n=%zu)\n",
+                  wilcoxon->statistic, wilcoxon->p_value, wilcoxon->n);
+    }
+    Result<PairedTestResult> randomization =
+        RandomizationTest(eval->ApVector(), eval2->ApVector());
+    if (randomization.ok()) {
+      std::printf("  randomization test:   |d|=%.4f p=%.4f (n=%zu)\n",
+                  randomization->statistic, randomization->p_value,
+                  randomization->n);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }

@@ -1,0 +1,103 @@
+// ivr_replay — replay recorded interaction logs against a (possibly
+// adaptive) backend and write the results each session's final query
+// would have received, as a TREC run file. The Vallet et al. [21]
+// evaluate-new-systems-on-old-behaviour methodology as a command.
+//
+//   ivr_replay --collection c.ivr --log sessions.tsv --run out.txt
+//              [--backend static|adaptive] [--k 1000]
+
+#include <cstdio>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/core/args.h"
+#include "ivr/core/file_util.h"
+#include "ivr/eval/trec_run.h"
+#include "ivr/retrieval/fusion.h"
+#include "ivr/sim/replayer.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const std::string collection_path = args->GetString("collection");
+  const std::string log_path = args->GetString("log");
+  const std::string run_path = args->GetString("run");
+  if (collection_path.empty() || log_path.empty() || run_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: ivr_replay --collection FILE --log FILE "
+                 "--run FILE [--backend static|adaptive] [--k N]\n");
+    return 2;
+  }
+  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::string> log_text = ReadFileToString(log_path);
+  if (!log_text.ok()) {
+    std::fprintf(stderr, "%s\n", log_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<SessionLog> log = SessionLog::Parse(*log_text);
+  if (!log.ok()) {
+    std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
+    return 1;
+  }
+
+  auto engine = RetrievalEngine::Build(loaded->collection).value();
+  StaticBackend static_backend(*engine);
+  AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
+  const std::string backend_name = args->GetString("backend", "adaptive");
+  SearchBackend* backend = backend_name == "static"
+                               ? static_cast<SearchBackend*>(&static_backend)
+                               : &adaptive_backend;
+  const size_t k =
+      static_cast<size_t>(args->GetInt("k", 1000).value_or(1000));
+
+  const LogReplayer replayer(k);
+  Result<std::vector<ReplayedSession>> replays =
+      replayer.ReplayAll(*log, backend);
+  if (!replays.ok()) {
+    std::fprintf(stderr, "%s\n", replays.status().ToString().c_str());
+    return 1;
+  }
+
+  // One run per topic: fuse the final-query results of every session on
+  // that topic (CombSUM), so multiple recorded users pool their evidence.
+  std::map<SearchTopicId, std::vector<ResultList>> per_topic;
+  size_t replayed_queries = 0;
+  for (const ReplayedSession& session : *replays) {
+    if (session.per_query_results.empty()) continue;
+    replayed_queries += session.per_query_results.size();
+    per_topic[session.topic].push_back(session.per_query_results.back());
+  }
+  std::map<SearchTopicId, ResultList> runs;
+  for (auto& [topic, lists] : per_topic) {
+    ResultList fused = lists.size() == 1 ? lists.front() : CombSum(lists);
+    fused.Truncate(k);
+    runs[topic] = std::move(fused);
+  }
+
+  const Status saved = WriteStringToFile(
+      run_path, RunsToTrecFormat(runs, "replay-" + backend->name()));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("replayed %zu sessions (%zu queries) against %s; "
+              "wrote %s (%zu topics)\n",
+              replays->size(), replayed_queries, backend->name().c_str(),
+              run_path.c_str(), runs.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }

@@ -1,0 +1,117 @@
+// ivr_search — run queries against a saved collection.
+//
+// Batch mode (default): runs every search topic's title query and writes
+// a TREC run file:
+//   ivr_search --collection c.ivr --run run.txt [--scorer bm25] [--k 1000]
+//              [--visual] [--tag mytag]
+//
+// Ad-hoc mode: --query "words ..." prints the top results humanly:
+//   ivr_search --collection c.ivr --query "ginadebo market" [--k 10]
+
+#include <cstdio>
+
+#include "ivr/core/args.h"
+#include "ivr/core/file_util.h"
+#include "ivr/eval/trec_run.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/retrieval/story_rank.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const std::string collection_path = args->GetString("collection");
+  if (collection_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: ivr_search --collection FILE "
+                 "(--run OUT | --query \"...\") [--scorer bm25] [--k N] "
+                 "[--visual] [--tag TAG]\n");
+    return 2;
+  }
+  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedCollection& g = *loaded;
+
+  EngineOptions options;
+  options.scorer = args->GetString("scorer", "bm25");
+  Result<std::unique_ptr<RetrievalEngine>> engine =
+      RetrievalEngine::Build(g.collection, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const size_t k = static_cast<size_t>(
+      args->GetInt("k", 1000).value_or(1000));
+
+  const std::string adhoc = args->GetString("query");
+  if (!adhoc.empty()) {
+    Query query;
+    query.text = adhoc;
+    const ResultList results = (*engine)->Search(query, k);
+    if (args->GetBool("stories")) {
+      // Story-level presentation: aggregate shot evidence per story.
+      const auto stories =
+          RankStories(results, g.collection, k, StoryAggregation::kMax);
+      std::printf("%zu stories for \"%s\"\n", stories.size(),
+                  adhoc.c_str());
+      for (size_t i = 0; i < stories.size(); ++i) {
+        const NewsStory* story =
+            g.collection.story(stories[i].story).value();
+        std::printf("%3zu. %-26s [%s]  score %.4f  (%zu matching shots)\n",
+                    i + 1, story->headline.c_str(),
+                    g.collection.TopicName(story->topic).c_str(),
+                    stories[i].score, stories[i].supporting_shots.size());
+      }
+      return 0;
+    }
+    std::printf("%zu results for \"%s\"\n", results.size(), adhoc.c_str());
+    for (size_t i = 0; i < std::min<size_t>(k, results.size()); ++i) {
+      const Shot* shot = g.collection.shot(results.at(i).shot).value();
+      const NewsStory* story = g.collection.story(shot->story).value();
+      std::printf("%3zu. %-18s %-10s %-26s %.4f\n", i + 1,
+                  shot->external_id.c_str(),
+                  g.collection.TopicName(shot->primary_topic).c_str(),
+                  story->headline.c_str(), results.at(i).score);
+    }
+    return 0;
+  }
+
+  const std::string run_path = args->GetString("run");
+  if (run_path.empty()) {
+    std::fprintf(stderr, "one of --run or --query is required\n");
+    return 2;
+  }
+  const bool visual = args->GetBool("visual");
+  std::map<SearchTopicId, ResultList> runs;
+  for (const SearchTopic& topic : g.topics.topics) {
+    Query query;
+    query.text = topic.title;
+    if (visual) query.examples = topic.examples;
+    runs[topic.id] = (*engine)->Search(query, k);
+  }
+  const std::string tag =
+      args->GetString("tag", options.scorer + (visual ? "+visual" : ""));
+  const Status saved =
+      WriteStringToFile(run_path, RunsToTrecFormat(runs, tag));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu topics, tag '%s'\n", run_path.c_str(),
+              runs.size(), tag.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }

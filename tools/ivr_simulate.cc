@@ -1,0 +1,121 @@
+// ivr_simulate — run simulated user sessions against a saved collection
+// and write the interaction logs (the input to every feedback analysis).
+//
+//   ivr_simulate --collection c.ivr --log sessions.tsv
+//                [--env desktop|tv] [--user novice|expert|couch]
+//                [--sessions-per-topic 2] [--seed 1]
+//                [--backend static|adaptive]
+
+#include <cstdio>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/core/args.h"
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+#include "ivr/sim/simulator.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const std::string collection_path = args->GetString("collection");
+  const std::string log_path = args->GetString("log");
+  if (collection_path.empty() || log_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: ivr_simulate --collection FILE --log FILE "
+                 "[--env desktop|tv] [--user novice|expert|couch] "
+                 "[--sessions-per-topic N] [--seed N] "
+                 "[--backend static|adaptive]\n");
+    return 2;
+  }
+  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedCollection& g = *loaded;
+
+  const std::string env_name = args->GetString("env", "desktop");
+  Environment env;
+  if (env_name == "desktop") {
+    env = Environment::kDesktop;
+  } else if (env_name == "tv") {
+    env = Environment::kTv;
+  } else {
+    std::fprintf(stderr, "unknown --env %s\n", env_name.c_str());
+    return 2;
+  }
+
+  const std::string user_name = args->GetString("user", "novice");
+  UserModel user;
+  if (user_name == "novice") {
+    user = NoviceUser();
+  } else if (user_name == "expert") {
+    user = ExpertUser();
+  } else if (user_name == "couch") {
+    user = CouchViewerUser();
+  } else {
+    std::fprintf(stderr, "unknown --user %s\n", user_name.c_str());
+    return 2;
+  }
+
+  auto engine = RetrievalEngine::Build(g.collection).value();
+  StaticBackend static_backend(*engine);
+  AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
+  SearchBackend* backend = &static_backend;
+  if (args->GetString("backend", "static") == "adaptive") {
+    backend = &adaptive_backend;
+  }
+
+  const size_t per_topic = static_cast<size_t>(
+      args->GetInt("sessions-per-topic", 2).value_or(2));
+  const uint64_t seed_base = static_cast<uint64_t>(
+      args->GetInt("seed", 1).value_or(1));
+
+  SessionSimulator simulator(g.collection, g.qrels);
+  SessionLog log;
+  size_t sessions = 0;
+  size_t found = 0;
+  for (const SearchTopic& topic : g.topics.topics) {
+    for (size_t s = 0; s < per_topic; ++s) {
+      SessionSimulator::RunConfig config;
+      config.environment = env;
+      config.seed = seed_base + topic.id * 1000 + s;
+      config.session_id = StrFormat("%s-t%u-s%zu", env_name.c_str(),
+                                    topic.id, s);
+      config.user_id = user.name;
+      Result<SimulatedSession> session =
+          simulator.Run(backend, topic, user, config, &log);
+      if (!session.ok()) {
+        std::fprintf(stderr, "simulation failed: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      ++sessions;
+      found += session->outcome.truly_relevant_found;
+    }
+  }
+  const Status saved = WriteStringToFile(log_path, log.Serialize());
+  if (!saved.ok()) {
+    std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu sessions (%s, %s, %s backend), %zu events, "
+              "%zu relevant shots found\n",
+              log_path.c_str(), sessions, env_name.c_str(),
+              user.name.c_str(), backend == &static_backend ? "static"
+                                                            : "adaptive",
+              log.size(), found);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }
