@@ -72,6 +72,30 @@ void BM_TextQuery(benchmark::State& state) {
 BENCHMARK(BM_TextQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
     benchmark::kMicrosecond);
 
+void BM_BatchSearch(benchmark::State& state) {
+  // Sweep-style batched retrieval: every topic title answered at once,
+  // fanned out over range(0) workers. Single- vs multi-threaded QPS is
+  // the headline number for parallel topic sweeps.
+  const GeneratedCollection& g = Fixture();
+  const RetrievalEngine& engine = Engine();
+  std::vector<Query> queries;
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    for (const SearchTopic& topic : g.topics.topics) {
+      Query query;
+      query.text = topic.title;
+      queries.push_back(std::move(query));
+    }
+  }
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.BatchSearch(queries, 200, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_BatchSearch)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
 void BM_VisualQuery(benchmark::State& state) {
   const GeneratedCollection& g = Fixture();
   const RetrievalEngine& engine = Engine();

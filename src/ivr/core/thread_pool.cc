@@ -1,0 +1,92 @@
+#include "ivr/core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace ivr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void(size_t)> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  for (;;) {
+    std::function<void(size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (num_threads == 0) num_threads = ThreadPool::DefaultThreadCount();
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i, 0);
+    }
+    return;
+  }
+  // One long-running task per worker, pulling indices from a shared
+  // counter: cheaper than queueing n closures and it load-balances
+  // uneven per-index costs.
+  std::atomic<size_t> next{0};
+  ThreadPool pool(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    pool.Submit([&next, n, &fn](size_t worker) {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i, worker);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace ivr

@@ -1,0 +1,68 @@
+#ifndef IVR_CORE_THREAD_POOL_H_
+#define IVR_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivr {
+
+/// A small fixed-size worker pool over a FIFO work queue. Tasks receive
+/// the id of the worker that runs them (0 <= worker < size()), which lets
+/// batch callers keep one scratch buffer per worker (e.g. per-thread score
+/// accumulators) without locking.
+///
+/// Submit() and Wait() may be called from the owning thread only; tasks
+/// themselves must not Submit.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void(size_t worker)> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t size() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), floored at 1 (the value is 0 on
+  /// platforms that cannot report it).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void(size_t)>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(index, worker) for every index in [0, n), fanned out across up
+/// to `num_threads` pool workers (0 means DefaultThreadCount()). Indices
+/// are handed out dynamically, so callers needing deterministic output
+/// must write into a per-index slot rather than append in completion
+/// order. With one effective thread (or n <= 1) everything runs inline on
+/// the calling thread as worker 0 — no pool is created, which keeps the
+/// sequential path allocation- and synchronisation-free.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t index, size_t worker)>& fn);
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_THREAD_POOL_H_

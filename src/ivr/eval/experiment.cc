@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "ivr/core/string_util.h"
+#include "ivr/core/thread_pool.h"
 
 namespace ivr {
 
@@ -18,16 +19,21 @@ std::vector<double> SystemEvaluation::ApVector() const {
 
 SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
                                 const std::vector<SearchTopicId>& topics,
-                                int min_grade) {
+                                int min_grade, size_t threads) {
   SystemEvaluation eval;
   eval.system = run.system;
-  for (SearchTopicId topic : topics) {
-    auto it = run.runs.find(topic);
-    const ResultList empty;
-    const ResultList& list = it == run.runs.end() ? empty : it->second;
-    eval.per_topic.push_back(
-        ComputeTopicMetrics(list, qrels, topic, min_grade));
-  }
+  eval.per_topic.resize(topics.size());
+  const ResultList empty;
+  // Each worker writes its topic's slot, so per_topic keeps the caller's
+  // topic order whatever the scheduling.
+  ParallelFor(topics.size(), threads,
+              [&](size_t i, size_t /*worker*/) {
+                auto it = run.runs.find(topics[i]);
+                const ResultList& list =
+                    it == run.runs.end() ? empty : it->second;
+                eval.per_topic[i] =
+                    ComputeTopicMetrics(list, qrels, topics[i], min_grade);
+              });
   eval.mean = MeanMetrics(eval.per_topic);
   return eval;
 }

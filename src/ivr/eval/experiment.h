@@ -30,9 +30,12 @@ struct SystemEvaluation {
   std::vector<double> ApVector() const;
 };
 
+/// Evaluates a run against qrels. Per-topic metrics fan out across up to
+/// `threads` workers (1 = inline; 0 = hardware concurrency); the result —
+/// including per_topic order — is identical for every thread count.
 SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
                                 const std::vector<SearchTopicId>& topics,
-                                int min_grade = 1);
+                                int min_grade = 1, size_t threads = 1);
 
 /// Minimal fixed-width text table for benchmark/report output; renders
 /// with a header rule, right-aligning numeric-looking cells.

@@ -71,17 +71,23 @@ double NdcgAtK(const ResultList& run, const Qrels& qrels,
 
 double Bpref(const ResultList& run, const Qrels& qrels, SearchTopicId topic,
              int min_grade) {
+  // trec_eval bpref: only JUDGED nonrelevant shots count against a
+  // relevant shot ranked below them — unjudged shots are invisible (that
+  // is the whole point of the measure: robustness to incomplete pools).
+  // Penalty denominator is min(R, N), N = judged nonrelevant.
   const size_t r = qrels.NumRelevant(topic, min_grade);
   if (r == 0) return 0.0;
+  const size_t n = qrels.NumJudged(topic) - r;
   size_t nonrelevant_seen = 0;
   double sum = 0.0;
   for (size_t i = 0; i < run.size(); ++i) {
-    if (qrels.IsRelevant(topic, run.at(i).shot, min_grade)) {
-      const double penalty =
-          static_cast<double>(std::min(nonrelevant_seen, r)) /
-          static_cast<double>(r);
-      sum += 1.0 - penalty;
-    } else {
+    const ShotId shot = run.at(i).shot;
+    if (qrels.IsRelevant(topic, shot, min_grade)) {
+      sum += n == 0 ? 1.0
+                    : 1.0 - static_cast<double>(std::min(nonrelevant_seen,
+                                                         r)) /
+                                static_cast<double>(std::min(r, n));
+    } else if (qrels.IsJudged(topic, shot)) {
       ++nonrelevant_seen;
     }
   }

@@ -1,0 +1,66 @@
+#ifndef IVR_INDEX_SCORE_ACCUMULATOR_H_
+#define IVR_INDEX_SCORE_ACCUMULATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "ivr/index/document.h"
+
+namespace ivr {
+
+/// Flat-array score accumulator for term-at-a-time retrieval. One slot per
+/// document, plus an epoch stamp per slot so Reset() is O(1): a slot whose
+/// stamp is stale reads as "untouched" without ever clearing the array.
+/// The buffers are reused across queries, which is what makes batched
+/// sweeps allocation-free in steady state — keep one accumulator per
+/// thread and Reset() it between queries.
+class ScoreAccumulator {
+ public:
+  /// Prepares for a new query over `num_documents` documents. Grows the
+  /// buffers if the index grew; never shrinks.
+  void Reset(size_t num_documents) {
+    if (epochs_.size() < num_documents) {
+      epochs_.resize(num_documents, 0);
+      scores_.resize(num_documents, 0.0);
+    }
+    touched_.clear();
+    if (++epoch_ == 0) {
+      // uint32 wrap-around (once per 4G queries): clear stamps so no stale
+      // slot can alias the new epoch.
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Adds `delta` to the document's score. First touch in this epoch
+  /// registers the document as a candidate.
+  void Add(DocId doc, double delta) {
+    if (epochs_[doc] != epoch_) {
+      epochs_[doc] = epoch_;
+      scores_[doc] = delta;
+      touched_.push_back(doc);
+    } else {
+      scores_[doc] += delta;
+    }
+  }
+
+  /// Score accumulated for `doc` this epoch (0 when untouched).
+  double score(DocId doc) const {
+    return doc < epochs_.size() && epochs_[doc] == epoch_ ? scores_[doc]
+                                                          : 0.0;
+  }
+
+  /// Documents touched this epoch, in first-touch order.
+  const std::vector<DocId>& touched() const { return touched_; }
+
+ private:
+  std::vector<double> scores_;
+  std::vector<uint32_t> epochs_;
+  std::vector<DocId> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INDEX_SCORE_ACCUMULATOR_H_

@@ -4,52 +4,135 @@
 
 namespace ivr {
 
+PreparedTerm Scorer::Prepare(const InvertedIndex& /*index*/, size_t df,
+                             uint64_t cf, uint32_t query_tf) const {
+  PreparedTerm term;
+  term.df = df;
+  term.cf = cf;
+  term.query_tf = query_tf;
+  return term;
+}
+
+double Scorer::ScorePosting(const InvertedIndex& index,
+                            const PreparedTerm& term, uint32_t tf,
+                            uint32_t doc_len) const {
+  return Score(index, tf, doc_len, term.df, term.cf, term.query_tf);
+}
+
 double Bm25Scorer::Score(const InvertedIndex& index, uint32_t tf,
-                         uint32_t doc_len, size_t df, uint64_t /*cf*/,
+                         uint32_t doc_len, size_t df, uint64_t cf,
                          uint32_t query_tf) const {
-  if (tf == 0 || df == 0) return 0.0;
+  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+}
+
+PreparedTerm Bm25Scorer::Prepare(const InvertedIndex& index, size_t df,
+                                 uint64_t cf, uint32_t query_tf) const {
+  // c0 = qtf_saturation * idf * (k1+1); c1 + c2*doc_len reproduces the
+  // document-length norm k1*(1 - b + b*doc_len/avgdl) without touching
+  // avgdl (or any log) per posting.
+  PreparedTerm term;
+  term.df = df;
+  term.cf = cf;
+  term.query_tf = query_tf;
+  if (df == 0 || query_tf == 0) return term;  // c0 stays 0 -> score 0
   const double n = static_cast<double>(index.num_documents());
   const double dfd = static_cast<double>(df);
   // Robertson–Sparck-Jones IDF with +1 inside the log to keep it positive
   // for very common terms (the Lucene variant).
   const double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
+  // Okapi third component: repeated query terms saturate instead of
+  // scaling the partial linearly.
+  const double qtf = static_cast<double>(query_tf);
+  const double qtf_component = (qtf * (k3_ + 1.0)) / (k3_ + qtf);
+  term.c0 = qtf_component * idf * (k1_ + 1.0);
   const double avgdl = index.average_document_length();
-  const double norm =
-      k1_ * (1.0 - b_ + b_ * (avgdl > 0.0 ? doc_len / avgdl : 1.0));
-  const double tf_component = (tf * (k1_ + 1.0)) / (tf + norm);
-  return static_cast<double>(query_tf) * idf * tf_component;
+  if (avgdl > 0.0) {
+    term.c1 = k1_ * (1.0 - b_);
+    term.c2 = k1_ * b_ / avgdl;
+  } else {
+    term.c1 = k1_;
+    term.c2 = 0.0;
+  }
+  return term;
+}
+
+double Bm25Scorer::ScorePosting(const InvertedIndex& /*index*/,
+                                const PreparedTerm& term, uint32_t tf,
+                                uint32_t doc_len) const {
+  if (tf == 0 || term.c0 == 0.0) return 0.0;
+  const double tfd = static_cast<double>(tf);
+  return term.c0 * tfd /
+         (tfd + term.c1 + term.c2 * static_cast<double>(doc_len));
 }
 
 double TfIdfScorer::Score(const InvertedIndex& index, uint32_t tf,
-                          uint32_t doc_len, size_t df, uint64_t /*cf*/,
+                          uint32_t doc_len, size_t df, uint64_t cf,
                           uint32_t query_tf) const {
-  if (tf == 0 || df == 0) return 0.0;
+  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+}
+
+PreparedTerm TfIdfScorer::Prepare(const InvertedIndex& index, size_t df,
+                                  uint64_t cf, uint32_t query_tf) const {
+  // c0 = query_tf * idf (0 disables the term, including the idf==0 case
+  // of a term present in every document).
+  PreparedTerm term;
+  term.df = df;
+  term.cf = cf;
+  term.query_tf = query_tf;
+  if (df == 0) return term;
   const double n = static_cast<double>(index.num_documents());
-  const double idf = std::log(n / static_cast<double>(df));
+  term.c0 =
+      static_cast<double>(query_tf) * std::log(n / static_cast<double>(df));
+  return term;
+}
+
+double TfIdfScorer::ScorePosting(const InvertedIndex& /*index*/,
+                                 const PreparedTerm& term, uint32_t tf,
+                                 uint32_t doc_len) const {
+  if (tf == 0 || term.c0 == 0.0) return 0.0;
   const double ltf = 1.0 + std::log(static_cast<double>(tf));
-  const double norm = doc_len > 0 ? std::sqrt(static_cast<double>(doc_len))
-                                  : 1.0;
-  return static_cast<double>(query_tf) * idf * ltf / norm;
+  const double norm =
+      doc_len > 0 ? std::sqrt(static_cast<double>(doc_len)) : 1.0;
+  return term.c0 * ltf / norm;
 }
 
 double DirichletLmScorer::Score(const InvertedIndex& index, uint32_t tf,
-                                uint32_t doc_len, size_t /*df*/, uint64_t cf,
+                                uint32_t doc_len, size_t df, uint64_t cf,
                                 uint32_t query_tf) const {
+  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+}
+
+PreparedTerm DirichletLmScorer::Prepare(const InvertedIndex& index,
+                                        size_t df, uint64_t cf,
+                                        uint32_t query_tf) const {
+  // c0 = mu * p_collection (> 0 when the term is scorable), c1 = qtf.
+  PreparedTerm term;
+  term.df = df;
+  term.cf = cf;
+  term.query_tf = query_tf;
   const double collection_size =
       static_cast<double>(index.total_term_count());
-  if (collection_size <= 0.0 || cf == 0) return 0.0;
-  const double p_collection = static_cast<double>(cf) / collection_size;
+  if (collection_size <= 0.0 || cf == 0) return term;
+  term.c0 = mu_ * (static_cast<double>(cf) / collection_size);
+  term.c1 = static_cast<double>(query_tf);
+  return term;
+}
+
+double DirichletLmScorer::ScorePosting(const InvertedIndex& /*index*/,
+                                       const PreparedTerm& term, uint32_t tf,
+                                       uint32_t doc_len) const {
+  if (term.c0 <= 0.0) return 0.0;
   // log[ (tf + mu * p_c) / (|d| + mu) ] - log[ mu * p_c / (|d| + mu) ]
   // = log(1 + tf / (mu * p_c)); the document-length dependent part that
   // does not cancel per-term is added once per matched term.
-  const double ratio = 1.0 + static_cast<double>(tf) / (mu_ * p_collection);
+  const double ratio = 1.0 + static_cast<double>(tf) / term.c0;
   const double len_part =
       std::log(mu_ / (static_cast<double>(doc_len) + mu_));
   // len_part is <= 0 and shared across terms of the same document; adding
   // it per matched query term mirrors the standard query-likelihood
   // decomposition restricted to matching terms (Zhai & Lafferty).
-  return static_cast<double>(query_tf) * (std::log(ratio) + len_part) +
-         static_cast<double>(query_tf) * 10.0;  // shift to keep scores > 0
+  return term.c1 * (std::log(ratio) + len_part) +
+         term.c1 * 10.0;  // shift to keep scores > 0
 }
 
 std::unique_ptr<Scorer> MakeScorer(const std::string& name) {

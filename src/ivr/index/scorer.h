@@ -8,6 +8,25 @@
 
 namespace ivr {
 
+/// Per-query-term scoring state, computed once per (term, query) by
+/// Scorer::Prepare and consumed for every posting of the term by
+/// Scorer::ScorePosting. Everything that depends only on collection
+/// statistics and the query (IDF, length-normalisation coefficients,
+/// query-term saturation) lives here, so the per-posting hot loop is free
+/// of log/division recomputation.
+struct PreparedTerm {
+  // Collection statistics, kept for the generic fallback path (a custom
+  // Scorer that overrides neither Prepare nor ScorePosting still works).
+  size_t df = 0;
+  uint64_t cf = 0;
+  uint32_t query_tf = 1;
+  // Scorer-specific constants; meaning documented at each Prepare
+  // override.
+  double c0 = 0.0;
+  double c1 = 0.0;
+  double c2 = 0.0;
+};
+
 /// A term-at-a-time scoring function: given collection statistics and one
 /// (term, document) observation, produce the document's partial score for
 /// that query term. Scores are additive across query terms.
@@ -23,25 +42,45 @@ class Scorer {
                        uint32_t doc_len, size_t df, uint64_t cf,
                        uint32_t query_tf) const = 0;
 
+  /// Precomputes the per-term constants used by ScorePosting. The default
+  /// implementation just stashes the statistics and defers to Score().
+  virtual PreparedTerm Prepare(const InvertedIndex& index, size_t df,
+                               uint64_t cf, uint32_t query_tf) const;
+
+  /// Scores one posting using a prepared term context. Must agree with
+  /// Score() on ranking order; the hot path (Searcher) only calls this.
+  virtual double ScorePosting(const InvertedIndex& index,
+                              const PreparedTerm& term, uint32_t tf,
+                              uint32_t doc_len) const;
+
   /// Human-readable name for reports ("bm25", "tfidf", "lm-dirichlet").
   virtual std::string name() const = 0;
 };
 
 /// Okapi BM25. Standard parameters k1 (term-frequency saturation) and b
-/// (length normalisation).
+/// (length normalisation); k3 saturates repeated query terms (the Okapi
+/// third component ((k3+1)*qtf)/(k3+qtf)), so a term typed twice counts
+/// less than twice — not linearly, which double-counts.
 class Bm25Scorer : public Scorer {
  public:
-  explicit Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+  explicit Bm25Scorer(double k1 = 1.2, double b = 0.75, double k3 = 8.0)
+      : k1_(k1), b_(b), k3_(k3) {}
   double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
+  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+                       uint32_t query_tf) const override;
+  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+                      uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "bm25"; }
 
   double k1() const { return k1_; }
   double b() const { return b_; }
+  double k3() const { return k3_; }
 
  private:
   double k1_;
   double b_;
+  double k3_;
 };
 
 /// Classic log TF * IDF with cosine-free length normalisation (divides by
@@ -50,6 +89,10 @@ class TfIdfScorer : public Scorer {
  public:
   double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
+  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+                       uint32_t query_tf) const override;
+  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+                      uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "tfidf"; }
 };
 
@@ -61,6 +104,10 @@ class DirichletLmScorer : public Scorer {
   explicit DirichletLmScorer(double mu = 2000.0) : mu_(mu) {}
   double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
+  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+                       uint32_t query_tf) const override;
+  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+                      uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "lm-dirichlet"; }
 
   double mu() const { return mu_; }

@@ -1,49 +1,109 @@
 #include "ivr/index/searcher.h"
 
 #include <algorithm>
+#include <queue>
+
+#include "ivr/core/thread_pool.h"
 
 namespace ivr {
+namespace {
+
+/// `a` ranks strictly before `b`.
+inline bool Better(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+/// Query terms in lexicographic order so that score accumulation order —
+/// and therefore floating-point results — never depends on hash-map
+/// iteration order.
+std::vector<std::pair<const std::string*, double>> OrderedTerms(
+    const TermQuery& query) {
+  std::vector<std::pair<const std::string*, double>> terms;
+  terms.reserve(query.weights.size());
+  for (const auto& [term, weight] : query.weights) {
+    if (weight == 0.0) continue;
+    terms.emplace_back(&term, weight);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  return terms;
+}
+
+/// Selects the top k of the accumulator's candidates with a bounded
+/// min-heap (the heap's top is the worst kept hit), then emits them
+/// best-first. Equivalent to sorting all candidates with Better() and
+/// truncating, at O(candidates * log k).
+std::vector<SearchHit> SelectTopK(const ScoreAccumulator& accum, size_t k) {
+  std::vector<SearchHit> heap;
+  if (k == 0) return heap;
+  heap.reserve(std::min(k, accum.touched().size()));
+  // With Better() as the comparator, std::*_heap keeps the WORST kept hit
+  // at heap.front().
+  for (DocId doc : accum.touched()) {
+    const SearchHit hit{doc, accum.score(doc)};
+    if (heap.size() < k) {
+      heap.push_back(hit);
+      std::push_heap(heap.begin(), heap.end(), Better);
+    } else if (Better(hit, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), Better);
+      heap.back() = hit;
+      std::push_heap(heap.begin(), heap.end(), Better);
+    }
+  }
+  // sort_heap orders ascending w.r.t. the comparator, which for Better()
+  // means best-first — exactly the output order.
+  std::sort_heap(heap.begin(), heap.end(), Better);
+  return heap;
+}
+
+}  // namespace
 
 TermQuery Searcher::ParseQuery(std::string_view text) const {
   TermQuery query;
   for (const std::string& term : index_.analyzer().Analyze(text)) {
-    query.weights[term] += 1.0;
+    query.weights[term] = 1.0;
+    query.counts[term] += 1;
   }
   return query;
 }
 
 std::vector<SearchHit> Searcher::Search(const TermQuery& query,
                                         size_t k) const {
-  std::unordered_map<DocId, double> accum;
-  for (const auto& [term, weight] : query.weights) {
-    if (weight == 0.0) continue;
-    const PostingList* pl = index_.LookupAnalyzed(term);
+  return Search(query, k, &scratch_);
+}
+
+std::vector<SearchHit> Searcher::Search(const TermQuery& query, size_t k,
+                                        ScoreAccumulator* accum) const {
+  accum->Reset(index_.num_documents());
+  for (const auto& [term, weight] : OrderedTerms(query)) {
+    const PostingList* pl = index_.LookupAnalyzed(*term);
     if (pl == nullptr) continue;
-    const size_t df = pl->document_frequency();
-    const uint64_t cf = pl->collection_frequency();
+    const PreparedTerm prepared =
+        scorer_.Prepare(index_, pl->document_frequency(),
+                        pl->collection_frequency(), query.QueryTf(*term));
     for (const Posting& p : pl->postings()) {
-      const double partial = scorer_.Score(
-          index_, p.tf, index_.document_length(p.doc), df, cf, /*query_tf=*/1);
-      accum[p.doc] += weight * partial;
+      const double partial = scorer_.ScorePosting(
+          index_, prepared, p.tf, index_.document_length(p.doc));
+      accum->Add(p.doc, weight * partial);
     }
   }
-  std::vector<SearchHit> hits;
-  hits.reserve(accum.size());
-  for (const auto& [doc, score] : accum) {
-    hits.push_back(SearchHit{doc, score});
-  }
-  auto better = [](const SearchHit& a, const SearchHit& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.doc < b.doc;
-  };
-  if (hits.size() > k) {
-    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
-                      hits.end(), better);
-    hits.resize(k);
-  } else {
-    std::sort(hits.begin(), hits.end(), better);
-  }
-  return hits;
+  return SelectTopK(*accum, k);
+}
+
+std::vector<std::vector<SearchHit>> Searcher::BatchSearch(
+    const std::vector<TermQuery>& queries, size_t k, size_t threads) const {
+  if (threads == 0) threads = ThreadPool::DefaultThreadCount();
+  std::vector<std::vector<SearchHit>> results(queries.size());
+  // One scratch accumulator per worker; results merge by query index, so
+  // the output order (and every score) is independent of scheduling.
+  std::vector<ScoreAccumulator> accums(std::max<size_t>(1, threads));
+  ParallelFor(queries.size(), threads,
+              [this, &queries, k, &results, &accums](size_t i,
+                                                     size_t worker) {
+                results[i] = Search(queries[i], k, &accums[worker]);
+              });
+  return results;
 }
 
 std::vector<SearchHit> Searcher::SearchText(std::string_view text,
@@ -53,17 +113,16 @@ std::vector<SearchHit> Searcher::SearchText(std::string_view text,
 
 double Searcher::ScoreDocument(const TermQuery& query, DocId doc) const {
   double score = 0.0;
-  for (const auto& [term, weight] : query.weights) {
-    if (weight == 0.0) continue;
-    const PostingList* pl = index_.LookupAnalyzed(term);
+  for (const auto& [term, weight] : OrderedTerms(query)) {
+    const PostingList* pl = index_.LookupAnalyzed(*term);
     if (pl == nullptr) continue;
     const Posting* p = pl->Find(doc);
     if (p == nullptr) continue;
-    score += weight * scorer_.Score(index_, p->tf,
-                                    index_.document_length(doc),
-                                    pl->document_frequency(),
-                                    pl->collection_frequency(),
-                                    /*query_tf=*/1);
+    const PreparedTerm prepared =
+        scorer_.Prepare(index_, pl->document_frequency(),
+                        pl->collection_frequency(), query.QueryTf(*term));
+    score += weight * scorer_.ScorePosting(index_, prepared, p->tf,
+                                           index_.document_length(doc));
   }
   return score;
 }

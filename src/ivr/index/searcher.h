@@ -9,6 +9,7 @@
 #include "ivr/core/result.h"
 #include "ivr/index/document.h"
 #include "ivr/index/inverted_index.h"
+#include "ivr/index/score_accumulator.h"
 #include "ivr/index/scorer.h"
 
 namespace ivr {
@@ -27,13 +28,34 @@ struct SearchHit {
 /// text via Searcher::ParseQuery or built directly by feedback components
 /// (Rocchio emits weighted terms).
 struct TermQuery {
-  /// Analysed term -> weight (a raw text query uses its term frequencies).
+  /// Analysed term -> linear boost. Multiplies the term's partial score.
   std::unordered_map<std::string, double> weights;
+
+  /// Analysed term -> repetition count in the raw query text (query tf).
+  /// Terms absent here count once. Kept separate from `weights` because
+  /// query-term repetition saturates inside the scorer (BM25's third
+  /// component) rather than scaling the partial linearly, while feedback
+  /// boosts stay linear.
+  std::unordered_map<std::string, uint32_t> counts;
+
+  /// Query-term frequency of `term` (1 when untracked).
+  uint32_t QueryTf(const std::string& term) const {
+    auto it = counts.find(term);
+    return it == counts.end() ? 1u : it->second;
+  }
 
   bool empty() const { return weights.empty(); }
 };
 
 /// Term-at-a-time top-k retrieval over an InvertedIndex.
+///
+/// The hot path accumulates scores into a flat per-document array
+/// (ScoreAccumulator) and selects the top k with a bounded min-heap, so a
+/// query costs O(postings + candidates*log k) with no hashing and no
+/// full-materialised hit list. Query terms are processed in lexicographic
+/// order, making scores independent of hash-map iteration order — the
+/// property BatchSearch relies on to be bit-identical to sequential
+/// execution regardless of thread count.
 class Searcher {
  public:
   /// Both references must outlive the searcher.
@@ -41,13 +63,27 @@ class Searcher {
       : index_(index), scorer_(scorer) {}
 
   /// Analyses raw text into a TermQuery (duplicate terms accumulate
-  /// weight).
+  /// query-term frequency in `counts`; every weight is 1).
   TermQuery ParseQuery(std::string_view text) const;
 
   /// Scores all matching documents and returns the top `k` by descending
   /// score (ties broken by ascending DocId for determinism). An empty query
-  /// yields an empty result.
+  /// yields an empty result. Reuses an internal scratch accumulator, so a
+  /// single Searcher must not run this overload from multiple threads —
+  /// concurrent callers pass their own accumulator below.
   std::vector<SearchHit> Search(const TermQuery& query, size_t k) const;
+
+  /// Same, accumulating into caller-owned scratch (one per thread).
+  std::vector<SearchHit> Search(const TermQuery& query, size_t k,
+                                ScoreAccumulator* accum) const;
+
+  /// Runs every query and returns the rankings in input order, fanned out
+  /// over up to `threads` workers (0 = hardware concurrency) with one
+  /// scratch accumulator per worker. Results are bit-identical to calling
+  /// Search() on each query sequentially, for any thread count.
+  std::vector<std::vector<SearchHit>> BatchSearch(
+      const std::vector<TermQuery>& queries, size_t k,
+      size_t threads = 0) const;
 
   /// Convenience: parse + search.
   std::vector<SearchHit> SearchText(std::string_view text, size_t k) const;
@@ -59,6 +95,7 @@ class Searcher {
  private:
   const InvertedIndex& index_;
   const Scorer& scorer_;
+  mutable ScoreAccumulator scratch_;
 };
 
 }  // namespace ivr

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "ivr/core/logging.h"
+#include "ivr/core/thread_pool.h"
+#include "ivr/index/score_accumulator.h"
 #include "ivr/retrieval/fusion.h"
 
 namespace ivr {
@@ -65,7 +68,8 @@ Status RetrievalEngine::BuildIndex() {
   return Status::OK();
 }
 
-ResultList RetrievalEngine::Search(const Query& query, size_t k) const {
+ResultList RetrievalEngine::Search(const Query& query, size_t k,
+                                   SearchDiagnostics* diagnostics) const {
   std::vector<ResultList> lists;
   std::vector<double> weights;
   if (query.HasText()) {
@@ -83,10 +87,23 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k) const {
     lists.push_back(CombSum(visual));
     weights.push_back(options_.visual_weight);
   }
-  if (query.HasConcepts() && concepts_ != nullptr) {
-    lists.push_back(concepts_->SearchAll(query.concepts,
-                                         options_.candidate_pool));
-    weights.push_back(options_.concept_weight);
+  if (query.HasConcepts()) {
+    if (concepts_ != nullptr) {
+      lists.push_back(concepts_->SearchAll(query.concepts,
+                                           options_.candidate_pool));
+      weights.push_back(options_.concept_weight);
+    } else {
+      // Degrade loudly, not silently: the query asked for a modality this
+      // engine cannot serve, which biases any evaluation built on it.
+      degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      if (diagnostics != nullptr) diagnostics->concepts_dropped = true;
+      if (!degradation_logged_.exchange(true, std::memory_order_relaxed)) {
+        IVR_LOG(Warning)
+            << "concept query on an engine built without use_concepts; "
+               "concept evidence dropped from fusion (logged once; see "
+               "num_degraded_queries())";
+      }
+    }
   }
   if (lists.empty()) return ResultList();
   ResultList fused = lists.size() == 1
@@ -94,6 +111,20 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k) const {
                          : WeightedLinear(lists, weights);
   fused.Truncate(k);
   return fused;
+}
+
+std::vector<ResultList> RetrievalEngine::BatchSearch(
+    const std::vector<Query>& queries, size_t k, size_t threads) const {
+  if (threads == 0) threads = ThreadPool::DefaultThreadCount();
+  std::vector<ResultList> results(queries.size());
+  // Workers write into their query's slot: output order — and, because
+  // every per-query computation is independent and deterministic, every
+  // score — matches the sequential path bit for bit.
+  ParallelFor(queries.size(), threads,
+              [this, &queries, k, &results](size_t i, size_t /*worker*/) {
+                results[i] = Search(queries[i], k);
+              });
+  return results;
 }
 
 Result<ResultList> RetrievalEngine::SearchConcepts(
@@ -107,9 +138,13 @@ Result<ResultList> RetrievalEngine::SearchConcepts(
 
 ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
                                         size_t k) const {
+  // One flat accumulator per thread, reused across queries: steady-state
+  // text search allocates nothing and stays safe under BatchSearch and
+  // parallel session sweeps.
+  static thread_local ScoreAccumulator accum;
   const Searcher searcher(index_, *scorer_);
   ResultList out;
-  for (const SearchHit& hit : searcher.Search(query, k)) {
+  for (const SearchHit& hit : searcher.Search(query, k, &accum)) {
     out.Add(static_cast<ShotId>(hit.doc), hit.score);
   }
   return out;

@@ -1,6 +1,8 @@
 #ifndef IVR_RETRIEVAL_ENGINE_H_
 #define IVR_RETRIEVAL_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,8 +60,18 @@ struct EngineOptions {
 /// transcript plus story headline metadata — and answers multimodal
 /// queries by fusing text and visual-example evidence.
 ///
+/// Per-query degradation report: which parts of a multimodal query the
+/// engine could not honour. Silent modality drops skew experiments, so
+/// callers that care (sweeps, tools) pass one in and check it.
+struct SearchDiagnostics {
+  /// The query carried concepts but the engine was built without
+  /// use_concepts — the concept modality was dropped from fusion.
+  bool concepts_dropped = false;
+};
+
 /// The engine itself is stateless across queries; all personalisation and
-/// feedback adaptation lives above it (AdaptiveEngine).
+/// feedback adaptation lives above it (AdaptiveEngine). Search is safe to
+/// call from multiple threads concurrently.
 class RetrievalEngine {
  public:
   /// Builds the index over `collection`, which must outlive the engine.
@@ -71,8 +83,24 @@ class RetrievalEngine {
   RetrievalEngine& operator=(const RetrievalEngine&) = delete;
 
   /// Multimodal search: runs each present modality and fuses with the
-  /// configured weights.
-  ResultList Search(const Query& query, size_t k) const;
+  /// configured weights. A dropped modality (concept query on a
+  /// concept-less engine) is reported through `diagnostics` when non-null,
+  /// logged once per engine, and counted in num_degraded_queries().
+  ResultList Search(const Query& query, size_t k,
+                    SearchDiagnostics* diagnostics = nullptr) const;
+
+  /// Answers every query and returns the result lists in input order,
+  /// fanned out over up to `threads` workers (0 = hardware concurrency).
+  /// Rankings are bit-identical to sequential Search() calls: workers
+  /// merge by query index, never by completion order.
+  std::vector<ResultList> BatchSearch(const std::vector<Query>& queries,
+                                      size_t k, size_t threads = 0) const;
+
+  /// How many queries so far were answered degraded (a modality silently
+  /// unavailable). Monotonic, thread-safe.
+  uint64_t num_degraded_queries() const {
+    return degraded_queries_.load(std::memory_order_relaxed);
+  }
 
   /// Text-only search over an explicit weighted term query (used by
   /// feedback/expansion components).
@@ -117,6 +145,8 @@ class RetrievalEngine {
   DocumentStore docs_;                  // DocId == ShotId
   std::vector<ColorHistogram> keyframes_;  // index-aligned with ShotId
   std::unique_ptr<ConceptIndex> concepts_;  // null unless use_concepts
+  mutable std::atomic<uint64_t> degraded_queries_{0};
+  mutable std::atomic<bool> degradation_logged_{false};
 };
 
 }  // namespace ivr

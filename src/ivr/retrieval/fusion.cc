@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "ivr/core/logging.h"
+
 namespace ivr {
 namespace {
 
@@ -64,6 +66,14 @@ ResultList CombMnz(const std::vector<ResultList>& lists) {
 
 ResultList WeightedLinear(const std::vector<ResultList>& lists,
                           const std::vector<double>& weights) {
+  if (lists.size() != weights.size()) {
+    // A caller bug: fusing min(lists, weights) silently drops evidence
+    // (or weights). Flag it, then fuse the aligned prefix so callers
+    // still get a ranking.
+    IVR_LOG(Error) << "WeightedLinear: " << lists.size() << " lists vs "
+                   << weights.size()
+                   << " weights; fusing only the aligned prefix";
+  }
   std::unordered_map<ShotId, double> acc;
   const size_t n = std::min(lists.size(), weights.size());
   for (size_t i = 0; i < n; ++i) {

@@ -22,7 +22,8 @@ ResultList CombSum(const std::vector<ResultList>& lists);
 ResultList CombMnz(const std::vector<ResultList>& lists);
 
 /// Weighted linear combination of min-max-normalised scores. `weights`
-/// must be the same length as `lists`; missing shots contribute 0.
+/// must be the same length as `lists`; a mismatch is logged as an error
+/// and only the aligned prefix is fused. Missing shots contribute 0.
 ResultList WeightedLinear(const std::vector<ResultList>& lists,
                           const std::vector<double>& weights);
 

@@ -1,7 +1,9 @@
 #include "ivr/sim/simulator.h"
 
+#include <optional>
 #include <utility>
 
+#include "ivr/core/thread_pool.h"
 #include "ivr/iface/desktop.h"
 #include "ivr/iface/tv.h"
 
@@ -72,6 +74,37 @@ Result<SimulatedSession> SessionSimulator::Run(SearchBackend* backend,
     }
   }
   return session;
+}
+
+Result<std::vector<SimulatedSession>> SessionSimulator::RunSweep(
+    const std::vector<SweepJob>& jobs,
+    const std::function<SearchBackend*(size_t)>& backend_for_worker,
+    size_t threads, SessionLog* log) const {
+  std::vector<std::optional<Result<SimulatedSession>>> slots(jobs.size());
+  // Each session records into its own slot (Run keeps a private event
+  // log); the shared log is filled afterwards in job order.
+  ParallelFor(jobs.size(), threads,
+              [this, &jobs, &backend_for_worker, &slots](size_t i,
+                                                         size_t worker) {
+                const SweepJob& job = jobs[i];
+                slots[i] = Run(backend_for_worker(worker), *job.topic,
+                               *job.user, job.config, /*log=*/nullptr);
+              });
+  std::vector<SimulatedSession> sessions;
+  sessions.reserve(jobs.size());
+  for (std::optional<Result<SimulatedSession>>& slot : slots) {
+    if (!slot.has_value()) {
+      return Status::Internal("sweep job did not run");
+    }
+    if (!slot->ok()) return slot->status();
+    sessions.push_back(std::move(*slot).value());
+    if (log != nullptr) {
+      for (const InteractionEvent& ev : sessions.back().events) {
+        log->Append(ev);
+      }
+    }
+  }
+  return sessions;
 }
 
 }  // namespace ivr

@@ -1,6 +1,7 @@
 #ifndef IVR_SIM_SIMULATOR_H_
 #define IVR_SIM_SIMULATOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,27 @@ class SessionSimulator {
                                const UserModel& user,
                                const RunConfig& config,
                                SessionLog* log) const;
+
+  /// One unit of a sweep; the pointed-to topic and user must outlive the
+  /// RunSweep call.
+  struct SweepJob {
+    const SearchTopic* topic = nullptr;
+    const UserModel* user = nullptr;
+    RunConfig config;
+  };
+
+  /// Runs every job, fanned out across up to `threads` workers (0 =
+  /// hardware concurrency). `backend_for_worker` supplies the backend a
+  /// worker drives; with threads > 1 the backends must be stateless
+  /// (StaticBackend over one engine) or one independent instance per
+  /// worker — interleaving sessions through one adaptive backend would
+  /// corrupt its per-session state. Sessions are returned in job order
+  /// and events append to `log` grouped by job, never by completion
+  /// order, so a sweep's output is identical for every thread count.
+  Result<std::vector<SimulatedSession>> RunSweep(
+      const std::vector<SweepJob>& jobs,
+      const std::function<SearchBackend*(size_t worker)>& backend_for_worker,
+      size_t threads, SessionLog* log) const;
 
  private:
   const VideoCollection* collection_;

@@ -7,7 +7,7 @@
 namespace ivr {
 
 void Qrels::Set(SearchTopicId topic, ShotId shot, int grade) {
-  if (grade <= 0) {
+  if (grade < 0) {
     auto it = judgments_.find(topic);
     if (it != judgments_.end()) {
       it->second.erase(shot);
@@ -15,7 +15,15 @@ void Qrels::Set(SearchTopicId topic, ShotId shot, int grade) {
     }
     return;
   }
+  // Grade 0 stays as an explicit judged-nonrelevant entry: bpref-style
+  // metrics must distinguish judged-nonrelevant from never-judged.
   judgments_[topic][shot] = grade;
+}
+
+bool Qrels::IsJudged(SearchTopicId topic, ShotId shot) const {
+  auto it = judgments_.find(topic);
+  if (it == judgments_.end()) return false;
+  return it->second.count(shot) > 0;
 }
 
 int Qrels::Grade(SearchTopicId topic, ShotId shot) const {
@@ -51,6 +59,11 @@ size_t Qrels::NumRelevant(SearchTopicId topic, int min_grade) const {
     if (grade >= min_grade) ++n;
   }
   return n;
+}
+
+size_t Qrels::NumJudged(SearchTopicId topic) const {
+  auto it = judgments_.find(topic);
+  return it == judgments_.end() ? 0 : it->second.size();
 }
 
 std::vector<SearchTopicId> Qrels::Topics() const {
@@ -105,7 +118,7 @@ Result<Qrels> Qrels::FromTrecFormat(const std::string& text) {
     if (topic < 0 || shot < 0) {
       return Status::Corruption("negative id in qrels: " + line);
     }
-    if (grade > 0) {
+    if (grade >= 0) {
       qrels.Set(static_cast<SearchTopicId>(topic),
                 static_cast<ShotId>(shot), static_cast<int>(grade));
     }

@@ -16,17 +16,25 @@ namespace ivr {
 /// in TRECVID. Distinct from TopicLabel (a collection subject label).
 using SearchTopicId = uint32_t;
 
-/// Graded relevance judgements, TREC-style. Grade 0 (or absence) means not
-/// relevant; the generator emits 1 = partially and 2 = highly relevant.
+/// Graded relevance judgements, TREC-style. Grade 0 is an explicit
+/// judged-nonrelevant entry — distinct from an unjudged shot, which is
+/// what judgement-aware metrics like bpref need; the generator emits
+/// 1 = partially and 2 = highly relevant.
 class Qrels {
  public:
   Qrels() = default;
 
-  /// Records a judgement; grade 0 removes any existing judgement.
+  /// Records a judgement. Grade 0 records judged-nonrelevant (it does NOT
+  /// remove the entry); a negative grade removes any existing judgement.
   void Set(SearchTopicId topic, ShotId shot, int grade);
 
-  /// Judged grade, 0 when unjudged.
+  /// Judged grade, 0 when unjudged or judged-nonrelevant (IsJudged tells
+  /// the two apart).
   int Grade(SearchTopicId topic, ShotId shot) const;
+
+  /// True when the pool contains any judgement for this (topic, shot),
+  /// including an explicit grade-0 (nonrelevant) one.
+  bool IsJudged(SearchTopicId topic, ShotId shot) const;
 
   /// True if the shot's grade is >= min_grade.
   bool IsRelevant(SearchTopicId topic, ShotId shot, int min_grade = 1) const;
@@ -36,6 +44,10 @@ class Qrels {
                                     int min_grade = 1) const;
 
   size_t NumRelevant(SearchTopicId topic, int min_grade = 1) const;
+
+  /// Number of judged shots for a topic, whatever the grade (the judgement
+  /// pool size; NumJudged - NumRelevant = judged nonrelevant).
+  size_t NumJudged(SearchTopicId topic) const;
 
   /// Topic ids that have at least one judgement, ascending.
   std::vector<SearchTopicId> Topics() const;
@@ -47,7 +59,8 @@ class Qrels {
   std::string ToTrecFormat() const;
 
   /// Parses the format produced by ToTrecFormat(). Lines with grade 0 are
-  /// accepted and ignored. Returns Corruption on malformed input.
+  /// kept as explicit judged-nonrelevant entries. Returns Corruption on
+  /// malformed input.
   static Result<Qrels> FromTrecFormat(const std::string& text);
 
  private:

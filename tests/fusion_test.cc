@@ -59,6 +59,21 @@ TEST(WeightedLinearTest, ZeroWeightListIgnored) {
   EXPECT_FALSE(fused.Contains(2));
 }
 
+TEST(WeightedLinearTest, LengthMismatchFusesAlignedPrefix) {
+  const ResultList a({{1, 1.0}});
+  const ResultList b({{2, 1.0}});
+  // More lists than weights: only the aligned prefix contributes (an
+  // error is logged); the unpaired list must not leak in with an
+  // uninitialised weight.
+  const ResultList fused = WeightedLinear({a, b}, {0.5});
+  EXPECT_TRUE(fused.Contains(1));
+  EXPECT_FALSE(fused.Contains(2));
+  // More weights than lists is equally mismatched but must not crash.
+  const ResultList fused2 = WeightedLinear({a}, {0.5, 0.5});
+  EXPECT_TRUE(fused2.Contains(1));
+  EXPECT_FALSE(fused2.Contains(2));
+}
+
 TEST(ReciprocalRankFusionTest, EarlierRanksScoreHigher) {
   const ResultList a({{1, 3.0}, {2, 2.0}, {3, 1.0}});
   const ResultList fused = ReciprocalRankFusion({a}, 60.0);

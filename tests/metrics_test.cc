@@ -95,13 +95,45 @@ TEST(BprefTest, PerfectRunIsOne) {
 }
 
 TEST(BprefTest, NonRelevantAboveRelevantPenalized) {
-  const Qrels qrels = MakeQrels();
-  // 1 non-relevant before each relevant.
+  Qrels qrels = MakeQrels();
+  // Judged-nonrelevant shots (grade 0) interleaved above the relevant ones.
+  qrels.Set(1, 10, 0);
+  qrels.Set(1, 11, 0);
+  qrels.Set(1, 12, 0);
   const ResultList run({{10, 9.0}, {1, 8.0}, {11, 7.0}, {2, 6.0},
                         {12, 5.0}, {3, 4.0}});
-  // bpref = 1/3 * [(1 - 1/3) + (1 - 2/3) + (1 - 3/3)].
+  // R = 3, N = 3: bpref = 1/3 * [(1 - 1/3) + (1 - 2/3) + (1 - 3/3)].
   EXPECT_NEAR(Bpref(run, qrels, 1),
               ((1 - 1.0 / 3) + (1 - 2.0 / 3) + 0.0) / 3, 1e-12);
+}
+
+TEST(BprefTest, UnjudgedShotsAreInvisible) {
+  const Qrels qrels = MakeQrels();
+  // Shots 10/11/12 were never judged, so bpref must ignore them entirely
+  // (the whole point of the measure: robustness to incomplete pools).
+  const ResultList run({{10, 9.0}, {1, 8.0}, {11, 7.0}, {2, 6.0},
+                        {12, 5.0}, {3, 4.0}});
+  EXPECT_DOUBLE_EQ(Bpref(run, qrels, 1), 1.0);
+}
+
+TEST(BprefTest, DenominatorIsMinOfRelevantAndNonrelevant) {
+  Qrels qrels;
+  qrels.Set(1, 1, 1);
+  qrels.Set(1, 2, 1);
+  qrels.Set(1, 3, 1);
+  qrels.Set(1, 10, 0);  // single judged-nonrelevant: N = 1 < R = 3
+  const ResultList run({{10, 9.0}, {1, 8.0}, {2, 7.0}, {3, 6.0}});
+  // Each relevant has min(nonrel_above, R) = 1 and denominator
+  // min(R, N) = 1, so every contribution is 1 - 1/1 = 0.
+  EXPECT_DOUBLE_EQ(Bpref(run, qrels, 1), 0.0);
+}
+
+TEST(BprefTest, NoJudgedNonrelevantGivesFullCredit) {
+  // trec_eval convention: with N == 0 every retrieved relevant shot
+  // contributes 1.0.
+  const Qrels qrels = MakeQrels();
+  const ResultList run({{1, 3.0}, {2, 2.0}});
+  EXPECT_NEAR(Bpref(run, qrels, 1), 2.0 / 3, 1e-12);
 }
 
 TEST(ReciprocalRankTest, FirstRelevantPosition) {

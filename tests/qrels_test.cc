@@ -15,13 +15,41 @@ TEST(QrelsTest, SetAndGrade) {
   EXPECT_EQ(qrels.Grade(2, 10), 0);
 }
 
-TEST(QrelsTest, SettingZeroRemoves) {
+TEST(QrelsTest, SettingZeroRecordsJudgedNonrelevant) {
   Qrels qrels;
   qrels.Set(1, 10, 2);
   qrels.Set(1, 10, 0);
+  // Grade 0 downgrades the judgement but keeps the shot in the pool:
+  // judged-nonrelevant, not unjudged.
   EXPECT_EQ(qrels.Grade(1, 10), 0);
+  EXPECT_TRUE(qrels.IsJudged(1, 10));
+  EXPECT_FALSE(qrels.IsRelevant(1, 10));
+  EXPECT_EQ(qrels.Topics(), (std::vector<SearchTopicId>{1}));
+  EXPECT_EQ(qrels.TotalJudgments(), 1u);
+  EXPECT_EQ(qrels.NumJudged(1), 1u);
+  EXPECT_EQ(qrels.NumRelevant(1), 0u);
+}
+
+TEST(QrelsTest, NegativeGradeRemoves) {
+  Qrels qrels;
+  qrels.Set(1, 10, 2);
+  qrels.Set(1, 10, -1);
+  EXPECT_EQ(qrels.Grade(1, 10), 0);
+  EXPECT_FALSE(qrels.IsJudged(1, 10));
   EXPECT_TRUE(qrels.Topics().empty());
   EXPECT_EQ(qrels.TotalJudgments(), 0u);
+}
+
+TEST(QrelsTest, IsJudgedDistinguishesPoolFromRelevance) {
+  Qrels qrels;
+  qrels.Set(1, 10, 1);
+  qrels.Set(1, 11, 0);
+  EXPECT_TRUE(qrels.IsJudged(1, 10));
+  EXPECT_TRUE(qrels.IsJudged(1, 11));
+  EXPECT_FALSE(qrels.IsJudged(1, 12));
+  EXPECT_FALSE(qrels.IsJudged(2, 10));
+  EXPECT_EQ(qrels.NumJudged(1), 2u);
+  EXPECT_EQ(qrels.NumRelevant(1), 1u);
 }
 
 TEST(QrelsTest, IsRelevantRespectsMinGrade) {
@@ -67,12 +95,24 @@ TEST(QrelsTest, TrecFormatRoundTrip) {
   EXPECT_EQ(parsed.ToTrecFormat(), text);
 }
 
-TEST(QrelsTest, ParseIgnoresBlankAndZeroGradeLines) {
+TEST(QrelsTest, ParseKeepsZeroGradeJudgements) {
   const Qrels parsed =
       Qrels::FromTrecFormat("\n1 0 shot5 2\n\n2 0 shot3 0\n").value();
   EXPECT_EQ(parsed.Grade(1, 5), 2);
   EXPECT_EQ(parsed.Grade(2, 3), 0);
-  EXPECT_EQ(parsed.TotalJudgments(), 1u);
+  EXPECT_TRUE(parsed.IsJudged(2, 3));
+  EXPECT_EQ(parsed.TotalJudgments(), 2u);
+}
+
+TEST(QrelsTest, ZeroGradeRoundTripsThroughTrecFormat) {
+  Qrels qrels;
+  qrels.Set(1, 5, 2);
+  qrels.Set(1, 6, 0);
+  const std::string text = qrels.ToTrecFormat();
+  EXPECT_EQ(text, "1 0 shot5 2\n1 0 shot6 0\n");
+  const Qrels parsed = Qrels::FromTrecFormat(text).value();
+  EXPECT_TRUE(parsed.IsJudged(1, 6));
+  EXPECT_EQ(parsed.ToTrecFormat(), text);
 }
 
 TEST(QrelsTest, ParseRejectsMalformedLines) {

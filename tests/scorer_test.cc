@@ -59,11 +59,55 @@ TEST_F(ScorerTest, Bm25ZeroWhenAbsent) {
   EXPECT_DOUBLE_EQ(scorer.Score(index_, 1, 4, 0, 0, 1), 0.0);
 }
 
-TEST_F(ScorerTest, Bm25QueryTfScales) {
+TEST_F(ScorerTest, Bm25QueryTfSaturates) {
   const Bm25Scorer scorer;
   const double once = scorer.Score(index_, 2, 4, 2, 3, 1);
   const double twice = scorer.Score(index_, 2, 4, 2, 3, 2);
-  EXPECT_DOUBLE_EQ(twice, 2.0 * once);
+  const double many = scorer.Score(index_, 2, 4, 2, 3, 100);
+  // Okapi's third component: a repeated query term boosts the score but
+  // sub-linearly, approaching (k3 + 1) times the single-occurrence score
+  // as qtf grows.
+  EXPECT_GT(twice, once);
+  EXPECT_LT(twice, 2.0 * once);
+  EXPECT_GT(many, twice);
+  const double k3 = scorer.k3();
+  EXPECT_LT(many, (k3 + 1.0) * once);
+  // Exact value of the saturation factor for qtf = 2.
+  EXPECT_NEAR(twice, once * 2.0 * (k3 + 1.0) / (k3 + 2.0), 1e-12);
+}
+
+TEST_F(ScorerTest, Bm25SingleQueryTfUnchangedByK3) {
+  // qtf = 1 must reproduce the classic two-component BM25 regardless of
+  // k3, so single-occurrence queries are unaffected by the saturation fix.
+  const Bm25Scorer default_k3;
+  const Bm25Scorer tiny_k3(1.2, 0.75, 0.01);
+  EXPECT_DOUBLE_EQ(default_k3.Score(index_, 2, 4, 2, 3, 1),
+                   tiny_k3.Score(index_, 2, 4, 2, 3, 1));
+}
+
+TEST_F(ScorerTest, PreparedPathMatchesScore) {
+  // Prepare + ScorePosting is the hot-path decomposition of Score; the
+  // two must agree exactly for every scorer.
+  const Bm25Scorer bm25;
+  const TfIdfScorer tfidf;
+  const DirichletLmScorer lm(1500.0);
+  for (const Scorer* scorer :
+       {static_cast<const Scorer*>(&bm25),
+        static_cast<const Scorer*>(&tfidf),
+        static_cast<const Scorer*>(&lm)}) {
+    for (uint32_t qtf : {1u, 2u, 5u}) {
+      const PreparedTerm prepared = scorer->Prepare(index_, 2, 5, qtf);
+      for (uint32_t tf : {1u, 2u, 4u}) {
+        for (uint32_t len : {2u, 4u, 5u}) {
+          EXPECT_DOUBLE_EQ(
+              scorer->ScorePosting(index_, prepared, tf, len),
+              scorer->Score(index_, tf, len, 2, 5, qtf))
+              << scorer->name() << " qtf=" << qtf << " tf=" << tf
+              << " len=" << len;
+        }
+      }
+    }
+  }
 }
 
 TEST_F(ScorerTest, TfIdfBasicOrdering) {

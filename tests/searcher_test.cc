@@ -18,12 +18,32 @@ class SearcherTest : public ::testing::Test {
   Bm25Scorer scorer_;
 };
 
-TEST_F(SearcherTest, ParseQueryAccumulatesDuplicates) {
+TEST_F(SearcherTest, ParseQueryCountsDuplicates) {
   const Searcher searcher(index_, scorer_);
   const TermQuery q = searcher.ParseQuery("goal goal football");
   EXPECT_EQ(q.weights.size(), 2u);
-  EXPECT_DOUBLE_EQ(q.weights.at("goal"), 2.0);
+  // Repetition is tracked as an integer query-term frequency (fed to the
+  // scorer's saturating qtf component), not folded into the linear weight.
+  EXPECT_DOUBLE_EQ(q.weights.at("goal"), 1.0);
   EXPECT_DOUBLE_EQ(q.weights.at("footbal"), 1.0);  // stemmed
+  EXPECT_EQ(q.QueryTf("goal"), 2u);
+  EXPECT_EQ(q.QueryTf("footbal"), 1u);
+  EXPECT_EQ(q.QueryTf("absent"), 1u);
+}
+
+TEST_F(SearcherTest, RepeatedQueryTermSaturatesNotDoubles) {
+  // Regression: "goal goal" used to score exactly 2x "goal" because the
+  // duplicate was folded into a linear weight. BM25's qtf component must
+  // saturate instead.
+  const Searcher searcher(index_, scorer_);
+  const auto once = searcher.SearchText("goal", 10);
+  const auto twice = searcher.SearchText("goal goal", 10);
+  ASSERT_EQ(once.size(), twice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(twice[i].doc, once[i].doc);
+    EXPECT_GT(twice[i].score, once[i].score);
+    EXPECT_LT(twice[i].score, 2.0 * once[i].score);
+  }
 }
 
 TEST_F(SearcherTest, TopDocMatchesMostTerms) {

@@ -1,0 +1,101 @@
+#include "ivr/core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ivr {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count](size_t) { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count](size_t) { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count](size_t) { count.fetch_add(1); });
+  pool.Submit([&count](size_t) { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&](size_t worker) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(worker);
+    });
+  }
+  pool.Wait();
+  ASSERT_FALSE(seen.empty());
+  EXPECT_LT(*seen.rbegin(), 3u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count](size_t) { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+    std::vector<std::atomic<int>> hits(123);
+    ParallelFor(hits.size(), threads,
+                [&hits](size_t i, size_t) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, InlineWhenSingleThreaded) {
+  // threads <= 1 must run on the calling thread with worker id 0.
+  std::vector<size_t> order;
+  ParallelFor(5, 1, [&order](size_t i, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(5);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  ParallelFor(0, 4, [](size_t, size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  std::atomic<int> count{0};
+  ParallelFor(2, 16, [&count](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace ivr

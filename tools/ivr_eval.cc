@@ -1,16 +1,19 @@
 // ivr_eval — trec_eval-style evaluation of run files.
 //
 //   ivr_eval --collection c.ivr --run run.txt [--run2 other.txt]
-//   ivr_eval --qrels qrels.txt --run run.txt
+//   ivr_eval --qrels qrels.txt --run run.txt [--threads N]
 //
 // Prints per-topic and mean metrics; with --run2 additionally reports the
 // paired t-test and Wilcoxon signed-rank comparison on per-topic AP.
+// Per-topic metrics fan out over --threads workers (default: hardware
+// concurrency); output is identical for every thread count.
 
 #include <cstdio>
 
 #include "ivr/core/args.h"
 #include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
+#include "ivr/core/thread_pool.h"
 #include "ivr/eval/experiment.h"
 #include "ivr/eval/significance.h"
 #include "ivr/eval/trec_run.h"
@@ -21,14 +24,15 @@ namespace {
 
 Result<SystemEvaluation> Evaluate(const std::string& path,
                                   const Qrels& qrels,
-                                  const std::vector<SearchTopicId>& topics) {
+                                  const std::vector<SearchTopicId>& topics,
+                                  size_t threads) {
   IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   std::string tag = path;
   IVR_ASSIGN_OR_RETURN(auto runs, RunsFromTrecFormat(text, &tag));
   SystemRun run;
   run.system = tag;
   run.runs = std::move(runs);
-  return EvaluateSystem(run, qrels, topics);
+  return EvaluateSystem(run, qrels, topics, /*min_grade=*/1, threads);
 }
 
 int Main(int argc, char** argv) {
@@ -41,9 +45,15 @@ int Main(int argc, char** argv) {
   if (run_path.empty() || (!args->Has("collection") && !args->Has("qrels"))) {
     std::fprintf(stderr,
                  "usage: ivr_eval (--collection FILE | --qrels FILE) "
-                 "--run FILE [--run2 FILE]\n");
+                 "--run FILE [--run2 FILE] [--threads N]\n");
     return 2;
   }
+  const int64_t threads_arg =
+      args->GetInt("threads",
+                   static_cast<int64_t>(ThreadPool::DefaultThreadCount()))
+          .value_or(1);
+  const size_t threads =
+      threads_arg < 1 ? size_t{1} : static_cast<size_t>(threads_arg);
 
   Qrels qrels;
   if (args->Has("collection")) {
@@ -69,7 +79,7 @@ int Main(int argc, char** argv) {
   }
   const std::vector<SearchTopicId> topics = qrels.Topics();
 
-  Result<SystemEvaluation> eval = Evaluate(run_path, qrels, topics);
+  Result<SystemEvaluation> eval = Evaluate(run_path, qrels, topics, threads);
   if (!eval.ok()) {
     std::fprintf(stderr, "%s\n", eval.status().ToString().c_str());
     return 1;
@@ -92,7 +102,8 @@ int Main(int argc, char** argv) {
 
   const std::string run2_path = args->GetString("run2");
   if (!run2_path.empty()) {
-    Result<SystemEvaluation> eval2 = Evaluate(run2_path, qrels, topics);
+    Result<SystemEvaluation> eval2 =
+        Evaluate(run2_path, qrels, topics, threads);
     if (!eval2.ok()) {
       std::fprintf(stderr, "%s\n", eval2.status().ToString().c_str());
       return 1;

@@ -1,9 +1,10 @@
 // ivr_search — run queries against a saved collection.
 //
 // Batch mode (default): runs every search topic's title query and writes
-// a TREC run file:
+// a TREC run file. Topics fan out over --threads workers (default:
+// hardware concurrency); the run file is identical for any thread count:
 //   ivr_search --collection c.ivr --run run.txt [--scorer bm25] [--k 1000]
-//              [--visual] [--tag mytag]
+//              [--visual] [--tag mytag] [--threads N]
 //
 // Ad-hoc mode: --query "words ..." prints the top results humanly:
 //   ivr_search --collection c.ivr --query "ginadebo market" [--k 10]
@@ -12,6 +13,7 @@
 
 #include "ivr/core/args.h"
 #include "ivr/core/file_util.h"
+#include "ivr/core/thread_pool.h"
 #include "ivr/eval/trec_run.h"
 #include "ivr/retrieval/engine.h"
 #include "ivr/retrieval/story_rank.h"
@@ -31,7 +33,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_search --collection FILE "
                  "(--run OUT | --query \"...\") [--scorer bm25] [--k N] "
-                 "[--visual] [--tag TAG]\n");
+                 "[--visual] [--tag TAG] [--threads N]\n");
     return 2;
   }
   Result<GeneratedCollection> loaded = LoadCollection(collection_path);
@@ -91,12 +93,24 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const bool visual = args->GetBool("visual");
-  std::map<SearchTopicId, ResultList> runs;
+  const int64_t threads_arg =
+      args->GetInt("threads",
+                   static_cast<int64_t>(ThreadPool::DefaultThreadCount()))
+          .value_or(1);
+  const size_t threads =
+      threads_arg < 1 ? size_t{1} : static_cast<size_t>(threads_arg);
+  std::vector<Query> queries;
   for (const SearchTopic& topic : g.topics.topics) {
     Query query;
     query.text = topic.title;
     if (visual) query.examples = topic.examples;
-    runs[topic.id] = (*engine)->Search(query, k);
+    queries.push_back(std::move(query));
+  }
+  const std::vector<ResultList> lists =
+      (*engine)->BatchSearch(queries, k, threads);
+  std::map<SearchTopicId, ResultList> runs;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    runs[g.topics.topics[i].id] = lists[i];
   }
   const std::string tag =
       args->GetString("tag", options.scorer + (visual ? "+visual" : ""));

@@ -4,14 +4,20 @@
 //   ivr_simulate --collection c.ivr --log sessions.tsv
 //                [--env desktop|tv] [--user novice|expert|couch]
 //                [--sessions-per-topic 2] [--seed 1]
-//                [--backend static|adaptive]
+//                [--backend static|adaptive] [--threads N]
+//
+// Sessions fan out over --threads workers (default: hardware concurrency;
+// forced to 1 for the stateful adaptive backend). The log and summary are
+// identical for every thread count.
 
 #include <cstdio>
+#include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
 #include "ivr/core/args.h"
 #include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
+#include "ivr/core/thread_pool.h"
 #include "ivr/sim/simulator.h"
 #include "ivr/video/serialization.h"
 
@@ -31,7 +37,7 @@ int Main(int argc, char** argv) {
                  "usage: ivr_simulate --collection FILE --log FILE "
                  "[--env desktop|tv] [--user novice|expert|couch] "
                  "[--sessions-per-topic N] [--seed N] "
-                 "[--backend static|adaptive]\n");
+                 "[--backend static|adaptive] [--threads N]\n");
     return 2;
   }
   Result<GeneratedCollection> loaded = LoadCollection(collection_path);
@@ -66,11 +72,21 @@ int Main(int argc, char** argv) {
   }
 
   auto engine = RetrievalEngine::Build(g.collection).value();
-  StaticBackend static_backend(*engine);
-  AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
-  SearchBackend* backend = &static_backend;
-  if (args->GetString("backend", "static") == "adaptive") {
-    backend = &adaptive_backend;
+  const bool adaptive = args->GetString("backend", "static") == "adaptive";
+
+  const int64_t threads_arg =
+      args->GetInt("threads",
+                   static_cast<int64_t>(ThreadPool::DefaultThreadCount()))
+          .value_or(1);
+  size_t threads =
+      threads_arg < 1 ? size_t{1} : static_cast<size_t>(threads_arg);
+  if (adaptive && threads > 1) {
+    // The adaptive backend accumulates per-session feedback state;
+    // interleaving sessions from several workers would corrupt it.
+    std::fprintf(stderr,
+                 "note: --backend adaptive is stateful; forcing "
+                 "--threads 1\n");
+    threads = 1;
   }
 
   const size_t per_topic = static_cast<size_t>(
@@ -79,38 +95,53 @@ int Main(int argc, char** argv) {
       args->GetInt("seed", 1).value_or(1));
 
   SessionSimulator simulator(g.collection, g.qrels);
-  SessionLog log;
-  size_t sessions = 0;
-  size_t found = 0;
+  std::vector<SessionSimulator::SweepJob> jobs;
   for (const SearchTopic& topic : g.topics.topics) {
     for (size_t s = 0; s < per_topic; ++s) {
-      SessionSimulator::RunConfig config;
-      config.environment = env;
-      config.seed = seed_base + topic.id * 1000 + s;
-      config.session_id = StrFormat("%s-t%u-s%zu", env_name.c_str(),
-                                    topic.id, s);
-      config.user_id = user.name;
-      Result<SimulatedSession> session =
-          simulator.Run(backend, topic, user, config, &log);
-      if (!session.ok()) {
-        std::fprintf(stderr, "simulation failed: %s\n",
-                     session.status().ToString().c_str());
-        return 1;
-      }
-      ++sessions;
-      found += session->outcome.truly_relevant_found;
+      SessionSimulator::SweepJob job;
+      job.topic = &topic;
+      job.user = &user;
+      job.config.environment = env;
+      job.config.seed = seed_base + topic.id * 1000 + s;
+      job.config.session_id = StrFormat("%s-t%u-s%zu", env_name.c_str(),
+                                        topic.id, s);
+      job.config.user_id = user.name;
+      jobs.push_back(std::move(job));
     }
+  }
+
+  // One backend per worker: StaticBackend is stateless over the shared
+  // engine, and the adaptive path runs single-threaded anyway.
+  std::vector<StaticBackend> static_backends(threads == 0 ? 1 : threads,
+                                             StaticBackend(*engine));
+  AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
+  const auto backend_for_worker = [&](size_t worker) -> SearchBackend* {
+    if (adaptive) return &adaptive_backend;
+    return &static_backends[worker % static_backends.size()];
+  };
+
+  SessionLog log;
+  Result<std::vector<SimulatedSession>> sweep =
+      simulator.RunSweep(jobs, backend_for_worker, threads, &log);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+  const size_t sessions = sweep->size();
+  size_t found = 0;
+  for (const SimulatedSession& session : *sweep) {
+    found += session.outcome.truly_relevant_found;
   }
   const Status saved = WriteStringToFile(log_path, log.Serialize());
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %zu sessions (%s, %s, %s backend), %zu events, "
-              "%zu relevant shots found\n",
+  std::printf("wrote %s: %zu sessions (%s, %s, %s backend, %zu threads), "
+              "%zu events, %zu relevant shots found\n",
               log_path.c_str(), sessions, env_name.c_str(),
-              user.name.c_str(), backend == &static_backend ? "static"
-                                                            : "adaptive",
+              user.name.c_str(), adaptive ? "adaptive" : "static", threads,
               log.size(), found);
   return 0;
 }
