@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ivr/core/fault_injection.h"
 #include "ivr/profile/profile_reranker.h"
 #include "ivr/retrieval/fusion.h"
 
@@ -57,15 +58,22 @@ ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
   std::vector<ResultList> lists;
   std::vector<double> weights;
 
+  FaultInjector& faults = FaultInjector::Global();
   if (query.HasText()) {
     TermQuery terms = engine_->ParseText(query.text);
     if (options_.use_implicit) {
-      std::vector<FeedbackDoc> positive;
-      std::vector<FeedbackDoc> negative;
-      EvidenceToFeedbackDocs(CurrentEvidence(), &positive, &negative);
-      if (!positive.empty() || !negative.empty()) {
-        terms = RocchioExpand(terms, positive, negative,
-                              engine_->analyzer(), options_.rocchio);
+      // A faulted feedback backend degrades to the unexpanded query —
+      // the user still gets an answer, just a non-adapted one.
+      if (faults.enabled() && faults.ShouldFail("adaptive.feedback")) {
+        ++feedback_skipped_;
+      } else {
+        std::vector<FeedbackDoc> positive;
+        std::vector<FeedbackDoc> negative;
+        EvidenceToFeedbackDocs(CurrentEvidence(), &positive, &negative);
+        if (!positive.empty() || !negative.empty()) {
+          terms = RocchioExpand(terms, positive, negative,
+                                engine_->analyzer(), options_.rocchio);
+        }
       }
     }
     lists.push_back(engine_->SearchTerms(terms, options_.candidate_pool));
@@ -87,13 +95,25 @@ ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
                                        : WeightedLinear(lists, weights);
 
   if (options_.use_profile && profile_ != nullptr) {
-    ProfileRerankOptions rerank;
-    rerank.lambda = options_.profile_lambda;
-    fused = RerankWithProfile(fused, *profile_, engine_->collection(),
-                              rerank);
+    if (faults.enabled() && faults.ShouldFail("adaptive.profile")) {
+      ++profile_reranks_skipped_;
+    } else {
+      ProfileRerankOptions rerank;
+      rerank.lambda = options_.profile_lambda;
+      fused = RerankWithProfile(fused, *profile_, engine_->collection(),
+                                rerank);
+    }
   }
   fused.Truncate(k);
   return fused;
+}
+
+HealthReport AdaptiveEngine::Health() const {
+  HealthReport report = engine_->Health();
+  report.profile_available = !options_.use_profile || profile_ != nullptr;
+  report.feedback_skipped = feedback_skipped_;
+  report.profile_reranks_skipped = profile_reranks_skipped_;
+  return report;
 }
 
 std::string AdaptiveEngine::name() const {

@@ -1,6 +1,7 @@
 #ifndef IVR_ADAPTIVE_ADAPTIVE_ENGINE_H_
 #define IVR_ADAPTIVE_ADAPTIVE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,12 @@ class AdaptiveEngine : public SearchBackend {
   void BeginSession() override;
   std::string name() const override;
 
+  /// The base engine's report plus this layer's personalisation counters:
+  /// searches served without feedback expansion or profile re-ranking
+  /// because that step faulted (sites "adaptive.feedback" /
+  /// "adaptive.profile") — degraded to non-personalised, never failed.
+  HealthReport Health() const override;
+
   // --- introspection (used by experiments) ---
   const std::vector<InteractionEvent>& session_events() const {
     return events_;
@@ -83,6 +90,9 @@ class AdaptiveEngine : public SearchBackend {
   std::unique_ptr<WeightingScheme> owned_scheme_;
   const WeightingScheme* scheme_;
   std::vector<InteractionEvent> events_;
+  // Plain counters: an AdaptiveEngine is per-session single-threaded.
+  uint64_t feedback_skipped_ = 0;
+  uint64_t profile_reranks_skipped_ = 0;
 };
 
 }  // namespace ivr

@@ -1,5 +1,6 @@
 #include "ivr/core/args.h"
 
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/string_util.h"
 
 namespace ivr {
@@ -64,6 +65,14 @@ bool ArgParser::GetBool(const std::string& key, bool fallback) const {
   const std::string lower = ToLower(it->second);
   return lower == "true" || lower == "1" || lower == "yes" ||
          lower == "on";
+}
+
+Status ConfigureFaultInjectionFromArgs(const ArgParser& args) {
+  const std::string spec = args.GetString("fault-spec");
+  if (spec.empty()) return Status::OK();
+  IVR_ASSIGN_OR_RETURN(int64_t seed, args.GetInt("fault-seed", 1));
+  return FaultInjector::Global().Configure(spec,
+                                           static_cast<uint64_t>(seed));
 }
 
 }  // namespace ivr

@@ -37,6 +37,12 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+/// Shared by every CLI tool: arms the global FaultInjector from
+/// `--fault-spec site:prob[,site:prob...]` and `--fault-seed N` (default
+/// seed 1) so chaos runs are reproducible. No-op without --fault-spec;
+/// InvalidArgument on a malformed spec.
+Status ConfigureFaultInjectionFromArgs(const ArgParser& args);
+
 }  // namespace ivr
 
 #endif  // IVR_CORE_ARGS_H_

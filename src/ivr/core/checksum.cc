@@ -1,0 +1,109 @@
+#include "ivr/core/checksum.h"
+
+#include <array>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+constexpr std::string_view kEnvelopeMagic = "ivr-envelope";
+constexpr std::string_view kEnvelopeVersion = "v1";
+
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  // Reflected Castagnoli polynomial.
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data) {
+  static const std::array<uint32_t, 256> table = BuildCrc32cTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string WrapEnvelope(std::string_view format, std::string_view payload) {
+  std::string out = StrFormat(
+      "%s %s %s %zu %08x\n", std::string(kEnvelopeMagic).c_str(),
+      std::string(kEnvelopeVersion).c_str(), std::string(format).c_str(),
+      payload.size(), Crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<std::string> UnwrapEnvelope(std::string_view format,
+                                   std::string_view enveloped) {
+  const size_t newline = enveloped.find('\n');
+  if (newline == std::string_view::npos) {
+    return Status::Corruption("envelope header line missing");
+  }
+  const std::string header(enveloped.substr(0, newline));
+  const std::vector<std::string> parts = SplitWhitespace(header);
+  if (parts.size() != 5 || parts[0] != kEnvelopeMagic) {
+    return Status::Corruption("malformed envelope header: " + header);
+  }
+  if (parts[1] != kEnvelopeVersion) {
+    return Status::Corruption("unsupported envelope version: " + parts[1]);
+  }
+  if (parts[2] != format) {
+    return Status::Corruption("envelope holds '" + parts[2] +
+                              "', expected '" + std::string(format) + "'");
+  }
+  IVR_ASSIGN_OR_RETURN(int64_t declared, ParseInt(parts[3]));
+  if (declared < 0) return Status::Corruption("negative payload size");
+  const std::string_view payload = enveloped.substr(newline + 1);
+  if (payload.size() != static_cast<size_t>(declared)) {
+    return Status::Corruption(StrFormat(
+        "payload is %zu bytes but envelope declares %lld (truncated or "
+        "torn write)",
+        payload.size(), static_cast<long long>(declared)));
+  }
+  uint64_t declared_crc = 0;
+  if (parts[4].size() != 8) {
+    return Status::Corruption("bad checksum field: " + parts[4]);
+  }
+  for (char c : parts[4]) {
+    declared_crc <<= 4;
+    if (c >= '0' && c <= '9') {
+      declared_crc |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      declared_crc |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::Corruption("bad checksum field: " + parts[4]);
+    }
+  }
+  const uint32_t actual = Crc32c(payload);
+  if (actual != static_cast<uint32_t>(declared_crc)) {
+    return Status::Corruption(StrFormat(
+        "checksum mismatch: payload crc32c %08x, envelope declares %08x",
+        actual, static_cast<uint32_t>(declared_crc)));
+  }
+  return std::string(payload);
+}
+
+bool LooksEnveloped(std::string_view text) {
+  if (StartsWith(text, kEnvelopeMagic)) {
+    return text.size() > kEnvelopeMagic.size() &&
+           text[kEnvelopeMagic.size()] == ' ';
+  }
+  // A file cut off inside the magic itself still "looks enveloped":
+  // falling through to a legacy parse would silently misread a torn
+  // envelope, so claim it and let UnwrapEnvelope report the corruption.
+  return !text.empty() && text.size() < kEnvelopeMagic.size() &&
+         kEnvelopeMagic.substr(0, text.size()) == text;
+}
+
+}  // namespace ivr

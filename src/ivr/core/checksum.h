@@ -1,0 +1,42 @@
+#ifndef IVR_CORE_CHECKSUM_H_
+#define IVR_CORE_CHECKSUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// CRC32C (Castagnoli) of `data` — the integrity check every on-disk
+/// artefact carries. Standard test vector: Crc32c("123456789") ==
+/// 0xE3069283.
+uint32_t Crc32c(std::string_view data);
+
+/// Versioned, checksummed envelope wrapped around every persisted payload.
+/// Layout (single header line, then the raw payload bytes):
+///
+///   ivr-envelope v1 <format> <payload-bytes> <crc32c-hex8>\n
+///   <payload>
+///
+/// `format` names the payload kind ("collection", "profiles",
+/// "sessionlog") so a file saved by one subsystem cannot be silently
+/// loaded by another. UnwrapEnvelope verifies the declared length and the
+/// CRC over exactly that many bytes, so truncation, bit rot, and torn
+/// writes all surface as kCorruption instead of a half-loaded object.
+std::string WrapEnvelope(std::string_view format, std::string_view payload);
+
+/// Extracts and verifies the payload. Corruption when the header is
+/// malformed, the format tag differs, the length disagrees with the file,
+/// or the checksum does not match.
+Result<std::string> UnwrapEnvelope(std::string_view format,
+                                   std::string_view enveloped);
+
+/// True when `text` starts with an envelope header. Loaders use it to
+/// accept legacy (pre-envelope) files unchecked.
+bool LooksEnveloped(std::string_view text);
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_CHECKSUM_H_

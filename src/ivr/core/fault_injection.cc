@@ -1,0 +1,129 @@
+#include "ivr/core/fault_injection.h"
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  // FNV-1a, 64 bit: stable across platforms so chaos runs replay anywhere.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Configure(std::string_view spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+  has_default_ = false;
+  default_prob_ = 0.0;
+  checks_.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+  seed_ = seed;
+
+  if (Trim(spec).empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  for (const std::string& entry : Split(spec, ',')) {
+    const std::vector<std::string> parts = Split(Trim(entry), ':');
+    if (parts.size() != 2 || Trim(parts[0]).empty()) {
+      return Status::InvalidArgument(
+          "fault spec entries must be site:prob, got: " + entry);
+    }
+    Result<double> prob = ParseDouble(parts[1]);
+    if (!prob.ok()) return prob.status();
+    if (*prob < 0.0 || *prob > 1.0) {
+      return Status::InvalidArgument(
+          "fault probability must be in [0,1], got: " + parts[1]);
+    }
+    const std::string site(Trim(parts[0]));
+    if (site == "all") {
+      has_default_ = true;
+      default_prob_ = *prob;
+    } else {
+      Site& s = sites_[site];
+      s.prob = *prob;
+      s.explicitly_configured = true;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sites_.clear();
+  has_default_ = false;
+  default_prob_ = 0.0;
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    if (!has_default_) return false;
+    it = sites_.emplace(std::string(site), Site{default_prob_, 0, 0, false})
+             .first;
+  }
+  Site& s = it->second;
+  const uint64_t ordinal = s.calls++;
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  if (s.prob <= 0.0) return false;
+  // (seed, site, ordinal) -> uniform [0,1): the per-site failure sequence
+  // is a replayable stream, independent of what other sites do.
+  const uint64_t h = SplitMix64(seed_ ^ HashSite(site) ^
+                                (ordinal * 0xD1B54A32D192ED03ull));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (u >= s.prob) return false;
+  ++s.injected;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  if (!enabled()) return Status::OK();
+  if (ShouldFail(site)) {
+    return Status::IOError("injected fault at site " + std::string(site));
+  }
+  return Status::OK();
+}
+
+std::string FaultInjector::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = StrFormat(
+      "injected faults: %llu/%llu checks\n",
+      static_cast<unsigned long long>(
+          injected_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          checks_.load(std::memory_order_relaxed)));
+  for (const auto& [name, site] : sites_) {
+    if (site.calls == 0) continue;
+    out += StrFormat("  %s: %llu/%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(site.injected),
+                     static_cast<unsigned long long>(site.calls));
+  }
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,120 @@
+#ifndef IVR_CORE_FAULT_INJECTION_H_
+#define IVR_CORE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ivr/core/status.h"
+
+namespace ivr {
+
+/// Deterministic, seedable fault-injection framework. Fallible operations
+/// across the stack declare named *sites* ("file.read", "engine.text", ...)
+/// and ask the process-wide injector whether this particular call should
+/// fail. Whether call #n at a site fails is a pure function of
+/// (seed, site name, n), so a single-threaded chaos run is reproducible
+/// bit for bit from its --fault-spec/--fault-seed pair; multi-threaded runs
+/// keep per-site failure *counts* reproducible (the per-site ordinal
+/// counter is shared) while the interleaving may vary.
+///
+/// When disabled (the default) the only cost at a site is one relaxed
+/// atomic load, so production and benchmark paths are unaffected.
+///
+/// Site naming convention (see DESIGN.md "Failure handling contract" for
+/// the full table):
+///   file.read            ReadFileToString
+///   file.write           WriteStringToFile
+///   file.atomic.write    WriteFileAtomic: payload write to the temp file
+///   file.atomic.sync     WriteFileAtomic: fsync before rename
+///   file.atomic.rename   WriteFileAtomic: publish rename
+///   collection.load      LoadCollection / LoadCollectionRobust entry
+///   profile.load         ProfileStore::Load entry
+///   sessionlog.load      SessionLog::Load entry
+///   engine.text          text modality (posting reads) of a search
+///   engine.visual        visual-example modality of a search
+///   engine.concept       concept modality of a search
+///   concept.build        concept detector / index construction
+///   adaptive.feedback    implicit-feedback expansion in AdaptiveEngine
+///   adaptive.profile     profile re-ranking in AdaptiveEngine
+class FaultInjector {
+ public:
+  /// The process-wide injector the library's fault sites consult.
+  static FaultInjector& Global();
+
+  /// Arms the injector from a spec "site:prob[,site:prob...]". The
+  /// pseudo-site "all" sets a default probability for every site not named
+  /// explicitly. Probabilities must parse and lie in [0,1];
+  /// InvalidArgument otherwise (and the injector is left disabled).
+  Status Configure(std::string_view spec, uint64_t seed);
+
+  /// Disarms the injector and clears all per-site state.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// True when the named site should fail this call. Counts the call and,
+  /// when firing, the injected fault. Returns false when disabled.
+  bool ShouldFail(std::string_view site);
+
+  /// Convenience wrapper: an IOError naming the site when the site fires,
+  /// OK otherwise.
+  Status MaybeFail(std::string_view site);
+
+  /// Totals across all sites since the last Configure.
+  uint64_t num_checks() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Multi-line report: an "injected faults: N/M checks" header followed
+  /// by one "  site: injected/calls" line per exercised site
+  /// (deterministic order). What the tools print to stderr after a chaos
+  /// run.
+  std::string Summary() const;
+
+ private:
+  struct Site {
+    double prob = 0.0;
+    uint64_t calls = 0;
+    uint64_t injected = 0;
+    bool explicitly_configured = false;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> injected_{0};
+  mutable std::mutex mu_;
+  uint64_t seed_ = 1;
+  double default_prob_ = 0.0;
+  bool has_default_ = false;
+  std::map<std::string, Site, std::less<>> sites_;
+};
+
+/// RAII guard for tests: arms the global injector on construction,
+/// disarms it on destruction.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(std::string_view spec, uint64_t seed) {
+    status_ = FaultInjector::Global().Configure(spec, seed);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Global().Disable(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_FAULT_INJECTION_H_

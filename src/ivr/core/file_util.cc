@@ -1,12 +1,31 @@
 #include "ivr/core/file_util.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include "ivr/core/fault_injection.h"
+
 namespace ivr {
+namespace {
+
+/// Directory part of `path` ("." when there is none), for fsyncing the
+/// directory entry after a rename.
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("file.read"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open " + path + ": " +
@@ -28,6 +47,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Status WriteStringToFile(const std::string& path,
                          std::string_view content) {
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("file.write"));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open " + path + " for writing: " +
@@ -37,6 +57,89 @@ Status WriteStringToFile(const std::string& path,
   const bool ok = written == content.size() && std::fclose(f) == 0;
   if (!ok) {
     return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  // Temp file in the target's directory so the final rename cannot cross
+  // a filesystem boundary (rename is only atomic within one).
+  std::string temp_path = path + ".tmpXXXXXX";
+  const int fd = mkstemp(temp_path.data());
+  if (fd < 0) {
+    return Status::IOError("cannot create temp file for " + path + ": " +
+                           std::strerror(errno));
+  }
+  const auto fail = [&](const std::string& what, Status status) {
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    if (!status.ok()) return status;
+    return Status::IOError(what + " failed for " + temp_path + ": " +
+                           std::strerror(errno));
+  };
+
+  {
+    const Status injected =
+        FaultInjector::Global().MaybeFail("file.atomic.write");
+    if (!injected.ok()) return fail("write", injected);
+  }
+  size_t offset = 0;
+  while (offset < content.size()) {
+    const ssize_t written =
+        ::write(fd, content.data() + offset, content.size() - offset);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return fail("write", Status::OK());
+    }
+    offset += static_cast<size_t>(written);
+  }
+
+  {
+    const Status injected =
+        FaultInjector::Global().MaybeFail("file.atomic.sync");
+    if (!injected.ok()) return fail("fsync", injected);
+  }
+  if (::fsync(fd) != 0) return fail("fsync", Status::OK());
+  if (::close(fd) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IOError("close failed for " + temp_path + ": " +
+                           std::strerror(errno));
+  }
+
+  {
+    const Status injected =
+        FaultInjector::Global().MaybeFail("file.atomic.rename");
+    if (!injected.ok()) {
+      ::unlink(temp_path.c_str());
+      return injected;
+    }
+  }
+  if (::rename(temp_path.c_str(), path.c_str()) != 0) {
+    const Status status = Status::IOError(
+        "rename failed for " + path + ": " + std::strerror(errno));
+    ::unlink(temp_path.c_str());
+    return status;
+  }
+
+  // Persist the directory entry too; best-effort (some filesystems refuse
+  // to open directories for writing, and the data itself is already safe).
+  const int dir_fd = ::open(DirName(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("cannot remove " + path + ": " +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

@@ -9,11 +9,26 @@
 namespace ivr {
 
 /// Reads an entire file into a string; IOError with errno detail on
-/// failure.
+/// failure. Fault site: "file.read".
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Writes (truncating) `content` to `path`.
+/// Writes (truncating) `content` to `path`. Not crash-safe: a failure can
+/// leave a partial file behind. Prefer WriteFileAtomic for anything a
+/// loader will later trust. Fault site: "file.write".
 Status WriteStringToFile(const std::string& path, std::string_view content);
+
+/// Crash-safe replacement write: writes `content` to a unique temp file in
+/// the same directory, fsyncs it, and renames it over `path`. At every
+/// point in time `path` holds either the complete old or the complete new
+/// content, never a torn mix; on any failure the temp file is removed and
+/// the old content is untouched. Fault sites: "file.atomic.write",
+/// "file.atomic.sync", "file.atomic.rename".
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+bool FileExists(const std::string& path);
+
+/// Deletes a file; OK if it did not exist.
+Status RemoveFile(const std::string& path);
 
 }  // namespace ivr
 

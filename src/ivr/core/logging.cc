@@ -1,12 +1,15 @@
 #include "ivr/core/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 namespace ivr {
 namespace {
 
-LogLevel g_min_level = LogLevel::kInfo;
+// Atomic: worker threads read the level on every IVR_LOG while a test or
+// benchmark main thread may call SetLogLevel concurrently.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,13 +32,17 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel GetLogLevel() { return g_min_level; }
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_min_level), level_(level) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":"
             << line << "] ";

@@ -1,0 +1,60 @@
+#ifndef IVR_CORE_RETRY_H_
+#define IVR_CORE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// Policy for RetryOnIOError. Only kIOError is considered transient —
+/// kCorruption, kNotFound etc. are permanent and returned immediately.
+struct RetryOptions {
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 5;
+  double backoff_multiplier = 2.0;
+  /// Sleep hook; tests inject a recorder so retries take no wall time.
+  /// Default: std::this_thread::sleep_for.
+  std::function<void(int64_t)> sleep_ms;
+};
+
+namespace internal_retry {
+
+inline Status ToStatus(const Status& s) { return s; }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace internal_retry
+
+/// Runs `fn` (returning Status or Result<T>) up to max_attempts times,
+/// sleeping with exponential backoff between attempts, until it returns
+/// anything other than kIOError. Returns the last attempt's outcome.
+template <typename Fn>
+auto RetryOnIOError(Fn&& fn, const RetryOptions& options = RetryOptions())
+    -> decltype(fn()) {
+  int64_t backoff = options.initial_backoff_ms;
+  auto outcome = fn();
+  for (int attempt = 1; attempt < options.max_attempts; ++attempt) {
+    const Status status = internal_retry::ToStatus(outcome);
+    if (!status.IsIOError()) return outcome;
+    if (options.sleep_ms) {
+      options.sleep_ms(backoff);
+    } else if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    backoff = static_cast<int64_t>(
+        static_cast<double>(backoff) * options.backoff_multiplier);
+    outcome = fn();
+  }
+  return outcome;
+}
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_RETRY_H_

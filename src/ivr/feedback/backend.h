@@ -27,6 +27,11 @@ class SearchBackend {
   /// Resets any per-session adaptation state. Default: nothing.
   virtual void BeginSession() {}
 
+  /// Degraded-mode report for this backend (see health.h). Default: an
+  /// all-healthy report; engine-backed implementations forward their
+  /// engine's counters.
+  virtual HealthReport Health() const { return HealthReport(); }
+
   virtual std::string name() const = 0;
 };
 
@@ -39,6 +44,7 @@ class StaticBackend : public SearchBackend {
   ResultList Search(const Query& query, size_t k) override {
     return engine_->Search(query, k);
   }
+  HealthReport Health() const override { return engine_->Health(); }
   std::string name() const override { return "static-" +
                                              engine_->options().scorer; }
 

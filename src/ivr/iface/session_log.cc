@@ -2,10 +2,15 @@
 
 #include <utility>
 
+#include "ivr/core/checksum.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
 
 namespace ivr {
 namespace {
+
+constexpr std::string_view kEnvelopeFormat = "sessionlog";
 
 std::string Sanitize(std::string_view text) {
   std::string out(text);
@@ -70,6 +75,36 @@ Result<SessionLog> SessionLog::Parse(const std::string& text) {
     log.Append(std::move(ev));
   }
   return log;
+}
+
+SessionLog SessionLog::ParseLenient(const std::string& text,
+                                    size_t* dropped) {
+  SessionLog log;
+  size_t bad = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    Result<InteractionEvent> ev = LineToEvent(line);
+    if (ev.ok()) {
+      log.Append(std::move(ev).value());
+    } else {
+      ++bad;
+    }
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return log;
+}
+
+Status SessionLog::Save(const std::string& path) const {
+  return WriteFileAtomic(path, WrapEnvelope(kEnvelopeFormat, Serialize()));
+}
+
+Result<SessionLog> SessionLog::Load(const std::string& path) {
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("sessionlog.load"));
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (LooksEnveloped(text)) {
+    IVR_ASSIGN_OR_RETURN(text, UnwrapEnvelope(kEnvelopeFormat, text));
+  }
+  return Parse(text);
 }
 
 std::string SessionLog::EventToLine(const InteractionEvent& event) {

@@ -42,6 +42,19 @@ class SessionLog {
   std::string Serialize() const;
   static Result<SessionLog> Parse(const std::string& text);
 
+  /// Lenient variant of Parse for salvage: skips lines that fail to parse
+  /// instead of failing, counting them in *dropped when non-null. Order
+  /// of the surviving events is preserved.
+  static SessionLog ParseLenient(const std::string& text,
+                                 size_t* dropped = nullptr);
+
+  /// Crash-safe persistence: the serialized log is wrapped in a CRC32C
+  /// envelope (format "sessionlog") and written atomically. Load verifies
+  /// the checksum (kCorruption on mismatch) and accepts bare legacy TSV
+  /// logs. Fault site: "sessionlog.load".
+  Status Save(const std::string& path) const;
+  static Result<SessionLog> Load(const std::string& path);
+
   static std::string EventToLine(const InteractionEvent& event);
   static Result<InteractionEvent> LineToEvent(std::string_view line);
 

@@ -2,9 +2,17 @@
 
 #include <utility>
 
+#include "ivr/core/checksum.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
 
 namespace ivr {
+namespace {
+
+constexpr std::string_view kEnvelopeFormat = "profiles";
+
+}  // namespace
 
 Status ProfileStore::Add(UserProfile profile) {
   const std::string id = profile.user_id();
@@ -61,6 +69,34 @@ Result<ProfileStore> ProfileStore::Deserialize(const std::string& text) {
     IVR_RETURN_IF_ERROR(store.Add(std::move(profile)));
   }
   return store;
+}
+
+ProfileStore ProfileStore::DeserializeLenient(const std::string& text,
+                                              size_t* dropped) {
+  ProfileStore store;
+  size_t bad = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    Result<UserProfile> profile = UserProfile::Deserialize(line);
+    if (!profile.ok() || !store.Add(std::move(profile).value()).ok()) {
+      ++bad;
+    }
+  }
+  if (dropped != nullptr) *dropped = bad;
+  return store;
+}
+
+Status ProfileStore::Save(const std::string& path) const {
+  return WriteFileAtomic(path, WrapEnvelope(kEnvelopeFormat, Serialize()));
+}
+
+Result<ProfileStore> ProfileStore::Load(const std::string& path) {
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("profile.load"));
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (LooksEnveloped(text)) {
+    IVR_ASSIGN_OR_RETURN(text, UnwrapEnvelope(kEnvelopeFormat, text));
+  }
+  return Deserialize(text);
 }
 
 }  // namespace ivr

@@ -37,6 +37,20 @@ class ProfileStore {
   std::string Serialize() const;
   static Result<ProfileStore> Deserialize(const std::string& text);
 
+  /// Lenient variant of Deserialize for salvage: skips lines that fail to
+  /// parse (or duplicate an earlier user id) instead of failing, counting
+  /// them in *dropped when non-null.
+  static ProfileStore DeserializeLenient(const std::string& text,
+                                         size_t* dropped = nullptr);
+
+  /// Crash-safe persistence: the serialized store is wrapped in a CRC32C
+  /// envelope (format "profiles") and written atomically, so a crash
+  /// mid-save can never corrupt the accumulated profiles. Load verifies
+  /// the checksum (kCorruption on mismatch) and accepts bare legacy files.
+  /// Fault site: "profile.load".
+  Status Save(const std::string& path) const;
+  static Result<ProfileStore> Load(const std::string& path);
+
  private:
   std::map<std::string, UserProfile> profiles_;
 };

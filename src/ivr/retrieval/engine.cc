@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/logging.h"
 #include "ivr/core/thread_pool.h"
 #include "ivr/index/score_accumulator.h"
@@ -31,11 +32,19 @@ Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Build(
       new RetrievalEngine(collection, std::move(options), std::move(scorer)));
   IVR_RETURN_IF_ERROR(engine->BuildIndex());
   if (engine->options_.use_concepts) {
-    const SimulatedConceptDetector detector(collection.num_topics(),
-                                            engine->options_.detector,
-                                            engine->options_.detector_seed);
-    engine->concepts_ =
-        std::make_unique<ConceptIndex>(collection, detector);
+    // Graceful degradation: a faulted detector bank (site "concept.build")
+    // must not take the whole engine down — text and visual retrieval are
+    // still worth serving, and Health() reports the missing modality.
+    if (FaultInjector::Global().ShouldFail("concept.build")) {
+      IVR_LOG(Warning) << "concept index construction faulted; engine "
+                          "serves without the concept modality";
+    } else {
+      const SimulatedConceptDetector detector(
+          collection.num_topics(), engine->options_.detector,
+          engine->options_.detector_seed);
+      engine->concepts_ =
+          std::make_unique<ConceptIndex>(collection, detector);
+    }
   }
   return engine;
 }
@@ -70,40 +79,65 @@ Status RetrievalEngine::BuildIndex() {
 
 ResultList RetrievalEngine::Search(const Query& query, size_t k,
                                    SearchDiagnostics* diagnostics) const {
+  FaultInjector& faults = FaultInjector::Global();
+  const bool chaos = faults.enabled();
   std::vector<ResultList> lists;
   std::vector<double> weights;
+  bool degraded = false;
   if (query.HasText()) {
-    lists.push_back(SearchTerms(ParseText(query.text),
-                                options_.candidate_pool));
-    weights.push_back(options_.text_weight);
+    // "engine.text" stands in for any fault on the posting-read path:
+    // the modality is served empty-handed rather than crashing the query.
+    if (chaos && faults.ShouldFail("engine.text")) {
+      text_faults_.fetch_add(1, std::memory_order_relaxed);
+      if (diagnostics != nullptr) diagnostics->text_faulted = true;
+      degraded = true;
+    } else {
+      lists.push_back(SearchTerms(ParseText(query.text),
+                                  options_.candidate_pool));
+      weights.push_back(options_.text_weight);
+    }
   }
   if (query.HasExamples()) {
-    // Average the evidence over all examples.
-    std::vector<ResultList> visual;
-    visual.reserve(query.examples.size());
-    for (const ColorHistogram& example : query.examples) {
-      visual.push_back(SearchVisual(example, options_.candidate_pool));
+    if (chaos && faults.ShouldFail("engine.visual")) {
+      visual_faults_.fetch_add(1, std::memory_order_relaxed);
+      if (diagnostics != nullptr) diagnostics->visual_faulted = true;
+      degraded = true;
+    } else {
+      // Average the evidence over all examples.
+      std::vector<ResultList> visual;
+      visual.reserve(query.examples.size());
+      for (const ColorHistogram& example : query.examples) {
+        visual.push_back(SearchVisual(example, options_.candidate_pool));
+      }
+      lists.push_back(CombSum(visual));
+      weights.push_back(options_.visual_weight);
     }
-    lists.push_back(CombSum(visual));
-    weights.push_back(options_.visual_weight);
   }
   if (query.HasConcepts()) {
-    if (concepts_ != nullptr) {
-      lists.push_back(concepts_->SearchAll(query.concepts,
-                                           options_.candidate_pool));
-      weights.push_back(options_.concept_weight);
-    } else {
+    if (concepts_ == nullptr) {
       // Degrade loudly, not silently: the query asked for a modality this
       // engine cannot serve, which biases any evaluation built on it.
-      degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      concepts_dropped_.fetch_add(1, std::memory_order_relaxed);
       if (diagnostics != nullptr) diagnostics->concepts_dropped = true;
+      degraded = true;
       if (!degradation_logged_.exchange(true, std::memory_order_relaxed)) {
         IVR_LOG(Warning)
-            << "concept query on an engine built without use_concepts; "
+            << "concept query on an engine without a concept index; "
                "concept evidence dropped from fusion (logged once; see "
                "num_degraded_queries())";
       }
+    } else if (chaos && faults.ShouldFail("engine.concept")) {
+      concept_faults_.fetch_add(1, std::memory_order_relaxed);
+      if (diagnostics != nullptr) diagnostics->concepts_faulted = true;
+      degraded = true;
+    } else {
+      lists.push_back(concepts_->SearchAll(query.concepts,
+                                           options_.candidate_pool));
+      weights.push_back(options_.concept_weight);
     }
+  }
+  if (degraded) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
   }
   if (lists.empty()) return ResultList();
   ResultList fused = lists.size() == 1
@@ -125,6 +159,21 @@ std::vector<ResultList> RetrievalEngine::BatchSearch(
                 results[i] = Search(queries[i], k);
               });
   return results;
+}
+
+HealthReport RetrievalEngine::Health() const {
+  HealthReport report;
+  report.concept_index_available =
+      !options_.use_concepts || concepts_ != nullptr;
+  report.degraded_queries =
+      degraded_queries_.load(std::memory_order_relaxed);
+  report.text_faults = text_faults_.load(std::memory_order_relaxed);
+  report.visual_faults = visual_faults_.load(std::memory_order_relaxed);
+  report.concept_faults = concept_faults_.load(std::memory_order_relaxed);
+  report.concepts_dropped =
+      concepts_dropped_.load(std::memory_order_relaxed);
+  report.faults_injected = FaultInjector::Global().num_injected();
+  return report;
 }
 
 Result<ResultList> RetrievalEngine::SearchConcepts(

@@ -15,6 +15,7 @@
 #include "ivr/index/scorer.h"
 #include "ivr/index/searcher.h"
 #include "ivr/retrieval/concept_index.h"
+#include "ivr/retrieval/health.h"
 #include "ivr/retrieval/result_list.h"
 #include "ivr/video/collection.h"
 
@@ -65,8 +66,20 @@ struct EngineOptions {
 /// callers that care (sweeps, tools) pass one in and check it.
 struct SearchDiagnostics {
   /// The query carried concepts but the engine was built without
-  /// use_concepts — the concept modality was dropped from fusion.
+  /// use_concepts (or concept construction was degraded away) — the
+  /// concept modality was dropped from fusion.
   bool concepts_dropped = false;
+  /// A modality the query carried faulted (injected or real I/O fault on
+  /// its read path) and was served without: the result is degraded, not
+  /// wrong. "text" covers posting reads.
+  bool text_faulted = false;
+  bool visual_faulted = false;
+  bool concepts_faulted = false;
+
+  bool any_degradation() const {
+    return concepts_dropped || text_faulted || visual_faulted ||
+           concepts_faulted;
+  }
 };
 
 /// The engine itself is stateless across queries; all personalisation and
@@ -101,6 +114,9 @@ class RetrievalEngine {
   uint64_t num_degraded_queries() const {
     return degraded_queries_.load(std::memory_order_relaxed);
   }
+
+  /// Engine-lifetime degraded-mode counters (see health.h). Thread-safe.
+  HealthReport Health() const;
 
   /// Text-only search over an explicit weighted term query (used by
   /// feedback/expansion components).
@@ -144,8 +160,15 @@ class RetrievalEngine {
   InvertedIndex index_;
   DocumentStore docs_;                  // DocId == ShotId
   std::vector<ColorHistogram> keyframes_;  // index-aligned with ShotId
-  std::unique_ptr<ConceptIndex> concepts_;  // null unless use_concepts
+  /// Null unless use_concepts — or when use_concepts was requested but
+  /// construction faulted, in which case the engine serves degraded
+  /// (Health().concept_index_available == false).
+  std::unique_ptr<ConceptIndex> concepts_;
   mutable std::atomic<uint64_t> degraded_queries_{0};
+  mutable std::atomic<uint64_t> text_faults_{0};
+  mutable std::atomic<uint64_t> visual_faults_{0};
+  mutable std::atomic<uint64_t> concept_faults_{0};
+  mutable std::atomic<uint64_t> concepts_dropped_{0};
   mutable std::atomic<bool> degradation_logged_{false};
 };
 

@@ -1,0 +1,29 @@
+#include "ivr/retrieval/health.h"
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+
+std::string HealthReport::ToString() const {
+  if (!degraded()) return "health: ok";
+  std::string out = "health: degraded";
+  if (!concept_index_available) out += " concept_index=unavailable";
+  if (!profile_available) out += " profiles=unavailable";
+  const auto add = [&out](const char* key, uint64_t v) {
+    if (v > 0) {
+      out += StrFormat(" %s=%llu", key,
+                       static_cast<unsigned long long>(v));
+    }
+  };
+  add("degraded_queries", degraded_queries);
+  add("text_faults", text_faults);
+  add("visual_faults", visual_faults);
+  add("concept_faults", concept_faults);
+  add("concepts_dropped", concepts_dropped);
+  add("feedback_skipped", feedback_skipped);
+  add("profile_reranks_skipped", profile_reranks_skipped);
+  add("faults_injected", faults_injected);
+  return out;
+}
+
+}  // namespace ivr

@@ -1,0 +1,53 @@
+#ifndef IVR_RETRIEVAL_HEALTH_H_
+#define IVR_RETRIEVAL_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ivr {
+
+/// Aggregated degraded-mode report for a retrieval stack — the
+/// engine-lifetime extension of the per-query SearchDiagnostics from
+/// engine.h. A RetrievalEngine fills the modality/fault counters, an
+/// AdaptiveEngine layers its personalisation counters on top, and tools
+/// print the result after a run so chaos sweeps (and production
+/// monitoring) can tell "served degraded" apart from "served wrong".
+struct HealthReport {
+  /// The engine was asked for concepts and has a live concept index.
+  bool concept_index_available = true;
+  /// A user profile / profile store was available when requested.
+  bool profile_available = true;
+
+  /// Queries answered with at least one modality missing or faulted.
+  uint64_t degraded_queries = 0;
+  /// Per-modality injected/IO faults absorbed by serving without that
+  /// modality ("engine.text" covers posting reads).
+  uint64_t text_faults = 0;
+  uint64_t visual_faults = 0;
+  uint64_t concept_faults = 0;
+  /// Concept queries dropped because the engine has no concept index.
+  uint64_t concepts_dropped = 0;
+
+  /// AdaptiveEngine: searches answered without implicit-feedback
+  /// expansion / profile re-ranking because that step faulted.
+  uint64_t feedback_skipped = 0;
+  uint64_t profile_reranks_skipped = 0;
+
+  /// Snapshot of FaultInjector::Global().num_injected() (0 when chaos is
+  /// off): total injected faults across every site, including I/O.
+  uint64_t faults_injected = 0;
+
+  /// Any degraded-mode signal at all.
+  bool degraded() const {
+    return !concept_index_available || !profile_available ||
+           degraded_queries > 0 || feedback_skipped > 0 ||
+           profile_reranks_skipped > 0 || faults_injected > 0;
+  }
+
+  /// Compact single-line "healthy" / key=value summary for tool stderr.
+  std::string ToString() const;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_RETRIEVAL_HEALTH_H_

@@ -1,14 +1,20 @@
 #include "ivr/video/serialization.h"
 
+#include <map>
 #include <utility>
 
+#include "ivr/core/checksum.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
+#include "ivr/core/logging.h"
+#include "ivr/core/retry.h"
 #include "ivr/core/string_util.h"
 
 namespace ivr {
 namespace {
 
 constexpr std::string_view kMagic = "ivr-collection v1";
+constexpr std::string_view kEnvelopeFormat = "collection";
 
 std::string EncodeHistogram(const ColorHistogram& h) {
   std::vector<std::string> parts;
@@ -245,12 +251,253 @@ Result<GeneratedCollection> ParseCollection(const std::string& text) {
 
 Status SaveCollection(const GeneratedCollection& generated,
                       const std::string& path) {
-  return WriteStringToFile(path, SerializeCollection(generated));
+  return WriteFileAtomic(
+      path, WrapEnvelope(kEnvelopeFormat, SerializeCollection(generated)));
 }
 
 Result<GeneratedCollection> LoadCollection(const std::string& path) {
   IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (LooksEnveloped(text)) {
+    IVR_ASSIGN_OR_RETURN(text, UnwrapEnvelope(kEnvelopeFormat, text));
+  }
   return ParseCollection(text);
+}
+
+namespace {
+
+/// Salvage-parser state: remaps the surviving dense ids so references
+/// stay consistent after records are dropped.
+struct SalvageState {
+  CollectionRecovery out;
+  std::map<uint32_t, VideoId> video_remap;
+  std::map<uint32_t, StoryId> story_remap;
+  std::map<uint32_t, ShotId> shot_remap;
+
+  void Drop(const std::string& why) {
+    ++out.dropped_records;
+    if (out.notes.size() < 20) out.notes.push_back(why);
+  }
+};
+
+Status SalvageVideo(const std::string& line, SalvageState* s) {
+  IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 3));
+  IVR_ASSIGN_OR_RETURN(int64_t old_id, ParseInt(cols[0]));
+  Video v;
+  v.name = cols[1];
+  IVR_ASSIGN_OR_RETURN(int64_t day, ParseInt(cols[2]));
+  v.day = static_cast<int32_t>(day);
+  s->video_remap[static_cast<uint32_t>(old_id)] =
+      s->out.generated.collection.AddVideo(std::move(v));
+  return Status::OK();
+}
+
+Status SalvageStory(const std::string& line, SalvageState* s) {
+  IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 4));
+  IVR_ASSIGN_OR_RETURN(int64_t old_id, ParseInt(cols[0]));
+  IVR_ASSIGN_OR_RETURN(int64_t video, ParseInt(cols[1]));
+  IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[2]));
+  auto parent = s->video_remap.find(static_cast<uint32_t>(video));
+  if (parent == s->video_remap.end()) {
+    return Status::Corruption("story references missing video " +
+                              cols[1]);
+  }
+  NewsStory story;
+  story.video = parent->second;
+  story.topic = static_cast<TopicLabel>(topic);
+  story.headline = cols[3];
+  const StoryId id = s->out.generated.collection.AddStory(std::move(story));
+  s->story_remap[static_cast<uint32_t>(old_id)] = id;
+  s->out.generated.collection.mutable_video(parent->second)
+      ->stories.push_back(id);
+  return Status::OK();
+}
+
+Status SalvageShot(const std::string& line, SalvageState* s) {
+  IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 11));
+  IVR_ASSIGN_OR_RETURN(int64_t old_id, ParseInt(cols[0]));
+  IVR_ASSIGN_OR_RETURN(int64_t story, ParseInt(cols[1]));
+  IVR_ASSIGN_OR_RETURN(int64_t start, ParseInt(cols[3]));
+  IVR_ASSIGN_OR_RETURN(int64_t duration, ParseInt(cols[4]));
+  IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[5]));
+  auto parent = s->story_remap.find(static_cast<uint32_t>(story));
+  if (parent == s->story_remap.end()) {
+    return Status::Corruption("shot references missing story " + cols[1]);
+  }
+  Shot shot;
+  shot.story = parent->second;
+  shot.video =
+      s->out.generated.collection.story(parent->second).value()->video;
+  shot.start_ms = start;
+  shot.duration_ms = duration;
+  shot.primary_topic = static_cast<TopicLabel>(topic);
+  for (char bit : cols[6]) {
+    if (bit != '0' && bit != '1') {
+      return Status::Corruption("bad concept bitstring");
+    }
+    shot.concepts.push_back(bit == '1');
+  }
+  shot.external_id = cols[7];
+  shot.asr_transcript = cols[8];
+  shot.true_transcript = cols[9];
+  IVR_ASSIGN_OR_RETURN(shot.keyframe, DecodeHistogram(cols[10]));
+  const ShotId id = s->out.generated.collection.AddShot(std::move(shot));
+  s->shot_remap[static_cast<uint32_t>(old_id)] = id;
+  s->out.generated.collection.mutable_story(parent->second)
+      ->shots.push_back(id);
+  return Status::OK();
+}
+
+Status SalvageSearchTopic(const std::string& line, SalvageState* s) {
+  IVR_ASSIGN_OR_RETURN(std::vector<std::string> cols, Columns(line, 5));
+  SearchTopic t;
+  IVR_ASSIGN_OR_RETURN(int64_t id, ParseInt(cols[0]));
+  IVR_ASSIGN_OR_RETURN(int64_t target, ParseInt(cols[1]));
+  t.id = static_cast<SearchTopicId>(id);
+  t.target_topic = static_cast<TopicLabel>(target);
+  t.title = cols[2];
+  t.description = cols[3];
+  if (!Trim(cols[4]).empty()) {
+    for (const std::string& enc : Split(cols[4], ';')) {
+      IVR_ASSIGN_OR_RETURN(ColorHistogram h, DecodeHistogram(enc));
+      t.examples.push_back(std::move(h));
+    }
+  }
+  s->out.generated.topics.topics.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status SalvageQrel(const std::string& line, SalvageState* s) {
+  const std::vector<std::string> cols = SplitWhitespace(line);
+  if (cols.size() != 4 || !StartsWith(cols[2], "shot")) {
+    return Status::Corruption("bad qrels line: " + line);
+  }
+  IVR_ASSIGN_OR_RETURN(int64_t topic, ParseInt(cols[0]));
+  IVR_ASSIGN_OR_RETURN(int64_t shot, ParseInt(cols[2].substr(4)));
+  IVR_ASSIGN_OR_RETURN(int64_t grade, ParseInt(cols[3]));
+  auto mapped = s->shot_remap.find(static_cast<uint32_t>(shot));
+  if (mapped == s->shot_remap.end()) {
+    return Status::Corruption("judgement references missing shot " +
+                              cols[2]);
+  }
+  s->out.generated.qrels.Set(static_cast<SearchTopicId>(topic),
+                             mapped->second, static_cast<int>(grade));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CollectionRecovery> RecoverCollection(const std::string& path) {
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+
+  SalvageState state;
+  if (LooksEnveloped(text)) {
+    Result<std::string> payload = UnwrapEnvelope(kEnvelopeFormat, text);
+    if (payload.ok()) {
+      state.out.checksum_ok = true;
+      text = std::move(payload).value();
+    } else {
+      // Damaged envelope: strip the header line and salvage the rest.
+      state.Drop("envelope failed verification: " +
+                 payload.status().message());
+      const size_t newline = text.find('\n');
+      text = newline == std::string::npos ? std::string()
+                                          : text.substr(newline + 1);
+    }
+  } else {
+    state.out.notes.push_back("legacy archive without checksum envelope");
+  }
+
+  // Section-aware line scan: a section-header line switches the record
+  // parser; anything that fails to parse is dropped, not fatal.
+  enum class Section {
+    kNone,
+    kTopics,
+    kVideos,
+    kStories,
+    kShots,
+    kSearchTopics,
+    kQrels
+  };
+  static const std::map<std::string, Section> kSections = {
+      {"topics", Section::kTopics},       {"videos", Section::kVideos},
+      {"stories", Section::kStories},     {"shots", Section::kShots},
+      {"searchtopics", Section::kSearchTopics},
+      {"qrels", Section::kQrels}};
+
+  Section section = Section::kNone;
+  bool saw_magic = false;
+  bool saw_section = false;
+  std::vector<std::string> topic_names;
+  for (const std::string& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    if (Trim(line) == kMagic) {
+      saw_magic = true;
+      continue;
+    }
+    const std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() == 2 && kSections.count(parts[0]) > 0 &&
+        ParseInt(parts[1]).ok()) {
+      section = kSections.at(parts[0]);
+      saw_section = true;
+      continue;
+    }
+    Status record = Status::OK();
+    switch (section) {
+      case Section::kNone:
+        record = Status::Corruption("line before any section: " + line);
+        break;
+      case Section::kTopics:
+        topic_names.push_back(line);
+        break;
+      case Section::kVideos:
+        record = SalvageVideo(line, &state);
+        break;
+      case Section::kStories:
+        record = SalvageStory(line, &state);
+        break;
+      case Section::kShots:
+        record = SalvageShot(line, &state);
+        break;
+      case Section::kSearchTopics:
+        record = SalvageSearchTopic(line, &state);
+        break;
+      case Section::kQrels:
+        record = SalvageQrel(line, &state);
+        break;
+    }
+    if (!record.ok()) state.Drop(record.message());
+  }
+  if (!saw_magic && !saw_section) {
+    return Status::Corruption("no ivr-collection structure found in " +
+                              path);
+  }
+  state.out.generated.collection.SetTopicNames(std::move(topic_names));
+  return std::move(state.out);
+}
+
+Result<GeneratedCollection> LoadCollectionRobust(const std::string& path,
+                                                 size_t* dropped_records) {
+  if (dropped_records != nullptr) *dropped_records = 0;
+  {
+    const Status injected =
+        FaultInjector::Global().MaybeFail("collection.load");
+    if (!injected.ok()) return injected;
+  }
+  Result<GeneratedCollection> loaded =
+      RetryOnIOError([&] { return LoadCollection(path); });
+  if (loaded.ok() || !loaded.status().IsCorruption()) return loaded;
+
+  Result<CollectionRecovery> recovered =
+      RetryOnIOError([&] { return RecoverCollection(path); });
+  if (!recovered.ok()) return loaded.status();
+  IVR_LOG(Warning) << "collection " << path
+                   << " failed verification (" << loaded.status().ToString()
+                   << "); salvaged with " << recovered->dropped_records
+                   << " dropped record(s)";
+  if (dropped_records != nullptr) {
+    *dropped_records = recovered->dropped_records;
+  }
+  return std::move(recovered->generated);
 }
 
 }  // namespace ivr

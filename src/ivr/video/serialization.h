@@ -2,6 +2,7 @@
 #define IVR_VIDEO_SERIALIZATION_H_
 
 #include <string>
+#include <vector>
 
 #include "ivr/core/result.h"
 #include "ivr/video/generator.h"
@@ -31,10 +32,43 @@ std::string SerializeCollection(const GeneratedCollection& generated);
 /// data, not the recipe).
 Result<GeneratedCollection> ParseCollection(const std::string& text);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. SaveCollection writes crash-safely: the
+/// serialized archive is wrapped in a CRC32C-checksummed envelope (see
+/// core/checksum.h) and published with WriteFileAtomic, so a crash or
+/// fault mid-save leaves either the complete old or the complete new
+/// snapshot on disk, never a torn one. LoadCollection verifies the
+/// checksum (kCorruption on any mismatch); bare legacy archives without
+/// an envelope are still accepted, unchecked.
 Status SaveCollection(const GeneratedCollection& generated,
                       const std::string& path);
 Result<GeneratedCollection> LoadCollection(const std::string& path);
+
+/// Outcome of the salvage path. `dropped_records` counts archive lines
+/// (and judgements) that had to be discarded; `notes` explains the first
+/// few drops in human terms.
+struct CollectionRecovery {
+  GeneratedCollection generated;
+  size_t dropped_records = 0;
+  /// True when the envelope checksum verified (salvage was run anyway,
+  /// e.g. on a strict-parse failure); false for legacy or damaged files.
+  bool checksum_ok = false;
+  std::vector<std::string> notes;
+};
+
+/// Best-effort salvage of a damaged archive: skips unparseable records,
+/// drops records whose parent record was lost (stories of a dropped
+/// video, shots of a dropped story, judgements of a dropped shot) while
+/// remapping the surviving dense ids, and reports what was discarded.
+/// Only fails when the file cannot be read at all or nothing resembling
+/// an archive is found.
+Result<CollectionRecovery> RecoverCollection(const std::string& path);
+
+/// The loader the CLI tools use: LoadCollection with retry on transient
+/// IO errors; on a corruption verdict, falls back to RecoverCollection
+/// and logs a warning with the number of dropped records (also written
+/// to *dropped_records when non-null). Fault site: "collection.load".
+Result<GeneratedCollection> LoadCollectionRobust(
+    const std::string& path, size_t* dropped_records = nullptr);
 
 }  // namespace ivr
 

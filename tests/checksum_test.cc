@@ -1,0 +1,78 @@
+#include "ivr/core/checksum.h"
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(Crc32cTest, StandardTestVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix / every
+  // implementation's sanity vector).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32c(""), 0u);
+  EXPECT_NE(Crc32c("a"), Crc32c("b"));
+  EXPECT_NE(Crc32c("ab"), Crc32c("ba"));
+  // Embedded NUL bytes are part of the digest.
+  EXPECT_NE(Crc32c(std::string_view("a\0b", 3)),
+            Crc32c(std::string_view("a\0c", 3)));
+}
+
+TEST(EnvelopeTest, RoundTrip) {
+  const std::string payload = "line one\nline two\ttabbed\n";
+  const std::string wrapped = WrapEnvelope("collection", payload);
+  EXPECT_TRUE(LooksEnveloped(wrapped));
+  EXPECT_EQ(UnwrapEnvelope("collection", wrapped).value(), payload);
+}
+
+TEST(EnvelopeTest, RoundTripEmptyAndBinaryPayload) {
+  EXPECT_EQ(UnwrapEnvelope("x", WrapEnvelope("x", "")).value(), "");
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  EXPECT_EQ(UnwrapEnvelope("x", WrapEnvelope("x", binary)).value(), binary);
+}
+
+TEST(EnvelopeTest, FormatMismatchIsCorruption) {
+  const std::string wrapped = WrapEnvelope("profiles", "payload");
+  EXPECT_TRUE(
+      UnwrapEnvelope("sessionlog", wrapped).status().IsCorruption());
+}
+
+TEST(EnvelopeTest, BitFlipIsCorruption) {
+  const std::string payload(500, 'x');
+  std::string wrapped = WrapEnvelope("collection", payload);
+  wrapped[wrapped.size() / 2] ^= 0x01;
+  EXPECT_TRUE(
+      UnwrapEnvelope("collection", wrapped).status().IsCorruption());
+}
+
+TEST(EnvelopeTest, TruncationIsCorruption) {
+  const std::string wrapped = WrapEnvelope("collection", "some payload");
+  for (size_t len = 0; len < wrapped.size(); ++len) {
+    EXPECT_TRUE(UnwrapEnvelope("collection", wrapped.substr(0, len))
+                    .status()
+                    .IsCorruption())
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(EnvelopeTest, TrailingGarbageIsCorruption) {
+  const std::string wrapped = WrapEnvelope("collection", "payload");
+  EXPECT_TRUE(UnwrapEnvelope("collection", wrapped + "extra")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(EnvelopeTest, NonEnvelopedInputs) {
+  EXPECT_FALSE(LooksEnveloped(""));
+  EXPECT_FALSE(LooksEnveloped("ivr-collection v1\n"));
+  EXPECT_FALSE(LooksEnveloped("random text"));
+  EXPECT_TRUE(UnwrapEnvelope("collection", "random text")
+                  .status()
+                  .IsCorruption());
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,120 @@
+#include "ivr/core/fault_injection.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+TEST(FaultInjectionTest, DisabledByDefaultAndAfterDisable) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Disable();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.ShouldFail("file.read"));
+  EXPECT_TRUE(injector.MaybeFail("file.read").ok());
+}
+
+TEST(FaultInjectionTest, SpecParseErrors) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.Configure("", 1).IsInvalidArgument());
+  EXPECT_TRUE(injector.Configure("siteonly", 1).IsInvalidArgument());
+  EXPECT_TRUE(injector.Configure(":0.5", 1).IsInvalidArgument());
+  EXPECT_TRUE(injector.Configure("site:notanumber", 1).IsInvalidArgument());
+  EXPECT_TRUE(injector.Configure("site:1.5", 1).IsInvalidArgument());
+  EXPECT_TRUE(injector.Configure("site:-0.1", 1).IsInvalidArgument());
+  // A bad spec leaves the injector disarmed.
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectionTest, ProbabilityZeroAndOne) {
+  ScopedFaultInjection chaos("never:0,always:1", 42);
+  ASSERT_TRUE(chaos.status().ok());
+  FaultInjector& injector = FaultInjector::Global();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("never"));
+    EXPECT_TRUE(injector.ShouldFail("always"));
+    // Unconfigured sites never fire without an "all" default.
+    EXPECT_FALSE(injector.ShouldFail("unlisted"));
+  }
+  EXPECT_EQ(injector.num_injected(), 100u);
+  // Sites outside the spec (and outside any "all" default) don't count as
+  // checks — they are not under injection at all.
+  EXPECT_EQ(injector.num_checks(), 200u);
+}
+
+TEST(FaultInjectionTest, AllWildcardAppliesToUnlistedSites) {
+  ScopedFaultInjection chaos("all:1,exempt:0", 7);
+  ASSERT_TRUE(chaos.status().ok());
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_TRUE(injector.ShouldFail("anything.at.all"));
+  EXPECT_FALSE(injector.ShouldFail("exempt"));
+}
+
+TEST(FaultInjectionTest, DeterministicInSeedSiteAndOrdinal) {
+  const auto sample = [](uint64_t seed) {
+    ScopedFaultInjection chaos("a:0.5,b:0.5", seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(FaultInjector::Global().ShouldFail("a"));
+      out.push_back(FaultInjector::Global().ShouldFail("b"));
+    }
+    return out;
+  };
+  const std::vector<bool> run1 = sample(11);
+  const std::vector<bool> run2 = sample(11);
+  EXPECT_EQ(run1, run2);
+  // A different seed produces a different failure pattern.
+  EXPECT_NE(run1, sample(12));
+}
+
+TEST(FaultInjectionTest, SiteStreamsAreIndependent) {
+  // The failure sequence at site "a" must not depend on how often other
+  // sites are checked (each site has its own ordinal counter).
+  const auto sample_a = [](int b_checks_between) {
+    ScopedFaultInjection chaos("a:0.5,b:0.5", 99);
+    std::vector<bool> out;
+    for (int i = 0; i < 32; ++i) {
+      out.push_back(FaultInjector::Global().ShouldFail("a"));
+      for (int j = 0; j < b_checks_between; ++j) {
+        FaultInjector::Global().ShouldFail("b");
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(sample_a(0), sample_a(3));
+}
+
+TEST(FaultInjectionTest, InjectionRateTracksProbability) {
+  ScopedFaultInjection chaos("site:0.3", 5);
+  size_t fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (FaultInjector::Global().ShouldFail("site")) ++fired;
+  }
+  EXPECT_GT(fired, 2000 * 0.2);
+  EXPECT_LT(fired, 2000 * 0.4);
+}
+
+TEST(FaultInjectionTest, MaybeFailNamesTheSite) {
+  ScopedFaultInjection chaos("boom:1", 1);
+  const Status status = FaultInjector::Global().MaybeFail("boom");
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, SummaryReportsPerSiteCounts) {
+  ScopedFaultInjection chaos("hit:1,miss:0", 1);
+  FaultInjector& injector = FaultInjector::Global();
+  for (int i = 0; i < 3; ++i) {
+    injector.ShouldFail("hit");
+    injector.ShouldFail("miss");
+  }
+  const std::string summary = injector.Summary();
+  EXPECT_NE(summary.find("injected faults: 3/6 checks"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("hit: 3/3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("miss: 0/3"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace ivr

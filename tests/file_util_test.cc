@@ -1,0 +1,119 @@
+#include "ivr/core/file_util.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/fault_injection.h"
+
+namespace ivr {
+namespace {
+
+/// Fresh empty scratch directory per test, so temp-file litter from an
+/// aborted atomic write cannot hide among other tests' files.
+std::string MakeScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  ::mkdir(dir.c_str(), 0755);
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    for (dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+      const std::string entry = e->d_name;
+      if (entry != "." && entry != "..") {
+        ::unlink((dir + "/" + entry).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  return dir;
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> entries;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return entries;
+  for (dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    const std::string entry = e->d_name;
+    if (entry != "." && entry != "..") entries.push_back(entry);
+  }
+  ::closedir(d);
+  return entries;
+}
+
+TEST(WriteFileAtomicTest, WritesAndReplaces) {
+  const std::string dir = MakeScratchDir("ivr_atomic_basic");
+  const std::string path = dir + "/data.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "first");
+  ASSERT_TRUE(WriteFileAtomic(path, "second, longer content").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "second, longer content");
+  // Only the target remains: no temp files after successful writes.
+  EXPECT_EQ(ListDir(dir), std::vector<std::string>{"data.txt"});
+}
+
+TEST(WriteFileAtomicTest, FailsCleanlyOnBadDirectory) {
+  EXPECT_TRUE(WriteFileAtomic("/nonexistent-dir/x", "y").IsIOError());
+}
+
+TEST(WriteFileAtomicTest, KillMidWriteSweepLeavesOldContentIntact) {
+  // Simulated crash at every stage of the atomic write protocol: the
+  // target must still hold the complete old content and no temp file may
+  // survive. This is the crash-safety acceptance criterion.
+  const char* kStages[] = {"file.atomic.write", "file.atomic.sync",
+                           "file.atomic.rename"};
+  int stage_index = 0;
+  for (const char* stage : kStages) {
+    const std::string dir = MakeScratchDir(
+        "ivr_atomic_kill_" + std::to_string(stage_index++));
+    const std::string path = dir + "/snapshot.txt";
+    ASSERT_TRUE(WriteFileAtomic(path, "old snapshot").ok());
+
+    {
+      ScopedFaultInjection chaos(std::string(stage) + ":1", 1);
+      ASSERT_TRUE(chaos.status().ok());
+      const Status status = WriteFileAtomic(path, "new snapshot");
+      EXPECT_TRUE(status.IsIOError()) << stage << ": " << status.ToString();
+    }
+
+    EXPECT_EQ(ReadFileToString(path).value(), "old snapshot")
+        << "stage " << stage << " damaged the old content";
+    EXPECT_EQ(ListDir(dir), std::vector<std::string>{"snapshot.txt"})
+        << "stage " << stage << " left temp-file litter";
+
+    // The same write succeeds once the fault clears.
+    ASSERT_TRUE(WriteFileAtomic(path, "new snapshot").ok());
+    EXPECT_EQ(ReadFileToString(path).value(), "new snapshot");
+  }
+}
+
+TEST(FileUtilTest, ExistsAndRemove) {
+  const std::string dir = MakeScratchDir("ivr_file_exists");
+  const std::string path = dir + "/f";
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(FileExists(path));
+  // Removing a missing file is not an error.
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(FileUtilTest, ReadWriteSitesAreInjectable) {
+  const std::string dir = MakeScratchDir("ivr_file_sites");
+  const std::string path = dir + "/f";
+  ASSERT_TRUE(WriteFileAtomic(path, "content").ok());
+  {
+    ScopedFaultInjection chaos("file.read:1,file.write:1", 1);
+    ASSERT_TRUE(chaos.status().ok());
+    EXPECT_TRUE(ReadFileToString(path).status().IsIOError());
+    EXPECT_TRUE(WriteStringToFile(path, "y").IsIOError());
+  }
+  // The injected write failure left the file untouched.
+  EXPECT_EQ(ReadFileToString(path).value(), "content");
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,5 +1,8 @@
 #include "ivr/core/logging.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace ivr {
@@ -38,6 +41,29 @@ TEST_F(LoggingTest, MessagesBelowLevelAreSuppressed) {
   EXPECT_EQ(out.find("nor this"), std::string::npos);
   EXPECT_NE(out.find("but this does"), std::string::npos);
   EXPECT_NE(out.find("WARN"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentLevelChangesAndLoggingAreRaceFree) {
+  // The level gate is a single atomic: concurrent SetLogLevel and
+  // filtered logging must be clean under TSan (IVR_SANITIZE=thread).
+  ::testing::internal::CaptureStderr();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([w] {
+      for (int i = 0; i < 200; ++i) {
+        if (w % 2 == 0) {
+          SetLogLevel(i % 2 == 0 ? LogLevel::kWarning : LogLevel::kError);
+        } else {
+          IVR_LOG(Info) << "suppressed most of the time " << i;
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  ::testing::internal::GetCapturedStderr();
+  const LogLevel final_level = GetLogLevel();
+  EXPECT_TRUE(final_level == LogLevel::kWarning ||
+              final_level == LogLevel::kError);
 }
 
 TEST_F(LoggingTest, ErrorAlwaysEmitted) {

@@ -1,0 +1,88 @@
+#include "ivr/core/retry.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ivr {
+namespace {
+
+RetryOptions NoSleep(std::vector<int64_t>* slept = nullptr) {
+  RetryOptions options;
+  options.sleep_ms = [slept](int64_t ms) {
+    if (slept != nullptr) slept->push_back(ms);
+  };
+  return options;
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  const Status status = RetryOnIOError(
+      [&calls] {
+        ++calls;
+        return Status::OK();
+      },
+      NoSleep(&slept));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(slept.empty());
+}
+
+TEST(RetryTest, RetriesTransientIOErrorUntilSuccess) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  const Result<int> result = RetryOnIOError(
+      [&calls]() -> Result<int> {
+        if (++calls < 3) return Status::IOError("flaky");
+        return 42;
+      },
+      NoSleep(&slept));
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 3);
+  // Exponential backoff: 5ms then 10ms with the defaults.
+  EXPECT_EQ(slept, (std::vector<int64_t>{5, 10}));
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  std::vector<int64_t> slept;
+  int calls = 0;
+  RetryOptions options = NoSleep(&slept);
+  options.max_attempts = 4;
+  const Status status = RetryOnIOError(
+      [&calls] {
+        ++calls;
+        return Status::IOError("always down");
+      },
+      options);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(slept, (std::vector<int64_t>{5, 10, 20}));
+}
+
+TEST(RetryTest, PermanentErrorsAreNotRetried) {
+  int calls = 0;
+  const Status status = RetryOnIOError(
+      [&calls] {
+        ++calls;
+        return Status::Corruption("bad checksum");
+      },
+      NoSleep());
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ResultErrorCodeDrivesTheDecision) {
+  int calls = 0;
+  const Result<std::string> result = RetryOnIOError(
+      [&calls]() -> Result<std::string> {
+        ++calls;
+        return Status::NotFound("no such user");
+      },
+      NoSleep());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -11,7 +11,9 @@
 #include <cstdio>
 
 #include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
+#include "ivr/core/retry.h"
 #include "ivr/core/string_util.h"
 #include "ivr/core/thread_pool.h"
 #include "ivr/eval/experiment.h"
@@ -26,7 +28,9 @@ Result<SystemEvaluation> Evaluate(const std::string& path,
                                   const Qrels& qrels,
                                   const std::vector<SearchTopicId>& topics,
                                   size_t threads) {
-  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  IVR_ASSIGN_OR_RETURN(std::string text, RetryOnIOError([&path] {
+                         return ReadFileToString(path);
+                       }));
   std::string tag = path;
   IVR_ASSIGN_OR_RETURN(auto runs, RunsFromTrecFormat(text, &tag));
   SystemRun run;
@@ -45,7 +49,13 @@ int Main(int argc, char** argv) {
   if (run_path.empty() || (!args->Has("collection") && !args->Has("qrels"))) {
     std::fprintf(stderr,
                  "usage: ivr_eval (--collection FILE | --qrels FILE) "
-                 "--run FILE [--run2 FILE] [--threads N]\n");
+                 "--run FILE [--run2 FILE] [--threads N] "
+                 "[--fault-spec SPEC] [--fault-seed N]\n");
+    return 2;
+  }
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
     return 2;
   }
   const int64_t threads_arg =
@@ -58,14 +68,16 @@ int Main(int argc, char** argv) {
   Qrels qrels;
   if (args->Has("collection")) {
     Result<GeneratedCollection> loaded =
-        LoadCollection(args->GetString("collection"));
+        LoadCollectionRobust(args->GetString("collection"));
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
     qrels = std::move(loaded->qrels);
   } else {
-    Result<std::string> text = ReadFileToString(args->GetString("qrels"));
+    const std::string qrels_path = args->GetString("qrels");
+    Result<std::string> text = RetryOnIOError(
+        [&qrels_path] { return ReadFileToString(qrels_path); });
     if (!text.ok()) {
       std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
       return 1;
@@ -131,6 +143,9 @@ int Main(int argc, char** argv) {
                   randomization->statistic, randomization->p_value,
                   randomization->n);
     }
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
   return 0;
 }

@@ -3,14 +3,18 @@
 //
 //   ivr_generate --out collection.ivr [--seed 42] [--topics 10]
 //                [--videos 25] [--wer 0.3] [--title-offset 6]
-//                [--qrels qrels.txt]
+//                [--qrels qrels.txt] [--fault-spec SPEC] [--fault-seed N]
 //
 // The optional --qrels path additionally writes the judgements in plain
-// TREC qrels format for external tooling.
+// TREC qrels format for external tooling. All outputs are written
+// atomically (temp file + fsync + rename): on any failure — including
+// injected chaos faults — the tool exits non-zero without leaving a
+// partial file behind.
 
 #include <cstdio>
 
 #include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
 #include "ivr/video/serialization.h"
 
@@ -28,7 +32,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_generate --out FILE [--seed N] [--topics N] "
                  "[--videos N] [--wer F] [--title-offset N] "
-                 "[--qrels FILE]\n");
+                 "[--qrels FILE] [--fault-spec SPEC] [--fault-seed N]\n");
+    return 2;
+  }
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
     return 2;
   }
 
@@ -70,12 +79,15 @@ int Main(int argc, char** argv) {
   const std::string qrels_path = args->GetString("qrels");
   if (!qrels_path.empty()) {
     const Status qs =
-        WriteStringToFile(qrels_path, generated->qrels.ToTrecFormat());
+        WriteFileAtomic(qrels_path, generated->qrels.ToTrecFormat());
     if (!qs.ok()) {
       std::fprintf(stderr, "%s\n", qs.ToString().c_str());
       return 1;
     }
     std::printf("wrote %s\n", qrels_path.c_str());
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
   return 0;
 }

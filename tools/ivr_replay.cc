@@ -5,12 +5,19 @@
 //
 //   ivr_replay --collection c.ivr --log sessions.tsv --run out.txt
 //              [--backend static|adaptive] [--k 1000]
+//              [--fault-spec SPEC] [--fault-seed N]
+//
+// Collection and log loads retry transient IO errors and verify the
+// checksummed envelope; the run file is written atomically; degraded
+// backends are reported on stderr via their HealthReport.
 
 #include <cstdio>
 
 #include "ivr/adaptive/adaptive_engine.h"
 #include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
+#include "ivr/core/retry.h"
 #include "ivr/eval/trec_run.h"
 #include "ivr/retrieval/fusion.h"
 #include "ivr/sim/replayer.h"
@@ -31,26 +38,36 @@ int Main(int argc, char** argv) {
   if (collection_path.empty() || log_path.empty() || run_path.empty()) {
     std::fprintf(stderr,
                  "usage: ivr_replay --collection FILE --log FILE "
-                 "--run FILE [--backend static|adaptive] [--k N]\n");
+                 "--run FILE [--backend static|adaptive] [--k N] "
+                 "[--fault-spec SPEC] [--fault-seed N]\n");
     return 2;
   }
-  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  Result<GeneratedCollection> loaded =
+      LoadCollectionRobust(collection_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  Result<std::string> log_text = ReadFileToString(log_path);
-  if (!log_text.ok()) {
-    std::fprintf(stderr, "%s\n", log_text.status().ToString().c_str());
-    return 1;
-  }
-  Result<SessionLog> log = SessionLog::Parse(*log_text);
+  Result<SessionLog> log = RetryOnIOError(
+      [&log_path] { return SessionLog::Load(log_path); });
   if (!log.ok()) {
     std::fprintf(stderr, "%s\n", log.status().ToString().c_str());
     return 1;
   }
 
-  auto engine = RetrievalEngine::Build(loaded->collection).value();
+  Result<std::unique_ptr<RetrievalEngine>> engine_result =
+      RetrievalEngine::Build(loaded->collection);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
   StaticBackend static_backend(*engine);
   AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
   const std::string backend_name = args->GetString("backend", "adaptive");
@@ -84,7 +101,7 @@ int Main(int argc, char** argv) {
     runs[topic] = std::move(fused);
   }
 
-  const Status saved = WriteStringToFile(
+  const Status saved = WriteFileAtomic(
       run_path, RunsToTrecFormat(runs, "replay-" + backend->name()));
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
@@ -94,6 +111,13 @@ int Main(int argc, char** argv) {
               "wrote %s (%zu topics)\n",
               replays->size(), replayed_queries, backend->name().c_str(),
               run_path.c_str(), runs.size());
+  const HealthReport health = backend->Health();
+  if (health.degraded()) {
+    std::fprintf(stderr, "%s\n", health.ToString().c_str());
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
+  }
   return 0;
 }
 

@@ -5,13 +5,19 @@
 // hardware concurrency); the run file is identical for any thread count:
 //   ivr_search --collection c.ivr --run run.txt [--scorer bm25] [--k 1000]
 //              [--visual] [--tag mytag] [--threads N]
+//              [--fault-spec SPEC] [--fault-seed N]
 //
 // Ad-hoc mode: --query "words ..." prints the top results humanly:
 //   ivr_search --collection c.ivr --query "ginadebo market" [--k 10]
+//
+// Collection loads retry transient IO errors and salvage corrupt
+// archives; run files are written atomically; a degraded engine is
+// reported on stderr via its HealthReport.
 
 #include <cstdio>
 
 #include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
 #include "ivr/core/thread_pool.h"
 #include "ivr/eval/trec_run.h"
@@ -33,10 +39,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_search --collection FILE "
                  "(--run OUT | --query \"...\") [--scorer bm25] [--k N] "
-                 "[--visual] [--tag TAG] [--threads N]\n");
+                 "[--visual] [--tag TAG] [--threads N] "
+                 "[--fault-spec SPEC] [--fault-seed N]\n");
     return 2;
   }
-  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  Result<GeneratedCollection> loaded =
+      LoadCollectionRobust(collection_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
@@ -53,6 +66,19 @@ int Main(int argc, char** argv) {
   }
   const size_t k = static_cast<size_t>(
       args->GetInt("k", 1000).value_or(1000));
+
+  // Shared exit path: surface degraded-mode counters and chaos totals on
+  // stderr so no fault is absorbed silently.
+  const auto report_health = [&engine] {
+    const HealthReport report = (*engine)->Health();
+    if (report.degraded()) {
+      std::fprintf(stderr, "%s\n", report.ToString().c_str());
+    }
+    if (FaultInjector::Global().enabled()) {
+      std::fprintf(stderr, "%s",
+                   FaultInjector::Global().Summary().c_str());
+    }
+  };
 
   const std::string adhoc = args->GetString("query");
   if (!adhoc.empty()) {
@@ -73,6 +99,7 @@ int Main(int argc, char** argv) {
                     g.collection.TopicName(story->topic).c_str(),
                     stories[i].score, stories[i].supporting_shots.size());
       }
+      report_health();
       return 0;
     }
     std::printf("%zu results for \"%s\"\n", results.size(), adhoc.c_str());
@@ -84,6 +111,7 @@ int Main(int argc, char** argv) {
                   g.collection.TopicName(shot->primary_topic).c_str(),
                   story->headline.c_str(), results.at(i).score);
     }
+    report_health();
     return 0;
   }
 
@@ -115,13 +143,14 @@ int Main(int argc, char** argv) {
   const std::string tag =
       args->GetString("tag", options.scorer + (visual ? "+visual" : ""));
   const Status saved =
-      WriteStringToFile(run_path, RunsToTrecFormat(runs, tag));
+      WriteFileAtomic(run_path, RunsToTrecFormat(runs, tag));
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s: %zu topics, tag '%s'\n", run_path.c_str(),
               runs.size(), tag.c_str());
+  report_health();
   return 0;
 }
 

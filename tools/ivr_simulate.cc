@@ -4,20 +4,29 @@
 //   ivr_simulate --collection c.ivr --log sessions.tsv
 //                [--env desktop|tv] [--user novice|expert|couch]
 //                [--sessions-per-topic 2] [--seed 1]
-//                [--backend static|adaptive] [--threads N]
+//                [--backend static|adaptive] [--profiles store.ivrp]
+//                [--threads N] [--fault-spec SPEC] [--fault-seed N]
 //
 // Sessions fan out over --threads workers (default: hardware concurrency;
 // forced to 1 for the stateful adaptive backend). The log and summary are
 // identical for every thread count.
+//
+// --profiles points the adaptive backend at a persisted ProfileStore; if
+// the store fails to load the tool degrades to non-personalised sessions
+// (reported via the HealthReport on stderr) instead of failing. The log
+// is written atomically inside a checksummed envelope.
 
 #include <cstdio>
 #include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
 #include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
+#include "ivr/core/retry.h"
 #include "ivr/core/string_util.h"
 #include "ivr/core/thread_pool.h"
+#include "ivr/profile/profile_store.h"
 #include "ivr/sim/simulator.h"
 #include "ivr/video/serialization.h"
 
@@ -37,10 +46,17 @@ int Main(int argc, char** argv) {
                  "usage: ivr_simulate --collection FILE --log FILE "
                  "[--env desktop|tv] [--user novice|expert|couch] "
                  "[--sessions-per-topic N] [--seed N] "
-                 "[--backend static|adaptive] [--threads N]\n");
+                 "[--backend static|adaptive] [--profiles FILE] "
+                 "[--threads N] [--fault-spec SPEC] [--fault-seed N]\n");
     return 2;
   }
-  Result<GeneratedCollection> loaded = LoadCollection(collection_path);
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  Result<GeneratedCollection> loaded =
+      LoadCollectionRobust(collection_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
@@ -71,8 +87,37 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  auto engine = RetrievalEngine::Build(g.collection).value();
+  Result<std::unique_ptr<RetrievalEngine>> engine_result =
+      RetrievalEngine::Build(g.collection);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
   const bool adaptive = args->GetString("backend", "static") == "adaptive";
+
+  // Optional persisted profiles for the adaptive backend. An unreadable
+  // store degrades to non-personalised sessions instead of failing: the
+  // paper's accumulated-profile state must never block retrieval itself.
+  ProfileStore profiles;
+  bool profiles_degraded = false;
+  const UserProfile* profile = nullptr;
+  const std::string profiles_path = args->GetString("profiles");
+  if (!profiles_path.empty()) {
+    Result<ProfileStore> store = RetryOnIOError(
+        [&profiles_path] { return ProfileStore::Load(profiles_path); });
+    if (store.ok()) {
+      profiles = std::move(store).value();
+      profile = profiles.GetOrCreate(user.name);
+    } else {
+      std::fprintf(stderr,
+                   "profile store unavailable (%s); continuing "
+                   "non-personalised\n",
+                   store.status().ToString().c_str());
+      profiles_degraded = true;
+    }
+  }
 
   const int64_t threads_arg =
       args->GetInt("threads",
@@ -114,7 +159,9 @@ int Main(int argc, char** argv) {
   // engine, and the adaptive path runs single-threaded anyway.
   std::vector<StaticBackend> static_backends(threads == 0 ? 1 : threads,
                                              StaticBackend(*engine));
-  AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
+  AdaptiveOptions adaptive_options;
+  adaptive_options.use_profile = profile != nullptr;
+  AdaptiveEngine adaptive_backend(*engine, adaptive_options, profile);
   const auto backend_for_worker = [&](size_t worker) -> SearchBackend* {
     if (adaptive) return &adaptive_backend;
     return &static_backends[worker % static_backends.size()];
@@ -133,7 +180,7 @@ int Main(int argc, char** argv) {
   for (const SimulatedSession& session : *sweep) {
     found += session.outcome.truly_relevant_found;
   }
-  const Status saved = WriteStringToFile(log_path, log.Serialize());
+  const Status saved = log.Save(log_path);
   if (!saved.ok()) {
     std::fprintf(stderr, "%s\n", saved.ToString().c_str());
     return 1;
@@ -143,6 +190,15 @@ int Main(int argc, char** argv) {
               log_path.c_str(), sessions, env_name.c_str(),
               user.name.c_str(), adaptive ? "adaptive" : "static", threads,
               log.size(), found);
+  HealthReport health =
+      adaptive ? adaptive_backend.Health() : static_backends[0].Health();
+  if (profiles_degraded) health.profile_available = false;
+  if (health.degraded()) {
+    std::fprintf(stderr, "%s\n", health.ToString().c_str());
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
+  }
   return 0;
 }
 
