@@ -3,40 +3,91 @@
 #include <utility>
 
 #include "ivr/core/fault_injection.h"
+#include "ivr/core/logging.h"
 #include "ivr/profile/profile_reranker.h"
 #include "ivr/retrieval/fusion.h"
 
 namespace ivr {
+namespace {
+
+std::shared_ptr<const WeightingScheme> ResolveScheme(
+    const std::string& name) {
+  std::shared_ptr<const WeightingScheme> scheme = MakeWeightingScheme(name);
+  if (scheme == nullptr) {
+    // Unknown name: fall back to the linear default rather than failing a
+    // constructor; callers can always inject explicitly.
+    scheme = std::make_shared<LinearWeighting>();
+  }
+  return scheme;
+}
+
+}  // namespace
 
 AdaptiveEngine::AdaptiveEngine(const RetrievalEngine& engine,
                                AdaptiveOptions options,
                                const UserProfile* profile)
-    : engine_(&engine), options_(std::move(options)), profile_(profile) {
-  owned_scheme_ = MakeWeightingScheme(options_.weighting_scheme);
-  if (owned_scheme_ == nullptr) {
-    // Unknown name: fall back to the linear default rather than failing a
-    // constructor; callers can always inject explicitly.
-    owned_scheme_ = std::make_unique<LinearWeighting>();
-  }
-  scheme_ = owned_scheme_.get();
+    : AdaptiveEngine(engine, std::move(options),
+                     profile == nullptr
+                         ? std::shared_ptr<const UserProfile>()
+                         : std::make_shared<const UserProfile>(*profile)) {}
+
+AdaptiveEngine::AdaptiveEngine(const RetrievalEngine& engine,
+                               AdaptiveOptions options,
+                               std::shared_ptr<const UserProfile> profile)
+    : engine_(&engine),
+      options_(std::move(options)),
+      profile_(std::move(profile)) {
+  scheme_ = ResolveScheme(options_.weighting_scheme);
 }
 
 void AdaptiveEngine::SetWeightingScheme(const WeightingScheme* scheme) {
-  if (scheme != nullptr) scheme_ = scheme;
+  if (scheme != nullptr) {
+    // Legacy non-owning injection: alias with a no-op deleter; the caller
+    // guarantees the scheme outlives the engine.
+    scheme_ = std::shared_ptr<const WeightingScheme>(
+        scheme, [](const WeightingScheme*) {});
+  }
 }
 
-void AdaptiveEngine::BeginSession() { events_.clear(); }
-
-void AdaptiveEngine::ObserveEvent(const InteractionEvent& event) {
-  events_.push_back(event);
+void AdaptiveEngine::SetWeightingScheme(
+    std::shared_ptr<const WeightingScheme> scheme) {
+  if (scheme != nullptr) scheme_ = std::move(scheme);
 }
 
-std::vector<RelevanceEvidence> AdaptiveEngine::CurrentEvidence() const {
+SessionContext AdaptiveEngine::MakeContext(std::string session_id,
+                                           std::string user_id) const {
+  SessionContext ctx;
+  ctx.session_id = std::move(session_id);
+  ctx.user_id = std::move(user_id);
+  ctx.open = true;
+  return ctx;
+}
+
+void AdaptiveEngine::BeginSession(SessionContext* ctx) const {
+  ctx->Reset();
+}
+
+void AdaptiveEngine::ObserveEvent(SessionContext* ctx,
+                                  const InteractionEvent& event) const {
+  ctx->events.push_back(event);
+}
+
+std::vector<RelevanceEvidence> AdaptiveEngine::CurrentEvidence(
+    const SessionContext& ctx) const {
   ImplicitRelevanceEstimator::Options opts;
   opts.use_ostensive = options_.use_ostensive;
   opts.ostensive_half_life_ms = options_.ostensive_half_life_ms;
-  const ImplicitRelevanceEstimator estimator(*scheme_, opts);
-  return estimator.Estimate(events_, &engine_->collection());
+  const ImplicitRelevanceEstimator estimator(SchemeFor(ctx), opts);
+  return estimator.Estimate(ctx.events, &engine_->collection());
+}
+
+const std::vector<RelevanceEvidence>& AdaptiveEngine::CachedEvidence(
+    SessionContext* ctx) const {
+  if (ctx->evidence_events != ctx->events.size()) {
+    ctx->evidence_cache = CurrentEvidence(*ctx);
+    ctx->evidence_events = ctx->events.size();
+  }
+  return ctx->evidence_cache;
 }
 
 void AdaptiveEngine::EvidenceToFeedbackDocs(
@@ -54,7 +105,8 @@ void AdaptiveEngine::EvidenceToFeedbackDocs(
   }
 }
 
-ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
+ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
+                                  size_t k) const {
   std::vector<ResultList> lists;
   std::vector<double> weights;
 
@@ -65,11 +117,11 @@ ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
       // A faulted feedback backend degrades to the unexpanded query —
       // the user still gets an answer, just a non-adapted one.
       if (faults.enabled() && faults.ShouldFail("adaptive.feedback")) {
-        ++feedback_skipped_;
+        ++ctx->feedback_skipped;
       } else {
         std::vector<FeedbackDoc> positive;
         std::vector<FeedbackDoc> negative;
-        EvidenceToFeedbackDocs(CurrentEvidence(), &positive, &negative);
+        EvidenceToFeedbackDocs(CachedEvidence(ctx), &positive, &negative);
         if (!positive.empty() || !negative.empty()) {
           terms = RocchioExpand(terms, positive, negative,
                                 engine_->analyzer(), options_.rocchio);
@@ -94,13 +146,14 @@ ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
   ResultList fused = lists.size() == 1 ? std::move(lists.front())
                                        : WeightedLinear(lists, weights);
 
-  if (options_.use_profile && profile_ != nullptr) {
+  const UserProfile* profile = ProfileFor(*ctx);
+  if (options_.use_profile && profile != nullptr) {
     if (faults.enabled() && faults.ShouldFail("adaptive.profile")) {
-      ++profile_reranks_skipped_;
+      ++ctx->profile_reranks_skipped;
     } else {
       ProfileRerankOptions rerank;
       rerank.lambda = options_.profile_lambda;
-      fused = RerankWithProfile(fused, *profile_, engine_->collection(),
+      fused = RerankWithProfile(fused, *profile, engine_->collection(),
                                 rerank);
     }
   }
@@ -108,18 +161,40 @@ ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
   return fused;
 }
 
-HealthReport AdaptiveEngine::Health() const {
+HealthReport AdaptiveEngine::Health(const SessionContext& ctx) const {
   HealthReport report = engine_->Health();
-  report.profile_available = !options_.use_profile || profile_ != nullptr;
-  report.feedback_skipped = feedback_skipped_;
-  report.profile_reranks_skipped = profile_reranks_skipped_;
+  report.profile_available =
+      !options_.use_profile || ProfileFor(ctx) != nullptr;
+  report.feedback_skipped = ctx.feedback_skipped;
+  report.profile_reranks_skipped = ctx.profile_reranks_skipped;
   return report;
+}
+
+// --- SearchBackend compatibility adapter ---
+
+ResultList AdaptiveEngine::Search(const Query& query, size_t k) {
+  return Search(&bound_, query, k);
+}
+
+void AdaptiveEngine::BeginSession() { BeginSession(&bound_); }
+
+void AdaptiveEngine::ObserveEvent(const InteractionEvent& event) {
+  if (!bound_.open) {
+    // The pre-refactor engine silently accumulated such events into
+    // whatever state was lying around. Opening explicitly keeps the event
+    // (callers relied on that) but makes the lifecycle violation visible.
+    IVR_LOG(Warning) << "ObserveEvent before BeginSession on '" << name()
+                     << "': implicitly opening a fresh session";
+    ++implicit_session_opens_;
+    BeginSession(&bound_);
+  }
+  ObserveEvent(&bound_, event);
 }
 
 std::string AdaptiveEngine::name() const {
   std::string n = "adaptive";
   if (options_.use_implicit) {
-    n += "+implicit(" + scheme_->name() + ")";
+    n += "+implicit(" + SchemeFor(bound_).name() + ")";
   }
   if (options_.use_profile) n += "+profile";
   if (options_.use_ostensive) n += "+ostensive";

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ivr/adaptive/session_context.h"
 #include "ivr/feedback/backend.h"
 #include "ivr/feedback/estimator.h"
 #include "ivr/feedback/weighting.h"
@@ -41,58 +42,133 @@ struct AdaptiveOptions {
 };
 
 /// The adaptive retrieval model: wraps a static RetrievalEngine, watches
-/// the interaction stream of the current session, infers graded relevance
-/// evidence from it, and answers subsequent queries with feedback-expanded
-/// queries re-ranked by the user's static profile. The goal, per the
-/// paper, is "to significantly reduce the number of steps the user has to
-/// perform before he retrieves satisfying search results".
+/// the interaction stream of a session, infers graded relevance evidence
+/// from it, and answers subsequent queries with feedback-expanded queries
+/// re-ranked by the user's static profile. The goal, per the paper, is
+/// "to significantly reduce the number of steps the user has to perform
+/// before he retrieves satisfying search results".
+///
+/// Since the multi-session refactor the engine itself is a STATELESS
+/// policy object: all mutable per-session state (events, evidence cache,
+/// degraded-mode counters) lives in a SessionContext, and the context-
+/// taking overloads below are const and safe to call from any number of
+/// threads concurrently as long as each context is driven by one caller
+/// at a time. This is what lets one engine serve every session of a
+/// SessionManager over one shared index.
+///
+/// For compatibility the engine still implements SearchBackend by binding
+/// one internal context — the classic "one object, one session" API every
+/// existing experiment and tool uses.
 class AdaptiveEngine : public SearchBackend {
  public:
-  /// `engine` must outlive this object; `profile` may be nullptr (no
-  /// profile available) and must outlive this object otherwise.
+  /// `engine` must outlive this object. `profile` may be nullptr (no
+  /// profile available); when non-null it is COPIED into an owned
+  /// snapshot, so the caller's profile is free to change or die — sessions
+  /// can never dangle on it.
   AdaptiveEngine(const RetrievalEngine& engine, AdaptiveOptions options,
                  const UserProfile* profile);
 
-  /// Replaces the indicator weighting scheme (e.g. with a trained
-  /// LearnedWeighting). The scheme must outlive this object.
-  void SetWeightingScheme(const WeightingScheme* scheme);
+  /// Shared-ownership variant: the engine holds a reference to `profile`
+  /// for its whole lifetime (null = no profile).
+  AdaptiveEngine(const RetrievalEngine& engine, AdaptiveOptions options,
+                 std::shared_ptr<const UserProfile> profile);
 
-  // --- SearchBackend ---
+  /// Replaces the indicator weighting scheme (e.g. with a trained
+  /// LearnedWeighting). The raw-pointer overload does NOT take ownership
+  /// (legacy contract: the scheme must outlive this object); prefer the
+  /// shared_ptr overload, which keeps the scheme alive. Null is ignored.
+  void SetWeightingScheme(const WeightingScheme* scheme);
+  void SetWeightingScheme(std::shared_ptr<const WeightingScheme> scheme);
+
+  // --- stateless per-session API (const; thread-safe across contexts) ---
+
+  /// A fresh open context bound to this engine's defaults.
+  SessionContext MakeContext(std::string session_id,
+                             std::string user_id) const;
+
+  /// Resets `ctx` to a fresh session (keeps profile/scheme bindings and
+  /// lifetime counters) and marks it open.
+  void BeginSession(SessionContext* ctx) const;
+
+  /// Records one interaction event into `ctx`.
+  void ObserveEvent(SessionContext* ctx,
+                    const InteractionEvent& event) const;
+
+  /// Answers a query for the session in `ctx`: implicit-feedback Rocchio
+  /// expansion from the context's evidence, multimodal fusion, profile
+  /// re-ranking. Mutates only `ctx` (evidence cache, degraded counters).
+  ResultList Search(SessionContext* ctx, const Query& query,
+                    size_t k) const;
+
+  /// Evidence the engine would act on right now for `ctx` (uncached).
+  std::vector<RelevanceEvidence> CurrentEvidence(
+      const SessionContext& ctx) const;
+
+  /// The base engine's report plus `ctx`'s personalisation counters.
+  HealthReport Health(const SessionContext& ctx) const;
+
+  // --- SearchBackend: compatibility adapter over the bound context ---
   ResultList Search(const Query& query, size_t k) override;
+  /// An event observed before any BeginSession would previously mutate
+  /// half-initialised state silently; now the adapter lazily opens a
+  /// session with a logged warning (counted in implicit_session_opens()).
   void ObserveEvent(const InteractionEvent& event) override;
   void BeginSession() override;
   std::string name() const override;
-
-  /// The base engine's report plus this layer's personalisation counters:
-  /// searches served without feedback expansion or profile re-ranking
-  /// because that step faulted (sites "adaptive.feedback" /
-  /// "adaptive.profile") — degraded to non-personalised, never failed.
-  HealthReport Health() const override;
+  HealthReport Health() const override { return Health(bound_); }
 
   // --- introspection (used by experiments) ---
   const std::vector<InteractionEvent>& session_events() const {
-    return events_;
+    return bound_.events;
   }
-  /// Evidence the engine would act on right now.
-  std::vector<RelevanceEvidence> CurrentEvidence() const;
+  /// Evidence for the bound compatibility context.
+  std::vector<RelevanceEvidence> CurrentEvidence() const {
+    return CurrentEvidence(bound_);
+  }
+  /// The adapter's bound session context.
+  const SessionContext& bound_context() const { return bound_; }
+  /// Times the adapter had to lazily open a session on a stray
+  /// ObserveEvent (see the override above).
+  uint64_t implicit_session_opens() const {
+    return implicit_session_opens_;
+  }
   const AdaptiveOptions& options() const { return options_; }
   const RetrievalEngine& engine() const { return *engine_; }
+  /// The engine-default profile snapshot (null when none).
+  std::shared_ptr<const UserProfile> default_profile() const {
+    return profile_;
+  }
 
  private:
+  /// Effective profile/scheme for a context: its own binding, else the
+  /// engine default.
+  const UserProfile* ProfileFor(const SessionContext& ctx) const {
+    return ctx.profile != nullptr ? ctx.profile.get() : profile_.get();
+  }
+  const WeightingScheme& SchemeFor(const SessionContext& ctx) const {
+    return ctx.scheme != nullptr ? *ctx.scheme : *scheme_;
+  }
+
+  /// Memoised evidence: recomputed only when `ctx` gained events.
+  const std::vector<RelevanceEvidence>& CachedEvidence(
+      SessionContext* ctx) const;
+
   /// Splits evidence into Rocchio feedback documents.
   void EvidenceToFeedbackDocs(const std::vector<RelevanceEvidence>& evidence,
                               std::vector<FeedbackDoc>* positive,
                               std::vector<FeedbackDoc>* negative) const;
 
+  // Immutable after construction (SetWeightingScheme is a pre-session
+  // configuration step, not a concurrent mutation path).
   const RetrievalEngine* engine_;
   AdaptiveOptions options_;
-  const UserProfile* profile_;
-  std::unique_ptr<WeightingScheme> owned_scheme_;
-  const WeightingScheme* scheme_;
-  std::vector<InteractionEvent> events_;
-  // Plain counters: an AdaptiveEngine is per-session single-threaded.
-  uint64_t feedback_skipped_ = 0;
-  uint64_t profile_reranks_skipped_ = 0;
+  std::shared_ptr<const UserProfile> profile_;
+  std::shared_ptr<const WeightingScheme> scheme_;
+
+  // Compatibility adapter state: the one context the SearchBackend
+  // overrides bind. Untouched by the const context-taking API.
+  SessionContext bound_;
+  uint64_t implicit_session_opens_ = 0;
 };
 
 }  // namespace ivr

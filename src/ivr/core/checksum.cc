@@ -94,6 +94,33 @@ Result<std::string> UnwrapEnvelope(std::string_view format,
   return std::string(payload);
 }
 
+Result<std::string> UnwrapEnvelopePrefix(std::string_view format,
+                                         std::string_view text,
+                                         size_t* consumed) {
+  const size_t newline = text.find('\n');
+  if (newline == std::string_view::npos) {
+    return Status::Corruption("envelope header line missing");
+  }
+  const std::vector<std::string> parts =
+      SplitWhitespace(std::string(text.substr(0, newline)));
+  if (parts.size() != 5 || parts[0] != kEnvelopeMagic) {
+    return Status::Corruption("malformed envelope header");
+  }
+  IVR_ASSIGN_OR_RETURN(int64_t declared, ParseInt(parts[3]));
+  if (declared < 0) return Status::Corruption("negative payload size");
+  const size_t total = newline + 1 + static_cast<size_t>(declared);
+  if (total > text.size()) {
+    return Status::Corruption(StrFormat(
+        "envelope declares %lld payload bytes but only %zu remain "
+        "(truncated or torn append)",
+        static_cast<long long>(declared), text.size() - newline - 1));
+  }
+  IVR_ASSIGN_OR_RETURN(std::string payload,
+                       UnwrapEnvelope(format, text.substr(0, total)));
+  if (consumed != nullptr) *consumed = total;
+  return payload;
+}
+
 bool LooksEnveloped(std::string_view text) {
   if (StartsWith(text, kEnvelopeMagic)) {
     return text.size() > kEnvelopeMagic.size() &&

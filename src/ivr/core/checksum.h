@@ -33,6 +33,17 @@ std::string WrapEnvelope(std::string_view format, std::string_view payload);
 Result<std::string> UnwrapEnvelope(std::string_view format,
                                    std::string_view enveloped);
 
+/// Extracts and verifies the FIRST envelope of `text`, which may be a
+/// concatenation of envelopes — the layout the appendable session-log
+/// journal writes, one checksummed chunk per fsynced append. On success
+/// `*consumed` is set to the byte length of that envelope (header +
+/// payload), so callers can walk a journal chunk by chunk; a truncated
+/// final chunk (torn append) surfaces as kCorruption exactly like a torn
+/// whole-file write would.
+Result<std::string> UnwrapEnvelopePrefix(std::string_view format,
+                                         std::string_view text,
+                                         size_t* consumed);
+
 /// True when `text` starts with an envelope header. Loaders use it to
 /// accept legacy (pre-envelope) files unchecked.
 bool LooksEnveloped(std::string_view text);

@@ -41,6 +41,9 @@ namespace ivr {
 ///   concept.build        concept detector / index construction
 ///   adaptive.feedback    implicit-feedback expansion in AdaptiveEngine
 ///   adaptive.profile     profile re-ranking in AdaptiveEngine
+///   sessionlog.append    SessionLogWriter Open/Append (journal chunk)
+///   service.evict        SessionManager eviction pass (victim is kept)
+///   service.persist      SessionManager eviction/end persistence
 class FaultInjector {
  public:
   /// The process-wide injector the library's fault sites consult.

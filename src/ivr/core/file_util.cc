@@ -144,4 +144,12 @@ Status RemoveFile(const std::string& path) {
   return Status::OK();
 }
 
+Status MakeDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create directory " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 }  // namespace ivr

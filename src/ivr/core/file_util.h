@@ -30,6 +30,9 @@ bool FileExists(const std::string& path);
 /// Deletes a file; OK if it did not exist.
 Status RemoveFile(const std::string& path);
 
+/// Creates a directory (one level, like mkdir); OK if it already exists.
+Status MakeDirectory(const std::string& path);
+
 }  // namespace ivr
 
 #endif  // IVR_CORE_FILE_UTIL_H_

@@ -1,5 +1,10 @@
 #include "ivr/iface/session_log.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "ivr/core/checksum.h"
@@ -11,6 +16,31 @@ namespace ivr {
 namespace {
 
 constexpr std::string_view kEnvelopeFormat = "sessionlog";
+
+/// Concatenates the TSV payloads of every envelope chunk in `text`. A
+/// whole-file Save is a one-chunk journal, so this also covers it. When
+/// `dropped_chunks` is null any bad chunk fails the whole walk (strict
+/// Load); otherwise the walk stops at the first bad chunk, counts it and
+/// the unread remainder as one drop, and returns the complete prefix.
+Result<std::string> UnchunkJournal(std::string_view text,
+                                   size_t* dropped_chunks) {
+  std::string tsv;
+  size_t offset = 0;
+  while (offset < text.size()) {
+    size_t consumed = 0;
+    Result<std::string> payload =
+        UnwrapEnvelopePrefix(kEnvelopeFormat, text.substr(offset),
+                             &consumed);
+    if (!payload.ok()) {
+      if (dropped_chunks == nullptr) return payload.status();
+      ++*dropped_chunks;
+      break;
+    }
+    tsv += *payload;
+    offset += consumed;
+  }
+  return tsv;
+}
 
 std::string Sanitize(std::string_view text) {
   std::string out(text);
@@ -102,9 +132,23 @@ Result<SessionLog> SessionLog::Load(const std::string& path) {
   IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("sessionlog.load"));
   IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
   if (LooksEnveloped(text)) {
-    IVR_ASSIGN_OR_RETURN(text, UnwrapEnvelope(kEnvelopeFormat, text));
+    IVR_ASSIGN_OR_RETURN(text,
+                         UnchunkJournal(text, /*dropped_chunks=*/nullptr));
   }
   return Parse(text);
+}
+
+Result<SessionLog> SessionLog::LoadSalvage(const std::string& path,
+                                           size_t* dropped_chunks,
+                                           size_t* dropped_lines) {
+  IVR_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  size_t bad_chunks = 0;
+  if (LooksEnveloped(text)) {
+    // Cannot fail with a non-null drop counter.
+    text = UnchunkJournal(text, &bad_chunks).value();
+  }
+  if (dropped_chunks != nullptr) *dropped_chunks = bad_chunks;
+  return ParseLenient(text, dropped_lines);
 }
 
 std::string SessionLog::EventToLine(const InteractionEvent& event) {
@@ -146,6 +190,74 @@ Result<InteractionEvent> SessionLog::LineToEvent(std::string_view line) {
   IVR_ASSIGN_OR_RETURN(ev.value, ParseDouble(cols[6]));
   ev.text = cols[7];
   return ev;
+}
+
+// --- SessionLogWriter ---
+
+SessionLogWriter::~SessionLogWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SessionLogWriter::Open(const std::string& path) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("writer already open on " + path_);
+  }
+  IVR_RETURN_IF_ERROR(
+      FaultInjector::Global().MaybeFail("sessionlog.append"));
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for appending: " +
+                           std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  return Status::OK();
+}
+
+Status SessionLogWriter::Append(
+    const std::vector<InteractionEvent>& events) {
+  if (fd_ < 0) return Status::FailedPrecondition("writer is not open");
+  if (events.empty()) return Status::OK();
+  IVR_RETURN_IF_ERROR(
+      FaultInjector::Global().MaybeFail("sessionlog.append"));
+  std::string tsv;
+  for (const InteractionEvent& ev : events) {
+    tsv += SessionLog::EventToLine(ev);
+    tsv += "\n";
+  }
+  const std::string chunk = WrapEnvelope(kEnvelopeFormat, tsv);
+  size_t offset = 0;
+  while (offset < chunk.size()) {
+    const ssize_t written =
+        ::write(fd_, chunk.data() + offset, chunk.size() - offset);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("append failed for " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    offset += static_cast<size_t>(written);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SessionLogWriter::Append(const InteractionEvent& event) {
+  return Append(std::vector<InteractionEvent>{event});
+}
+
+Status SessionLogWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::IOError("close failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace ivr

@@ -50,16 +50,60 @@ class SessionLog {
 
   /// Crash-safe persistence: the serialized log is wrapped in a CRC32C
   /// envelope (format "sessionlog") and written atomically. Load verifies
-  /// the checksum (kCorruption on mismatch) and accepts bare legacy TSV
-  /// logs. Fault site: "sessionlog.load".
+  /// the checksum (kCorruption on mismatch), accepts bare legacy TSV
+  /// logs, and accepts the chunked journals SessionLogWriter appends (a
+  /// whole-file Save is simply a one-chunk journal). Fault site:
+  /// "sessionlog.load".
   Status Save(const std::string& path) const;
   static Result<SessionLog> Load(const std::string& path);
+
+  /// Salvage loader: accepts the same layouts as Load but keeps every
+  /// complete checksummed chunk before the first torn or corrupt one (the
+  /// crash-mid-append case) and skips unparseable lines, counting them in
+  /// *dropped_chunks / *dropped_lines when non-null. Fails only when the
+  /// file cannot be read at all.
+  static Result<SessionLog> LoadSalvage(const std::string& path,
+                                        size_t* dropped_chunks = nullptr,
+                                        size_t* dropped_lines = nullptr);
 
   static std::string EventToLine(const InteractionEvent& event);
   static Result<InteractionEvent> LineToEvent(std::string_view line);
 
  private:
   std::vector<InteractionEvent> events_;
+};
+
+/// Incremental, crash-safe session-log persistence: an append-only journal
+/// of checksummed envelope chunks, one fsynced chunk per Append call, so
+/// persisting a live session costs O(new events) instead of O(session) —
+/// what the SessionManager's eviction path relies on. A crash can tear at
+/// most the chunk being appended; every chunk already fsynced survives and
+/// SessionLog::Load / LoadSalvage recover them.
+class SessionLogWriter {
+ public:
+  SessionLogWriter() = default;
+  /// Closes (best-effort) if still open.
+  ~SessionLogWriter();
+
+  SessionLogWriter(const SessionLogWriter&) = delete;
+  SessionLogWriter& operator=(const SessionLogWriter&) = delete;
+
+  /// Opens `path` for appending, creating it when missing. Reopening an
+  /// existing journal continues it. Fault site: "sessionlog.append".
+  Status Open(const std::string& path);
+
+  /// Appends `events` as one checksummed chunk and fsyncs. No-op for an
+  /// empty batch. Fault site: "sessionlog.append".
+  Status Append(const std::vector<InteractionEvent>& events);
+  Status Append(const InteractionEvent& event);
+
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
 };
 
 }  // namespace ivr

@@ -22,6 +22,9 @@ std::string HealthReport::ToString() const {
   add("concepts_dropped", concepts_dropped);
   add("feedback_skipped", feedback_skipped);
   add("profile_reranks_skipped", profile_reranks_skipped);
+  add("sessions_active", sessions_active);
+  add("sessions_evicted", sessions_evicted);
+  add("session_persist_failures", session_persist_failures);
   add("faults_injected", faults_injected);
   return out;
 }

@@ -33,6 +33,14 @@ struct HealthReport {
   uint64_t feedback_skipped = 0;
   uint64_t profile_reranks_skipped = 0;
 
+  /// SessionManager: live sessions right now, sessions evicted over the
+  /// manager's lifetime (TTL + capacity), and eviction-time persistence
+  /// attempts that failed (those sessions served fine but their logs are
+  /// incomplete on disk — a degraded-mode signal).
+  uint64_t sessions_active = 0;
+  uint64_t sessions_evicted = 0;
+  uint64_t session_persist_failures = 0;
+
   /// Snapshot of FaultInjector::Global().num_injected() (0 when chaos is
   /// off): total injected faults across every site, including I/O.
   uint64_t faults_injected = 0;
@@ -41,7 +49,8 @@ struct HealthReport {
   bool degraded() const {
     return !concept_index_available || !profile_available ||
            degraded_queries > 0 || feedback_skipped > 0 ||
-           profile_reranks_skipped > 0 || faults_injected > 0;
+           profile_reranks_skipped > 0 ||
+           session_persist_failures > 0 || faults_injected > 0;
   }
 
   /// Compact single-line "healthy" / key=value summary for tool stderr.

@@ -1,0 +1,68 @@
+#include "ivr/service/managed_backend.h"
+
+#include <chrono>
+#include <thread>
+
+#include "ivr/core/logging.h"
+
+namespace ivr {
+
+ManagedSessionBackend::~ManagedSessionBackend() {
+  if (open_) (void)manager_->EndSession(session_id_);
+}
+
+void ManagedSessionBackend::Pace() const {
+  if (think_time_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(think_time_ms_));
+  }
+}
+
+void ManagedSessionBackend::Note(const Status& status) {
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+}
+
+void ManagedSessionBackend::EnsureOpen() {
+  if (open_) return;
+  IVR_LOG(Warning) << "operation before BeginSession on managed session '"
+                   << session_id_ << "': implicitly opening it";
+  ++implicit_session_opens_;
+  BeginSession();
+}
+
+void ManagedSessionBackend::BeginSession() {
+  // Re-beginning an adapter session = fresh session under the same id:
+  // end the old one first (the single-session BeginSession semantics).
+  if (open_) {
+    Note(manager_->EndSession(session_id_));
+    open_ = false;
+  }
+  const Status begun = manager_->BeginSession(session_id_, user_id_);
+  Note(begun);
+  open_ = begun.ok();
+}
+
+ResultList ManagedSessionBackend::Search(const Query& query, size_t k) {
+  EnsureOpen();
+  Pace();
+  Result<ResultList> results = manager_->Search(session_id_, query, k);
+  if (!results.ok()) {
+    // Evicted mid-session (capacity/TTL): degrade to an empty page; the
+    // manager already counted the rejection.
+    Note(results.status());
+    return ResultList();
+  }
+  return std::move(results).value();
+}
+
+void ManagedSessionBackend::ObserveEvent(const InteractionEvent& event) {
+  EnsureOpen();
+  Pace();
+  Note(manager_->ObserveEvent(session_id_, event));
+}
+
+Status ManagedSessionBackend::EndSession() {
+  open_ = false;
+  return manager_->EndSession(session_id_);
+}
+
+}  // namespace ivr

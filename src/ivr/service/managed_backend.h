@@ -1,0 +1,77 @@
+#ifndef IVR_SERVICE_MANAGED_BACKEND_H_
+#define IVR_SERVICE_MANAGED_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "ivr/core/clock.h"
+#include "ivr/feedback/backend.h"
+#include "ivr/service/session_manager.h"
+
+namespace ivr {
+
+/// Binds ONE session of a SessionManager behind the classic SearchBackend
+/// seam, so the whole simulation stack (SessionSimulator, the interfaces,
+/// every behaviour policy) can drive managed sessions unchanged. One
+/// backend = one session = one driving thread; many backends over one
+/// manager is the concurrent-service workload.
+///
+/// Follows the adapter convention for lifecycle violations: an event or
+/// query before BeginSession lazily opens the session with a logged
+/// warning (counted in implicit_session_opens()), whereas the manager
+/// itself rejects unknown sessions (see SessionManager::ObserveEvent).
+///
+/// Optional think-time pacing: when `think_time_ms` > 0 every operation
+/// sleeps that long first, modelling a user who reads results before
+/// acting. Paced sessions spend most wall-clock time off-CPU, which is
+/// what lets a multi-threaded driver multiplex many of them — the
+/// genny-style open-loop workload shape.
+class ManagedSessionBackend : public SearchBackend {
+ public:
+  /// `manager` must outlive the backend.
+  ManagedSessionBackend(SessionManager* manager, std::string session_id,
+                        std::string user_id, TimeMs think_time_ms = 0)
+      : manager_(manager),
+        session_id_(std::move(session_id)),
+        user_id_(std::move(user_id)),
+        think_time_ms_(think_time_ms) {}
+
+  /// Ends the bound session if still live (ignores NotFound).
+  ~ManagedSessionBackend() override;
+
+  ResultList Search(const Query& query, size_t k) override;
+  void ObserveEvent(const InteractionEvent& event) override;
+  void BeginSession() override;
+  HealthReport Health() const override { return manager_->Health(); }
+  std::string name() const override { return "managed"; }
+
+  /// Ends the bound session explicitly; NotFound when already gone.
+  Status EndSession();
+
+  const std::string& session_id() const { return session_id_; }
+  /// First error any operation hit (operations themselves degrade to
+  /// empty results / dropped events, as SearchBackend's interface has no
+  /// error channel).
+  const Status& first_error() const { return first_error_; }
+  uint64_t implicit_session_opens() const {
+    return implicit_session_opens_;
+  }
+
+ private:
+  void Pace() const;
+  void EnsureOpen();
+  void Note(const Status& status);
+
+  SessionManager* manager_;
+  std::string session_id_;
+  std::string user_id_;
+  TimeMs think_time_ms_ = 0;
+  bool open_ = false;
+  uint64_t implicit_session_opens_ = 0;
+  Status first_error_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_SERVICE_MANAGED_BACKEND_H_

@@ -232,5 +232,143 @@ TEST_F(AdaptiveEngineTest, EmptyQueryStillEmpty) {
   EXPECT_TRUE(adaptive.Search(Query(), 10).empty());
 }
 
+// --- the stateless context-taking API of the multi-session refactor ---
+
+TEST_F(AdaptiveEngineTest, ContextApiMatchesAdapter) {
+  const SearchTopic& topic = generated_->topics.topics[0];
+  Query query;
+  query.text = topic.title;
+  const std::vector<ShotId> relevant =
+      generated_->qrels.RelevantShots(topic.id, 2);
+  ASSERT_GE(relevant.size(), 2u);
+
+  // Drive the same session once through the classic adapter and once
+  // through an explicit context; rankings must match exactly.
+  AdaptiveEngine adapter(*engine_, AdaptiveOptions(), nullptr);
+  adapter.BeginSession();
+  Engage(&adapter, {relevant[0], relevant[1]});
+  const ResultList via_adapter = adapter.Search(query, 100);
+
+  const AdaptiveEngine stateless(*engine_, AdaptiveOptions(), nullptr);
+  SessionContext ctx = stateless.MakeContext("s1", "u1");
+  for (const InteractionEvent& event : adapter.session_events()) {
+    stateless.ObserveEvent(&ctx, event);
+  }
+  const ResultList via_context = stateless.Search(&ctx, query, 100);
+
+  ASSERT_EQ(via_adapter.size(), via_context.size());
+  for (size_t i = 0; i < via_adapter.size(); ++i) {
+    EXPECT_EQ(via_adapter.at(i).shot, via_context.at(i).shot);
+    EXPECT_DOUBLE_EQ(via_adapter.at(i).score, via_context.at(i).score);
+  }
+}
+
+TEST_F(AdaptiveEngineTest, ContextsAreIndependent) {
+  const SearchTopic& topic = generated_->topics.topics[0];
+  Query query;
+  query.text = topic.title;
+  const std::vector<ShotId> relevant =
+      generated_->qrels.RelevantShots(topic.id, 2);
+  ASSERT_GE(relevant.size(), 1u);
+
+  const AdaptiveEngine engine(*engine_, AdaptiveOptions(), nullptr);
+  SessionContext engaged = engine.MakeContext("s1", "u1");
+  SessionContext fresh = engine.MakeContext("s2", "u2");
+
+  InteractionEvent click;
+  click.type = EventType::kClickKeyframe;
+  click.shot = relevant[0];
+  engine.ObserveEvent(&engaged, click);
+
+  // Feedback in one context must not leak into the other: the fresh
+  // context still matches the bare engine.
+  EXPECT_FALSE(engine.CurrentEvidence(engaged).empty());
+  EXPECT_TRUE(engine.CurrentEvidence(fresh).empty());
+  const ResultList base = engine_->Search(query, 50);
+  const ResultList from_fresh = engine.Search(&fresh, query, 50);
+  ASSERT_EQ(base.size(), from_fresh.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.at(i).shot, from_fresh.at(i).shot);
+  }
+}
+
+TEST_F(AdaptiveEngineTest, ProfileSnapshotCannotDangle) {
+  // The legacy raw-pointer constructor copies the profile; mutating or
+  // destroying the caller's object afterwards must not affect the engine.
+  AdaptiveOptions options;
+  options.use_implicit = false;
+  options.use_profile = true;
+  options.profile_lambda = 0.9;
+  const TopicLabel preferred = generated_->topics.topics[1].target_topic;
+
+  std::unique_ptr<AdaptiveEngine> adaptive;
+  {
+    UserProfile profile("fan");
+    profile.SetInterest(preferred, 1.0);
+    adaptive = std::make_unique<AdaptiveEngine>(*engine_, options,
+                                                &profile);
+    profile.SetInterest(preferred, 0.0);  // snapshot must not see this
+  }  // profile destroyed
+  ASSERT_NE(adaptive->default_profile(), nullptr);
+  EXPECT_DOUBLE_EQ(adaptive->default_profile()->Interest(preferred), 1.0);
+}
+
+TEST_F(AdaptiveEngineTest, StrayObserveEventLazilyOpensWithWarning) {
+  AdaptiveEngine adaptive(*engine_, AdaptiveOptions(), nullptr);
+  EXPECT_EQ(adaptive.implicit_session_opens(), 0u);
+  InteractionEvent click;
+  click.type = EventType::kClickKeyframe;
+  click.shot = 0;
+  adaptive.ObserveEvent(click);  // no BeginSession first
+  EXPECT_EQ(adaptive.implicit_session_opens(), 1u);
+  EXPECT_TRUE(adaptive.bound_context().open);
+  // The stray event is kept (legacy callers relied on it).
+  ASSERT_EQ(adaptive.session_events().size(), 1u);
+  // A subsequent event does not re-open.
+  adaptive.ObserveEvent(click);
+  EXPECT_EQ(adaptive.implicit_session_opens(), 1u);
+  EXPECT_EQ(adaptive.session_events().size(), 2u);
+}
+
+TEST_F(AdaptiveEngineTest, ContextProfileOverridesEngineDefault) {
+  AdaptiveOptions options;
+  options.use_implicit = false;
+  options.use_profile = true;
+  options.profile_lambda = 0.9;
+  const AdaptiveEngine engine(*engine_, options, nullptr);
+
+  auto profile = std::make_shared<UserProfile>("fan");
+  profile->SetInterest(generated_->topics.topics[1].target_topic, 1.0);
+
+  Query query;
+  query.text = generated_->topics.topics[0].title + " " +
+               generated_->topics.topics[1].title;
+  SessionContext with_profile = engine.MakeContext("s1", "fan");
+  with_profile.profile = profile;
+  SessionContext without = engine.MakeContext("s2", "other");
+
+  // A context without a profile reports profiles unavailable under
+  // use_profile; the bound one is healthy.
+  EXPECT_FALSE(engine.Health(without).profile_available);
+  EXPECT_TRUE(engine.Health(with_profile).profile_available);
+
+  const ResultList personalised =
+      engine.Search(&with_profile, query, 50);
+  const ResultList plain = engine.Search(&without, query, 50);
+  auto count_preferred = [&](const ResultList& list) {
+    size_t n = 0;
+    for (size_t i = 0; i < std::min<size_t>(10, list.size()); ++i) {
+      const Shot* shot =
+          generated_->collection.shot(list.at(i).shot).value();
+      if (shot->primary_topic ==
+          generated_->topics.topics[1].target_topic) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GE(count_preferred(personalised), count_preferred(plain));
+}
+
 }  // namespace
 }  // namespace ivr

@@ -74,5 +74,52 @@ TEST(EnvelopeTest, NonEnvelopedInputs) {
                   .IsCorruption());
 }
 
+TEST(EnvelopePrefixTest, WalksConcatenatedEnvelopes) {
+  const std::string journal = WrapEnvelope("sessionlog", "first\n") +
+                              WrapEnvelope("sessionlog", "second\n") +
+                              WrapEnvelope("sessionlog", "");
+  size_t offset = 0;
+  std::vector<std::string> payloads;
+  while (offset < journal.size()) {
+    size_t consumed = 0;
+    Result<std::string> payload = UnwrapEnvelopePrefix(
+        "sessionlog", journal.substr(offset), &consumed);
+    ASSERT_TRUE(payload.ok());
+    payloads.push_back(*payload);
+    offset += consumed;
+  }
+  EXPECT_EQ(payloads,
+            (std::vector<std::string>{"first\n", "second\n", ""}));
+  EXPECT_EQ(offset, journal.size());
+}
+
+TEST(EnvelopePrefixTest, TornLastChunkIsCorruption) {
+  const std::string journal = WrapEnvelope("sessionlog", "complete\n") +
+                              WrapEnvelope("sessionlog", "torn chunk\n");
+  // Cut inside the second envelope: first chunk still unwraps, the tail
+  // surfaces as corruption instead of a silent partial read.
+  const std::string cut = journal.substr(0, journal.size() - 4);
+  size_t consumed = 0;
+  const Result<std::string> first =
+      UnwrapEnvelopePrefix("sessionlog", cut, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "complete\n");
+  EXPECT_TRUE(UnwrapEnvelopePrefix("sessionlog", cut.substr(consumed),
+                                   &consumed)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(EnvelopePrefixTest, ChecksumStillVerifiedPerChunk) {
+  std::string journal = WrapEnvelope("sessionlog", "payload one\n");
+  const size_t first_size = journal.size();
+  journal += WrapEnvelope("sessionlog", "payload two\n");
+  journal[first_size / 2] ^= 0x04;  // corrupt inside the first payload
+  size_t consumed = 0;
+  EXPECT_TRUE(UnwrapEnvelopePrefix("sessionlog", journal, &consumed)
+                  .status()
+                  .IsCorruption());
+}
+
 }  // namespace
 }  // namespace ivr

@@ -1,0 +1,151 @@
+// Chaos tier for the service layer: the concurrent-session driver runs
+// with every fault site armed at 5% ("all:0.05") and the managed stack
+// must degrade, never corrupt — no session lost without being counted,
+// no event from one session ever observed in another's context, and all
+// degradation visible through Stats()/Health().
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivr/core/fault_injection.h"
+#include "ivr/service/managed_backend.h"
+#include "ivr/service/session_manager.h"
+#include "ivr/sim/simulator.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+class ServiceChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 55;
+    options.num_topics = 4;
+    options.num_videos = 8;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    adaptive_ = std::make_unique<AdaptiveEngine>(
+        *engine_, AdaptiveOptions(), nullptr);
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<AdaptiveEngine> adaptive_;
+};
+
+TEST_F(ServiceChaosTest, ConcurrentSessionsSurviveGlobalChaos) {
+  constexpr size_t kSessions = 16;
+  constexpr size_t kThreads = 4;
+
+  SessionManagerOptions options;
+  options.max_sessions = 8;  // eviction pressure under chaos too
+  options.persist_dir = ::testing::TempDir() + "/ivr_service_chaos";
+  SessionManager manager(*adaptive_, options);
+  const SessionSimulator simulator(generated_->collection,
+                                   generated_->qrels);
+  const UserModel user = NoviceUser();
+  const std::vector<SearchTopic>& topics = generated_->topics.topics;
+
+  std::vector<SimulatedSession> sessions(kSessions);
+  std::atomic<size_t> completed{0};
+  {
+    ScopedFaultInjection chaos("all:0.05", 2024);
+    ASSERT_TRUE(chaos.status().ok());
+    std::atomic<size_t> next{0};
+    const auto worker = [&] {
+      for (size_t j = next++; j < kSessions; j = next++) {
+        SessionSimulator::RunConfig config;
+        config.seed = 500 + j * 131;
+        config.session_id = "chaos-s" + std::to_string(j);
+        config.user_id = user.name + std::to_string(j % 4);
+        ManagedSessionBackend backend(&manager, config.session_id,
+                                      config.user_id);
+        Result<SimulatedSession> session = simulator.Run(
+            &backend, topics[j % topics.size()], user, config, nullptr);
+        (void)backend.EndSession();
+        if (session.ok()) {
+          sessions[j] = std::move(session).value();
+          ++completed;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    for (size_t t = 1; t < kThreads; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+
+    // Every session ran to completion: faults degrade individual steps
+    // (skipped feedback, failed persists, kept victims), they never kill
+    // a session outright.
+    EXPECT_EQ(completed.load(), kSessions);
+
+    // No session is silently lost: every begun session is accounted for
+    // as still-active, ended, or evicted.
+    const SessionManagerStats stats = manager.Stats();
+    EXPECT_EQ(stats.begun, kSessions);
+    EXPECT_EQ(stats.begun, stats.active + stats.ended +
+                               stats.evicted_idle + stats.evicted_capacity);
+
+    // No cross-contamination: each session's events carry only its own
+    // session id (per-session contexts never mix streams).
+    for (size_t j = 0; j < kSessions; ++j) {
+      const std::string expected_id = "chaos-s" + std::to_string(j);
+      for (const InteractionEvent& event : sessions[j].events) {
+        ASSERT_EQ(event.session_id, expected_id)
+            << "event from '" << event.session_id << "' leaked into '"
+            << expected_id << "'";
+      }
+    }
+
+    // Degradation is visible, not hidden.
+    const HealthReport health = manager.Health();
+    if (stats.persist_failures > 0) {
+      EXPECT_TRUE(health.degraded());
+      EXPECT_EQ(health.session_persist_failures, stats.persist_failures);
+    }
+  }
+}
+
+TEST_F(ServiceChaosTest, ChaosRunStaysDeterministic) {
+  // Same seed, same spec, same single-threaded order => same degraded
+  // behaviour, down to the counters.
+  const auto run = [&] {
+    SessionManagerOptions options;
+    options.num_shards = 1;
+    options.max_sessions = 2;
+    SessionManager manager(*adaptive_, options);
+    const SessionSimulator simulator(generated_->collection,
+                                     generated_->qrels);
+    const UserModel user = NoviceUser();
+    ScopedFaultInjection chaos("all:0.05", 7);
+    for (size_t j = 0; j < 6; ++j) {
+      SessionSimulator::RunConfig config;
+      config.seed = 900 + j;
+      config.session_id = "rep-s" + std::to_string(j);
+      config.user_id = "u";
+      ManagedSessionBackend backend(&manager, config.session_id,
+                                    config.user_id);
+      (void)simulator.Run(&backend,
+                          generated_->topics.topics[j % 4], user,
+                          config, nullptr);
+      (void)backend.EndSession();
+    }
+    const SessionManagerStats stats = manager.Stats();
+    return std::vector<uint64_t>{stats.begun, stats.ended,
+                                 stats.evicted_capacity,
+                                 stats.evictions_skipped,
+                                 stats.persist_failures,
+                                 stats.rejected_ops};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,115 @@
+// The service layer's central contract: N sessions driven through one
+// shared SessionManager produce bit-identical per-session event streams
+// and rankings whether they run sequentially or interleaved from many
+// threads. This test is also the TSan workload — build with
+// -DIVR_SANITIZE=thread (or the `tsan` CMake preset) and run it to
+// check the sharded table for data races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivr/core/string_util.h"
+#include "ivr/service/managed_backend.h"
+#include "ivr/service/session_manager.h"
+#include "ivr/sim/simulator.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+constexpr size_t kSessions = 12;
+
+std::string Signature(const SimulatedSession& session) {
+  std::string sig;
+  for (const InteractionEvent& event : session.events) {
+    sig += SessionLog::EventToLine(event);
+    sig += "\n";
+  }
+  for (const ResultList& results : session.outcome.per_query_results) {
+    for (const RankedShot& entry : results.items()) {
+      sig += StrFormat("%u:%.17g ", entry.shot, entry.score);
+    }
+    sig += "\n";
+  }
+  return sig;
+}
+
+class ServiceDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 99;
+    options.num_topics = 4;
+    options.num_videos = 8;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    engine_ = RetrievalEngine::Build(generated_->collection).value();
+    adaptive_ = std::make_unique<AdaptiveEngine>(
+        *engine_, AdaptiveOptions(), nullptr);
+  }
+
+  /// Runs the fixed workload on `threads` threads over a fresh manager
+  /// and returns one signature per session (job order).
+  std::vector<std::string> RunWorkload(size_t threads) {
+    SessionManager manager(*adaptive_, SessionManagerOptions());
+    const SessionSimulator simulator(generated_->collection,
+                                     generated_->qrels);
+    const UserModel user = NoviceUser();
+    const std::vector<SearchTopic>& topics = generated_->topics.topics;
+    std::vector<SimulatedSession> sessions(kSessions);
+    std::atomic<size_t> next{0};
+    const auto worker = [&] {
+      for (size_t j = next++; j < kSessions; j = next++) {
+        SessionSimulator::RunConfig config;
+        config.seed = 100 + j * 131;
+        config.session_id = "det-s" + std::to_string(j);
+        config.user_id = user.name + std::to_string(j % 3);
+        ManagedSessionBackend backend(&manager, config.session_id,
+                                      config.user_id);
+        Result<SimulatedSession> session = simulator.Run(
+            &backend, topics[j % topics.size()], user, config, nullptr);
+        EXPECT_TRUE(session.ok());
+        (void)backend.EndSession();
+        if (session.ok()) sessions[j] = std::move(session).value();
+      }
+    };
+    std::vector<std::thread> pool;
+    for (size_t t = 1; t < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+    std::vector<std::string> signatures;
+    signatures.reserve(kSessions);
+    for (const SimulatedSession& session : sessions) {
+      signatures.push_back(Signature(session));
+    }
+    return signatures;
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> engine_;
+  std::unique_ptr<AdaptiveEngine> adaptive_;
+};
+
+TEST_F(ServiceDeterminismTest, ConcurrentRunMatchesSequential) {
+  const std::vector<std::string> sequential = RunWorkload(1);
+  const std::vector<std::string> concurrent = RunWorkload(8);
+  ASSERT_EQ(sequential.size(), concurrent.size());
+  for (size_t j = 0; j < sequential.size(); ++j) {
+    EXPECT_FALSE(sequential[j].empty()) << "session " << j << " is empty";
+    EXPECT_EQ(sequential[j], concurrent[j])
+        << "session " << j << " diverged between 1 and 8 threads";
+  }
+}
+
+TEST_F(ServiceDeterminismTest, RepeatedConcurrentRunsAgree) {
+  // Thread scheduling varies run to run; the results must not.
+  EXPECT_EQ(RunWorkload(8), RunWorkload(8));
+}
+
+}  // namespace
+}  // namespace ivr

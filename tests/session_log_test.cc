@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
+
 namespace ivr {
 namespace {
 
@@ -114,6 +120,103 @@ TEST(SessionLogTest, SessionIdsFirstSeenOrder) {
   log.Append(MakeEvent(2, "a", EventType::kSessionEnd));
   log.Append(MakeEvent(3, "b", EventType::kSessionEnd));
   EXPECT_EQ(log.SessionIds(), (std::vector<std::string>{"b", "a"}));
+}
+
+// --- SessionLogWriter: the appendable journal ---
+
+TEST(SessionLogWriterTest, IncrementalAppendLoadsAsOneLog) {
+  const std::string path = ::testing::TempDir() + "/ivr_journal.tsv";
+  std::remove(path.c_str());
+  SessionLogWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(MakeEvent(1, "a", EventType::kQuerySubmit,
+                                      kInvalidShotId, 0.0, "news"))
+                  .ok());
+  // Each Append is one fsynced chunk; a batch is one chunk too.
+  ASSERT_TRUE(writer
+                  .Append({MakeEvent(2, "a", EventType::kClickKeyframe, 7),
+                           MakeEvent(3, "a", EventType::kSessionEnd)})
+                  .ok());
+  EXPECT_TRUE(writer.Append(std::vector<InteractionEvent>{}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  const SessionLog loaded = SessionLog::Load(path).value();
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.events()[0].text, "news");
+  EXPECT_EQ(loaded.events()[2].type, EventType::kSessionEnd);
+  std::remove(path.c_str());
+}
+
+TEST(SessionLogWriterTest, ReopenContinuesTheJournal) {
+  const std::string path = ::testing::TempDir() + "/ivr_journal2.tsv";
+  std::remove(path.c_str());
+  {
+    SessionLogWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(
+        writer.Append(MakeEvent(1, "a", EventType::kQuerySubmit)).ok());
+  }  // destructor closes
+  {
+    SessionLogWriter writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(
+        writer.Append(MakeEvent(2, "a", EventType::kSessionEnd)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_EQ(SessionLog::Load(path).value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionLogWriterTest, TornTailStrictFailsSalvageRecovers) {
+  const std::string path = ::testing::TempDir() + "/ivr_journal3.tsv";
+  std::remove(path.c_str());
+  SessionLogWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(
+      writer.Append(MakeEvent(1, "a", EventType::kQuerySubmit)).ok());
+  ASSERT_TRUE(
+      writer.Append(MakeEvent(2, "a", EventType::kClickKeyframe, 7)).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Crash mid-append: the file ends in a torn (truncated) chunk.
+  const std::string bytes = ReadFileToString(path).value();
+  ASSERT_TRUE(
+      WriteStringToFile(path, bytes.substr(0, bytes.size() - 5)).ok());
+
+  EXPECT_TRUE(SessionLog::Load(path).status().IsCorruption());
+  size_t dropped_chunks = 0;
+  const SessionLog salvaged =
+      SessionLog::LoadSalvage(path, &dropped_chunks).value();
+  // Every fully fsynced chunk before the tear survives.
+  EXPECT_EQ(salvaged.size(), 1u);
+  EXPECT_EQ(dropped_chunks, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionLogWriterTest, AppendFaultSiteSurfacesAsError) {
+  const std::string path = ::testing::TempDir() + "/ivr_journal4.tsv";
+  std::remove(path.c_str());
+  SessionLogWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  {
+    ScopedFaultInjection chaos("sessionlog.append:1.0", 7);
+    EXPECT_TRUE(writer.Append(MakeEvent(1, "a", EventType::kQuerySubmit))
+                    .IsIOError());
+  }
+  // After the fault clears the journal is still usable.
+  EXPECT_TRUE(
+      writer.Append(MakeEvent(2, "a", EventType::kSessionEnd)).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_EQ(SessionLog::Load(path).value().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionLogWriterTest, AppendWithoutOpenFails) {
+  SessionLogWriter writer;
+  EXPECT_TRUE(writer.Append(MakeEvent(1, "a", EventType::kSessionEnd))
+                  .IsFailedPrecondition());
+  EXPECT_FALSE(writer.is_open());
+  EXPECT_TRUE(writer.Close().ok());
 }
 
 TEST(SessionLogTest, EventsForSessionFilters) {

@@ -1,0 +1,268 @@
+// ivr_serve_sim — drive N interleaved user sessions through a shared
+// SessionManager from M threads: the concurrent-service workload shape
+// (many users, one index) the single-session experiments cannot exercise.
+//
+//   ivr_serve_sim [--collection c.ivr] [--sessions 16] [--threads 4]
+//                 [--env desktop|tv] [--user novice|expert|couch]
+//                 [--seed 1] [--shards 8] [--max-sessions N] [--ttl-ms N]
+//                 [--persist-dir DIR] [--persist-every N] [--think MS]
+//                 [--check] [--fault-spec SPEC] [--fault-seed N]
+//
+// Without --collection a standard benchmark collection is generated in
+// process. --think adds a per-operation user think time (off-CPU), the
+// open-loop pacing that lets one core multiplex many concurrent
+// sessions. --check re-runs the same workload sequentially on a fresh
+// manager and verifies every session's event stream and per-query
+// rankings are bit-identical to the concurrent run — the determinism
+// contract of the service layer. The contract assumes no eviction, so
+// --check rejects --max-sessions/--ttl-ms (victim choice under
+// concurrency is interleaving-dependent by design).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/string_util.h"
+#include "ivr/service/managed_backend.h"
+#include "ivr/service/session_manager.h"
+#include "ivr/sim/simulator.h"
+#include "ivr/video/generator.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+struct Workload {
+  Environment env = Environment::kDesktop;
+  UserModel user;
+  size_t sessions = 16;
+  uint64_t seed_base = 1;
+  TimeMs think_ms = 0;
+};
+
+/// A canonical signature of everything a session's user saw: the full
+/// event stream plus every per-query ranking (shot ids and score bits).
+/// Two sessions with equal signatures were served identically.
+std::string SessionSignature(const SimulatedSession& session) {
+  std::string sig;
+  for (const InteractionEvent& event : session.events) {
+    sig += SessionLog::EventToLine(event);
+    sig += "\n";
+  }
+  for (const ResultList& results : session.outcome.per_query_results) {
+    for (const RankedShot& entry : results.items()) {
+      sig += StrFormat("%u:%.17g ", entry.shot, entry.score);
+    }
+    sig += "\n";
+  }
+  return sig;
+}
+
+/// Runs the whole workload against `manager` on `threads` threads and
+/// returns the sessions in job order. Each session is driven end to end
+/// by exactly one thread through its own ManagedSessionBackend; threads
+/// pick jobs from a shared queue, so sessions interleave freely.
+std::vector<SimulatedSession> RunWorkload(SessionManager* manager,
+                                          const GeneratedCollection& g,
+                                          const Workload& w,
+                                          size_t threads) {
+  const SessionSimulator simulator(g.collection, g.qrels);
+  const std::vector<SearchTopic>& topics = g.topics.topics;
+  std::vector<SimulatedSession> sessions(w.sessions);
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t j = next++; j < w.sessions; j = next++) {
+      const SearchTopic& topic = topics[j % topics.size()];
+      SessionSimulator::RunConfig config;
+      config.environment = w.env;
+      config.seed = w.seed_base + j * 131;
+      config.session_id = StrFormat("serve-s%zu", j);
+      config.user_id = w.user.name + std::to_string(j % 4);
+      ManagedSessionBackend backend(manager, config.session_id,
+                                    config.user_id, w.think_ms);
+      Result<SimulatedSession> session =
+          simulator.Run(&backend, topic, w.user, config, nullptr);
+      (void)backend.EndSession();
+      if (session.ok()) {
+        sessions[j] = std::move(session).value();
+      } else {
+        std::fprintf(stderr, "session %zu failed: %s\n", j,
+                     session.status().ToString().c_str());
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return sessions;
+}
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+
+  GeneratedCollection g;
+  const std::string collection_path = args->GetString("collection");
+  if (collection_path.empty()) {
+    GeneratorOptions options;
+    options.seed = 2008;
+    options.num_videos = 25;
+    options.num_topics = 10;
+    Result<GeneratedCollection> generated = GenerateCollection(options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(generated).value();
+    std::fprintf(stderr, "note: no --collection; generated %zu shots\n",
+                 g.collection.num_shots());
+  } else {
+    Result<GeneratedCollection> loaded =
+        LoadCollectionRobust(collection_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+  }
+
+  Workload w;
+  const std::string env_name = args->GetString("env", "desktop");
+  if (env_name == "tv") {
+    w.env = Environment::kTv;
+  } else if (env_name != "desktop") {
+    std::fprintf(stderr, "unknown --env %s\n", env_name.c_str());
+    return 2;
+  }
+  const std::string user_name = args->GetString("user", "novice");
+  if (user_name == "novice") {
+    w.user = NoviceUser();
+  } else if (user_name == "expert") {
+    w.user = ExpertUser();
+  } else if (user_name == "couch") {
+    w.user = CouchViewerUser();
+  } else {
+    std::fprintf(stderr, "unknown --user %s\n", user_name.c_str());
+    return 2;
+  }
+  w.sessions =
+      static_cast<size_t>(args->GetInt("sessions", 16).value_or(16));
+  w.seed_base = static_cast<uint64_t>(args->GetInt("seed", 1).value_or(1));
+  w.think_ms = args->GetInt("think", 0).value_or(0);
+  const size_t threads =
+      static_cast<size_t>(args->GetInt("threads", 4).value_or(4));
+
+  Result<std::unique_ptr<RetrievalEngine>> engine_result =
+      RetrievalEngine::Build(g.collection);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
+  AdaptiveOptions adaptive_options;
+  const AdaptiveEngine adaptive(*engine, adaptive_options, nullptr);
+
+  SessionManagerOptions manager_options;
+  manager_options.num_shards =
+      static_cast<size_t>(args->GetInt("shards", 8).value_or(8));
+  manager_options.max_sessions =
+      static_cast<size_t>(args->GetInt("max-sessions", 0).value_or(0));
+  manager_options.idle_ttl_ms = args->GetInt("ttl-ms", 0).value_or(0);
+  manager_options.persist_dir = args->GetString("persist-dir");
+  manager_options.persist_every_events = static_cast<size_t>(
+      args->GetInt("persist-every", 0).value_or(0));
+
+  if (args->GetBool("check") &&
+      (manager_options.max_sessions > 0 || manager_options.idle_ttl_ms > 0)) {
+    std::fprintf(stderr,
+                 "--check needs an eviction-free manager: with "
+                 "--max-sessions/--ttl-ms the choice of eviction victim "
+                 "depends on thread interleaving, so the concurrent run is "
+                 "not comparable to the sequential reference\n");
+    return 2;
+  }
+
+  SessionManager manager(adaptive, manager_options);
+  const auto started = std::chrono::steady_clock::now();
+  const std::vector<SimulatedSession> sessions =
+      RunWorkload(&manager, g, w, threads);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  size_t events = 0;
+  size_t found = 0;
+  for (const SimulatedSession& session : sessions) {
+    events += session.events.size();
+    found += session.outcome.truly_relevant_found;
+  }
+  std::printf(
+      "served %zu sessions on %zu threads in %.3fs (%.1f sessions/s): "
+      "%zu events, %zu relevant shots found\n",
+      w.sessions, threads, elapsed, w.sessions / elapsed, events, found);
+  std::printf("%s\n", manager.Stats().ToString().c_str());
+
+  int rc = 0;
+  if (args->GetBool("check")) {
+    // Replay the identical workload sequentially (no pacing) on a fresh
+    // manager; per-session results must match bit for bit. Only valid
+    // without eviction pressure (rejected above): which session a
+    // capacity/TTL sweep evicts depends on how the threads interleave,
+    // so an evicting run is not comparable to a sequential one.
+    Workload sequential = w;
+    sequential.think_ms = 0;
+    SessionManager reference_manager(adaptive, manager_options);
+    const std::vector<SimulatedSession> reference =
+        RunWorkload(&reference_manager, g, sequential, 1);
+    size_t mismatches = 0;
+    for (size_t j = 0; j < sessions.size(); ++j) {
+      if (SessionSignature(sessions[j]) != SessionSignature(reference[j])) {
+        ++mismatches;
+        std::fprintf(stderr, "check: session %zu diverged\n", j);
+      }
+    }
+    if (mismatches == 0) {
+      std::printf("check: all %zu sessions bit-identical to the "
+                  "sequential run\n",
+                  sessions.size());
+    } else {
+      std::fprintf(stderr, "check FAILED: %zu/%zu sessions diverged\n",
+                   mismatches, sessions.size());
+      rc = 1;
+    }
+  }
+
+  const HealthReport health = manager.Health();
+  if (health.degraded()) {
+    std::fprintf(stderr, "%s\n", health.ToString().c_str());
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }

@@ -7,9 +7,11 @@
 //                [--backend static|adaptive] [--profiles store.ivrp]
 //                [--threads N] [--fault-spec SPEC] [--fault-seed N]
 //
-// Sessions fan out over --threads workers (default: hardware concurrency;
-// forced to 1 for the stateful adaptive backend). The log and summary are
-// identical for every thread count.
+// Sessions fan out over --threads workers (default: hardware
+// concurrency). Each worker owns its backend — the adaptive backend's
+// session state lives in a per-engine SessionContext, so sessions never
+// interleave feedback across workers. The log and summary are identical
+// for every thread count.
 //
 // --profiles points the adaptive backend at a persisted ProfileStore; if
 // the store fails to load the tool degrades to non-personalised sessions
@@ -17,6 +19,7 @@
 // is written atomically inside a checksummed envelope.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
@@ -123,16 +126,8 @@ int Main(int argc, char** argv) {
       args->GetInt("threads",
                    static_cast<int64_t>(ThreadPool::DefaultThreadCount()))
           .value_or(1);
-  size_t threads =
+  const size_t threads =
       threads_arg < 1 ? size_t{1} : static_cast<size_t>(threads_arg);
-  if (adaptive && threads > 1) {
-    // The adaptive backend accumulates per-session feedback state;
-    // interleaving sessions from several workers would corrupt it.
-    std::fprintf(stderr,
-                 "note: --backend adaptive is stateful; forcing "
-                 "--threads 1\n");
-    threads = 1;
-  }
 
   const size_t per_topic = static_cast<size_t>(
       args->GetInt("sessions-per-topic", 2).value_or(2));
@@ -156,15 +151,20 @@ int Main(int argc, char** argv) {
   }
 
   // One backend per worker: StaticBackend is stateless over the shared
-  // engine, and the adaptive path runs single-threaded anyway.
-  std::vector<StaticBackend> static_backends(threads == 0 ? 1 : threads,
+  // engine, and each AdaptiveEngine binds its own session context, so a
+  // worker's sessions never see another worker's feedback state.
+  std::vector<StaticBackend> static_backends(threads,
                                              StaticBackend(*engine));
   AdaptiveOptions adaptive_options;
   adaptive_options.use_profile = profile != nullptr;
-  AdaptiveEngine adaptive_backend(*engine, adaptive_options, profile);
+  std::vector<std::unique_ptr<AdaptiveEngine>> adaptive_backends;
+  for (size_t t = 0; t < threads; ++t) {
+    adaptive_backends.push_back(std::make_unique<AdaptiveEngine>(
+        *engine, adaptive_options, profile));
+  }
   const auto backend_for_worker = [&](size_t worker) -> SearchBackend* {
-    if (adaptive) return &adaptive_backend;
-    return &static_backends[worker % static_backends.size()];
+    if (adaptive) return adaptive_backends[worker % threads].get();
+    return &static_backends[worker % threads];
   };
 
   SessionLog log;
@@ -190,8 +190,19 @@ int Main(int argc, char** argv) {
               log_path.c_str(), sessions, env_name.c_str(),
               user.name.c_str(), adaptive ? "adaptive" : "static", threads,
               log.size(), found);
+  // Aggregate health across the per-worker backends so a degradation on
+  // any worker is reported, not just worker 0's.
   HealthReport health =
-      adaptive ? adaptive_backend.Health() : static_backends[0].Health();
+      adaptive ? adaptive_backends[0]->Health() : static_backends[0].Health();
+  if (adaptive) {
+    for (size_t t = 1; t < threads; ++t) {
+      const HealthReport h = adaptive_backends[t]->Health();
+      health.concept_index_available &= h.concept_index_available;
+      health.profile_available &= h.profile_available;
+      health.feedback_skipped += h.feedback_skipped;
+      health.profile_reranks_skipped += h.profile_reranks_skipped;
+    }
+  }
   if (profiles_degraded) health.profile_available = false;
   if (health.degraded()) {
     std::fprintf(stderr, "%s\n", health.ToString().c_str());
