@@ -13,6 +13,8 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/obs/trace.h"
 #include "ivr/retrieval/rocchio.h"
 
 namespace ivr {
@@ -186,6 +188,59 @@ void BM_MetricsComputation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MetricsComputation)->Unit(benchmark::kMicrosecond);
+
+// E-O1 — observability primitive costs. These bound what the registry
+// instrumentation can cost per call site: a cached-pointer counter
+// increment and a histogram record are the two hot-path operations the
+// engine/adaptive/service layers perform per query, and a span on a
+// disabled recorder is what every traced region pays when --trace is not
+// given. Under -DIVR_OBS_OFF=ON all three compile to (near) nothing.
+void BM_MetricsCounterInc(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::Registry::Global().GetCounter("bench.counter");
+  for (auto _ : state) {
+    counter->Inc();
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::LatencyHistogram* histogram =
+      obs::Registry::Global().GetHistogram("bench.histogram");
+  int64_t value = 1;
+  for (auto _ : state) {
+    histogram->Record(value);
+    value = (value * 7) & 0xFFFFF;
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_StopwatchRead(benchmark::State& state) {
+  // A full Stopwatch round trip (ctor + ElapsedUs): two clock reads
+  // through the injectable-clock indirection — the dominant per-site
+  // cost of latency instrumentation. A no-op under IVR_OBS_OFF.
+  for (auto _ : state) {
+    const obs::Stopwatch watch;
+    benchmark::DoNotOptimize(watch.ElapsedUs());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StopwatchRead);
+
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  // The recorder is off (nobody passed --trace): the span constructor
+  // must bail on the enabled check without touching the clock.
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedSpanDisabled);
 
 void BM_SimulatedSession(benchmark::State& state) {
   const GeneratedCollection& g = Fixture();

@@ -4,6 +4,7 @@
 
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/logging.h"
+#include "ivr/obs/trace.h"
 #include "ivr/profile/profile_reranker.h"
 #include "ivr/retrieval/fusion.h"
 
@@ -38,6 +39,23 @@ AdaptiveEngine::AdaptiveEngine(const RetrievalEngine& engine,
       options_(std::move(options)),
       profile_(std::move(profile)) {
   scheme_ = ResolveScheme(options_.weighting_scheme);
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.searches = registry.GetCounter("adaptive.searches");
+  metrics_.feedback_expansions =
+      registry.GetCounter("adaptive.feedback_expansions");
+  metrics_.feedback_skipped =
+      registry.GetCounter("adaptive.feedback_skipped");
+  metrics_.profile_reranks = registry.GetCounter("adaptive.profile_reranks");
+  metrics_.profile_reranks_skipped =
+      registry.GetCounter("adaptive.profile_reranks_skipped");
+  metrics_.implicit_session_opens =
+      registry.GetCounter("adaptive.implicit_session_opens");
+  metrics_.search_us = registry.GetHistogram("adaptive.search_us");
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    metrics_.events[i] = registry.GetCounter(
+        "adaptive.events." +
+        std::string(EventTypeName(static_cast<EventType>(i))));
+  }
 }
 
 void AdaptiveEngine::SetWeightingScheme(const WeightingScheme* scheme) {
@@ -69,6 +87,8 @@ void AdaptiveEngine::BeginSession(SessionContext* ctx) const {
 
 void AdaptiveEngine::ObserveEvent(SessionContext* ctx,
                                   const InteractionEvent& event) const {
+  const size_t type = static_cast<size_t>(event.type);
+  if (type < kNumEventTypes) metrics_.events[type]->Inc();
   ctx->events.push_back(event);
 }
 
@@ -107,6 +127,9 @@ void AdaptiveEngine::EvidenceToFeedbackDocs(
 
 ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
                                   size_t k) const {
+  obs::ScopedSpan span("adaptive.search");
+  const obs::Stopwatch total;
+  metrics_.searches->Inc();
   std::vector<ResultList> lists;
   std::vector<double> weights;
 
@@ -118,6 +141,7 @@ ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
       // the user still gets an answer, just a non-adapted one.
       if (faults.enabled() && faults.ShouldFail("adaptive.feedback")) {
         ++ctx->feedback_skipped;
+        metrics_.feedback_skipped->Inc();
       } else {
         std::vector<FeedbackDoc> positive;
         std::vector<FeedbackDoc> negative;
@@ -125,6 +149,8 @@ ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
         if (!positive.empty() || !negative.empty()) {
           terms = RocchioExpand(terms, positive, negative,
                                 engine_->analyzer(), options_.rocchio);
+          metrics_.feedback_expansions->Inc();
+          span.Annotate("expanded", "true");
         }
       }
     }
@@ -141,7 +167,10 @@ ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
     lists.push_back(CombSum(visual));
     weights.push_back(engine_->options().visual_weight);
   }
-  if (lists.empty()) return ResultList();
+  if (lists.empty()) {
+    metrics_.search_us->Record(total.ElapsedUs());
+    return ResultList();
+  }
 
   ResultList fused = lists.size() == 1 ? std::move(lists.front())
                                        : WeightedLinear(lists, weights);
@@ -150,14 +179,17 @@ ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
   if (options_.use_profile && profile != nullptr) {
     if (faults.enabled() && faults.ShouldFail("adaptive.profile")) {
       ++ctx->profile_reranks_skipped;
+      metrics_.profile_reranks_skipped->Inc();
     } else {
       ProfileRerankOptions rerank;
       rerank.lambda = options_.profile_lambda;
       fused = RerankWithProfile(fused, *profile, engine_->collection(),
                                 rerank);
+      metrics_.profile_reranks->Inc();
     }
   }
   fused.Truncate(k);
+  metrics_.search_us->Record(total.ElapsedUs());
   return fused;
 }
 
@@ -186,6 +218,7 @@ void AdaptiveEngine::ObserveEvent(const InteractionEvent& event) {
     IVR_LOG(Warning) << "ObserveEvent before BeginSession on '" << name()
                      << "': implicitly opening a fresh session";
     ++implicit_session_opens_;
+    metrics_.implicit_session_opens->Inc();
     BeginSession(&bound_);
   }
   ObserveEvent(&bound_, event);

@@ -8,6 +8,7 @@
 
 #include "ivr/adaptive/session_context.h"
 #include "ivr/feedback/backend.h"
+#include "ivr/obs/metrics.h"
 #include "ivr/feedback/estimator.h"
 #include "ivr/feedback/weighting.h"
 #include "ivr/profile/user_profile.h"
@@ -130,7 +131,7 @@ class AdaptiveEngine : public SearchBackend {
   /// Times the adapter had to lazily open a session on a stray
   /// ObserveEvent (see the override above).
   uint64_t implicit_session_opens() const {
-    return implicit_session_opens_;
+    return implicit_session_opens_.load();
   }
   const AdaptiveOptions& options() const { return options_; }
   const RetrievalEngine& engine() const { return *engine_; }
@@ -168,7 +169,25 @@ class AdaptiveEngine : public SearchBackend {
   // Compatibility adapter state: the one context the SearchBackend
   // overrides bind. Untouched by the const context-taking API.
   SessionContext bound_;
-  uint64_t implicit_session_opens_ = 0;
+  // Relaxed-atomic: incremented on the adapter's event path while
+  // Health()/monitoring threads may read it.
+  obs::RelaxedU64 implicit_session_opens_ = 0;
+
+  /// Registry pointers resolved once at construction (one engine serves
+  /// many sessions, so every session shares these).
+  static constexpr size_t kNumEventTypes =
+      static_cast<size_t>(EventType::kSessionEnd) + 1;
+  struct Metrics {
+    obs::Counter* searches;
+    obs::Counter* feedback_expansions;
+    obs::Counter* feedback_skipped;
+    obs::Counter* profile_reranks;
+    obs::Counter* profile_reranks_skipped;
+    obs::Counter* implicit_session_opens;
+    obs::LatencyHistogram* search_us;
+    obs::Counter* events[kNumEventTypes];
+  };
+  Metrics metrics_;
 };
 
 }  // namespace ivr

@@ -10,6 +10,7 @@
 #include "ivr/feedback/estimator.h"
 #include "ivr/feedback/events.h"
 #include "ivr/feedback/weighting.h"
+#include "ivr/obs/metrics.h"
 #include "ivr/profile/user_profile.h"
 
 namespace ivr {
@@ -51,8 +52,11 @@ struct SessionContext {
   /// Degraded-mode counters for this session (folded into HealthReport).
   /// Deliberately NOT cleared by BeginSession: they describe the lifetime
   /// of the serving object, matching the pre-refactor adapter semantics.
-  uint64_t feedback_skipped = 0;
-  uint64_t profile_reranks_skipped = 0;
+  /// Relaxed-atomic because Health() snapshots them from monitoring
+  /// threads while the session's own thread increments (the rest of the
+  /// context stays single-writer per the confinement contract above).
+  obs::RelaxedU64 feedback_skipped = 0;
+  obs::RelaxedU64 profile_reranks_skipped = 0;
 
   /// How many leading entries of `events` have already been written to the
   /// session's on-disk journal. Lets eviction persistence append only the

@@ -126,4 +126,15 @@ std::string FaultInjector::Summary() const {
   return out;
 }
 
+std::vector<FaultInjector::SiteStats> FaultInjector::PerSiteStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteStats> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    if (site.calls == 0) continue;
+    out.push_back(SiteStats{name, site.calls, site.injected});
+  }
+  return out;
+}
+
 }  // namespace ivr

@@ -82,6 +82,18 @@ class FaultInjector {
   /// run.
   std::string Summary() const;
 
+  /// Per-site call/injection tally for one exercised site.
+  struct SiteStats {
+    std::string site;
+    uint64_t calls = 0;
+    uint64_t injected = 0;
+  };
+
+  /// Machine-readable form of Summary(): every site with calls > 0 since
+  /// the last Configure, sorted by site name. What --stats-json embeds so
+  /// chaos runs can cross-check fault fire counts against metrics.
+  std::vector<SiteStats> PerSiteStats() const;
+
  private:
   struct Site {
     double prob = 0.0;

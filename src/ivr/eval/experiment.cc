@@ -5,6 +5,7 @@
 
 #include "ivr/core/string_util.h"
 #include "ivr/core/thread_pool.h"
+#include "ivr/obs/metrics.h"
 
 namespace ivr {
 
@@ -20,6 +21,21 @@ std::vector<double> SystemEvaluation::ApVector() const {
 SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
                                 const std::vector<SearchTopicId>& topics,
                                 int min_grade, size_t threads) {
+  // Shared across every EvaluateSystem call in the process; resolved once.
+  struct CachedMetrics {
+    obs::Counter* systems;
+    obs::Counter* topics_scored;
+    obs::LatencyHistogram* system_us;
+    CachedMetrics() {
+      obs::Registry& registry = obs::Registry::Global();
+      systems = registry.GetCounter("eval.systems");
+      topics_scored = registry.GetCounter("eval.topics_scored");
+      system_us = registry.GetHistogram("eval.system_us");
+    }
+  };
+  static const CachedMetrics metrics;
+  const obs::Stopwatch total;
+
   SystemEvaluation eval;
   eval.system = run.system;
   eval.per_topic.resize(topics.size());
@@ -35,6 +51,9 @@ SystemEvaluation EvaluateSystem(const SystemRun& run, const Qrels& qrels,
                     ComputeTopicMetrics(list, qrels, topics[i], min_grade);
               });
   eval.mean = MeanMetrics(eval.per_topic);
+  metrics.systems->Inc();
+  metrics.topics_scored->Inc(topics.size());
+  metrics.system_us->Record(total.ElapsedUs());
   return eval;
 }
 

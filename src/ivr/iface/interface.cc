@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ivr/obs/metrics.h"
+
 namespace ivr {
 
 namespace {
@@ -26,6 +28,26 @@ Status SearchInterface::CheckLive() const {
 }
 
 void SearchInterface::Charge(ActionKind kind) {
+#ifndef IVR_OBS_OFF
+  // Every user action funnels through here, so this is the one place the
+  // per-ActionKind counters live. Interfaces are per-session objects;
+  // function-local statics keep the registry lookup to once per process.
+  static constexpr size_t kNumActionKinds =
+      static_cast<size_t>(ActionKind::kVisualExample) + 1;
+  struct CachedMetrics {
+    obs::Counter* actions[kNumActionKinds];
+    CachedMetrics() {
+      for (size_t i = 0; i < kNumActionKinds; ++i) {
+        actions[i] = obs::Registry::Global().GetCounter(
+            "iface.actions." +
+            std::string(ActionKindName(static_cast<ActionKind>(i))));
+      }
+    }
+  };
+  static const CachedMetrics metrics;
+  const size_t index = static_cast<size_t>(kind);
+  if (index < kNumActionKinds) metrics.actions[index]->Inc();
+#endif
   clock_->Advance(costs().Cost(kind));
 }
 

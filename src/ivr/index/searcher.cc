@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "ivr/core/thread_pool.h"
+#include "ivr/obs/metrics.h"
 
 namespace ivr {
 namespace {
@@ -75,6 +76,22 @@ std::vector<SearchHit> Searcher::Search(const TermQuery& query,
 
 std::vector<SearchHit> Searcher::Search(const TermQuery& query, size_t k,
                                         ScoreAccumulator* accum) const {
+#ifndef IVR_OBS_OFF
+  // Searchers are constructed per query, so the registry pointers live in
+  // function-local statics: one mutexed lookup per process, a guard-bit
+  // load afterwards. Postings are tallied locally and published with a
+  // single relaxed add per query.
+  struct CachedMetrics {
+    obs::Counter* queries =
+        obs::Registry::Global().GetCounter("searcher.queries");
+    obs::Counter* postings_scanned =
+        obs::Registry::Global().GetCounter("searcher.postings_scanned");
+    obs::Counter* candidates_scored =
+        obs::Registry::Global().GetCounter("searcher.candidates_scored");
+  };
+  static const CachedMetrics metrics;
+  uint64_t postings_scanned = 0;
+#endif
   accum->Reset(index_.num_documents());
   for (const auto& [term, weight] : OrderedTerms(query)) {
     const PostingList* pl = index_.LookupAnalyzed(*term);
@@ -82,12 +99,20 @@ std::vector<SearchHit> Searcher::Search(const TermQuery& query, size_t k,
     const PreparedTerm prepared =
         scorer_.Prepare(index_, pl->document_frequency(),
                         pl->collection_frequency(), query.QueryTf(*term));
+#ifndef IVR_OBS_OFF
+    postings_scanned += pl->postings().size();
+#endif
     for (const Posting& p : pl->postings()) {
       const double partial = scorer_.ScorePosting(
           index_, prepared, p.tf, index_.document_length(p.doc));
       accum->Add(p.doc, weight * partial);
     }
   }
+#ifndef IVR_OBS_OFF
+  metrics.queries->Inc();
+  metrics.postings_scanned->Inc(postings_scanned);
+  metrics.candidates_scored->Inc(accum->touched().size());
+#endif
   return SelectTopK(*accum, k);
 }
 

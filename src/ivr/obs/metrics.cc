@@ -1,0 +1,154 @@
+#include "ivr/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace ivr {
+namespace obs {
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<ClockFn> g_clock{&SteadyNowUs};
+
+}  // namespace
+
+int64_t NowUs() { return g_clock.load(std::memory_order_relaxed)(); }
+
+void SetClockForTest(ClockFn fn) {
+  g_clock.store(fn != nullptr ? fn : &SteadyNowUs,
+                std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  const size_t width =
+      static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value)));
+  return std::min(width, kNumBuckets - 1);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return static_cast<int64_t>((uint64_t{1} << i) - 1);
+}
+
+int64_t LatencyHistogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return static_cast<int64_t>(uint64_t{1} << (i - 1));
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  uint64_t merged = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    merged += n;
+  }
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const int64_t other_max = other.max_.load(std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (other_max > prev &&
+         !max_.compare_exchange_weak(prev, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::Reset() {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th value, 1-based, clamped into [1, count].
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return LatencyHistogram::BucketUpperBound(i);
+  }
+  return max;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+void Registry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+RegistrySnapshot Registry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace ivr

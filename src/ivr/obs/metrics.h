@@ -1,0 +1,243 @@
+#ifndef IVR_OBS_METRICS_H_
+#define IVR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ivr {
+namespace obs {
+
+/// Lock-cheap process-wide metrics: named Counters, Gauges and fixed-bucket
+/// log-scale LatencyHistograms. The contract the hot paths rely on:
+///
+///  - registry lookup happens ONCE, at init (a mutexed map lookup); the
+///    returned raw pointer is stable for the process lifetime, and every
+///    subsequent increment is a single relaxed atomic RMW on it;
+///  - snapshots may be taken at any time from any thread while writers are
+///    incrementing (each value is read atomically; the snapshot as a whole
+///    is not an instantaneous cut, which is fine for monitoring);
+///  - ResetValues() zeroes every registered metric without invalidating any
+///    cached pointer, so tests and long-lived tools can reuse the registry;
+///  - building with -DIVR_OBS_OFF=ON compiles every hot-path mutation
+///    (Inc/Set/Add/Record, span recording, stopwatch reads) down to nothing,
+///    the contract the bench_e10_micro overhead experiment (E-O1) pins.
+///
+/// Determinism: none of the primitives below consult a clock or an RNG.
+/// Counter values are a pure function of the work performed, so workloads
+/// whose per-item work is thread-count-independent (BatchSearch, sweeps)
+/// produce bit-identical counter snapshots for any --threads value; time
+/// enters only through values *recorded into* histograms, which is why the
+/// obs clock below is injectable — under a fake clock even latency
+/// histograms are bit-reproducible (stats_golden_test locks this down).
+
+/// The observability time source: microseconds, monotonic. Defaults to
+/// std::chrono::steady_clock; tests and deterministic tools install a fake
+/// via SetClockForTest (a plain function pointer, swapped atomically, so
+/// reading the clock is race-free and cheap).
+using ClockFn = int64_t (*)();
+int64_t NowUs();
+/// Installs `fn` as the clock; nullptr restores the real steady clock.
+/// Install before concurrent use; the swap itself is atomic.
+void SetClockForTest(ClockFn fn);
+
+/// Measures a duration for histogram recording. Compiles to nothing under
+/// IVR_OBS_OFF (no clock read at all).
+class Stopwatch {
+ public:
+  Stopwatch() {
+#ifndef IVR_OBS_OFF
+    start_ = NowUs();
+#endif
+  }
+  int64_t ElapsedUs() const {
+#ifndef IVR_OBS_OFF
+    return NowUs() - start_;
+#else
+    return 0;
+#endif
+  }
+
+ private:
+#ifndef IVR_OBS_OFF
+  int64_t start_ = 0;
+#endif
+};
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+#ifndef IVR_OBS_OFF
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time level (sessions live, queue depth, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+#ifndef IVR_OBS_OFF
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t delta) {
+#ifndef IVR_OBS_OFF
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A copyable/movable relaxed-atomic uint64_t. NOT an observability
+/// primitive (it is never compiled out): it exists so snapshot-style value
+/// types (SessionContext, HealthReport sources) can carry counters that are
+/// safe to increment and read from different threads without giving up
+/// copy/move semantics. Copying reads the source relaxed — exactly the
+/// monitoring-snapshot semantics callers want.
+class RelaxedU64 {
+ public:
+  RelaxedU64(uint64_t v = 0) : value_(v) {}  // NOLINT: implicit by design
+  RelaxedU64(const RelaxedU64& other) : value_(other.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& other) {
+    value_.store(other.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator=(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }  // NOLINT: snapshot read
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+/// Point-in-time view of one histogram (plain values, freely copyable).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t max = 0;
+  std::vector<uint64_t> buckets;
+
+  /// Quantile estimate: the upper bound of the bucket holding the q-th
+  /// recorded value. Exact to within one (log-scale) bucket; 0 when empty.
+  int64_t Quantile(double q) const;
+};
+
+/// Fixed-bucket log-scale histogram with atomic buckets, built for latency
+/// in microseconds but happy with any non-negative magnitude. Values are
+/// clamped below at 0. Bucket 0 holds exactly {0}; bucket i >= 1 holds
+/// [2^(i-1), 2^i - 1]; the last bucket additionally absorbs everything
+/// above its lower bound. Bucketing is a pure function of the value —
+/// no clock, no sampling — which keeps snapshots deterministic whenever
+/// the recorded values are.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  /// Bucket index for a value (values < 0 are clamped to 0).
+  static size_t BucketIndex(int64_t value);
+  /// Largest value bucket `i` holds (inclusive); the last bucket reports
+  /// its nominal bound even though it is unbounded above.
+  static int64_t BucketUpperBound(size_t i);
+  /// Smallest value bucket `i` holds.
+  static int64_t BucketLowerBound(size_t i);
+
+  void Record(int64_t value) {
+#ifndef IVR_OBS_OFF
+    if (value < 0) value = 0;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    int64_t prev = max_.load(std::memory_order_relaxed);
+    while (value > prev &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+#else
+    (void)value;
+#endif
+  }
+
+  /// Folds `other`'s recorded values into this histogram (exact: merging
+  /// per-thread histograms equals recording the union into one).
+  void MergeFrom(const LatencyHistogram& other);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Consistent, sorted-by-name view of every registered metric.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// The process-wide named-metric table. Get* registers on first use and
+/// always returns the same pointer for the same name, so call sites cache
+/// it (member pointer resolved in a constructor, or a function-local
+/// static) and never touch the registry mutex on the hot path.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric. Registrations (and therefore every
+  /// pointer previously handed out) stay valid.
+  void ResetValues();
+
+  RegistrySnapshot TakeSnapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace ivr
+
+#endif  // IVR_OBS_METRICS_H_

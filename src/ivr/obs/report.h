@@ -1,0 +1,61 @@
+#ifndef IVR_OBS_REPORT_H_
+#define IVR_OBS_REPORT_H_
+
+#include <string>
+
+#include "ivr/core/args.h"
+#include "ivr/core/status.h"
+
+namespace ivr {
+namespace obs {
+
+/// Version of the --stats-json document layout. Bump when a key is
+/// renamed, removed, or its meaning changes; additions are backwards
+/// compatible and do not bump it.
+inline constexpr int kStatsSchemaVersion = 1;
+
+/// The machine-readable stats snapshot: every registered counter, gauge
+/// and histogram (sorted by name) plus the fault injector's per-site
+/// fire tallies, as deterministic pretty-printed JSON:
+///
+///   {
+///     "schema_version": 1,
+///     "counters":   {"name": <uint>, ...},
+///     "gauges":     {"name": <int>, ...},
+///     "histograms": {"name": {"count": n, "sum": s, "max": m,
+///                             "p50": q, "p90": q, "p99": q,
+///                             "buckets": [<uint> x 40]}, ...},
+///     "faults":     {"site": {"calls": n, "injected": m}, ...}
+///   }
+///
+/// Byte-for-byte reproducible whenever the recorded values are (fixed
+/// workload + fake clock), for any thread count — the property
+/// stats_golden_test pins.
+std::string StatsJson();
+
+/// Writes StatsJson() atomically.
+Status WriteStatsJson(const std::string& path);
+
+/// Human-readable summary: non-zero counters, all gauges, and non-empty
+/// histograms with count/p50/p95/max. Multi-line, trailing newline; what
+/// ivr_serve_sim and ivr_eval print on stderr at exit.
+std::string StatsSummary();
+
+/// Tool glue, start of main: enables tracing when --trace is present.
+/// (Metrics are always on unless compiled out with IVR_OBS_OFF.)
+Status ConfigureObsFromArgs(const ArgParser& args);
+
+/// Tool glue, end of main: writes --stats-json and flushes --trace when
+/// the flags are present. Returns the first failure; no-op otherwise.
+Status WriteObsOutputsFromArgs(const ArgParser& args);
+
+/// Convenience exit wrapper: WriteObsOutputsFromArgs, reporting any
+/// failure on stderr. Returns `rc`, or 1 when outputs failed and `rc`
+/// was 0 (an explicitly requested snapshot that cannot be written is an
+/// error, not a shrug).
+int FinishToolWithObs(const ArgParser& args, int rc);
+
+}  // namespace obs
+}  // namespace ivr
+
+#endif  // IVR_OBS_REPORT_H_

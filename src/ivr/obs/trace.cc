@@ -1,0 +1,178 @@
+#include "ivr/obs/trace.h"
+
+#include <algorithm>
+
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace obs {
+namespace {
+
+std::atomic<uint32_t>* GlobalTidCounter() {
+  static std::atomic<uint32_t>* counter = new std::atomic<uint32_t>(1);
+  return counter;
+}
+
+thread_local uint64_t t_span_stack[64];
+thread_local size_t t_span_depth = 0;
+
+/// Minimal JSON string escaper: quotes, backslashes and control bytes.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t TraceThreadId() {
+  thread_local uint32_t tid =
+      GlobalTidCounter()->fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Enable(size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+  }
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>());
+    ring = rings_.back().get();
+  }
+  return ring;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  if (!enabled()) return;
+  size_t capacity;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity = capacity_;
+  }
+  Ring* ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->events.size() >= capacity) {
+    ring->events.pop_front();  // drop-oldest, never block
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    for (TraceEvent& event : ring->events) {
+      out.push_back(std::move(event));
+    }
+    ring->events.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Status TraceRecorder::FlushToFile(const std::string& path) {
+  const uint64_t dropped_events = dropped();
+  const std::vector<TraceEvent> events = Drain();
+  std::string out = StrFormat(
+      "{\"schema_version\": %d, \"type\": \"ivr.trace\", "
+      "\"events\": %zu, \"dropped\": %llu}\n",
+      kTraceSchemaVersion, events.size(),
+      static_cast<unsigned long long>(dropped_events));
+  for (const TraceEvent& event : events) {
+    out += StrFormat(
+        "{\"name\": \"%s\", \"ts\": %lld, \"dur\": %lld, \"id\": %llu, "
+        "\"parent\": %llu, \"tid\": %u",
+        JsonEscape(event.name).c_str(),
+        static_cast<long long>(event.start_us),
+        static_cast<long long>(event.duration_us),
+        static_cast<unsigned long long>(event.id),
+        static_cast<unsigned long long>(event.parent), event.tid);
+    if (!event.annotations.empty()) {
+      out += ", \"args\": {";
+      for (size_t i = 0; i < event.annotations.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StrFormat("\"%s\": \"%s\"",
+                         JsonEscape(event.annotations[i].first).c_str(),
+                         JsonEscape(event.annotations[i].second).c_str());
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return WriteFileAtomic(path, out);
+}
+
+uint64_t TraceRecorder::CurrentParent() {
+  return t_span_depth == 0 ? 0 : t_span_stack[t_span_depth - 1];
+}
+
+void TraceRecorder::PushSpan(uint64_t id) {
+  if (t_span_depth <
+      sizeof(t_span_stack) / sizeof(t_span_stack[0])) {
+    t_span_stack[t_span_depth] = id;
+  }
+  ++t_span_depth;
+}
+
+void TraceRecorder::PopSpan() {
+  if (t_span_depth > 0) --t_span_depth;
+}
+
+}  // namespace obs
+}  // namespace ivr

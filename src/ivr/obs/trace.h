@@ -1,0 +1,160 @@
+#ifndef IVR_OBS_TRACE_H_
+#define IVR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ivr/core/status.h"
+#include "ivr/obs/metrics.h"
+
+namespace ivr {
+namespace obs {
+
+/// One completed span: where a named stretch of work started, how long it
+/// took, who its parent was, and any key=value annotations attached while
+/// it ran. Times come from the obs clock (NowUs — injectable, so traces
+/// recorded under a fake clock are deterministic).
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  /// Process-unique span id (1-based; 0 is "no span").
+  uint64_t id = 0;
+  /// Enclosing span on the same thread at the time this span opened,
+  /// 0 for a root span.
+  uint64_t parent = 0;
+  /// Small stable per-thread ordinal (1-based, assigned on first use) —
+  /// NOT the OS thread id, so single-threaded traces are reproducible.
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// The process-wide trace sink: a bounded ring buffer per recording thread,
+/// drained to JSONL on flush. Recording is OFF by default — a disabled
+/// recorder costs one relaxed atomic load per would-be span. When a ring
+/// fills, the oldest event is dropped and counted (monitoring must degrade,
+/// never block or grow without bound).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Starts recording, with at most `ring_capacity` buffered events per
+  /// thread. Clears previously buffered events and the drop counter.
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  /// Stops recording and discards everything buffered.
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Events dropped to ring overflow since Enable().
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Removes and returns every buffered event, across all threads, sorted
+  /// by (start_us, id) so the output order is stable.
+  std::vector<TraceEvent> Drain();
+
+  /// Drains and writes JSONL: one header object carrying the schema
+  /// version and drop count, then one object per event. Atomic write.
+  Status FlushToFile(const std::string& path);
+
+  /// Buffers one completed event on the calling thread's ring.
+  void Record(TraceEvent event);
+
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The innermost open span id on this thread (0 = none) and the stack
+  /// ops ScopedSpan uses to maintain it.
+  static uint64_t CurrentParent();
+  static void PushSpan(uint64_t id);
+  static void PopSpan();
+
+  static constexpr size_t kDefaultRingCapacity = 8192;
+  static constexpr int kTraceSchemaVersion = 1;
+
+ private:
+  struct Ring {
+    std::mutex mu;
+    std::deque<TraceEvent> events;
+  };
+
+  Ring* ThreadRing();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint32_t> next_tid_{1};
+  size_t capacity_ = kDefaultRingCapacity;  // guarded by mu_
+  mutable std::mutex mu_;                   // guards rings_
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Per-thread ordinal of the calling thread (assigned on first use).
+uint32_t TraceThreadId();
+
+#ifndef IVR_OBS_OFF
+
+/// RAII span: opens at construction, records at destruction. When the
+/// recorder is disabled the constructor is one relaxed load and the
+/// destructor a branch. `name` must outlive the span (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    TraceRecorder& recorder = TraceRecorder::Global();
+    if (!recorder.enabled()) return;
+    active_ = true;
+    event_.name = name;
+    event_.id = recorder.NextSpanId();
+    event_.parent = TraceRecorder::CurrentParent();
+    event_.tid = TraceThreadId();
+    event_.start_us = NowUs();
+    TraceRecorder::PushSpan(event_.id);
+  }
+
+  ~ScopedSpan() {
+    if (!active_) return;
+    event_.duration_us = NowUs() - event_.start_us;
+    TraceRecorder::PopSpan();
+    TraceRecorder::Global().Record(std::move(event_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key=value annotation (no-op when the span is inactive).
+  void Annotate(const char* key, std::string value) {
+    if (active_) event_.annotations.emplace_back(key, std::move(value));
+  }
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+#else  // IVR_OBS_OFF
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void Annotate(const char*, std::string) {}
+};
+
+#endif  // IVR_OBS_OFF
+
+}  // namespace obs
+}  // namespace ivr
+
+#endif  // IVR_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include "ivr/core/logging.h"
 #include "ivr/core/thread_pool.h"
 #include "ivr/index/score_accumulator.h"
+#include "ivr/obs/trace.h"
 #include "ivr/retrieval/fusion.h"
 
 namespace ivr {
@@ -15,7 +16,19 @@ RetrievalEngine::RetrievalEngine(const VideoCollection& collection,
                                  std::unique_ptr<Scorer> scorer)
     : collection_(&collection),
       options_(std::move(options)),
-      scorer_(std::move(scorer)) {}
+      scorer_(std::move(scorer)) {
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.queries = registry.GetCounter("engine.queries");
+  metrics_.degraded_queries = registry.GetCounter("engine.degraded_queries");
+  metrics_.text_faults = registry.GetCounter("engine.text_faults");
+  metrics_.visual_faults = registry.GetCounter("engine.visual_faults");
+  metrics_.concept_faults = registry.GetCounter("engine.concept_faults");
+  metrics_.concepts_dropped = registry.GetCounter("engine.concepts_dropped");
+  metrics_.search_us = registry.GetHistogram("engine.search_us");
+  metrics_.text_us = registry.GetHistogram("engine.text_us");
+  metrics_.visual_us = registry.GetHistogram("engine.visual_us");
+  metrics_.concept_us = registry.GetHistogram("engine.concept_us");
+}
 
 Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Build(
     const VideoCollection& collection, EngineOptions options) {
@@ -79,6 +92,9 @@ Status RetrievalEngine::BuildIndex() {
 
 ResultList RetrievalEngine::Search(const Query& query, size_t k,
                                    SearchDiagnostics* diagnostics) const {
+  obs::ScopedSpan span("engine.search");
+  const obs::Stopwatch total;
+  metrics_.queries->Inc();
   FaultInjector& faults = FaultInjector::Global();
   const bool chaos = faults.enabled();
   std::vector<ResultList> lists;
@@ -89,20 +105,25 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
     // the modality is served empty-handed rather than crashing the query.
     if (chaos && faults.ShouldFail("engine.text")) {
       text_faults_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.text_faults->Inc();
       if (diagnostics != nullptr) diagnostics->text_faulted = true;
       degraded = true;
     } else {
+      const obs::Stopwatch modality;
       lists.push_back(SearchTerms(ParseText(query.text),
                                   options_.candidate_pool));
       weights.push_back(options_.text_weight);
+      metrics_.text_us->Record(modality.ElapsedUs());
     }
   }
   if (query.HasExamples()) {
     if (chaos && faults.ShouldFail("engine.visual")) {
       visual_faults_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.visual_faults->Inc();
       if (diagnostics != nullptr) diagnostics->visual_faulted = true;
       degraded = true;
     } else {
+      const obs::Stopwatch modality;
       // Average the evidence over all examples.
       std::vector<ResultList> visual;
       visual.reserve(query.examples.size());
@@ -111,6 +132,7 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
       }
       lists.push_back(CombSum(visual));
       weights.push_back(options_.visual_weight);
+      metrics_.visual_us->Record(modality.ElapsedUs());
     }
   }
   if (query.HasConcepts()) {
@@ -118,6 +140,7 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
       // Degrade loudly, not silently: the query asked for a modality this
       // engine cannot serve, which biases any evaluation built on it.
       concepts_dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.concepts_dropped->Inc();
       if (diagnostics != nullptr) diagnostics->concepts_dropped = true;
       degraded = true;
       if (!degradation_logged_.exchange(true, std::memory_order_relaxed)) {
@@ -128,22 +151,29 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
       }
     } else if (chaos && faults.ShouldFail("engine.concept")) {
       concept_faults_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.concept_faults->Inc();
       if (diagnostics != nullptr) diagnostics->concepts_faulted = true;
       degraded = true;
     } else {
+      const obs::Stopwatch modality;
       lists.push_back(concepts_->SearchAll(query.concepts,
                                            options_.candidate_pool));
       weights.push_back(options_.concept_weight);
+      metrics_.concept_us->Record(modality.ElapsedUs());
     }
   }
   if (degraded) {
     degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.degraded_queries->Inc();
+    span.Annotate("degraded", "true");
   }
-  if (lists.empty()) return ResultList();
-  ResultList fused = lists.size() == 1
-                         ? std::move(lists.front())
-                         : WeightedLinear(lists, weights);
-  fused.Truncate(k);
+  ResultList fused;
+  if (!lists.empty()) {
+    fused = lists.size() == 1 ? std::move(lists.front())
+                              : WeightedLinear(lists, weights);
+    fused.Truncate(k);
+  }
+  metrics_.search_us->Record(total.ElapsedUs());
   return fused;
 }
 

@@ -9,6 +9,7 @@
 
 #include "ivr/core/result.h"
 #include "ivr/features/concept_detector.h"
+#include "ivr/obs/metrics.h"
 #include "ivr/features/similarity.h"
 #include "ivr/index/document_store.h"
 #include "ivr/index/inverted_index.h"
@@ -170,6 +171,22 @@ class RetrievalEngine {
   mutable std::atomic<uint64_t> concept_faults_{0};
   mutable std::atomic<uint64_t> concepts_dropped_{0};
   mutable std::atomic<bool> degradation_logged_{false};
+
+  /// Registry pointers resolved once at construction; Search touches only
+  /// these (relaxed increments), never the registry mutex.
+  struct Metrics {
+    obs::Counter* queries;
+    obs::Counter* degraded_queries;
+    obs::Counter* text_faults;
+    obs::Counter* visual_faults;
+    obs::Counter* concept_faults;
+    obs::Counter* concepts_dropped;
+    obs::LatencyHistogram* search_us;
+    obs::LatencyHistogram* text_us;
+    obs::LatencyHistogram* visual_us;
+    obs::LatencyHistogram* concept_us;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace ivr

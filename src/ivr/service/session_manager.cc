@@ -7,6 +7,7 @@
 #include "ivr/core/file_util.h"
 #include "ivr/core/logging.h"
 #include "ivr/core/string_util.h"
+#include "ivr/obs/trace.h"
 
 namespace ivr {
 namespace {
@@ -67,6 +68,24 @@ SessionManager::SessionManager(const AdaptiveEngine& engine,
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.sessions_opened = registry.GetCounter("service.sessions_opened");
+  metrics_.sessions_evicted =
+      registry.GetCounter("service.sessions_evicted");
+  metrics_.sessions_ended = registry.GetCounter("service.sessions_ended");
+  metrics_.persist_failures =
+      registry.GetCounter("service.persist_failures");
+  metrics_.events_persisted =
+      registry.GetCounter("service.events_persisted");
+  metrics_.rejected_ops = registry.GetCounter("service.rejected_ops");
+  metrics_.sessions_active = registry.GetGauge("service.sessions_active");
+  metrics_.lru_depth = registry.GetGauge("service.lru_depth");
+  metrics_.begin_session_us =
+      registry.GetHistogram("service.begin_session_us");
+  metrics_.persist_us = registry.GetHistogram("service.persist_us");
+  metrics_.evict_us = registry.GetHistogram("service.evict_us");
+  metrics_.shard_lock_wait_us =
+      registry.GetHistogram("service.shard_lock_wait_us");
   if (!options_.persist_dir.empty()) {
     const Status made = MakeDirectory(options_.persist_dir);
     if (!made.ok()) {
@@ -88,6 +107,8 @@ SessionManager::~SessionManager() {
       for (auto& [id, entry] : shard->sessions) victims.push_back(entry);
       shard->sessions.clear();
     }
+    metrics_.sessions_active->Add(
+        -static_cast<int64_t>(victims.size()));
     for (const std::shared_ptr<Entry>& entry : victims) {
       FinalizeEvicted(entry);
     }
@@ -124,7 +145,9 @@ void SessionManager::Touch(Entry* entry) {
 std::shared_ptr<SessionManager::Entry> SessionManager::FindEntry(
     const std::string& session_id) const {
   const Shard& shard = ShardFor(session_id);
+  const obs::Stopwatch wait;
   std::lock_guard<std::mutex> lock(shard.mu);
+  metrics_.shard_lock_wait_us->Record(wait.ElapsedUs());
   const auto it = shard.sessions.find(session_id);
   return it == shard.sessions.end() ? nullptr : it->second;
 }
@@ -134,9 +157,11 @@ void SessionManager::PersistLocked(Entry* entry) {
   SessionContext& ctx = entry->ctx;
   if (ctx.events.size() <= ctx.events_persisted) return;
 
+  const obs::Stopwatch persist_watch;
   FaultInjector& faults = FaultInjector::Global();
   if (faults.enabled() && faults.ShouldFail("service.persist")) {
     ++persist_failures_;
+    metrics_.persist_failures->Inc();
     IVR_LOG(Warning) << "injected persist failure for session '"
                      << ctx.session_id << "'";
     return;
@@ -147,6 +172,7 @@ void SessionManager::PersistLocked(Entry* entry) {
     const Status opened = entry->writer.Open(path);
     if (!opened.ok()) {
       ++persist_failures_;
+      metrics_.persist_failures->Inc();
       IVR_LOG(Warning) << "cannot open session journal: "
                        << opened.message();
       return;
@@ -158,15 +184,19 @@ void SessionManager::PersistLocked(Entry* entry) {
   const Status appended = entry->writer.Append(batch);
   if (!appended.ok()) {
     ++persist_failures_;
+    metrics_.persist_failures->Inc();
     IVR_LOG(Warning) << "session journal append failed: "
                      << appended.message();
     return;
   }
   ctx.events_persisted = ctx.events.size();
   events_persisted_ += batch.size();
+  metrics_.events_persisted->Inc(batch.size());
+  metrics_.persist_us->Record(persist_watch.ElapsedUs());
 }
 
 void SessionManager::FinalizeEvicted(const std::shared_ptr<Entry>& entry) {
+  const obs::Stopwatch evict_watch;
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->live) return;
   entry->live = false;
@@ -175,10 +205,12 @@ void SessionManager::FinalizeEvicted(const std::shared_ptr<Entry>& entry) {
     const Status closed = entry->writer.Close();
     if (!closed.ok()) {
       ++persist_failures_;
+      metrics_.persist_failures->Inc();
       IVR_LOG(Warning) << "session journal close failed: "
                        << closed.message();
     }
   }
+  metrics_.evict_us->Record(evict_watch.ElapsedUs());
 }
 
 void SessionManager::CollectVictimsLocked(
@@ -207,6 +239,8 @@ void SessionManager::CollectVictimsLocked(
         victims->push_back(it->second);
         it = shard->sessions.erase(it);
         ++shard->evicted_idle;
+        metrics_.sessions_evicted->Inc();
+        metrics_.sessions_active->Add(-1);
       } else {
         ++it;
       }
@@ -231,12 +265,16 @@ void SessionManager::CollectVictimsLocked(
       victims->push_back(lru->second);
       shard->sessions.erase(lru);
       ++shard->evicted_capacity;
+      metrics_.sessions_evicted->Inc();
+      metrics_.sessions_active->Add(-1);
     }
   }
 }
 
 Status SessionManager::BeginSession(const std::string& session_id,
                                     const std::string& user_id) {
+  obs::ScopedSpan span("service.begin_session");
+  const obs::Stopwatch begin_watch;
   // Snapshot the profile up front (separate lock domain from shards).
   std::shared_ptr<const UserProfile> profile;
   {
@@ -255,10 +293,13 @@ Status SessionManager::BeginSession(const std::string& session_id,
   std::vector<std::shared_ptr<Entry>> victims;
   Shard& shard = ShardFor(session_id);
   {
+    const obs::Stopwatch wait;
     std::lock_guard<std::mutex> lock(shard.mu);
+    metrics_.shard_lock_wait_us->Record(wait.ElapsedUs());
     const auto it = shard.sessions.find(session_id);
     if (it != shard.sessions.end()) {
       ++rejected_ops_;
+      metrics_.rejected_ops->Inc();
       return Status::AlreadyExists("session '" + session_id +
                                    "' is already live");
     }
@@ -266,12 +307,16 @@ Status SessionManager::BeginSession(const std::string& session_id,
     shard.sessions.emplace(session_id, entry);
     ++shard.begun;
     shard.peak = std::max(shard.peak, shard.sessions.size());
+    metrics_.sessions_opened->Inc();
+    metrics_.sessions_active->Add(1);
+    metrics_.lru_depth->Set(static_cast<int64_t>(shard.sessions.size()));
   }
   Touch(entry.get());
   // Persist evicted sessions outside every lock but the victims' own.
   for (const std::shared_ptr<Entry>& victim : victims) {
     FinalizeEvicted(victim);
   }
+  metrics_.begin_session_us->Record(begin_watch.ElapsedUs());
   return Status::OK();
 }
 
@@ -280,11 +325,13 @@ Result<ResultList> SessionManager::Search(const std::string& session_id,
   const std::shared_ptr<Entry> entry = FindEntry(session_id);
   if (entry == nullptr) {
     ++rejected_ops_;
+    metrics_.rejected_ops->Inc();
     return Status::NotFound("no live session '" + session_id + "'");
   }
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->live) {
     ++rejected_ops_;
+    metrics_.rejected_ops->Inc();
     return Status::NotFound("session '" + session_id + "' was evicted");
   }
   Touch(entry.get());
@@ -296,11 +343,13 @@ Status SessionManager::ObserveEvent(const std::string& session_id,
   const std::shared_ptr<Entry> entry = FindEntry(session_id);
   if (entry == nullptr) {
     ++rejected_ops_;
+    metrics_.rejected_ops->Inc();
     return Status::NotFound("no live session '" + session_id + "'");
   }
   std::lock_guard<std::mutex> lock(entry->mu);
   if (!entry->live) {
     ++rejected_ops_;
+    metrics_.rejected_ops->Inc();
     return Status::NotFound("session '" + session_id + "' was evicted");
   }
   Touch(entry.get());
@@ -317,16 +366,21 @@ Status SessionManager::EndSession(const std::string& session_id) {
   std::shared_ptr<Entry> entry;
   Shard& shard = ShardFor(session_id);
   {
+    const obs::Stopwatch wait;
     std::lock_guard<std::mutex> lock(shard.mu);
+    metrics_.shard_lock_wait_us->Record(wait.ElapsedUs());
     const auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
       ++rejected_ops_;
+      metrics_.rejected_ops->Inc();
       return Status::NotFound("no live session '" + session_id + "'");
     }
     entry = it->second;
     shard.sessions.erase(it);
   }
   ++ended_;
+  metrics_.sessions_ended->Inc();
+  metrics_.sessions_active->Add(-1);
   // Persistence failures are counted in health, not surfaced here: the
   // session ends either way.
   FinalizeEvicted(entry);

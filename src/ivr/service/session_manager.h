@@ -14,6 +14,7 @@
 #include "ivr/core/clock.h"
 #include "ivr/core/result.h"
 #include "ivr/iface/session_log.h"
+#include "ivr/obs/metrics.h"
 #include "ivr/profile/profile_store.h"
 
 namespace ivr {
@@ -216,6 +217,26 @@ class SessionManager {
   std::atomic<uint64_t> persist_failures_{0};
   std::atomic<uint64_t> events_persisted_{0};
   std::atomic<uint64_t> rejected_ops_{0};
+
+  /// Registry pointers resolved once at construction. The `sessions_active`
+  /// gauge mirrors map membership exactly (inc on insert, dec on every
+  /// removal path including destruction); `lru_depth` tracks the occupancy
+  /// of the most recently grown shard.
+  struct Metrics {
+    obs::Counter* sessions_opened;
+    obs::Counter* sessions_evicted;
+    obs::Counter* sessions_ended;
+    obs::Counter* persist_failures;
+    obs::Counter* events_persisted;
+    obs::Counter* rejected_ops;
+    obs::Gauge* sessions_active;
+    obs::Gauge* lru_depth;
+    obs::LatencyHistogram* begin_session_us;
+    obs::LatencyHistogram* persist_us;
+    obs::LatencyHistogram* evict_us;
+    obs::LatencyHistogram* shard_lock_wait_us;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace ivr

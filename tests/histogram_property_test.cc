@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ivr/core/thread_pool.h"
+#include "ivr/obs/metrics.h"
+
+namespace ivr {
+namespace obs {
+namespace {
+
+/// Deterministic value streams spanning the histogram's whole dynamic
+/// range: an exponent picked uniformly keeps small and huge magnitudes
+/// equally likely, which exercises every bucket, not just the low ones.
+std::vector<int64_t> RandomValues(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> exponent(0, 44);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t magnitude = int64_t{1} << exponent(rng);
+    std::uniform_int_distribution<int64_t> within(0, magnitude);
+    values.push_back(within(rng));
+  }
+  return values;
+}
+
+class HistogramPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef IVR_OBS_OFF
+    GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  }
+};
+
+TEST_F(HistogramPropertyTest, CountSumMaxMatchTheRecordedStream) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const std::vector<int64_t> values = RandomValues(seed, 2000);
+    LatencyHistogram histogram;
+    int64_t sum = 0;
+    int64_t max = 0;
+    for (int64_t v : values) {
+      histogram.Record(v);
+      sum += v;
+      max = std::max(max, v);
+    }
+    const HistogramSnapshot snap = histogram.Snapshot();
+    EXPECT_EQ(snap.count, values.size()) << "seed " << seed;
+    EXPECT_EQ(snap.sum, sum) << "seed " << seed;
+    EXPECT_EQ(snap.max, max) << "seed " << seed;
+    uint64_t bucket_total = 0;
+    for (uint64_t b : snap.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, snap.count) << "seed " << seed;
+  }
+}
+
+TEST_F(HistogramPropertyTest, EveryValueLandsInsideItsBucketBounds) {
+  for (int64_t v : RandomValues(11, 4000)) {
+    const size_t i = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(i, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(v, LatencyHistogram::BucketLowerBound(i)) << "value " << v;
+    if (i + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_LE(v, LatencyHistogram::BucketUpperBound(i)) << "value " << v;
+    }
+  }
+}
+
+TEST_F(HistogramPropertyTest, QuantileIsExactToWithinOneBucket) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    std::vector<int64_t> values = RandomValues(seed, 1500);
+    LatencyHistogram histogram;
+    for (int64_t v : values) histogram.Record(v);
+    const HistogramSnapshot snap = histogram.Snapshot();
+    std::sort(values.begin(), values.end());
+    for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      // The exact q-quantile with the snapshot's 1-based-rank convention.
+      size_t rank = static_cast<size_t>(q * values.size());
+      rank = std::min(std::max<size_t>(rank, 1), values.size());
+      const int64_t exact = values[rank - 1];
+      const int64_t estimate = snap.Quantile(q);
+      // The estimate is the upper bound of the bucket holding the exact
+      // value — same bucket, never further.
+      EXPECT_EQ(LatencyHistogram::BucketIndex(estimate),
+                LatencyHistogram::BucketIndex(exact))
+          << "seed " << seed << " q " << q;
+      // An upper bound in every bucket except the unbounded last one,
+      // whose nominal bound can sit below an overflow value.
+      if (LatencyHistogram::BucketIndex(exact) + 1 <
+          LatencyHistogram::kNumBuckets) {
+        EXPECT_GE(estimate, exact) << "seed " << seed << " q " << q;
+      }
+    }
+  }
+}
+
+TEST_F(HistogramPropertyTest, MergeEqualsRecordingTheUnion) {
+  constexpr size_t kStreams = 4;
+  LatencyHistogram merged;
+  LatencyHistogram single;
+  for (size_t s = 0; s < kStreams; ++s) {
+    LatencyHistogram stream;
+    for (int64_t v : RandomValues(100 + s, 700)) {
+      stream.Record(v);
+      single.Record(v);
+    }
+    merged.MergeFrom(stream);
+  }
+  const HistogramSnapshot a = merged.Snapshot();
+  const HistogramSnapshot b = single.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST_F(HistogramPropertyTest, ConcurrentRecordingEqualsSequential) {
+  constexpr size_t kThreads = 4;
+  const std::vector<int64_t> values = RandomValues(77, 8000);
+  LatencyHistogram sequential;
+  for (int64_t v : values) sequential.Record(v);
+
+  LatencyHistogram concurrent;
+  {
+    ThreadPool pool(kThreads);
+    const size_t chunk = values.size() / kThreads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = t + 1 == kThreads ? values.size() : begin + chunk;
+      pool.Submit([&concurrent, &values, begin, end](size_t) {
+        for (size_t i = begin; i < end; ++i) concurrent.Record(values[i]);
+      });
+    }
+    pool.Wait();
+  }
+  const HistogramSnapshot a = concurrent.Snapshot();
+  const HistogramSnapshot b = sequential.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ivr

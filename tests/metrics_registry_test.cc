@@ -1,0 +1,247 @@
+#include "ivr/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ivr/core/thread_pool.h"
+
+namespace ivr {
+namespace obs {
+namespace {
+
+// Every test registers under its own "test.reg." prefix: the registry is
+// process-global and shared with the instrumented production code, so
+// names must not collide across tests (registrations are permanent).
+
+TEST(MetricsRegistryTest, CounterIncrementAndReset) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddAndNegative) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  Gauge gauge;
+  gauge.Set(10);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-20);
+  EXPECT_EQ(gauge.value(), -13);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(MetricsRegistryTest, RegistryReturnsStablePointers) {
+  Registry& registry = Registry::Global();
+  Counter* a = registry.GetCounter("test.reg.stable");
+  Counter* b = registry.GetCounter("test.reg.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("test.reg.other"));
+  // The three kinds live in separate namespaces: the same name can hold a
+  // counter, a gauge and a histogram simultaneously.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("test.reg.stable")),
+            static_cast<void*>(a));
+  EXPECT_NE(static_cast<void*>(registry.GetHistogram("test.reg.stable")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsRegistrations) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  Registry& registry = Registry::Global();
+  Counter* counter = registry.GetCounter("test.reg.reset_values");
+  Gauge* gauge = registry.GetGauge("test.reg.reset_values");
+  LatencyHistogram* histogram =
+      registry.GetHistogram("test.reg.reset_values");
+  counter->Inc(5);
+  gauge->Set(-7);
+  histogram->Record(123);
+
+  registry.ResetValues();
+
+  // Pointers handed out before the reset stay valid and observe zero.
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("test.reg.reset_values"), counter);
+  counter->Inc();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.reg.sorted.b");
+  registry.GetCounter("test.reg.sorted.a");
+  registry.GetCounter("test.reg.sorted.c");
+  const RegistrySnapshot snap = registry.TakeSnapshot();
+  ASSERT_FALSE(snap.counters.empty());
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& x, const auto& y) { return x.first < y.first; }));
+}
+
+TEST(MetricsRegistryTest, HistogramBucketZeroHoldsExactlyZero) {
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(-5), 0u);  // clamped below
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesArePowersOfTwo) {
+  // Bucket i >= 1 holds [2^(i-1), 2^i - 1]: both edges map to i, and the
+  // values immediately outside map to the neighbours.
+  for (size_t i = 1; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const int64_t lo = LatencyHistogram::BucketLowerBound(i);
+    const int64_t hi = LatencyHistogram::BucketUpperBound(i);
+    EXPECT_EQ(lo, int64_t{1} << (i - 1)) << "bucket " << i;
+    EXPECT_EQ(hi, (int64_t{1} << i) - 1) << "bucket " << i;
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi), i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(hi + 1), i + 1);
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramLastBucketAbsorbsOverflow) {
+  const size_t last = LatencyHistogram::kNumBuckets - 1;
+  const int64_t lo = LatencyHistogram::BucketLowerBound(last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(lo), last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(lo * 16), last);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(
+                std::numeric_limits<int64_t>::max()),
+            last);
+}
+
+TEST(MetricsRegistryTest, HistogramRecordAndSnapshot) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  LatencyHistogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(100);
+  histogram.Record(100);
+  histogram.Record(-9);  // clamped to 0
+
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 201);
+  EXPECT_EQ(snap.max, 100);
+  ASSERT_EQ(snap.buckets.size(), LatencyHistogram::kNumBuckets);
+  uint64_t total = 0;
+  for (uint64_t b : snap.buckets) total += b;
+  EXPECT_EQ(total, snap.count);
+  EXPECT_EQ(snap.buckets[0], 2u);  // the two zeros
+  EXPECT_EQ(snap.buckets[LatencyHistogram::BucketIndex(100)], 2u);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.Snapshot().max, 0);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantileEmptyAndSingle) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Snapshot().Quantile(0.5), 0);
+  histogram.Record(300);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  // The estimate is the upper bound of the bucket holding the value.
+  const int64_t expected = LatencyHistogram::BucketUpperBound(
+      LatencyHistogram::BucketIndex(300));
+  EXPECT_EQ(snap.Quantile(0.0), expected);
+  EXPECT_EQ(snap.Quantile(0.5), expected);
+  EXPECT_EQ(snap.Quantile(1.0), expected);
+}
+
+TEST(MetricsRegistryTest, HistogramMergeFrom) {
+#ifdef IVR_OBS_OFF
+  GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int64_t v : {0, 3, 17, 100}) {
+    a.Record(v);
+    combined.Record(v);
+  }
+  for (int64_t v : {5, 5000, 1 << 20}) {
+    b.Record(v);
+    combined.Record(v);
+  }
+  a.MergeFrom(b);
+  const HistogramSnapshot merged = a.Snapshot();
+  const HistogramSnapshot expected = combined.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileIncrementingIsSafeAndExact) {
+  Registry& registry = Registry::Global();
+  Counter* counter = registry.GetCounter("test.reg.concurrent.counter");
+  Gauge* gauge = registry.GetGauge("test.reg.concurrent.gauge");
+  LatencyHistogram* histogram =
+      registry.GetHistogram("test.reg.concurrent.histogram");
+  counter->Reset();
+  gauge->Reset();
+  histogram->Reset();
+
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kIncsPerWriter = 20000;
+  {
+    // Writers hammer all three metric kinds while the main thread takes
+    // snapshots: the tsan preset runs this file, so any non-atomic access
+    // on the snapshot path fails the suite.
+    ThreadPool pool(kWriters);
+    for (size_t w = 0; w < kWriters; ++w) {
+      pool.Submit([&](size_t) {
+        for (uint64_t i = 0; i < kIncsPerWriter; ++i) {
+          counter->Inc();
+          gauge->Add(1);
+          histogram->Record(static_cast<int64_t>(i % 512));
+        }
+      });
+    }
+    for (int i = 0; i < 50; ++i) {
+      const RegistrySnapshot snap = registry.TakeSnapshot();
+      (void)snap;
+    }
+    pool.Wait();
+  }
+
+#ifndef IVR_OBS_OFF
+  EXPECT_EQ(counter->value(), kWriters * kIncsPerWriter);
+  EXPECT_EQ(gauge->value(),
+            static_cast<int64_t>(kWriters * kIncsPerWriter));
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, kWriters * kIncsPerWriter);
+  uint64_t total = 0;
+  for (uint64_t b : snap.buckets) total += b;
+  EXPECT_EQ(total, snap.count);
+#else
+  // Compiled-out mode: mutations are no-ops, reads still work.
+  EXPECT_EQ(counter->value(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ivr

@@ -1,0 +1,90 @@
+// Chaos-tier observability test: the "faults" section of the stats
+// snapshot is derived at snapshot time from the FaultInjector's own
+// per-site tallies, and the obs mirror counters incremented at each
+// engine fault site must agree with those tallies exactly — a chaos run
+// whose telemetry disagrees with its injector would make every fault
+// experiment unauditable.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/string_util.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/obs/report.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+TEST(StatsFaultTest, SnapshotFaultSectionMatchesInjectorTally) {
+  ScopedFaultInjection chaos("engine.text:0.5,engine.visual:0.25", 13);
+  ASSERT_TRUE(chaos.status().ok());
+  obs::Registry::Global().ResetValues();
+
+  GeneratorOptions options;
+  options.seed = 99;
+  options.num_topics = 4;
+  options.num_videos = 8;
+  const GeneratedCollection g = GenerateCollection(options).value();
+  const std::unique_ptr<RetrievalEngine> engine =
+      RetrievalEngine::Build(g.collection).value();
+
+  for (int round = 0; round < 10; ++round) {
+    for (const SearchTopic& topic : g.topics.topics) {
+      Query query;
+      query.text = topic.title;
+      query.examples = topic.examples;
+      (void)engine->Search(query, 20);
+    }
+  }
+
+  const std::vector<FaultInjector::SiteStats> sites =
+      FaultInjector::Global().PerSiteStats();
+  ASSERT_FALSE(sites.empty());
+  uint64_t text_injected = 0;
+  uint64_t visual_injected = 0;
+  const std::string json = obs::StatsJson();
+  for (const FaultInjector::SiteStats& site : sites) {
+    // The snapshot must carry each checked site verbatim with the
+    // injector's own numbers (report.cc reads them at snapshot time, so
+    // there is no second bookkeeping path that could drift).
+    const std::string expected = StrFormat(
+        "\"%s\": {\"calls\": %llu, \"injected\": %llu}", site.site.c_str(),
+        static_cast<unsigned long long>(site.calls),
+        static_cast<unsigned long long>(site.injected));
+    EXPECT_NE(json.find(expected), std::string::npos)
+        << "missing " << expected << " in:\n" << json;
+    if (site.site == "engine.text") text_injected = site.injected;
+    if (site.site == "engine.visual") visual_injected = site.injected;
+  }
+  EXPECT_GT(text_injected, 0u) << "p=0.5 over 40 queries never fired";
+
+#ifdef IVR_OBS_OFF
+  (void)visual_injected;  // Mirror-counter checks below are compiled out.
+#else
+  // The obs mirror counters at the fault sites agree with the injector.
+  obs::Registry& registry = obs::Registry::Global();
+  EXPECT_EQ(registry.GetCounter("engine.text_faults")->value(),
+            text_injected);
+  EXPECT_EQ(registry.GetCounter("engine.visual_faults")->value(),
+            visual_injected);
+  const uint64_t degraded =
+      registry.GetCounter("engine.degraded_queries")->value();
+  EXPECT_GT(degraded, 0u);
+  EXPECT_LE(degraded, text_injected + visual_injected);
+#endif
+}
+
+TEST(StatsFaultTest, FaultSectionEmptyWithoutChaos) {
+  FaultInjector::Global().Disable();
+  const std::string json = obs::StatsJson();
+  EXPECT_NE(json.find("\"faults\": {}"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,123 @@
+#include "ivr/obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+// A frozen obs clock: every Stopwatch reads 0us elapsed, so even latency
+// histograms become a pure function of the work performed — the property
+// that makes the snapshots below byte-comparable.
+int64_t FrozenNow() { return 1234567; }
+
+class StatsGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef IVR_OBS_OFF
+    GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+    obs::SetClockForTest(&FrozenNow);
+    FaultInjector::Global().Disable();
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(MakeOptions()).value());
+  }
+
+  void TearDown() override { obs::SetClockForTest(nullptr); }
+
+  static GeneratorOptions MakeOptions() {
+    GeneratorOptions options;
+    options.seed = 7;
+    options.num_topics = 6;
+    options.num_videos = 12;
+    return options;
+  }
+
+  /// The fixed workload: every topic's title query (text + visual) through
+  /// BatchSearch, plus a short adaptive session. Returns the stats JSON
+  /// after resetting all metric values first, so back-to-back invocations
+  /// observe identical state.
+  std::string RunWorkloadAndSnapshot(size_t threads) {
+    obs::Registry::Global().ResetValues();
+    const std::unique_ptr<RetrievalEngine> engine =
+        RetrievalEngine::Build(generated_->collection).value();
+    std::vector<Query> queries;
+    for (const SearchTopic& topic : generated_->topics.topics) {
+      Query query;
+      query.text = topic.title;
+      query.examples = topic.examples;
+      queries.push_back(std::move(query));
+    }
+    (void)engine->BatchSearch(queries, /*k=*/50, threads);
+
+    const AdaptiveEngine adaptive(*engine, AdaptiveOptions(), nullptr);
+    SessionContext ctx = adaptive.MakeContext("golden", "user");
+    Query first;
+    first.text = generated_->topics.topics[0].title;
+    const ResultList results = adaptive.Search(&ctx, first, 10);
+    InteractionEvent click;
+    click.type = EventType::kClickKeyframe;
+    click.shot = results.empty() ? 0 : results.at(0).shot;
+    adaptive.ObserveEvent(&ctx, click);
+    (void)adaptive.Search(&ctx, first, 10);
+
+    return obs::StatsJson();
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+};
+
+TEST_F(StatsGoldenTest, SchemaVersionAndSectionsPresent) {
+  const std::string json = RunWorkloadAndSnapshot(1);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"searcher.postings_scanned\""), std::string::npos);
+}
+
+TEST_F(StatsGoldenTest, RepeatedRunsAreByteIdentical) {
+  const std::string first = RunWorkloadAndSnapshot(2);
+  const std::string second = RunWorkloadAndSnapshot(2);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(StatsGoldenTest, ThreadCountDoesNotChangeTheSnapshot) {
+  // Counters are a pure function of the per-query work and BatchSearch
+  // assigns output slots by index, so 1 worker and 4 workers must produce
+  // the same bytes (the frozen clock removes the only timing channel).
+  const std::string sequential = RunWorkloadAndSnapshot(1);
+  const std::string parallel = RunWorkloadAndSnapshot(4);
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST_F(StatsGoldenTest, SummaryReportsTheWorkload) {
+  (void)RunWorkloadAndSnapshot(1);
+  const std::string summary = obs::StatsSummary();
+  EXPECT_NE(summary.find("-- observability summary --"), std::string::npos);
+  EXPECT_NE(summary.find("engine.queries"), std::string::npos);
+  EXPECT_EQ(summary.find("(no activity recorded)"), std::string::npos);
+}
+
+TEST_F(StatsGoldenTest, EmptyRegistryValuesStillRenderValidSkeleton) {
+  obs::Registry::Global().ResetValues();
+  const std::string json = obs::StatsJson();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_EQ(json.find("\"faults\": {\n"), std::string::npos)
+      << "chaos off: the faults section must be empty";
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end smoke test of the CLI tools: generate -> search -> evaluate
-# -> simulate -> replay -> evaluate-the-replay. Run by CTest with the
-# build directory as the first argument.
+# -> simulate -> replay -> evaluate-the-replay, with the observability
+# flags (--stats-json / --trace) threaded through the pipeline. Run by
+# CTest with the build directory as the first argument.
 set -e
 
 BUILD_DIR="$1"
@@ -10,22 +11,69 @@ trap 'rm -rf "$WORK_DIR"' EXIT
 
 TOOLS="$BUILD_DIR/tools"
 
+# Validates a --stats-json output: parses as JSON (when python3 exists)
+# and carries the v1 schema marker plus all four sections.
+check_stats() {
+  test -s "$1"
+  grep -q '"schema_version": 1' "$1"
+  grep -q '"counters"' "$1"
+  grep -q '"gauges"' "$1"
+  grep -q '"histograms"' "$1"
+  grep -q '"faults"' "$1"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$1"
+  fi
+}
+
+# Validates a --trace output: a schema-versioned JSONL header whose every
+# line parses as JSON (when python3 exists).
+check_trace() {
+  test -s "$1"
+  head -1 "$1" | grep -q '"schema_version": 1'
+  head -1 "$1" | grep -q '"type": "ivr.trace"'
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -c "
+import json, sys
+for line in open(sys.argv[1]):
+    json.loads(line)
+" "$1"
+  fi
+}
+
+# Extracts an integer metric value from a stats JSON file.
+stat_value() {
+  sed -n 's/^.*"'"$2"'": \([0-9-][0-9]*\).*$/\1/p' "$1" | head -1
+}
+
 "$TOOLS/ivr_generate" --out "$WORK_DIR/c.ivr" --videos 10 --topics 6 \
-    --seed 5 --qrels "$WORK_DIR/qrels.txt" > "$WORK_DIR/gen.log"
+    --seed 5 --qrels "$WORK_DIR/qrels.txt" \
+    --stats-json "$WORK_DIR/stats_gen.json" > "$WORK_DIR/gen.log"
 grep -q "wrote" "$WORK_DIR/gen.log"
 test -s "$WORK_DIR/c.ivr"
 test -s "$WORK_DIR/qrels.txt"
+check_stats "$WORK_DIR/stats_gen.json"
 
 "$TOOLS/ivr_search" --collection "$WORK_DIR/c.ivr" \
-    --run "$WORK_DIR/run_bm25.txt" > /dev/null
+    --run "$WORK_DIR/run_bm25.txt" \
+    --stats-json "$WORK_DIR/stats_search.json" \
+    --trace "$WORK_DIR/trace_search.jsonl" > /dev/null
 test -s "$WORK_DIR/run_bm25.txt"
+check_stats "$WORK_DIR/stats_search.json"
+check_trace "$WORK_DIR/trace_search.jsonl"
+# The batch run answered one query per topic; the engine counter agrees.
+test "$(stat_value "$WORK_DIR/stats_search.json" engine.queries)" -eq 6
 
 "$TOOLS/ivr_search" --collection "$WORK_DIR/c.ivr" \
     --run "$WORK_DIR/run_tfidf.txt" --scorer tfidf > /dev/null
 
 # Evaluation against the embedded qrels and the exported qrels must agree.
+# (--stats-json goes to a side file; stdout stays comparable.)
 "$TOOLS/ivr_eval" --collection "$WORK_DIR/c.ivr" \
-    --run "$WORK_DIR/run_bm25.txt" > "$WORK_DIR/eval_embedded.txt"
+    --run "$WORK_DIR/run_bm25.txt" \
+    --stats-json "$WORK_DIR/stats_eval.json" \
+    2> "$WORK_DIR/eval_stderr.txt" > "$WORK_DIR/eval_embedded.txt"
+check_stats "$WORK_DIR/stats_eval.json"
+grep -q "observability summary" "$WORK_DIR/eval_stderr.txt"
 "$TOOLS/ivr_eval" --qrels "$WORK_DIR/qrels.txt" \
     --run "$WORK_DIR/run_bm25.txt" > "$WORK_DIR/eval_exported.txt"
 cmp "$WORK_DIR/eval_embedded.txt" "$WORK_DIR/eval_exported.txt"
@@ -38,12 +86,18 @@ grep -q "mean" "$WORK_DIR/eval_embedded.txt"
 
 # Simulate users, replay their logs adaptively, and evaluate the result.
 "$TOOLS/ivr_simulate" --collection "$WORK_DIR/c.ivr" \
-    --log "$WORK_DIR/logs.tsv" --sessions-per-topic 1 > /dev/null
+    --log "$WORK_DIR/logs.tsv" --sessions-per-topic 1 \
+    --stats-json "$WORK_DIR/stats_sim.json" \
+    --trace "$WORK_DIR/trace_sim.jsonl" > /dev/null
 test -s "$WORK_DIR/logs.tsv"
+check_stats "$WORK_DIR/stats_sim.json"
+check_trace "$WORK_DIR/trace_sim.jsonl"
 
 "$TOOLS/ivr_replay" --collection "$WORK_DIR/c.ivr" \
-    --log "$WORK_DIR/logs.tsv" --run "$WORK_DIR/run_replay.txt" > /dev/null
+    --log "$WORK_DIR/logs.tsv" --run "$WORK_DIR/run_replay.txt" \
+    --stats-json "$WORK_DIR/stats_replay.json" > /dev/null
 test -s "$WORK_DIR/run_replay.txt"
+check_stats "$WORK_DIR/stats_replay.json"
 
 "$TOOLS/ivr_eval" --collection "$WORK_DIR/c.ivr" \
     --run "$WORK_DIR/run_replay.txt" | grep -q "mean"
@@ -52,6 +106,37 @@ test -s "$WORK_DIR/run_replay.txt"
 "$TOOLS/ivr_generate" --out "$WORK_DIR/c2.ivr" --videos 10 --topics 6 \
     --seed 5 > /dev/null
 cmp "$WORK_DIR/c.ivr" "$WORK_DIR/c2.ivr"
+
+# Service layer with observability: a --check run (concurrent + sequential
+# verification) must end with every session closed — active gauge back to
+# zero and no evictions (the --check contract forbids eviction pressure) —
+# while the opened counter covers both the concurrent run and the
+# sequential reference (8 sessions each).
+"$TOOLS/ivr_serve_sim" --collection "$WORK_DIR/c.ivr" --sessions 8 \
+    --threads 2 --check \
+    --stats-json "$WORK_DIR/stats_serve.json" \
+    --trace "$WORK_DIR/trace_serve.jsonl" \
+    2> "$WORK_DIR/serve_stderr.txt" > "$WORK_DIR/serve.log"
+grep -q "bit-identical" "$WORK_DIR/serve.log"
+check_stats "$WORK_DIR/stats_serve.json"
+check_trace "$WORK_DIR/trace_serve.jsonl"
+grep -q "observability summary" "$WORK_DIR/serve_stderr.txt"
+test "$(stat_value "$WORK_DIR/stats_serve.json" service.sessions_active)" \
+    -eq 0
+test "$(stat_value "$WORK_DIR/stats_serve.json" service.sessions_evicted)" \
+    -eq 0
+test "$(stat_value "$WORK_DIR/stats_serve.json" service.sessions_opened)" \
+    -eq 16
+
+# Under capacity pressure the eviction counter must move. Four workers
+# open their sessions up front (think time keeps all four alive at once on
+# any core count), so with room for two the extra opens must evict.
+"$TOOLS/ivr_serve_sim" --collection "$WORK_DIR/c.ivr" --sessions 4 \
+    --threads 4 --think 5 --max-sessions 2 \
+    --stats-json "$WORK_DIR/stats_evict.json" > /dev/null 2>&1
+check_stats "$WORK_DIR/stats_evict.json"
+test "$(stat_value "$WORK_DIR/stats_evict.json" service.sessions_evicted)" \
+    -gt 0
 
 # Ad-hoc query mode prints ranked shots.
 QUERY_WORD="$(sed -n 's/^.*\t\([a-z]*\) [a-z]*bo day.*$/\1/p' \

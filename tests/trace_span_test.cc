@@ -1,0 +1,204 @@
+#include "ivr/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ivr/core/file_util.h"
+
+namespace ivr {
+namespace obs {
+namespace {
+
+// A settable fake obs clock (ClockFn is a plain function pointer, so the
+// knob lives in a file-level atomic).
+std::atomic<int64_t> g_fake_now{0};
+int64_t FakeNow() { return g_fake_now.load(std::memory_order_relaxed); }
+
+class TraceSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifdef IVR_OBS_OFF
+    GTEST_SKIP() << "instrumentation compiled out (IVR_OBS_OFF)";
+#endif
+    g_fake_now = 1000;
+    SetClockForTest(&FakeNow);
+    TraceRecorder::Global().Enable();
+  }
+
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    SetClockForTest(nullptr);
+  }
+};
+
+TEST_F(TraceSpanTest, DisabledRecorderBuffersNothing) {
+  TraceRecorder::Global().Disable();
+  { ScopedSpan span("never.recorded"); }
+  TraceRecorder::Global().Enable();
+  EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
+}
+
+TEST_F(TraceSpanTest, SpanRecordsNameTimesAndAnnotations) {
+  {
+    ScopedSpan span("unit.work");
+    span.Annotate("items", "3");
+    g_fake_now += 250;
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit.work");
+  EXPECT_EQ(events[0].start_us, 1000);
+  EXPECT_EQ(events[0].duration_us, 250);
+  EXPECT_GT(events[0].id, 0u);
+  EXPECT_EQ(events[0].parent, 0u);
+  EXPECT_GT(events[0].tid, 0u);
+  ASSERT_EQ(events[0].annotations.size(), 1u);
+  EXPECT_EQ(events[0].annotations[0].first, "items");
+  EXPECT_EQ(events[0].annotations[0].second, "3");
+}
+
+TEST_F(TraceSpanTest, NestedSpansCarryParentIds) {
+  {
+    ScopedSpan outer("outer");
+    g_fake_now += 1;
+    {
+      ScopedSpan inner("inner");
+      g_fake_now += 1;
+    }
+    {
+      ScopedSpan sibling("sibling");
+      g_fake_now += 1;
+    }
+  }
+  {
+    ScopedSpan root("root.after");
+    g_fake_now += 1;
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 4u);
+  uint64_t outer_id = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "outer") outer_id = e.id;
+  }
+  ASSERT_GT(outer_id, 0u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "inner" || e.name == "sibling") {
+      EXPECT_EQ(e.parent, outer_id) << e.name;
+    } else {
+      EXPECT_EQ(e.parent, 0u) << e.name;
+    }
+  }
+}
+
+TEST_F(TraceSpanTest, DrainSortsByStartTimeThenId) {
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("tick");
+    g_fake_now += 10;
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 5u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_TRUE(events[i - 1].start_us < events[i].start_us ||
+                (events[i - 1].start_us == events[i].start_us &&
+                 events[i - 1].id < events[i].id));
+  }
+}
+
+TEST_F(TraceSpanTest, RingOverflowDropsOldestAndCounts) {
+  TraceRecorder::Global().Enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("spin");
+    g_fake_now += 1;  // distinct start times, in emission order
+  }
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 6u);
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-oldest: the survivors are the LAST four spans emitted.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_us, events[i - 1].start_us + 1);
+  }
+  EXPECT_EQ(events.back().start_us, 1009);
+}
+
+TEST_F(TraceSpanTest, EnableClearsPreviousBufferAndDrops) {
+  TraceRecorder::Global().Enable(/*ring_capacity=*/1);
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("old");
+  }
+  EXPECT_GT(TraceRecorder::Global().dropped(), 0u);
+  TraceRecorder::Global().Enable();
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 0u);
+  EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
+}
+
+TEST_F(TraceSpanTest, ThreadsGetStableOrdinalIdsAndOwnRings) {
+  constexpr int kSpansPerThread = 8;
+  std::thread worker([&] {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      ScopedSpan span("worker.span");
+    }
+  });
+  for (int i = 0; i < kSpansPerThread; ++i) {
+    ScopedSpan span("main.span");
+  }
+  worker.join();
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Drain();
+  ASSERT_EQ(events.size(), 2u * kSpansPerThread);
+  uint32_t main_tid = 0;
+  uint32_t worker_tid = 0;
+  for (const TraceEvent& e : events) {
+    uint32_t& tid = e.name == "main.span" ? main_tid : worker_tid;
+    if (tid == 0) {
+      tid = e.tid;
+    } else {
+      EXPECT_EQ(tid, e.tid) << e.name;  // stable per thread
+    }
+  }
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST_F(TraceSpanTest, FlushWritesJsonlHeaderAndEvents) {
+  {
+    ScopedSpan span("flush.me");
+    span.Annotate("key", "value \"quoted\"");
+    g_fake_now += 5;
+  }
+  const std::string path =
+      ::testing::TempDir() + "/trace_span_test_flush.jsonl";
+  ASSERT_TRUE(TraceRecorder::Global().FlushToFile(path).ok());
+  const Result<std::string> text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+
+  // One header line plus one line per event, each a JSON object.
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : *text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"events\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dropped\": 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\": \"flush.me\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\\\"quoted\\\""), std::string::npos);
+
+  // Flushing drained the buffer: a second flush reports zero events.
+  ASSERT_TRUE(TraceRecorder::Global().FlushToFile(path).ok());
+  const Result<std::string> empty = ReadFileToString(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NE(empty->find("\"events\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ivr

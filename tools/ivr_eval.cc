@@ -2,11 +2,15 @@
 //
 //   ivr_eval --collection c.ivr --run run.txt [--run2 other.txt]
 //   ivr_eval --qrels qrels.txt --run run.txt [--threads N]
+//            [--stats-json PATH] [--trace PATH]
 //
 // Prints per-topic and mean metrics; with --run2 additionally reports the
 // paired t-test and Wilcoxon signed-rank comparison on per-topic AP.
 // Per-topic metrics fan out over --threads workers (default: hardware
 // concurrency); output is identical for every thread count.
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON) at exit; --trace enables span recording and writes a JSONL
+// trace. A metrics summary is always printed to stderr at exit.
 
 #include <cstdio>
 
@@ -19,6 +23,7 @@
 #include "ivr/eval/experiment.h"
 #include "ivr/eval/significance.h"
 #include "ivr/eval/trec_run.h"
+#include "ivr/obs/report.h"
 #include "ivr/video/serialization.h"
 
 namespace ivr {
@@ -50,12 +55,18 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_eval (--collection FILE | --qrels FILE) "
                  "--run FILE [--run2 FILE] [--threads N] "
-                 "[--fault-spec SPEC] [--fault-seed N]\n");
+                 "[--fault-spec SPEC] [--fault-seed N] "
+                 "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
   const int64_t threads_arg =
@@ -147,7 +158,8 @@ int Main(int argc, char** argv) {
   if (FaultInjector::Global().enabled()) {
     std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
-  return 0;
+  std::fprintf(stderr, "%s", obs::StatsSummary().c_str());
+  return obs::FinishToolWithObs(*args, 0);
 }
 
 }  // namespace

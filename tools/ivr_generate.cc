@@ -4,6 +4,10 @@
 //   ivr_generate --out collection.ivr [--seed 42] [--topics 10]
 //                [--videos 25] [--wer 0.3] [--title-offset 6]
 //                [--qrels qrels.txt] [--fault-spec SPEC] [--fault-seed N]
+//                [--stats-json PATH] [--trace PATH]
+//
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON) at exit; --trace enables span recording and writes a JSONL trace.
 //
 // The optional --qrels path additionally writes the judgements in plain
 // TREC qrels format for external tooling. All outputs are written
@@ -16,6 +20,7 @@
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
+#include "ivr/obs/report.h"
 #include "ivr/video/serialization.h"
 
 namespace ivr {
@@ -32,12 +37,18 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_generate --out FILE [--seed N] [--topics N] "
                  "[--videos N] [--wer F] [--title-offset N] "
-                 "[--qrels FILE] [--fault-spec SPEC] [--fault-seed N]\n");
+                 "[--qrels FILE] [--fault-spec SPEC] [--fault-seed N] "
+                 "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
 
@@ -89,7 +100,7 @@ int Main(int argc, char** argv) {
   if (FaultInjector::Global().enabled()) {
     std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
-  return 0;
+  return obs::FinishToolWithObs(*args, 0);
 }
 
 }  // namespace

@@ -6,6 +6,10 @@
 //   ivr_replay --collection c.ivr --log sessions.tsv --run out.txt
 //              [--backend static|adaptive] [--k 1000]
 //              [--fault-spec SPEC] [--fault-seed N]
+//              [--stats-json PATH] [--trace PATH]
+//
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON) at exit; --trace enables span recording and writes a JSONL trace.
 //
 // Collection and log loads retry transient IO errors and verify the
 // checksummed envelope; the run file is written atomically; degraded
@@ -19,6 +23,7 @@
 #include "ivr/core/file_util.h"
 #include "ivr/core/retry.h"
 #include "ivr/eval/trec_run.h"
+#include "ivr/obs/report.h"
 #include "ivr/retrieval/fusion.h"
 #include "ivr/sim/replayer.h"
 #include "ivr/video/serialization.h"
@@ -39,12 +44,18 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_replay --collection FILE --log FILE "
                  "--run FILE [--backend static|adaptive] [--k N] "
-                 "[--fault-spec SPEC] [--fault-seed N]\n");
+                 "[--fault-spec SPEC] [--fault-seed N] "
+                 "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
   Result<GeneratedCollection> loaded =
@@ -118,7 +129,7 @@ int Main(int argc, char** argv) {
   if (FaultInjector::Global().enabled()) {
     std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
-  return 0;
+  return obs::FinishToolWithObs(*args, 0);
 }
 
 }  // namespace

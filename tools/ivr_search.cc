@@ -6,6 +6,10 @@
 //   ivr_search --collection c.ivr --run run.txt [--scorer bm25] [--k 1000]
 //              [--visual] [--tag mytag] [--threads N]
 //              [--fault-spec SPEC] [--fault-seed N]
+//              [--stats-json PATH] [--trace PATH]
+//
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON) at exit; --trace enables span recording and writes a JSONL trace.
 //
 // Ad-hoc mode: --query "words ..." prints the top results humanly:
 //   ivr_search --collection c.ivr --query "ginadebo market" [--k 10]
@@ -21,6 +25,7 @@
 #include "ivr/core/file_util.h"
 #include "ivr/core/thread_pool.h"
 #include "ivr/eval/trec_run.h"
+#include "ivr/obs/report.h"
 #include "ivr/retrieval/engine.h"
 #include "ivr/retrieval/story_rank.h"
 #include "ivr/video/serialization.h"
@@ -40,12 +45,18 @@ int Main(int argc, char** argv) {
                  "usage: ivr_search --collection FILE "
                  "(--run OUT | --query \"...\") [--scorer bm25] [--k N] "
                  "[--visual] [--tag TAG] [--threads N] "
-                 "[--fault-spec SPEC] [--fault-seed N]\n");
+                 "[--fault-spec SPEC] [--fault-seed N] "
+                 "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
   Result<GeneratedCollection> loaded =
@@ -100,7 +111,7 @@ int Main(int argc, char** argv) {
                     stories[i].score, stories[i].supporting_shots.size());
       }
       report_health();
-      return 0;
+      return obs::FinishToolWithObs(*args, 0);
     }
     std::printf("%zu results for \"%s\"\n", results.size(), adhoc.c_str());
     for (size_t i = 0; i < std::min<size_t>(k, results.size()); ++i) {
@@ -112,7 +123,7 @@ int Main(int argc, char** argv) {
                   story->headline.c_str(), results.at(i).score);
     }
     report_health();
-    return 0;
+    return obs::FinishToolWithObs(*args, 0);
   }
 
   const std::string run_path = args->GetString("run");
@@ -151,7 +162,7 @@ int Main(int argc, char** argv) {
   std::printf("wrote %s: %zu topics, tag '%s'\n", run_path.c_str(),
               runs.size(), tag.c_str());
   report_health();
-  return 0;
+  return obs::FinishToolWithObs(*args, 0);
 }
 
 }  // namespace

@@ -7,6 +7,12 @@
 //                 [--seed 1] [--shards 8] [--max-sessions N] [--ttl-ms N]
 //                 [--persist-dir DIR] [--persist-every N] [--think MS]
 //                 [--check] [--fault-spec SPEC] [--fault-seed N]
+//                 [--stats-json PATH] [--trace PATH]
+//
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON, see obs/report.h) at exit; --trace enables span recording and
+// writes a JSONL trace. A human-readable metrics summary is always
+// printed to stderr at exit.
 //
 // Without --collection a standard benchmark collection is generated in
 // process. --think adds a per-operation user think time (off-CPU), the
@@ -29,6 +35,7 @@
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/string_util.h"
+#include "ivr/obs/report.h"
 #include "ivr/service/managed_backend.h"
 #include "ivr/service/session_manager.h"
 #include "ivr/sim/simulator.h"
@@ -117,6 +124,11 @@ int Main(int argc, char** argv) {
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
 
@@ -259,7 +271,8 @@ int Main(int argc, char** argv) {
   if (FaultInjector::Global().enabled()) {
     std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
-  return rc;
+  std::fprintf(stderr, "%s", obs::StatsSummary().c_str());
+  return obs::FinishToolWithObs(*args, rc);
 }
 
 }  // namespace

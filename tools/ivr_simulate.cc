@@ -6,6 +6,10 @@
 //                [--sessions-per-topic 2] [--seed 1]
 //                [--backend static|adaptive] [--profiles store.ivrp]
 //                [--threads N] [--fault-spec SPEC] [--fault-seed N]
+//                [--stats-json PATH] [--trace PATH]
+//
+// --stats-json writes the process metrics snapshot (schema-versioned
+// JSON) at exit; --trace enables span recording and writes a JSONL trace.
 //
 // Sessions fan out over --threads workers (default: hardware
 // concurrency). Each worker owns its backend — the adaptive backend's
@@ -29,6 +33,7 @@
 #include "ivr/core/retry.h"
 #include "ivr/core/string_util.h"
 #include "ivr/core/thread_pool.h"
+#include "ivr/obs/report.h"
 #include "ivr/profile/profile_store.h"
 #include "ivr/sim/simulator.h"
 #include "ivr/video/serialization.h"
@@ -50,12 +55,18 @@ int Main(int argc, char** argv) {
                  "[--env desktop|tv] [--user novice|expert|couch] "
                  "[--sessions-per-topic N] [--seed N] "
                  "[--backend static|adaptive] [--profiles FILE] "
-                 "[--threads N] [--fault-spec SPEC] [--fault-seed N]\n");
+                 "[--threads N] [--fault-spec SPEC] [--fault-seed N] "
+                 "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
   }
   Result<GeneratedCollection> loaded =
@@ -210,7 +221,7 @@ int Main(int argc, char** argv) {
   if (FaultInjector::Global().enabled()) {
     std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
   }
-  return 0;
+  return obs::FinishToolWithObs(*args, 0);
 }
 
 }  // namespace
