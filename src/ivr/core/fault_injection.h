@@ -44,6 +44,7 @@ namespace ivr {
 ///   sessionlog.append    SessionLogWriter Open/Append (journal chunk)
 ///   service.evict        SessionManager eviction pass (victim is kept)
 ///   service.persist      SessionManager eviction/end persistence
+///   cache.lookup         ResultCache::Lookup (degrades to uncached search)
 class FaultInjector {
  public:
   /// The process-wide injector the library's fault sites consult.

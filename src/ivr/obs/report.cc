@@ -106,7 +106,33 @@ std::string StatsJson() {
                      U64(faults[i].calls).c_str(),
                      U64(faults[i].injected).c_str());
   }
-  out += faults.empty() ? "}\n" : "\n  }\n";
+  out += faults.empty() ? "},\n" : "\n  },\n";
+
+  // Derived view of the result cache: every "cache."-prefixed counter and
+  // gauge with the prefix stripped, grouped so cache behaviour can be read
+  // off one object. Empty (but present) when no cache was attached —
+  // an addition, so the schema version stays at 1.
+  out += "  \"cache\": {";
+  constexpr const char kCachePrefix[] = "cache.";
+  constexpr size_t kCachePrefixLen = sizeof(kCachePrefix) - 1;
+  size_t cache_keys = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(kCachePrefix, 0) != 0) continue;
+    out += cache_keys == 0 ? "\n" : ",\n";
+    out += StrFormat("    \"%s\": %s",
+                     JsonEscape(name.substr(kCachePrefixLen)).c_str(),
+                     U64(value).c_str());
+    ++cache_keys;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind(kCachePrefix, 0) != 0) continue;
+    out += cache_keys == 0 ? "\n" : ",\n";
+    out += StrFormat("    \"%s\": %s",
+                     JsonEscape(name.substr(kCachePrefixLen)).c_str(),
+                     I64(value).c_str());
+    ++cache_keys;
+  }
+  out += cache_keys == 0 ? "}\n" : "\n  }\n";
 
   out += "}\n";
   return out;

@@ -25,7 +25,9 @@ inline constexpr int kStatsSchemaVersion = 1;
 ///     "histograms": {"name": {"count": n, "sum": s, "max": m,
 ///                             "p50": q, "p90": q, "p99": q,
 ///                             "buckets": [<uint> x 40]}, ...},
-///     "faults":     {"site": {"calls": n, "injected": m}, ...}
+///     "faults":     {"site": {"calls": n, "injected": m}, ...},
+///     "cache":      {"hits": n, "misses": n, ...}  // cache.* metrics,
+///                                                  // prefix stripped
 ///   }
 ///
 /// Byte-for-byte reproducible whenever the recorded values are (fixed

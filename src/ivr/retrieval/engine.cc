@@ -1,7 +1,9 @@
 #include "ivr/retrieval/engine.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "ivr/cache/result_cache.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/logging.h"
 #include "ivr/core/thread_pool.h"
@@ -10,6 +12,119 @@
 #include "ivr/retrieval/fusion.h"
 
 namespace ivr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cache-key fingerprints.
+//
+// Keys embed every input that determines a ranking as raw bytes — doubles
+// included — and the cache compares keys byte-for-byte, so a hit can only
+// return the exact list the same inputs produced: no hashing, no rounding,
+// no collision can break the bit-identical-serving guarantee. Keys live
+// only inside one process (never persisted), so native endianness is fine.
+//
+// Canonicalisation: analysed text terms are sorted lexicographically —
+// the searcher processes terms in lexicographic order regardless of the
+// query map's iteration order, so two orderings of the same terms score
+// identically and may share an entry. Visual-example order and concept-id
+// order are preserved: they set the floating-point accumulation order in
+// fusion, where reordering could change low bits.
+
+void AppendRaw(std::string* key, const void* data, size_t n) {
+  key->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* key, uint32_t v) { AppendRaw(key, &v, sizeof v); }
+
+void AppendU64(std::string* key, uint64_t v) { AppendRaw(key, &v, sizeof v); }
+
+void AppendDouble(std::string* key, double v) {
+  AppendRaw(key, &v, sizeof v);
+}
+
+void AppendLengthPrefixed(std::string* key, const std::string& s) {
+  AppendU32(key, static_cast<uint32_t>(s.size()));
+  key->append(s);
+}
+
+void AppendTermQuery(std::string* key, const TermQuery& query) {
+  std::vector<const std::string*> terms;
+  terms.reserve(query.weights.size());
+  for (const auto& entry : query.weights) {
+    terms.push_back(&entry.first);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) {
+              return *a < *b;
+            });
+  AppendU32(key, static_cast<uint32_t>(terms.size()));
+  for (const std::string* term : terms) {
+    AppendLengthPrefixed(key, *term);
+    AppendDouble(key, query.weights.at(*term));
+    AppendU32(key, query.QueryTf(*term));
+  }
+}
+
+void AppendHistogram(std::string* key, const ColorHistogram& example) {
+  const std::vector<double>& bins = example.bins();
+  AppendU32(key, static_cast<uint32_t>(bins.size()));
+  AppendRaw(key, bins.data(), bins.size() * sizeof(double));
+}
+
+std::string TermsKey(const TermQuery& query, size_t k,
+                     const std::string& scorer) {
+  std::string key("T1|");
+  AppendLengthPrefixed(&key, scorer);
+  AppendU64(&key, k);
+  AppendTermQuery(&key, query);
+  return key;
+}
+
+std::string VisualKey(const ColorHistogram& example, size_t k,
+                      VisualSimilarity similarity) {
+  std::string key("V1|");
+  AppendU32(&key, static_cast<uint32_t>(similarity));
+  AppendU64(&key, k);
+  AppendHistogram(&key, example);
+  return key;
+}
+
+std::string ConceptsKey(const std::vector<ConceptId>& concepts, size_t k,
+                        uint64_t detector_seed) {
+  std::string key("C1|");
+  AppendU64(&key, detector_seed);
+  AppendU64(&key, k);
+  AppendU32(&key, static_cast<uint32_t>(concepts.size()));
+  for (const ConceptId id : concepts) {
+    AppendU32(&key, id);
+  }
+  return key;
+}
+
+std::string FusedKey(const Query& query, const TermQuery& terms, size_t k,
+                     const EngineOptions& options) {
+  std::string key("F1|");
+  AppendLengthPrefixed(&key, options.scorer);
+  AppendDouble(&key, options.text_weight);
+  AppendDouble(&key, options.visual_weight);
+  AppendDouble(&key, options.concept_weight);
+  AppendU32(&key, static_cast<uint32_t>(options.visual_similarity));
+  AppendU64(&key, options.detector_seed);
+  AppendU64(&key, options.candidate_pool);
+  AppendU64(&key, k);
+  AppendTermQuery(&key, terms);
+  AppendU32(&key, static_cast<uint32_t>(query.examples.size()));
+  for (const ColorHistogram& example : query.examples) {
+    AppendHistogram(&key, example);
+  }
+  AppendU32(&key, static_cast<uint32_t>(query.concepts.size()));
+  for (const ConceptId id : query.concepts) {
+    AppendU32(&key, id);
+  }
+  return key;
+}
+
+}  // namespace
 
 RetrievalEngine::RetrievalEngine(const VideoCollection& collection,
                                  EngineOptions options,
@@ -97,6 +212,25 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
   metrics_.queries->Inc();
   FaultInjector& faults = FaultInjector::Global();
   const bool chaos = faults.enabled();
+  // Parse once: the cache fingerprint and the text modality share it.
+  TermQuery terms;
+  if (query.HasText()) terms = ParseText(query.text);
+  ResultCache* const cache = cache_.get();
+  const bool cacheable =
+      cache != nullptr &&
+      (query.HasText() || query.HasExamples() || query.HasConcepts());
+  std::string cache_key;
+  uint64_t cache_generation = 0;
+  if (cacheable) {
+    cache_key = FusedKey(query, terms, k, options_);
+    cache_generation = cache->generation();
+    ResultList cached;
+    if (cache->Lookup(cache_key, &cached)) {
+      span.Annotate("cache", "hit");
+      metrics_.search_us->Record(total.ElapsedUs());
+      return cached;
+    }
+  }
   std::vector<ResultList> lists;
   std::vector<double> weights;
   bool degraded = false;
@@ -110,8 +244,7 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
       degraded = true;
     } else {
       const obs::Stopwatch modality;
-      lists.push_back(SearchTerms(ParseText(query.text),
-                                  options_.candidate_pool));
+      lists.push_back(SearchTerms(terms, options_.candidate_pool));
       weights.push_back(options_.text_weight);
       metrics_.text_us->Record(modality.ElapsedUs());
     }
@@ -173,6 +306,11 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
                               : WeightedLinear(lists, weights);
     fused.Truncate(k);
   }
+  // Degraded rankings are transient (a fault fired on this call); caching
+  // one would keep serving it after the fault cleared.
+  if (cacheable && !degraded) {
+    cache->Insert(cache_key, fused, cache_generation);
+  }
   metrics_.search_us->Record(total.ElapsedUs());
   return fused;
 }
@@ -202,6 +340,9 @@ HealthReport RetrievalEngine::Health() const {
   report.concept_faults = concept_faults_.load(std::memory_order_relaxed);
   report.concepts_dropped =
       concepts_dropped_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    report.cache_lookup_faults = cache_->Stats().lookup_faults;
+  }
   report.faults_injected = FaultInjector::Global().num_injected();
   return report;
 }
@@ -212,11 +353,33 @@ Result<ResultList> RetrievalEngine::SearchConcepts(
     return Status::FailedPrecondition(
         "engine was built without use_concepts");
   }
-  return concepts_->SearchAll(concepts, k);
+  ResultCache* const cache = cache_.get();
+  std::string key;
+  uint64_t generation = 0;
+  if (cache != nullptr && !concepts.empty()) {
+    key = ConceptsKey(concepts, k, options_.detector_seed);
+    generation = cache->generation();
+    ResultList cached;
+    if (cache->Lookup(key, &cached)) return cached;
+  }
+  ResultList out = concepts_->SearchAll(concepts, k);
+  if (cache != nullptr && !concepts.empty()) {
+    cache->Insert(key, out, generation);
+  }
+  return out;
 }
 
 ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
                                         size_t k) const {
+  ResultCache* const cache = cache_.get();
+  std::string key;
+  uint64_t generation = 0;
+  if (cache != nullptr && !query.empty()) {
+    key = TermsKey(query, k, options_.scorer);
+    generation = cache->generation();
+    ResultList cached;
+    if (cache->Lookup(key, &cached)) return cached;
+  }
   // One flat accumulator per thread, reused across queries: steady-state
   // text search allocates nothing and stays safe under BatchSearch and
   // parallel session sweeps.
@@ -226,15 +389,30 @@ ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
   for (const SearchHit& hit : searcher.Search(query, k, &accum)) {
     out.Add(static_cast<ShotId>(hit.doc), hit.score);
   }
+  if (cache != nullptr && !query.empty()) {
+    cache->Insert(key, out, generation);
+  }
   return out;
 }
 
 ResultList RetrievalEngine::SearchVisual(const ColorHistogram& example,
                                          size_t k) const {
+  ResultCache* const cache = cache_.get();
+  std::string key;
+  uint64_t generation = 0;
+  if (cache != nullptr) {
+    key = VisualKey(example, k, options_.visual_similarity);
+    generation = cache->generation();
+    ResultList cached;
+    if (cache->Lookup(key, &cached)) return cached;
+  }
   const VisualSearcher searcher(keyframes_, options_.visual_similarity);
   ResultList out;
   for (const Neighbor& n : searcher.NearestNeighbors(example, k)) {
     out.Add(static_cast<ShotId>(n.index), n.score);
+  }
+  if (cache != nullptr) {
+    cache->Insert(key, out, generation);
   }
   return out;
 }

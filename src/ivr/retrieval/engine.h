@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ivr/core/result.h"
@@ -21,6 +22,8 @@
 #include "ivr/video/collection.h"
 
 namespace ivr {
+
+class ResultCache;
 
 /// A multimodal query: free text, optional visual examples, optional
 /// high-level concept targets (available when the engine was built with
@@ -119,6 +122,19 @@ class RetrievalEngine {
   /// Engine-lifetime degraded-mode counters (see health.h). Thread-safe.
   HealthReport Health() const;
 
+  /// Attaches a shared base-ranking cache (nullptr detaches). Search,
+  /// SearchTerms, SearchVisual and SearchConcepts then serve repeated
+  /// queries from the cache — bit-identical to uncached serving, because
+  /// keys are exact byte fingerprints and hits return copies of the
+  /// stored lists. One cache may be shared by several engines built with
+  /// identical options over the same collection (the simulate/serve
+  /// per-worker engines); attach before serving, not while searches are
+  /// in flight. Degraded (faulted-modality) results are never inserted.
+  void AttachCache(std::shared_ptr<ResultCache> cache) {
+    cache_ = std::move(cache);
+  }
+  ResultCache* cache() const { return cache_.get(); }
+
   /// Text-only search over an explicit weighted term query (used by
   /// feedback/expansion components).
   ResultList SearchTerms(const TermQuery& query, size_t k) const;
@@ -165,6 +181,7 @@ class RetrievalEngine {
   /// construction faulted, in which case the engine serves degraded
   /// (Health().concept_index_available == false).
   std::unique_ptr<ConceptIndex> concepts_;
+  std::shared_ptr<ResultCache> cache_;
   mutable std::atomic<uint64_t> degraded_queries_{0};
   mutable std::atomic<uint64_t> text_faults_{0};
   mutable std::atomic<uint64_t> visual_faults_{0};

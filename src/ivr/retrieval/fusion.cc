@@ -1,5 +1,6 @@
 #include "ivr/retrieval/fusion.h"
 
+#include <atomic>
 #include <unordered_map>
 
 #include "ivr/core/logging.h"
@@ -29,8 +30,21 @@ ResultList MinMaxNormalize(const ResultList& list) {
   std::vector<RankedShot> items;
   items.reserve(list.size());
   const double range = hi - lo;
+  if (range <= 0.0) {
+    // A constant-score list carries no ranking evidence. Mapping it to
+    // all-ones would hand a degenerate modality maximal weight in
+    // CombSum/CombMnz/WeightedLinear and let it dominate fusion; map to
+    // the neutral midpoint instead. Logged once per process — this fires
+    // on every single-entry list, which is common and harmless.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      IVR_LOG(Warning) << "MinMaxNormalize: constant-score list ("
+                       << list.size() << " entries, score " << lo
+                       << "); normalising to neutral 0.5";
+    }
+  }
   for (const RankedShot& r : list.items()) {
-    const double s = range > 0.0 ? (r.score - lo) / range : 1.0;
+    const double s = range > 0.0 ? (r.score - lo) / range : 0.5;
     items.push_back(RankedShot{r.shot, s});
   }
   return ResultList(std::move(items));

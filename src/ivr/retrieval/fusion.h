@@ -11,8 +11,9 @@ namespace ivr {
 /// retrieval runs (e.g. text search + visual example search, or results
 /// before/after feedback). All operators are deterministic.
 
-/// Min–max normalises scores of a list into [0,1]; a constant list maps to
-/// all-ones (everything equally good).
+/// Min–max normalises scores of a list into [0,1]; a constant-score list
+/// carries no ranking evidence and maps to all-0.5 (neutral), so a
+/// degenerate modality cannot dominate downstream fusion.
 ResultList MinMaxNormalize(const ResultList& list);
 
 /// CombSUM: sum of min-max-normalised scores.

@@ -20,6 +20,7 @@ std::string HealthReport::ToString() const {
   add("visual_faults", visual_faults);
   add("concept_faults", concept_faults);
   add("concepts_dropped", concepts_dropped);
+  add("cache_lookup_faults", cache_lookup_faults);
   add("feedback_skipped", feedback_skipped);
   add("profile_reranks_skipped", profile_reranks_skipped);
   add("sessions_active", sessions_active);

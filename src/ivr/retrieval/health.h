@@ -28,6 +28,10 @@ struct HealthReport {
   /// Concept queries dropped because the engine has no concept index.
   uint64_t concepts_dropped = 0;
 
+  /// Result-cache lookups that failed through the "cache.lookup" fault
+  /// site; each degraded to an uncached search (correct, just slower).
+  uint64_t cache_lookup_faults = 0;
+
   /// AdaptiveEngine: searches answered without implicit-feedback
   /// expansion / profile re-ranking because that step faulted.
   uint64_t feedback_skipped = 0;

@@ -14,11 +14,47 @@ bool Better(const RankedShot& a, const RankedShot& b) {
 }  // namespace
 
 ResultList::ResultList(std::vector<RankedShot> items)
-    : items_(std::move(items)), sorted_(false) {}
+    : items_(std::move(items)), sorted_(false) {
+  // Sort eagerly: freshly built lists are the ones handed to the result
+  // cache and shared across threads, so they must never carry a pending
+  // mutation into a const accessor.
+  SortNow();
+}
+
+ResultList::ResultList(const ResultList& other) {
+  other.EnsureSorted();
+  items_ = other.items_;
+  sorted_.store(true, std::memory_order_relaxed);
+}
+
+ResultList::ResultList(ResultList&& other) noexcept
+    : items_(std::move(other.items_)),
+      sorted_(other.sorted_.load(std::memory_order_relaxed)) {
+  other.items_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+}
+
+ResultList& ResultList::operator=(const ResultList& other) {
+  if (this == &other) return *this;
+  other.EnsureSorted();
+  items_ = other.items_;
+  sorted_.store(true, std::memory_order_relaxed);
+  return *this;
+}
+
+ResultList& ResultList::operator=(ResultList&& other) noexcept {
+  if (this == &other) return *this;
+  items_ = std::move(other.items_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.items_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+  return *this;
+}
 
 void ResultList::Add(ShotId shot, double score) {
   items_.push_back(RankedShot{shot, score});
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 void ResultList::Truncate(size_t k) {
@@ -64,8 +100,19 @@ const std::vector<RankedShot>& ResultList::items() const {
   return items_;
 }
 
+size_t ResultList::MemoryBytes() const {
+  EnsureSorted();
+  return items_.capacity() * sizeof(RankedShot);
+}
+
 void ResultList::EnsureSorted() const {
-  if (sorted_) return;
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  if (sorted_.load(std::memory_order_relaxed)) return;
+  SortNow();
+}
+
+void ResultList::SortNow() const {
   // Deduplicate by shot (keeping the max score), then order by score.
   std::sort(items_.begin(), items_.end(),
             [](const RankedShot& a, const RankedShot& b) {
@@ -78,7 +125,7 @@ void ResultList::EnsureSorted() const {
                            }),
                items_.end());
   std::sort(items_.begin(), items_.end(), Better);
-  sorted_ = true;
+  sorted_.store(true, std::memory_order_release);
 }
 
 }  // namespace ivr

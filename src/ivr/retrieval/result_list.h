@@ -1,7 +1,9 @@
 #ifndef IVR_RETRIEVAL_RESULT_LIST_H_
 #define IVR_RETRIEVAL_RESULT_LIST_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -22,11 +24,24 @@ struct RankedShot {
 /// An ordered retrieval result over shots. Always kept sorted by
 /// descending score with ties broken by ascending ShotId, so equal inputs
 /// produce byte-identical rankings.
+///
+/// Thread safety: const accessors are safe to call concurrently on a
+/// shared list (the result cache hands one ResultList to every session
+/// that hits). Construction from a vector sorts eagerly, and a list made
+/// unsorted again via Add() resolves the pending sort exactly once behind
+/// a mutex, so readers never observe a half-sorted vector. Mutators
+/// (Add/Truncate) must not race with readers or each other.
 class ResultList {
  public:
   ResultList() = default;
   /// Takes arbitrary (shot, score) pairs; duplicates keep the max score.
+  /// Sorts eagerly so the new list is immediately shareable.
   explicit ResultList(std::vector<RankedShot> items);
+
+  ResultList(const ResultList& other);
+  ResultList(ResultList&& other) noexcept;
+  ResultList& operator=(const ResultList& other);
+  ResultList& operator=(ResultList&& other) noexcept;
 
   /// Adds one entry (re-sorts lazily on next read).
   void Add(ShotId shot, double score);
@@ -52,11 +67,18 @@ class ResultList {
 
   const std::vector<RankedShot>& items() const;
 
+  /// Bytes of heap memory held by the entries (cache accounting).
+  size_t MemoryBytes() const;
+
  private:
   void EnsureSorted() const;
+  /// Dedups + sorts and publishes sorted_ = true. Callers either hold
+  /// sort_mu_ or have exclusive access (constructors).
+  void SortNow() const;
 
+  mutable std::mutex sort_mu_;
   mutable std::vector<RankedShot> items_;
-  mutable bool sorted_ = true;
+  mutable std::atomic<bool> sorted_{true};
 };
 
 }  // namespace ivr

@@ -1,0 +1,114 @@
+// Chaos tier for the result cache: with the cache.lookup fault site
+// armed, lookups randomly fail and the engine must degrade to an
+// uncached recompute — served rankings stay bit-identical to a clean
+// uncached run, and the faults are visible in the cache stats and the
+// engine's HealthReport.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ivr/cache/result_cache.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/string_util.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+std::string Fingerprint(const ResultList& list) {
+  std::string out;
+  for (const RankedShot& entry : list.items()) {
+    out += StrFormat("%u:%.17g ", entry.shot, entry.score);
+  }
+  return out;
+}
+
+class CacheChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorOptions options;
+    options.seed = 11;
+    options.num_topics = 4;
+    options.num_videos = 8;
+    generated_ = std::make_unique<GeneratedCollection>(
+        GenerateCollection(options).value());
+    uncached_ = RetrievalEngine::Build(generated_->collection).value();
+  }
+
+  std::unique_ptr<GeneratedCollection> generated_;
+  std::unique_ptr<RetrievalEngine> uncached_;
+};
+
+TEST_F(CacheChaosTest, LookupFaultsDegradeToUncachedButStayCorrect) {
+  // Clean reference rankings first, outside the fault scope.
+  std::vector<Query> queries;
+  std::vector<std::string> reference;
+  for (const SearchTopic& topic : generated_->topics.topics) {
+    Query query;
+    query.text = topic.title;
+    query.examples = topic.examples;
+    queries.push_back(query);
+    reference.push_back(Fingerprint(uncached_->Search(query, 100)));
+  }
+
+  ScopedFaultInjection faults("cache.lookup:0.05", /*seed=*/1234);
+  ASSERT_TRUE(faults.status().ok());
+
+  std::unique_ptr<RetrievalEngine> engine =
+      RetrievalEngine::Build(generated_->collection).value();
+  auto cache = std::make_shared<ResultCache>();
+  engine->AttachCache(cache);
+
+  // Enough lookups that p=0.05 fires many times (4 topics x 25 rounds x
+  // several sub-lookups per search ≈ hundreds of trials).
+  for (int round = 0; round < 25; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(Fingerprint(engine->Search(queries[i], 100)), reference[i])
+          << "topic " << i << " round " << round;
+    }
+  }
+
+  const ResultCacheStats stats = cache->Stats();
+  EXPECT_GT(stats.lookup_faults, 0u)
+      << "fault site never fired; the test exercised nothing";
+  EXPECT_GT(stats.hits, 0u) << "non-faulted lookups should still hit";
+
+  // A faulted lookup is a counted miss that degrades to recompute; the
+  // recompute's insert is legal, so hits+misses must cover every lookup
+  // and the report must surface the fault count.
+  EXPECT_GE(stats.misses, stats.lookup_faults);
+  const HealthReport health = engine->Health();
+  EXPECT_EQ(health.cache_lookup_faults, stats.lookup_faults);
+  // The report must surface degraded mode (faults were injected) while
+  // showing no query lost a modality: degraded-but-correct.
+  EXPECT_TRUE(health.degraded());
+  EXPECT_GT(health.faults_injected, 0u);
+  EXPECT_EQ(health.degraded_queries, 0u);
+}
+
+TEST_F(CacheChaosTest, FaultedInsertPathNeverCorruptsCache) {
+  // With faults armed the cache keeps serving whatever it did manage to
+  // store; every hit must still be the exact clean ranking.
+  Query query;
+  query.text = generated_->topics.topics[0].title;
+  const std::string reference = Fingerprint(uncached_->Search(query, 50));
+
+  ScopedFaultInjection faults("cache.lookup:0.25", /*seed=*/99);
+  ASSERT_TRUE(faults.status().ok());
+  std::unique_ptr<RetrievalEngine> engine =
+      RetrievalEngine::Build(generated_->collection).value();
+  auto cache = std::make_shared<ResultCache>();
+  engine->AttachCache(cache);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_EQ(Fingerprint(engine->Search(query, 50)), reference)
+        << "iteration " << i;
+  }
+  EXPECT_GT(cache->Stats().lookup_faults, 0u);
+}
+
+}  // namespace
+}  // namespace ivr

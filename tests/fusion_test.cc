@@ -13,10 +13,28 @@ TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
   EXPECT_DOUBLE_EQ(norm.ScoreOf(3), 0.5);
 }
 
-TEST(MinMaxNormalizeTest, ConstantListMapsToOnes) {
+TEST(MinMaxNormalizeTest, ConstantListMapsToNeutral) {
+  // A constant-score list carries no ranking evidence; it must normalise
+  // to 0.5 (neutral), not 1.0, so it cannot dominate fusion.
   const ResultList norm = MinMaxNormalize(ResultList({{1, 5.0}, {2, 5.0}}));
-  EXPECT_DOUBLE_EQ(norm.ScoreOf(1), 1.0);
-  EXPECT_DOUBLE_EQ(norm.ScoreOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(1), 0.5);
+  EXPECT_DOUBLE_EQ(norm.ScoreOf(2), 0.5);
+}
+
+TEST(MinMaxNormalizeTest, ConstantListCannotDominateFusion) {
+  // Regression for the all-ones bug: fusing an informative list with a
+  // degenerate constant list used to hand the constant list maximal
+  // evidence (1.0 per shot), letting its shots outrank the informative
+  // winner. With neutral 0.5 the informative top shot stays on top.
+  const ResultList informative({{1, 10.0}, {2, 5.0}, {3, 1.0}});
+  const ResultList degenerate({{2, 7.0}, {3, 7.0}});
+  const ResultList fused = CombSum({informative, degenerate});
+  EXPECT_EQ(fused.at(0).shot, 1u);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(2), 4.0 / 9.0 + 0.5);
+  EXPECT_DOUBLE_EQ(fused.ScoreOf(3), 0.5);
+  // Pin the full fused ranking.
+  EXPECT_EQ(fused.ShotIds(), (std::vector<ShotId>{1, 2, 3}));
 }
 
 TEST(MinMaxNormalizeTest, EmptyList) {

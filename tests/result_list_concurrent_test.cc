@@ -1,0 +1,138 @@
+// Concurrent-reader contract for ResultList: a list left unsorted by
+// Add() may be read from many threads at once — the lazy sort resolves
+// exactly once behind the mutex and every reader sees the same fully
+// sorted ranking. This is the TSan workload for the EnsureSorted
+// double-checked path; it also pins the eager-sort and copy/move
+// semantics the result cache relies on.
+
+#include "ivr/retrieval/result_list.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+ResultList MakeUnsorted(size_t n) {
+  // Built via Add() so the pending sort is still unresolved when the
+  // readers start.
+  ResultList list;
+  for (size_t i = 0; i < n; ++i) {
+    const ShotId shot = static_cast<ShotId>((i * 7919) % n);
+    list.Add(shot, static_cast<double>((i * 104729) % 1000) / 1000.0);
+  }
+  return list;
+}
+
+std::string Fingerprint(const ResultList& list) {
+  std::string out;
+  for (const RankedShot& entry : list.items()) {
+    out += StrFormat("%u:%.17g ", entry.shot, entry.score);
+  }
+  return out;
+}
+
+TEST(ResultListConcurrentTest, ManyReadersOnOneUnsortedListAgree) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kItems = 512;
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const ResultList list = MakeUnsorted(kItems);
+    // Reference from a separately constructed, eagerly sorted list.
+    ResultList eager = MakeUnsorted(kItems);
+    const std::string expected = Fingerprint(ResultList(eager.items()));
+
+    std::vector<std::string> seen(kThreads);
+    std::atomic<size_t> start{0};
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        // Rough start barrier so threads race into EnsureSorted together.
+        start.fetch_add(1);
+        while (start.load() < kThreads) {
+        }
+        // Mix of const accessors, all funnelling through EnsureSorted.
+        const size_t n = list.size();
+        EXPECT_EQ(n, list.ShotIds().size());
+        EXPECT_TRUE(list.Contains(list.at(0).shot));
+        EXPECT_EQ(list.RankOf(list.at(n - 1).shot), n - 1);
+        seen[t] = Fingerprint(list);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (size_t t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t], expected) << "thread " << t;
+    }
+  }
+}
+
+TEST(ResultListConcurrentTest, VectorConstructionSortsEagerly) {
+  const ResultList list(
+      {{ShotId{5}, 0.2}, {ShotId{1}, 0.9}, {ShotId{3}, 0.9}});
+  // Already ordered: score desc, ties by ascending shot.
+  EXPECT_EQ(list.ShotIds(), (std::vector<ShotId>{1, 3, 5}));
+}
+
+TEST(ResultListConcurrentTest, DuplicateShotsKeepMaxScore) {
+  ResultList list;
+  list.Add(7, 0.25);
+  list.Add(7, 0.75);
+  list.Add(7, 0.50);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.ScoreOf(7), 0.75);
+}
+
+TEST(ResultListConcurrentTest, CopySharesNothingAndIsSorted) {
+  ResultList original;
+  original.Add(2, 0.1);
+  original.Add(1, 0.9);
+  const ResultList copy = original;  // copy resolves the pending sort
+  EXPECT_EQ(copy.ShotIds(), (std::vector<ShotId>{1, 2}));
+  original.Add(3, 0.5);
+  EXPECT_EQ(copy.size(), 2u) << "copy must not alias the source";
+  EXPECT_EQ(original.size(), 3u);
+}
+
+TEST(ResultListConcurrentTest, MoveLeavesSourceEmptyAndUsable) {
+  ResultList source;
+  source.Add(4, 0.4);
+  source.Add(9, 0.9);
+  ResultList moved = std::move(source);
+  EXPECT_EQ(moved.ShotIds(), (std::vector<ShotId>{9, 4}));
+  EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move): pinned
+  source.Add(1, 1.0);           // and still usable
+  EXPECT_EQ(source.size(), 1u);
+}
+
+TEST(ResultListConcurrentTest, ConcurrentCopiesOfSharedListAreIdentical) {
+  // The cache's serving pattern: one stored list, every hit takes a copy
+  // concurrently with other hits.
+  ResultList shared = MakeUnsorted(256);
+  const std::string expected = Fingerprint(ResultList(shared.items()));
+  constexpr size_t kThreads = 8;
+  std::vector<std::string> seen(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const ResultList copy = shared;
+        seen[t] = Fingerprint(copy);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], expected) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ivr

@@ -138,6 +138,56 @@ check_stats "$WORK_DIR/stats_evict.json"
 test "$(stat_value "$WORK_DIR/stats_evict.json" service.sessions_evicted)" \
     -gt 0
 
+# Result cache: every tool accepts --cache-mb, and a cached run must be
+# byte-identical to the uncached artefact written above, with the cache
+# section of the stats JSON populated.
+"$TOOLS/ivr_search" --collection "$WORK_DIR/c.ivr" \
+    --run "$WORK_DIR/run_bm25_cached.txt" --cache-mb 16 \
+    --stats-json "$WORK_DIR/stats_search_cached.json" > /dev/null
+cmp "$WORK_DIR/run_bm25.txt" "$WORK_DIR/run_bm25_cached.txt"
+check_stats "$WORK_DIR/stats_search_cached.json"
+grep -q '"cache"' "$WORK_DIR/stats_search_cached.json"
+test "$(stat_value "$WORK_DIR/stats_search_cached.json" cache.insertions)" \
+    -gt 0
+
+"$TOOLS/ivr_simulate" --collection "$WORK_DIR/c.ivr" \
+    --log "$WORK_DIR/logs_cached.tsv" --sessions-per-topic 1 \
+    --cache-mb 16 \
+    --stats-json "$WORK_DIR/stats_sim_cached.json" > /dev/null
+cmp "$WORK_DIR/logs.tsv" "$WORK_DIR/logs_cached.tsv"
+check_stats "$WORK_DIR/stats_sim_cached.json"
+test "$(stat_value "$WORK_DIR/stats_sim_cached.json" cache.insertions)" \
+    -gt 0
+
+"$TOOLS/ivr_replay" --collection "$WORK_DIR/c.ivr" \
+    --log "$WORK_DIR/logs.tsv" --run "$WORK_DIR/run_replay_cached.txt" \
+    --cache-mb 16 \
+    --stats-json "$WORK_DIR/stats_replay_cached.json" > /dev/null
+cmp "$WORK_DIR/run_replay.txt" "$WORK_DIR/run_replay_cached.txt"
+check_stats "$WORK_DIR/stats_replay_cached.json"
+test "$(stat_value "$WORK_DIR/stats_replay_cached.json" cache.insertions)" \
+    -gt 0
+
+# The service path shares cached base rankings across sessions: the
+# --check contract (concurrent == sequential, bit for bit) must hold with
+# a cache attached, and the repeated topics must actually hit it.
+"$TOOLS/ivr_serve_sim" --collection "$WORK_DIR/c.ivr" --sessions 8 \
+    --threads 2 --check --cache-mb 16 \
+    --stats-json "$WORK_DIR/stats_serve_cached.json" \
+    > "$WORK_DIR/serve_cached.log" 2> /dev/null
+grep -q "bit-identical" "$WORK_DIR/serve_cached.log"
+check_stats "$WORK_DIR/stats_serve_cached.json"
+test "$(stat_value "$WORK_DIR/stats_serve_cached.json" cache.hits)" -gt 0
+
+# ivr_eval accepts the flag for pipeline uniformity but notes it is
+# inert; stdout must be unchanged.
+"$TOOLS/ivr_eval" --collection "$WORK_DIR/c.ivr" \
+    --run "$WORK_DIR/run_bm25.txt" --cache-mb 16 \
+    2> "$WORK_DIR/eval_cached_stderr.txt" \
+    > "$WORK_DIR/eval_cached.txt"
+cmp "$WORK_DIR/eval_embedded.txt" "$WORK_DIR/eval_cached.txt"
+grep -q "no effect" "$WORK_DIR/eval_cached_stderr.txt"
+
 # Ad-hoc query mode prints ranked shots.
 QUERY_WORD="$(sed -n 's/^.*\t\([a-z]*\) [a-z]*bo day.*$/\1/p' \
     "$WORK_DIR/c.ivr" | head -1)"

@@ -11,6 +11,10 @@
 // --stats-json writes the process metrics snapshot (schema-versioned
 // JSON) at exit; --trace enables span recording and writes a JSONL
 // trace. A metrics summary is always printed to stderr at exit.
+//
+// --cache-mb is accepted for pipeline uniformity but noted as a no-op on
+// stderr: evaluation scores already-written run files and builds no
+// retrieval engine, so there is nothing to cache. stdout is unchanged.
 
 #include <cstdio>
 
@@ -68,6 +72,13 @@ int Main(int argc, char** argv) {
   if (!obs_configured.ok()) {
     std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
     return 2;
+  }
+  if (args->Has("cache-mb")) {
+    // Accepted so one flag set can drive the whole pipeline, but inert
+    // here: ivr_eval scores run files, it performs no retrieval.
+    std::fprintf(stderr,
+                 "note: --cache-mb has no effect in ivr_eval (no "
+                 "retrieval engine to cache)\n");
   }
   const int64_t threads_arg =
       args->GetInt("threads",

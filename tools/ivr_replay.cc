@@ -5,8 +5,12 @@
 //
 //   ivr_replay --collection c.ivr --log sessions.tsv --run out.txt
 //              [--backend static|adaptive] [--k 1000]
+//              [--cache-mb N] [--cache-shards S]
 //              [--fault-spec SPEC] [--fault-seed N]
 //              [--stats-json PATH] [--trace PATH]
+//
+// --cache-mb attaches a base-ranking cache to the engine; the replayed
+// run file is bit-identical with or without it.
 //
 // --stats-json writes the process metrics snapshot (schema-versioned
 // JSON) at exit; --trace enables span recording and writes a JSONL trace.
@@ -18,6 +22,7 @@
 #include <cstdio>
 
 #include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/cache/result_cache.h"
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
@@ -44,6 +49,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ivr_replay --collection FILE --log FILE "
                  "--run FILE [--backend static|adaptive] [--k N] "
+                 "[--cache-mb N] [--cache-shards S] "
                  "[--fault-spec SPEC] [--fault-seed N] "
                  "[--stats-json PATH] [--trace PATH]\n");
     return 2;
@@ -79,6 +85,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   auto engine = std::move(engine_result).value();
+  Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 2;
+  }
+  engine->AttachCache(*cache);
   StaticBackend static_backend(*engine);
   AdaptiveEngine adaptive_backend(*engine, AdaptiveOptions(), nullptr);
   const std::string backend_name = args->GetString("backend", "adaptive");

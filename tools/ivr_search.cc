@@ -5,8 +5,13 @@
 // hardware concurrency); the run file is identical for any thread count:
 //   ivr_search --collection c.ivr --run run.txt [--scorer bm25] [--k 1000]
 //              [--visual] [--tag mytag] [--threads N]
+//              [--cache-mb N] [--cache-shards S]
 //              [--fault-spec SPEC] [--fault-seed N]
 //              [--stats-json PATH] [--trace PATH]
+//
+// --cache-mb attaches a byte-budgeted base-ranking cache to the engine;
+// cached serving is bit-identical to uncached, so the run file does not
+// change — only the latency of repeated queries does.
 //
 // --stats-json writes the process metrics snapshot (schema-versioned
 // JSON) at exit; --trace enables span recording and writes a JSONL trace.
@@ -20,6 +25,7 @@
 
 #include <cstdio>
 
+#include "ivr/cache/result_cache.h"
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
@@ -45,6 +51,7 @@ int Main(int argc, char** argv) {
                  "usage: ivr_search --collection FILE "
                  "(--run OUT | --query \"...\") [--scorer bm25] [--k N] "
                  "[--visual] [--tag TAG] [--threads N] "
+                 "[--cache-mb N] [--cache-shards S] "
                  "[--fault-spec SPEC] [--fault-seed N] "
                  "[--stats-json PATH] [--trace PATH]\n");
     return 2;
@@ -77,6 +84,12 @@ int Main(int argc, char** argv) {
   }
   const size_t k = static_cast<size_t>(
       args->GetInt("k", 1000).value_or(1000));
+  Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 2;
+  }
+  (*engine)->AttachCache(*cache);
 
   // Shared exit path: surface degraded-mode counters and chaos totals on
   // stderr so no fault is absorbed silently.

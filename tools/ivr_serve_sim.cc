@@ -6,8 +6,16 @@
 //                 [--env desktop|tv] [--user novice|expert|couch]
 //                 [--seed 1] [--shards 8] [--max-sessions N] [--ttl-ms N]
 //                 [--persist-dir DIR] [--persist-every N] [--think MS]
+//                 [--cache-mb N] [--cache-shards S]
 //                 [--check] [--fault-spec SPEC] [--fault-seed N]
 //                 [--stats-json PATH] [--trace PATH]
+//
+// --cache-mb attaches a shared base-ranking cache beneath the session
+// manager's engine: concurrent sessions issuing the same base query share
+// one computation while adaptive re-ranking stays per-session. Cached
+// serving is bit-identical to uncached, so --check passes with any cache
+// budget — the sequential reference even reuses entries the concurrent
+// run warmed, which is the point.
 //
 // --stats-json writes the process metrics snapshot (schema-versioned
 // JSON, see obs/report.h) at exit; --trace enables span recording and
@@ -32,6 +40,7 @@
 #include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/cache/result_cache.h"
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/string_util.h"
@@ -190,6 +199,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   auto engine = std::move(engine_result).value();
+  Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 2;
+  }
+  engine->AttachCache(*cache);
   AdaptiveOptions adaptive_options;
   const AdaptiveEngine adaptive(*engine, adaptive_options, nullptr);
 

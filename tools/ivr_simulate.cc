@@ -5,8 +5,14 @@
 //                [--env desktop|tv] [--user novice|expert|couch]
 //                [--sessions-per-topic 2] [--seed 1]
 //                [--backend static|adaptive] [--profiles store.ivrp]
-//                [--threads N] [--fault-spec SPEC] [--fault-seed N]
+//                [--threads N] [--cache-mb N] [--cache-shards S]
+//                [--fault-spec SPEC] [--fault-seed N]
 //                [--stats-json PATH] [--trace PATH]
+//
+// --cache-mb attaches a shared base-ranking cache to the engine every
+// worker searches through, so sessions that issue the same base query
+// share one computation; adaptive re-ranking still runs per session and
+// the log stays bit-identical to an uncached run.
 //
 // --stats-json writes the process metrics snapshot (schema-versioned
 // JSON) at exit; --trace enables span recording and writes a JSONL trace.
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/cache/result_cache.h"
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
@@ -55,7 +62,8 @@ int Main(int argc, char** argv) {
                  "[--env desktop|tv] [--user novice|expert|couch] "
                  "[--sessions-per-topic N] [--seed N] "
                  "[--backend static|adaptive] [--profiles FILE] "
-                 "[--threads N] [--fault-spec SPEC] [--fault-seed N] "
+                 "[--threads N] [--cache-mb N] [--cache-shards S] "
+                 "[--fault-spec SPEC] [--fault-seed N] "
                  "[--stats-json PATH] [--trace PATH]\n");
     return 2;
   }
@@ -109,6 +117,12 @@ int Main(int argc, char** argv) {
     return 1;
   }
   auto engine = std::move(engine_result).value();
+  Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 2;
+  }
+  engine->AttachCache(*cache);
   const bool adaptive = args->GetString("backend", "static") == "adaptive";
 
   // Optional persisted profiles for the adaptive backend. An unreadable
