@@ -59,12 +59,39 @@ Result<double> ArgParser::GetDouble(const std::string& key,
   return value;
 }
 
-bool ArgParser::GetBool(const std::string& key, bool fallback) const {
+Result<bool> ArgParser::GetBool(const std::string& key,
+                                bool fallback) const {
   auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   const std::string lower = ToLower(it->second);
-  return lower == "true" || lower == "1" || lower == "yes" ||
-         lower == "on";
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return Status::InvalidArgument(
+      "--" + key + "=" + it->second +
+      " is not a boolean (expected true/false, 1/0, yes/no, on/off)");
+}
+
+Status ArgParser::RejectUnknown(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string message = "unknown flag --" + key + " (known flags:";
+      for (const std::string& k : known) message += " --" + k;
+      message += ")";
+      return Status::InvalidArgument(message);
+    }
+  }
+  return Status::OK();
 }
 
 Status ConfigureFaultInjectionFromArgs(const ArgParser& args) {

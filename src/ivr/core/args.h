@@ -12,8 +12,9 @@ namespace ivr {
 
 /// Minimal command-line parser for the CLI tools: recognises
 /// `--key=value`, `--key value`, and bare `--flag` (value "true");
-/// everything else is a positional argument. Unknown keys are fine — the
-/// tool decides what it needs.
+/// everything else is a positional argument. Tools declare their flag
+/// vocabulary with RejectUnknown so a typo'd `--cache_mb` fails loudly
+/// instead of being silently ignored.
 class ArgParser {
  public:
   /// Parses argv (argv[0] is skipped). Fails on a lone "--".
@@ -25,10 +26,18 @@ class ArgParser {
   std::string GetString(const std::string& key,
                         const std::string& fallback = "") const;
 
-  /// Typed getters; InvalidArgument when present but malformed.
+  /// Typed getters; InvalidArgument when present but malformed. GetBool
+  /// accepts exactly {true,false,1,0,yes,no,on,off} (case-insensitive);
+  /// anything else (`--flag=ture`, `--flag=maybe`) is an error rather
+  /// than a silent false.
   Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
   Result<double> GetDouble(const std::string& key, double fallback) const;
-  bool GetBool(const std::string& key, bool fallback = false) const;
+  Result<bool> GetBool(const std::string& key, bool fallback = false) const;
+
+  /// InvalidArgument when any parsed --flag is not in `known`, naming the
+  /// offender and listing the known flags. Positional arguments are
+  /// untouched. Every tool calls this once, right after Parse.
+  Status RejectUnknown(const std::vector<std::string>& known) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

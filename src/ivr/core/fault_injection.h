@@ -45,6 +45,9 @@ namespace ivr {
 ///   service.evict        SessionManager eviction pass (victim is kept)
 ///   service.persist      SessionManager eviction/end persistence
 ///   cache.lookup         ResultCache::Lookup (degrades to uncached search)
+///   net.accept           HttpServer: close a just-accepted connection
+///   net.read             HttpServer: readable socket becomes a conn error
+///   net.write            HttpServer: kill a connection mid-response
 class FaultInjector {
  public:
   /// The process-wide injector the library's fault sites consult.

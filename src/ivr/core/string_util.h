@@ -37,6 +37,14 @@ Result<double> ParseDouble(std::string_view s);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash, and the C0 control bytes (\n \r \t named, the rest \u00XX).
+/// High-bit bytes pass through untouched — the output is raw-byte
+/// transparent, so valid UTF-8 stays valid UTF-8. The ONE escaper every
+/// JSON producer (obs stats/trace, the HTTP codecs) shares; duplicating
+/// it is how emitters silently diverge.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace ivr
 
 #endif  // IVR_CORE_STRING_UTIL_H_

@@ -1,0 +1,278 @@
+#include "ivr/net/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace net {
+namespace {
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters, restricted to what request methods and
+  // header names actually use.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(HttpParserLimits limits) : limits_(limits) {}
+
+void HttpParser::Feed(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+  Advance();
+}
+
+void HttpParser::Reset() {
+  CompactBuffer();
+  state_ = State::kRequestLine;
+  header_bytes_ = 0;
+  content_length_ = 0;
+  error_status_ = 0;
+  error_reason_.clear();
+  request_ = HttpRequest();
+  Advance();
+}
+
+void HttpParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+void HttpParser::CompactBuffer() {
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+bool HttpParser::NextLine(size_t limit, std::string* line,
+                          bool* over_limit) {
+  *over_limit = false;
+  const size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    // No complete line yet; an endless lineless stream must still hit the
+    // cap rather than buffer forever.
+    if (buffer_.size() - consumed_ > limit) *over_limit = true;
+    return false;
+  }
+  if (nl - consumed_ > limit) {
+    *over_limit = true;
+    return false;
+  }
+  size_t end = nl;
+  if (end > consumed_ && buffer_[end - 1] == '\r') --end;
+  line->assign(buffer_, consumed_, end - consumed_);
+  header_bytes_ += nl + 1 - consumed_;
+  consumed_ = nl + 1;
+  return true;
+}
+
+void HttpParser::ParseRequestLine(const std::string& line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16) {
+    Fail(400, "bad method");
+    return;
+  }
+  for (char c : method) {
+    if (!IsTokenChar(c) || std::islower(static_cast<unsigned char>(c))) {
+      Fail(400, "bad method");
+      return;
+    }
+  }
+  if (target.empty() || target[0] != '/' ||
+      target.find_first_of(" \t") != std::string::npos) {
+    Fail(400, "bad request target");
+    return;
+  }
+  if (version == "HTTP/1.1") {
+    request_.minor_version = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.minor_version = 0;
+  } else if (StartsWith(version, "HTTP/")) {
+    Fail(505, "HTTP version not supported");
+    return;
+  } else {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = method;
+  request_.target = target;
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request_.path = target;
+  } else {
+    request_.path = target.substr(0, qmark);
+    request_.query = target.substr(qmark + 1);
+  }
+  request_.keep_alive = request_.minor_version >= 1;
+  state_ = State::kHeaders;
+}
+
+void HttpParser::ParseHeaderLine(const std::string& line) {
+  if (line.empty()) {
+    FinishHeaders();
+    return;
+  }
+  if (line[0] == ' ' || line[0] == '\t') {
+    // Obsolete line folding: deprecated by RFC 7230 and a classic
+    // request-smuggling vector; refuse it.
+    Fail(400, "folded header");
+    return;
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Fail(400, "malformed header line");
+    return;
+  }
+  std::string name = line.substr(0, colon);
+  for (char c : name) {
+    if (!IsTokenChar(c)) {
+      Fail(400, "bad header name");
+      return;
+    }
+  }
+  if (request_.headers.size() >= limits_.max_headers) {
+    Fail(431, "too many headers");
+    return;
+  }
+  request_.headers.emplace_back(ToLower(name),
+                                std::string(Trim(line.substr(colon + 1))));
+}
+
+void HttpParser::FinishHeaders() {
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    // Chunked (or any transfer coding) is rejected outright rather than
+    // half-drained: a body the parser cannot delimit exactly is a
+    // connection it cannot safely keep.
+    Fail(501, "transfer-encoding not supported");
+    return;
+  }
+  const std::string* connection = request_.FindHeader("connection");
+  if (connection != nullptr) {
+    const std::string value = ToLower(*connection);
+    if (value.find("close") != std::string::npos) {
+      request_.keep_alive = false;
+    } else if (value.find("keep-alive") != std::string::npos) {
+      request_.keep_alive = true;
+    }
+  }
+  const std::string* length = request_.FindHeader("content-length");
+  if (length == nullptr) {
+    content_length_ = 0;
+    state_ = State::kComplete;
+    return;
+  }
+  if (length->empty() ||
+      length->find_first_not_of("0123456789") != std::string::npos ||
+      length->size() > 12) {
+    Fail(400, "bad content-length");
+    return;
+  }
+  const Result<int64_t> parsed = ParseInt(*length);
+  if (!parsed.ok() || *parsed < 0) {
+    Fail(400, "bad content-length");
+    return;
+  }
+  content_length_ = static_cast<size_t>(*parsed);
+  if (content_length_ > limits_.max_body_bytes) {
+    Fail(413, "body too large");
+    return;
+  }
+  state_ = content_length_ == 0 ? State::kComplete : State::kBody;
+}
+
+void HttpParser::Advance() {
+  while (true) {
+    switch (state_) {
+      case State::kRequestLine: {
+        std::string line;
+        bool over = false;
+        if (!NextLine(limits_.max_request_line_bytes, &line, &over)) {
+          if (over) Fail(431, "request line too long");
+          return;
+        }
+        if (line.empty() && header_bytes_ <= 2) {
+          // Tolerate one stray blank line before the request (RFC 7230
+          // robustness note), common from clients that end the previous
+          // body with an extra CRLF.
+          continue;
+        }
+        ParseRequestLine(line);
+        break;
+      }
+      case State::kHeaders: {
+        if (header_bytes_ > limits_.max_header_bytes) {
+          Fail(431, "header section too large");
+          return;
+        }
+        std::string line;
+        bool over = false;
+        const size_t remaining =
+            limits_.max_header_bytes > header_bytes_
+                ? limits_.max_header_bytes - header_bytes_
+                : 0;
+        if (!NextLine(remaining, &line, &over)) {
+          if (over) Fail(431, "header section too large");
+          return;
+        }
+        ParseHeaderLine(line);
+        break;
+      }
+      case State::kBody: {
+        const size_t available = buffer_.size() - consumed_;
+        const size_t needed = content_length_ - request_.body.size();
+        const size_t take = std::min(available, needed);
+        request_.body.append(buffer_, consumed_, take);
+        consumed_ += take;
+        if (request_.body.size() == content_length_) {
+          state_ = State::kComplete;
+        }
+        return;
+      }
+      case State::kComplete:
+      case State::kError:
+        return;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace ivr

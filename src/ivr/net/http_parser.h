@@ -1,0 +1,109 @@
+#ifndef IVR_NET_HTTP_PARSER_H_
+#define IVR_NET_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ivr {
+namespace net {
+
+/// One parsed HTTP/1.x request. Header names are lower-cased at parse
+/// time (HTTP headers are case-insensitive); values keep their bytes with
+/// surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;        // "GET", "POST", ... (token, upper-case only)
+  std::string target;        // raw request target ("/v1/search?x=1")
+  std::string path;          // target up to '?'
+  std::string query;         // target after '?' ("" when absent)
+  int minor_version = 1;     // HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Whether the connection should stay open after the response
+  /// (HTTP/1.1 default, overridden by Connection: close / keep-alive).
+  bool keep_alive = true;
+
+  /// First header named `name` (lower-case); nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Hard bounds on a request, enforced *while* parsing so an attacker
+/// cannot buffer-balloon the server with an endless header section.
+struct HttpParserLimits {
+  size_t max_request_line_bytes = 8 * 1024;
+  /// Cumulative cap on the header section (request line included).
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_headers = 100;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// Incremental HTTP/1.0/1.1 request parser: feed it whatever bytes the
+/// socket produced (a byte at a time is fine — the slow-loris case) and it
+/// advances a request-line -> header-at-a-time -> body state machine.
+/// Malformed or over-limit input parks the parser in kError with the HTTP
+/// status the server should answer before closing:
+///
+///   400 syntax errors           413 body over max_body_bytes
+///   431 header section too big  501 Transfer-Encoding (chunked bodies
+///   505 not HTTP/1.x                are rejected, never half-consumed)
+///
+/// Keep-alive: after a request completes, Reset() re-arms the machine and
+/// re-parses any pipelined bytes already buffered.
+class HttpParser {
+ public:
+  enum class State { kRequestLine, kHeaders, kBody, kComplete, kError };
+
+  explicit HttpParser(HttpParserLimits limits = {});
+
+  /// Appends bytes and advances as far as possible. No-op in kComplete /
+  /// kError (bytes stay buffered for the next Reset).
+  void Feed(std::string_view data);
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  /// The response status for a kError parse (400/413/431/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// The parsed request; valid only in kComplete.
+  const HttpRequest& request() const { return request_; }
+  HttpRequest TakeRequest() { return std::move(request_); }
+
+  /// Starts the next request of a keep-alive connection: clears request
+  /// state, keeps unconsumed buffered bytes, and immediately parses them
+  /// (a pipelined request can complete without another Feed).
+  void Reset();
+
+  /// Bytes buffered but not yet consumed (tests; idle-close heuristics).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  void Advance();
+  /// Extracts the next line (up to CRLF or LF) from the buffer; false when
+  /// no complete line is buffered yet. `limit` caps the line length.
+  bool NextLine(size_t limit, std::string* line, bool* over_limit);
+  void ParseRequestLine(const std::string& line);
+  void ParseHeaderLine(const std::string& line);
+  void FinishHeaders();
+  void Fail(int status, std::string reason);
+  void CompactBuffer();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;
+  size_t consumed_ = 0;       // bytes of buffer_ already parsed
+  size_t header_bytes_ = 0;   // request line + headers consumed so far
+  size_t content_length_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+  HttpRequest request_;
+};
+
+}  // namespace net
+}  // namespace ivr
+
+#endif  // IVR_NET_HTTP_PARSER_H_

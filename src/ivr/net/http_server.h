@@ -1,0 +1,216 @@
+#ifndef IVR_NET_HTTP_SERVER_H_
+#define IVR_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ivr/core/status.h"
+#include "ivr/net/event_loop.h"
+#include "ivr/net/http_parser.h"
+#include "ivr/obs/metrics.h"
+
+namespace ivr {
+namespace net {
+
+/// What a handler returns; the server adds the status line, Content-Length
+/// and Connection headers when serializing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Force Connection: close regardless of what the request asked for.
+  bool close = false;
+};
+
+/// Standard reason phrase for the status codes the stack emits.
+std::string_view HttpReasonPhrase(int status);
+
+/// Serializes a full HTTP/1.1 response message (used by the server and by
+/// tests asserting on wire bytes).
+std::string SerializeResponse(const HttpResponse& response,
+                              bool keep_alive);
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks; read the result from port().
+  int port = 0;
+  /// Handler worker threads. Request handling (SessionManager calls, JSON
+  /// codec work) runs here, never on the event loop.
+  size_t num_workers = 2;
+  /// Accepted connections beyond this are closed immediately.
+  size_t max_connections = 1024;
+  /// Connections idle longer than this are closed by the loop's sweep;
+  /// 0 disables the sweep (tests drive their own pacing).
+  int64_t idle_timeout_ms = 0;
+  HttpParserLimits limits;
+};
+
+/// Monitoring counters, readable from any thread while the server runs.
+/// These are per-server (the obs registry mirrors them process-wide).
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t requests = 0;
+  uint64_t responses_2xx = 0;
+  uint64_t responses_4xx = 0;
+  uint64_t responses_5xx = 0;
+  uint64_t parse_errors = 0;
+  uint64_t accept_faults = 0;
+  uint64_t read_faults = 0;
+  uint64_t write_faults = 0;
+  uint64_t idle_closed = 0;
+  uint64_t overload_closed = 0;
+};
+
+/// The epoll front-end: one non-blocking event-loop thread owns the
+/// listener and every connection (accept, incremental parse, response
+/// write, keep-alive turnaround), and a small worker pool runs the
+/// handler for each complete request. The two sides meet at exactly one
+/// seam: workers post serialized responses into a mutexed mailbox and
+/// Wakeup() the loop, which matches them back to connections by
+/// (id, generation) — a connection that died while its request was in
+/// flight simply drops the response, so workers never touch socket state
+/// and the loop never blocks on a handler.
+///
+/// Fault sites (chaos tier): "net.accept" closes a just-accepted
+/// connection, "net.read" turns a readable socket into a connection
+/// error, "net.write" kills a connection mid-response (the client sees a
+/// torn response; the server carries on). All three degrade one
+/// connection, never the process.
+class HttpServer {
+ public:
+  /// `handler` runs on worker threads, possibly concurrently; it must be
+  /// thread-safe (ServiceHandler over a SessionManager is).
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(HttpServerOptions options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the loop + worker threads.
+  Status Start();
+
+  /// Drains workers and tears every connection down. Idempotent; also run
+  /// by the destructor.
+  void Stop();
+
+  /// The bound TCP port (the ephemeral choice when options.port was 0).
+  /// Valid after Start().
+  int port() const { return port_; }
+
+  HttpServerStats stats() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    HttpParser parser;
+    /// True while a worker owns the current request.
+    bool handling = false;
+    std::string outbuf;
+    size_t out_pos = 0;
+    bool close_after_write = false;
+    bool keep_alive = true;
+    int64_t last_active_us = 0;
+  };
+
+  struct CompletedResponse {
+    uint64_t conn_id = 0;
+    std::string bytes;
+    bool close_after = false;
+    int status = 0;
+  };
+
+  struct Job {
+    uint64_t conn_id = 0;
+    HttpRequest request;
+  };
+
+  void LoopThread();
+  void WorkerThread();
+  void OnListenerReady(uint32_t events);
+  void OnConnectionReady(Connection* conn, uint32_t events);
+  void ReadFromConnection(Connection* conn);
+  void WriteToConnection(Connection* conn);
+  /// Queues `response` bytes on the loop thread and arms EPOLLOUT.
+  void StartResponse(Connection* conn, std::string bytes, bool close_after,
+                     int status);
+  void DispatchRequest(Connection* conn);
+  /// After a response fully flushed: keep-alive turnaround or close.
+  void FinishResponse(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void DrainMailbox();
+  void SweepIdle();
+  void CountResponse(int status);
+
+  HttpServerOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Owned by the loop thread exclusively.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  /// Worker pool: jobs in, serialized responses out (the mailbox).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> jobs_;
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex mailbox_mu_;
+  std::vector<CompletedResponse> mailbox_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_active{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> responses_2xx{0};
+    std::atomic<uint64_t> responses_4xx{0};
+    std::atomic<uint64_t> responses_5xx{0};
+    std::atomic<uint64_t> parse_errors{0};
+    std::atomic<uint64_t> accept_faults{0};
+    std::atomic<uint64_t> read_faults{0};
+    std::atomic<uint64_t> write_faults{0};
+    std::atomic<uint64_t> idle_closed{0};
+    std::atomic<uint64_t> overload_closed{0};
+  };
+  AtomicStats stats_;
+
+  /// Obs registry mirrors, resolved once at construction.
+  struct Metrics {
+    obs::Counter* connections_accepted;
+    obs::Counter* requests;
+    obs::Counter* responses_2xx;
+    obs::Counter* responses_4xx;
+    obs::Counter* responses_5xx;
+    obs::Counter* parse_errors;
+    obs::Counter* accept_faults;
+    obs::Counter* read_faults;
+    obs::Counter* write_faults;
+    obs::Gauge* connections_active;
+    obs::LatencyHistogram* request_us;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace net
+}  // namespace ivr
+
+#endif  // IVR_NET_HTTP_SERVER_H_

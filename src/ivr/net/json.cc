@@ -1,0 +1,360 @@
+#include "ivr/net/json.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace net {
+namespace {
+
+bool IsJsonWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Appends the UTF-8 encoding of `cp` (any code point < 0x110000).
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+/// True iff `token` matches the RFC 8259 number grammar:
+/// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+bool IsRfc8259Number(const std::string& token) {
+  const char* p = token.c_str();
+  if (*p == '-') ++p;
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  if (*p == '0') {
+    ++p;  // a leading zero stands alone: "0", "0.5", but never "01"
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == '.') {
+    ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (std::isdigit(static_cast<unsigned char>(*p))) ++p;
+  }
+  return *p == '\0';
+}
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view; position-based so error
+/// messages can carry the offset.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Run() {
+    JsonValue root;
+    IVR_ASSIGN_OR_RETURN(root, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && IsJsonWhitespace(text_[pos_])) ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(size_t depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        IVR_ASSIGN_OR_RETURN(v.string_, ParseString());
+        v.kind_ = JsonValue::Kind::kString;
+        return v;
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        v.kind_ = JsonValue::Kind::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        return v;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      IVR_ASSIGN_OR_RETURN(key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue member;
+      IVR_ASSIGN_OR_RETURN(member, ParseValue(depth + 1));
+      v.members_.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    while (true) {
+      JsonValue item;
+      IVR_ASSIGN_OR_RETURN(item, ParseValue(depth + 1));
+      v.items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control byte in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\\'
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          IVR_ASSIGN_OR_RETURN(cp, ParseHex4());
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!ConsumeLiteral("\\u")) {
+              return Error("lone high surrogate");
+            }
+            uint32_t low = 0;
+            IVR_ASSIGN_OR_RETURN(low, ParseHex4());
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Error("bad low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    (void)Consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // RFC 8259 grammar, checked in full: -?(0|[1-9][0-9]*)(\.[0-9]+)?
+    // ([eE][+-]?[0-9]+)? — notably "01", "+1", ".5", "1." and "1e" are
+    // all malformed even though strtod would happily take most of them.
+    if (!IsRfc8259Number(token)) return Error("malformed number: " + token);
+    Result<double> parsed = ParseDouble(token);
+    if (!parsed.ok()) return Error("malformed number: " + token);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = *parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t max_depth_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text, size_t max_depth) {
+  return JsonParser(text, max_depth).Run();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("missing required string field \"%.*s\"",
+                  static_cast<int>(key.size()), key.data()));
+  }
+  if (!v->is_string()) {
+    return Status::InvalidArgument(
+        StrFormat("field \"%.*s\" must be a string",
+                  static_cast<int>(key.size()), key.data()));
+  }
+  return v->string_value();
+}
+
+Result<double> JsonValue::GetNumber(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("missing required number field \"%.*s\"",
+                  static_cast<int>(key.size()), key.data()));
+  }
+  if (!v->is_number()) {
+    return Status::InvalidArgument(
+        StrFormat("field \"%.*s\" must be a number",
+                  static_cast<int>(key.size()), key.data()));
+  }
+  return v->number_value();
+}
+
+Result<double> JsonValue::GetNumberOr(std::string_view key,
+                                      double fallback) const {
+  if (Find(key) == nullptr) return fallback;
+  return GetNumber(key);
+}
+
+Result<std::string> JsonValue::GetStringOr(std::string_view key,
+                                           std::string_view fallback) const {
+  if (Find(key) == nullptr) return std::string(fallback);
+  return GetString(key);
+}
+
+std::string JsonQuote(std::string_view s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+}  // namespace net
+}  // namespace ivr

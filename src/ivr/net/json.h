@@ -1,0 +1,80 @@
+#ifndef IVR_NET_JSON_H_
+#define IVR_NET_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+namespace net {
+
+/// A parsed JSON document node. The HTTP endpoints exchange small JSON
+/// bodies (session ids, queries, events), so this is a deliberately small
+/// recursive-descent reader: numbers are doubles, objects preserve member
+/// order, and the parser is bounded (depth limit, strict trailing-garbage
+/// check) because its inputs arrive off the network.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document; InvalidArgument on syntax errors,
+  /// trailing garbage, or nesting deeper than `max_depth`.
+  static Result<JsonValue> Parse(std::string_view text,
+                                 size_t max_depth = 32);
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; only meaningful when the kind matches (they return
+  /// the zero value otherwise — use the kind predicates or the checked
+  /// object getters below).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Checked object getters, the request-decoding workhorses:
+  /// InvalidArgument names the missing/mistyped key so the HTTP 400 body
+  /// tells the client exactly what was wrong.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<double> GetNumber(std::string_view key) const;
+  /// Like the checked getters but absent keys yield `fallback`.
+  Result<double> GetNumberOr(std::string_view key, double fallback) const;
+  Result<std::string> GetStringOr(std::string_view key,
+                                  std::string_view fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;    // kObject
+};
+
+/// `s` as a JSON string literal, quotes included ("ab\"c" -> "\"ab\\\"c\"").
+std::string JsonQuote(std::string_view s);
+
+}  // namespace net
+}  // namespace ivr
+
+#endif  // IVR_NET_JSON_H_

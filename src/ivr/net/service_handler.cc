@@ -1,0 +1,282 @@
+#include "ivr/net/service_handler.h"
+
+#include <cmath>
+#include <utility>
+
+#include "ivr/core/string_util.h"
+#include "ivr/feedback/events.h"
+#include "ivr/net/json.h"
+#include "ivr/obs/report.h"
+#include "ivr/retrieval/health.h"
+
+namespace ivr {
+namespace net {
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = StrFormat("{\"error\": %s}\n", JsonQuote(message).c_str());
+  return response;
+}
+
+/// The one Status -> HTTP mapping every endpoint shares.
+HttpResponse FromStatus(const Status& status) {
+  if (status.IsNotFound()) return JsonError(404, status.ToString());
+  if (status.IsAlreadyExists()) return JsonError(409, status.ToString());
+  if (status.IsInvalidArgument()) return JsonError(400, status.ToString());
+  return JsonError(500, status.ToString());
+}
+
+HttpResponse JsonOk(std::string body) {
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+/// Rejects non-integral or out-of-range JSON numbers instead of silently
+/// truncating them (a shot id of 3.7 is a client bug, not shot 3).
+Result<int64_t> AsInt(double value, std::string_view what) {
+  if (!std::isfinite(value) || value != std::floor(value) ||
+      value < -9.0e15 || value > 9.0e15) {
+    return Status::InvalidArgument(StrFormat(
+        "\"%.*s\" must be an integer", static_cast<int>(what.size()),
+        what.data()));
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<Query> DecodeQuery(const JsonValue& body) {
+  Query query;
+  const JsonValue* node = body.Find("query");
+  if (node == nullptr) {
+    return Status::InvalidArgument("missing object member \"query\"");
+  }
+  if (!node->is_object()) {
+    return Status::InvalidArgument("\"query\" must be an object");
+  }
+  IVR_ASSIGN_OR_RETURN(query.text, node->GetStringOr("text", ""));
+  const JsonValue* concepts = node->Find("concepts");
+  if (concepts != nullptr) {
+    if (!concepts->is_array()) {
+      return Status::InvalidArgument("\"query.concepts\" must be an array");
+    }
+    for (const JsonValue& item : concepts->items()) {
+      if (!item.is_number()) {
+        return Status::InvalidArgument(
+            "\"query.concepts\" entries must be numbers");
+      }
+      IVR_ASSIGN_OR_RETURN(const int64_t id,
+                           AsInt(item.number_value(), "query.concepts"));
+      if (id < 0) {
+        return Status::InvalidArgument(
+            "\"query.concepts\" entries must be >= 0");
+      }
+      query.concepts.push_back(static_cast<ConceptId>(id));
+    }
+  }
+  if (!query.HasText() && !query.HasConcepts()) {
+    return Status::InvalidArgument(
+        "\"query\" needs text and/or concepts (visual examples are not "
+        "exposed over HTTP v1)");
+  }
+  return query;
+}
+
+Result<InteractionEvent> DecodeEvent(const JsonValue& body,
+                                     const std::string& session_id) {
+  const JsonValue* node = body.Find("event");
+  if (node == nullptr || !node->is_object()) {
+    return Status::InvalidArgument("missing object member \"event\"");
+  }
+  IVR_ASSIGN_OR_RETURN(const std::string type_name,
+                       node->GetString("type"));
+  InteractionEvent event;
+  IVR_ASSIGN_OR_RETURN(event.type, EventTypeFromName(type_name));
+  event.session_id = session_id;
+  IVR_ASSIGN_OR_RETURN(event.user_id, node->GetStringOr("user_id", ""));
+  IVR_ASSIGN_OR_RETURN(event.text, node->GetStringOr("text", ""));
+  IVR_ASSIGN_OR_RETURN(const double time_ms, node->GetNumberOr("time", 0));
+  IVR_ASSIGN_OR_RETURN(const int64_t time_int, AsInt(time_ms, "event.time"));
+  event.time = static_cast<TimeMs>(time_int);
+  IVR_ASSIGN_OR_RETURN(const double topic, node->GetNumberOr("topic", 0));
+  IVR_ASSIGN_OR_RETURN(const int64_t topic_int, AsInt(topic, "event.topic"));
+  event.topic = static_cast<SearchTopicId>(topic_int);
+  IVR_ASSIGN_OR_RETURN(event.value, node->GetNumberOr("value", 0.0));
+  const JsonValue* shot = node->Find("shot");
+  if (shot != nullptr) {
+    if (!shot->is_number()) {
+      return Status::InvalidArgument("\"event.shot\" must be a number");
+    }
+    IVR_ASSIGN_OR_RETURN(const int64_t id,
+                         AsInt(shot->number_value(), "event.shot"));
+    if (id < 0 || id > static_cast<int64_t>(kInvalidShotId)) {
+      return Status::InvalidArgument("\"event.shot\" out of range");
+    }
+    event.shot = static_cast<ShotId>(id);
+  }
+  return event;
+}
+
+Result<JsonValue> ParseBody(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  IVR_ASSIGN_OR_RETURN(JsonValue body, JsonValue::Parse(request.body));
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  return body;
+}
+
+}  // namespace
+
+ServiceHandler::ServiceHandler(SessionManager* manager)
+    : manager_(manager) {
+  obs::Registry& registry = obs::Registry::Global();
+  metrics_.open_us = registry.GetHistogram("http.endpoint.open_us");
+  metrics_.search_us = registry.GetHistogram("http.endpoint.search_us");
+  metrics_.feedback_us = registry.GetHistogram("http.endpoint.feedback_us");
+  metrics_.close_us = registry.GetHistogram("http.endpoint.close_us");
+  metrics_.healthz_us = registry.GetHistogram("http.endpoint.healthz_us");
+  metrics_.statsz_us = registry.GetHistogram("http.endpoint.statsz_us");
+}
+
+HttpResponse ServiceHandler::Handle(const HttpRequest& request) {
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+  const obs::Stopwatch timer;
+  if (request.path == "/healthz") {
+    if (!is_get) return JsonError(405, "use GET /healthz");
+    HttpResponse response = HandleHealthz();
+    metrics_.healthz_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  if (request.path == "/statsz") {
+    if (!is_get) return JsonError(405, "use GET /statsz");
+    HttpResponse response = HandleStatsz();
+    metrics_.statsz_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  if (request.path == "/v1/session/open") {
+    if (!is_post) return JsonError(405, "use POST /v1/session/open");
+    HttpResponse response = HandleOpen(request);
+    metrics_.open_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  if (request.path == "/v1/search") {
+    if (!is_post) return JsonError(405, "use POST /v1/search");
+    HttpResponse response = HandleSearch(request);
+    metrics_.search_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  if (request.path == "/v1/feedback") {
+    if (!is_post) return JsonError(405, "use POST /v1/feedback");
+    HttpResponse response = HandleFeedback(request);
+    metrics_.feedback_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  if (request.path == "/v1/session/close") {
+    if (!is_post) return JsonError(405, "use POST /v1/session/close");
+    HttpResponse response = HandleClose(request);
+    metrics_.close_us->Record(timer.ElapsedUs());
+    return response;
+  }
+  return JsonError(404, StrFormat("no endpoint %s", request.path.c_str()));
+}
+
+HttpResponse ServiceHandler::HandleOpen(const HttpRequest& request) {
+  const Result<JsonValue> body = ParseBody(request);
+  if (!body.ok()) return FromStatus(body.status());
+  const Result<std::string> session_id = body->GetString("session_id");
+  if (!session_id.ok()) return FromStatus(session_id.status());
+  const Result<std::string> user_id = body->GetStringOr("user_id", "");
+  if (!user_id.ok()) return FromStatus(user_id.status());
+  if (session_id->empty()) {
+    return JsonError(400, "\"session_id\" must be non-empty");
+  }
+  const Status opened = manager_->BeginSession(*session_id, *user_id);
+  if (!opened.ok()) return FromStatus(opened);
+  return JsonOk(StrFormat("{\"session_id\": %s, \"user_id\": %s}\n",
+                          JsonQuote(*session_id).c_str(),
+                          JsonQuote(*user_id).c_str()));
+}
+
+HttpResponse ServiceHandler::HandleSearch(const HttpRequest& request) {
+  const Result<JsonValue> body = ParseBody(request);
+  if (!body.ok()) return FromStatus(body.status());
+  const Result<std::string> session_id = body->GetString("session_id");
+  if (!session_id.ok()) return FromStatus(session_id.status());
+  const Result<Query> query = DecodeQuery(*body);
+  if (!query.ok()) return FromStatus(query.status());
+  const Result<double> k_raw = body->GetNumberOr("k", 10);
+  if (!k_raw.ok()) return FromStatus(k_raw.status());
+  const Result<int64_t> k = AsInt(*k_raw, "k");
+  if (!k.ok()) return FromStatus(k.status());
+  if (*k <= 0 || *k > 10000) {
+    return JsonError(400, "\"k\" must be in [1, 10000]");
+  }
+  const Result<ResultList> results =
+      manager_->Search(*session_id, *query, static_cast<size_t>(*k));
+  if (!results.ok()) return FromStatus(results.status());
+
+  std::string body_out = StrFormat("{\"session_id\": %s, \"k\": %lld, "
+                                   "\"results\": [",
+                                   JsonQuote(*session_id).c_str(),
+                                   static_cast<long long>(*k));
+  for (size_t i = 0; i < results->size(); ++i) {
+    const RankedShot& entry = results->at(i);
+    // %.17g round-trips an IEEE double exactly: the bit-equality the
+    // http_equivalence test asserts is decided right here.
+    body_out += StrFormat("%s{\"shot\": %u, \"score\": %.17g}",
+                          i == 0 ? "" : ", ",
+                          static_cast<unsigned>(entry.shot), entry.score);
+  }
+  body_out += "]}\n";
+  return JsonOk(std::move(body_out));
+}
+
+HttpResponse ServiceHandler::HandleFeedback(const HttpRequest& request) {
+  const Result<JsonValue> body = ParseBody(request);
+  if (!body.ok()) return FromStatus(body.status());
+  const Result<std::string> session_id = body->GetString("session_id");
+  if (!session_id.ok()) return FromStatus(session_id.status());
+  const Result<InteractionEvent> event = DecodeEvent(*body, *session_id);
+  if (!event.ok()) return FromStatus(event.status());
+  const Status observed = manager_->ObserveEvent(*session_id, *event);
+  if (!observed.ok()) return FromStatus(observed);
+  return JsonOk(StrFormat("{\"session_id\": %s, \"recorded\": true}\n",
+                          JsonQuote(*session_id).c_str()));
+}
+
+HttpResponse ServiceHandler::HandleClose(const HttpRequest& request) {
+  const Result<JsonValue> body = ParseBody(request);
+  if (!body.ok()) return FromStatus(body.status());
+  const Result<std::string> session_id = body->GetString("session_id");
+  if (!session_id.ok()) return FromStatus(session_id.status());
+  const Status closed = manager_->EndSession(*session_id);
+  if (!closed.ok()) return FromStatus(closed);
+  return JsonOk(StrFormat("{\"session_id\": %s, \"closed\": true}\n",
+                          JsonQuote(*session_id).c_str()));
+}
+
+HttpResponse ServiceHandler::HandleHealthz() {
+  const HealthReport health = manager_->Health();
+  return JsonOk(StrFormat(
+      "{\"ok\": %s, \"degraded\": %s, \"sessions_active\": %llu, "
+      "\"degraded_queries\": %llu, \"faults_injected\": %llu, "
+      "\"session_persist_failures\": %llu}\n",
+      health.degraded() ? "false" : "true",
+      health.degraded() ? "true" : "false",
+      static_cast<unsigned long long>(health.sessions_active),
+      static_cast<unsigned long long>(health.degraded_queries),
+      static_cast<unsigned long long>(health.faults_injected),
+      static_cast<unsigned long long>(health.session_persist_failures)));
+}
+
+HttpResponse ServiceHandler::HandleStatsz() {
+  return JsonOk(obs::StatsJson());
+}
+
+}  // namespace net
+}  // namespace ivr

@@ -1,0 +1,66 @@
+#ifndef IVR_NET_SERVICE_HANDLER_H_
+#define IVR_NET_SERVICE_HANDLER_H_
+
+#include <string>
+
+#include "ivr/net/http_parser.h"
+#include "ivr/net/http_server.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/service/session_manager.h"
+
+namespace ivr {
+namespace net {
+
+/// The JSON API over a SessionManager — the piece ivr_httpd mounts as the
+/// HttpServer handler. Thread-safe: it holds no mutable state of its own
+/// and the manager is itself sharded/thread-safe, so workers can call
+/// Handle() concurrently.
+///
+/// Endpoints (v1):
+///   POST /v1/session/open   {"session_id","user_id"}
+///   POST /v1/search         {"session_id","query":{"text","concepts"},"k"}
+///   POST /v1/feedback       {"session_id","event":{"type","shot",...}}
+///   POST /v1/session/close  {"session_id"}
+///   GET  /healthz           manager Health() as JSON
+///   GET  /statsz            live obs::StatsJson() (schema_version 1)
+///
+/// Bit-identical serving: /v1/search serializes every score with %.17g,
+/// which round-trips an IEEE double exactly through strtod — the HTTP
+/// equivalence test diffs these rankings byte-for-byte against direct
+/// SessionManager calls.
+///
+/// Status -> HTTP: NotFound 404, AlreadyExists 409, InvalidArgument 400
+/// (including every JSON decode error), anything else 500.
+class ServiceHandler {
+ public:
+  /// `manager` must outlive the handler.
+  explicit ServiceHandler(SessionManager* manager);
+
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleOpen(const HttpRequest& request);
+  HttpResponse HandleSearch(const HttpRequest& request);
+  HttpResponse HandleFeedback(const HttpRequest& request);
+  HttpResponse HandleClose(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleStatsz();
+
+  SessionManager* manager_;
+
+  /// Per-endpoint latency histograms, resolved once.
+  struct Metrics {
+    obs::LatencyHistogram* open_us;
+    obs::LatencyHistogram* search_us;
+    obs::LatencyHistogram* feedback_us;
+    obs::LatencyHistogram* close_us;
+    obs::LatencyHistogram* healthz_us;
+    obs::LatencyHistogram* statsz_us;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace net
+}  // namespace ivr
+
+#endif  // IVR_NET_SERVICE_HANDLER_H_

@@ -17,38 +17,6 @@ std::atomic<uint32_t>* GlobalTidCounter() {
 thread_local uint64_t t_span_stack[64];
 thread_local size_t t_span_depth = 0;
 
-/// Minimal JSON string escaper: quotes, backslashes and control bytes.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 uint32_t TraceThreadId() {

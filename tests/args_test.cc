@@ -26,7 +26,7 @@ TEST(ArgParserTest, KeySpaceValue) {
 
 TEST(ArgParserTest, BareFlagIsTrue) {
   const ArgParser args = Parse({"--visual", "--k", "5"});
-  EXPECT_TRUE(args.GetBool("visual"));
+  EXPECT_TRUE(args.GetBool("visual").value());
   EXPECT_EQ(args.GetString("visual"), "true");
   EXPECT_EQ(args.GetInt("k", 0).value(), 5);
 }
@@ -48,12 +48,12 @@ TEST(ArgParserTest, TypedGetters) {
                                 "--off=0"});
   EXPECT_EQ(args.GetInt("n", -1).value(), 7);
   EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0).value(), 0.25);
-  EXPECT_TRUE(args.GetBool("on"));
-  EXPECT_FALSE(args.GetBool("off"));
+  EXPECT_TRUE(args.GetBool("on").value());
+  EXPECT_FALSE(args.GetBool("off").value());
   // Fallbacks for absent keys.
   EXPECT_EQ(args.GetInt("missing", 9).value(), 9);
   EXPECT_DOUBLE_EQ(args.GetDouble("missing", 1.5).value(), 1.5);
-  EXPECT_TRUE(args.GetBool("missing", true));
+  EXPECT_TRUE(args.GetBool("missing", true).value());
   EXPECT_EQ(args.GetString("missing", "dft"), "dft");
 }
 
@@ -61,6 +61,45 @@ TEST(ArgParserTest, MalformedTypedValuesError) {
   const ArgParser args = Parse({"--n=notanumber"});
   EXPECT_FALSE(args.GetInt("n", 0).ok());
   EXPECT_FALSE(args.GetDouble("n", 0.0).ok());
+}
+
+TEST(ArgParserTest, BoolAcceptsTheWholeVocabulary) {
+  const ArgParser args =
+      Parse({"--a=TRUE", "--b=False", "--c=YES", "--d=no", "--e=On",
+             "--f=OFF", "--g=1", "--h=0"});
+  EXPECT_TRUE(args.GetBool("a").value());
+  EXPECT_FALSE(args.GetBool("b").value());
+  EXPECT_TRUE(args.GetBool("c").value());
+  EXPECT_FALSE(args.GetBool("d").value());
+  EXPECT_TRUE(args.GetBool("e").value());
+  EXPECT_FALSE(args.GetBool("f").value());
+  EXPECT_TRUE(args.GetBool("g").value());
+  EXPECT_FALSE(args.GetBool("h").value());
+}
+
+TEST(ArgParserTest, BoolRejectsUnrecognisedValues) {
+  // The historical bug: --check=ture silently parsed as false, making a
+  // mistyped verification flag a no-op instead of an error.
+  const ArgParser args = Parse({"--check=ture", "--flag=maybe", "--x=2"});
+  EXPECT_TRUE(args.GetBool("check").status().IsInvalidArgument());
+  EXPECT_TRUE(args.GetBool("flag").status().IsInvalidArgument());
+  EXPECT_TRUE(args.GetBool("x").status().IsInvalidArgument());
+}
+
+TEST(ArgParserTest, RejectUnknownFlagsUnknownFails) {
+  const ArgParser args = Parse({"--cache_mb=16", "--seed=1"});
+  const Status status = args.RejectUnknown({"cache-mb", "seed"});
+  ASSERT_TRUE(status.IsInvalidArgument());
+  // The error names the offender and lists the vocabulary.
+  EXPECT_NE(status.ToString().find("--cache_mb"), std::string::npos);
+  EXPECT_NE(status.ToString().find("--cache-mb"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectUnknownAcceptsKnownAndPositionals) {
+  const ArgParser args = Parse({"pos1", "--seed=1", "pos2"});
+  EXPECT_TRUE(args.RejectUnknown({"seed"}).ok());
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
 }
 
 TEST(ArgParserTest, BareDoubleDashRejected) {

@@ -1,0 +1,116 @@
+#include "ivr/net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace net {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").bool_value());
+  EXPECT_FALSE(MustParse("false").bool_value());
+  EXPECT_DOUBLE_EQ(MustParse("42").number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.5").number_value(), -3.5);
+  EXPECT_DOUBLE_EQ(MustParse("2.5e3").number_value(), 2500.0);
+  EXPECT_EQ(MustParse("\"hi\"").string_value(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const JsonValue v = MustParse("  { \"a\" : [ 1 , 2 ] }\n");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.Find("a"), nullptr);
+  EXPECT_EQ(v.Find("a")->items().size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse("\"a\\\"b\\\\c\"").string_value(), "a\"b\\c");
+  EXPECT_EQ(MustParse("\"x\\n\\t\\r\"").string_value(), "x\n\t\r");
+  EXPECT_EQ(MustParse("\"\\u0041\"").string_value(), "A");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(MustParse("\"\\uD83D\\uDE00\"").string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ObjectsPreserveMemberOrder) {
+  const JsonValue v = MustParse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const JsonValue v = MustParse(
+      "{\"query\": {\"text\": \"cats\", \"concepts\": [1, 2, 3]}, "
+      "\"k\": 10}");
+  const JsonValue* query = v.Find("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->GetString("text").value(), "cats");
+  EXPECT_EQ(query->Find("concepts")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.GetNumber("k").value(), 10.0);
+}
+
+TEST(JsonParseTest, SyntaxErrorsAreInvalidArgument) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "01", "+1", ".5", "1.",
+        "\"unterminated", "\"bad \\q escape\"", "{\"a\":1} extra",
+        "'single'", "{\"a\":}", "[1,]", "\"\\uD83D\"", "nan"}) {
+    const Result<JsonValue> parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  for (int i = 0; i < 64; ++i) deep += "]";
+  EXPECT_FALSE(JsonValue::Parse(deep, 32).ok());
+  EXPECT_TRUE(JsonValue::Parse(deep, 65).ok());
+}
+
+TEST(JsonParseTest, CheckedGettersNameTheKey) {
+  const JsonValue v = MustParse("{\"a\": 1}");
+  const Result<std::string> missing = v.GetString("session_id");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("session_id"),
+            std::string::npos);
+  const Result<std::string> mistyped = v.GetString("a");
+  ASSERT_FALSE(mistyped.ok());
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("a", 7).value(), 1.0);
+  EXPECT_DOUBLE_EQ(v.GetNumberOr("b", 7).value(), 7.0);
+  EXPECT_EQ(v.GetStringOr("b", "dft").value(), "dft");
+}
+
+TEST(JsonParseTest, JsonQuoteRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te\x01 caf\xc3\xa9";
+  const JsonValue v = MustParse(JsonQuote(nasty));
+  EXPECT_EQ(v.string_value(), nasty);
+}
+
+TEST(JsonParseTest, SeventeenSigFigDoublesRoundTripExactly) {
+  // The bit-equality contract of /v1/search: %.17g -> JSON -> double is
+  // the identity on IEEE doubles.
+  for (double value : {2.9194597556230764, 1.0 / 3.0, 1e-300, 6.02e23,
+                       -0.0078125, 3.5000000000000004}) {
+    const std::string wire = StrFormat("%.17g", value);
+    const JsonValue parsed = MustParse(wire);
+    EXPECT_EQ(parsed.number_value(), value) << wire;
+    EXPECT_EQ(StrFormat("%.17g", parsed.number_value()), wire);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ivr

@@ -1,0 +1,197 @@
+#include "ivr/net/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ivr {
+namespace net {
+namespace {
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  parser.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_EQ(request.query, "");
+  EXPECT_EQ(request.minor_version, 1);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.FindHeader("host"), nullptr);
+  EXPECT_EQ(*request.FindHeader("host"), "x");
+}
+
+TEST(HttpParserTest, SplitsTargetIntoPathAndQuery) {
+  HttpParser parser;
+  parser.Feed("GET /v1/search?k=5&x=1 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/v1/search");
+  EXPECT_EQ(parser.request().query, "k=5&x=1");
+  EXPECT_EQ(parser.request().target, "/v1/search?k=5&x=1");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedingWorks) {
+  // The slow-loris shape: correctness must not depend on segmentation.
+  const std::string wire =
+      "POST /v1/search HTTP/1.1\r\nContent-Length: 4\r\n"
+      "X-Custom: hi there \r\n\r\nbody";
+  HttpParser parser;
+  for (char c : wire) {
+    ASSERT_FALSE(parser.failed()) << parser.error_reason();
+    parser.Feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "body");
+  EXPECT_EQ(*parser.request().FindHeader("x-custom"), "hi there");
+}
+
+TEST(HttpParserTest, HeaderNamesLowerCasedValuesTrimmed) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nCoNtEnT-TyPe:  application/json  \r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(*parser.request().FindHeader("content-type"),
+            "application/json");
+}
+
+TEST(HttpParserTest, BareLfLineEndingsAccepted) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\nHost: x\n\n");
+  ASSERT_TRUE(parser.done());
+}
+
+TEST(HttpParserTest, StrayLeadingBlankLineTolerated) {
+  HttpParser parser;
+  parser.Feed("\r\nGET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+}
+
+TEST(HttpParserTest, KeepAliveDefaults) {
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.request().keep_alive);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_TRUE(parser.request().keep_alive);
+  }
+}
+
+TEST(HttpParserTest, PipelinedRequestsAcrossReset) {
+  HttpParser parser;
+  parser.Feed(
+      "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /b HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  HttpRequest first = parser.TakeRequest();
+  EXPECT_EQ(first.path, "/a");
+  EXPECT_EQ(first.body, "hi");
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+  parser.Reset();
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/b");
+}
+
+TEST(HttpParserTest, SyntaxErrorsAre400) {
+  for (const char* wire :
+       {"get / HTTP/1.1\r\n\r\n",          // lower-case method
+        "GET HTTP/1.1\r\n\r\n",            // no target
+        "GET nopath HTTP/1.1\r\n\r\n",     // target not starting with /
+        "GET / HTTPX\r\n\r\n",             // garbage version
+        "GET / HTTP/1.1\r\nbad header\r\n\r\n",
+        "GET / HTTP/1.1\r\n: novalue\r\n\r\n",
+        "GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+        "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n"}) {
+    HttpParser parser;
+    parser.Feed(wire);
+    ASSERT_TRUE(parser.failed()) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, UnsupportedHttpVersionIs505) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, ChunkedBodiesRejectedWith501) {
+  HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nbody\r\n0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, OversizedRequestLineIs431) {
+  HttpParserLimits limits;
+  limits.max_request_line_bytes = 64;
+  HttpParser parser(limits);
+  parser.Feed("GET /" + std::string(128, 'a'));  // no newline yet
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedHeaderSectionIs431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 128;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 32 && !parser.failed(); ++i) {
+    parser.Feed("X-Padding-" + std::to_string(i) + ": aaaaaaaa\r\n");
+  }
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, TooManyHeadersIs431) {
+  HttpParserLimits limits;
+  limits.max_headers = 4;
+  limits.max_header_bytes = 1 << 20;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 8 && !parser.failed(); ++i) {
+    parser.Feed("H" + std::to_string(i) + ": v\r\n");
+  }
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, EndlessLinelessStreamHitsTheCap) {
+  // An attacker streaming bytes with no newline must not balloon memory.
+  HttpParserLimits limits;
+  limits.max_request_line_bytes = 1024;
+  HttpParser parser(limits);
+  for (int i = 0; i < 64 && !parser.failed(); ++i) {
+    parser.Feed(std::string(64, 'a'));
+  }
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ivr

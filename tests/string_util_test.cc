@@ -96,5 +96,33 @@ TEST(StrFormatTest, LongOutput) {
   EXPECT_EQ(out.back(), ']');
 }
 
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape(""), "");
+  EXPECT_EQ(JsonEscape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("a\x00z", 3)), "a\\u0000z");
+}
+
+TEST(JsonEscapeTest, HighBitBytesPassThroughUnchanged) {
+  // UTF-8 multi-byte sequences (and arbitrary binary >= 0x80) must not be
+  // mangled into \u escapes computed from a SIGNED char — the historical
+  // duplication hazard this shared helper removes.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x82\xac";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+  const std::string high(1, static_cast<char>(0xff));
+  EXPECT_EQ(JsonEscape(high), high);
+}
+
 }  // namespace
 }  // namespace ivr

@@ -196,4 +196,43 @@ if [ -n "$QUERY_WORD" ]; then
       --query "$QUERY_WORD" --k 5 | grep -q "results for"
 fi
 
+# HTTP front-end: serve the collection on an ephemeral port, drive it with
+# the concurrent client (querying real collection vocabulary), and check
+# that the /statsz snapshot speaks the same v1 schema as --stats-json.
+sed -n 's/^.*\t\([a-z]*\) [a-z]*bo day.*$/\1/p' "$WORK_DIR/c.ivr" \
+    | head -5 > "$WORK_DIR/query_words.txt"
+test -s "$WORK_DIR/query_words.txt"
+"$TOOLS/ivr_httpd" --collection "$WORK_DIR/c.ivr" \
+    --port-file "$WORK_DIR/port.txt" --threads 2 --cache-mb 16 \
+    --stats-json "$WORK_DIR/stats_httpd.json" \
+    > "$WORK_DIR/httpd.log" 2> "$WORK_DIR/httpd_stderr.txt" &
+HTTPD_PID=$!
+for _ in $(seq 1 100); do
+  test -s "$WORK_DIR/port.txt" && break
+  sleep 0.1
+done
+test -s "$WORK_DIR/port.txt"
+HTTPD_PORT="$(cat "$WORK_DIR/port.txt")"
+
+"$TOOLS/ivr_http_client" --port "$HTTPD_PORT" --sessions 4 --threads 2 \
+    --queries 3 --query-file "$WORK_DIR/query_words.txt" \
+    --out "$WORK_DIR/http_rankings.txt" \
+    --statsz-out "$WORK_DIR/statsz.json" > "$WORK_DIR/client.log"
+grep -q "drove 4 sessions" "$WORK_DIR/client.log"
+grep -q "0 failures" "$WORK_DIR/client.log"
+test -s "$WORK_DIR/http_rankings.txt"
+# Real-vocabulary queries must actually rank shots over the wire.
+grep -q ":" "$WORK_DIR/http_rankings.txt"
+check_stats "$WORK_DIR/statsz.json"
+grep -q '"http.requests"' "$WORK_DIR/statsz.json"
+
+# Clean shutdown on SIGTERM: exit 0, final request accounting on stdout,
+# and the --stats-json file written on the way out.
+kill -TERM "$HTTPD_PID"
+HTTPD_RC=0
+wait "$HTTPD_PID" || HTTPD_RC=$?
+test "$HTTPD_RC" -eq 0
+grep -q "served" "$WORK_DIR/httpd.log"
+check_stats "$WORK_DIR/stats_httpd.json"
+
 echo "tools pipeline OK"

@@ -54,6 +54,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"run", "run2", "collection", "qrels", "threads", "cache-mb",
+       "cache-shards", "fault-spec", "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
   const std::string run_path = args->GetString("run");
   if (run_path.empty() || (!args->Has("collection") && !args->Has("qrels"))) {
     std::fprintf(stderr,

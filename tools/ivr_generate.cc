@@ -32,6 +32,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"out", "qrels", "seed", "topics", "videos", "wer", "title-offset",
+       "general-word-prob", "leak", "words-per-shot", "fault-spec",
+       "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
   const std::string out_path = args->GetString("out");
   if (out_path.empty()) {
     std::fprintf(stderr,

@@ -1,0 +1,198 @@
+// ivr_httpd — the network front-end: serve the multi-session service
+// layer (SessionManager over one shared engine) as a JSON HTTP API, from
+// an epoll event loop with a small worker pool.
+//
+//   ivr_httpd [--collection c.ivr] [--port 0] [--port-file PATH]
+//             [--threads 2] [--shards 8] [--max-sessions N] [--ttl-ms N]
+//             [--persist-dir DIR] [--persist-every N]
+//             [--cache-mb N] [--cache-shards S]
+//             [--max-conns 1024] [--idle-timeout-ms N]
+//             [--fault-spec SPEC] [--fault-seed N]
+//             [--stats-json PATH] [--trace PATH]
+//
+// Endpoints: POST /v1/session/open, /v1/search, /v1/feedback,
+// /v1/session/close; GET /healthz, /statsz (the live --stats-json v1
+// snapshot). See net/service_handler.h for the request/response schemas.
+//
+//   curl -s -XPOST localhost:8080/v1/session/open -d '{"session_id":"s1"}'
+//   curl -s -XPOST localhost:8080/v1/search
+//       -d '{"session_id":"s1","query":{"text":"election"},"k":5}'
+//
+// --port 0 binds an ephemeral port; the chosen port is printed to stdout
+// ("listening on 127.0.0.1:PORT") and, with --port-file, written there
+// atomically so scripts can wait for it. --threads sizes the handler
+// worker pool (the event loop is always one extra thread). SIGINT/SIGTERM
+// shut down cleanly: drain workers, close connections, write --stats-json.
+//
+// Without --collection a standard benchmark collection is generated in
+// process (same as ivr_serve_sim).
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/cache/result_cache.h"
+#include "ivr/core/args.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+#include "ivr/net/http_server.h"
+#include "ivr/net/service_handler.h"
+#include "ivr/obs/report.h"
+#include "ivr/service/session_manager.h"
+#include "ivr/video/generator.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true); }
+
+int Main(int argc, char** argv) {
+  Result<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const Status flags_ok = args->RejectUnknown(
+      {"collection", "port", "port-file", "threads", "shards",
+       "max-sessions", "ttl-ms", "persist-dir", "persist-every", "cache-mb",
+       "cache-shards", "max-conns", "idle-timeout-ms", "fault-spec",
+       "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
+  const Status faults = ConfigureFaultInjectionFromArgs(*args);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.ToString().c_str());
+    return 2;
+  }
+  const Status obs_configured = obs::ConfigureObsFromArgs(*args);
+  if (!obs_configured.ok()) {
+    std::fprintf(stderr, "%s\n", obs_configured.ToString().c_str());
+    return 2;
+  }
+
+  GeneratedCollection g;
+  const std::string collection_path = args->GetString("collection");
+  if (collection_path.empty()) {
+    GeneratorOptions options;
+    options.seed = 2008;
+    options.num_videos = 25;
+    options.num_topics = 10;
+    Result<GeneratedCollection> generated = GenerateCollection(options);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(generated).value();
+    std::fprintf(stderr, "note: no --collection; generated %zu shots\n",
+                 g.collection.num_shots());
+  } else {
+    Result<GeneratedCollection> loaded =
+        LoadCollectionRobust(collection_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+  }
+
+  Result<std::unique_ptr<RetrievalEngine>> engine_result =
+      RetrievalEngine::Build(g.collection);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_result).value();
+  Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
+  if (!cache.ok()) {
+    std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
+    return 2;
+  }
+  engine->AttachCache(*cache);
+  AdaptiveOptions adaptive_options;
+  const AdaptiveEngine adaptive(*engine, adaptive_options, nullptr);
+
+  SessionManagerOptions manager_options;
+  manager_options.num_shards =
+      static_cast<size_t>(args->GetInt("shards", 8).value_or(8));
+  manager_options.max_sessions =
+      static_cast<size_t>(args->GetInt("max-sessions", 0).value_or(0));
+  manager_options.idle_ttl_ms = args->GetInt("ttl-ms", 0).value_or(0);
+  manager_options.persist_dir = args->GetString("persist-dir");
+  manager_options.persist_every_events =
+      static_cast<size_t>(args->GetInt("persist-every", 0).value_or(0));
+  SessionManager manager(adaptive, manager_options);
+  net::ServiceHandler handler(&manager);
+
+  net::HttpServerOptions server_options;
+  server_options.port =
+      static_cast<int>(args->GetInt("port", 0).value_or(0));
+  server_options.num_workers =
+      static_cast<size_t>(args->GetInt("threads", 2).value_or(2));
+  server_options.max_connections =
+      static_cast<size_t>(args->GetInt("max-conns", 1024).value_or(1024));
+  server_options.idle_timeout_ms =
+      args->GetInt("idle-timeout-ms", 0).value_or(0);
+  net::HttpServer server(server_options,
+                         [&handler](const net::HttpRequest& request) {
+                           return handler.Handle(request);
+                         });
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+  const std::string port_file = args->GetString("port-file");
+  if (!port_file.empty()) {
+    const Status written =
+        WriteFileAtomic(port_file, StrFormat("%d\n", server.port()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const net::HttpServerStats stats = server.stats();
+  std::printf(
+      "served %llu requests on %llu connections "
+      "(2xx %llu, 4xx %llu, 5xx %llu, parse errors %llu)\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.responses_2xx),
+      static_cast<unsigned long long>(stats.responses_4xx),
+      static_cast<unsigned long long>(stats.responses_5xx),
+      static_cast<unsigned long long>(stats.parse_errors));
+  const HealthReport health = manager.Health();
+  if (health.degraded()) {
+    std::fprintf(stderr, "%s\n", health.ToString().c_str());
+  }
+  if (FaultInjector::Global().enabled()) {
+    std::fprintf(stderr, "%s", FaultInjector::Global().Summary().c_str());
+  }
+  std::fprintf(stderr, "%s", obs::StatsSummary().c_str());
+  return obs::FinishToolWithObs(*args, 0);
+}
+
+}  // namespace
+}  // namespace ivr
+
+int main(int argc, char** argv) { return ivr::Main(argc, argv); }

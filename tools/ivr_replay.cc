@@ -42,6 +42,13 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"collection", "log", "run", "backend", "k", "cache-mb",
+       "cache-shards", "fault-spec", "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
   const std::string collection_path = args->GetString("collection");
   const std::string log_path = args->GetString("log");
   const std::string run_path = args->GetString("run");

@@ -45,6 +45,22 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"collection", "scorer", "k", "query", "stories", "run", "visual",
+       "tag", "threads", "cache-mb", "cache-shards", "fault-spec",
+       "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
+  const Result<bool> stories_flag = args->GetBool("stories");
+  const Result<bool> visual_flag = args->GetBool("visual");
+  if (!stories_flag.ok() || !visual_flag.ok()) {
+    const Status& bad =
+        stories_flag.ok() ? visual_flag.status() : stories_flag.status();
+    std::fprintf(stderr, "%s\n", bad.ToString().c_str());
+    return 2;
+  }
   const std::string collection_path = args->GetString("collection");
   if (collection_path.empty()) {
     std::fprintf(stderr,
@@ -109,7 +125,7 @@ int Main(int argc, char** argv) {
     Query query;
     query.text = adhoc;
     const ResultList results = (*engine)->Search(query, k);
-    if (args->GetBool("stories")) {
+    if (*stories_flag) {
       // Story-level presentation: aggregate shot evidence per story.
       const auto stories =
           RankStories(results, g.collection, k, StoryAggregation::kMax);
@@ -144,7 +160,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "one of --run or --query is required\n");
     return 2;
   }
-  const bool visual = args->GetBool("visual");
+  const bool visual = *visual_flag;
   const int64_t threads_arg =
       args->GetInt("threads",
                    static_cast<int64_t>(ThreadPool::DefaultThreadCount()))

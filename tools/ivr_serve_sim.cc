@@ -130,6 +130,15 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"collection", "sessions", "threads", "env", "user", "seed", "shards",
+       "max-sessions", "ttl-ms", "persist-dir", "persist-every", "think",
+       "cache-mb", "cache-shards", "check", "fault-spec", "fault-seed",
+       "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
   const Status faults = ConfigureFaultInjectionFromArgs(*args);
   if (!faults.ok()) {
     std::fprintf(stderr, "%s\n", faults.ToString().c_str());
@@ -218,7 +227,12 @@ int Main(int argc, char** argv) {
   manager_options.persist_every_events = static_cast<size_t>(
       args->GetInt("persist-every", 0).value_or(0));
 
-  if (args->GetBool("check") &&
+  const Result<bool> check = args->GetBool("check");
+  if (!check.ok()) {
+    std::fprintf(stderr, "%s\n", check.status().ToString().c_str());
+    return 2;
+  }
+  if (*check &&
       (manager_options.max_sessions > 0 || manager_options.idle_ttl_ms > 0)) {
     std::fprintf(stderr,
                  "--check needs an eviction-free manager: with "
@@ -250,7 +264,7 @@ int Main(int argc, char** argv) {
   std::printf("%s\n", manager.Stats().ToString().c_str());
 
   int rc = 0;
-  if (args->GetBool("check")) {
+  if (*check) {
     // Replay the identical workload sequentially (no pacing) on a fresh
     // manager; per-session results must match bit for bit. Only valid
     // without eviction pressure (rejected above): which session a

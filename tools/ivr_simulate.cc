@@ -54,6 +54,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
     return 2;
   }
+  const Status flags_ok = args->RejectUnknown(
+      {"collection", "log", "env", "user", "backend", "profiles",
+       "sessions-per-topic", "seed", "threads", "cache-mb", "cache-shards",
+       "fault-spec", "fault-seed", "stats-json", "trace"});
+  if (!flags_ok.ok()) {
+    std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
+    return 2;
+  }
   const std::string collection_path = args->GetString("collection");
   const std::string log_path = args->GetString("log");
   if (collection_path.empty() || log_path.empty()) {
