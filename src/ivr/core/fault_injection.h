@@ -48,6 +48,10 @@ namespace ivr {
 ///   net.accept           HttpServer: close a just-accepted connection
 ///   net.read             HttpServer: readable socket becomes a conn error
 ///   net.write            HttpServer: kill a connection mid-response
+///   ingest.append        LiveEngine: buffering a video into the delta
+///   ingest.publish       LiveEngine::Publish entry (delta kept for retry)
+///   ingest.merge         LiveEngine segment compaction entry
+///   ingest.manifest      ManifestLog append/rewrite (the commit point)
 class FaultInjector {
  public:
   /// The process-wide injector the library's fault sites consult.

@@ -1,9 +1,11 @@
 #include "ivr/core/file_util.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -150,6 +152,27 @@ Status MakeDirectory(const std::string& path) {
                            std::strerror(errno));
   }
   return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (!S_ISREG(st.st_mode)) continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace ivr

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "ivr/core/result.h"
 
@@ -32,6 +33,11 @@ Status RemoveFile(const std::string& path);
 
 /// Creates a directory (one level, like mkdir); OK if it already exists.
 Status MakeDirectory(const std::string& path);
+
+/// Names (not paths) of the regular files directly inside `dir`, sorted
+/// lexicographically for deterministic iteration. IOError when the
+/// directory cannot be opened.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
 
 }  // namespace ivr
 

@@ -1,9 +1,11 @@
 #ifndef IVR_CORE_RETRY_H_
 #define IVR_CORE_RETRY_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -11,12 +13,100 @@
 
 namespace ivr {
 
+/// A per-process retry budget: a token bucket that caps how much of the
+/// process's work may be retries. Every *initial* call deposits
+/// `deposit_per_call` tokens (up to `capacity`); every retry attempt
+/// withdraws one. When the bucket is empty, retries are denied and the
+/// caller fails fast with the last error — so a hard outage degrades to
+/// roughly `deposit_per_call` extra load instead of multiplying every
+/// request by max_attempts (the retry-storm amplification this exists to
+/// prevent). Thread-safe; one instance is meant to be shared by all
+/// callers of a subsystem.
+class RetryBudget {
+ public:
+  struct Options {
+    /// Token ceiling — also the initial balance, so startup and small
+    /// bursts retry freely.
+    double capacity = 10.0;
+    /// Tokens earned per initial (non-retry) call.
+    double deposit_per_call = 0.1;
+  };
+
+  explicit RetryBudget(Options options)
+      : options_(options), tokens_(options.capacity) {}
+  RetryBudget() : RetryBudget(Options()) {}
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// An initial call happened: deposit.
+  void RecordCall() {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_ = std::min(options_.capacity,
+                       tokens_ + options_.deposit_per_call);
+  }
+
+  /// Withdraws one token for a retry. False (and counts a denial) when
+  /// the bucket is empty.
+  bool TryConsume() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tokens_ < 1.0) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= 1.0;
+    ++allowed_;
+    return true;
+  }
+
+  double tokens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tokens_;
+  }
+  uint64_t retries_allowed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allowed_;
+  }
+  uint64_t retries_denied() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return denied_;
+  }
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  double tokens_;
+  uint64_t allowed_ = 0;
+  uint64_t denied_ = 0;
+};
+
+/// The process-wide budget the library's robust loaders share. Generous
+/// (capacity 50): it never throttles healthy workloads, only sustained
+/// failure storms.
+inline RetryBudget& ProcessRetryBudget() {
+  static RetryBudget* budget =
+      new RetryBudget(RetryBudget::Options{50.0, 0.1});
+  return *budget;
+}
+
 /// Policy for RetryOnIOError. Only kIOError is considered transient —
 /// kCorruption, kNotFound etc. are permanent and returned immediately.
 struct RetryOptions {
   int max_attempts = 3;
   int64_t initial_backoff_ms = 5;
   double backoff_multiplier = 2.0;
+  /// Deterministic seeded jitter: each sleep is stretched by up to this
+  /// fraction of the base backoff (0 = pure exponential, the legacy
+  /// schedule). The stretch for attempt k is a pure function of
+  /// (jitter_seed, k), so a retry schedule is reproducible from its seed
+  /// while workers seeded differently (e.g. by worker id) desynchronize
+  /// instead of hammering a recovering dependency in lockstep.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+  /// When non-null, each retry must win a token first; an exhausted
+  /// budget fails fast with the last error. Null = unlimited retries
+  /// (the legacy behavior).
+  RetryBudget* budget = nullptr;
   /// Sleep hook; tests inject a recorder so retries take no wall time.
   /// Default: std::this_thread::sleep_for.
   std::function<void(int64_t)> sleep_ms;
@@ -30,23 +120,52 @@ Status ToStatus(const Result<T>& r) {
   return r.status();
 }
 
+/// splitmix64: a deterministic, well-mixed function of (seed, attempt).
+inline uint64_t MixJitter(uint64_t seed, uint64_t attempt) {
+  uint64_t z = seed + attempt * 0x9E3779B97F4A7C15ull + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+inline int64_t JitteredBackoff(int64_t backoff, const RetryOptions& options,
+                               int attempt) {
+  if (options.jitter <= 0.0 || backoff <= 0) return backoff;
+  const uint64_t mix =
+      MixJitter(options.jitter_seed, static_cast<uint64_t>(attempt));
+  // 53 high bits -> uniform double in [0, 1).
+  const double frac =
+      static_cast<double>(mix >> 11) / 9007199254740992.0;  // 2^53
+  return backoff + static_cast<int64_t>(static_cast<double>(backoff) *
+                                        options.jitter * frac);
+}
+
 }  // namespace internal_retry
 
 /// Runs `fn` (returning Status or Result<T>) up to max_attempts times,
-/// sleeping with exponential backoff between attempts, until it returns
-/// anything other than kIOError. Returns the last attempt's outcome.
+/// sleeping with exponential backoff (plus deterministic seeded jitter)
+/// between attempts, until it returns anything other than kIOError. A
+/// configured budget is consulted before every retry; denial returns the
+/// last attempt's outcome immediately. Returns the last attempt's
+/// outcome.
 template <typename Fn>
 auto RetryOnIOError(Fn&& fn, const RetryOptions& options = RetryOptions())
     -> decltype(fn()) {
+  if (options.budget != nullptr) options.budget->RecordCall();
   int64_t backoff = options.initial_backoff_ms;
   auto outcome = fn();
   for (int attempt = 1; attempt < options.max_attempts; ++attempt) {
     const Status status = internal_retry::ToStatus(outcome);
     if (!status.IsIOError()) return outcome;
+    if (options.budget != nullptr && !options.budget->TryConsume()) {
+      return outcome;
+    }
+    const int64_t delay =
+        internal_retry::JitteredBackoff(backoff, options, attempt);
     if (options.sleep_ms) {
-      options.sleep_ms(backoff);
-    } else if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      options.sleep_ms(delay);
+    } else if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
     }
     backoff = static_cast<int64_t>(
         static_cast<double>(backoff) * options.backoff_multiplier);

@@ -1,0 +1,489 @@
+#include "ivr/ingest/live_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
+#include "ivr/core/logging.h"
+#include "ivr/core/string_util.h"
+#include "ivr/ingest/segment.h"
+
+namespace ivr {
+namespace {
+
+/// Appends every video of `src` (with its stories and shots) to `dst`,
+/// offsetting the dense ids. Because Add* assigns id = current size, the
+/// remap of any id is a pure offset addition, which keeps appending
+/// deterministic and order-preserving.
+void AppendCollection(const VideoCollection& src, VideoCollection* dst) {
+  const VideoId video_off = static_cast<VideoId>(dst->num_videos());
+  const StoryId story_off = static_cast<StoryId>(dst->num_stories());
+  const ShotId shot_off = static_cast<ShotId>(dst->num_shots());
+  for (const Video& v : src.videos()) {
+    Video copy = v;
+    copy.stories.clear();
+    copy.stories.reserve(v.stories.size());
+    for (const StoryId s : v.stories) copy.stories.push_back(s + story_off);
+    dst->AddVideo(std::move(copy));
+  }
+  for (const NewsStory& s : src.stories()) {
+    NewsStory copy = s;
+    copy.video = s.video + video_off;
+    copy.shots.clear();
+    copy.shots.reserve(s.shots.size());
+    for (const ShotId sh : s.shots) copy.shots.push_back(sh + shot_off);
+    dst->AddStory(std::move(copy));
+  }
+  for (const Shot& sh : src.shots()) {
+    Shot copy = sh;
+    copy.story = sh.story + story_off;
+    copy.video = sh.video + video_off;
+    dst->AddShot(std::move(copy));
+  }
+}
+
+/// Copies one video of `src` into `dst` with dst-local dense ids. Every
+/// copied external id (and the video name) is prefixed with `ns`: the
+/// document store requires globally unique externals, and source
+/// collections routinely reuse the generator's "vNNN/..." scheme, so the
+/// live index namespaces each appended video by the generation it will
+/// publish into. Returns the number of shots copied.
+Result<size_t> CopyVideoInto(const VideoCollection& src, VideoId id,
+                             const std::string& ns, VideoCollection* dst) {
+  IVR_ASSIGN_OR_RETURN(const Video* video, src.video(id));
+  Video vcopy = *video;
+  vcopy.name = ns + video->name;
+  vcopy.stories.clear();
+  const VideoId new_video = dst->AddVideo(std::move(vcopy));
+  size_t shots = 0;
+  for (const StoryId story_id : video->stories) {
+    IVR_ASSIGN_OR_RETURN(const NewsStory* story, src.story(story_id));
+    NewsStory scopy = *story;
+    scopy.video = new_video;
+    scopy.shots.clear();
+    const StoryId new_story = dst->AddStory(std::move(scopy));
+    dst->mutable_video(new_video)->stories.push_back(new_story);
+    for (const ShotId shot_id : story->shots) {
+      IVR_ASSIGN_OR_RETURN(const Shot* shot, src.shot(shot_id));
+      Shot shcopy = *shot;
+      shcopy.external_id = ns + shot->external_id;
+      shcopy.story = new_story;
+      shcopy.video = new_video;
+      const ShotId new_shot = dst->AddShot(std::move(shcopy));
+      dst->mutable_story(new_story)->shots.push_back(new_shot);
+      ++shots;
+    }
+  }
+  return shots;
+}
+
+}  // namespace
+
+std::string LiveEngine::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+std::string LiveEngine::SegmentName(uint64_t gen) {
+  return StrFormat("seg-%06llu.seg", static_cast<unsigned long long>(gen));
+}
+
+LiveEngine::LiveEngine(GeneratedCollection base, IngestOptions options)
+    : options_(std::move(options)),
+      manifest_(ManifestPath(options_.dir)),
+      base_(std::move(base)) {
+  obs::Registry& reg = obs::Registry::Global();
+  metrics_.shots_appended = reg.GetCounter("ingest.shots_appended");
+  metrics_.publishes = reg.GetCounter("ingest.publishes");
+  metrics_.publish_failures = reg.GetCounter("ingest.publish_failures");
+  metrics_.merges = reg.GetCounter("ingest.merges");
+  metrics_.merge_failures = reg.GetCounter("ingest.merge_failures");
+  metrics_.orphan_segments_dropped =
+      reg.GetCounter("ingest.orphan_segments_dropped");
+  metrics_.torn_segments_dropped =
+      reg.GetCounter("ingest.torn_segments_dropped");
+  metrics_.torn_manifest_chunks =
+      reg.GetCounter("ingest.torn_manifest_chunks");
+  metrics_.generation = reg.GetGauge("ingest.generation");
+  metrics_.segments = reg.GetGauge("ingest.segments");
+  metrics_.pending_shots = reg.GetGauge("ingest.pending_shots");
+  metrics_.live_shots = reg.GetGauge("ingest.live_shots");
+  metrics_.publish_us = reg.GetHistogram("ingest.publish_us");
+  metrics_.merge_us = reg.GetHistogram("ingest.merge_us");
+}
+
+LiveEngine::~LiveEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_merge_ = true;
+  }
+  merge_cv_.notify_all();
+  if (merge_thread_.joinable()) merge_thread_.join();
+}
+
+Result<std::unique_ptr<LiveEngine>> LiveEngine::Open(GeneratedCollection base,
+                                                     IngestOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("IngestOptions.dir must be set");
+  }
+  IVR_RETURN_IF_ERROR(MakeDirectory(options.dir));
+  std::unique_ptr<LiveEngine> live(
+      new LiveEngine(std::move(base), std::move(options)));
+  {
+    std::lock_guard<std::mutex> lock(live->mu_);
+    live->ResetPendingLocked();
+    IVR_RETURN_IF_ERROR(live->ReplayManifestLocked());
+    IVR_ASSIGN_OR_RETURN(
+        std::shared_ptr<const EngineSnapshot> snapshot,
+        live->BuildSnapshotLocked(live->generation_,
+                                  /*include_pending=*/false));
+    live->StoreSnapshot(std::move(snapshot));
+    live->UpdateGaugesLocked();
+  }
+  if (live->options_.background_merge) {
+    live->merge_thread_ = std::thread(&LiveEngine::MergeThreadMain,
+                                      live.get());
+  }
+  return live;
+}
+
+void LiveEngine::ResetPendingLocked() {
+  pending_ = GeneratedCollection();
+  pending_.collection.SetTopicNames(base_.collection.topic_names());
+}
+
+Status LiveEngine::ReplayManifestLocked() {
+  IVR_ASSIGN_OR_RETURN(const ManifestLoadResult loaded, manifest_.Load());
+  torn_manifest_chunks_ = loaded.torn_chunks;
+  metrics_.torn_manifest_chunks->Inc(loaded.torn_chunks);
+  if (loaded.torn_chunks > 0) {
+    IVR_LOG(Warning) << "ingest: dropped torn manifest tail of "
+                     << manifest_.path();
+  }
+
+  uint64_t max_generation = 0;
+  for (const ManifestRecord& record : loaded.records) {
+    max_generation = std::max(max_generation, record.generation);
+  }
+
+  // Newest fully-loadable record wins; segments that fail their checksum
+  // are counted once and poison every record referencing them.
+  std::unordered_map<std::string, GeneratedCollection> cache;
+  std::unordered_set<std::string> bad;
+  const ManifestRecord* serving = nullptr;
+  for (size_t i = loaded.records.size(); i-- > 0;) {
+    const ManifestRecord& record = loaded.records[i];
+    bool ok = true;
+    for (const std::string& name : record.segments) {
+      if (bad.count(name) > 0) {
+        ok = false;
+        continue;
+      }
+      if (cache.count(name) > 0) continue;
+      Result<GeneratedCollection> seg =
+          LoadSegment(options_.dir + "/" + name);
+      if (seg.ok()) {
+        cache.emplace(name, std::move(seg).value());
+      } else {
+        bad.insert(name);
+        ++torn_segments_dropped_;
+        metrics_.torn_segments_dropped->Inc();
+        IVR_LOG(Warning) << "ingest: dropped torn segment " << name << " ("
+                         << seg.status().ToString() << ")";
+        ok = false;
+      }
+    }
+    if (ok) {
+      serving = &record;
+      break;
+    }
+  }
+
+  std::unordered_set<std::string> served_names;
+  if (serving != nullptr) {
+    generation_ = serving->generation;
+    for (const std::string& name : serving->segments) {
+      served_names.insert(name);
+      segments_.push_back(Segment{name, std::move(cache.at(name))});
+    }
+    if (serving != &loaded.records.back()) {
+      IVR_LOG(Warning) << "ingest: salvage fell back to generation "
+                       << generation_ << " of " << max_generation;
+    }
+  } else {
+    generation_ = 0;
+    if (!loaded.records.empty()) {
+      IVR_LOG(Warning)
+          << "ingest: no manifest record fully loadable; serving base only";
+    }
+  }
+  next_generation_ = std::max(max_generation, generation_) + 1;
+
+  // Segment files no intact record reaches are orphans (a crash between
+  // segment write and manifest append leaves exactly this); they are
+  // ignored, counted, and eventually overwritten by a future publish.
+  IVR_ASSIGN_OR_RETURN(const std::vector<std::string> entries,
+                       ListDirectory(options_.dir));
+  for (const std::string& name : entries) {
+    if (!EndsWith(name, ".seg")) continue;
+    if (served_names.count(name) > 0 || bad.count(name) > 0) continue;
+    ++orphan_segments_dropped_;
+    metrics_.orphan_segments_dropped->Inc();
+    IVR_LOG(Warning) << "ingest: ignoring orphan segment " << name;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> LiveEngine::BuildSnapshotLocked(
+    uint64_t generation, bool include_pending) const {
+  auto data = std::make_shared<GeneratedCollection>();
+  data->collection.SetTopicNames(base_.collection.topic_names());
+  AppendCollection(base_.collection, &data->collection);
+  for (const Segment& segment : segments_) {
+    AppendCollection(segment.data.collection, &data->collection);
+  }
+  if (include_pending) {
+    AppendCollection(pending_.collection, &data->collection);
+  }
+  data->topics = base_.topics;
+  data->qrels = base_.qrels;
+  data->options = base_.options;
+
+  IVR_ASSIGN_OR_RETURN(
+      std::unique_ptr<RetrievalEngine> built,
+      RetrievalEngine::Build(data->collection, options_.engine));
+  built->SetCacheKeyEpoch(generation);
+  if (options_.cache != nullptr) built->AttachCache(options_.cache);
+  std::shared_ptr<const RetrievalEngine> engine(std::move(built));
+  auto adaptive = std::make_shared<const AdaptiveEngine>(
+      *engine, options_.adaptive, options_.profile);
+
+  auto snapshot = std::make_shared<EngineSnapshot>();
+  snapshot->generation = generation;
+  snapshot->data = std::move(data);
+  snapshot->engine = std::move(engine);
+  snapshot->adaptive = std::move(adaptive);
+  return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
+}
+
+Status LiveEngine::AppendVideoFrom(const VideoCollection& source,
+                                   VideoId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ingest.append"));
+  // The namespace is deterministic in (target generation, ordinal within
+  // the pending delta) and frozen into the segment file at publish, so
+  // replayed, exported and live views of a document agree on its id.
+  const std::string ns =
+      StrFormat("g%llu.%zu/",
+                static_cast<unsigned long long>(next_generation_),
+                pending_.collection.num_videos());
+  IVR_ASSIGN_OR_RETURN(const size_t shots,
+                       CopyVideoInto(source, id, ns, &pending_.collection));
+  shots_appended_ += shots;
+  metrics_.shots_appended->Inc(shots);
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+Result<uint64_t> LiveEngine::Publish() {
+  obs::Stopwatch watch;
+  bool trigger_merge = false;
+  uint64_t published = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.collection.num_shots() == 0 &&
+        pending_.collection.num_videos() == 0) {
+      return generation_;  // nothing to publish
+    }
+    const auto fail = [this](Status status) {
+      ++publish_failures_;
+      metrics_.publish_failures->Inc();
+      return status;
+    };
+    {
+      const Status injected =
+          FaultInjector::Global().MaybeFail("ingest.publish");
+      if (!injected.ok()) return fail(injected);
+    }
+    const uint64_t gen = next_generation_;
+
+    // Build the generation-G+1 stack BEFORE touching disk, so an engine
+    // construction failure cannot leave the manifest ahead of memory.
+    Result<std::shared_ptr<const EngineSnapshot>> snapshot =
+        BuildSnapshotLocked(gen, /*include_pending=*/true);
+    if (!snapshot.ok()) return fail(snapshot.status());
+
+    // Segment file first, manifest append last: the manifest fsync is
+    // the commit point. A crash in between leaves an orphan segment
+    // file and generation G intact on disk.
+    const std::string name = SegmentName(gen);
+    {
+      const Status saved =
+          SaveSegment(pending_, options_.dir + "/" + name);
+      if (!saved.ok()) return fail(saved);
+    }
+    ManifestRecord record;
+    record.generation = gen;
+    for (const Segment& segment : segments_) {
+      record.segments.push_back(segment.name);
+    }
+    record.segments.push_back(name);
+    {
+      const Status appended = manifest_.Append(record);
+      if (!appended.ok()) return fail(appended);
+    }
+
+    // Committed. Invalidate the cache before exposing the new snapshot:
+    // inserts computed against generation G now carry a stale cache
+    // generation and are rejected instead of straddling the publish.
+    segments_.push_back(Segment{name, std::move(pending_)});
+    ResetPendingLocked();
+    generation_ = gen;
+    next_generation_ = gen + 1;
+    ++publishes_;
+    metrics_.publishes->Inc();
+    if (options_.cache != nullptr) options_.cache->InvalidateAll();
+    StoreSnapshot(std::move(snapshot).value());
+    UpdateGaugesLocked();
+    published = gen;
+
+    if (NeedsMergeLocked()) {
+      if (options_.background_merge) {
+        trigger_merge = true;
+      } else {
+        // Inline auto-merge: compaction failures degrade (more segments
+        // than the policy wants) rather than failing the publish.
+        const Status merged = MergeLocked();
+        if (!merged.ok()) {
+          IVR_LOG(Warning) << "ingest: auto-merge failed: "
+                           << merged.ToString();
+        }
+      }
+    }
+  }
+  if (trigger_merge) merge_cv_.notify_all();
+  metrics_.publish_us->Record(watch.ElapsedUs());
+  return published;
+}
+
+Status LiveEngine::Merge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MergeLocked();
+}
+
+Status LiveEngine::MergeLocked() {
+  if (segments_.size() < 2) return Status::OK();
+  obs::Stopwatch watch;
+  const auto fail = [this](Status status) {
+    ++merge_failures_;
+    metrics_.merge_failures->Inc();
+    return status;
+  };
+  {
+    const Status injected = FaultInjector::Global().MaybeFail("ingest.merge");
+    if (!injected.ok()) return fail(injected);
+  }
+
+  GeneratedCollection merged;
+  merged.collection.SetTopicNames(base_.collection.topic_names());
+  for (const Segment& segment : segments_) {
+    AppendCollection(segment.data.collection, &merged.collection);
+  }
+  // The merged name embeds the generation; at least one publish separates
+  // two merges (a merge leaves a single segment), so names never clash.
+  const std::string name = StrFormat(
+      "seg-%06llu-m.seg", static_cast<unsigned long long>(generation_));
+  {
+    const Status saved = SaveSegment(merged, options_.dir + "/" + name);
+    if (!saved.ok()) return fail(saved);
+  }
+  ManifestRecord record;
+  record.generation = generation_;
+  record.segments.push_back(name);
+  {
+    const Status rewritten = manifest_.Rewrite(record);
+    if (!rewritten.ok()) return fail(rewritten);
+  }
+
+  // Committed: the rewritten manifest references only the merged file.
+  // Retired segment files are deleted best-effort (a survivor is counted
+  // as an orphan on the next startup).
+  for (const Segment& segment : segments_) {
+    if (segment.name != name) {
+      (void)RemoveFile(options_.dir + "/" + segment.name);
+    }
+  }
+  segments_.clear();
+  segments_.push_back(Segment{name, std::move(merged)});
+  ++merges_;
+  metrics_.merges->Inc();
+  metrics_.merge_us->Record(watch.ElapsedUs());
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+void LiveEngine::MergeThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    merge_cv_.wait(lock,
+                   [this] { return stop_merge_ || NeedsMergeLocked(); });
+    if (stop_merge_) return;
+    const Status merged = MergeLocked();
+    if (!merged.ok()) {
+      IVR_LOG(Warning) << "ingest: background merge failed: "
+                       << merged.ToString();
+      // Back off until the next publish re-notifies; without this a
+      // persistently failing merge (fault injection) would spin.
+      const uint64_t seen = publishes_;
+      merge_cv_.wait(
+          lock, [this, seen] { return stop_merge_ || publishes_ != seen; });
+      if (stop_merge_) return;
+    }
+  }
+}
+
+IngestStats LiveEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestStats stats;
+  stats.generation = generation_;
+  stats.segments = segments_.size();
+  stats.pending_videos = pending_.collection.num_videos();
+  stats.pending_shots = pending_.collection.num_shots();
+  const std::shared_ptr<const EngineSnapshot> snapshot = Acquire();
+  stats.live_shots =
+      snapshot != nullptr ? snapshot->data->collection.num_shots() : 0;
+  stats.shots_appended = shots_appended_;
+  stats.publishes = publishes_;
+  stats.publish_failures = publish_failures_;
+  stats.merges = merges_;
+  stats.merge_failures = merge_failures_;
+  stats.orphan_segments_dropped = orphan_segments_dropped_;
+  stats.torn_segments_dropped = torn_segments_dropped_;
+  stats.torn_manifest_chunks = torn_manifest_chunks_;
+  return stats;
+}
+
+HealthReport LiveEngine::Health() const {
+  const std::shared_ptr<const EngineSnapshot> snapshot = Acquire();
+  HealthReport report = snapshot->engine->Health();
+  std::lock_guard<std::mutex> lock(mu_);
+  report.ingest_orphan_segments_dropped = orphan_segments_dropped_;
+  report.ingest_torn_segments_dropped = torn_segments_dropped_;
+  report.ingest_torn_manifest_chunks = torn_manifest_chunks_;
+  return report;
+}
+
+void LiveEngine::UpdateGaugesLocked() const {
+  metrics_.generation->Set(static_cast<int64_t>(generation_));
+  metrics_.segments->Set(static_cast<int64_t>(segments_.size()));
+  metrics_.pending_shots->Set(
+      static_cast<int64_t>(pending_.collection.num_shots()));
+  const std::shared_ptr<const EngineSnapshot> snapshot = Acquire();
+  metrics_.live_shots->Set(
+      snapshot != nullptr
+          ? static_cast<int64_t>(snapshot->data->collection.num_shots())
+          : 0);
+}
+
+}  // namespace ivr

@@ -1,0 +1,255 @@
+#ifndef IVR_INGEST_LIVE_ENGINE_H_
+#define IVR_INGEST_LIVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ivr/adaptive/adaptive_engine.h"
+#include "ivr/cache/result_cache.h"
+#include "ivr/core/result.h"
+#include "ivr/ingest/manifest.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/retrieval/engine.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+
+/// Configuration of a LiveEngine.
+struct IngestOptions {
+  /// Directory holding the segment files and the MANIFEST journal.
+  std::string dir;
+  /// Options for the per-generation engines built on publish.
+  EngineOptions engine;
+  AdaptiveOptions adaptive;
+  /// Default profile snapshotted into the per-generation AdaptiveEngines
+  /// (null = none).
+  std::shared_ptr<const UserProfile> profile;
+  /// Shared result cache attached to every generation's engine. Publish
+  /// bumps its invalidation generation, and each engine prefixes its
+  /// cache keys with its own generation epoch, so one cache safely spans
+  /// generations (a query pinned to generation G can never hit a G+1
+  /// entry, or vice versa).
+  std::shared_ptr<ResultCache> cache;
+  /// Compact the on-disk segments into one once their count reaches this
+  /// threshold (0 = only explicit Merge() calls compact).
+  size_t merge_after_segments = 0;
+  /// Run compaction on a background thread instead of inline at the end
+  /// of the triggering Publish().
+  bool background_merge = false;
+};
+
+/// One fully-built generation. Everything a query needs — materialized
+/// collection, retrieval engine, adaptive policy — with shared ownership,
+/// so a reader that acquired the snapshot before a publish keeps a
+/// complete, immutable generation alive for as long as it needs it.
+struct EngineSnapshot {
+  uint64_t generation = 0;
+  std::shared_ptr<const GeneratedCollection> data;
+  std::shared_ptr<const RetrievalEngine> engine;
+  std::shared_ptr<const AdaptiveEngine> adaptive;
+};
+
+/// Point-in-time ingest counters (monotonic unless noted).
+struct IngestStats {
+  uint64_t generation = 0;       ///< generation currently served
+  size_t segments = 0;           ///< published segments (level)
+  size_t pending_videos = 0;     ///< buffered, unpublished (level)
+  size_t pending_shots = 0;      ///< buffered, unpublished (level)
+  size_t live_shots = 0;         ///< shots in the served snapshot (level)
+  uint64_t shots_appended = 0;
+  uint64_t publishes = 0;
+  uint64_t publish_failures = 0;
+  uint64_t merges = 0;
+  uint64_t merge_failures = 0;
+  /// Startup salvage: segment files on disk that no intact manifest
+  /// record references (e.g. a crash between segment write and manifest
+  /// append), and manifest-referenced segments dropped because they were
+  /// torn/corrupt (the reader fell back to an older generation).
+  uint64_t orphan_segments_dropped = 0;
+  uint64_t torn_segments_dropped = 0;
+  /// Torn manifest journal tails dropped on replay.
+  uint64_t torn_manifest_chunks = 0;
+};
+
+/// The generational index: an immutable base collection plus published
+/// immutable delta segments, served through an atomically swapped
+/// snapshot, with new documents buffered in a pending in-memory delta
+/// until the next Publish().
+///
+/// Write path (Append*/Publish/Merge, any thread, serialized on one
+/// mutex):
+///  - Append buffers whole videos into the pending delta; buffered
+///    documents are NOT searchable until published.
+///  - Publish freezes the pending delta: builds the generation-G+1
+///    engine, writes the segment file (checksummed envelope +
+///    WriteFileAtomic), fsync-appends the manifest record — the commit
+///    point — then invalidates the result cache and swaps the snapshot.
+///    Any failure before the manifest append leaves generation G serving
+///    and the pending delta intact for retry.
+///  - Merge compacts all published segments into one file and atomically
+///    rewrites the manifest; the document set, generation and serving
+///    snapshot are unchanged (crash-safe at every point: the old
+///    segments stay referenced until the rewritten manifest lands).
+///
+/// Read path (Acquire): copies the current snapshot shared_ptr under a
+/// dedicated pointer-sized lock (never held while building an index). A
+/// query pins ONE snapshot for its whole lifetime, so it observes either
+/// generation G or G+1 in full — never a mix — and publishes never wait
+/// for readers (RCU-style: superseded generations die when their last
+/// reader releases them).
+///
+/// Startup replays the manifest with salvage semantics: a torn journal
+/// tail falls back to the last intact record, a record referencing a
+/// torn/missing segment falls back to the newest fully-loadable older
+/// record (counted per dropped segment), and unreferenced segment files
+/// are ignored as orphans (counted). Fault sites: "ingest.append",
+/// "ingest.publish", "ingest.merge", "ingest.manifest".
+class LiveEngine {
+ public:
+  /// Opens the ingest directory (created if missing), replays the
+  /// manifest, and builds the serving snapshot over `base` plus every
+  /// salvageable published segment. `base` is the immutable generation-0
+  /// collection (its topics/qrels are the live ones; segments carry
+  /// documents only).
+  static Result<std::unique_ptr<LiveEngine>> Open(GeneratedCollection base,
+                                                  IngestOptions options);
+
+  ~LiveEngine();
+
+  LiveEngine(const LiveEngine&) = delete;
+  LiveEngine& operator=(const LiveEngine&) = delete;
+
+  /// The current generation's snapshot; never null. The critical section
+  /// is one shared_ptr copy — publishes build the next generation outside
+  /// this lock, so readers never wait on index construction. Hold the
+  /// returned pointer for the whole query (or session operation) — that
+  /// is the torn-read-free contract.
+  std::shared_ptr<const EngineSnapshot> Acquire() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Copies video `id` of `source` (with its stories and shots) into the
+  /// pending delta, remapping ids. External ids are namespaced
+  /// "g<generation>.<ordinal>/<original>" so videos ingested from
+  /// collections that reuse the generator's id scheme never collide with
+  /// the base (or each other) in the document store. Fault site:
+  /// "ingest.append".
+  Status AppendVideoFrom(const VideoCollection& source, VideoId id);
+
+  /// Publishes the pending delta as the next generation and returns its
+  /// id; a no-op returning the current generation when nothing is
+  /// pending. On error the pending delta is retained for retry. Fault
+  /// site: "ingest.publish" (plus the file/manifest sites underneath).
+  Result<uint64_t> Publish();
+
+  /// Compacts the published segments into one (no-op below two
+  /// segments). Fault site: "ingest.merge".
+  Status Merge();
+
+  IngestStats Stats() const;
+
+  /// The served generation's engine health, with the ingest salvage
+  /// counters folded in.
+  HealthReport Health() const;
+
+  const IngestOptions& options() const { return options_; }
+
+  /// The manifest journal path inside `dir` (exposed for tests/tools).
+  static std::string ManifestPath(const std::string& dir);
+  /// The segment file name publish gives generation `gen`.
+  static std::string SegmentName(uint64_t gen);
+
+ private:
+  struct Segment {
+    std::string name;
+    GeneratedCollection data;
+  };
+
+  LiveEngine(GeneratedCollection base, IngestOptions options);
+
+  /// Fresh pending delta bound to the base topic space. Requires mu_.
+  void ResetPendingLocked();
+  /// Materializes base + segments (+ pending when `include_pending`) and
+  /// builds the full engine stack for `generation`. Requires mu_.
+  Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshotLocked(
+      uint64_t generation, bool include_pending) const;
+  /// Replays the manifest and loads the salvageable segments. Requires
+  /// mu_ (called from Open before the object escapes).
+  Status ReplayManifestLocked();
+  bool NeedsMergeLocked() const {
+    return options_.merge_after_segments > 0 &&
+           segments_.size() >= options_.merge_after_segments;
+  }
+  Status MergeLocked();
+  void MergeThreadMain();
+  void UpdateGaugesLocked() const;
+
+  IngestOptions options_;
+  ManifestLog manifest_;
+
+  mutable std::mutex mu_;
+  GeneratedCollection base_;            // guarded by mu_
+  std::vector<Segment> segments_;       // guarded by mu_
+  GeneratedCollection pending_;         // guarded by mu_
+  uint64_t generation_ = 0;             // guarded by mu_
+  uint64_t next_generation_ = 1;        // guarded by mu_
+  uint64_t shots_appended_ = 0;         // guarded by mu_
+  uint64_t publishes_ = 0;              // guarded by mu_
+  uint64_t publish_failures_ = 0;       // guarded by mu_
+  uint64_t merges_ = 0;                 // guarded by mu_
+  uint64_t merge_failures_ = 0;         // guarded by mu_
+  uint64_t orphan_segments_dropped_ = 0;   // guarded by mu_
+  uint64_t torn_segments_dropped_ = 0;     // guarded by mu_
+  uint64_t torn_manifest_chunks_ = 0;      // guarded by mu_
+
+  /// Swaps in `snapshot` as the serving generation; the superseded
+  /// snapshot is released outside snapshot_mu_ (its destructor may tear
+  /// down a whole engine stack).
+  void StoreSnapshot(std::shared_ptr<const EngineSnapshot> snapshot) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_.swap(snapshot);
+    }
+  }
+
+  /// The RCU pivot: a pointer-sized critical section on its own mutex so
+  /// Acquire() never contends with mu_ (which publish/merge hold while
+  /// building). Written under mu_ + snapshot_mu_ (publish), read under
+  /// snapshot_mu_ alone.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;  // guarded by snapshot_mu_
+
+  std::condition_variable merge_cv_;
+  std::thread merge_thread_;
+  bool stop_merge_ = false;  // guarded by mu_
+
+  /// Registry pointers resolved once at construction (obs contract).
+  struct Metrics {
+    obs::Counter* shots_appended;
+    obs::Counter* publishes;
+    obs::Counter* publish_failures;
+    obs::Counter* merges;
+    obs::Counter* merge_failures;
+    obs::Counter* orphan_segments_dropped;
+    obs::Counter* torn_segments_dropped;
+    obs::Counter* torn_manifest_chunks;
+    obs::Gauge* generation;
+    obs::Gauge* segments;
+    obs::Gauge* pending_shots;
+    obs::Gauge* live_shots;
+    obs::LatencyHistogram* publish_us;
+    obs::LatencyHistogram* merge_us;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INGEST_LIVE_ENGINE_H_

@@ -1,0 +1,147 @@
+#include "ivr/ingest/manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "ivr/core/checksum.h"
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace {
+
+constexpr std::string_view kManifestFormat = "manifest";
+
+Status ValidateRecord(const ManifestRecord& record) {
+  for (const std::string& name : record.segments) {
+    if (name.empty() || name.find('\n') != std::string::npos ||
+        name.find('/') != std::string::npos) {
+      return Status::InvalidArgument("bad segment name in manifest: '" +
+                                     name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ManifestLog::RecordToPayload(const ManifestRecord& record) {
+  std::string payload = "generation " + std::to_string(record.generation) +
+                        "\nsegments " +
+                        std::to_string(record.segments.size()) + "\n";
+  for (const std::string& name : record.segments) {
+    payload += name;
+    payload += "\n";
+  }
+  return payload;
+}
+
+Result<ManifestRecord> ManifestLog::PayloadToRecord(
+    const std::string& payload) {
+  const std::vector<std::string> lines = Split(payload, '\n');
+  // Split keeps the empty field after the trailing newline.
+  if (lines.size() < 3) {
+    return Status::Corruption("manifest record too short");
+  }
+  const std::vector<std::string> gen_fields = SplitWhitespace(lines[0]);
+  if (gen_fields.size() != 2 || gen_fields[0] != "generation") {
+    return Status::Corruption("manifest record missing generation header");
+  }
+  IVR_ASSIGN_OR_RETURN(const int64_t generation, ParseInt(gen_fields[1]));
+  if (generation < 0) {
+    return Status::Corruption("negative manifest generation");
+  }
+  const std::vector<std::string> seg_fields = SplitWhitespace(lines[1]);
+  if (seg_fields.size() != 2 || seg_fields[0] != "segments") {
+    return Status::Corruption("manifest record missing segments header");
+  }
+  IVR_ASSIGN_OR_RETURN(const int64_t count, ParseInt(seg_fields[1]));
+  if (count < 0 || static_cast<size_t>(count) + 3 != lines.size()) {
+    return Status::Corruption("manifest segment count disagrees with body");
+  }
+  ManifestRecord record;
+  record.generation = static_cast<uint64_t>(generation);
+  for (int64_t i = 0; i < count; ++i) {
+    const std::string& name = lines[2 + static_cast<size_t>(i)];
+    if (name.empty()) return Status::Corruption("empty manifest segment");
+    record.segments.push_back(name);
+  }
+  return record;
+}
+
+Status ManifestLog::Append(const ManifestRecord& record) {
+  IVR_RETURN_IF_ERROR(ValidateRecord(record));
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ingest.manifest"));
+  const std::string chunk =
+      WrapEnvelope(kManifestFormat, RecordToPayload(record));
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path_ + " for appending: " +
+                           std::strerror(errno));
+  }
+  size_t offset = 0;
+  while (offset < chunk.size()) {
+    const ssize_t written =
+        ::write(fd, chunk.data() + offset, chunk.size() - offset);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError("append failed for " + path_ +
+                                            ": " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    offset += static_cast<size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IOError("fsync failed for " + path_ +
+                                          ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ManifestLog::Rewrite(const ManifestRecord& record) {
+  IVR_RETURN_IF_ERROR(ValidateRecord(record));
+  IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ingest.manifest"));
+  return WriteFileAtomic(
+      path_, WrapEnvelope(kManifestFormat, RecordToPayload(record)));
+}
+
+Result<ManifestLoadResult> ManifestLog::Load() const {
+  ManifestLoadResult result;
+  if (!FileExists(path_)) return result;
+  IVR_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path_));
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t consumed = 0;
+    Result<std::string> payload = UnwrapEnvelopePrefix(
+        kManifestFormat, std::string_view(text).substr(pos), &consumed);
+    if (!payload.ok()) {
+      // Torn or corrupt chunk. Later chunks are unreachable (chunk
+      // boundaries are only known from intact headers), so the replay
+      // stops here; the caller serves the last intact generation.
+      result.torn_chunks += 1;
+      break;
+    }
+    Result<ManifestRecord> record = PayloadToRecord(payload.value());
+    if (!record.ok()) {
+      result.torn_chunks += 1;
+      break;
+    }
+    result.records.push_back(std::move(record).value());
+    pos += consumed;
+  }
+  return result;
+}
+
+}  // namespace ivr

@@ -1,0 +1,70 @@
+#ifndef IVR_INGEST_MANIFEST_H_
+#define IVR_INGEST_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+
+namespace ivr {
+
+/// One generation of the segment set: the COMPLETE list of segment file
+/// names (relative to the ingest directory) that make up the live
+/// collection at `generation`, not a diff. Readers therefore never need
+/// more than the last intact record to reconstruct a generation.
+struct ManifestRecord {
+  uint64_t generation = 0;
+  std::vector<std::string> segments;
+};
+
+/// Outcome of replaying a manifest journal.
+struct ManifestLoadResult {
+  /// Every intact record, in file (= publish) order. Empty for a missing
+  /// or empty manifest.
+  std::vector<ManifestRecord> records;
+  /// Torn/corrupt journal tails dropped (a crash mid-append leaves at
+  /// most one; a mid-file corruption also truncates the replay there).
+  size_t torn_chunks = 0;
+};
+
+/// The ingest manifest: an append-only journal of checksummed envelope
+/// chunks (format "manifest"), one chunk per published generation. The
+/// durability contract mirrors the session log: a chunk is appended with
+/// one write and fsynced before Append returns, so after a crash the
+/// journal is a prefix of intact chunks plus at most one torn tail, which
+/// Load drops (counted) — the reader falls back to the last complete
+/// generation, never a torn one.
+///
+/// Publish orders its writes segment-file-first, manifest-append-last:
+/// the manifest fsync is the commit point of a generation.
+class ManifestLog {
+ public:
+  explicit ManifestLog(std::string path) : path_(std::move(path)) {}
+
+  /// Appends one record as a checksummed chunk and fsyncs. Fault site:
+  /// "ingest.manifest".
+  Status Append(const ManifestRecord& record);
+
+  /// Replaces the whole journal with a single record, crash-safely
+  /// (WriteFileAtomic) — the merge compaction path. Fault site:
+  /// "ingest.manifest".
+  Status Rewrite(const ManifestRecord& record);
+
+  /// Replays the journal. A missing file is an empty (fresh) manifest,
+  /// not an error; unreadable files surface as IOError.
+  Result<ManifestLoadResult> Load() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Serialization of one record (exposed for the corruption sweep).
+  static std::string RecordToPayload(const ManifestRecord& record);
+  static Result<ManifestRecord> PayloadToRecord(const std::string& payload);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_INGEST_MANIFEST_H_

@@ -1,0 +1,27 @@
+#include "ivr/ingest/segment.h"
+
+#include "ivr/core/checksum.h"
+#include "ivr/core/file_util.h"
+#include "ivr/video/serialization.h"
+
+namespace ivr {
+namespace {
+
+constexpr std::string_view kSegmentFormat = "segment";
+
+}  // namespace
+
+Status SaveSegment(const GeneratedCollection& delta,
+                   const std::string& path) {
+  return WriteFileAtomic(
+      path, WrapEnvelope(kSegmentFormat, SerializeCollection(delta)));
+}
+
+Result<GeneratedCollection> LoadSegment(const std::string& path) {
+  IVR_ASSIGN_OR_RETURN(const std::string enveloped, ReadFileToString(path));
+  IVR_ASSIGN_OR_RETURN(const std::string payload,
+                       UnwrapEnvelope(kSegmentFormat, enveloped));
+  return ParseCollection(payload);
+}
+
+}  // namespace ivr

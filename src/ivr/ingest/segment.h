@@ -1,0 +1,30 @@
+#ifndef IVR_INGEST_SEGMENT_H_
+#define IVR_INGEST_SEGMENT_H_
+
+#include <string>
+
+#include "ivr/core/result.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+
+/// An immutable on-disk index segment: a delta batch of whole videos
+/// (with their stories and shots, ids dense and segment-local) frozen by
+/// a publish. The payload reuses the collection text archive; the
+/// envelope format tag "segment" keeps segments and full collection
+/// snapshots from being silently confused. Segments are written once with
+/// WriteFileAtomic and never modified — compaction writes a NEW file and
+/// retires the old ones through the manifest.
+///
+/// Unlike collection snapshots there is no legacy/unenveloped fallback:
+/// a segment that does not verify is torn, and the caller's salvage path
+/// drops it (counted) rather than guessing.
+Status SaveSegment(const GeneratedCollection& delta, const std::string& path);
+
+/// Loads and verifies one segment. kCorruption on any envelope, checksum
+/// or archive damage — never a partial segment.
+Result<GeneratedCollection> LoadSegment(const std::string& path);
+
+}  // namespace ivr
+
+#endif  // IVR_INGEST_SEGMENT_H_

@@ -87,6 +87,8 @@ HttpServer::HttpServer(HttpServerOptions options, Handler handler)
   metrics_.accept_faults = registry.GetCounter("http.accept_faults");
   metrics_.read_faults = registry.GetCounter("http.read_faults");
   metrics_.write_faults = registry.GetCounter("http.write_faults");
+  metrics_.requests_abandoned =
+      registry.GetCounter("http.requests_abandoned");
   metrics_.connections_active =
       registry.GetGauge("http.connections_active");
   metrics_.request_us = registry.GetHistogram("http.request_us");
@@ -159,6 +161,26 @@ Status HttpServer::Start() {
   return Status::OK();
 }
 
+bool HttpServer::Drain(int64_t timeout_ms) {
+  if (!started_.load()) return true;
+  draining_.store(true, std::memory_order_release);
+  loop_.Wakeup();  // the wake handler deregisters the listener
+  const int64_t deadline_us =
+      MonotonicUs() + std::max<int64_t>(0, timeout_ms) * 1000;
+  while (in_flight_.load(std::memory_order_acquire) > 0 &&
+         MonotonicUs() < deadline_us) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint64_t abandoned = in_flight_.load(std::memory_order_acquire);
+  if (abandoned > 0) {
+    stats_.requests_abandoned.fetch_add(abandoned,
+                                        std::memory_order_relaxed);
+    metrics_.requests_abandoned->Inc(abandoned);
+  }
+  Stop();
+  return abandoned == 0;
+}
+
 void HttpServer::Stop() {
   if (!started_.load()) return;
   if (stopping_.exchange(true)) return;  // another Stop owns teardown
@@ -205,6 +227,8 @@ HttpServerStats HttpServer::stats() const {
   out.idle_closed = stats_.idle_closed.load(std::memory_order_relaxed);
   out.overload_closed =
       stats_.overload_closed.load(std::memory_order_relaxed);
+  out.requests_abandoned =
+      stats_.requests_abandoned.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -316,6 +340,10 @@ void HttpServer::ReadFromConnection(Connection* conn) {
 
 void HttpServer::DispatchRequest(Connection* conn) {
   conn->handling = true;
+  if (!conn->counted_in_flight) {
+    conn->counted_in_flight = true;
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  }
   conn->keep_alive = conn->parser.request().keep_alive;
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   metrics_.requests->Inc();
@@ -361,7 +389,25 @@ void HttpServer::WorkerThread() {
   }
 }
 
+void HttpServer::ReleaseInFlight(Connection* conn) {
+  if (!conn->counted_in_flight) return;
+  conn->counted_in_flight = false;
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 void HttpServer::DrainMailbox() {
+  if (draining_.load(std::memory_order_acquire) && !listener_removed_) {
+    // The drain wake: stop accepting, and shed every idle connection —
+    // idle ones can only ever bring NEW requests, so closing them bounds
+    // the drain by work already dispatched or mid-write.
+    listener_removed_ = true;
+    loop_.Del(listen_fd_);
+    std::vector<uint64_t> idle;
+    for (const auto& [id, conn] : connections_) {
+      if (!conn->handling && conn->outbuf.empty()) idle.push_back(id);
+    }
+    for (uint64_t id : idle) CloseConnection(id);
+  }
   std::vector<CompletedResponse> batch;
   {
     std::lock_guard<std::mutex> lock(mailbox_mu_);
@@ -430,11 +476,12 @@ void HttpServer::FinishResponse(Connection* conn) {
   conn->outbuf.clear();
   conn->out_pos = 0;
   if (conn->close_after_write) {
-    CloseConnection(conn->id);
+    CloseConnection(conn->id);  // releases the in-flight slot
     return;
   }
   conn->parser.Reset();
   if (conn->parser.failed()) {
+    ReleaseInFlight(conn);
     stats_.parse_errors.fetch_add(1, std::memory_order_relaxed);
     metrics_.parse_errors->Inc();
     HttpResponse error;
@@ -447,8 +494,16 @@ void HttpServer::FinishResponse(Connection* conn) {
   }
   if (conn->parser.done()) {
     // A pipelined request was already buffered; serve it without waiting
-    // for more socket readability.
+    // for more socket readability. The in-flight slot transfers straight
+    // to it (its bytes were accepted, so a drain must cover it too).
     DispatchRequest(conn);
+    return;
+  }
+  ReleaseInFlight(conn);
+  if (draining_.load(std::memory_order_acquire)) {
+    // No new requests during a drain: close instead of keep-alive
+    // turnaround.
+    CloseConnection(conn->id);
     return;
   }
   (void)loop_.Mod(conn->fd, EPOLLIN | EPOLLRDHUP);
@@ -457,6 +512,9 @@ void HttpServer::FinishResponse(Connection* conn) {
 void HttpServer::CloseConnection(uint64_t conn_id) {
   auto it = connections_.find(conn_id);
   if (it == connections_.end()) return;
+  // A dying connection can't be abandoned-in-flight: its request has
+  // nowhere to respond to any more.
+  ReleaseInFlight(it->second.get());
   loop_.Del(it->second->fd);
   ::close(it->second->fd);
   connections_.erase(it);

@@ -69,6 +69,8 @@ struct HttpServerStats {
   uint64_t write_faults = 0;
   uint64_t idle_closed = 0;
   uint64_t overload_closed = 0;
+  /// Requests still in flight when a Drain() deadline expired.
+  uint64_t requests_abandoned = 0;
 };
 
 /// The epoll front-end: one non-blocking event-loop thread owns the
@@ -105,6 +107,16 @@ class HttpServer {
   /// by the destructor.
   void Stop();
 
+  /// Graceful shutdown: stops accepting new connections and new requests
+  /// (the listener is deregistered on the loop thread; idle keep-alive
+  /// connections are shed), lets every already-dispatched request finish —
+  /// handler execution AND the full response flush — then Stop()s. Returns
+  /// true when everything in flight completed within `timeout_ms`; false
+  /// when the deadline forced abandonment (the count lands in
+  /// stats().requests_abandoned). Safe to call from any thread except the
+  /// loop thread.
+  bool Drain(int64_t timeout_ms);
+
   /// The bound TCP port (the ephemeral choice when options.port was 0).
   /// Valid after Start().
   int port() const { return port_; }
@@ -122,6 +134,11 @@ class HttpServer {
     size_t out_pos = 0;
     bool close_after_write = false;
     bool keep_alive = true;
+    /// True while this connection holds an in_flight_ slot: set at
+    /// dispatch, released when the response is fully flushed (or the slot
+    /// transfers straight to a pipelined follow-up), or when the
+    /// connection dies.
+    bool counted_in_flight = false;
     int64_t last_active_us = 0;
   };
 
@@ -150,6 +167,8 @@ class HttpServer {
   /// After a response fully flushed: keep-alive turnaround or close.
   void FinishResponse(Connection* conn);
   void CloseConnection(uint64_t conn_id);
+  /// Gives back `conn`'s in_flight_ slot, if it holds one.
+  void ReleaseInFlight(Connection* conn);
   void DrainMailbox();
   void SweepIdle();
   void CountResponse(int status);
@@ -162,6 +181,11 @@ class HttpServer {
   std::thread loop_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  /// Dispatched requests whose response has not fully flushed yet.
+  std::atomic<uint64_t> in_flight_{0};
+  /// Loop-thread only: the drain wake already deregistered the listener.
+  bool listener_removed_ = false;
 
   /// Owned by the loop thread exclusively.
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
@@ -190,6 +214,7 @@ class HttpServer {
     std::atomic<uint64_t> write_faults{0};
     std::atomic<uint64_t> idle_closed{0};
     std::atomic<uint64_t> overload_closed{0};
+    std::atomic<uint64_t> requests_abandoned{0};
   };
   AtomicStats stats_;
 
@@ -204,6 +229,7 @@ class HttpServer {
     obs::Counter* accept_faults;
     obs::Counter* read_faults;
     obs::Counter* write_faults;
+    obs::Counter* requests_abandoned;
     obs::Gauge* connections_active;
     obs::LatencyHistogram* request_us;
   };

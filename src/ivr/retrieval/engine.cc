@@ -222,7 +222,7 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
   std::string cache_key;
   uint64_t cache_generation = 0;
   if (cacheable) {
-    cache_key = FusedKey(query, terms, k, options_);
+    cache_key = EpochKey(FusedKey(query, terms, k, options_));
     cache_generation = cache->generation();
     ResultList cached;
     if (cache->Lookup(cache_key, &cached)) {
@@ -357,7 +357,7 @@ Result<ResultList> RetrievalEngine::SearchConcepts(
   std::string key;
   uint64_t generation = 0;
   if (cache != nullptr && !concepts.empty()) {
-    key = ConceptsKey(concepts, k, options_.detector_seed);
+    key = EpochKey(ConceptsKey(concepts, k, options_.detector_seed));
     generation = cache->generation();
     ResultList cached;
     if (cache->Lookup(key, &cached)) return cached;
@@ -375,7 +375,7 @@ ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
   std::string key;
   uint64_t generation = 0;
   if (cache != nullptr && !query.empty()) {
-    key = TermsKey(query, k, options_.scorer);
+    key = EpochKey(TermsKey(query, k, options_.scorer));
     generation = cache->generation();
     ResultList cached;
     if (cache->Lookup(key, &cached)) return cached;
@@ -401,7 +401,7 @@ ResultList RetrievalEngine::SearchVisual(const ColorHistogram& example,
   std::string key;
   uint64_t generation = 0;
   if (cache != nullptr) {
-    key = VisualKey(example, k, options_.visual_similarity);
+    key = EpochKey(VisualKey(example, k, options_.visual_similarity));
     generation = cache->generation();
     ResultList cached;
     if (cache->Lookup(key, &cached)) return cached;
@@ -415,6 +415,11 @@ ResultList RetrievalEngine::SearchVisual(const ColorHistogram& example,
     cache->Insert(key, out, generation);
   }
   return out;
+}
+
+std::string RetrievalEngine::EpochKey(std::string key) const {
+  if (cache_key_epoch_ == 0) return key;
+  return "G" + std::to_string(cache_key_epoch_) + "|" + key;
 }
 
 TermQuery RetrievalEngine::ParseText(const std::string& text) const {

@@ -135,6 +135,16 @@ class RetrievalEngine {
   }
   ResultCache* cache() const { return cache_.get(); }
 
+  /// Scopes this engine's cache keys to an index generation: when
+  /// nonzero, every cache fingerprint is prefixed with "G<epoch>|", so
+  /// engines over DIFFERENT generations of a live collection can share
+  /// one cache without a query pinned to an old generation ever hitting
+  /// (or polluting) a newer generation's entries. Set together with
+  /// AttachCache, before serving. 0 (the default) leaves keys unprefixed
+  /// — identical to the pre-generational format.
+  void SetCacheKeyEpoch(uint64_t epoch) { cache_key_epoch_ = epoch; }
+  uint64_t cache_key_epoch() const { return cache_key_epoch_; }
+
   /// Text-only search over an explicit weighted term query (used by
   /// feedback/expansion components).
   ResultList SearchTerms(const TermQuery& query, size_t k) const;
@@ -182,6 +192,10 @@ class RetrievalEngine {
   /// (Health().concept_index_available == false).
   std::unique_ptr<ConceptIndex> concepts_;
   std::shared_ptr<ResultCache> cache_;
+  uint64_t cache_key_epoch_ = 0;
+
+  /// Applies the generation epoch prefix to a cache fingerprint.
+  std::string EpochKey(std::string key) const;
   mutable std::atomic<uint64_t> degraded_queries_{0};
   mutable std::atomic<uint64_t> text_faults_{0};
   mutable std::atomic<uint64_t> visual_faults_{0};

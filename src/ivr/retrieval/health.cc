@@ -26,6 +26,9 @@ std::string HealthReport::ToString() const {
   add("sessions_active", sessions_active);
   add("sessions_evicted", sessions_evicted);
   add("session_persist_failures", session_persist_failures);
+  add("ingest_orphan_segments_dropped", ingest_orphan_segments_dropped);
+  add("ingest_torn_segments_dropped", ingest_torn_segments_dropped);
+  add("ingest_torn_manifest_chunks", ingest_torn_manifest_chunks);
   add("faults_injected", faults_injected);
   return out;
 }

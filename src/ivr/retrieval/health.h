@@ -45,6 +45,15 @@ struct HealthReport {
   uint64_t sessions_evicted = 0;
   uint64_t session_persist_failures = 0;
 
+  /// Ingest layer (LiveEngine startup salvage): segment files on disk
+  /// that no intact manifest record references, manifest-referenced
+  /// segments dropped as torn/corrupt (the reader fell back to an older
+  /// generation), and torn manifest journal tails dropped on replay.
+  /// Serving stays correct — these count durably lost publishes.
+  uint64_t ingest_orphan_segments_dropped = 0;
+  uint64_t ingest_torn_segments_dropped = 0;
+  uint64_t ingest_torn_manifest_chunks = 0;
+
   /// Snapshot of FaultInjector::Global().num_injected() (0 when chaos is
   /// off): total injected faults across every site, including I/O.
   uint64_t faults_injected = 0;
@@ -54,7 +63,10 @@ struct HealthReport {
     return !concept_index_available || !profile_available ||
            degraded_queries > 0 || feedback_skipped > 0 ||
            profile_reranks_skipped > 0 ||
-           session_persist_failures > 0 || faults_injected > 0;
+           session_persist_failures > 0 ||
+           ingest_orphan_segments_dropped > 0 ||
+           ingest_torn_segments_dropped > 0 ||
+           ingest_torn_manifest_chunks > 0 || faults_injected > 0;
   }
 
   /// Compact single-line "healthy" / key=value summary for tool stderr.

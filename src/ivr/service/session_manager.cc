@@ -57,7 +57,18 @@ std::string SessionManagerStats::ToString() const {
 
 SessionManager::SessionManager(const AdaptiveEngine& engine,
                                SessionManagerOptions options)
-    : engine_(&engine), options_(std::move(options)) {
+    // Non-owning: the classic static-engine contract (engine outlives the
+    // manager), expressed as a resolver with a no-op deleter.
+    : SessionManager(
+          [engine_ptr = &engine] {
+            return std::shared_ptr<const AdaptiveEngine>(
+                engine_ptr, [](const AdaptiveEngine*) {});
+          },
+          std::move(options)) {}
+
+SessionManager::SessionManager(EngineResolver resolver,
+                               SessionManagerOptions options)
+    : resolver_(std::move(resolver)), options_(std::move(options)) {
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.max_sessions > 0) {
     max_per_shard_ = (options_.max_sessions + options_.num_shards - 1) /
@@ -284,10 +295,11 @@ Status SessionManager::BeginSession(const std::string& session_id,
       profile = std::make_shared<const UserProfile>(**found);
     }
   }
-  if (profile == nullptr) profile = engine_->default_profile();
+  const std::shared_ptr<const AdaptiveEngine> engine = resolver_();
+  if (profile == nullptr) profile = engine->default_profile();
 
   auto entry = std::make_shared<Entry>();
-  entry->ctx = engine_->MakeContext(session_id, user_id);
+  entry->ctx = engine->MakeContext(session_id, user_id);
   entry->ctx.profile = std::move(profile);
 
   std::vector<std::shared_ptr<Entry>> victims;
@@ -335,7 +347,10 @@ Result<ResultList> SessionManager::Search(const std::string& session_id,
     return Status::NotFound("session '" + session_id + "' was evicted");
   }
   Touch(entry.get());
-  return engine_->Search(&entry->ctx, query, k);
+  // Pin ONE generation for the whole search: the shared_ptr keeps its
+  // snapshot alive even if a publish lands mid-query.
+  const std::shared_ptr<const AdaptiveEngine> engine = resolver_();
+  return engine->Search(&entry->ctx, query, k);
 }
 
 Status SessionManager::ObserveEvent(const std::string& session_id,
@@ -353,7 +368,8 @@ Status SessionManager::ObserveEvent(const std::string& session_id,
     return Status::NotFound("session '" + session_id + "' was evicted");
   }
   Touch(entry.get());
-  engine_->ObserveEvent(&entry->ctx, event);
+  const std::shared_ptr<const AdaptiveEngine> engine = resolver_();
+  engine->ObserveEvent(&entry->ctx, event);
   if (options_.persist_every_events > 0 &&
       entry->ctx.events.size() - entry->ctx.events_persisted >=
           options_.persist_every_events) {
@@ -445,8 +461,9 @@ SessionManagerStats SessionManager::Stats() const {
 }
 
 HealthReport SessionManager::Health() const {
-  HealthReport report = engine_->engine().Health();
-  const bool wants_profile = engine_->options().use_profile;
+  const std::shared_ptr<const AdaptiveEngine> engine = resolver_();
+  HealthReport report = engine->engine().Health();
+  const bool wants_profile = engine->options().use_profile;
   bool all_profiled = true;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::vector<std::shared_ptr<Entry>> entries;

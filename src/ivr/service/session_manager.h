@@ -105,9 +105,24 @@ struct SessionManagerStats {
 /// state is per-session and the engine is const.
 class SessionManager {
  public:
+  /// Resolves the engine to use for one operation. With a live
+  /// (generational) index, each manager operation resolves the CURRENT
+  /// generation's engine and holds the returned shared_ptr for the whole
+  /// operation — a session naturally straddles publishes, each of its
+  /// operations pinned to one complete generation (session state —
+  /// events, evidence, profile — is engine-independent, and shot ids are
+  /// stable because the live collection is append-only). The resolver
+  /// must be thread-safe and never return null.
+  using EngineResolver =
+      std::function<std::shared_ptr<const AdaptiveEngine>()>;
+
   /// `engine` must outlive the manager. The engine is used exclusively
   /// through its const context-taking API.
   SessionManager(const AdaptiveEngine& engine, SessionManagerOptions options);
+
+  /// Generational variant: every operation asks `resolver` for the
+  /// engine to serve against (see EngineResolver).
+  SessionManager(EngineResolver resolver, SessionManagerOptions options);
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -153,7 +168,6 @@ class SessionManager {
   /// live sessions and the manager's service counters folded in.
   HealthReport Health() const;
 
-  const AdaptiveEngine& engine() const { return *engine_; }
   const SessionManagerOptions& options() const { return options_; }
 
  private:
@@ -201,7 +215,7 @@ class SessionManager {
       Shard* shard, bool need_capacity_victim,
       std::vector<std::shared_ptr<Entry>>* victims);
 
-  const AdaptiveEngine* engine_;
+  EngineResolver resolver_;
   SessionManagerOptions options_;
   size_t max_per_shard_ = 0;  // 0 = unlimited
 

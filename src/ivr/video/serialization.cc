@@ -483,12 +483,16 @@ Result<GeneratedCollection> LoadCollectionRobust(const std::string& path,
         FaultInjector::Global().MaybeFail("collection.load");
     if (!injected.ok()) return injected;
   }
+  // Retries draw on the shared process budget so a sustained I/O outage
+  // across many concurrent loads fails fast instead of storming.
+  RetryOptions retry;
+  retry.budget = &ProcessRetryBudget();
   Result<GeneratedCollection> loaded =
-      RetryOnIOError([&] { return LoadCollection(path); });
+      RetryOnIOError([&] { return LoadCollection(path); }, retry);
   if (loaded.ok() || !loaded.status().IsCorruption()) return loaded;
 
   Result<CollectionRecovery> recovered =
-      RetryOnIOError([&] { return RecoverCollection(path); });
+      RetryOnIOError([&] { return RecoverCollection(path); }, retry);
   if (!recovered.ok()) return loaded.status();
   IVR_LOG(Warning) << "collection " << path
                    << " failed verification (" << loaded.status().ToString()

@@ -12,6 +12,8 @@
 #include "ivr/core/checksum.h"
 #include "ivr/core/file_util.h"
 #include "ivr/iface/session_log.h"
+#include "ivr/ingest/manifest.h"
+#include "ivr/ingest/segment.h"
 #include "ivr/profile/profile_store.h"
 #include "ivr/video/serialization.h"
 
@@ -147,6 +149,72 @@ TEST(CorruptionSweepTest, RecoverCollectionSkipsBadRecords) {
     bool listed = false;
     for (ShotId id : story->shots) listed = listed || id == shot.id;
     EXPECT_TRUE(listed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionSweepTest, SegmentEnvelopeRejectsAllDamage) {
+  const std::string path = ::testing::TempDir() + "/ivr_corrupt.seg";
+  ASSERT_TRUE(SaveSegment(MakeCollection(), path).ok());
+  const std::string bytes = ReadFileToString(path).value();
+  ASSERT_TRUE(LoadSegment(path).ok());
+
+  // Segments have NO salvage fallback of their own: any torn prefix or
+  // flipped bit must fail closed with kCorruption/kIOError so the ingest
+  // replay drops the whole segment (counted) instead of serving half of
+  // a publish.
+  for (size_t cut = 0; cut < bytes.size();
+       cut += std::max<size_t>(1, bytes.size() / 64)) {
+    ASSERT_TRUE(WriteStringToFile(path, bytes.substr(0, cut)).ok());
+    const auto loaded = LoadSegment(path);
+    EXPECT_FALSE(loaded.ok()) << "segment prefix of " << cut << " loaded";
+    EXPECT_TRUE(loaded.status().IsCorruption() ||
+                loaded.status().IsIOError())
+        << loaded.status().ToString();
+  }
+  for (size_t i = 0; i < bytes.size();
+       i += std::max<size_t>(1, bytes.size() / 64)) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x20);
+    ASSERT_TRUE(WriteStringToFile(path, mutated).ok());
+    EXPECT_FALSE(LoadSegment(path).ok())
+        << "segment bit flip at byte " << i << " went undetected";
+  }
+
+  // The format tag is load-bearing: a full collection snapshot is not a
+  // segment, even though both use the same archive payload.
+  ASSERT_TRUE(SaveCollection(MakeCollection(), path).ok());
+  EXPECT_FALSE(LoadSegment(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CorruptionSweepTest, ManifestEnvelopeDamageNeverCrashesReplay) {
+  const std::string path = ::testing::TempDir() + "/ivr_corrupt_manifest";
+  std::remove(path.c_str());
+  ManifestLog log(path);
+  ManifestRecord record;
+  record.generation = 1;
+  record.segments = {"seg-000001.seg"};
+  ASSERT_TRUE(log.Append(record).ok());
+  record.generation = 2;
+  record.segments.push_back("seg-000002.seg");
+  ASSERT_TRUE(log.Append(record).ok());
+  const std::string bytes = ReadFileToString(path).value();
+
+  // Bit-flip every byte of the journal: replay must stay a clean load
+  // that stops trusting the file at the damage point. Whenever a record
+  // was lost, the torn-chunk counter says so — damage is never silent.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x08);
+    ASSERT_TRUE(WriteStringToFile(path, mutated).ok());
+    const auto loaded = log.Load();
+    ASSERT_TRUE(loaded.ok()) << "flip at byte " << i;
+    EXPECT_LE(loaded->records.size(), 2u);
+    if (loaded->records.size() < 2) {
+      EXPECT_GE(loaded->torn_chunks, 1u)
+          << "flip at byte " << i << " silently dropped a record";
+    }
   }
   std::remove(path.c_str());
 }

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "ivr/adaptive/adaptive_engine.h"
 #include "ivr/core/fault_injection.h"
@@ -288,6 +290,73 @@ TEST_F(HttpChaosTest, GarbageFloodGetsCleanErrorsAndCleanAccounting) {
   // Every chaos connection above is gone; only the liveness probe's own
   // connection may linger. Active never goes negative.
   EXPECT_LE(server_->stats().connections_active, 1u);
+}
+
+TEST_F(HttpChaosTest, DrainFinishesEveryAcceptedRequest) {
+  // A deliberately slow handler so Drain() arrives while requests are
+  // mid-flight: the graceful-shutdown contract is that every dispatched
+  // request still gets its complete response.
+  std::atomic<int> handled{0};
+  HttpServer server(HttpServerOptions(), [&handled](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.status = 200;
+    response.body = "slow but served\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // An idle keep-alive connection: drain sheds it immediately and it
+  // must NOT count as an abandoned request.
+  HttpClient idle;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", server.port()).ok());
+
+  constexpr int kClients = 4;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &completed] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+      const Result<HttpClientResponse> response = client.Get("/any");
+      if (response.ok() && response->status == 200) {
+        completed.fetch_add(1);
+      }
+    });
+  }
+  // Let every request reach its handler, then drain under a generous
+  // deadline: all in-flight work must finish and flush.
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  EXPECT_TRUE(server.Drain(10000));
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(completed.load(), kClients);
+  EXPECT_EQ(handled.load(), kClients);
+  EXPECT_EQ(server.stats().requests_abandoned, 0u);
+  // Drain stopped the server once empty: the listener is gone.
+  HttpClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
+}
+
+TEST_F(HttpChaosTest, DrainDeadlineCountsAbandonedRequests) {
+  HttpServer server(HttpServerOptions(), [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    HttpResponse response;
+    response.status = 200;
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::thread client_thread([&server] {
+    HttpClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+    (void)client.Get("/too-slow");  // outlives the drain deadline
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  // The deadline passes with the handler still asleep: Drain reports the
+  // truth instead of pretending the shutdown was clean.
+  EXPECT_FALSE(server.Drain(10));
+  EXPECT_GE(server.stats().requests_abandoned, 1u);
+  client_thread.join();
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Crash-atomicity sweep for Publish(): reconstruct every on-disk state a
+// kill mid-publish can leave — the new segment file cut at any byte, the
+// manifest append cut at any byte — and prove a reload serves EXACTLY
+// generation G or G+1, bit-identical to the corresponding clean build,
+// with the salvage counters accounting for every dropped file.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+#include "ivr/ingest/live_engine.h"
+#include "ivr/ingest/manifest.h"
+#include "ivr/video/generator.h"
+
+namespace ivr {
+namespace {
+
+GeneratedCollection MakeBase() {
+  GeneratorOptions options;
+  options.seed = 2008;
+  options.num_videos = 5;
+  options.num_topics = 5;
+  return GenerateCollection(options).value();
+}
+
+GeneratedCollection MakeStream() {
+  GeneratorOptions options;
+  options.seed = 41;
+  options.num_videos = 2;
+  options.num_topics = 5;
+  return GenerateCollection(options).value();
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  if (FileExists(dir)) {
+    const auto entries = ListDirectory(dir);
+    if (entries.ok()) {
+      for (const std::string& entry : *entries) {
+        (void)RemoveFile(dir + "/" + entry);
+      }
+    }
+  }
+  return dir;
+}
+
+std::string Ranking(const EngineSnapshot& snapshot) {
+  const SearchTopic& topic = snapshot.data->topics.topics.at(0);
+  Query query;
+  query.text = topic.title;
+  query.examples = topic.examples;
+  const ResultList list = snapshot.engine->Search(query, 10);
+  std::string out;
+  for (size_t i = 0; i < list.size(); ++i) {
+    out += StrFormat("%u:%.17g ", list.at(i).shot, list.at(i).score);
+  }
+  return out;
+}
+
+/// Writes one reconstructed crash state into `dir`.
+void MaterializeState(const std::string& dir, const std::string& seg1,
+                      const std::string& seg1_bytes,
+                      const std::string& seg2,
+                      const std::string& seg2_bytes,
+                      const std::string& manifest_bytes) {
+  ASSERT_TRUE(MakeDirectory(dir).ok());
+  const auto entries = ListDirectory(dir);
+  if (entries.ok()) {
+    for (const std::string& entry : *entries) {
+      (void)RemoveFile(dir + "/" + entry);
+    }
+  }
+  ASSERT_TRUE(WriteStringToFile(dir + "/" + seg1, seg1_bytes).ok());
+  if (!seg2_bytes.empty()) {
+    ASSERT_TRUE(WriteStringToFile(dir + "/" + seg2, seg2_bytes).ok());
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(LiveEngine::ManifestPath(dir), manifest_bytes).ok());
+}
+
+TEST(IngestKillPublishTest, EveryCrashPointServesExactlyGOrGPlusOne) {
+  // Stage the real history once: generation 1 (video 0), then
+  // generation 2 (video 1), capturing the byte-level file states.
+  const std::string stage = FreshDir("kill_stage");
+  const GeneratedCollection stream = MakeStream();
+  const std::string seg1 = LiveEngine::SegmentName(1);
+  const std::string seg2 = LiveEngine::SegmentName(2);
+  std::string ranking_g1;
+  std::string ranking_g2;
+  {
+    IngestOptions options;
+    options.dir = stage;
+    auto live = LiveEngine::Open(MakeBase(), options).value();
+    ASSERT_TRUE(live->AppendVideoFrom(stream.collection, 0).ok());
+    ASSERT_TRUE(live->Publish().ok());
+    ranking_g1 = Ranking(*live->Acquire());
+    ASSERT_TRUE(live->AppendVideoFrom(stream.collection, 1).ok());
+    ASSERT_TRUE(live->Publish().ok());
+    ranking_g2 = Ranking(*live->Acquire());
+  }
+  ASSERT_NE(ranking_g1, ranking_g2);
+  const std::string seg1_bytes =
+      ReadFileToString(stage + "/" + seg1).value();
+  const std::string seg2_bytes =
+      ReadFileToString(stage + "/" + seg2).value();
+  const std::string manifest_after =
+      ReadFileToString(LiveEngine::ManifestPath(stage)).value();
+  // The manifest is append-only, so the pre-publish journal is a strict
+  // prefix of the post-publish one. Find its length by replaying: the
+  // first record's chunk ends where the second begins — recover it by
+  // binary-searching the cut that still loads one record.
+  size_t manifest_g1_size = 0;
+  {
+    ManifestLog probe(LiveEngine::ManifestPath(stage));
+    const auto loaded = probe.Load();
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->records.size(), 2u);
+    for (size_t cut = 1; cut < manifest_after.size(); ++cut) {
+      const std::string probe_path =
+          ::testing::TempDir() + "/kill_probe_manifest";
+      ASSERT_TRUE(WriteStringToFile(probe_path,
+                                    manifest_after.substr(0, cut)).ok());
+      const auto partial = ManifestLog(probe_path).Load();
+      ASSERT_TRUE(partial.ok());
+      if (partial->records.size() == 1 && partial->torn_chunks == 0) {
+        manifest_g1_size = cut;  // keep the largest clean 1-record prefix
+      }
+    }
+    ASSERT_GT(manifest_g1_size, 0u);
+  }
+  const std::string manifest_g1 = manifest_after.substr(0, manifest_g1_size);
+
+  const std::string dir = FreshDir("kill_sweep");
+  size_t served_g1 = 0;
+  size_t served_g2 = 0;
+
+  const auto check_state = [&](const std::string& seg2_state,
+                               const std::string& manifest_state,
+                               const std::string& label) {
+    MaterializeState(dir, seg1, seg1_bytes, seg2, seg2_state,
+                     manifest_state);
+    IngestOptions options;
+    options.dir = dir;
+    auto live = LiveEngine::Open(MakeBase(), options);
+    ASSERT_TRUE(live.ok()) << label << ": " << live.status().ToString();
+    const auto snapshot = (*live)->Acquire();
+    const IngestStats stats = (*live)->Stats();
+    if (snapshot->generation == 1) {
+      ++served_g1;
+      EXPECT_EQ(Ranking(*snapshot), ranking_g1) << label;
+      // The half-written generation-2 artifacts are fully accounted for:
+      // a seg2 file on disk was dropped as exactly one orphan or one torn
+      // segment, never both, never silently.
+      const uint64_t dropped =
+          stats.orphan_segments_dropped + stats.torn_segments_dropped;
+      EXPECT_EQ(dropped, seg2_state.empty() ? 0u : 1u) << label;
+    } else {
+      ASSERT_EQ(snapshot->generation, 2u) << label;
+      ++served_g2;
+      EXPECT_EQ(Ranking(*snapshot), ranking_g2) << label;
+      EXPECT_EQ(stats.orphan_segments_dropped, 0u) << label;
+      EXPECT_EQ(stats.torn_segments_dropped, 0u) << label;
+    }
+  };
+
+  // Phase 1 — killed while writing the segment file (manifest still at
+  // generation 1): sweep ~24 cuts of seg2 plus the empty and full states.
+  std::vector<size_t> seg_cuts = {0, 1, seg2_bytes.size() - 1,
+                                  seg2_bytes.size()};
+  for (size_t i = 1; i <= 24; ++i) {
+    seg_cuts.push_back(i * seg2_bytes.size() / 25);
+  }
+  for (const size_t cut : seg_cuts) {
+    check_state(seg2_bytes.substr(0, cut), manifest_g1,
+                StrFormat("seg cut %zu/%zu", cut, seg2_bytes.size()));
+  }
+
+  // Phase 2 — segment complete, killed during the manifest append: sweep
+  // EVERY byte of the appended chunk.
+  for (size_t cut = manifest_g1_size; cut <= manifest_after.size(); ++cut) {
+    check_state(seg2_bytes, manifest_after.substr(0, cut),
+                StrFormat("manifest cut %zu/%zu", cut,
+                          manifest_after.size()));
+  }
+
+  // Both outcomes actually occurred in the sweep, and nothing else did.
+  EXPECT_GT(served_g1, 0u);
+  EXPECT_GT(served_g2, 0u);
+  // Only the complete manifest state serves generation 2.
+  EXPECT_EQ(served_g2, 1u);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -1,0 +1,155 @@
+// ManifestLog: the ingest commit journal. Append/Load round trips,
+// Rewrite compaction, torn-tail salvage, and payload validation.
+
+#include "ivr/ingest/manifest.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
+
+namespace ivr {
+namespace {
+
+std::string TempManifest(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+ManifestRecord Record(uint64_t generation,
+                      std::vector<std::string> segments) {
+  ManifestRecord record;
+  record.generation = generation;
+  record.segments = std::move(segments);
+  return record;
+}
+
+TEST(ManifestLogTest, MissingFileLoadsEmpty) {
+  ManifestLog log(TempManifest("manifest_missing"));
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->records.empty());
+  EXPECT_EQ(loaded->torn_chunks, 0u);
+}
+
+TEST(ManifestLogTest, AppendLoadRoundTripsInOrder) {
+  ManifestLog log(TempManifest("manifest_roundtrip"));
+  ASSERT_TRUE(log.Append(Record(1, {"seg-000001.seg"})).ok());
+  ASSERT_TRUE(
+      log.Append(Record(2, {"seg-000001.seg", "seg-000002.seg"})).ok());
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_EQ(loaded->records[0].generation, 1u);
+  EXPECT_EQ(loaded->records[0].segments,
+            (std::vector<std::string>{"seg-000001.seg"}));
+  EXPECT_EQ(loaded->records[1].generation, 2u);
+  EXPECT_EQ(loaded->records[1].segments,
+            (std::vector<std::string>{"seg-000001.seg", "seg-000002.seg"}));
+  EXPECT_EQ(loaded->torn_chunks, 0u);
+}
+
+TEST(ManifestLogTest, RecordsCarryTheFullListNotADiff) {
+  // An empty segment list is a legal record (a generation that serves
+  // only the base), and later records must stand alone.
+  ManifestLog log(TempManifest("manifest_fulllist"));
+  ASSERT_TRUE(log.Append(Record(1, {})).ok());
+  ASSERT_TRUE(log.Append(Record(2, {"a.seg", "b.seg"})).ok());
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_TRUE(loaded->records[0].segments.empty());
+  EXPECT_EQ(loaded->records[1].segments.size(), 2u);
+}
+
+TEST(ManifestLogTest, RewriteReplacesTheJournal) {
+  ManifestLog log(TempManifest("manifest_rewrite"));
+  ASSERT_TRUE(log.Append(Record(1, {"a.seg"})).ok());
+  ASSERT_TRUE(log.Append(Record(2, {"a.seg", "b.seg"})).ok());
+  ASSERT_TRUE(log.Rewrite(Record(2, {"merged.seg"})).ok());
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].generation, 2u);
+  EXPECT_EQ(loaded->records[0].segments,
+            (std::vector<std::string>{"merged.seg"}));
+}
+
+TEST(ManifestLogTest, TornTailDropsOnlyTheTail) {
+  const std::string path = TempManifest("manifest_torn");
+  ManifestLog log(path);
+  ASSERT_TRUE(log.Append(Record(1, {"a.seg"})).ok());
+  const size_t intact_size = ReadFileToString(path).value().size();
+  ASSERT_TRUE(log.Append(Record(2, {"a.seg", "b.seg"})).ok());
+  const std::string bytes = ReadFileToString(path).value();
+
+  // Cut the file at every offset strictly inside the second chunk: the
+  // first record must always survive, the torn tail must always be
+  // counted, and nothing may crash.
+  for (size_t cut = intact_size + 1; cut < bytes.size(); ++cut) {
+    ASSERT_TRUE(WriteStringToFile(path, bytes.substr(0, cut)).ok());
+    const Result<ManifestLoadResult> loaded = log.Load();
+    ASSERT_TRUE(loaded.ok()) << "cut at " << cut;
+    ASSERT_EQ(loaded->records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(loaded->records[0].generation, 1u);
+    EXPECT_EQ(loaded->torn_chunks, 1u) << "cut at " << cut;
+  }
+}
+
+TEST(ManifestLogTest, MidFileCorruptionTruncatesReplayThere) {
+  const std::string path = TempManifest("manifest_flip");
+  ManifestLog log(path);
+  ASSERT_TRUE(log.Append(Record(1, {"a.seg"})).ok());
+  const size_t first_size = ReadFileToString(path).value().size();
+  ASSERT_TRUE(log.Append(Record(2, {"b.seg"})).ok());
+  std::string bytes = ReadFileToString(path).value();
+  bytes[first_size / 2] ^= 0x40;  // damage the FIRST chunk
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  // The reader cannot trust anything at or after the damage.
+  EXPECT_TRUE(loaded->records.empty());
+  EXPECT_EQ(loaded->torn_chunks, 1u);
+}
+
+TEST(ManifestLogTest, PayloadRoundTripAndValidation) {
+  const ManifestRecord record = Record(7, {"x.seg", "y.seg"});
+  const std::string payload = ManifestLog::RecordToPayload(record);
+  const Result<ManifestRecord> parsed = ManifestLog::PayloadToRecord(payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->generation, 7u);
+  EXPECT_EQ(parsed->segments, record.segments);
+
+  EXPECT_FALSE(ManifestLog::PayloadToRecord("not a manifest").ok());
+  EXPECT_FALSE(ManifestLog::PayloadToRecord("").ok());
+}
+
+TEST(ManifestLogTest, RejectsSegmentNamesThatEscapeTheDirectory) {
+  ManifestLog log(TempManifest("manifest_names"));
+  EXPECT_FALSE(log.Append(Record(1, {"../evil.seg"})).ok());
+  EXPECT_FALSE(log.Append(Record(1, {"a\nb.seg"})).ok());
+  EXPECT_FALSE(log.Rewrite(Record(1, {"sub/dir.seg"})).ok());
+}
+
+TEST(ManifestLogTest, FaultSiteFailsAppendCleanly) {
+  const std::string path = TempManifest("manifest_fault");
+  ManifestLog log(path);
+  ASSERT_TRUE(log.Append(Record(1, {"a.seg"})).ok());
+  {
+    ScopedFaultInjection faults("ingest.manifest:1.0", 1);
+    EXPECT_TRUE(log.Append(Record(2, {"b.seg"})).IsIOError());
+    EXPECT_TRUE(log.Rewrite(Record(2, {"b.seg"})).IsIOError());
+  }
+  // The journal is untouched by the failed operations.
+  const Result<ManifestLoadResult> loaded = log.Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->records.size(), 1u);
+  EXPECT_EQ(loaded->records[0].generation, 1u);
+}
+
+}  // namespace
+}  // namespace ivr

@@ -84,5 +84,100 @@ TEST(RetryTest, ResultErrorCodeDrivesTheDecision) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RetryTest, JitterIsDeterministicPerSeed) {
+  const auto schedule = [](uint64_t seed) {
+    std::vector<int64_t> slept;
+    RetryOptions options = NoSleep(&slept);
+    options.max_attempts = 5;
+    options.jitter = 0.5;
+    options.jitter_seed = seed;
+    int calls = 0;
+    (void)RetryOnIOError(
+        [&calls] {
+          ++calls;
+          return Status::IOError("down");
+        },
+        options);
+    EXPECT_EQ(calls, 5);
+    return slept;
+  };
+  const std::vector<int64_t> first = schedule(7);
+  // Same seed -> the exact same schedule, run after run.
+  EXPECT_EQ(first, schedule(7));
+  // A differently-seeded worker desynchronizes.
+  EXPECT_NE(first, schedule(8));
+  // Jitter only stretches: every delay stays within [base, base*1.5].
+  const std::vector<int64_t> base = {5, 10, 20, 40};
+  ASSERT_EQ(first.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_GE(first[i], base[i]);
+    EXPECT_LE(first[i], base[i] + base[i] / 2);
+  }
+}
+
+TEST(RetryTest, ZeroJitterKeepsTheLegacySchedule) {
+  std::vector<int64_t> slept;
+  RetryOptions options = NoSleep(&slept);
+  options.jitter = 0.0;
+  options.jitter_seed = 123;  // ignored when jitter is off
+  (void)RetryOnIOError([] { return Status::IOError("down"); }, options);
+  EXPECT_EQ(slept, (std::vector<int64_t>{5, 10}));
+}
+
+TEST(RetryTest, ExhaustedBudgetFailsFastWithTheLastError) {
+  RetryBudget budget(RetryBudget::Options{1.0, 0.0});
+  std::vector<int64_t> slept;
+  RetryOptions options = NoSleep(&slept);
+  options.max_attempts = 5;
+  options.budget = &budget;
+  int calls = 0;
+  const Status status = RetryOnIOError(
+      [&calls] {
+        ++calls;
+        return Status::IOError("storming");
+      },
+      options);
+  // One token bought one retry; the second retry was denied and the
+  // caller got the last error immediately instead of burning attempts.
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(slept.size(), 1u);
+  EXPECT_EQ(budget.retries_allowed(), 1u);
+  EXPECT_EQ(budget.retries_denied(), 1u);
+}
+
+TEST(RetryTest, InitialCallsRefillTheBudget) {
+  RetryBudget budget(RetryBudget::Options{2.0, 0.5});
+  ASSERT_TRUE(budget.TryConsume());
+  ASSERT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());  // empty
+  // Two healthy calls deposit 0.5 each: one retry affordable again.
+  RetryOptions options = NoSleep();
+  options.budget = &budget;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(RetryOnIOError([] { return Status::OK(); }, options).ok());
+  }
+  EXPECT_TRUE(budget.TryConsume());
+  // Deposits never exceed capacity.
+  for (int i = 0; i < 100; ++i) budget.RecordCall();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+}
+
+TEST(RetryTest, BudgetDoesNotGateSuccessfulWork) {
+  RetryBudget budget(RetryBudget::Options{0.0, 0.0});  // always empty
+  RetryOptions options = NoSleep();
+  options.budget = &budget;
+  int calls = 0;
+  const Status status = RetryOnIOError(
+      [&calls] {
+        ++calls;
+        return Status::OK();
+      },
+      options);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(budget.retries_denied(), 0u);
+}
+
 }  // namespace
 }  // namespace ivr

@@ -7,6 +7,9 @@
 //             [--persist-dir DIR] [--persist-every N]
 //             [--cache-mb N] [--cache-shards S]
 //             [--max-conns 1024] [--idle-timeout-ms N]
+//             [--drain-timeout-ms 2000]
+//             [--ingest-dir DIR] [--ingest-stream s.ivr]
+//             [--ingest-every 5] [--ingest-delay-ms 0] [--merge-after N]
 //             [--fault-spec SPEC] [--fault-seed N]
 //             [--stats-json PATH] [--trace PATH]
 //
@@ -21,8 +24,22 @@
 // --port 0 binds an ephemeral port; the chosen port is printed to stdout
 // ("listening on 127.0.0.1:PORT") and, with --port-file, written there
 // atomically so scripts can wait for it. --threads sizes the handler
-// worker pool (the event loop is always one extra thread). SIGINT/SIGTERM
-// shut down cleanly: drain workers, close connections, write --stats-json.
+// worker pool (the event loop is always one extra thread).
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes immediately,
+// every request already accepted finishes (handler + full response flush)
+// under the --drain-timeout-ms deadline, then the process exits 0 and
+// writes --stats-json. stats.requests_abandoned counts any request the
+// deadline cut off.
+//
+// --ingest-dir switches the backend to a generational LiveEngine rooted
+// at DIR (segments + MANIFEST journal; replayed on startup with salvage).
+// --ingest-stream additionally streams the videos of a second collection
+// into the live index on a background thread, publishing a new generation
+// every --ingest-every videos (pacing --ingest-delay-ms between appends),
+// while queries keep being served — each request pinned to one complete
+// generation. --merge-after N compacts segments in the background once N
+// accumulate.
 //
 // Without --collection a standard benchmark collection is generated in
 // process (same as ivr_serve_sim).
@@ -40,6 +57,7 @@
 #include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
+#include "ivr/ingest/live_engine.h"
 #include "ivr/net/http_server.h"
 #include "ivr/net/service_handler.h"
 #include "ivr/obs/report.h"
@@ -63,8 +81,9 @@ int Main(int argc, char** argv) {
   const Status flags_ok = args->RejectUnknown(
       {"collection", "port", "port-file", "threads", "shards",
        "max-sessions", "ttl-ms", "persist-dir", "persist-every", "cache-mb",
-       "cache-shards", "max-conns", "idle-timeout-ms", "fault-spec",
-       "fault-seed", "stats-json", "trace"});
+       "cache-shards", "max-conns", "idle-timeout-ms", "drain-timeout-ms",
+       "ingest-dir", "ingest-stream", "ingest-every", "ingest-delay-ms",
+       "merge-after", "fault-spec", "fault-seed", "stats-json", "trace"});
   if (!flags_ok.ok()) {
     std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
     return 2;
@@ -105,21 +124,58 @@ int Main(int argc, char** argv) {
     g = std::move(loaded).value();
   }
 
-  Result<std::unique_ptr<RetrievalEngine>> engine_result =
-      RetrievalEngine::Build(g.collection);
-  if (!engine_result.ok()) {
-    std::fprintf(stderr, "%s\n", engine_result.status().ToString().c_str());
-    return 1;
-  }
-  auto engine = std::move(engine_result).value();
   Result<std::shared_ptr<ResultCache>> cache = ResultCacheFromArgs(*args);
   if (!cache.ok()) {
     std::fprintf(stderr, "%s\n", cache.status().ToString().c_str());
     return 2;
   }
-  engine->AttachCache(*cache);
-  AdaptiveOptions adaptive_options;
-  const AdaptiveEngine adaptive(*engine, adaptive_options, nullptr);
+
+  const std::string ingest_dir = args->GetString("ingest-dir");
+  const std::string ingest_stream = args->GetString("ingest-stream");
+  if (!ingest_stream.empty() && ingest_dir.empty()) {
+    std::fprintf(stderr, "--ingest-stream requires --ingest-dir\n");
+    return 2;
+  }
+
+  // Exactly one backend is populated: a static engine stack, or a
+  // generational LiveEngine whose current generation the manager resolves
+  // per operation.
+  std::unique_ptr<RetrievalEngine> engine;
+  std::unique_ptr<const AdaptiveEngine> adaptive;
+  std::unique_ptr<LiveEngine> live;
+  if (ingest_dir.empty()) {
+    Result<std::unique_ptr<RetrievalEngine>> engine_result =
+        RetrievalEngine::Build(g.collection);
+    if (!engine_result.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   engine_result.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(engine_result).value();
+    engine->AttachCache(*cache);
+    AdaptiveOptions adaptive_options;
+    adaptive = std::make_unique<const AdaptiveEngine>(
+        *engine, adaptive_options, nullptr);
+  } else {
+    IngestOptions ingest_options;
+    ingest_options.dir = ingest_dir;
+    ingest_options.cache = *cache;
+    ingest_options.merge_after_segments = static_cast<size_t>(
+        args->GetInt("merge-after", 0).value_or(0));
+    ingest_options.background_merge =
+        ingest_options.merge_after_segments > 0;
+    Result<std::unique_ptr<LiveEngine>> live_result =
+        LiveEngine::Open(std::move(g), ingest_options);
+    if (!live_result.ok()) {
+      std::fprintf(stderr, "%s\n", live_result.status().ToString().c_str());
+      return 1;
+    }
+    live = std::move(live_result).value();
+    std::fprintf(stderr,
+                 "ingest: serving generation %llu from %s (%zu shots)\n",
+                 static_cast<unsigned long long>(live->Stats().generation),
+                 ingest_dir.c_str(), live->Stats().live_shots);
+  }
 
   SessionManagerOptions manager_options;
   manager_options.num_shards =
@@ -130,8 +186,16 @@ int Main(int argc, char** argv) {
   manager_options.persist_dir = args->GetString("persist-dir");
   manager_options.persist_every_events =
       static_cast<size_t>(args->GetInt("persist-every", 0).value_or(0));
-  SessionManager manager(adaptive, manager_options);
-  net::ServiceHandler handler(&manager);
+  std::unique_ptr<SessionManager> manager;
+  if (live != nullptr) {
+    LiveEngine* live_ptr = live.get();
+    manager = std::make_unique<SessionManager>(
+        [live_ptr] { return live_ptr->Acquire()->adaptive; },
+        manager_options);
+  } else {
+    manager = std::make_unique<SessionManager>(*adaptive, manager_options);
+  }
+  net::ServiceHandler handler(manager.get());
 
   net::HttpServerOptions server_options;
   server_options.port =
@@ -166,12 +230,82 @@ int Main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // The streaming thread: append the stream collection's videos one at a
+  // time, publishing a new generation every --ingest-every. Queries keep
+  // flowing the whole time; each is pinned to one complete generation.
+  std::thread ingest_thread;
+  if (!ingest_stream.empty()) {
+    Result<GeneratedCollection> stream_result =
+        LoadCollectionRobust(ingest_stream);
+    if (!stream_result.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   stream_result.status().ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+    const size_t publish_every = static_cast<size_t>(
+        std::max<int64_t>(1, args->GetInt("ingest-every", 5).value_or(5)));
+    const int64_t delay_ms =
+        args->GetInt("ingest-delay-ms", 0).value_or(0);
+    LiveEngine* live_ptr = live.get();
+    ingest_thread = std::thread([live_ptr, publish_every, delay_ms,
+                                 stream = std::move(stream_result).value()] {
+      size_t since_publish = 0;
+      const size_t total = stream.collection.num_videos();
+      for (size_t i = 0; i < total && !g_shutdown.load(); ++i) {
+        const Status appended = live_ptr->AppendVideoFrom(
+            stream.collection, static_cast<VideoId>(i));
+        if (!appended.ok()) {
+          std::fprintf(stderr, "ingest: append %zu: %s\n", i,
+                       appended.ToString().c_str());
+          continue;
+        }
+        if (++since_publish >= publish_every) {
+          const Result<uint64_t> published = live_ptr->Publish();
+          if (published.ok()) {
+            since_publish = 0;
+          } else {
+            std::fprintf(stderr, "ingest: publish: %s\n",
+                         published.status().ToString().c_str());
+          }
+        }
+        if (delay_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
+      }
+      // Flush the tail (retried: a fault-injected publish keeps the
+      // pending delta).
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        const Result<uint64_t> published = live_ptr->Publish();
+        if (published.ok()) break;
+        std::fprintf(stderr, "ingest: final publish: %s\n",
+                     published.status().ToString().c_str());
+      }
+      const IngestStats s = live_ptr->Stats();
+      std::fprintf(stderr,
+                   "ingest: done — generation %llu, %llu shots appended, "
+                   "%llu publishes (%llu failed)\n",
+                   static_cast<unsigned long long>(s.generation),
+                   static_cast<unsigned long long>(s.shots_appended),
+                   static_cast<unsigned long long>(s.publishes),
+                   static_cast<unsigned long long>(s.publish_failures));
+    });
+  }
+
   while (!g_shutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.Stop();
+  const int64_t drain_ms =
+      args->GetInt("drain-timeout-ms", 2000).value_or(2000);
+  const bool drained = server.Drain(drain_ms);
+  if (ingest_thread.joinable()) ingest_thread.join();
 
   const net::HttpServerStats stats = server.stats();
+  if (!drained) {
+    std::fprintf(stderr, "drain: deadline expired, %llu abandoned\n",
+                 static_cast<unsigned long long>(stats.requests_abandoned));
+  }
   std::printf(
       "served %llu requests on %llu connections "
       "(2xx %llu, 4xx %llu, 5xx %llu, parse errors %llu)\n",
@@ -181,7 +315,8 @@ int Main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.responses_4xx),
       static_cast<unsigned long long>(stats.responses_5xx),
       static_cast<unsigned long long>(stats.parse_errors));
-  const HealthReport health = manager.Health();
+  const HealthReport health =
+      live != nullptr ? live->Health() : manager->Health();
   if (health.degraded()) {
     std::fprintf(stderr, "%s\n", health.ToString().c_str());
   }
