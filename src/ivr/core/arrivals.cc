@@ -1,0 +1,62 @@
+#include "ivr/core/arrivals.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ivr {
+
+PoissonArrivalStream::PoissonArrivalStream(double rate_per_sec,
+                                           uint64_t seed)
+    : rate_per_sec_(rate_per_sec > 0.0 ? rate_per_sec : 1.0), rng_(seed) {}
+
+int64_t PoissonArrivalStream::NextUs() {
+  // Accumulate in seconds (double) and convert once per arrival: summing
+  // already-truncated microsecond gaps would bias the empirical rate low.
+  elapsed_sec_ += rng_.Exponential(rate_per_sec_);
+  return static_cast<int64_t>(elapsed_sec_ * 1e6);
+}
+
+std::vector<int64_t> PoissonScheduleUs(double rate_per_sec,
+                                       int64_t duration_us, uint64_t seed) {
+  std::vector<int64_t> schedule;
+  if (duration_us <= 0) return schedule;
+  PoissonArrivalStream stream(rate_per_sec, seed);
+  for (int64_t t = stream.NextUs(); t < duration_us; t = stream.NextUs()) {
+    schedule.push_back(t);
+  }
+  return schedule;
+}
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadySleepUs(int64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+OpenLoopPacer::OpenLoopPacer() : now_(SteadyNowUs), sleep_(SteadySleepUs) {}
+
+OpenLoopPacer::OpenLoopPacer(NowFn now, SleepFn sleep)
+    : now_(std::move(now)), sleep_(std::move(sleep)) {}
+
+void OpenLoopPacer::Start() { origin_us_ = now_(); }
+
+int64_t OpenLoopPacer::WaitUntil(int64_t offset_us) {
+  const int64_t deadline = origin_us_ + offset_us;
+  const int64_t now = now_();
+  if (now >= deadline) return now - deadline;
+  // One sleep computed against the absolute deadline. Even if the sleep
+  // function oversleeps, the next WaitUntil re-anchors on the schedule
+  // origin, so lateness never compounds.
+  sleep_(deadline - now);
+  return 0;
+}
+
+}  // namespace ivr

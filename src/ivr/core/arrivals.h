@@ -1,0 +1,84 @@
+#ifndef IVR_CORE_ARRIVALS_H_
+#define IVR_CORE_ARRIVALS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ivr/core/rng.h"
+
+namespace ivr {
+
+/// Open-loop arrival generation and pacing: the rate clocks beneath the
+/// workload orchestrator. Closed-loop drivers issue the next operation
+/// when the previous one finishes, so a slow server throttles its own
+/// offered load and latency under overload is unobservable; an open-loop
+/// driver fires operations at externally scheduled instants regardless of
+/// completion, which is what makes saturation measurable. Arrival times
+/// are a pure function of (rate, seed), so an open-loop run is exactly
+/// reproducible.
+
+/// A deterministic Poisson arrival process: exponential inter-arrival
+/// gaps with the given rate, accumulated as absolute microsecond offsets
+/// from the stream origin. The stream is a pure function of
+/// (rate_per_sec, seed).
+class PoissonArrivalStream {
+ public:
+  /// `rate_per_sec` must be > 0 (callers validate; a non-positive rate is
+  /// clamped to one arrival per second rather than dividing by zero).
+  PoissonArrivalStream(double rate_per_sec, uint64_t seed);
+
+  /// Absolute offset (microseconds since the stream origin) of the next
+  /// arrival. Non-decreasing.
+  int64_t NextUs();
+
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  double rate_per_sec_;
+  double elapsed_sec_ = 0.0;
+  Rng rng_;
+};
+
+/// Every arrival offset (microseconds) of a Poisson process with
+/// `rate_per_sec` that falls inside [0, duration_us). Deterministic in
+/// the seed; sorted ascending. May legitimately be empty at tiny
+/// rate*duration products.
+std::vector<int64_t> PoissonScheduleUs(double rate_per_sec,
+                                       int64_t duration_us, uint64_t seed);
+
+/// Paces a thread along an absolute schedule: WaitUntil(offset) sleeps
+/// until `origin + offset` and returns immediately (reporting the
+/// lateness) when that instant has already passed — it NEVER sleeps once
+/// the deadline is behind, so a late operation does not push every later
+/// arrival back (the open-loop no-drift property). The clock and sleep
+/// functions are injectable so tests can freeze time and record sleeps.
+class OpenLoopPacer {
+ public:
+  using NowFn = std::function<int64_t()>;        ///< monotonic microseconds
+  using SleepFn = std::function<void(int64_t)>;  ///< sleep >0 microseconds
+
+  /// Real steady-clock pacer.
+  OpenLoopPacer();
+  OpenLoopPacer(NowFn now, SleepFn sleep);
+
+  /// Fixes the schedule origin at the current instant. Call once, before
+  /// the first WaitUntil.
+  void Start();
+
+  /// Blocks until origin + offset_us. Returns how late the caller was
+  /// (microseconds past the deadline at entry; 0 when the pacer slept or
+  /// the deadline was exactly now).
+  int64_t WaitUntil(int64_t offset_us);
+
+  int64_t origin_us() const { return origin_us_; }
+
+ private:
+  NowFn now_;
+  SleepFn sleep_;
+  int64_t origin_us_ = 0;
+};
+
+}  // namespace ivr
+
+#endif  // IVR_CORE_ARRIVALS_H_

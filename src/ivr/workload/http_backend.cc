@@ -1,0 +1,160 @@
+#include "ivr/workload/http_backend.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ivr/core/string_util.h"
+
+namespace ivr {
+namespace workload {
+namespace {
+
+std::string EventJson(const InteractionEvent& event) {
+  std::string out = StrFormat(
+      "{\"type\": %s, \"time\": %lld, \"topic\": %u, \"value\": %.17g",
+      net::JsonQuote(std::string(EventTypeName(event.type))).c_str(),
+      static_cast<long long>(event.time),
+      static_cast<unsigned>(event.topic), event.value);
+  if (event.shot != kInvalidShotId) {
+    out += StrFormat(", \"shot\": %u", static_cast<unsigned>(event.shot));
+  }
+  if (!event.text.empty()) {
+    out += StrFormat(", \"text\": %s", net::JsonQuote(event.text).c_str());
+  }
+  if (!event.user_id.empty()) {
+    out += StrFormat(", \"user_id\": %s",
+                     net::JsonQuote(event.user_id).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+HttpSessionBackend::HttpSessionBackend(net::HttpClient* client,
+                                       std::string session_id,
+                                       std::string user_id,
+                                       TimeMs think_time_ms)
+    : client_(client),
+      session_id_(std::move(session_id)),
+      user_id_(std::move(user_id)),
+      think_time_ms_(think_time_ms) {}
+
+HttpSessionBackend::~HttpSessionBackend() {
+  if (open_) (void)EndSession();
+}
+
+void HttpSessionBackend::Pace() const {
+  if (think_time_ms_ > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(think_time_ms_));
+  }
+}
+
+void HttpSessionBackend::Note(const Status& status) {
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+}
+
+Result<net::JsonValue> HttpSessionBackend::PostJson(
+    const std::string& path, const std::string& body) {
+  IVR_ASSIGN_OR_RETURN(const net::HttpClientResponse response,
+                       client_->Post(path, body));
+  if (response.status < 200 || response.status >= 300) {
+    return Status::Internal(StrFormat("POST %s -> %d: %s", path.c_str(),
+                                      response.status,
+                                      response.body.c_str()));
+  }
+  return net::JsonValue::Parse(response.body);
+}
+
+void HttpSessionBackend::BeginSession() {
+  if (open_) {
+    Note(EndSession());
+  }
+  const Result<net::JsonValue> opened = PostJson(
+      "/v1/session/open",
+      StrFormat("{\"session_id\": %s, \"user_id\": %s}",
+                net::JsonQuote(session_id_).c_str(),
+                net::JsonQuote(user_id_).c_str()));
+  Note(opened.status());
+  open_ = opened.ok();
+}
+
+ResultList HttpSessionBackend::Search(const Query& query, size_t k) {
+  if (!open_) BeginSession();
+  Pace();
+  if (!query.HasText() && !query.HasConcepts()) {
+    // Visual-example-only queries do not exist in HTTP v1.
+    ++degraded_queries_;
+    return ResultList();
+  }
+  std::string body = StrFormat("{\"session_id\": %s, \"query\": {",
+                               net::JsonQuote(session_id_).c_str());
+  bool first = true;
+  if (query.HasText()) {
+    body += StrFormat("\"text\": %s", net::JsonQuote(query.text).c_str());
+    first = false;
+  }
+  if (query.HasConcepts()) {
+    if (!first) body += ", ";
+    body += "\"concepts\": [";
+    for (size_t i = 0; i < query.concepts.size(); ++i) {
+      if (i > 0) body += ", ";
+      body += StrFormat("%u", static_cast<unsigned>(query.concepts[i]));
+    }
+    body += "]";
+  }
+  body += StrFormat("}, \"k\": %llu}",
+                    static_cast<unsigned long long>(k));
+
+  const Result<net::JsonValue> response = PostJson("/v1/search", body);
+  if (!response.ok()) {
+    Note(response.status());
+    return ResultList();
+  }
+  const net::JsonValue* results = response->Find("results");
+  if (results == nullptr || !results->is_array()) {
+    Note(Status::Internal("search response lacks a \"results\" array"));
+    return ResultList();
+  }
+  std::vector<RankedShot> ranked;
+  ranked.reserve(results->items().size());
+  for (const net::JsonValue& item : results->items()) {
+    const net::JsonValue* shot = item.Find("shot");
+    const net::JsonValue* score = item.Find("score");
+    if (shot == nullptr || !shot->is_number() || score == nullptr ||
+        !score->is_number()) {
+      Note(Status::Internal("malformed search result entry"));
+      return ResultList();
+    }
+    RankedShot entry;
+    entry.shot = static_cast<ShotId>(shot->number_value());
+    entry.score = score->number_value();
+    ranked.push_back(entry);
+  }
+  return ResultList(std::move(ranked));
+}
+
+void HttpSessionBackend::ObserveEvent(const InteractionEvent& event) {
+  if (!open_) BeginSession();
+  Pace();
+  const Result<net::JsonValue> posted = PostJson(
+      "/v1/feedback",
+      StrFormat("{\"session_id\": %s, \"event\": %s}",
+                net::JsonQuote(session_id_).c_str(),
+                EventJson(event).c_str()));
+  Note(posted.status());
+}
+
+Status HttpSessionBackend::EndSession() {
+  open_ = false;
+  const Result<net::JsonValue> closed = PostJson(
+      "/v1/session/close",
+      StrFormat("{\"session_id\": %s}",
+                net::JsonQuote(session_id_).c_str()));
+  return closed.status();
+}
+
+}  // namespace workload
+}  // namespace ivr

@@ -1,0 +1,73 @@
+#ifndef IVR_WORKLOAD_HTTP_BACKEND_H_
+#define IVR_WORKLOAD_HTTP_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ivr/core/clock.h"
+#include "ivr/core/result.h"
+#include "ivr/feedback/backend.h"
+#include "ivr/net/http_client.h"
+#include "ivr/net/json.h"
+
+namespace ivr {
+namespace workload {
+
+/// ManagedSessionBackend's wire twin: binds ONE service session behind the
+/// SearchBackend seam, but reaches it through the v1 HTTP JSON API instead
+/// of a SessionManager pointer — the seam that lets a workload switch
+/// between in-process and network targets by flipping one spec field.
+/// Scores survive the wire bit-exactly (%.17g emission, strtod parsing),
+/// so direct and HTTP runs of the same closed-loop workload produce
+/// identical rankings.
+///
+/// One backend = one session = one driving thread, over a caller-provided
+/// HttpClient (one per actor; HttpClient is not thread-safe).
+///
+/// HTTP v1 has no query-by-visual-example, so queries carrying only
+/// examples degrade to an empty page (counted in degraded_queries()), the
+/// same decision ServiceHandler::DecodeQuery documents.
+class HttpSessionBackend : public SearchBackend {
+ public:
+  /// `client` must be connected and outlive the backend.
+  HttpSessionBackend(net::HttpClient* client, std::string session_id,
+                     std::string user_id, TimeMs think_time_ms = 0);
+
+  /// Ends the bound session if still live.
+  ~HttpSessionBackend() override;
+
+  ResultList Search(const Query& query, size_t k) override;
+  void ObserveEvent(const InteractionEvent& event) override;
+  void BeginSession() override;
+  std::string name() const override { return "http"; }
+
+  /// Ends the bound session explicitly.
+  Status EndSession();
+
+  const std::string& session_id() const { return session_id_; }
+  /// First error any operation hit (operations degrade to empty results /
+  /// dropped events, as the SearchBackend interface has no error channel).
+  const Status& first_error() const { return first_error_; }
+  uint64_t degraded_queries() const { return degraded_queries_; }
+
+ private:
+  void Pace() const;
+  void Note(const Status& status);
+  /// POSTs `body`, mapping transport errors and non-2xx statuses to a
+  /// Status and returning the parsed response body otherwise.
+  Result<net::JsonValue> PostJson(const std::string& path,
+                                  const std::string& body);
+
+  net::HttpClient* client_;
+  std::string session_id_;
+  std::string user_id_;
+  TimeMs think_time_ms_ = 0;
+  bool open_ = false;
+  uint64_t degraded_queries_ = 0;
+  Status first_error_;
+};
+
+}  // namespace workload
+}  // namespace ivr
+
+#endif  // IVR_WORKLOAD_HTTP_BACKEND_H_

@@ -1,0 +1,297 @@
+#include "ivr/workload/report.h"
+
+#include <cmath>
+#include <map>
+
+#include "ivr/core/string_util.h"
+#include "ivr/net/json.h"
+
+namespace ivr {
+namespace workload {
+namespace {
+
+std::string U64(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string I64(int64_t v) {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+std::string Dbl(double v) { return StrFormat("%.17g", v); }
+
+void AppendHistogramJson(std::string& out, const obs::HistogramSnapshot& h) {
+  out += StrFormat(
+      "{\"count\": %s, \"sum\": %s, \"max\": %s, \"p50\": %s, "
+      "\"p90\": %s, \"p99\": %s, \"buckets\": [",
+      U64(h.count).c_str(), I64(h.sum).c_str(), I64(h.max).c_str(),
+      I64(h.Quantile(0.50)).c_str(), I64(h.Quantile(0.90)).c_str(),
+      I64(h.Quantile(0.99)).c_str());
+  for (size_t b = 0; b < h.buckets.size(); ++b) {
+    if (b > 0) out += ", ";
+    out += U64(h.buckets[b]);
+  }
+  out += "]}";
+}
+
+void AppendStatsJson(std::string& out, const obs::RegistrySnapshot& snap,
+                     const char* indent) {
+  out += "{";
+  out += StrFormat("\"counters\": {");
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("\"%s\": %s",
+                     JsonEscape(snap.counters[i].first).c_str(),
+                     U64(snap.counters[i].second).c_str());
+  }
+  out += StrFormat("},\n%s\"gauges\": {", indent);
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("\"%s\": %s", JsonEscape(snap.gauges[i].first).c_str(),
+                     I64(snap.gauges[i].second).c_str());
+  }
+  out += StrFormat("},\n%s\"histograms\": {", indent);
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i > 0) out += StrFormat(",\n%s  ", indent);
+    out += StrFormat("\"%s\": ",
+                     JsonEscape(snap.histograms[i].first).c_str());
+    AppendHistogramJson(out, snap.histograms[i].second);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+obs::RegistrySnapshot DiffSnapshots(const obs::RegistrySnapshot& before,
+                                    const obs::RegistrySnapshot& after) {
+  obs::RegistrySnapshot delta;
+
+  std::map<std::string, uint64_t> counters_before(before.counters.begin(),
+                                                  before.counters.end());
+  for (const auto& [name, end] : after.counters) {
+    const auto it = counters_before.find(name);
+    const uint64_t start = it == counters_before.end() ? 0 : it->second;
+    // Counters are monotonic; a smaller end value means a ResetValues()
+    // raced the phase, and the full end value is the best attribution.
+    const uint64_t d = end >= start ? end - start : end;
+    if (d != 0) delta.counters.emplace_back(name, d);
+  }
+
+  // Gauges are levels, not totals: the end-of-phase value is the reading.
+  delta.gauges = after.gauges;
+
+  std::map<std::string, obs::HistogramSnapshot> hist_before(
+      before.histograms.begin(), before.histograms.end());
+  for (const auto& [name, end] : after.histograms) {
+    const auto it = hist_before.find(name);
+    obs::HistogramSnapshot d;
+    d.buckets.assign(end.buckets.size(), 0);
+    const obs::HistogramSnapshot* start =
+        it == hist_before.end() ? nullptr : &it->second;
+    d.count = end.count - (start ? start->count : 0);
+    d.sum = end.sum - (start ? start->sum : 0);
+    for (size_t b = 0; b < end.buckets.size(); ++b) {
+      const uint64_t s =
+          start && b < start->buckets.size() ? start->buckets[b] : 0;
+      d.buckets[b] = end.buckets[b] - s;
+    }
+    // The true per-phase max is unrecoverable from two cumulative
+    // snapshots; the upper bound of the highest touched bucket is the
+    // tightest value the data supports.
+    for (size_t b = d.buckets.size(); b-- > 0;) {
+      if (d.buckets[b] != 0) {
+        d.max = obs::LatencyHistogram::BucketUpperBound(b);
+        break;
+      }
+    }
+    if (d.count != 0) delta.histograms.emplace_back(name, std::move(d));
+  }
+
+  return delta;
+}
+
+std::string WorkloadReport::ToJson() const {
+  uint64_t total_ops = 0;
+  uint64_t total_failures = 0;
+  uint64_t total_late = 0;
+  uint64_t total_appends = 0;
+  uint64_t total_publishes = 0;
+  double total_duration = 0.0;
+  for (const PhaseResult& phase : phases) {
+    total_ops += phase.ops;
+    total_failures += phase.failures;
+    total_late += phase.late_arrivals;
+    total_appends += phase.appends;
+    total_publishes += phase.publishes;
+    total_duration += phase.duration_s;
+  }
+
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"type\": \"ivr.workload\",\n";
+  out += StrFormat("  \"workload\": \"%s\",\n",
+                   JsonEscape(workload).c_str());
+  out += StrFormat("  \"seed\": %s,\n", U64(seed).c_str());
+  out += StrFormat("  \"target\": \"%s\",\n",
+                   std::string(TargetKindName(target)).c_str());
+  out += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& phase = phases[i];
+    out += "    {\n";
+    out += StrFormat("      \"name\": \"%s\",\n",
+                     JsonEscape(phase.name).c_str());
+    out += StrFormat("      \"mode\": \"%s\",\n",
+                     std::string(PhaseModeName(phase.mode)).c_str());
+    out += StrFormat("      \"actors\": %s,\n", U64(phase.actors).c_str());
+    out += StrFormat("      \"planned_ops\": %s,\n",
+                     U64(phase.planned_ops).c_str());
+    out += StrFormat("      \"ops\": %s,\n", U64(phase.ops).c_str());
+    out += StrFormat("      \"failures\": %s,\n",
+                     U64(phase.failures).c_str());
+    out += StrFormat("      \"late_arrivals\": %s,\n",
+                     U64(phase.late_arrivals).c_str());
+    out += StrFormat("      \"duration_s\": %s,\n",
+                     Dbl(phase.duration_s).c_str());
+    out += StrFormat("      \"offered_rate\": %s,\n",
+                     Dbl(phase.offered_rate).c_str());
+    out += StrFormat("      \"achieved_rate\": %s,\n",
+                     Dbl(phase.achieved_rate).c_str());
+    out += StrFormat("      \"appends\": %s,\n", U64(phase.appends).c_str());
+    out += StrFormat("      \"publishes\": %s,\n",
+                     U64(phase.publishes).c_str());
+    out += StrFormat("      \"events\": %s,\n", U64(phase.events).c_str());
+    out += StrFormat("      \"relevant_found\": %s,\n",
+                     U64(phase.relevant_found).c_str());
+    out += "      \"latency_us\": ";
+    AppendHistogramJson(out, phase.latency);
+    out += ",\n      \"stats\": ";
+    AppendStatsJson(out, phase.stats, "      ");
+    out += "\n    }";
+    out += i + 1 < phases.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"totals\": {";
+  out += StrFormat("\"ops\": %s, \"failures\": %s, \"late_arrivals\": %s, ",
+                   U64(total_ops).c_str(), U64(total_failures).c_str(),
+                   U64(total_late).c_str());
+  out += StrFormat("\"appends\": %s, \"publishes\": %s, ",
+                   U64(total_appends).c_str(), U64(total_publishes).c_str());
+  out += StrFormat("\"duration_s\": %s}\n", Dbl(total_duration).c_str());
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// One phase's bound evaluation. Every key optional; order chosen so the
+/// cheapest-to-understand violation (failures) reports first.
+Status CheckPhaseBounds(const PhaseResult& phase,
+                        const net::JsonValue& bounds,
+                        const std::string& path,
+                        std::vector<std::string>& violations) {
+  static constexpr std::string_view kKnown[] = {
+      "max_failures", "min_ops", "max_p50_us", "max_p99_us",
+      "min_achieved_rate"};
+  for (const auto& [key, value] : bounds.members()) {
+    bool known = false;
+    for (const std::string_view candidate : kKnown) {
+      if (key == candidate) known = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument(StrFormat(
+          "%s.%s: unknown bound", path.c_str(), key.c_str()));
+    }
+    if (!value.is_number() || !std::isfinite(value.number_value())) {
+      return Status::InvalidArgument(StrFormat(
+          "%s.%s: must be a finite number", path.c_str(), key.c_str()));
+    }
+  }
+
+  const auto number = [&bounds](const char* key, double fallback) {
+    const net::JsonValue* node = bounds.Find(key);
+    return node == nullptr ? fallback : node->number_value();
+  };
+
+  const double max_failures = number("max_failures", -1.0);
+  if (max_failures >= 0.0 &&
+      static_cast<double>(phase.failures) > max_failures) {
+    violations.push_back(StrFormat(
+        "phase \"%s\": failures %llu > max_failures %.0f",
+        phase.name.c_str(), static_cast<unsigned long long>(phase.failures),
+        max_failures));
+  }
+  const double min_ops = number("min_ops", -1.0);
+  if (min_ops >= 0.0 && static_cast<double>(phase.ops) < min_ops) {
+    violations.push_back(StrFormat(
+        "phase \"%s\": ops %llu < min_ops %.0f", phase.name.c_str(),
+        static_cast<unsigned long long>(phase.ops), min_ops));
+  }
+  const double max_p50 = number("max_p50_us", -1.0);
+  if (max_p50 >= 0.0 &&
+      static_cast<double>(phase.latency.Quantile(0.50)) > max_p50) {
+    violations.push_back(StrFormat(
+        "phase \"%s\": p50 %lldus > max_p50_us %.0f", phase.name.c_str(),
+        static_cast<long long>(phase.latency.Quantile(0.50)), max_p50));
+  }
+  const double max_p99 = number("max_p99_us", -1.0);
+  if (max_p99 >= 0.0 &&
+      static_cast<double>(phase.latency.Quantile(0.99)) > max_p99) {
+    violations.push_back(StrFormat(
+        "phase \"%s\": p99 %lldus > max_p99_us %.0f", phase.name.c_str(),
+        static_cast<long long>(phase.latency.Quantile(0.99)), max_p99));
+  }
+  const double min_rate = number("min_achieved_rate", -1.0);
+  if (min_rate >= 0.0 && phase.achieved_rate < min_rate) {
+    violations.push_back(StrFormat(
+        "phase \"%s\": achieved_rate %.2f/s < min_achieved_rate %.2f/s",
+        phase.name.c_str(), phase.achieved_rate, min_rate));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> CheckBounds(const WorkloadReport& report,
+                                             std::string_view bounds_json) {
+  IVR_ASSIGN_OR_RETURN(const net::JsonValue root,
+                       net::JsonValue::Parse(bounds_json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("$: bounds must be a JSON object");
+  }
+  for (const auto& [key, value] : root.members()) {
+    (void)value;
+    if (key != "phases") {
+      return Status::InvalidArgument(
+          StrFormat("$.%s: unknown key (known keys: phases)", key.c_str()));
+    }
+  }
+  const net::JsonValue* phases = root.Find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    return Status::InvalidArgument("$.phases: must be an object");
+  }
+
+  std::vector<std::string> violations;
+  for (const auto& [name, bounds] : phases->members()) {
+    const std::string path = StrFormat("$.phases.%s", name.c_str());
+    if (!bounds.is_object()) {
+      return Status::InvalidArgument(path + ": must be an object");
+    }
+    const PhaseResult* match = nullptr;
+    for (const PhaseResult& phase : report.phases) {
+      if (phase.name == name) {
+        match = &phase;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      // A bound nobody evaluates is a canary that can never fire.
+      return Status::InvalidArgument(StrFormat(
+          "%s: the report has no phase with this name", path.c_str()));
+    }
+    IVR_RETURN_IF_ERROR(CheckPhaseBounds(*match, bounds, path, violations));
+  }
+  return violations;
+}
+
+}  // namespace workload
+}  // namespace ivr

@@ -1,0 +1,80 @@
+#ifndef IVR_WORKLOAD_REPORT_H_
+#define IVR_WORKLOAD_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ivr/core/result.h"
+#include "ivr/obs/metrics.h"
+#include "ivr/workload/spec.h"
+
+namespace ivr {
+namespace workload {
+
+/// Per-phase and whole-run results, serialized as the v1 workload report —
+/// the artifact the perf canary compares against committed bounds.
+
+/// Registered-metric activity attributable to one phase: counters as
+/// end-minus-start deltas (zero deltas dropped), gauges as end-of-phase
+/// levels, histograms as bucket-wise deltas with quantiles recomputed from
+/// the delta buckets. The maps follow the --stats-json v1 shapes so phase
+/// stats read exactly like a tool's stats file.
+obs::RegistrySnapshot DiffSnapshots(const obs::RegistrySnapshot& before,
+                                    const obs::RegistrySnapshot& after);
+
+struct PhaseResult {
+  std::string name;
+  PhaseMode mode = PhaseMode::kClosed;
+  size_t actors = 0;
+
+  uint64_t planned_ops = 0;  ///< sessions (closed) or scheduled arrivals
+  uint64_t ops = 0;          ///< completed operations
+  uint64_t failures = 0;     ///< operations that returned an error
+  uint64_t late_arrivals = 0;  ///< open-loop ops fired past their instant
+
+  double duration_s = 0.0;       ///< wall-clock phase length
+  double offered_rate = 0.0;     ///< spec rate (open) or 0 (closed)
+  double achieved_rate = 0.0;    ///< ops / duration_s
+
+  uint64_t appends = 0;    ///< ingest writer activity inside the phase
+  uint64_t publishes = 0;
+  uint64_t events = 0;            ///< interaction events (closed sessions)
+  uint64_t relevant_found = 0;    ///< truly_relevant_found total (closed)
+
+  /// Whole-operation latency measured by the orchestrator's own steady
+  /// clock (never via obs primitives, which IVR_OBS_OFF compiles out — the
+  /// canary bounds must hold in every build flavor).
+  obs::HistogramSnapshot latency;
+
+  /// Per-phase obs delta (empty maps under IVR_OBS_OFF).
+  obs::RegistrySnapshot stats;
+};
+
+struct WorkloadReport {
+  std::string workload;
+  uint64_t seed = 0;
+  TargetKind target = TargetKind::kDirect;
+  std::vector<PhaseResult> phases;
+
+  /// v1 report JSON: schema_version/type header, one object per phase
+  /// (latency histogram + stats delta in --stats-json v1 shapes), totals.
+  std::string ToJson() const;
+};
+
+/// Parses a bounds document and evaluates `report` against it. The format:
+///
+///   {"phases": {"<phase name>": {"max_failures": 0, "min_ops": 10,
+///                                "max_p50_us": 20000, "max_p99_us": 150000,
+///                                "min_achieved_rate": 50.0}}}
+///
+/// Every bound key is optional; unknown keys and bounds naming phases the
+/// report lacks are errors (a renamed phase must not silently stop being
+/// checked). Returns the violations — empty means the canary passes.
+Result<std::vector<std::string>> CheckBounds(const WorkloadReport& report,
+                                             std::string_view bounds_json);
+
+}  // namespace workload
+}  // namespace ivr
+
+#endif  // IVR_WORKLOAD_REPORT_H_

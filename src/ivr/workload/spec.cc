@@ -1,0 +1,653 @@
+#include "ivr/workload/spec.h"
+
+#include <cmath>
+#include <set>
+
+#include "ivr/core/file_util.h"
+#include "ivr/core/string_util.h"
+#include "ivr/net/json.h"
+
+namespace ivr {
+namespace workload {
+namespace {
+
+using net::JsonValue;
+
+Status ErrAt(const std::string& path, const std::string& message) {
+  return Status::InvalidArgument(
+      StrFormat("%s: %s", path.c_str(), message.c_str()));
+}
+
+/// Rejects members outside `known`, naming the first offender by path.
+/// This is what turns a typo'd "ratee" into a diagnostic instead of a
+/// silently ignored knob.
+Status CheckKeys(const JsonValue& obj, const std::string& path,
+                 std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view candidate : known) {
+      if (key == candidate) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string allowed;
+      for (const std::string_view candidate : known) {
+        if (!allowed.empty()) allowed += ", ";
+        allowed += candidate;
+      }
+      return ErrAt(path + "." + key,
+                   StrFormat("unknown key (known keys: %s)",
+                             allowed.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<const JsonValue*> ObjectField(const JsonValue& obj,
+                                     const std::string& path,
+                                     const char* key) {
+  const JsonValue* node = obj.Find(key);
+  if (node == nullptr) return static_cast<const JsonValue*>(nullptr);
+  if (!node->is_object()) {
+    return ErrAt(path + "." + key, "must be an object");
+  }
+  return node;
+}
+
+Result<std::string> StringField(const JsonValue& obj,
+                                const std::string& path, const char* key,
+                                const std::string& fallback) {
+  const JsonValue* node = obj.Find(key);
+  if (node == nullptr) return fallback;
+  if (!node->is_string()) {
+    return ErrAt(path + "." + key, "must be a string");
+  }
+  return node->string_value();
+}
+
+Result<double> NumberField(const JsonValue& obj, const std::string& path,
+                           const char* key, double fallback) {
+  const JsonValue* node = obj.Find(key);
+  if (node == nullptr) return fallback;
+  if (!node->is_number()) {
+    return ErrAt(path + "." + key, "must be a number");
+  }
+  const double value = node->number_value();
+  if (!std::isfinite(value)) {
+    return ErrAt(path + "." + key, "must be finite");
+  }
+  return value;
+}
+
+Result<int64_t> IntField(const JsonValue& obj, const std::string& path,
+                         const char* key, int64_t fallback) {
+  const JsonValue* node = obj.Find(key);
+  if (node == nullptr) return fallback;
+  if (!node->is_number()) {
+    return ErrAt(path + "." + key, "must be an integer");
+  }
+  const double value = node->number_value();
+  if (!std::isfinite(value) || value != std::floor(value) ||
+      value < -9.0e15 || value > 9.0e15) {
+    return ErrAt(path + "." + key, "must be an integer");
+  }
+  return static_cast<int64_t>(value);
+}
+
+/// IntField constrained to [lo, hi], the workhorse for counts.
+Result<int64_t> BoundedIntField(const JsonValue& obj,
+                                const std::string& path, const char* key,
+                                int64_t fallback, int64_t lo, int64_t hi) {
+  IVR_ASSIGN_OR_RETURN(const int64_t value,
+                       IntField(obj, path, key, fallback));
+  if (value < lo || value > hi) {
+    return ErrAt(path + "." + key,
+                 StrFormat("must be in [%lld, %lld], got %lld",
+                           static_cast<long long>(lo),
+                           static_cast<long long>(hi),
+                           static_cast<long long>(value)));
+  }
+  return value;
+}
+
+Status Forbid(const JsonValue& obj, const std::string& path,
+              const char* key, const char* why) {
+  if (obj.Find(key) != nullptr) {
+    return ErrAt(path + "." + key, why);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SessionMixEntry>> ParseSessionMix(
+    const JsonValue& node, const std::string& path) {
+  if (!node.is_array()) return ErrAt(path, "must be an array");
+  if (node.items().empty()) {
+    return ErrAt(path, "must name at least one stereotype user");
+  }
+  std::vector<SessionMixEntry> mix;
+  for (size_t i = 0; i < node.items().size(); ++i) {
+    const std::string entry_path = StrFormat("%s[%zu]", path.c_str(), i);
+    const JsonValue& entry = node.items()[i];
+    if (!entry.is_object()) return ErrAt(entry_path, "must be an object");
+    IVR_RETURN_IF_ERROR(CheckKeys(entry, entry_path, {"user", "weight"}));
+    SessionMixEntry parsed;
+    IVR_ASSIGN_OR_RETURN(parsed.user,
+                         StringField(entry, entry_path, "user", ""));
+    if (!UserModelByName(parsed.user).ok()) {
+      return ErrAt(entry_path + ".user",
+                   StrFormat("unknown stereotype \"%s\" (known: novice, "
+                             "expert, couch)",
+                             parsed.user.c_str()));
+    }
+    IVR_ASSIGN_OR_RETURN(parsed.weight,
+                         NumberField(entry, entry_path, "weight", 1.0));
+    if (parsed.weight <= 0.0) {
+      return ErrAt(entry_path + ".weight", "must be > 0");
+    }
+    mix.push_back(std::move(parsed));
+  }
+  return mix;
+}
+
+Result<std::vector<QueryMixEntry>> ParseQueryMix(const JsonValue& node,
+                                                 const std::string& path) {
+  if (!node.is_array()) return ErrAt(path, "must be an array");
+  if (node.items().empty()) {
+    return ErrAt(path, "must name at least one query");
+  }
+  std::vector<QueryMixEntry> mix;
+  for (size_t i = 0; i < node.items().size(); ++i) {
+    const std::string entry_path = StrFormat("%s[%zu]", path.c_str(), i);
+    const JsonValue& entry = node.items()[i];
+    if (!entry.is_object()) return ErrAt(entry_path, "must be an object");
+    IVR_RETURN_IF_ERROR(CheckKeys(entry, entry_path, {"text", "weight"}));
+    QueryMixEntry parsed;
+    IVR_ASSIGN_OR_RETURN(parsed.text,
+                         StringField(entry, entry_path, "text", ""));
+    if (parsed.text.empty()) {
+      return ErrAt(entry_path + ".text", "must be a non-empty string");
+    }
+    IVR_ASSIGN_OR_RETURN(parsed.weight,
+                         NumberField(entry, entry_path, "weight", 1.0));
+    if (parsed.weight <= 0.0) {
+      return ErrAt(entry_path + ".weight", "must be > 0");
+    }
+    mix.push_back(std::move(parsed));
+  }
+  return mix;
+}
+
+Result<PhaseSpec> ParsePhase(const JsonValue& node,
+                             const std::string& path) {
+  if (!node.is_object()) return ErrAt(path, "must be an object");
+  IVR_RETURN_IF_ERROR(CheckKeys(
+      node, path,
+      {"name", "mode", "actors", "sessions", "session_mix", "env",
+       "think_ms", "duration_ms", "rate", "k", "query_mix", "fault_spec",
+       "fault_seed", "writes"}));
+
+  PhaseSpec phase;
+  IVR_ASSIGN_OR_RETURN(phase.name, StringField(node, path, "name", ""));
+  if (phase.name.empty()) {
+    return ErrAt(path + ".name", "must be a non-empty string");
+  }
+
+  IVR_ASSIGN_OR_RETURN(const std::string mode,
+                       StringField(node, path, "mode", "closed"));
+  if (mode == "closed") {
+    phase.mode = PhaseMode::kClosed;
+  } else if (mode == "open") {
+    phase.mode = PhaseMode::kOpen;
+  } else {
+    return ErrAt(path + ".mode",
+                 StrFormat("must be \"closed\" or \"open\", got \"%s\"",
+                           mode.c_str()));
+  }
+
+  IVR_ASSIGN_OR_RETURN(const int64_t actors,
+                       BoundedIntField(node, path, "actors", 1, 1, 256));
+  phase.actors = static_cast<size_t>(actors);
+
+  if (phase.mode == PhaseMode::kClosed) {
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "duration_ms",
+                               "only open-loop phases take a duration "
+                               "(closed phases end when their sessions "
+                               "do)"));
+    IVR_RETURN_IF_ERROR(
+        Forbid(node, path, "rate", "only open-loop phases take a rate"));
+    IVR_RETURN_IF_ERROR(
+        Forbid(node, path, "k", "only open-loop phases take k"));
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "query_mix",
+                               "only open-loop phases take a query mix "
+                               "(closed phases draw queries from the "
+                               "simulated users)"));
+    if (node.Find("sessions") == nullptr) {
+      return ErrAt(path + ".sessions",
+                   "required for closed-loop phases");
+    }
+    IVR_ASSIGN_OR_RETURN(
+        const int64_t sessions,
+        BoundedIntField(node, path, "sessions", 0, 1, 1000000));
+    phase.sessions = static_cast<size_t>(sessions);
+
+    const JsonValue* mix = node.Find("session_mix");
+    if (mix != nullptr) {
+      IVR_ASSIGN_OR_RETURN(phase.session_mix,
+                           ParseSessionMix(*mix, path + ".session_mix"));
+    } else {
+      phase.session_mix = {SessionMixEntry{}};
+    }
+
+    IVR_ASSIGN_OR_RETURN(const std::string env,
+                         StringField(node, path, "env", "desktop"));
+    if (env == "desktop") {
+      phase.env = Environment::kDesktop;
+    } else if (env == "tv") {
+      phase.env = Environment::kTv;
+    } else {
+      return ErrAt(path + ".env",
+                   StrFormat("must be \"desktop\" or \"tv\", got \"%s\"",
+                             env.c_str()));
+    }
+
+    IVR_ASSIGN_OR_RETURN(
+        const int64_t think,
+        BoundedIntField(node, path, "think_ms", 0, 0, 60000));
+    phase.think_ms = static_cast<TimeMs>(think);
+  } else {
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "sessions",
+                               "only closed-loop phases take a session "
+                               "count (open phases are sized by duration "
+                               "and rate)"));
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "session_mix",
+                               "only closed-loop phases take a session "
+                               "mix"));
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "env",
+                               "only closed-loop phases take an "
+                               "environment"));
+    IVR_RETURN_IF_ERROR(Forbid(node, path, "think_ms",
+                               "only closed-loop phases take think time "
+                               "(open-loop pacing comes from the arrival "
+                               "schedule)"));
+    if (node.Find("duration_ms") == nullptr) {
+      return ErrAt(path + ".duration_ms",
+                   "required for open-loop phases");
+    }
+    IVR_ASSIGN_OR_RETURN(
+        const int64_t duration,
+        BoundedIntField(node, path, "duration_ms", 0, 1,
+                        24 * kMillisPerHour));
+    phase.duration_ms = static_cast<TimeMs>(duration);
+
+    IVR_ASSIGN_OR_RETURN(phase.rate,
+                         NumberField(node, path, "rate", 0.0));
+    if (node.Find("rate") == nullptr) {
+      return ErrAt(path + ".rate", "required for open-loop phases");
+    }
+    if (phase.rate <= 0.0) {
+      return ErrAt(path + ".rate", "must be > 0");
+    }
+
+    IVR_ASSIGN_OR_RETURN(const int64_t k,
+                         BoundedIntField(node, path, "k", 10, 1, 10000));
+    phase.k = static_cast<size_t>(k);
+
+    const JsonValue* mix = node.Find("query_mix");
+    if (mix != nullptr) {
+      IVR_ASSIGN_OR_RETURN(phase.query_mix,
+                           ParseQueryMix(*mix, path + ".query_mix"));
+    }
+  }
+
+  IVR_ASSIGN_OR_RETURN(phase.fault_spec,
+                       StringField(node, path, "fault_spec", ""));
+  if (node.Find("fault_spec") != nullptr && phase.fault_spec.empty()) {
+    return ErrAt(path + ".fault_spec",
+                 "must be a non-empty \"site:prob[,...]\" spec (omit the "
+                 "key for a fault-free phase)");
+  }
+  IVR_ASSIGN_OR_RETURN(
+      const int64_t fault_seed,
+      BoundedIntField(node, path, "fault_seed", 1, 0,
+                      static_cast<int64_t>(9.0e15)));
+  phase.fault_seed = static_cast<uint64_t>(fault_seed);
+
+  const Result<const JsonValue*> writes = ObjectField(node, path, "writes");
+  if (!writes.ok()) return writes.status();
+  if (*writes != nullptr) {
+    const std::string writes_path = path + ".writes";
+    IVR_RETURN_IF_ERROR(
+        CheckKeys(**writes, writes_path, {"rate", "publish_every"}));
+    WritesSpec spec;
+    IVR_ASSIGN_OR_RETURN(spec.rate,
+                         NumberField(**writes, writes_path, "rate", 0.0));
+    if ((*writes)->Find("rate") == nullptr) {
+      return ErrAt(writes_path + ".rate", "required");
+    }
+    if (spec.rate <= 0.0) {
+      return ErrAt(writes_path + ".rate", "must be > 0");
+    }
+    if ((*writes)->Find("publish_every") == nullptr) {
+      spec.publish_every = 0;  // inherit the workload-level default
+    } else {
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t publish_every,
+          BoundedIntField(**writes, writes_path, "publish_every", 1, 1,
+                          1000000));
+      spec.publish_every = static_cast<size_t>(publish_every);
+    }
+    phase.writes = spec;
+  }
+
+  return phase;
+}
+
+std::string JsonString(const std::string& s) { return net::JsonQuote(s); }
+
+std::string Num(double v) { return StrFormat("%.17g", v); }
+
+std::string Int(int64_t v) {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+std::string UInt(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+std::string_view PhaseModeName(PhaseMode mode) {
+  return mode == PhaseMode::kClosed ? "closed" : "open";
+}
+
+std::string_view TargetKindName(TargetKind kind) {
+  return kind == TargetKind::kDirect ? "direct" : "http";
+}
+
+Result<UserModel> UserModelByName(std::string_view name) {
+  if (name == "novice") return NoviceUser();
+  if (name == "expert") return ExpertUser();
+  if (name == "couch") return CouchViewerUser();
+  return Status::InvalidArgument(
+      StrFormat("unknown stereotype user \"%.*s\"",
+                static_cast<int>(name.size()), name.data()));
+}
+
+bool WorkloadSpec::HasWrites() const {
+  for (const PhaseSpec& phase : phases) {
+    if (phase.writes.has_value()) return true;
+  }
+  return false;
+}
+
+bool WorkloadSpec::HasFaultPhases() const {
+  for (const PhaseSpec& phase : phases) {
+    if (!phase.fault_spec.empty()) return true;
+  }
+  return false;
+}
+
+Result<WorkloadSpec> ParseWorkload(std::string_view json) {
+  IVR_ASSIGN_OR_RETURN(const JsonValue root, JsonValue::Parse(json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("$: workload must be a JSON object");
+  }
+  IVR_RETURN_IF_ERROR(CheckKeys(root, "$",
+                                {"name", "seed", "target", "http", "cache",
+                                 "service", "ingest", "phases"}));
+
+  WorkloadSpec spec;
+  IVR_ASSIGN_OR_RETURN(spec.name, StringField(root, "$", "name", ""));
+  if (spec.name.empty()) {
+    return ErrAt("$.name", "must be a non-empty string");
+  }
+  IVR_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      BoundedIntField(root, "$", "seed", 1, 0,
+                      static_cast<int64_t>(9.0e15)));
+  spec.seed = static_cast<uint64_t>(seed);
+
+  IVR_ASSIGN_OR_RETURN(const std::string target,
+                       StringField(root, "$", "target", "direct"));
+  if (target == "direct") {
+    spec.target = TargetKind::kDirect;
+  } else if (target == "http") {
+    spec.target = TargetKind::kHttp;
+  } else {
+    return ErrAt("$.target",
+                 StrFormat("must be \"direct\" or \"http\", got \"%s\"",
+                           target.c_str()));
+  }
+
+  {
+    const Result<const JsonValue*> http = ObjectField(root, "$", "http");
+    if (!http.ok()) return http.status();
+    if (*http != nullptr) {
+      IVR_RETURN_IF_ERROR(CheckKeys(**http, "$.http", {"host", "port"}));
+      IVR_ASSIGN_OR_RETURN(
+          spec.http.host,
+          StringField(**http, "$.http", "host", "127.0.0.1"));
+      if (spec.http.host.empty()) {
+        return ErrAt("$.http.host", "must be a non-empty string");
+      }
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t port,
+          BoundedIntField(**http, "$.http", "port", 0, 0, 65535));
+      spec.http.port = static_cast<int>(port);
+    }
+  }
+
+  {
+    const Result<const JsonValue*> cache = ObjectField(root, "$", "cache");
+    if (!cache.ok()) return cache.status();
+    if (*cache != nullptr) {
+      IVR_RETURN_IF_ERROR(CheckKeys(**cache, "$.cache", {"mb", "shards"}));
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t mb,
+          BoundedIntField(**cache, "$.cache", "mb", 0, 0, 1 << 20));
+      spec.cache.mb = static_cast<size_t>(mb);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t shards,
+          BoundedIntField(**cache, "$.cache", "shards", 8, 1, 4096));
+      spec.cache.shards = static_cast<size_t>(shards);
+    }
+  }
+
+  {
+    const Result<const JsonValue*> service =
+        ObjectField(root, "$", "service");
+    if (!service.ok()) return service.status();
+    if (*service != nullptr) {
+      IVR_RETURN_IF_ERROR(CheckKeys(**service, "$.service",
+                                    {"shards", "max_sessions", "ttl_ms"}));
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t shards,
+          BoundedIntField(**service, "$.service", "shards", 8, 1, 4096));
+      spec.service.shards = static_cast<size_t>(shards);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t max_sessions,
+          BoundedIntField(**service, "$.service", "max_sessions", 0, 0,
+                          100000000));
+      spec.service.max_sessions = static_cast<size_t>(max_sessions);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t ttl,
+          BoundedIntField(**service, "$.service", "ttl_ms", 0, 0,
+                          24 * kMillisPerHour));
+      spec.service.ttl_ms = static_cast<TimeMs>(ttl);
+    }
+  }
+
+  {
+    const Result<const JsonValue*> ingest =
+        ObjectField(root, "$", "ingest");
+    if (!ingest.ok()) return ingest.status();
+    if (*ingest != nullptr) {
+      IVR_RETURN_IF_ERROR(
+          CheckKeys(**ingest, "$.ingest",
+                    {"stream_seed", "stream_videos", "stream_topics",
+                     "publish_every"}));
+      IngestSpec parsed;
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t stream_seed,
+          BoundedIntField(**ingest, "$.ingest", "stream_seed", 7, 0,
+                          static_cast<int64_t>(9.0e15)));
+      parsed.stream_seed = static_cast<uint64_t>(stream_seed);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t videos,
+          BoundedIntField(**ingest, "$.ingest", "stream_videos", 6, 1,
+                          100000));
+      parsed.stream_videos = static_cast<size_t>(videos);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t topics,
+          BoundedIntField(**ingest, "$.ingest", "stream_topics", 6, 1,
+                          10000));
+      parsed.stream_topics = static_cast<size_t>(topics);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t publish_every,
+          BoundedIntField(**ingest, "$.ingest", "publish_every", 2, 1,
+                          1000000));
+      parsed.publish_every = static_cast<size_t>(publish_every);
+      spec.ingest = parsed;
+    }
+  }
+
+  const JsonValue* phases = root.Find("phases");
+  if (phases == nullptr) {
+    return ErrAt("$.phases", "required");
+  }
+  if (!phases->is_array() || phases->items().empty()) {
+    return ErrAt("$.phases", "must be a non-empty array");
+  }
+  std::set<std::string> names;
+  for (size_t i = 0; i < phases->items().size(); ++i) {
+    const std::string path = StrFormat("$.phases[%zu]", i);
+    IVR_ASSIGN_OR_RETURN(PhaseSpec phase,
+                         ParsePhase(phases->items()[i], path));
+    if (!names.insert(phase.name).second) {
+      return ErrAt(path + ".name",
+                   StrFormat("duplicate phase name \"%s\" (bounds files "
+                             "key on phase names)",
+                             phase.name.c_str()));
+    }
+    if (phase.writes.has_value()) {
+      if (!spec.ingest.has_value()) {
+        return ErrAt(path + ".writes",
+                     "requires a workload-level \"ingest\" block (the "
+                     "writer appends from its stream)");
+      }
+      if (spec.target != TargetKind::kDirect) {
+        return ErrAt(path + ".writes",
+                     "requires target \"direct\" (the HTTP v1 API has no "
+                     "ingest endpoint; use ivr_httpd --ingest-stream for "
+                     "server-side ingestion)");
+      }
+      if (phase.writes->publish_every == 0) {
+        phase.writes->publish_every = spec.ingest->publish_every;
+      }
+    }
+    spec.phases.push_back(std::move(phase));
+  }
+
+  if (spec.target == TargetKind::kHttp && spec.ingest.has_value()) {
+    return ErrAt("$.ingest",
+                 "requires target \"direct\" (see ivr_httpd "
+                 "--ingest-stream for server-side ingestion)");
+  }
+
+  return spec;
+}
+
+Result<WorkloadSpec> LoadWorkloadFile(const std::string& path) {
+  IVR_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  Result<WorkloadSpec> spec = ParseWorkload(text);
+  if (!spec.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: %s", path.c_str(), spec.status().message().c_str()));
+  }
+  return spec;
+}
+
+std::string WorkloadSpec::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"name\": %s,\n", JsonString(name).c_str());
+  out += StrFormat("  \"seed\": %s,\n", UInt(seed).c_str());
+  out += StrFormat("  \"target\": \"%s\",\n",
+                   std::string(TargetKindName(target)).c_str());
+  if (target == TargetKind::kHttp) {
+    out += StrFormat("  \"http\": {\"host\": %s, \"port\": %d},\n",
+                     JsonString(http.host).c_str(), http.port);
+  }
+  out += StrFormat("  \"cache\": {\"mb\": %s, \"shards\": %s},\n",
+                   UInt(cache.mb).c_str(), UInt(cache.shards).c_str());
+  out += StrFormat(
+      "  \"service\": {\"shards\": %s, \"max_sessions\": %s, "
+      "\"ttl_ms\": %s},\n",
+      UInt(service.shards).c_str(), UInt(service.max_sessions).c_str(),
+      Int(service.ttl_ms).c_str());
+  if (ingest.has_value()) {
+    out += StrFormat(
+        "  \"ingest\": {\"stream_seed\": %s, \"stream_videos\": %s, "
+        "\"stream_topics\": %s, \"publish_every\": %s},\n",
+        UInt(ingest->stream_seed).c_str(),
+        UInt(ingest->stream_videos).c_str(),
+        UInt(ingest->stream_topics).c_str(),
+        UInt(ingest->publish_every).c_str());
+  }
+  out += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSpec& phase = phases[i];
+    out += "    {";
+    out += StrFormat("\"name\": %s, \"mode\": \"%s\", \"actors\": %s",
+                     JsonString(phase.name).c_str(),
+                     std::string(PhaseModeName(phase.mode)).c_str(),
+                     UInt(phase.actors).c_str());
+    if (phase.mode == PhaseMode::kClosed) {
+      out += StrFormat(", \"sessions\": %s", UInt(phase.sessions).c_str());
+      out += ", \"session_mix\": [";
+      for (size_t m = 0; m < phase.session_mix.size(); ++m) {
+        if (m > 0) out += ", ";
+        out += StrFormat("{\"user\": %s, \"weight\": %s}",
+                         JsonString(phase.session_mix[m].user).c_str(),
+                         Num(phase.session_mix[m].weight).c_str());
+      }
+      out += "]";
+      out += StrFormat(", \"env\": \"%s\"",
+                       std::string(EnvironmentName(phase.env)).c_str());
+      out += StrFormat(", \"think_ms\": %s", Int(phase.think_ms).c_str());
+    } else {
+      out += StrFormat(", \"duration_ms\": %s, \"rate\": %s, \"k\": %s",
+                       Int(phase.duration_ms).c_str(),
+                       Num(phase.rate).c_str(), UInt(phase.k).c_str());
+      if (!phase.query_mix.empty()) {
+        out += ", \"query_mix\": [";
+        for (size_t m = 0; m < phase.query_mix.size(); ++m) {
+          if (m > 0) out += ", ";
+          out += StrFormat("{\"text\": %s, \"weight\": %s}",
+                           JsonString(phase.query_mix[m].text).c_str(),
+                           Num(phase.query_mix[m].weight).c_str());
+        }
+        out += "]";
+      }
+    }
+    if (!phase.fault_spec.empty()) {
+      out += StrFormat(", \"fault_spec\": %s, \"fault_seed\": %s",
+                       JsonString(phase.fault_spec).c_str(),
+                       UInt(phase.fault_seed).c_str());
+    }
+    if (phase.writes.has_value()) {
+      out += StrFormat(
+          ", \"writes\": {\"rate\": %s, \"publish_every\": %s}",
+          Num(phase.writes->rate).c_str(),
+          UInt(phase.writes->publish_every).c_str());
+    }
+    out += i + 1 < phases.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace workload
+}  // namespace ivr

@@ -1,0 +1,159 @@
+#ifndef IVR_WORKLOAD_SPEC_H_
+#define IVR_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ivr/core/clock.h"
+#include "ivr/core/result.h"
+#include "ivr/sim/simulator.h"
+
+namespace ivr {
+namespace workload {
+
+/// The declarative workload format: scenarios as data instead of bespoke
+/// bench code (genny's PhaseLoop/Orchestrator design). A workload is a
+/// sequence of phases separated by barriers; each phase declares its
+/// pacing model, actor count and load shape, so ramp/spike/soak regimes
+/// are a phase list, not a new C++ driver.
+///
+/// JSON layout (every key below; unknown keys are rejected with the
+/// offending path):
+///
+///   {
+///     "name": "overload",              // required
+///     "seed": 1,
+///     "target": "direct",              // "direct" | "http"
+///     "http": {"host": "127.0.0.1", "port": 0},
+///     "cache": {"mb": 16, "shards": 8},
+///     "service": {"shards": 8, "max_sessions": 0, "ttl_ms": 0},
+///     "ingest": {"stream_seed": 7, "stream_videos": 6,
+///                "stream_topics": 6, "publish_every": 2},
+///     "phases": [
+///       {"name": "warm", "mode": "closed", "actors": 4, "sessions": 16,
+///        "session_mix": [{"user": "novice", "weight": 3},
+///                        {"user": "expert", "weight": 1}],
+///        "env": "desktop", "think_ms": 0},
+///       {"name": "surge", "mode": "open", "actors": 8,
+///        "duration_ms": 2000, "rate": 500, "k": 10,
+///        "query_mix": [{"text": "election results", "weight": 1}],
+///        "writes": {"rate": 10, "publish_every": 4},
+///        "fault_spec": "engine.visual:0.05", "fault_seed": 1}
+///     ]
+///   }
+///
+/// Closed-loop phases drive whole simulated-user sessions (SessionSimulator
+/// over stereotype UserModels) back to back: offered load follows service
+/// speed, the classic throughput shape. Open-loop phases fire one-shot
+/// service operations at Poisson arrival instants regardless of
+/// completion, the shape that measures latency past saturation.
+
+enum class PhaseMode { kClosed, kOpen };
+enum class TargetKind { kDirect, kHttp };
+
+std::string_view PhaseModeName(PhaseMode mode);
+std::string_view TargetKindName(TargetKind kind);
+
+/// One weighted stereotype-user entry of a closed phase's session mix.
+struct SessionMixEntry {
+  std::string user = "novice";  ///< novice | expert | couch
+  double weight = 1.0;
+};
+
+/// One weighted query of an open phase's query mix.
+struct QueryMixEntry {
+  std::string text;
+  double weight = 1.0;
+};
+
+/// Ingest-writer load inside a phase (requires the workload-level
+/// "ingest" block; direct target only).
+struct WritesSpec {
+  double rate = 1.0;         ///< appends per second (interval pacing)
+  size_t publish_every = 1;  ///< Publish() after this many appends
+};
+
+struct PhaseSpec {
+  std::string name;
+  PhaseMode mode = PhaseMode::kClosed;
+  size_t actors = 1;
+
+  // Closed-loop shape.
+  size_t sessions = 0;  ///< total simulated sessions (mode == kClosed)
+  std::vector<SessionMixEntry> session_mix;  ///< default: novice only
+  Environment env = Environment::kDesktop;
+  TimeMs think_ms = 0;
+
+  // Open-loop shape.
+  TimeMs duration_ms = 0;  ///< phase length (mode == kOpen)
+  double rate = 0.0;       ///< offered arrivals per second (mode == kOpen)
+  size_t k = 10;           ///< results per open-loop search
+  std::vector<QueryMixEntry> query_mix;  ///< default: topic titles
+
+  // Either mode.
+  std::string fault_spec;  ///< re-arms the fault injector for this phase
+  uint64_t fault_seed = 1;
+  std::optional<WritesSpec> writes;
+};
+
+struct HttpTargetSpec {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = must be supplied at run time (--port)
+};
+
+struct CacheSpec {
+  size_t mb = 0;  ///< 0 = no result cache
+  size_t shards = 8;
+};
+
+struct ServiceSpec {
+  size_t shards = 8;
+  size_t max_sessions = 0;
+  TimeMs ttl_ms = 0;
+};
+
+/// Source of the synthetic stream the ingest writer appends from.
+struct IngestSpec {
+  uint64_t stream_seed = 7;
+  size_t stream_videos = 6;
+  size_t stream_topics = 6;
+  size_t publish_every = 2;  ///< default for phases whose writes omit it
+};
+
+struct WorkloadSpec {
+  std::string name;
+  uint64_t seed = 1;
+  TargetKind target = TargetKind::kDirect;
+  HttpTargetSpec http;
+  CacheSpec cache;
+  ServiceSpec service;
+  std::optional<IngestSpec> ingest;
+  std::vector<PhaseSpec> phases;
+
+  /// Canonical JSON form (every field explicit). Parse(ToJson()) yields
+  /// an identical spec — the round-trip property the parser test pins.
+  std::string ToJson() const;
+
+  bool HasWrites() const;
+  bool HasFaultPhases() const;
+};
+
+/// Parses and validates one workload document. Every diagnostic names the
+/// offending field by path ("$.phases[1].rate: must be > 0"); unknown keys
+/// anywhere are errors. Never aborts — all failures are InvalidArgument.
+Result<WorkloadSpec> ParseWorkload(std::string_view json);
+
+/// ReadFileToString + ParseWorkload, prefixing diagnostics with the path.
+Result<WorkloadSpec> LoadWorkloadFile(const std::string& path);
+
+/// Maps a mix entry's user name to the stereotype model; InvalidArgument
+/// for unknown names (the parser already rejects them — this is for
+/// callers resolving a validated spec).
+Result<UserModel> UserModelByName(std::string_view name);
+
+}  // namespace workload
+}  // namespace ivr
+
+#endif  // IVR_WORKLOAD_SPEC_H_

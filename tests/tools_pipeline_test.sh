@@ -300,4 +300,86 @@ test "$(stat_value "$WORK_DIR/stats_ihttpd.json" http.requests_abandoned)" \
     --check > "$WORK_DIR/ingest_reopen.log"
 grep -q "check ok" "$WORK_DIR/ingest_reopen.log"
 
+# Declarative workloads: the serve_smoke workload file must reproduce the
+# equivalent ivr_serve_sim invocation bit for bit (one file + one seed =
+# one E-S1-style run), and its own concurrent-vs-sequential --check must
+# hold.
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+"$TOOLS/ivr_serve_sim" --collection "$WORK_DIR/c.ivr" --sessions 8 \
+    --threads 2 --seed 1 \
+    --rankings "$WORK_DIR/serve_rankings.txt" > /dev/null 2>&1
+test -s "$WORK_DIR/serve_rankings.txt"
+"$TOOLS/ivr_workload" --workload "$SRC_DIR/workloads/serve_smoke.json" \
+    --collection "$WORK_DIR/c.ivr" --check \
+    --rankings "$WORK_DIR/workload_rankings.txt" \
+    --report "$WORK_DIR/workload_report.json" \
+    --stats-json "$WORK_DIR/stats_workload.json" \
+    > "$WORK_DIR/workload.log" 2> /dev/null
+grep -q "bit-identical" "$WORK_DIR/workload.log"
+cmp "$WORK_DIR/serve_rankings.txt" "$WORK_DIR/workload_rankings.txt"
+check_stats "$WORK_DIR/stats_workload.json"
+grep -q '"type": "ivr.workload"' "$WORK_DIR/workload_report.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
+      "$WORK_DIR/workload_report.json"
+fi
+
+# A malformed workload is rejected with a path-to-field diagnostic.
+printf '{"name": "bad", "phases": []}' > "$WORK_DIR/bad_workload.json"
+BAD_RC=0
+"$TOOLS/ivr_workload" --workload "$WORK_DIR/bad_workload.json" \
+    2> "$WORK_DIR/bad_workload_err.txt" > /dev/null || BAD_RC=$?
+test "$BAD_RC" -ne 0
+grep -q '\$\.phases' "$WORK_DIR/bad_workload_err.txt"
+
+# The perf canary: clean build passes the committed bounds; an injected
+# per-operation slowdown must trip them (non-zero exit + a violation that
+# names the phase and the bound).
+"$TOOLS/ivr_workload" --workload "$SRC_DIR/workloads/canary.json" \
+    --bounds "$SRC_DIR/workloads/canary_bounds.json" \
+    --report "$WORK_DIR/canary_report.json" \
+    > "$WORK_DIR/canary.log" 2> /dev/null
+grep -q "bounds: all phases within" "$WORK_DIR/canary.log"
+CANARY_RC=0
+IVR_WORKLOAD_CANARY_DELAY_US=300000 "$TOOLS/ivr_workload" \
+    --workload "$SRC_DIR/workloads/canary.json" \
+    --bounds "$SRC_DIR/workloads/canary_bounds.json" \
+    > /dev/null 2> "$WORK_DIR/canary_trip.txt" || CANARY_RC=$?
+test "$CANARY_RC" -ne 0
+grep -q 'bounds VIOLATION: phase "open_micro"' "$WORK_DIR/canary_trip.txt"
+grep -q "max_p99_us" "$WORK_DIR/canary_trip.txt"
+
+# Mixed read/write soak: open-loop readers against the live engine while
+# the ingest writer appends and publishes inside the phase.
+"$TOOLS/ivr_workload" \
+    --workload "$SRC_DIR/workloads/mixed_ingest_soak.json" \
+    --collection "$WORK_DIR/c.ivr" --ingest-dir "$WORK_DIR/wl_ingest" \
+    > "$WORK_DIR/soak.log" 2> /dev/null
+grep -q "appends [1-9]" "$WORK_DIR/soak.log"
+grep -q "publishes [1-9]" "$WORK_DIR/soak.log"
+
+# The http target drives the same phases through ivr_httpd's v1 API with
+# the --port override supplying the ephemeral port.
+"$TOOLS/ivr_httpd" --collection "$WORK_DIR/c.ivr" \
+    --port-file "$WORK_DIR/wport.txt" --threads 2 --cache-mb 16 \
+    > "$WORK_DIR/whttpd.log" 2> /dev/null &
+WHTTPD_PID=$!
+for _ in $(seq 1 100); do
+  test -s "$WORK_DIR/wport.txt" && break
+  sleep 0.1
+done
+test -s "$WORK_DIR/wport.txt"
+WHTTPD_PORT="$(cat "$WORK_DIR/wport.txt")"
+"$TOOLS/ivr_workload" --workload "$SRC_DIR/workloads/http_smoke.json" \
+    --collection "$WORK_DIR/c.ivr" --port "$WHTTPD_PORT" \
+    > "$WORK_DIR/http_workload.log" 2> /dev/null
+test "$(grep -c "^phase " "$WORK_DIR/http_workload.log")" -eq 2
+if grep -q "failures [1-9]" "$WORK_DIR/http_workload.log"; then
+  echo "http workload had failures:" >&2
+  cat "$WORK_DIR/http_workload.log" >&2
+  exit 1
+fi
+kill -TERM "$WHTTPD_PID"
+wait "$WHTTPD_PID" || true
+
 echo "tools pipeline OK"

@@ -1,0 +1,154 @@
+// The perf-canary contract end to end: a clean run of a canary-style
+// workload passes its committed bounds, an injected slowdown (the
+// OrchestratorConfig::canary_delay_us hook behind the
+// IVR_WORKLOAD_CANARY_DELAY_US env var) demonstrably trips them, and
+// malformed bounds documents are errors — including bounds naming a phase
+// the report lacks, the canary that could otherwise never fire.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ivr/video/generator.h"
+#include "ivr/workload/orchestrator.h"
+#include "ivr/workload/report.h"
+#include "ivr/workload/spec.h"
+
+namespace ivr {
+namespace workload {
+namespace {
+
+WorkloadSpec CanarySpec() {
+  Result<WorkloadSpec> spec = ParseWorkload(R"({
+    "name": "canary", "seed": 1, "cache": {"mb": 4},
+    "phases": [
+      {"name": "closed_micro", "mode": "closed", "actors": 2,
+       "sessions": 4},
+      {"name": "open_micro", "mode": "open", "actors": 2,
+       "duration_ms": 200, "rate": 60, "k": 5}
+    ]})");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+Result<RunArtifacts> RunCanary(int64_t canary_delay_us) {
+  GeneratorOptions options;
+  options.seed = 77;
+  options.num_videos = 10;
+  options.num_topics = 5;
+  OrchestratorConfig config;
+  config.collection = GenerateCollection(options).value();
+  config.canary_delay_us = canary_delay_us;
+  Orchestrator orchestrator(CanarySpec(), std::move(config));
+  return orchestrator.Run();
+}
+
+// Loose enough for any CI machine, tight enough that a 50ms injected
+// delay (1000x the clean p99 on any plausible hardware) must trip it.
+const char* kBounds = R"({
+  "phases": {
+    "closed_micro": {"max_failures": 0, "min_ops": 4},
+    "open_micro": {"max_failures": 0, "min_ops": 5, "max_p99_us": 20000}
+  }})";
+
+TEST(WorkloadCanaryTest, CleanRunPassesBounds) {
+  const Result<RunArtifacts> run = RunCanary(0);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const Result<std::vector<std::string>> violations =
+      CheckBounds(run->report, kBounds);
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  EXPECT_TRUE(violations->empty())
+      << "unexpected violation: " << violations->front();
+}
+
+TEST(WorkloadCanaryTest, InjectedSlowdownTripsTheBounds) {
+  const Result<RunArtifacts> run = RunCanary(50000);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const Result<std::vector<std::string>> violations =
+      CheckBounds(run->report, kBounds);
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  ASSERT_FALSE(violations->empty())
+      << "a 50ms injected delay must violate max_p99_us 20000";
+  bool p99_violation = false;
+  for (const std::string& violation : *violations) {
+    if (violation.find("open_micro") != std::string::npos &&
+        violation.find("max_p99_us") != std::string::npos) {
+      p99_violation = true;
+    }
+  }
+  EXPECT_TRUE(p99_violation) << violations->front();
+}
+
+/// A hand-built report for the pure bounds-evaluation cases.
+WorkloadReport TinyReport() {
+  WorkloadReport report;
+  report.workload = "tiny";
+  report.seed = 1;
+  PhaseResult phase;
+  phase.name = "serve";
+  phase.ops = 10;
+  phase.failures = 2;
+  phase.achieved_rate = 100.0;
+  report.phases.push_back(std::move(phase));
+  return report;
+}
+
+TEST(WorkloadCanaryTest, ViolationsNamePhaseAndBound) {
+  const Result<std::vector<std::string>> violations = CheckBounds(
+      TinyReport(),
+      R"({"phases": {"serve": {"max_failures": 0, "min_ops": 50,
+                               "min_achieved_rate": 500}}})");
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  ASSERT_EQ(violations->size(), 3u);
+  EXPECT_NE((*violations)[0].find("failures 2 > max_failures 0"),
+            std::string::npos)
+      << (*violations)[0];
+  EXPECT_NE((*violations)[1].find("ops 10 < min_ops 50"),
+            std::string::npos)
+      << (*violations)[1];
+  EXPECT_NE((*violations)[2].find("min_achieved_rate"), std::string::npos)
+      << (*violations)[2];
+}
+
+TEST(WorkloadCanaryTest, SatisfiedBoundsProduceNoViolations) {
+  const Result<std::vector<std::string>> violations = CheckBounds(
+      TinyReport(),
+      R"({"phases": {"serve": {"max_failures": 2, "min_ops": 10}}})");
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(WorkloadCanaryTest, BoundsNamingAMissingPhaseAreAnError) {
+  // A renamed phase must not silently stop being checked.
+  const Result<std::vector<std::string>> violations = CheckBounds(
+      TinyReport(), R"({"phases": {"renamed": {"max_failures": 0}}})");
+  ASSERT_FALSE(violations.ok());
+  EXPECT_NE(violations.status().ToString().find("renamed"),
+            std::string::npos)
+      << violations.status().ToString();
+}
+
+TEST(WorkloadCanaryTest, MalformedBoundsAreErrors) {
+  EXPECT_FALSE(CheckBounds(TinyReport(), "not json").ok());
+  EXPECT_FALSE(CheckBounds(TinyReport(), "[]").ok());
+  // Unknown top-level key.
+  EXPECT_FALSE(
+      CheckBounds(TinyReport(), R"({"limits": {}})").ok());
+  // Unknown bound key inside a phase.
+  const Result<std::vector<std::string>> unknown_bound = CheckBounds(
+      TinyReport(), R"({"phases": {"serve": {"max_latency": 5}}})");
+  ASSERT_FALSE(unknown_bound.ok());
+  EXPECT_NE(unknown_bound.status().ToString().find("max_latency"),
+            std::string::npos);
+  // Non-numeric bound value.
+  EXPECT_FALSE(
+      CheckBounds(TinyReport(),
+                  R"({"phases": {"serve": {"min_ops": "ten"}}})")
+          .ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ivr

@@ -1,0 +1,285 @@
+// Golden accept/reject suite for the workload DSL parser: valid documents
+// round-trip through ToJson(), and every malformed document is rejected
+// with a diagnostic naming the offending field by path — never an abort.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ivr/core/status.h"
+#include "ivr/workload/spec.h"
+
+namespace ivr {
+namespace workload {
+namespace {
+
+/// The kitchen-sink valid document: every optional block present, both
+/// phase modes, mixes, faults and writes.
+const char* kFullDoc = R"({
+  "name": "full",
+  "seed": 9,
+  "target": "direct",
+  "cache": {"mb": 16, "shards": 4},
+  "service": {"shards": 4, "max_sessions": 100, "ttl_ms": 60000},
+  "ingest": {"stream_seed": 7, "stream_videos": 6, "stream_topics": 6,
+             "publish_every": 2},
+  "phases": [
+    {"name": "warm", "mode": "closed", "actors": 4, "sessions": 16,
+     "session_mix": [{"user": "novice", "weight": 3},
+                     {"user": "expert", "weight": 1}],
+     "env": "tv", "think_ms": 5},
+    {"name": "surge", "mode": "open", "actors": 8, "duration_ms": 2000,
+     "rate": 500, "k": 20,
+     "query_mix": [{"text": "election results", "weight": 2},
+                   {"text": "weather", "weight": 1}],
+     "writes": {"rate": 10, "publish_every": 4},
+     "fault_spec": "engine.visual:0.05", "fault_seed": 3}
+  ]
+})";
+
+std::string ParseError(const std::string& json) {
+  Result<WorkloadSpec> spec = ParseWorkload(json);
+  EXPECT_FALSE(spec.ok()) << "unexpectedly accepted: " << json;
+  if (spec.ok()) return "";
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument)
+      << spec.status().ToString();
+  return spec.status().ToString();
+}
+
+TEST(WorkloadParserTest, FullDocumentRoundTrips) {
+  Result<WorkloadSpec> spec = ParseWorkload(kFullDoc);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "full");
+  EXPECT_EQ(spec->seed, 9u);
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0].mode, PhaseMode::kClosed);
+  EXPECT_EQ(spec->phases[0].env, Environment::kTv);
+  EXPECT_EQ(spec->phases[0].session_mix.size(), 2u);
+  EXPECT_EQ(spec->phases[1].mode, PhaseMode::kOpen);
+  EXPECT_EQ(spec->phases[1].rate, 500.0);
+  ASSERT_TRUE(spec->phases[1].writes.has_value());
+  EXPECT_EQ(spec->phases[1].writes->publish_every, 4u);
+
+  // The canonical form is a fixed point: Parse(ToJson()) == ToJson().
+  const std::string canonical = spec->ToJson();
+  Result<WorkloadSpec> reparsed = ParseWorkload(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToJson(), canonical);
+}
+
+TEST(WorkloadParserTest, MinimalDocumentGetsDefaults) {
+  Result<WorkloadSpec> spec = ParseWorkload(
+      R"({"name": "mini", "phases": [
+            {"name": "p", "mode": "closed", "sessions": 1}]})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->seed, 1u);
+  EXPECT_EQ(spec->target, TargetKind::kDirect);
+  EXPECT_EQ(spec->cache.mb, 0u);
+  ASSERT_EQ(spec->phases.size(), 1u);
+  EXPECT_EQ(spec->phases[0].actors, 1u);
+  // The default session mix is all-novice.
+  ASSERT_EQ(spec->phases[0].session_mix.size(), 1u);
+  EXPECT_EQ(spec->phases[0].session_mix[0].user, "novice");
+
+  const std::string canonical = spec->ToJson();
+  Result<WorkloadSpec> reparsed = ParseWorkload(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToJson(), canonical);
+}
+
+TEST(WorkloadParserTest, RejectsNonObjectAndGarbage) {
+  EXPECT_NE(ParseError("[]").find("$"), std::string::npos);
+  EXPECT_FALSE(ParseWorkload("{ not json").ok());
+  EXPECT_FALSE(ParseWorkload("").ok());
+}
+
+TEST(WorkloadParserTest, RejectsUnknownTopLevelKey) {
+  const std::string error = ParseError(
+      R"({"name": "w", "bogus": 1,
+          "phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(error.find("$.bogus"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown key"), std::string::npos) << error;
+  EXPECT_NE(error.find("known keys"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, RejectsUnknownPhaseKey) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [
+            {"name": "p", "mode": "closed", "sessions": 1, "warmup": 1}]})");
+  EXPECT_NE(error.find("$.phases[0].warmup"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, RejectsMissingName) {
+  const std::string error = ParseError(
+      R"({"phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(error.find("$.name"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, RejectsMissingOrEmptyPhases) {
+  EXPECT_NE(ParseError(R"({"name": "w"})").find("$.phases"),
+            std::string::npos);
+  EXPECT_NE(ParseError(R"({"name": "w", "phases": []})").find("$.phases"),
+            std::string::npos);
+}
+
+TEST(WorkloadParserTest, RejectsBadMode) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "burst"}]})");
+  EXPECT_NE(error.find("$.phases[0].mode"), std::string::npos) << error;
+  EXPECT_NE(error.find("burst"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, ClosedPhaseRequiresSessions) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed"}]})");
+  EXPECT_NE(error.find("$.phases[0].sessions"), std::string::npos) << error;
+  EXPECT_NE(error.find("required"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, OpenPhaseRequiresDurationAndRate) {
+  const std::string no_duration = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+                                   "rate": 10}]})");
+  EXPECT_NE(no_duration.find("$.phases[0].duration_ms"), std::string::npos)
+      << no_duration;
+  const std::string no_rate = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+                                   "duration_ms": 100}]})");
+  EXPECT_NE(no_rate.find("$.phases[0].rate"), std::string::npos) << no_rate;
+}
+
+TEST(WorkloadParserTest, RejectsNonPositiveDurationAndRate) {
+  const std::string negative = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+                                   "duration_ms": -5, "rate": 10}]})");
+  EXPECT_NE(negative.find("$.phases[0].duration_ms"), std::string::npos)
+      << negative;
+  const std::string zero_rate = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+                                   "duration_ms": 100, "rate": 0}]})");
+  EXPECT_NE(zero_rate.find("$.phases[0].rate"), std::string::npos)
+      << zero_rate;
+}
+
+TEST(WorkloadParserTest, RejectsModeMismatchedKeys) {
+  // Closed phases must not carry open-loop shape keys and vice versa; the
+  // diagnostic names the misplaced key, not just "unknown".
+  const std::string closed_rate = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+                                   "sessions": 1, "rate": 10}]})");
+  EXPECT_NE(closed_rate.find("$.phases[0].rate"), std::string::npos)
+      << closed_rate;
+  const std::string open_sessions = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+                                   "duration_ms": 100, "rate": 10,
+                                   "sessions": 4}]})");
+  EXPECT_NE(open_sessions.find("$.phases[0].sessions"), std::string::npos)
+      << open_sessions;
+}
+
+TEST(WorkloadParserTest, RejectsBadSessionMix) {
+  const std::string unknown_user = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1,
+            "session_mix": [{"user": "wizard", "weight": 1}]}]})");
+  EXPECT_NE(unknown_user.find("$.phases[0].session_mix[0].user"),
+            std::string::npos)
+      << unknown_user;
+  const std::string bad_weight = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1,
+            "session_mix": [{"user": "novice", "weight": 0}]}]})");
+  EXPECT_NE(bad_weight.find("$.phases[0].session_mix[0].weight"),
+            std::string::npos)
+      << bad_weight;
+  const std::string empty = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1, "session_mix": []}]})");
+  EXPECT_NE(empty.find("$.phases[0].session_mix"), std::string::npos)
+      << empty;
+}
+
+TEST(WorkloadParserTest, RejectsBadQueryMix) {
+  const std::string empty_text = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+            "duration_ms": 100, "rate": 10,
+            "query_mix": [{"text": "", "weight": 1}]}]})");
+  EXPECT_NE(empty_text.find("$.phases[0].query_mix[0].text"),
+            std::string::npos)
+      << empty_text;
+}
+
+TEST(WorkloadParserTest, RejectsDuplicatePhaseNames) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [
+            {"name": "p", "mode": "closed", "sessions": 1},
+            {"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(error.find("$.phases[1].name"), std::string::npos) << error;
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, WritesRequireIngestBlockAndDirectTarget) {
+  const std::string no_ingest = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "open",
+            "duration_ms": 100, "rate": 10, "writes": {"rate": 1}}]})");
+  EXPECT_NE(no_ingest.find("$.phases[0].writes"), std::string::npos)
+      << no_ingest;
+  EXPECT_NE(no_ingest.find("ingest"), std::string::npos) << no_ingest;
+
+  const std::string http_ingest = ParseError(
+      R"({"name": "w", "target": "http",
+          "ingest": {},
+          "phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(http_ingest.find("$.ingest"), std::string::npos) << http_ingest;
+}
+
+TEST(WorkloadParserTest, RejectsBadHttpBlock) {
+  const std::string bad_port = ParseError(
+      R"({"name": "w", "target": "http", "http": {"port": 70000},
+          "phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(bad_port.find("$.http.port"), std::string::npos) << bad_port;
+  EXPECT_NE(bad_port.find("65535"), std::string::npos) << bad_port;
+}
+
+TEST(WorkloadParserTest, RejectsEmptyFaultSpec) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1, "fault_spec": ""}]})");
+  EXPECT_NE(error.find("$.phases[0].fault_spec"), std::string::npos)
+      << error;
+}
+
+TEST(WorkloadParserTest, RejectsNonIntegerCounts) {
+  const std::string fractional = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1.5}]})");
+  EXPECT_NE(fractional.find("$.phases[0].sessions"), std::string::npos)
+      << fractional;
+  EXPECT_NE(fractional.find("integer"), std::string::npos) << fractional;
+}
+
+TEST(WorkloadParserTest, RejectsOutOfRangeActors) {
+  const std::string error = ParseError(
+      R"({"name": "w", "phases": [{"name": "p", "mode": "closed",
+            "sessions": 1, "actors": 0}]})");
+  EXPECT_NE(error.find("$.phases[0].actors"), std::string::npos) << error;
+  EXPECT_NE(error.find("[1, 256]"), std::string::npos) << error;
+}
+
+TEST(WorkloadParserTest, UserModelByNameCoversStereotypes) {
+  for (const char* name : {"novice", "expert", "couch"}) {
+    Result<UserModel> user = UserModelByName(name);
+    ASSERT_TRUE(user.ok()) << name;
+  }
+  EXPECT_FALSE(UserModelByName("wizard").ok());
+}
+
+TEST(WorkloadParserTest, LoadWorkloadFilePrefixesPath) {
+  Result<WorkloadSpec> missing =
+      LoadWorkloadFile("/nonexistent/workload.json");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ivr

@@ -6,7 +6,7 @@
 //                 [--env desktop|tv] [--user novice|expert|couch]
 //                 [--seed 1] [--shards 8] [--max-sessions N] [--ttl-ms N]
 //                 [--persist-dir DIR] [--persist-every N] [--think MS]
-//                 [--cache-mb N] [--cache-shards S]
+//                 [--cache-mb N] [--cache-shards S] [--rankings PATH]
 //                 [--check] [--fault-spec SPEC] [--fault-seed N]
 //                 [--stats-json PATH] [--trace PATH]
 //
@@ -43,6 +43,7 @@
 #include "ivr/cache/result_cache.h"
 #include "ivr/core/args.h"
 #include "ivr/core/fault_injection.h"
+#include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
 #include "ivr/obs/report.h"
 #include "ivr/service/managed_backend.h"
@@ -133,8 +134,8 @@ int Main(int argc, char** argv) {
   const Status flags_ok = args->RejectUnknown(
       {"collection", "sessions", "threads", "env", "user", "seed", "shards",
        "max-sessions", "ttl-ms", "persist-dir", "persist-every", "think",
-       "cache-mb", "cache-shards", "check", "fault-spec", "fault-seed",
-       "stats-json", "trace"});
+       "cache-mb", "cache-shards", "check", "rankings", "fault-spec",
+       "fault-seed", "stats-json", "trace"});
   if (!flags_ok.ok()) {
     std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
     return 2;
@@ -264,6 +265,29 @@ int Main(int argc, char** argv) {
   std::printf("%s\n", manager.Stats().ToString().c_str());
 
   int rc = 0;
+  const std::string rankings_path = args->GetString("rankings");
+  if (!rankings_path.empty()) {
+    // Same line format ivr_workload --rankings writes for closed
+    // sessions, so the two dumps are byte-comparable with cmp(1).
+    std::string out;
+    for (size_t j = 0; j < sessions.size(); ++j) {
+      const auto& per_query = sessions[j].outcome.per_query_results;
+      for (size_t q = 0; q < per_query.size(); ++q) {
+        std::string line;
+        for (size_t i = 0; i < per_query[q].size(); ++i) {
+          if (i > 0) line += " ";
+          const RankedShot& entry = per_query[q].at(i);
+          line += StrFormat("%u:%.17g", entry.shot, entry.score);
+        }
+        out += StrFormat("s%zu q%zu %s\n", j, q, line.c_str());
+      }
+    }
+    const Status written = WriteFileAtomic(rankings_path, out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      rc = 1;
+    }
+  }
   if (*check) {
     // Replay the identical workload sequentially (no pacing) on a fresh
     // manager; per-session results must match bit for bit. Only valid
