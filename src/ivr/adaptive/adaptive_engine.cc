@@ -98,7 +98,10 @@ std::vector<RelevanceEvidence> AdaptiveEngine::CurrentEvidence(
   opts.use_ostensive = options_.use_ostensive;
   opts.ostensive_half_life_ms = options_.ostensive_half_life_ms;
   const ImplicitRelevanceEstimator estimator(SchemeFor(ctx), opts);
-  return estimator.Estimate(ctx.events, &engine_->collection());
+  const RetrievalEngine* engine = engine_;
+  return estimator.Estimate(
+      ctx.events,
+      ShotLookup([engine](ShotId id) { return engine->FindShot(id); }));
 }
 
 const std::vector<RelevanceEvidence>& AdaptiveEngine::CachedEvidence(
@@ -183,8 +186,11 @@ ResultList AdaptiveEngine::Search(SessionContext* ctx, const Query& query,
     } else {
       ProfileRerankOptions rerank;
       rerank.lambda = options_.profile_lambda;
-      fused = RerankWithProfile(fused, *profile, engine_->collection(),
-                                rerank);
+      const RetrievalEngine* engine = engine_;
+      fused = RerankWithProfile(
+          fused, *profile,
+          ShotLookup([engine](ShotId id) { return engine->FindShot(id); }),
+          rerank);
       metrics_.profile_reranks->Inc();
     }
   }

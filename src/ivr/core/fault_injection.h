@@ -32,6 +32,7 @@ namespace ivr {
 ///   file.atomic.write    WriteFileAtomic: payload write to the temp file
 ///   file.atomic.sync     WriteFileAtomic: fsync before rename
 ///   file.atomic.rename   WriteFileAtomic: publish rename
+///   file.atomic.dirsync  SyncParentDirectory: directory-entry fsync
 ///   collection.load      LoadCollection / LoadCollectionRobust entry
 ///   profile.load         ProfileStore::Load entry
 ///   sessionlog.load      SessionLog::Load entry

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -123,14 +124,49 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
     return status;
   }
 
-  // Persist the directory entry too; best-effort (some filesystems refuse
-  // to open directories for writing, and the data itself is already safe).
-  const int dir_fd = ::open(DirName(path).c_str(), O_RDONLY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
+  // Persist the rename itself: without the directory fsync a crash can
+  // roll the entry back to the old content (or, for a first write, to no
+  // file at all) even though the data blocks were synced. An error here
+  // means "visible but possibly not durable" — reported so callers
+  // retry the (idempotent) write instead of trusting the entry.
+  return SyncParentDirectory(path);
+}
+
+Status SyncParentDirectory(const std::string& path) {
+  IVR_RETURN_IF_ERROR(
+      FaultInjector::Global().MaybeFail("file.atomic.dirsync"));
+  const std::string dir = DirName(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::IOError("cannot open directory " + dir +
+                           " for fsync: " + std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const Status status = Status::IOError(
+        "directory fsync failed for " + dir + ": " + std::strerror(errno));
     ::close(dir_fd);
+    return status;
+  }
+  if (::close(dir_fd) != 0) {
+    return Status::IOError("directory close failed for " + dir + ": " +
+                           std::strerror(errno));
   }
   return Status::OK();
+}
+
+bool IsAtomicTempName(std::string_view name) {
+  // "<target>.tmpXXXXXX": a non-empty target, the ".tmp" marker, and
+  // exactly six mkstemp replacement characters (alphanumeric).
+  constexpr size_t kSuffix = 6;
+  constexpr std::string_view kMarker = ".tmp";
+  if (name.size() < 1 + kMarker.size() + kSuffix) return false;
+  const size_t marker_pos = name.size() - kSuffix - kMarker.size();
+  if (name.substr(marker_pos, kMarker.size()) != kMarker) return false;
+  for (size_t i = name.size() - kSuffix; i < name.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    if (!std::isalnum(c)) return false;
+  }
+  return true;
 }
 
 bool FileExists(const std::string& path) {

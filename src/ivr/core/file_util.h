@@ -19,12 +19,29 @@ Result<std::string> ReadFileToString(const std::string& path);
 Status WriteStringToFile(const std::string& path, std::string_view content);
 
 /// Crash-safe replacement write: writes `content` to a unique temp file in
-/// the same directory, fsyncs it, and renames it over `path`. At every
-/// point in time `path` holds either the complete old or the complete new
-/// content, never a torn mix; on any failure the temp file is removed and
-/// the old content is untouched. Fault sites: "file.atomic.write",
-/// "file.atomic.sync", "file.atomic.rename".
+/// the same directory, fsyncs it, renames it over `path`, and fsyncs the
+/// directory so the rename itself survives power loss. At every point in
+/// time `path` holds either the complete old or the complete new content,
+/// never a torn mix; on any failure the temp file is removed and the old
+/// content is untouched. A post-rename directory-fsync failure is
+/// reported as an error even though the new content is already visible —
+/// callers treat the write as not-durable and retry, which is idempotent.
+/// Fault sites: "file.atomic.write", "file.atomic.sync",
+/// "file.atomic.rename", "file.atomic.dirsync".
 Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Fsyncs the directory containing `path`, making a just-created (or
+/// just-renamed) entry for `path` durable. Without this, a crash after a
+/// file's own fsync can still lose the file: the data blocks are safe
+/// but the directory entry pointing at them is not. Fault site:
+/// "file.atomic.dirsync".
+Status SyncParentDirectory(const std::string& path);
+
+/// True when `name` matches the "<target>.tmpXXXXXX" pattern of
+/// WriteFileAtomic's mkstemp temp files — the residue a crash between
+/// temp creation and rename leaves behind. Startup sweeps use this to
+/// reclaim the space without ever touching a committed file.
+bool IsAtomicTempName(std::string_view name);
 
 bool FileExists(const std::string& path);
 

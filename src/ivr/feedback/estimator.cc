@@ -16,6 +16,16 @@ std::vector<RelevanceEvidence> ImplicitRelevanceEstimator::Estimate(
                                 now);
 }
 
+std::vector<RelevanceEvidence> ImplicitRelevanceEstimator::Estimate(
+    const std::vector<InteractionEvent>& events,
+    const ShotLookup& lookup) const {
+  TimeMs now = 0;
+  for (const InteractionEvent& ev : events) {
+    now = std::max(now, ev.time);
+  }
+  return EstimateFromIndicators(AggregateIndicators(events, lookup), now);
+}
+
 std::vector<RelevanceEvidence>
 ImplicitRelevanceEstimator::EstimateFromIndicators(
     const std::map<ShotId, ShotIndicators>& indicators, TimeMs now) const {

@@ -45,6 +45,12 @@ class ImplicitRelevanceEstimator {
       const std::vector<InteractionEvent>& events,
       const VideoCollection* collection) const;
 
+  /// Same, resolving shots through a lookup (empty function to skip
+  /// durations); what segmented engines use.
+  std::vector<RelevanceEvidence> Estimate(
+      const std::vector<InteractionEvent>& events,
+      const ShotLookup& lookup) const;
+
   /// Same, starting from already-aggregated indicators (ostensive decay
   /// uses each record's last_interaction; `now` anchors the decay).
   std::vector<RelevanceEvidence> EstimateFromIndicators(

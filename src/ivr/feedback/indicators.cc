@@ -21,6 +21,18 @@ void Touch(ShotIndicators* e, TimeMs t) {
 std::map<ShotId, ShotIndicators> AggregateIndicators(
     std::vector<InteractionEvent> events,
     const VideoCollection* collection) {
+  ShotLookup lookup;
+  if (collection != nullptr) {
+    lookup = [collection](ShotId id) -> const Shot* {
+      Result<const Shot*> s = collection->shot(id);
+      return s.ok() ? *s : nullptr;
+    };
+  }
+  return AggregateIndicators(std::move(events), lookup);
+}
+
+std::map<ShotId, ShotIndicators> AggregateIndicators(
+    std::vector<InteractionEvent> events, const ShotLookup& lookup) {
   SortEvents(&events);
   std::map<ShotId, ShotIndicators> out;
 
@@ -116,11 +128,11 @@ std::map<ShotId, ShotIndicators> AggregateIndicators(
   for (auto& [shot, e] : out) {
     (void)shot;
     e.browsed_past = e.displays > 0 && !e.HasActiveInteraction();
-    if (collection != nullptr) {
-      Result<const Shot*> s = collection->shot(e.shot);
-      if (s.ok() && (*s)->duration_ms > 0) {
+    if (lookup) {
+      const Shot* s = lookup(e.shot);
+      if (s != nullptr && s->duration_ms > 0) {
         e.play_fraction = std::min(
-            1.0, e.play_time_ms / static_cast<double>((*s)->duration_ms));
+            1.0, e.play_time_ms / static_cast<double>(s->duration_ms));
       }
     }
   }

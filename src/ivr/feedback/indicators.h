@@ -64,6 +64,11 @@ struct ShotIndicators {
 std::map<ShotId, ShotIndicators> AggregateIndicators(
     std::vector<InteractionEvent> events, const VideoCollection* collection);
 
+/// Same, resolving shots through a lookup (empty function to skip
+/// durations). Segmented engines hand their FindShot here.
+std::map<ShotId, ShotIndicators> AggregateIndicators(
+    std::vector<InteractionEvent> events, const ShotLookup& lookup);
+
 }  // namespace ivr
 
 #endif  // IVR_FEEDBACK_INDICATORS_H_

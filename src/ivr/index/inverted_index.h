@@ -14,6 +14,30 @@
 
 namespace ivr {
 
+/// Collection-wide statistics the scorers depend on. For a segmented
+/// collection these are exact integer sums over the segments, so a scorer
+/// prepared from the summed stats is bit-identical to one prepared from a
+/// monolithic index over the same documents.
+struct CollectionStats {
+  size_t num_documents = 0;
+  uint64_t total_term_count = 0;
+
+  /// Average document length in terms (0 when empty). Must match
+  /// InvertedIndex::average_document_length() exactly: one double division
+  /// of the exact integer sums.
+  double average_document_length() const {
+    if (num_documents == 0) return 0.0;
+    return static_cast<double>(total_term_count) /
+           static_cast<double>(num_documents);
+  }
+
+  CollectionStats& operator+=(const CollectionStats& other) {
+    num_documents += other.num_documents;
+    total_term_count += other.total_term_count;
+    return *this;
+  }
+};
+
 /// In-memory inverted index over analysed text. Documents must be added in
 /// ascending DocId order (AddDocument assigns ids itself when driven via
 /// text). The index keeps collection statistics (document lengths, average
@@ -45,6 +69,10 @@ class InvertedIndex {
   uint64_t total_term_count() const { return total_term_count_; }
   /// Average document length in terms (0 when empty).
   double average_document_length() const;
+  /// The scorer-relevant statistics of this index alone.
+  CollectionStats stats() const {
+    return CollectionStats{doc_lengths_.size(), total_term_count_};
+  }
   /// Length (in indexed terms) of one document.
   uint32_t document_length(DocId doc) const {
     return doc < doc_lengths_.size() ? doc_lengths_[doc] : 0;

@@ -4,7 +4,7 @@
 
 namespace ivr {
 
-PreparedTerm Scorer::Prepare(const InvertedIndex& /*index*/, size_t df,
+PreparedTerm Scorer::Prepare(const CollectionStats& /*stats*/, size_t df,
                              uint64_t cf, uint32_t query_tf) const {
   PreparedTerm term;
   term.df = df;
@@ -13,19 +13,19 @@ PreparedTerm Scorer::Prepare(const InvertedIndex& /*index*/, size_t df,
   return term;
 }
 
-double Scorer::ScorePosting(const InvertedIndex& index,
+double Scorer::ScorePosting(const CollectionStats& stats,
                             const PreparedTerm& term, uint32_t tf,
                             uint32_t doc_len) const {
-  return Score(index, tf, doc_len, term.df, term.cf, term.query_tf);
+  return Score(stats, tf, doc_len, term.df, term.cf, term.query_tf);
 }
 
-double Bm25Scorer::Score(const InvertedIndex& index, uint32_t tf,
+double Bm25Scorer::Score(const CollectionStats& stats, uint32_t tf,
                          uint32_t doc_len, size_t df, uint64_t cf,
                          uint32_t query_tf) const {
-  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+  return ScorePosting(stats, Prepare(stats, df, cf, query_tf), tf, doc_len);
 }
 
-PreparedTerm Bm25Scorer::Prepare(const InvertedIndex& index, size_t df,
+PreparedTerm Bm25Scorer::Prepare(const CollectionStats& stats, size_t df,
                                  uint64_t cf, uint32_t query_tf) const {
   // c0 = qtf_saturation * idf * (k1+1); c1 + c2*doc_len reproduces the
   // document-length norm k1*(1 - b + b*doc_len/avgdl) without touching
@@ -35,7 +35,7 @@ PreparedTerm Bm25Scorer::Prepare(const InvertedIndex& index, size_t df,
   term.cf = cf;
   term.query_tf = query_tf;
   if (df == 0 || query_tf == 0) return term;  // c0 stays 0 -> score 0
-  const double n = static_cast<double>(index.num_documents());
+  const double n = static_cast<double>(stats.num_documents);
   const double dfd = static_cast<double>(df);
   // Robertson–Sparck-Jones IDF with +1 inside the log to keep it positive
   // for very common terms (the Lucene variant).
@@ -45,7 +45,7 @@ PreparedTerm Bm25Scorer::Prepare(const InvertedIndex& index, size_t df,
   const double qtf = static_cast<double>(query_tf);
   const double qtf_component = (qtf * (k3_ + 1.0)) / (k3_ + qtf);
   term.c0 = qtf_component * idf * (k1_ + 1.0);
-  const double avgdl = index.average_document_length();
+  const double avgdl = stats.average_document_length();
   if (avgdl > 0.0) {
     term.c1 = k1_ * (1.0 - b_);
     term.c2 = k1_ * b_ / avgdl;
@@ -56,7 +56,7 @@ PreparedTerm Bm25Scorer::Prepare(const InvertedIndex& index, size_t df,
   return term;
 }
 
-double Bm25Scorer::ScorePosting(const InvertedIndex& /*index*/,
+double Bm25Scorer::ScorePosting(const CollectionStats& /*stats*/,
                                 const PreparedTerm& term, uint32_t tf,
                                 uint32_t doc_len) const {
   if (tf == 0 || term.c0 == 0.0) return 0.0;
@@ -65,13 +65,13 @@ double Bm25Scorer::ScorePosting(const InvertedIndex& /*index*/,
          (tfd + term.c1 + term.c2 * static_cast<double>(doc_len));
 }
 
-double TfIdfScorer::Score(const InvertedIndex& index, uint32_t tf,
+double TfIdfScorer::Score(const CollectionStats& stats, uint32_t tf,
                           uint32_t doc_len, size_t df, uint64_t cf,
                           uint32_t query_tf) const {
-  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+  return ScorePosting(stats, Prepare(stats, df, cf, query_tf), tf, doc_len);
 }
 
-PreparedTerm TfIdfScorer::Prepare(const InvertedIndex& index, size_t df,
+PreparedTerm TfIdfScorer::Prepare(const CollectionStats& stats, size_t df,
                                   uint64_t cf, uint32_t query_tf) const {
   // c0 = query_tf * idf (0 disables the term, including the idf==0 case
   // of a term present in every document).
@@ -80,13 +80,13 @@ PreparedTerm TfIdfScorer::Prepare(const InvertedIndex& index, size_t df,
   term.cf = cf;
   term.query_tf = query_tf;
   if (df == 0) return term;
-  const double n = static_cast<double>(index.num_documents());
+  const double n = static_cast<double>(stats.num_documents);
   term.c0 =
       static_cast<double>(query_tf) * std::log(n / static_cast<double>(df));
   return term;
 }
 
-double TfIdfScorer::ScorePosting(const InvertedIndex& /*index*/,
+double TfIdfScorer::ScorePosting(const CollectionStats& /*stats*/,
                                  const PreparedTerm& term, uint32_t tf,
                                  uint32_t doc_len) const {
   if (tf == 0 || term.c0 == 0.0) return 0.0;
@@ -96,13 +96,13 @@ double TfIdfScorer::ScorePosting(const InvertedIndex& /*index*/,
   return term.c0 * ltf / norm;
 }
 
-double DirichletLmScorer::Score(const InvertedIndex& index, uint32_t tf,
+double DirichletLmScorer::Score(const CollectionStats& stats, uint32_t tf,
                                 uint32_t doc_len, size_t df, uint64_t cf,
                                 uint32_t query_tf) const {
-  return ScorePosting(index, Prepare(index, df, cf, query_tf), tf, doc_len);
+  return ScorePosting(stats, Prepare(stats, df, cf, query_tf), tf, doc_len);
 }
 
-PreparedTerm DirichletLmScorer::Prepare(const InvertedIndex& index,
+PreparedTerm DirichletLmScorer::Prepare(const CollectionStats& stats,
                                         size_t df, uint64_t cf,
                                         uint32_t query_tf) const {
   // c0 = mu * p_collection (> 0 when the term is scorable), c1 = qtf.
@@ -111,14 +111,14 @@ PreparedTerm DirichletLmScorer::Prepare(const InvertedIndex& index,
   term.cf = cf;
   term.query_tf = query_tf;
   const double collection_size =
-      static_cast<double>(index.total_term_count());
+      static_cast<double>(stats.total_term_count);
   if (collection_size <= 0.0 || cf == 0) return term;
   term.c0 = mu_ * (static_cast<double>(cf) / collection_size);
   term.c1 = static_cast<double>(query_tf);
   return term;
 }
 
-double DirichletLmScorer::ScorePosting(const InvertedIndex& /*index*/,
+double DirichletLmScorer::ScorePosting(const CollectionStats& /*stats*/,
                                        const PreparedTerm& term, uint32_t tf,
                                        uint32_t doc_len) const {
   if (term.c0 <= 0.0) return 0.0;

@@ -38,18 +38,18 @@ class Scorer {
   /// document of length `doc_len`, where the term occurs in `df` documents
   /// with total collection frequency `cf`. `query_tf` is the term's
   /// frequency in the query.
-  virtual double Score(const InvertedIndex& index, uint32_t tf,
+  virtual double Score(const CollectionStats& stats, uint32_t tf,
                        uint32_t doc_len, size_t df, uint64_t cf,
                        uint32_t query_tf) const = 0;
 
   /// Precomputes the per-term constants used by ScorePosting. The default
   /// implementation just stashes the statistics and defers to Score().
-  virtual PreparedTerm Prepare(const InvertedIndex& index, size_t df,
+  virtual PreparedTerm Prepare(const CollectionStats& stats, size_t df,
                                uint64_t cf, uint32_t query_tf) const;
 
   /// Scores one posting using a prepared term context. Must agree with
   /// Score() on ranking order; the hot path (Searcher) only calls this.
-  virtual double ScorePosting(const InvertedIndex& index,
+  virtual double ScorePosting(const CollectionStats& stats,
                               const PreparedTerm& term, uint32_t tf,
                               uint32_t doc_len) const;
 
@@ -65,11 +65,11 @@ class Bm25Scorer : public Scorer {
  public:
   explicit Bm25Scorer(double k1 = 1.2, double b = 0.75, double k3 = 8.0)
       : k1_(k1), b_(b), k3_(k3) {}
-  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+  double Score(const CollectionStats& stats, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
-  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+  PreparedTerm Prepare(const CollectionStats& stats, size_t df, uint64_t cf,
                        uint32_t query_tf) const override;
-  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+  double ScorePosting(const CollectionStats& stats, const PreparedTerm& term,
                       uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "bm25"; }
 
@@ -87,11 +87,11 @@ class Bm25Scorer : public Scorer {
 /// document length).
 class TfIdfScorer : public Scorer {
  public:
-  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+  double Score(const CollectionStats& stats, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
-  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+  PreparedTerm Prepare(const CollectionStats& stats, size_t df, uint64_t cf,
                        uint32_t query_tf) const override;
-  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+  double ScorePosting(const CollectionStats& stats, const PreparedTerm& term,
                       uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "tfidf"; }
 };
@@ -102,11 +102,11 @@ class TfIdfScorer : public Scorer {
 class DirichletLmScorer : public Scorer {
  public:
   explicit DirichletLmScorer(double mu = 2000.0) : mu_(mu) {}
-  double Score(const InvertedIndex& index, uint32_t tf, uint32_t doc_len,
+  double Score(const CollectionStats& stats, uint32_t tf, uint32_t doc_len,
                size_t df, uint64_t cf, uint32_t query_tf) const override;
-  PreparedTerm Prepare(const InvertedIndex& index, size_t df, uint64_t cf,
+  PreparedTerm Prepare(const CollectionStats& stats, size_t df, uint64_t cf,
                        uint32_t query_tf) const override;
-  double ScorePosting(const InvertedIndex& index, const PreparedTerm& term,
+  double ScorePosting(const CollectionStats& stats, const PreparedTerm& term,
                       uint32_t tf, uint32_t doc_len) const override;
   std::string name() const override { return "lm-dirichlet"; }
 

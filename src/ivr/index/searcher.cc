@@ -1,6 +1,7 @@
 #include "ivr/index/searcher.h"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 
 #include "ivr/core/thread_pool.h"
@@ -60,9 +61,21 @@ std::vector<SearchHit> SelectTopK(const ScoreAccumulator& accum, size_t k) {
 
 }  // namespace
 
+Searcher::Searcher(std::vector<IndexSegment> segments, const Scorer& scorer)
+    : segments_(std::move(segments)), scorer_(scorer) {
+  assert(!segments_.empty());
+  for (const IndexSegment& segment : segments_) {
+    assert(segment.index != nullptr);
+    assert(segment.doc_offset ==
+           stats_.num_documents);  // contiguous, ascending
+    stats_ += segment.index->stats();
+  }
+}
+
 TermQuery Searcher::ParseQuery(std::string_view text) const {
   TermQuery query;
-  for (const std::string& term : index_.analyzer().Analyze(text)) {
+  for (const std::string& term :
+       segments_.front().index->analyzer().Analyze(text)) {
     query.weights[term] = 1.0;
     query.counts[term] += 1;
   }
@@ -92,20 +105,41 @@ std::vector<SearchHit> Searcher::Search(const TermQuery& query, size_t k,
   static const CachedMetrics metrics;
   uint64_t postings_scanned = 0;
 #endif
-  accum->Reset(index_.num_documents());
+  accum->Reset(stats_.num_documents);
+  // Per-segment posting lists for the current term, resolved once before
+  // scoring so df/cf can be summed exactly as a monolithic index would
+  // count them.
+  std::vector<const PostingList*> lists(segments_.size());
   for (const auto& [term, weight] : OrderedTerms(query)) {
-    const PostingList* pl = index_.LookupAnalyzed(*term);
-    if (pl == nullptr) continue;
+    size_t df = 0;
+    uint64_t cf = 0;
+    bool any = false;
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      const PostingList* pl = segments_[s].index->LookupAnalyzed(*term);
+      lists[s] = pl;
+      if (pl == nullptr) continue;
+      any = true;
+      df += pl->document_frequency();
+      cf += pl->collection_frequency();
+    }
+    if (!any) continue;
     const PreparedTerm prepared =
-        scorer_.Prepare(index_, pl->document_frequency(),
-                        pl->collection_frequency(), query.QueryTf(*term));
+        scorer_.Prepare(stats_, df, cf, query.QueryTf(*term));
+    // Segment order is ascending doc_offset, so the global accumulation
+    // order per term equals the monolithic posting list's document order.
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      const PostingList* pl = lists[s];
+      if (pl == nullptr) continue;
+      const InvertedIndex& index = *segments_[s].index;
+      const DocId offset = segments_[s].doc_offset;
 #ifndef IVR_OBS_OFF
-    postings_scanned += pl->postings().size();
+      postings_scanned += pl->postings().size();
 #endif
-    for (const Posting& p : pl->postings()) {
-      const double partial = scorer_.ScorePosting(
-          index_, prepared, p.tf, index_.document_length(p.doc));
-      accum->Add(p.doc, weight * partial);
+      for (const Posting& p : pl->postings()) {
+        const double partial = scorer_.ScorePosting(
+            stats_, prepared, p.tf, index.document_length(p.doc));
+        accum->Add(offset + p.doc, weight * partial);
+      }
     }
   }
 #ifndef IVR_OBS_OFF
@@ -137,17 +171,31 @@ std::vector<SearchHit> Searcher::SearchText(std::string_view text,
 }
 
 double Searcher::ScoreDocument(const TermQuery& query, DocId doc) const {
+  // Locate the segment containing `doc`: the last segment whose offset is
+  // <= doc (segments are ordered by ascending offset).
+  size_t s = segments_.size();
+  while (s > 0 && segments_[s - 1].doc_offset > doc) --s;
+  if (s == 0) return 0.0;
+  const InvertedIndex& index = *segments_[s - 1].index;
+  const DocId local = doc - segments_[s - 1].doc_offset;
+  if (local >= index.num_documents()) return 0.0;
   double score = 0.0;
   for (const auto& [term, weight] : OrderedTerms(query)) {
-    const PostingList* pl = index_.LookupAnalyzed(*term);
-    if (pl == nullptr) continue;
-    const Posting* p = pl->Find(doc);
-    if (p == nullptr) continue;
+    size_t df = 0;
+    uint64_t cf = 0;
+    const Posting* posting = nullptr;
+    for (const IndexSegment& segment : segments_) {
+      const PostingList* pl = segment.index->LookupAnalyzed(*term);
+      if (pl == nullptr) continue;
+      df += pl->document_frequency();
+      cf += pl->collection_frequency();
+      if (segment.index == &index) posting = pl->Find(local);
+    }
+    if (posting == nullptr) continue;
     const PreparedTerm prepared =
-        scorer_.Prepare(index_, pl->document_frequency(),
-                        pl->collection_frequency(), query.QueryTf(*term));
-    score += weight * scorer_.ScorePosting(index_, prepared, p->tf,
-                                           index_.document_length(doc));
+        scorer_.Prepare(stats_, df, cf, query.QueryTf(*term));
+    score += weight * scorer_.ScorePosting(stats_, prepared, posting->tf,
+                                           index.document_length(local));
   }
   return score;
 }

@@ -47,7 +47,16 @@ struct TermQuery {
   bool empty() const { return weights.empty(); }
 };
 
-/// Term-at-a-time top-k retrieval over an InvertedIndex.
+/// One immutable index segment of a segmented collection: the segment's
+/// inverted index plus the global DocId of its first document. Global ids
+/// are `doc_offset + local id`; segments must be supplied in ascending
+/// offset order and tile the global id space contiguously.
+struct IndexSegment {
+  const InvertedIndex* index = nullptr;
+  DocId doc_offset = 0;
+};
+
+/// Term-at-a-time top-k retrieval over one or more InvertedIndex segments.
 ///
 /// The hot path accumulates scores into a flat per-document array
 /// (ScoreAccumulator) and selects the top k with a bounded min-heap, so a
@@ -56,11 +65,24 @@ struct TermQuery {
 /// order, making scores independent of hash-map iteration order — the
 /// property BatchSearch relies on to be bit-identical to sequential
 /// execution regardless of thread count.
+///
+/// Segmented search is bit-identical to a monolithic index over the
+/// concatenated documents: scorers are prepared once per term from the
+/// summed collection statistics (exact integer sums), and each segment's
+/// postings are visited in segment order — exactly the document order of
+/// the monolithic posting list, since global ids are offset + local id.
 class Searcher {
  public:
-  /// Both references must outlive the searcher.
+  /// Single-index convenience: one segment at offset 0. The references
+  /// must outlive the searcher.
   Searcher(const InvertedIndex& index, const Scorer& scorer)
-      : index_(index), scorer_(scorer) {}
+      : Searcher(std::vector<IndexSegment>{{&index, 0}}, scorer) {}
+
+  /// Multi-segment search. `segments` must be non-empty, ordered by
+  /// ascending doc_offset, and contiguous (each offset equals the previous
+  /// offset plus the previous segment's num_documents()). All indexes must
+  /// share the same analyzer configuration and outlive the searcher.
+  Searcher(std::vector<IndexSegment> segments, const Scorer& scorer);
 
   /// Analyses raw text into a TermQuery (duplicate terms accumulate
   /// query-term frequency in `counts`; every weight is 1).
@@ -88,12 +110,17 @@ class Searcher {
   /// Convenience: parse + search.
   std::vector<SearchHit> SearchText(std::string_view text, size_t k) const;
 
-  /// Scores a single document against a query (0 when nothing matches);
-  /// used by rerankers that need absolute scores for arbitrary documents.
+  /// Scores a single document (global id) against a query (0 when nothing
+  /// matches); used by rerankers that need absolute scores for arbitrary
+  /// documents.
   double ScoreDocument(const TermQuery& query, DocId doc) const;
 
+  /// Summed statistics across all segments.
+  const CollectionStats& stats() const { return stats_; }
+
  private:
-  const InvertedIndex& index_;
+  std::vector<IndexSegment> segments_;
+  CollectionStats stats_;
   const Scorer& scorer_;
   mutable ScoreAccumulator scratch_;
 };

@@ -79,6 +79,14 @@ Result<size_t> CopyVideoInto(const VideoCollection& src, VideoId id,
   return shots;
 }
 
+/// A VideoCollection view that shares ownership of the enclosing
+/// GeneratedCollection (aliasing constructor): what SubIndex::Build
+/// keeps alive.
+std::shared_ptr<const VideoCollection> CollectionView(
+    const std::shared_ptr<const GeneratedCollection>& data) {
+  return std::shared_ptr<const VideoCollection>(data, &data->collection);
+}
+
 }  // namespace
 
 std::string LiveEngine::ManifestPath(const std::string& dir) {
@@ -92,7 +100,7 @@ std::string LiveEngine::SegmentName(uint64_t gen) {
 LiveEngine::LiveEngine(GeneratedCollection base, IngestOptions options)
     : options_(std::move(options)),
       manifest_(ManifestPath(options_.dir)),
-      base_(std::move(base)) {
+      base_(std::make_shared<const GeneratedCollection>(std::move(base))) {
   obs::Registry& reg = obs::Registry::Global();
   metrics_.shots_appended = reg.GetCounter("ingest.shots_appended");
   metrics_.publishes = reg.GetCounter("ingest.publishes");
@@ -105,6 +113,8 @@ LiveEngine::LiveEngine(GeneratedCollection base, IngestOptions options)
       reg.GetCounter("ingest.torn_segments_dropped");
   metrics_.torn_manifest_chunks =
       reg.GetCounter("ingest.torn_manifest_chunks");
+  metrics_.stale_temp_files_removed =
+      reg.GetCounter("ingest.stale_temp_files_removed");
   metrics_.generation = reg.GetGauge("ingest.generation");
   metrics_.segments = reg.GetGauge("ingest.segments");
   metrics_.pending_shots = reg.GetGauge("ingest.pending_shots");
@@ -132,12 +142,16 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Open(GeneratedCollection base,
       new LiveEngine(std::move(base), std::move(options)));
   {
     std::lock_guard<std::mutex> lock(live->mu_);
+    IVR_RETURN_IF_ERROR(live->SweepStaleTempsLocked());
+    IVR_ASSIGN_OR_RETURN(
+        live->base_sub_,
+        SubIndex::Build(CollectionView(live->base_), live->options_.engine,
+                        /*shot_key_offset=*/0));
     live->ResetPendingLocked();
     IVR_RETURN_IF_ERROR(live->ReplayManifestLocked());
     IVR_ASSIGN_OR_RETURN(
         std::shared_ptr<const EngineSnapshot> snapshot,
-        live->BuildSnapshotLocked(live->generation_,
-                                  /*include_pending=*/false));
+        live->BuildServing(live->generation_, live->ShardsLocked()));
     live->StoreSnapshot(std::move(snapshot));
     live->UpdateGaugesLocked();
   }
@@ -150,7 +164,33 @@ Result<std::unique_ptr<LiveEngine>> LiveEngine::Open(GeneratedCollection base,
 
 void LiveEngine::ResetPendingLocked() {
   pending_ = GeneratedCollection();
-  pending_.collection.SetTopicNames(base_.collection.topic_names());
+  pending_.collection.SetTopicNames(base_->collection.topic_names());
+}
+
+void LiveEngine::RestorePendingLocked(const GeneratedCollection& delta) {
+  // Appends may have landed between the freeze and this failure; the
+  // restored buffer is the frozen delta followed by them, preserving
+  // append order. Copying (rather than moving) keeps `delta` valid for
+  // any in-flight sub-index/snapshot still aliasing its collection.
+  GeneratedCollection restored;
+  restored.collection.SetTopicNames(base_->collection.topic_names());
+  AppendCollection(delta.collection, &restored.collection);
+  AppendCollection(pending_.collection, &restored.collection);
+  pending_ = std::move(restored);
+}
+
+Status LiveEngine::SweepStaleTempsLocked() {
+  IVR_ASSIGN_OR_RETURN(const std::vector<std::string> entries,
+                       ListDirectory(options_.dir));
+  for (const std::string& name : entries) {
+    if (!IsAtomicTempName(name)) continue;
+    if (RemoveFile(options_.dir + "/" + name).ok()) {
+      ++stale_temp_files_removed_;
+      metrics_.stale_temp_files_removed->Inc();
+      IVR_LOG(Warning) << "ingest: removed stale temp file " << name;
+    }
+  }
+  return Status::OK();
 }
 
 Status LiveEngine::ReplayManifestLocked() {
@@ -203,9 +243,19 @@ Status LiveEngine::ReplayManifestLocked() {
   std::unordered_set<std::string> served_names;
   if (serving != nullptr) {
     generation_ = serving->generation;
+    // Rebuild each salvaged segment's sub-index at its replay offset —
+    // the same offsets publish used, because the manifest records
+    // segments in publish order.
+    ShotId offset = static_cast<ShotId>(base_->collection.num_shots());
     for (const std::string& name : serving->segments) {
       served_names.insert(name);
-      segments_.push_back(Segment{name, std::move(cache.at(name))});
+      auto data = std::make_shared<const GeneratedCollection>(
+          std::move(cache.at(name)));
+      IVR_ASSIGN_OR_RETURN(
+          std::shared_ptr<const SubIndex> sub,
+          SubIndex::Build(CollectionView(data), options_.engine, offset));
+      segments_.push_back(Segment{name, data, std::move(sub), offset});
+      offset += static_cast<ShotId>(data->collection.num_shots());
     }
     if (serving != &loaded.records.back()) {
       IVR_LOG(Warning) << "ingest: salvage fell back to generation "
@@ -235,24 +285,21 @@ Status LiveEngine::ReplayManifestLocked() {
   return Status::OK();
 }
 
-Result<std::shared_ptr<const EngineSnapshot>> LiveEngine::BuildSnapshotLocked(
-    uint64_t generation, bool include_pending) const {
-  auto data = std::make_shared<GeneratedCollection>();
-  data->collection.SetTopicNames(base_.collection.topic_names());
-  AppendCollection(base_.collection, &data->collection);
-  for (const Segment& segment : segments_) {
-    AppendCollection(segment.data.collection, &data->collection);
-  }
-  if (include_pending) {
-    AppendCollection(pending_.collection, &data->collection);
-  }
-  data->topics = base_.topics;
-  data->qrels = base_.qrels;
-  data->options = base_.options;
+std::vector<std::shared_ptr<const SubIndex>> LiveEngine::ShardsLocked()
+    const {
+  std::vector<std::shared_ptr<const SubIndex>> shards;
+  shards.reserve(segments_.size() + 1);
+  shards.push_back(base_sub_);
+  for (const Segment& segment : segments_) shards.push_back(segment.sub);
+  return shards;
+}
 
+Result<std::shared_ptr<const EngineSnapshot>> LiveEngine::BuildServing(
+    uint64_t generation,
+    std::vector<std::shared_ptr<const SubIndex>> shards) const {
   IVR_ASSIGN_OR_RETURN(
       std::unique_ptr<RetrievalEngine> built,
-      RetrievalEngine::Build(data->collection, options_.engine));
+      RetrievalEngine::BuildSegmented(std::move(shards), options_.engine));
   built->SetCacheKeyEpoch(generation);
   if (options_.cache != nullptr) built->AttachCache(options_.cache);
   std::shared_ptr<const RetrievalEngine> engine(std::move(built));
@@ -261,7 +308,9 @@ Result<std::shared_ptr<const EngineSnapshot>> LiveEngine::BuildSnapshotLocked(
 
   auto snapshot = std::make_shared<EngineSnapshot>();
   snapshot->generation = generation;
-  snapshot->data = std::move(data);
+  snapshot->topics =
+      std::shared_ptr<const TopicSet>(base_, &base_->topics);
+  snapshot->qrels = std::shared_ptr<const Qrels>(base_, &base_->qrels);
   snapshot->engine = std::move(engine);
   snapshot->adaptive = std::move(adaptive);
   return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
@@ -288,41 +337,78 @@ Status LiveEngine::AppendVideoFrom(const VideoCollection& source,
 
 Result<uint64_t> LiveEngine::Publish() {
   obs::Stopwatch watch;
-  bool trigger_merge = false;
-  uint64_t published = 0;
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+
+  // Freeze: take the pending delta and the current shard list under mu_.
+  uint64_t gen = 0;
+  std::shared_ptr<const GeneratedCollection> delta;
+  std::vector<std::shared_ptr<const SubIndex>> shards;
+  ShotId delta_offset = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pending_.collection.num_shots() == 0 &&
         pending_.collection.num_videos() == 0) {
       return generation_;  // nothing to publish
     }
-    const auto fail = [this](Status status) {
-      ++publish_failures_;
-      metrics_.publish_failures->Inc();
-      return status;
-    };
     {
       const Status injected =
           FaultInjector::Global().MaybeFail("ingest.publish");
-      if (!injected.ok()) return fail(injected);
+      if (!injected.ok()) {
+        ++publish_failures_;
+        metrics_.publish_failures->Inc();
+        return injected;
+      }
     }
-    const uint64_t gen = next_generation_;
-
-    // Build the generation-G+1 stack BEFORE touching disk, so an engine
-    // construction failure cannot leave the manifest ahead of memory.
-    Result<std::shared_ptr<const EngineSnapshot>> snapshot =
-        BuildSnapshotLocked(gen, /*include_pending=*/true);
-    if (!snapshot.ok()) return fail(snapshot.status());
-
-    // Segment file first, manifest append last: the manifest fsync is
-    // the commit point. A crash in between leaves an orphan segment
-    // file and generation G intact on disk.
-    const std::string name = SegmentName(gen);
-    {
-      const Status saved =
-          SaveSegment(pending_, options_.dir + "/" + name);
-      if (!saved.ok()) return fail(saved);
+    // The generation id is consumed at the freeze so appends that land
+    // during the build namespace themselves into the NEXT delta and can
+    // never collide with the frozen one.
+    gen = next_generation_++;
+    delta = std::make_shared<const GeneratedCollection>(std::move(pending_));
+    ResetPendingLocked();
+    delta_offset = static_cast<ShotId>(base_->collection.num_shots());
+    for (const Segment& segment : segments_) {
+      delta_offset += static_cast<ShotId>(segment.sub->num_shots());
     }
+    shards = ShardsLocked();
+  }
+
+  // Build, OUTSIDE mu_: appends and readers proceed concurrently. The
+  // frozen shard list stays authoritative because only Publish/Merge
+  // mutate segments_ and both hold publish_mu_. This is the step whose
+  // cost scales with the delta, not the corpus: one sub-index build over
+  // the delta, one segment file write, one engine assembly from
+  // already-built shards.
+  const auto fail = [&](Status status) -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    RestorePendingLocked(*delta);
+    ++publish_failures_;
+    metrics_.publish_failures->Inc();
+    return status;
+  };
+
+  Result<std::shared_ptr<const SubIndex>> sub =
+      SubIndex::Build(CollectionView(delta), options_.engine, delta_offset);
+  if (!sub.ok()) return fail(sub.status());
+  shards.push_back(*sub);
+
+  // Segment file first, manifest append last: the manifest fsync is the
+  // commit point. A crash in between leaves an orphan segment file and
+  // generation G intact on disk.
+  const std::string name = SegmentName(gen);
+  {
+    const Status saved = SaveSegment(*delta, options_.dir + "/" + name);
+    if (!saved.ok()) return fail(saved);
+  }
+
+  Result<std::shared_ptr<const EngineSnapshot>> snapshot =
+      BuildServing(gen, std::move(shards));
+  if (!snapshot.ok()) return fail(snapshot.status());
+
+  // Commit, under mu_ again: manifest append, then the in-memory swap.
+  bool inline_merge = false;
+  bool trigger_merge = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     ManifestRecord record;
     record.generation = gen;
     for (const Segment& segment : segments_) {
@@ -331,95 +417,136 @@ Result<uint64_t> LiveEngine::Publish() {
     record.segments.push_back(name);
     {
       const Status appended = manifest_.Append(record);
-      if (!appended.ok()) return fail(appended);
+      if (!appended.ok()) {
+        RestorePendingLocked(*delta);
+        ++publish_failures_;
+        metrics_.publish_failures->Inc();
+        return appended;
+      }
     }
 
-    // Committed. Invalidate the cache before exposing the new snapshot:
-    // inserts computed against generation G now carry a stale cache
-    // generation and are rejected instead of straddling the publish.
-    segments_.push_back(Segment{name, std::move(pending_)});
-    ResetPendingLocked();
+    // Committed. No cache invalidation: the new engine's keys carry the
+    // new epoch, and readers still pinned to older generations keep
+    // their warm (epoch-prefixed) entries.
+    segments_.push_back(
+        Segment{name, delta, std::move(sub).value(), delta_offset});
     generation_ = gen;
-    next_generation_ = gen + 1;
     ++publishes_;
     metrics_.publishes->Inc();
-    if (options_.cache != nullptr) options_.cache->InvalidateAll();
     StoreSnapshot(std::move(snapshot).value());
     UpdateGaugesLocked();
-    published = gen;
 
     if (NeedsMergeLocked()) {
       if (options_.background_merge) {
         trigger_merge = true;
       } else {
-        // Inline auto-merge: compaction failures degrade (more segments
-        // than the policy wants) rather than failing the publish.
-        const Status merged = MergeLocked();
-        if (!merged.ok()) {
-          IVR_LOG(Warning) << "ingest: auto-merge failed: "
-                           << merged.ToString();
-        }
+        inline_merge = true;
       }
     }
   }
-  if (trigger_merge) merge_cv_.notify_all();
   metrics_.publish_us->Record(watch.ElapsedUs());
-  return published;
+  if (inline_merge) {
+    // Inline auto-merge (still under publish_mu_): compaction failures
+    // degrade (more segments than the policy wants) rather than failing
+    // the publish.
+    const Status merged = MergeHoldingPublishLock();
+    if (!merged.ok()) {
+      IVR_LOG(Warning) << "ingest: auto-merge failed: " << merged.ToString();
+    }
+  }
+  if (trigger_merge) merge_cv_.notify_all();
+  return gen;
 }
 
 Status LiveEngine::Merge() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return MergeLocked();
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  return MergeHoldingPublishLock();
 }
 
-Status LiveEngine::MergeLocked() {
-  if (segments_.size() < 2) return Status::OK();
+Status LiveEngine::MergeHoldingPublishLock() {
   obs::Stopwatch watch;
-  const auto fail = [this](Status status) {
+  uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (segments_.size() < 2) return Status::OK();
+    {
+      const Status injected =
+          FaultInjector::Global().MaybeFail("ingest.merge");
+      if (!injected.ok()) {
+        ++merge_failures_;
+        metrics_.merge_failures->Inc();
+        return injected;
+      }
+    }
+    gen = generation_;
+  }
+  const auto fail = [this](Status status) -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
     ++merge_failures_;
     metrics_.merge_failures->Inc();
     return status;
   };
-  {
-    const Status injected = FaultInjector::Global().MaybeFail("ingest.merge");
-    if (!injected.ok()) return fail(injected);
-  }
 
-  GeneratedCollection merged;
-  merged.collection.SetTopicNames(base_.collection.topic_names());
+  // Heavy work outside mu_ (concatenate + one sub-index build over the
+  // compacted documents); reading segments_ here is safe under
+  // publish_mu_ alone because every writer of segments_ holds both
+  // locks. The compacted sub-index covers the same contiguous id range
+  // at the same offset as the shards it replaces, so rankings — and the
+  // cache epoch — are unchanged.
+  auto merged = std::make_shared<GeneratedCollection>();
+  merged->collection.SetTopicNames(base_->collection.topic_names());
   for (const Segment& segment : segments_) {
-    AppendCollection(segment.data.collection, &merged.collection);
+    AppendCollection(segment.data->collection, &merged->collection);
   }
+  std::shared_ptr<const GeneratedCollection> merged_data = std::move(merged);
+  const ShotId offset = static_cast<ShotId>(base_->collection.num_shots());
+  Result<std::shared_ptr<const SubIndex>> sub =
+      SubIndex::Build(CollectionView(merged_data), options_.engine, offset);
+  if (!sub.ok()) return fail(sub.status());
+
   // The merged name embeds the generation; at least one publish separates
   // two merges (a merge leaves a single segment), so names never clash.
   const std::string name = StrFormat(
-      "seg-%06llu-m.seg", static_cast<unsigned long long>(generation_));
+      "seg-%06llu-m.seg", static_cast<unsigned long long>(gen));
   {
-    const Status saved = SaveSegment(merged, options_.dir + "/" + name);
+    const Status saved = SaveSegment(*merged_data, options_.dir + "/" + name);
     if (!saved.ok()) return fail(saved);
   }
   ManifestRecord record;
-  record.generation = generation_;
+  record.generation = gen;
   record.segments.push_back(name);
-  {
-    const Status rewritten = manifest_.Rewrite(record);
-    if (!rewritten.ok()) return fail(rewritten);
-  }
 
-  // Committed: the rewritten manifest references only the merged file.
+  std::vector<std::string> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      const Status rewritten = manifest_.Rewrite(record);
+      if (!rewritten.ok()) {
+        ++merge_failures_;
+        metrics_.merge_failures->Inc();
+        return rewritten;
+      }
+    }
+    // Committed: the rewritten manifest references only the merged file.
+    // The serving snapshot is NOT swapped — its shards stay alive via
+    // shared ownership; the next publish assembles from the compacted
+    // list.
+    for (const Segment& segment : segments_) {
+      if (segment.name != name) retired.push_back(segment.name);
+    }
+    segments_.clear();
+    segments_.push_back(
+        Segment{name, merged_data, std::move(sub).value(), offset});
+    ++merges_;
+    metrics_.merges->Inc();
+    UpdateGaugesLocked();
+  }
   // Retired segment files are deleted best-effort (a survivor is counted
   // as an orphan on the next startup).
-  for (const Segment& segment : segments_) {
-    if (segment.name != name) {
-      (void)RemoveFile(options_.dir + "/" + segment.name);
-    }
+  for (const std::string& old_name : retired) {
+    (void)RemoveFile(options_.dir + "/" + old_name);
   }
-  segments_.clear();
-  segments_.push_back(Segment{name, std::move(merged)});
-  ++merges_;
-  metrics_.merges->Inc();
   metrics_.merge_us->Record(watch.ElapsedUs());
-  UpdateGaugesLocked();
   return Status::OK();
 }
 
@@ -429,7 +556,9 @@ void LiveEngine::MergeThreadMain() {
     merge_cv_.wait(lock,
                    [this] { return stop_merge_ || NeedsMergeLocked(); });
     if (stop_merge_) return;
-    const Status merged = MergeLocked();
+    lock.unlock();
+    const Status merged = Merge();  // publish_mu_ -> mu_ inside
+    lock.lock();
     if (!merged.ok()) {
       IVR_LOG(Warning) << "ingest: background merge failed: "
                        << merged.ToString();
@@ -443,6 +572,20 @@ void LiveEngine::MergeThreadMain() {
   }
 }
 
+GeneratedCollection LiveEngine::ExportCollection() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  GeneratedCollection out;
+  out.collection.SetTopicNames(base_->collection.topic_names());
+  AppendCollection(base_->collection, &out.collection);
+  for (const Segment& segment : segments_) {
+    AppendCollection(segment.data->collection, &out.collection);
+  }
+  out.topics = base_->topics;
+  out.qrels = base_->qrels;
+  out.options = base_->options;
+  return out;
+}
+
 IngestStats LiveEngine::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   IngestStats stats;
@@ -451,8 +594,7 @@ IngestStats LiveEngine::Stats() const {
   stats.pending_videos = pending_.collection.num_videos();
   stats.pending_shots = pending_.collection.num_shots();
   const std::shared_ptr<const EngineSnapshot> snapshot = Acquire();
-  stats.live_shots =
-      snapshot != nullptr ? snapshot->data->collection.num_shots() : 0;
+  stats.live_shots = snapshot != nullptr ? snapshot->num_shots() : 0;
   stats.shots_appended = shots_appended_;
   stats.publishes = publishes_;
   stats.publish_failures = publish_failures_;
@@ -461,6 +603,7 @@ IngestStats LiveEngine::Stats() const {
   stats.orphan_segments_dropped = orphan_segments_dropped_;
   stats.torn_segments_dropped = torn_segments_dropped_;
   stats.torn_manifest_chunks = torn_manifest_chunks_;
+  stats.stale_temp_files_removed = stale_temp_files_removed_;
   return stats;
 }
 
@@ -471,6 +614,7 @@ HealthReport LiveEngine::Health() const {
   report.ingest_orphan_segments_dropped = orphan_segments_dropped_;
   report.ingest_torn_segments_dropped = torn_segments_dropped_;
   report.ingest_torn_manifest_chunks = torn_manifest_chunks_;
+  report.ingest_stale_temp_files_removed = stale_temp_files_removed_;
   return report;
 }
 
@@ -481,9 +625,7 @@ void LiveEngine::UpdateGaugesLocked() const {
       static_cast<int64_t>(pending_.collection.num_shots()));
   const std::shared_ptr<const EngineSnapshot> snapshot = Acquire();
   metrics_.live_shots->Set(
-      snapshot != nullptr
-          ? static_cast<int64_t>(snapshot->data->collection.num_shots())
-          : 0);
+      snapshot != nullptr ? static_cast<int64_t>(snapshot->num_shots()) : 0);
 }
 
 }  // namespace ivr

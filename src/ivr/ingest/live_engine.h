@@ -16,6 +16,7 @@
 #include "ivr/ingest/manifest.h"
 #include "ivr/obs/metrics.h"
 #include "ivr/retrieval/engine.h"
+#include "ivr/retrieval/sub_index.h"
 #include "ivr/video/generator.h"
 
 namespace ivr {
@@ -30,11 +31,12 @@ struct IngestOptions {
   /// Default profile snapshotted into the per-generation AdaptiveEngines
   /// (null = none).
   std::shared_ptr<const UserProfile> profile;
-  /// Shared result cache attached to every generation's engine. Publish
-  /// bumps its invalidation generation, and each engine prefixes its
-  /// cache keys with its own generation epoch, so one cache safely spans
-  /// generations (a query pinned to generation G can never hit a G+1
-  /// entry, or vice versa).
+  /// Shared result cache attached to every generation's engine. Each
+  /// engine prefixes its cache keys with its segment-set epoch (the
+  /// generation), so one cache safely spans generations: a query pinned
+  /// to generation G can never hit a G+1 entry, or vice versa, and
+  /// entries of still-pinned older generations stay warm across
+  /// publishes (nothing is ever invalidated wholesale).
   std::shared_ptr<ResultCache> cache;
   /// Compact the on-disk segments into one once their count reaches this
   /// threshold (0 = only explicit Merge() calls compact).
@@ -44,15 +46,23 @@ struct IngestOptions {
   bool background_merge = false;
 };
 
-/// One fully-built generation. Everything a query needs — materialized
-/// collection, retrieval engine, adaptive policy — with shared ownership,
-/// so a reader that acquired the snapshot before a publish keeps a
-/// complete, immutable generation alive for as long as it needs it.
+/// One fully-built generation. Everything a query needs — the retrieval
+/// engine over the generation's sub-index shards, the adaptive policy,
+/// and the live topic/qrels views — with shared ownership, so a reader
+/// that acquired the snapshot before a publish keeps a complete,
+/// immutable generation alive for as long as it needs it.
 struct EngineSnapshot {
   uint64_t generation = 0;
-  std::shared_ptr<const GeneratedCollection> data;
+  /// The search topics and judgements of the immutable base collection
+  /// (segments carry documents only), aliased into the base's lifetime.
+  std::shared_ptr<const TopicSet> topics;
+  std::shared_ptr<const Qrels> qrels;
   std::shared_ptr<const RetrievalEngine> engine;
   std::shared_ptr<const AdaptiveEngine> adaptive;
+
+  size_t num_shots() const {
+    return engine != nullptr ? engine->num_shots() : 0;
+  }
 };
 
 /// Point-in-time ingest counters (monotonic unless noted).
@@ -75,27 +85,47 @@ struct IngestStats {
   uint64_t torn_segments_dropped = 0;
   /// Torn manifest journal tails dropped on replay.
   uint64_t torn_manifest_chunks = 0;
+  /// Orphaned atomic-write temp files (".tmpXXXXXX") swept at startup —
+  /// each one is the residue of a crash inside WriteFileAtomic, between
+  /// temp creation and rename.
+  uint64_t stale_temp_files_removed = 0;
 };
 
 /// The generational index: an immutable base collection plus published
-/// immutable delta segments, served through an atomically swapped
-/// snapshot, with new documents buffered in a pending in-memory delta
-/// until the next Publish().
+/// immutable delta segments, each carrying its own immutable sub-index
+/// (inverted postings, doc store, keyframes, concepts), served through
+/// an atomically swapped snapshot, with new documents buffered in a
+/// pending in-memory delta until the next Publish().
 ///
-/// Write path (Append*/Publish/Merge, any thread, serialized on one
-/// mutex):
-///  - Append buffers whole videos into the pending delta; buffered
-///    documents are NOT searchable until published.
-///  - Publish freezes the pending delta: builds the generation-G+1
-///    engine, writes the segment file (checksummed envelope +
-///    WriteFileAtomic), fsync-appends the manifest record — the commit
-///    point — then invalidates the result cache and swaps the snapshot.
-///    Any failure before the manifest append leaves generation G serving
-///    and the pending delta intact for retry.
-///  - Merge compacts all published segments into one file and atomically
-///    rewrites the manifest; the document set, generation and serving
-///    snapshot are unchanged (crash-safe at every point: the old
-///    segments stay referenced until the rewritten manifest lands).
+/// Per-segment sub-indexes are what make publish cost proportional to
+/// the delta: a publish builds ONE sub-index over the frozen pending
+/// delta and assembles the next engine from the already-built base and
+/// segment shards — it never re-tokenizes or re-indexes the corpus. The
+/// searcher merges top-k across shards under each modality's strict
+/// total order with scorers prepared from the summed collection
+/// statistics, so segmented serving is bit-identical to a monolithic
+/// full rebuild (the `ivr_ingest --check` oracle).
+///
+/// Write path:
+///  - Append buffers whole videos into the pending delta (mu_ only;
+///    buffered documents are NOT searchable until published).
+///  - Publish freezes the pending delta under mu_, then does the heavy
+///    work — delta sub-index build, segment file write (checksummed
+///    envelope + WriteFileAtomic), next-generation engine assembly —
+///    OUTSIDE mu_ (appends and readers proceed concurrently), and
+///    retakes mu_ only to fsync-append the manifest record (the commit
+///    point) and swap the snapshot. Any failure before the manifest
+///    append restores the frozen delta in front of whatever was
+///    appended meanwhile, leaving generation G serving and the full
+///    pending delta intact for retry.
+///  - Merge compacts all published segments into one file (and their
+///    sub-indexes into one shard, built outside mu_) and atomically
+///    rewrites the manifest; the document set, generation, epoch and
+///    serving snapshot are unchanged (crash-safe at every point: the
+///    old segments stay referenced until the rewritten manifest lands).
+///  - publish_mu_ serializes Publish/Merge against each other (lock
+///    order publish_mu_ -> mu_), which is what keeps the shard list a
+///    publish froze authoritative while it builds outside mu_.
 ///
 /// Read path (Acquire): copies the current snapshot shared_ptr under a
 /// dedicated pointer-sized lock (never held while building an index). A
@@ -107,16 +137,18 @@ struct IngestStats {
 /// Startup replays the manifest with salvage semantics: a torn journal
 /// tail falls back to the last intact record, a record referencing a
 /// torn/missing segment falls back to the newest fully-loadable older
-/// record (counted per dropped segment), and unreferenced segment files
-/// are ignored as orphans (counted). Fault sites: "ingest.append",
+/// record (counted per dropped segment), unreferenced segment files are
+/// ignored as orphans (counted), and stale WriteFileAtomic temp files
+/// are deleted (counted). Fault sites: "ingest.append",
 /// "ingest.publish", "ingest.merge", "ingest.manifest".
 class LiveEngine {
  public:
-  /// Opens the ingest directory (created if missing), replays the
-  /// manifest, and builds the serving snapshot over `base` plus every
-  /// salvageable published segment. `base` is the immutable generation-0
-  /// collection (its topics/qrels are the live ones; segments carry
-  /// documents only).
+  /// Opens the ingest directory (created if missing), sweeps stale
+  /// atomic-write temp files, replays the manifest, builds one sub-index
+  /// per salvageable published segment, and assembles the serving
+  /// snapshot over `base` plus those segments. `base` is the immutable
+  /// generation-0 collection (its topics/qrels are the live ones;
+  /// segments carry documents only).
   static Result<std::unique_ptr<LiveEngine>> Open(GeneratedCollection base,
                                                   IngestOptions options);
 
@@ -161,6 +193,16 @@ class LiveEngine {
 
   const IngestOptions& options() const { return options_; }
 
+  /// The immutable generation-0 collection (topics/qrels are the live
+  /// ones for every generation). Valid for the engine's lifetime.
+  const GeneratedCollection& base() const { return *base_; }
+
+  /// Materializes base + published segments into one standalone
+  /// collection — the monolithic equivalent of the serving snapshot
+  /// (what --export writes and the --check oracle rebuilds from). The
+  /// pending delta is not included. O(corpus) copy.
+  GeneratedCollection ExportCollection() const;
+
   /// The manifest journal path inside `dir` (exposed for tests/tools).
   static std::string ManifestPath(const std::string& dir);
   /// The segment file name publish gives generation `gen`.
@@ -169,34 +211,66 @@ class LiveEngine {
  private:
   struct Segment {
     std::string name;
-    GeneratedCollection data;
+    /// The delta's documents (shared with its sub-index slice).
+    std::shared_ptr<const GeneratedCollection> data;
+    /// The immutable per-segment sub-index, built once at publish (or
+    /// replay) and reused by every subsequent generation's engine.
+    std::shared_ptr<const SubIndex> sub;
+    /// Global id of the segment's local shot 0.
+    ShotId doc_offset = 0;
   };
 
   LiveEngine(GeneratedCollection base, IngestOptions options);
 
   /// Fresh pending delta bound to the base topic space. Requires mu_.
   void ResetPendingLocked();
-  /// Materializes base + segments (+ pending when `include_pending`) and
-  /// builds the full engine stack for `generation`. Requires mu_.
-  Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshotLocked(
-      uint64_t generation, bool include_pending) const;
-  /// Replays the manifest and loads the salvageable segments. Requires
-  /// mu_ (called from Open before the object escapes).
+  /// Puts a frozen-but-unpublished delta back in FRONT of the pending
+  /// buffer (appends may have landed since the freeze). Requires mu_.
+  void RestorePendingLocked(const GeneratedCollection& delta);
+  /// Assembles the full serving stack for `generation` over `shards`.
+  /// Touches only immutable state (base_, options_) — callable without
+  /// mu_; that is the point: this is the publish-path heavy step.
+  Result<std::shared_ptr<const EngineSnapshot>> BuildServing(
+      uint64_t generation,
+      std::vector<std::shared_ptr<const SubIndex>> shards) const;
+  /// The serving shard list: base plus every published segment, in
+  /// global-id order. Requires mu_ (or publish_mu_, see segments_).
+  std::vector<std::shared_ptr<const SubIndex>> ShardsLocked() const;
+  /// Deletes stale ".tmpXXXXXX" files a crashed WriteFileAtomic left in
+  /// the ingest directory. Requires mu_ (called from Open).
+  Status SweepStaleTempsLocked();
+  /// Replays the manifest, loads the salvageable segments and builds
+  /// their sub-indexes. Requires mu_ (called from Open before the
+  /// object escapes).
   Status ReplayManifestLocked();
   bool NeedsMergeLocked() const {
     return options_.merge_after_segments > 0 &&
            segments_.size() >= options_.merge_after_segments;
   }
-  Status MergeLocked();
+  /// The compaction body; requires publish_mu_ (NOT mu_ — it takes and
+  /// drops mu_ around the heavy build itself).
+  Status MergeHoldingPublishLock();
   void MergeThreadMain();
   void UpdateGaugesLocked() const;
 
   IngestOptions options_;
   ManifestLog manifest_;
 
+  /// Serializes the structural writers (Publish/Merge) against each
+  /// other so they can do their heavy work outside mu_ while the shard
+  /// list they froze stays authoritative. Lock order: publish_mu_
+  /// before mu_; never taken by the append/read paths.
+  std::mutex publish_mu_;
+
   mutable std::mutex mu_;
-  GeneratedCollection base_;            // guarded by mu_
-  std::vector<Segment> segments_;       // guarded by mu_
+  /// Immutable after Open (shared with every snapshot's topics/qrels
+  /// aliases and with base_sub_'s slice) — readable without mu_.
+  std::shared_ptr<const GeneratedCollection> base_;
+  /// The base collection's sub-index, built once at Open.
+  std::shared_ptr<const SubIndex> base_sub_;
+  /// Written under publish_mu_ + mu_ together; readable under either
+  /// (Publish/Merge read it outside mu_ while holding publish_mu_).
+  std::vector<Segment> segments_;
   GeneratedCollection pending_;         // guarded by mu_
   uint64_t generation_ = 0;             // guarded by mu_
   uint64_t next_generation_ = 1;        // guarded by mu_
@@ -208,6 +282,7 @@ class LiveEngine {
   uint64_t orphan_segments_dropped_ = 0;   // guarded by mu_
   uint64_t torn_segments_dropped_ = 0;     // guarded by mu_
   uint64_t torn_manifest_chunks_ = 0;      // guarded by mu_
+  uint64_t stale_temp_files_removed_ = 0;  // guarded by mu_
 
   /// Swaps in `snapshot` as the serving generation; the superseded
   /// snapshot is released outside snapshot_mu_ (its destructor may tear
@@ -220,9 +295,8 @@ class LiveEngine {
   }
 
   /// The RCU pivot: a pointer-sized critical section on its own mutex so
-  /// Acquire() never contends with mu_ (which publish/merge hold while
-  /// building). Written under mu_ + snapshot_mu_ (publish), read under
-  /// snapshot_mu_ alone.
+  /// Acquire() never contends with mu_. Written under mu_ + snapshot_mu_
+  /// (publish commit), read under snapshot_mu_ alone.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const EngineSnapshot> snapshot_;  // guarded by snapshot_mu_
 
@@ -240,6 +314,7 @@ class LiveEngine {
     obs::Counter* orphan_segments_dropped;
     obs::Counter* torn_segments_dropped;
     obs::Counter* torn_manifest_chunks;
+    obs::Counter* stale_temp_files_removed;
     obs::Gauge* generation;
     obs::Gauge* segments;
     obs::Gauge* pending_shots;

@@ -79,6 +79,11 @@ Status ManifestLog::Append(const ManifestRecord& record) {
   IVR_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ingest.manifest"));
   const std::string chunk =
       WrapEnvelope(kManifestFormat, RecordToPayload(record));
+  // When O_CREAT below actually creates the journal, the new directory
+  // entry needs its own fsync: the record's fsync makes the bytes
+  // durable, not the file's existence. Detect creation up front so the
+  // directory sync can run after a fully successful append.
+  const bool created = !FileExists(path_);
   const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open " + path_ + " for appending: " +
@@ -106,6 +111,12 @@ Status ManifestLog::Append(const ManifestRecord& record) {
   if (::close(fd) != 0) {
     return Status::IOError("close failed for " + path_ + ": " +
                            std::strerror(errno));
+  }
+  if (created) {
+    // First append ever: a crash before the directory entry is durable
+    // would lose the whole journal (and with it the commit this append
+    // represents) even though the chunk itself was fsynced.
+    IVR_RETURN_IF_ERROR(SyncParentDirectory(path_));
   }
   return Status::OK();
 }

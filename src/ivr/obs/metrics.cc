@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cmath>
 
 namespace ivr {
 namespace obs {
@@ -87,8 +88,12 @@ int64_t HistogramSnapshot::Quantile(double q) const {
   if (count == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  // Rank of the q-th value, 1-based, clamped into [1, count].
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  // Nearest-rank: the 1-based rank is ceil(q * count), clamped into
+  // [1, count]. Flooring here would systematically report one value too
+  // low whenever q*count is fractional (p50 of 7 values must be the 4th,
+  // not the 3rd).
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
   if (rank < 1) rank = 1;
   if (rank > count) rank = count;
   uint64_t seen = 0;

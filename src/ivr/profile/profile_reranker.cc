@@ -10,6 +10,19 @@ ResultList RerankWithProfile(const ResultList& results,
                              const UserProfile& profile,
                              const VideoCollection& collection,
                              const ProfileRerankOptions& options) {
+  return RerankWithProfile(
+      results, profile,
+      [&collection](ShotId id) -> const Shot* {
+        Result<const Shot*> s = collection.shot(id);
+        return s.ok() ? *s : nullptr;
+      },
+      options);
+}
+
+ResultList RerankWithProfile(const ResultList& results,
+                             const UserProfile& profile,
+                             const ShotLookup& lookup,
+                             const ProfileRerankOptions& options) {
   const double lambda = std::clamp(options.lambda, 0.0, 1.0);
   if (lambda == 0.0 || results.empty()) return results;
   const ResultList normalized = MinMaxNormalize(results);
@@ -17,9 +30,9 @@ ResultList RerankWithProfile(const ResultList& results,
   items.reserve(normalized.size());
   for (const RankedShot& r : normalized.items()) {
     double affinity = 0.0;
-    Result<const Shot*> shot = collection.shot(r.shot);
-    if (shot.ok()) {
-      affinity = profile.ShotAffinity(**shot);
+    const Shot* shot = lookup ? lookup(r.shot) : nullptr;
+    if (shot != nullptr) {
+      affinity = profile.ShotAffinity(*shot);
     }
     items.push_back(
         RankedShot{r.shot, (1.0 - lambda) * r.score + lambda * affinity});

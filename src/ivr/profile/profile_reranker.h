@@ -24,6 +24,14 @@ ResultList RerankWithProfile(const ResultList& results,
                              const ProfileRerankOptions& options =
                                  ProfileRerankOptions());
 
+/// Same, resolving shots through a lookup (shots it cannot resolve keep
+/// their normalised score); what segmented engines use.
+ResultList RerankWithProfile(const ResultList& results,
+                             const UserProfile& profile,
+                             const ShotLookup& lookup,
+                             const ProfileRerankOptions& options =
+                                 ProfileRerankOptions());
+
 }  // namespace ivr
 
 #endif  // IVR_PROFILE_PROFILE_RERANKER_H_

@@ -3,13 +3,14 @@
 namespace ivr {
 
 ConceptIndex::ConceptIndex(const VideoCollection& collection,
-                           const SimulatedConceptDetector& detector)
+                           const SimulatedConceptDetector& detector,
+                           ShotId shot_key_offset)
     : num_shots_(collection.num_shots()),
       num_concepts_(detector.num_concepts()) {
   confidences_.resize(num_shots_ * num_concepts_, 0.0);
   for (const Shot& shot : collection.shots()) {
     const std::vector<double> scores =
-        detector.DetectAll(shot.id, shot.concepts);
+        detector.DetectAll(shot_key_offset + shot.id, shot.concepts);
     for (size_t c = 0; c < num_concepts_ && c < scores.size(); ++c) {
       confidences_[static_cast<size_t>(shot.id) * num_concepts_ + c] =
           scores[c];

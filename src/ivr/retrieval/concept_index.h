@@ -19,8 +19,17 @@ class ConceptIndex {
  public:
   /// Runs the detector over every shot of the collection. The detector's
   /// concept space must cover the collection's topic space.
+  ///
+  /// `shot_key_offset` is the global id of the collection's shot 0 when
+  /// `collection` is one segment of a larger segmented collection: the
+  /// simulated detector seeds its per-(shot, concept) noise from the
+  /// detection key `shot_key_offset + shot.id`, so a per-segment index
+  /// produces bit-identical confidences to a monolithic index over the
+  /// concatenated collection (where the shot's global id is exactly that
+  /// sum). Confidences are still stored by local shot id.
   ConceptIndex(const VideoCollection& collection,
-               const SimulatedConceptDetector& detector);
+               const SimulatedConceptDetector& detector,
+               ShotId shot_key_offset = 0);
 
   /// Detector confidence that `concept_id` appears in `shot`; 0 for ids
   /// out of range.

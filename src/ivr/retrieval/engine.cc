@@ -126,12 +126,9 @@ std::string FusedKey(const Query& query, const TermQuery& terms, size_t k,
 
 }  // namespace
 
-RetrievalEngine::RetrievalEngine(const VideoCollection& collection,
-                                 EngineOptions options,
+RetrievalEngine::RetrievalEngine(EngineOptions options,
                                  std::unique_ptr<Scorer> scorer)
-    : collection_(&collection),
-      options_(std::move(options)),
-      scorer_(std::move(scorer)) {
+    : options_(std::move(options)), scorer_(std::move(scorer)) {
   obs::Registry& registry = obs::Registry::Global();
   metrics_.queries = registry.GetCounter("engine.queries");
   metrics_.degraded_queries = registry.GetCounter("engine.degraded_queries");
@@ -145,64 +142,91 @@ RetrievalEngine::RetrievalEngine(const VideoCollection& collection,
   metrics_.concept_us = registry.GetHistogram("engine.concept_us");
 }
 
+namespace {
+
+Status ValidateOptions(const EngineOptions& options) {
+  if (options.text_weight < 0.0 || options.visual_weight < 0.0 ||
+      options.text_weight + options.visual_weight <= 0.0) {
+    return Status::InvalidArgument("fusion weights must be non-negative "
+                                   "and not both zero");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::Build(
     const VideoCollection& collection, EngineOptions options) {
   std::unique_ptr<Scorer> scorer = MakeScorer(options.scorer);
   if (scorer == nullptr) {
     return Status::InvalidArgument("unknown scorer: " + options.scorer);
   }
-  if (options.text_weight < 0.0 || options.visual_weight < 0.0 ||
-      options.text_weight + options.visual_weight <= 0.0) {
-    return Status::InvalidArgument("fusion weights must be non-negative "
-                                   "and not both zero");
-  }
+  IVR_RETURN_IF_ERROR(ValidateOptions(options));
   auto engine = std::unique_ptr<RetrievalEngine>(
-      new RetrievalEngine(collection, std::move(options), std::move(scorer)));
-  IVR_RETURN_IF_ERROR(engine->BuildIndex());
-  if (engine->options_.use_concepts) {
-    // Graceful degradation: a faulted detector bank (site "concept.build")
-    // must not take the whole engine down — text and visual retrieval are
-    // still worth serving, and Health() reports the missing modality.
-    if (FaultInjector::Global().ShouldFail("concept.build")) {
-      IVR_LOG(Warning) << "concept index construction faulted; engine "
-                          "serves without the concept modality";
-    } else {
-      const SimulatedConceptDetector detector(
-          collection.num_topics(), engine->options_.detector,
-          engine->options_.detector_seed);
-      engine->concepts_ =
-          std::make_unique<ConceptIndex>(collection, detector);
-    }
-  }
+      new RetrievalEngine(std::move(options), std::move(scorer)));
+  // Non-owning alias: the caller guarantees the collection outlives the
+  // engine (the documented single-shard contract).
+  std::shared_ptr<const VideoCollection> slice(
+      std::shared_ptr<const VideoCollection>(), &collection);
+  IVR_ASSIGN_OR_RETURN(
+      std::shared_ptr<const SubIndex> sub,
+      SubIndex::Build(std::move(slice), engine->options_,
+                      /*shot_key_offset=*/0));
+  IVR_RETURN_IF_ERROR(engine->AdoptShards({std::move(sub)}));
   return engine;
 }
 
-Status RetrievalEngine::BuildIndex() {
-  keyframes_.reserve(collection_->num_shots());
-  for (const Shot& shot : collection_->shots()) {
-    Document doc;
-    doc.external_id = shot.external_id;
-    doc.text = shot.asr_transcript;
-    if (options_.index_headlines) {
-      IVR_ASSIGN_OR_RETURN(const NewsStory* story,
-                           collection_->story(shot.story));
-      doc.fields["headline"] = story->headline;
+Result<std::unique_ptr<RetrievalEngine>> RetrievalEngine::BuildSegmented(
+    std::vector<std::shared_ptr<const SubIndex>> shards,
+    EngineOptions options) {
+  std::unique_ptr<Scorer> scorer = MakeScorer(options.scorer);
+  if (scorer == nullptr) {
+    return Status::InvalidArgument("unknown scorer: " + options.scorer);
+  }
+  IVR_RETURN_IF_ERROR(ValidateOptions(options));
+  auto engine = std::unique_ptr<RetrievalEngine>(
+      new RetrievalEngine(std::move(options), std::move(scorer)));
+  IVR_RETURN_IF_ERROR(engine->AdoptShards(std::move(shards)));
+  return engine;
+}
+
+Status RetrievalEngine::AdoptShards(
+    std::vector<std::shared_ptr<const SubIndex>> shards) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("engine needs at least one shard");
+  }
+  shards_ = std::move(shards);
+  index_segments_.clear();
+  index_segments_.reserve(shards_.size());
+  num_shots_ = 0;
+  concepts_available_ = options_.use_concepts;
+  for (const std::shared_ptr<const SubIndex>& shard : shards_) {
+    if (shard == nullptr) {
+      return Status::InvalidArgument("null shard");
     }
-    IVR_ASSIGN_OR_RETURN(DocId id, docs_.Add(std::move(doc)));
-    if (id != shot.id) {
-      return Status::Internal("DocId / ShotId misalignment");
-    }
-    // Index transcript and headline together.
-    std::string text = shot.asr_transcript;
-    if (options_.index_headlines) {
-      IVR_ASSIGN_OR_RETURN(const Document* stored, docs_.Get(id));
-      text += " ";
-      text += stored->fields.at("headline");
-    }
-    IVR_RETURN_IF_ERROR(index_.IndexText(id, text));
-    keyframes_.push_back(shot.keyframe);
+    index_segments_.push_back(
+        IndexSegment{&shard->index(), static_cast<DocId>(num_shots_)});
+    num_shots_ += shard->num_shots();
+    if (shard->concepts() == nullptr) concepts_available_ = false;
   }
   return Status::OK();
+}
+
+size_t RetrievalEngine::ShardOf(ShotId shot) const {
+  if (shot >= num_shots_) return shards_.size();
+  // Shards are few (segments compact under the merge policy); a linear
+  // scan from the back beats binary search at these sizes.
+  size_t s = shards_.size();
+  while (s > 0 && index_segments_[s - 1].doc_offset > shot) --s;
+  return s - 1;
+}
+
+const Shot* RetrievalEngine::FindShot(ShotId shot) const {
+  const size_t s = ShardOf(shot);
+  if (s >= shards_.size()) return nullptr;
+  const Result<const Shot*> found = shards_[s]->collection().shot(
+      shot - index_segments_[s].doc_offset);
+  return found.ok() ? *found : nullptr;
 }
 
 ResultList RetrievalEngine::Search(const Query& query, size_t k,
@@ -269,7 +293,7 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
     }
   }
   if (query.HasConcepts()) {
-    if (concepts_ == nullptr) {
+    if (!concepts_available_) {
       // Degrade loudly, not silently: the query asked for a modality this
       // engine cannot serve, which biases any evaluation built on it.
       concepts_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -289,8 +313,8 @@ ResultList RetrievalEngine::Search(const Query& query, size_t k,
       degraded = true;
     } else {
       const obs::Stopwatch modality;
-      lists.push_back(concepts_->SearchAll(query.concepts,
-                                           options_.candidate_pool));
+      lists.push_back(
+          SearchConceptsMerged(query.concepts, options_.candidate_pool));
       weights.push_back(options_.concept_weight);
       metrics_.concept_us->Record(modality.ElapsedUs());
     }
@@ -332,7 +356,7 @@ std::vector<ResultList> RetrievalEngine::BatchSearch(
 HealthReport RetrievalEngine::Health() const {
   HealthReport report;
   report.concept_index_available =
-      !options_.use_concepts || concepts_ != nullptr;
+      !options_.use_concepts || concepts_available_;
   report.degraded_queries =
       degraded_queries_.load(std::memory_order_relaxed);
   report.text_faults = text_faults_.load(std::memory_order_relaxed);
@@ -347,9 +371,32 @@ HealthReport RetrievalEngine::Health() const {
   return report;
 }
 
+ResultList RetrievalEngine::SearchConceptsMerged(
+    const std::vector<ConceptId>& concepts, size_t k) const {
+  if (shards_.size() == 1) {
+    return shards_.front()->concepts()->SearchAll(concepts, k);
+  }
+  // Per-shard top-k under the same strict total order (mean confidence
+  // desc, global ShotId asc), merged and re-truncated: per-shot scores
+  // depend only on shot content and the global detection key, so the
+  // merged list is bit-identical to a monolithic concept index's.
+  std::vector<RankedShot> items;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ResultList local = shards_[s]->concepts()->SearchAll(concepts, k);
+    const ShotId offset = static_cast<ShotId>(index_segments_[s].doc_offset);
+    for (size_t i = 0; i < local.size(); ++i) {
+      const RankedShot& entry = local.at(i);
+      items.push_back(RankedShot{entry.shot + offset, entry.score});
+    }
+  }
+  ResultList out(std::move(items));
+  out.Truncate(k);
+  return out;
+}
+
 Result<ResultList> RetrievalEngine::SearchConcepts(
     const std::vector<ConceptId>& concepts, size_t k) const {
-  if (concepts_ == nullptr) {
+  if (!concepts_available_) {
     return Status::FailedPrecondition(
         "engine was built without use_concepts");
   }
@@ -362,7 +409,7 @@ Result<ResultList> RetrievalEngine::SearchConcepts(
     ResultList cached;
     if (cache->Lookup(key, &cached)) return cached;
   }
-  ResultList out = concepts_->SearchAll(concepts, k);
+  ResultList out = SearchConceptsMerged(concepts, k);
   if (cache != nullptr && !concepts.empty()) {
     cache->Insert(key, out, generation);
   }
@@ -384,7 +431,7 @@ ResultList RetrievalEngine::SearchTerms(const TermQuery& query,
   // text search allocates nothing and stays safe under BatchSearch and
   // parallel session sweeps.
   static thread_local ScoreAccumulator accum;
-  const Searcher searcher(index_, *scorer_);
+  const Searcher searcher(index_segments_, *scorer_);
   ResultList out;
   for (const SearchHit& hit : searcher.Search(query, k, &accum)) {
     out.Add(static_cast<ShotId>(hit.doc), hit.score);
@@ -406,10 +453,30 @@ ResultList RetrievalEngine::SearchVisual(const ColorHistogram& example,
     ResultList cached;
     if (cache->Lookup(key, &cached)) return cached;
   }
-  const VisualSearcher searcher(keyframes_, options_.visual_similarity);
   ResultList out;
-  for (const Neighbor& n : searcher.NearestNeighbors(example, k)) {
-    out.Add(static_cast<ShotId>(n.index), n.score);
+  if (shards_.size() == 1) {
+    const VisualSearcher searcher(shards_.front()->keyframes(),
+                                  options_.visual_similarity);
+    for (const Neighbor& n : searcher.NearestNeighbors(example, k)) {
+      out.Add(static_cast<ShotId>(n.index), n.score);
+    }
+  } else {
+    // Per-shard top-k (similarity desc, global index asc — a strict total
+    // order on content-only scores), merged and re-truncated: identical
+    // to a monolithic scan over the concatenated keyframes.
+    std::vector<RankedShot> items;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const VisualSearcher searcher(shards_[s]->keyframes(),
+                                    options_.visual_similarity);
+      const ShotId offset =
+          static_cast<ShotId>(index_segments_[s].doc_offset);
+      for (const Neighbor& n : searcher.NearestNeighbors(example, k)) {
+        items.push_back(
+            RankedShot{static_cast<ShotId>(n.index) + offset, n.score});
+      }
+    }
+    out = ResultList(std::move(items));
+    out.Truncate(k);
   }
   if (cache != nullptr) {
     cache->Insert(key, out, generation);
@@ -423,17 +490,20 @@ std::string RetrievalEngine::EpochKey(std::string key) const {
 }
 
 TermQuery RetrievalEngine::ParseText(const std::string& text) const {
-  const Searcher searcher(index_, *scorer_);
+  const Searcher searcher(index_segments_, *scorer_);
   return searcher.ParseQuery(text);
 }
 
 double RetrievalEngine::ScoreShot(const TermQuery& query, ShotId shot) const {
-  const Searcher searcher(index_, *scorer_);
+  const Searcher searcher(index_segments_, *scorer_);
   return searcher.ScoreDocument(query, static_cast<DocId>(shot));
 }
 
 std::string RetrievalEngine::IndexedText(ShotId shot) const {
-  Result<const Document*> doc = docs_.Get(static_cast<DocId>(shot));
+  const size_t s = ShardOf(shot);
+  if (s >= shards_.size()) return std::string();
+  Result<const Document*> doc = shards_[s]->docs().Get(
+      static_cast<DocId>(shot - index_segments_[s].doc_offset));
   if (!doc.ok()) return std::string();
   std::string text = (*doc)->text;
   auto it = (*doc)->fields.find("headline");

@@ -17,8 +17,10 @@
 #include "ivr/index/scorer.h"
 #include "ivr/index/searcher.h"
 #include "ivr/retrieval/concept_index.h"
+#include "ivr/retrieval/engine_options.h"
 #include "ivr/retrieval/health.h"
 #include "ivr/retrieval/result_list.h"
+#include "ivr/retrieval/sub_index.h"
 #include "ivr/video/collection.h"
 
 namespace ivr {
@@ -36,27 +38,6 @@ struct Query {
   bool HasText() const { return !text.empty(); }
   bool HasExamples() const { return !examples.empty(); }
   bool HasConcepts() const { return !concepts.empty(); }
-};
-
-struct EngineOptions {
-  /// "bm25" | "tfidf" | "lm".
-  std::string scorer = "bm25";
-  /// Fusion weights for text vs. visual evidence (normalised internally).
-  double text_weight = 0.75;
-  double visual_weight = 0.25;
-  /// Similarity used for query-by-visual-example.
-  VisualSimilarity visual_similarity =
-      VisualSimilarity::kHistogramIntersection;
-  /// Index story headlines together with shot transcripts.
-  bool index_headlines = true;
-  /// Build a concept index (simulated detector bank over the collection's
-  /// topic space) and allow concept-bag queries.
-  bool use_concepts = false;
-  double concept_weight = 0.25;
-  SimulatedConceptDetector::Options detector;
-  uint64_t detector_seed = 7;
-  /// Candidate pool size per modality before fusion.
-  size_t candidate_pool = 1000;
 };
 
 /// The news-video retrieval engine of the framework (the paper's Section 3
@@ -89,11 +70,28 @@ struct SearchDiagnostics {
 /// The engine itself is stateless across queries; all personalisation and
 /// feedback adaptation lives above it (AdaptiveEngine). Search is safe to
 /// call from multiple threads concurrently.
+///
+/// Internally the engine serves one or more immutable SubIndex shards,
+/// each covering a contiguous slice of the global ShotId space. Every
+/// query path merges top-k across shards under the modality's strict
+/// total order (score desc, id asc) with scorers prepared from the summed
+/// collection statistics, so a segmented engine ranks bit-identically to
+/// a monolithic engine built over the concatenated collection — the
+/// invariant `ivr_ingest --check` enforces.
 class RetrievalEngine {
  public:
-  /// Builds the index over `collection`, which must outlive the engine.
+  /// Builds a single-shard engine over `collection`, which must outlive
+  /// the engine.
   static Result<std::unique_ptr<RetrievalEngine>> Build(
       const VideoCollection& collection,
+      EngineOptions options = EngineOptions());
+
+  /// Builds an engine over prebuilt immutable shards. Shards must be
+  /// non-empty, built with these same options, and supplied in ascending
+  /// global-id order (shard i's shot_key_offset must equal the total shot
+  /// count of shards 0..i-1 — the engine recomputes and checks offsets).
+  static Result<std::unique_ptr<RetrievalEngine>> BuildSegmented(
+      std::vector<std::shared_ptr<const SubIndex>> shards,
       EngineOptions options = EngineOptions());
 
   RetrievalEngine(const RetrievalEngine&) = delete;
@@ -135,13 +133,15 @@ class RetrievalEngine {
   }
   ResultCache* cache() const { return cache_.get(); }
 
-  /// Scopes this engine's cache keys to an index generation: when
+  /// Scopes this engine's cache keys to a segment-set epoch: when
   /// nonzero, every cache fingerprint is prefixed with "G<epoch>|", so
   /// engines over DIFFERENT generations of a live collection can share
   /// one cache without a query pinned to an old generation ever hitting
-  /// (or polluting) a newer generation's entries. Set together with
-  /// AttachCache, before serving. 0 (the default) leaves keys unprefixed
-  /// — identical to the pre-generational format.
+  /// (or polluting) a newer generation's entries. Compaction (merge)
+  /// keeps the epoch: a merged engine ranks bit-identically, so its
+  /// entries stay valid. Set together with AttachCache, before serving.
+  /// 0 (the default) leaves keys unprefixed — identical to the
+  /// pre-generational format.
   void SetCacheKeyEpoch(uint64_t epoch) { cache_key_epoch_ = epoch; }
   uint64_t cache_key_epoch() const { return cache_key_epoch_; }
 
@@ -153,12 +153,16 @@ class RetrievalEngine {
   ResultList SearchVisual(const ColorHistogram& example, size_t k) const;
 
   /// Concept-only search; FailedPrecondition unless built with
-  /// use_concepts.
+  /// use_concepts (and every shard's concept index survived construction).
   Result<ResultList> SearchConcepts(const std::vector<ConceptId>& concepts,
                                     size_t k) const;
 
-  /// The concept index, or nullptr when concepts are disabled.
-  const ConceptIndex* concept_index() const { return concepts_.get(); }
+  /// The concept index of a single-shard engine (nullptr when concepts
+  /// are disabled or the engine is multi-shard — per-segment concept
+  /// indexes are not individually exposed).
+  const ConceptIndex* concept_index() const {
+    return shards_.size() == 1 ? shards_.front()->concepts() : nullptr;
+  }
 
   /// Parses raw text into the engine's analysed term space.
   TermQuery ParseText(const std::string& text) const;
@@ -169,28 +173,41 @@ class RetrievalEngine {
   /// Indexed text of one shot (what Rocchio feeds back); empty for bad id.
   std::string IndexedText(ShotId shot) const;
 
-  const VideoCollection& collection() const { return *collection_; }
-  const InvertedIndex& index() const { return index_; }
-  const Analyzer& analyzer() const { return index_.analyzer(); }
+  /// Resolves a global ShotId to its shot (nullptr when out of range).
+  /// The segmented replacement for handing out a monolithic collection.
+  const Shot* FindShot(ShotId shot) const;
+
+  /// The first shard's text index (the whole index for a single-shard
+  /// engine; multi-shard callers search through the engine instead).
+  const InvertedIndex& index() const { return shards_.front()->index(); }
+  const Analyzer& analyzer() const { return index().analyzer(); }
   const EngineOptions& options() const { return options_; }
-  size_t num_shots() const { return collection_->num_shots(); }
+  size_t num_shots() const { return num_shots_; }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
-  RetrievalEngine(const VideoCollection& collection, EngineOptions options,
-                  std::unique_ptr<Scorer> scorer);
+  RetrievalEngine(EngineOptions options, std::unique_ptr<Scorer> scorer);
 
-  Status BuildIndex();
+  /// Adopts `shards` (ascending, contiguous) and precomputes offsets.
+  Status AdoptShards(std::vector<std::shared_ptr<const SubIndex>> shards);
+  /// Shard containing global shot id, or npos. The local id is
+  /// `shot - index_segments_[i].doc_offset`.
+  size_t ShardOf(ShotId shot) const;
+  /// Uncached concept-bag search merged across shards; requires
+  /// concepts_available_.
+  ResultList SearchConceptsMerged(const std::vector<ConceptId>& concepts,
+                                  size_t k) const;
 
-  const VideoCollection* collection_;
   EngineOptions options_;
   std::unique_ptr<Scorer> scorer_;
-  InvertedIndex index_;
-  DocumentStore docs_;                  // DocId == ShotId
-  std::vector<ColorHistogram> keyframes_;  // index-aligned with ShotId
-  /// Null unless use_concepts — or when use_concepts was requested but
-  /// construction faulted, in which case the engine serves degraded
-  /// (Health().concept_index_available == false).
-  std::unique_ptr<ConceptIndex> concepts_;
+  std::vector<std::shared_ptr<const SubIndex>> shards_;
+  /// Parallel to shards_: the text-index view Searcher consumes
+  /// (doc_offset = global id of the shard's local doc 0).
+  std::vector<IndexSegment> index_segments_;
+  size_t num_shots_ = 0;
+  /// All shards carry a concept index (vacuously false when use_concepts
+  /// is off, or when any shard's concept construction was degraded away).
+  bool concepts_available_ = false;
   std::shared_ptr<ResultCache> cache_;
   uint64_t cache_key_epoch_ = 0;
 

@@ -29,6 +29,7 @@ std::string HealthReport::ToString() const {
   add("ingest_orphan_segments_dropped", ingest_orphan_segments_dropped);
   add("ingest_torn_segments_dropped", ingest_torn_segments_dropped);
   add("ingest_torn_manifest_chunks", ingest_torn_manifest_chunks);
+  add("ingest_stale_temp_files_removed", ingest_stale_temp_files_removed);
   add("faults_injected", faults_injected);
   return out;
 }

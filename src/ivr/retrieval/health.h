@@ -53,6 +53,10 @@ struct HealthReport {
   uint64_t ingest_orphan_segments_dropped = 0;
   uint64_t ingest_torn_segments_dropped = 0;
   uint64_t ingest_torn_manifest_chunks = 0;
+  /// Stale WriteFileAtomic temp files swept at startup: each is the
+  /// residue of a crash mid-atomic-write. Disjoint from the orphan/torn
+  /// counters above (a temp never names a committed segment).
+  uint64_t ingest_stale_temp_files_removed = 0;
 
   /// Snapshot of FaultInjector::Global().num_injected() (0 when chaos is
   /// off): total injected faults across every site, including I/O.
@@ -66,7 +70,8 @@ struct HealthReport {
            session_persist_failures > 0 ||
            ingest_orphan_segments_dropped > 0 ||
            ingest_torn_segments_dropped > 0 ||
-           ingest_torn_manifest_chunks > 0 || faults_injected > 0;
+           ingest_torn_manifest_chunks > 0 ||
+           ingest_stale_temp_files_removed > 0 || faults_injected > 0;
   }
 
   /// Compact single-line "healthy" / key=value summary for tool stderr.

@@ -1,6 +1,7 @@
 #ifndef IVR_VIDEO_COLLECTION_H_
 #define IVR_VIDEO_COLLECTION_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,12 @@
 #include "ivr/video/types.h"
 
 namespace ivr {
+
+/// Resolves a ShotId to its shot, nullptr when unknown. The feedback and
+/// profile layers take this instead of a whole VideoCollection so a
+/// segmented engine can serve them without materializing a monolithic
+/// collection.
+using ShotLookup = std::function<const Shot*(ShotId)>;
 
 /// An in-memory digital video library: broadcasts, their stories, and the
 /// shots inside them, with topic metadata. Ids are dense indices into the

@@ -193,10 +193,11 @@ Result<RunArtifacts> Orchestrator::Run() {
   std::unique_ptr<LiveEngine> live;
   std::unique_ptr<SessionManager> manager;
   GeneratedCollection stream;
-  /// Pins one complete generation for the whole run when the collection
-  /// was moved into a LiveEngine (GeneratedCollection is move-only); the
-  /// simulator's collection/qrels/topics references point into it.
-  std::shared_ptr<const EngineSnapshot> base_snapshot;
+  /// Pins one complete materialized generation for the whole run when
+  /// the collection was moved into a LiveEngine (GeneratedCollection is
+  /// move-only); the simulator's collection/qrels/topics references
+  /// point into it.
+  GeneratedCollection exported;
 
   if (spec_.target == TargetKind::kDirect) {
     SessionManagerOptions manager_options;
@@ -207,10 +208,12 @@ Result<RunArtifacts> Orchestrator::Run() {
       IngestOptions ingest_options;
       ingest_options.dir = config_.ingest_dir;
       ingest_options.cache = cache;
+      ingest_options.merge_after_segments = spec_.ingest->merge_after;
+      ingest_options.background_merge = spec_.ingest->background_merge;
       IVR_ASSIGN_OR_RETURN(
           live,
           LiveEngine::Open(std::move(config_.collection), ingest_options));
-      base_snapshot = live->Acquire();
+      exported = live->ExportCollection();
       LiveEngine* live_ptr = live.get();
       manager = std::make_unique<SessionManager>(
           [live_ptr] { return live_ptr->Acquire()->adaptive; },
@@ -241,7 +244,7 @@ Result<RunArtifacts> Orchestrator::Run() {
   }
 
   const GeneratedCollection& base =
-      base_snapshot != nullptr ? *base_snapshot->data : config_.collection;
+      live != nullptr ? exported : config_.collection;
   const SessionSimulator simulator(base.collection, base.qrels);
   const std::vector<SearchTopic>& topics = base.topics.topics;
   if (topics.empty()) {
@@ -303,6 +306,7 @@ Result<RunArtifacts> Orchestrator::Run() {
   PhaseBarrier barrier(num_actors + (has_writer ? 1 : 0) + 1);
   std::unique_ptr<PhaseCounters[]> counters(new PhaseCounters[num_phases]);
   std::vector<LocalHistogram> latency(num_phases);
+  std::vector<LocalHistogram> publish_latency(num_phases);
   std::atomic<size_t> next_job{0};
   std::atomic<int64_t> active_readers{0};
   OpenLoopPacer pacer;
@@ -484,15 +488,48 @@ Result<RunArtifacts> Orchestrator::Run() {
         const WritesSpec& writes = *phase.writes;
         const int64_t interval_us =
             static_cast<int64_t>(1e6 / writes.rate);
+        // publish_rate > 0: publishes fire on their own deadline clock,
+        // decoupled from how many appends landed in between (the shape
+        // that measures publish latency at a fixed cadence).
+        const int64_t publish_interval_us =
+            writes.publish_rate > 0.0
+                ? static_cast<int64_t>(1e6 / writes.publish_rate)
+                : 0;
         const int64_t origin = NowSteadyUs();
         int64_t deadline = origin + interval_us;
+        int64_t publish_deadline = origin + publish_interval_us;
         size_t since_publish = 0;
+        const auto timed_publish = [&] {
+          const int64_t t0 = NowSteadyUs();
+          if (config_.canary_delay_us > 0) {
+            // Same canary hook as the read path: the injected slowdown
+            // lands inside the measured publish window.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(config_.canary_delay_us));
+          }
+          const bool ok = live->Publish().ok();
+          publish_latency[p].Record(NowSteadyUs() - t0);
+          if (ok) {
+            counters[p].publishes.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            counters[p].failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          since_publish = 0;
+        };
         while (active_readers.load(std::memory_order_acquire) > 0) {
           const int64_t now = NowSteadyUs();
+          if (publish_interval_us > 0 && now >= publish_deadline) {
+            if (since_publish > 0) timed_publish();
+            publish_deadline += publish_interval_us;
+            continue;
+          }
           if (now < deadline) {
-            const int64_t nap = deadline - now;
+            int64_t nap = deadline - now;
+            if (publish_interval_us > 0 && publish_deadline - now < nap) {
+              nap = publish_deadline - now;
+            }
             std::this_thread::sleep_for(std::chrono::microseconds(
-                nap < 50000 ? nap : 50000));
+                nap < 50000 ? (nap > 0 ? nap : 1) : 50000));
             continue;
           }
           const VideoId id = static_cast<VideoId>(
@@ -504,25 +541,13 @@ Result<RunArtifacts> Orchestrator::Run() {
           } else {
             counters[p].failures.fetch_add(1, std::memory_order_relaxed);
           }
-          if (since_publish >= writes.publish_every) {
-            if (live->Publish().ok()) {
-              counters[p].publishes.fetch_add(1,
-                                              std::memory_order_relaxed);
-            } else {
-              counters[p].failures.fetch_add(1,
-                                             std::memory_order_relaxed);
-            }
-            since_publish = 0;
+          if (writes.publish_every > 0 &&
+              since_publish >= writes.publish_every) {
+            timed_publish();
           }
           deadline += interval_us;
         }
-        if (since_publish > 0) {
-          if (live->Publish().ok()) {
-            counters[p].publishes.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            counters[p].failures.fetch_add(1, std::memory_order_relaxed);
-          }
-        }
+        if (since_publish > 0) timed_publish();
       }
       barrier.Arrive();  // phase end
     }
@@ -588,6 +613,7 @@ Result<RunArtifacts> Orchestrator::Run() {
     result.events = counters[p].events.load();
     result.relevant_found = counters[p].relevant.load();
     result.latency = latency[p].Snapshot();
+    result.publish_latency = publish_latency[p].Snapshot();
     result.stats = DiffSnapshots(before, after);
     artifacts.report.phases.push_back(std::move(result));
   }

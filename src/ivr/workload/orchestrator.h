@@ -53,9 +53,10 @@ struct OrchestratorConfig {
   /// time — the rerun a --check compares the concurrent run against.
   bool sequential = false;
 
-  /// Injected per-operation slowdown for open-loop ops, in microseconds.
-  /// Counted inside the measured latency window — this is how the canary
-  /// test proves its bounds can actually trip.
+  /// Injected per-operation slowdown for open-loop ops and writer
+  /// publishes, in microseconds. Counted inside the measured latency
+  /// window — this is how the canary test proves its bounds (including
+  /// the publish-latency bound) can actually trip.
   int64_t canary_delay_us = 0;
 
   /// Test hook: called by each actor right after it clears a phase's

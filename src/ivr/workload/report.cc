@@ -164,6 +164,8 @@ std::string WorkloadReport::ToJson() const {
                      U64(phase.relevant_found).c_str());
     out += "      \"latency_us\": ";
     AppendHistogramJson(out, phase.latency);
+    out += ",\n      \"publish_latency_us\": ";
+    AppendHistogramJson(out, phase.publish_latency);
     out += ",\n      \"stats\": ";
     AppendStatsJson(out, phase.stats, "      ");
     out += "\n    }";
@@ -191,7 +193,7 @@ Status CheckPhaseBounds(const PhaseResult& phase,
                         std::vector<std::string>& violations) {
   static constexpr std::string_view kKnown[] = {
       "max_failures", "min_ops", "max_p50_us", "max_p99_us",
-      "min_achieved_rate"};
+      "min_achieved_rate", "max_publish_p99_us"};
   for (const auto& [key, value] : bounds.members()) {
     bool known = false;
     for (const std::string_view candidate : kKnown) {
@@ -239,6 +241,24 @@ Status CheckPhaseBounds(const PhaseResult& phase,
     violations.push_back(StrFormat(
         "phase \"%s\": p99 %lldus > max_p99_us %.0f", phase.name.c_str(),
         static_cast<long long>(phase.latency.Quantile(0.99)), max_p99));
+  }
+  const double max_publish_p99 = number("max_publish_p99_us", -1.0);
+  if (max_publish_p99 >= 0.0) {
+    if (phase.publish_latency.count == 0) {
+      // A publish bound on a phase that never published is the same
+      // never-firing-canary trap as a bound naming a missing phase.
+      violations.push_back(StrFormat(
+          "phase \"%s\": max_publish_p99_us bound but no publishes were "
+          "measured",
+          phase.name.c_str()));
+    } else if (static_cast<double>(phase.publish_latency.Quantile(0.99)) >
+               max_publish_p99) {
+      violations.push_back(StrFormat(
+          "phase \"%s\": publish p99 %lldus > max_publish_p99_us %.0f",
+          phase.name.c_str(),
+          static_cast<long long>(phase.publish_latency.Quantile(0.99)),
+          max_publish_p99));
+    }
   }
   const double min_rate = number("min_achieved_rate", -1.0);
   if (min_rate >= 0.0 && phase.achieved_rate < min_rate) {

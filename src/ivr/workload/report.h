@@ -47,6 +47,11 @@ struct PhaseResult {
   /// canary bounds must hold in every build flavor).
   obs::HistogramSnapshot latency;
 
+  /// Publish() latency per writer publish inside the phase, same
+  /// build-flavor-proof clock. Empty for phases without writes — the
+  /// canary's publish-latency bound reads this.
+  obs::HistogramSnapshot publish_latency;
+
   /// Per-phase obs delta (empty maps under IVR_OBS_OFF).
   obs::RegistrySnapshot stats;
 };
@@ -66,7 +71,8 @@ struct WorkloadReport {
 ///
 ///   {"phases": {"<phase name>": {"max_failures": 0, "min_ops": 10,
 ///                                "max_p50_us": 20000, "max_p99_us": 150000,
-///                                "min_achieved_rate": 50.0}}}
+///                                "min_achieved_rate": 50.0,
+///                                "max_publish_p99_us": 250000}}}
 ///
 /// Every bound key is optional; unknown keys and bounds naming phases the
 /// report lacks are errors (a renamed phase must not silently stop being

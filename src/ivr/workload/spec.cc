@@ -82,6 +82,16 @@ Result<double> NumberField(const JsonValue& obj, const std::string& path,
   return value;
 }
 
+Result<bool> BoolField(const JsonValue& obj, const std::string& path,
+                       const char* key, bool fallback) {
+  const JsonValue* node = obj.Find(key);
+  if (node == nullptr) return fallback;
+  if (!node->is_bool()) {
+    return ErrAt(path + "." + key, "must be true or false");
+  }
+  return node->bool_value();
+}
+
 Result<int64_t> IntField(const JsonValue& obj, const std::string& path,
                          const char* key, int64_t fallback) {
   const JsonValue* node = obj.Find(key);
@@ -319,8 +329,9 @@ Result<PhaseSpec> ParsePhase(const JsonValue& node,
   if (!writes.ok()) return writes.status();
   if (*writes != nullptr) {
     const std::string writes_path = path + ".writes";
-    IVR_RETURN_IF_ERROR(
-        CheckKeys(**writes, writes_path, {"rate", "publish_every"}));
+    IVR_RETURN_IF_ERROR(CheckKeys(**writes, writes_path,
+                                  {"rate", "publish_every",
+                                   "publish_rate"}));
     WritesSpec spec;
     IVR_ASSIGN_OR_RETURN(spec.rate,
                          NumberField(**writes, writes_path, "rate", 0.0));
@@ -330,7 +341,19 @@ Result<PhaseSpec> ParsePhase(const JsonValue& node,
     if (spec.rate <= 0.0) {
       return ErrAt(writes_path + ".rate", "must be > 0");
     }
-    if ((*writes)->Find("publish_every") == nullptr) {
+    if ((*writes)->Find("publish_rate") != nullptr) {
+      // Time-based publish pacing replaces count-based pacing outright;
+      // allowing both would leave which one fires ambiguous.
+      IVR_RETURN_IF_ERROR(Forbid(**writes, writes_path, "publish_every",
+                                 "mutually exclusive with publish_rate"));
+      IVR_ASSIGN_OR_RETURN(
+          spec.publish_rate,
+          NumberField(**writes, writes_path, "publish_rate", 0.0));
+      if (spec.publish_rate <= 0.0) {
+        return ErrAt(writes_path + ".publish_rate", "must be > 0");
+      }
+      spec.publish_every = 0;
+    } else if ((*writes)->Find("publish_every") == nullptr) {
       spec.publish_every = 0;  // inherit the workload-level default
     } else {
       IVR_ASSIGN_OR_RETURN(
@@ -488,7 +511,7 @@ Result<WorkloadSpec> ParseWorkload(std::string_view json) {
       IVR_RETURN_IF_ERROR(
           CheckKeys(**ingest, "$.ingest",
                     {"stream_seed", "stream_videos", "stream_topics",
-                     "publish_every"}));
+                     "publish_every", "merge_after", "background_merge"}));
       IngestSpec parsed;
       IVR_ASSIGN_OR_RETURN(
           const int64_t stream_seed,
@@ -510,6 +533,19 @@ Result<WorkloadSpec> ParseWorkload(std::string_view json) {
           BoundedIntField(**ingest, "$.ingest", "publish_every", 2, 1,
                           1000000));
       parsed.publish_every = static_cast<size_t>(publish_every);
+      IVR_ASSIGN_OR_RETURN(
+          const int64_t merge_after,
+          BoundedIntField(**ingest, "$.ingest", "merge_after", 0, 0,
+                          1000000));
+      parsed.merge_after = static_cast<size_t>(merge_after);
+      IVR_ASSIGN_OR_RETURN(
+          parsed.background_merge,
+          BoolField(**ingest, "$.ingest", "background_merge", false));
+      if (parsed.background_merge && parsed.merge_after == 0) {
+        return ErrAt("$.ingest.background_merge",
+                     "needs merge_after > 0 (the merge thread is only "
+                     "woken by the auto-merge threshold)");
+      }
       spec.ingest = parsed;
     }
   }
@@ -544,7 +580,8 @@ Result<WorkloadSpec> ParseWorkload(std::string_view json) {
                      "ingest endpoint; use ivr_httpd --ingest-stream for "
                      "server-side ingestion)");
       }
-      if (phase.writes->publish_every == 0) {
+      if (phase.writes->publish_rate == 0.0 &&
+          phase.writes->publish_every == 0) {
         phase.writes->publish_every = spec.ingest->publish_every;
       }
     }
@@ -590,11 +627,14 @@ std::string WorkloadSpec::ToJson() const {
   if (ingest.has_value()) {
     out += StrFormat(
         "  \"ingest\": {\"stream_seed\": %s, \"stream_videos\": %s, "
-        "\"stream_topics\": %s, \"publish_every\": %s},\n",
+        "\"stream_topics\": %s, \"publish_every\": %s, "
+        "\"merge_after\": %s, \"background_merge\": %s},\n",
         UInt(ingest->stream_seed).c_str(),
         UInt(ingest->stream_videos).c_str(),
         UInt(ingest->stream_topics).c_str(),
-        UInt(ingest->publish_every).c_str());
+        UInt(ingest->publish_every).c_str(),
+        UInt(ingest->merge_after).c_str(),
+        ingest->background_merge ? "true" : "false");
   }
   out += "  \"phases\": [\n";
   for (size_t i = 0; i < phases.size(); ++i) {
@@ -638,10 +678,17 @@ std::string WorkloadSpec::ToJson() const {
                        UInt(phase.fault_seed).c_str());
     }
     if (phase.writes.has_value()) {
-      out += StrFormat(
-          ", \"writes\": {\"rate\": %s, \"publish_every\": %s}",
-          Num(phase.writes->rate).c_str(),
-          UInt(phase.writes->publish_every).c_str());
+      if (phase.writes->publish_rate > 0.0) {
+        out += StrFormat(
+            ", \"writes\": {\"rate\": %s, \"publish_rate\": %s}",
+            Num(phase.writes->rate).c_str(),
+            Num(phase.writes->publish_rate).c_str());
+      } else {
+        out += StrFormat(
+            ", \"writes\": {\"rate\": %s, \"publish_every\": %s}",
+            Num(phase.writes->rate).c_str(),
+            UInt(phase.writes->publish_every).c_str());
+      }
     }
     out += i + 1 < phases.size() ? "},\n" : "}\n";
   }

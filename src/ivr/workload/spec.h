@@ -30,7 +30,8 @@ namespace workload {
 ///     "cache": {"mb": 16, "shards": 8},
 ///     "service": {"shards": 8, "max_sessions": 0, "ttl_ms": 0},
 ///     "ingest": {"stream_seed": 7, "stream_videos": 6,
-///                "stream_topics": 6, "publish_every": 2},
+///                "stream_topics": 6, "publish_every": 2,
+///                "merge_after": 3, "background_merge": true},
 ///     "phases": [
 ///       {"name": "warm", "mode": "closed", "actors": 4, "sessions": 16,
 ///        "session_mix": [{"user": "novice", "weight": 3},
@@ -39,7 +40,7 @@ namespace workload {
 ///       {"name": "surge", "mode": "open", "actors": 8,
 ///        "duration_ms": 2000, "rate": 500, "k": 10,
 ///        "query_mix": [{"text": "election results", "weight": 1}],
-///        "writes": {"rate": 10, "publish_every": 4},
+///        "writes": {"rate": 10, "publish_every": 4},   // or publish_rate
 ///        "fault_spec": "engine.visual:0.05", "fault_seed": 1}
 ///     ]
 ///   }
@@ -73,6 +74,10 @@ struct QueryMixEntry {
 struct WritesSpec {
   double rate = 1.0;         ///< appends per second (interval pacing)
   size_t publish_every = 1;  ///< Publish() after this many appends
+  /// Publishes per second on their own clock, decoupled from the append
+  /// count (0 = count-based publish_every pacing). Mutually exclusive
+  /// with publish_every in the document.
+  double publish_rate = 0.0;
 };
 
 struct PhaseSpec {
@@ -120,6 +125,12 @@ struct IngestSpec {
   size_t stream_videos = 6;
   size_t stream_topics = 6;
   size_t publish_every = 2;  ///< default for phases whose writes omit it
+
+  // Merge policy, forwarded to IngestOptions: auto-compact once this
+  // many segments accumulate (0 = never), on the publisher or on the
+  // background merge thread.
+  size_t merge_after = 0;
+  bool background_merge = false;
 };
 
 struct WorkloadSpec {

@@ -77,8 +77,10 @@ TEST_F(HistogramPropertyTest, QuantileIsExactToWithinOneBucket) {
     const HistogramSnapshot snap = histogram.Snapshot();
     std::sort(values.begin(), values.end());
     for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
-      // The exact q-quantile with the snapshot's 1-based-rank convention.
-      size_t rank = static_cast<size_t>(q * values.size());
+      // The exact q-quantile with the snapshot's nearest-rank
+      // (1-based, ceil) convention.
+      size_t rank = static_cast<size_t>(
+          std::ceil(q * static_cast<double>(values.size())));
       rank = std::min(std::max<size_t>(rank, 1), values.size());
       const int64_t exact = values[rank - 1];
       const int64_t estimate = snap.Quantile(q);

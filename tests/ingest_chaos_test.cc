@@ -101,7 +101,7 @@ TEST(IngestChaosTest, ConcurrentReadersSeeOnlyCompleteGenerations) {
   {
     ScopedFaultInjection faults(
         "ingest.append:0.05,ingest.publish:0.05,ingest.merge:0.05,"
-        "ingest.manifest:0.05",
+        "ingest.manifest:0.05,file.atomic.dirsync:0.05",
         7);
     ASSERT_TRUE(faults.status().ok());
 
@@ -141,6 +141,9 @@ TEST(IngestChaosTest, ConcurrentReadersSeeOnlyCompleteGenerations) {
 
     const IngestStats stats = live.Stats();
     EXPECT_GT(stats.publishes, 0u);
+    // The run genuinely served from multiple per-segment sub-indexes,
+    // not a chain of single-segment fast paths.
+    EXPECT_GE(stats.segments, 2u);
   }  // faults disarmed before verification
 
   // Sequentially rerun every generation the manifest records (plus the
@@ -195,8 +198,15 @@ TEST(IngestChaosTest, ConcurrentReadersSeeOnlyCompleteGenerations) {
   const IngestStats reopen_stats = (*reopened)->Stats();
   EXPECT_EQ(reopen_stats.orphan_segments_dropped, unreferenced);
   EXPECT_EQ(reopen_stats.torn_segments_dropped, 0u);
+  // No process was killed mid-rename, so no mkstemp temp can be stale —
+  // the sweep counter stays disjoint from the fault casualties above.
+  EXPECT_EQ(reopen_stats.stale_temp_files_removed, 0u);
   EXPECT_EQ((*reopened)->Acquire()->generation,
             loaded->records.back().generation);
+  // The replayed snapshot serves one shard per manifest segment plus the
+  // base — the segmented composition, reconstructed from disk.
+  EXPECT_EQ((*reopened)->Acquire()->engine->num_shards(),
+            reopen_stats.segments + 1);
   EXPECT_EQ(Ranking(*(*reopened)->Acquire(), query),
             expected[loaded->records.back().generation]);
 }
@@ -253,6 +263,9 @@ TEST(IngestChaosTest, BackgroundMergeUnderFaultsKeepsServingConsistent) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->Acquire()->generation, final_generation);
   EXPECT_EQ(Ranking(*(*reopened)->Acquire(), query), final_ranking);
+  // Merge compaction preserves the shard-per-segment structure.
+  EXPECT_EQ((*reopened)->Acquire()->engine->num_shards(),
+            (*reopened)->Stats().segments + 1);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ivr/core/fault_injection.h"
 #include "ivr/core/file_util.h"
 #include "ivr/core/string_util.h"
 #include "ivr/ingest/live_engine.h"
@@ -48,7 +49,7 @@ std::string FreshDir(const std::string& name) {
 }
 
 std::string Ranking(const EngineSnapshot& snapshot) {
-  const SearchTopic& topic = snapshot.data->topics.topics.at(0);
+  const SearchTopic& topic = snapshot.topics->topics.at(0);
   Query query;
   query.text = topic.title;
   query.examples = topic.examples;
@@ -191,6 +192,85 @@ TEST(IngestKillPublishTest, EveryCrashPointServesExactlyGOrGPlusOne) {
   EXPECT_GT(served_g2, 0u);
   // Only the complete manifest state serves generation 2.
   EXPECT_EQ(served_g2, 1u);
+}
+
+// A kill between mkstemp() and rename() strands a "<target>.tmpXXXXXX"
+// file. Those must be swept (and counted separately from the salvage
+// counters) at the next open, without touching any live artifact.
+TEST(IngestKillPublishTest, StaleTempFilesAreSweptAndCountedAtOpen) {
+  const std::string dir = FreshDir("kill_stale_temps");
+  const GeneratedCollection stream = MakeStream();
+  std::string ranking_g1;
+  {
+    IngestOptions options;
+    options.dir = dir;
+    auto live = LiveEngine::Open(MakeBase(), options).value();
+    ASSERT_TRUE(live->AppendVideoFrom(stream.collection, 0).ok());
+    ASSERT_TRUE(live->Publish().ok());
+    ranking_g1 = Ranking(*live->Acquire());
+  }
+  // Two stranded temps (a torn segment write and a torn manifest write)
+  // plus one file that merely looks similar but is NOT an mkstemp temp.
+  const std::string seg_temp = dir + "/seg-000002.seg.tmpQx9Z2a";
+  const std::string manifest_temp = dir + "/MANIFEST.tmpB7c8D9";
+  const std::string decoy = dir + "/seg-000001.seg.tmpfile";
+  ASSERT_TRUE(WriteStringToFile(seg_temp, "torn segment bytes").ok());
+  ASSERT_TRUE(WriteStringToFile(manifest_temp, "torn manifest").ok());
+  ASSERT_TRUE(WriteStringToFile(decoy, "not a temp").ok());
+
+  IngestOptions options;
+  options.dir = dir;
+  auto live = LiveEngine::Open(MakeBase(), options).value();
+  EXPECT_FALSE(FileExists(seg_temp));
+  EXPECT_FALSE(FileExists(manifest_temp));
+  EXPECT_TRUE(FileExists(decoy));
+  const IngestStats stats = live->Stats();
+  EXPECT_EQ(stats.stale_temp_files_removed, 2u);
+  // Disjoint from the salvage accounting: nothing real was dropped.
+  EXPECT_EQ(stats.orphan_segments_dropped, 0u);
+  EXPECT_EQ(stats.torn_segments_dropped, 0u);
+  // Serving is untouched by the sweep.
+  const auto snapshot = live->Acquire();
+  EXPECT_EQ(snapshot->generation, 1u);
+  EXPECT_EQ(Ranking(*snapshot), ranking_g1);
+}
+
+// The directory-entry fsync after rename is a real fault site: when it
+// fails, Publish() must report the error and restore the pending delta,
+// and a fault-free retry must converge to a state a reload serves
+// bit-identically — with the abandoned segment file counted as exactly
+// one orphan.
+TEST(IngestKillPublishTest, DirSyncFaultAbortsPublishCleanly) {
+  const std::string dir = FreshDir("kill_dirsync");
+  const GeneratedCollection stream = MakeStream();
+  IngestOptions options;
+  options.dir = dir;
+  std::string ranking;
+  uint64_t generation = 0;
+  {
+    auto live = LiveEngine::Open(MakeBase(), options).value();
+    ASSERT_TRUE(live->AppendVideoFrom(stream.collection, 0).ok());
+    {
+      ScopedFaultInjection faults("file.atomic.dirsync:1.0", 1);
+      EXPECT_FALSE(live->Publish().ok());
+    }
+    EXPECT_EQ(live->Stats().publish_failures, 1u);
+    // The delta survived the failure; a clean retry publishes it.
+    const Result<uint64_t> retried = live->Publish();
+    ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+    const auto snapshot = live->Acquire();
+    generation = snapshot->generation;
+    ranking = Ranking(*snapshot);
+  }
+  auto reopened = LiveEngine::Open(MakeBase(), options).value();
+  const auto snapshot = reopened->Acquire();
+  EXPECT_EQ(snapshot->generation, generation);
+  EXPECT_EQ(Ranking(*snapshot), ranking);
+  // The segment file renamed before the failed dir fsync is on disk but
+  // referenced by no manifest record: exactly one orphan, zero torn.
+  const IngestStats stats = reopened->Stats();
+  EXPECT_EQ(stats.orphan_segments_dropped, 1u);
+  EXPECT_EQ(stats.torn_segments_dropped, 0u);
 }
 
 }  // namespace

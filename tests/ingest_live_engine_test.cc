@@ -60,7 +60,7 @@ std::unique_ptr<LiveEngine> OpenLive(const std::string& dir,
 }
 
 Query TopicQuery(const EngineSnapshot& snapshot, size_t i = 0) {
-  const SearchTopic& topic = snapshot.data->topics.topics.at(i);
+  const SearchTopic& topic = snapshot.topics->topics.at(i);
   Query query;
   query.text = topic.title;
   query.examples = topic.examples;
@@ -81,23 +81,22 @@ TEST(LiveEngineTest, FreshDirectoryServesTheBaseAtGenerationZero) {
   auto live = OpenLive(FreshDir("live_fresh"));
   const auto snapshot = live->Acquire();
   EXPECT_EQ(snapshot->generation, 0u);
-  EXPECT_EQ(snapshot->data->collection.num_shots(),
-            MakeBase().collection.num_shots());
+  EXPECT_EQ(snapshot->num_shots(), MakeBase().collection.num_shots());
   EXPECT_EQ(live->Stats().segments, 0u);
 }
 
 TEST(LiveEngineTest, PendingIsInvisibleUntilPublish) {
   auto live = OpenLive(FreshDir("live_pending"));
   const GeneratedCollection stream = MakeStream();
-  const size_t base_shots = live->Acquire()->data->collection.num_shots();
+  const size_t base_shots = live->Acquire()->num_shots();
   ASSERT_TRUE(live->AppendVideoFrom(stream.collection, 0).ok());
-  EXPECT_EQ(live->Acquire()->data->collection.num_shots(), base_shots);
+  EXPECT_EQ(live->Acquire()->num_shots(), base_shots);
   EXPECT_GT(live->Stats().pending_shots, 0u);
 
   const Result<uint64_t> published = live->Publish();
   ASSERT_TRUE(published.ok());
   EXPECT_EQ(*published, 1u);
-  EXPECT_GT(live->Acquire()->data->collection.num_shots(), base_shots);
+  EXPECT_GT(live->Acquire()->num_shots(), base_shots);
   EXPECT_EQ(live->Stats().pending_shots, 0u);
   EXPECT_EQ(live->Stats().segments, 1u);
 }
@@ -326,7 +325,7 @@ TEST(LiveEngineTest, SessionManagerStraddlesPublishes) {
   ASSERT_TRUE(manager.BeginSession("s1", "u1").ok());
 
   Query query;
-  query.text = live->Acquire()->data->topics.topics.at(0).title;
+  query.text = live->Acquire()->topics->topics.at(0).title;
   const Result<ResultList> before = manager.Search("s1", query, 5);
   ASSERT_TRUE(before.ok());
 

@@ -14,56 +14,58 @@ class ScorerTest : public ::testing::Test {
     ASSERT_TRUE(
         index_.IndexText(2, "weather forecast rain rain rain").ok());
     ASSERT_TRUE(index_.IndexText(3, "football stadium crowd").ok());
+    stats_ = index_.stats();
   }
 
   InvertedIndex index_;
+  CollectionStats stats_;
 };
 
 TEST_F(ScorerTest, Bm25HigherTfScoresHigher) {
   const Bm25Scorer scorer;
   const size_t df = 2;
   const uint64_t cf = 3;
-  const double s1 = scorer.Score(index_, 1, 4, df, cf, 1);
-  const double s2 = scorer.Score(index_, 2, 4, df, cf, 1);
+  const double s1 = scorer.Score(stats_, 1, 4, df, cf, 1);
+  const double s2 = scorer.Score(stats_, 2, 4, df, cf, 1);
   EXPECT_GT(s2, s1);
   EXPECT_GT(s1, 0.0);
 }
 
 TEST_F(ScorerTest, Bm25TfSaturates) {
   const Bm25Scorer scorer;
-  const double s2 = scorer.Score(index_, 2, 4, 1, 2, 1);
-  const double s1 = scorer.Score(index_, 1, 4, 1, 2, 1);
-  const double s20 = scorer.Score(index_, 20, 4, 1, 20, 1);
-  const double s19 = scorer.Score(index_, 19, 4, 1, 20, 1);
+  const double s2 = scorer.Score(stats_, 2, 4, 1, 2, 1);
+  const double s1 = scorer.Score(stats_, 1, 4, 1, 2, 1);
+  const double s20 = scorer.Score(stats_, 20, 4, 1, 20, 1);
+  const double s19 = scorer.Score(stats_, 19, 4, 1, 20, 1);
   // Marginal gain shrinks with tf.
   EXPECT_GT(s2 - s1, s20 - s19);
 }
 
 TEST_F(ScorerTest, Bm25PenalizesLongDocuments) {
   const Bm25Scorer scorer;
-  const double short_doc = scorer.Score(index_, 1, 2, 2, 3, 1);
-  const double long_doc = scorer.Score(index_, 1, 5, 2, 3, 1);
+  const double short_doc = scorer.Score(stats_, 1, 2, 2, 3, 1);
+  const double long_doc = scorer.Score(stats_, 1, 5, 2, 3, 1);
   EXPECT_GT(short_doc, long_doc);
 }
 
 TEST_F(ScorerTest, Bm25RareTermsWorthMore) {
   const Bm25Scorer scorer;
-  const double rare = scorer.Score(index_, 1, 4, 1, 1, 1);
-  const double common = scorer.Score(index_, 1, 4, 4, 8, 1);
+  const double rare = scorer.Score(stats_, 1, 4, 1, 1, 1);
+  const double common = scorer.Score(stats_, 1, 4, 4, 8, 1);
   EXPECT_GT(rare, common);
 }
 
 TEST_F(ScorerTest, Bm25ZeroWhenAbsent) {
   const Bm25Scorer scorer;
-  EXPECT_DOUBLE_EQ(scorer.Score(index_, 0, 4, 2, 3, 1), 0.0);
-  EXPECT_DOUBLE_EQ(scorer.Score(index_, 1, 4, 0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(stats_, 0, 4, 2, 3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(stats_, 1, 4, 0, 0, 1), 0.0);
 }
 
 TEST_F(ScorerTest, Bm25QueryTfSaturates) {
   const Bm25Scorer scorer;
-  const double once = scorer.Score(index_, 2, 4, 2, 3, 1);
-  const double twice = scorer.Score(index_, 2, 4, 2, 3, 2);
-  const double many = scorer.Score(index_, 2, 4, 2, 3, 100);
+  const double once = scorer.Score(stats_, 2, 4, 2, 3, 1);
+  const double twice = scorer.Score(stats_, 2, 4, 2, 3, 2);
+  const double many = scorer.Score(stats_, 2, 4, 2, 3, 100);
   // Okapi's third component: a repeated query term boosts the score but
   // sub-linearly, approaching (k3 + 1) times the single-occurrence score
   // as qtf grows.
@@ -81,8 +83,8 @@ TEST_F(ScorerTest, Bm25SingleQueryTfUnchangedByK3) {
   // k3, so single-occurrence queries are unaffected by the saturation fix.
   const Bm25Scorer default_k3;
   const Bm25Scorer tiny_k3(1.2, 0.75, 0.01);
-  EXPECT_DOUBLE_EQ(default_k3.Score(index_, 2, 4, 2, 3, 1),
-                   tiny_k3.Score(index_, 2, 4, 2, 3, 1));
+  EXPECT_DOUBLE_EQ(default_k3.Score(stats_, 2, 4, 2, 3, 1),
+                   tiny_k3.Score(stats_, 2, 4, 2, 3, 1));
 }
 
 TEST_F(ScorerTest, PreparedPathMatchesScore) {
@@ -96,12 +98,12 @@ TEST_F(ScorerTest, PreparedPathMatchesScore) {
         static_cast<const Scorer*>(&tfidf),
         static_cast<const Scorer*>(&lm)}) {
     for (uint32_t qtf : {1u, 2u, 5u}) {
-      const PreparedTerm prepared = scorer->Prepare(index_, 2, 5, qtf);
+      const PreparedTerm prepared = scorer->Prepare(stats_, 2, 5, qtf);
       for (uint32_t tf : {1u, 2u, 4u}) {
         for (uint32_t len : {2u, 4u, 5u}) {
           EXPECT_DOUBLE_EQ(
-              scorer->ScorePosting(index_, prepared, tf, len),
-              scorer->Score(index_, tf, len, 2, 5, qtf))
+              scorer->ScorePosting(stats_, prepared, tf, len),
+              scorer->Score(stats_, tf, len, 2, 5, qtf))
               << scorer->name() << " qtf=" << qtf << " tf=" << tf
               << " len=" << len;
         }
@@ -112,23 +114,23 @@ TEST_F(ScorerTest, PreparedPathMatchesScore) {
 
 TEST_F(ScorerTest, TfIdfBasicOrdering) {
   const TfIdfScorer scorer;
-  const double high_tf = scorer.Score(index_, 3, 5, 2, 5, 1);
-  const double low_tf = scorer.Score(index_, 1, 5, 2, 5, 1);
+  const double high_tf = scorer.Score(stats_, 3, 5, 2, 5, 1);
+  const double low_tf = scorer.Score(stats_, 1, 5, 2, 5, 1);
   EXPECT_GT(high_tf, low_tf);
   // A term occurring in every document has idf log(1)=0.
-  EXPECT_DOUBLE_EQ(scorer.Score(index_, 2, 5, 4, 8, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(stats_, 2, 5, 4, 8, 1), 0.0);
 }
 
 TEST_F(ScorerTest, DirichletPrefersHigherTf) {
   const DirichletLmScorer scorer(2000.0);
-  const double s2 = scorer.Score(index_, 2, 4, 1, 3, 1);
-  const double s1 = scorer.Score(index_, 1, 4, 1, 3, 1);
+  const double s2 = scorer.Score(stats_, 2, 4, 1, 3, 1);
+  const double s1 = scorer.Score(stats_, 1, 4, 1, 3, 1);
   EXPECT_GT(s2, s1);
 }
 
 TEST_F(ScorerTest, DirichletZeroForUnseenTerm) {
   const DirichletLmScorer scorer;
-  EXPECT_DOUBLE_EQ(scorer.Score(index_, 1, 4, 1, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(stats_, 1, 4, 1, 0, 1), 0.0);
 }
 
 TEST(MakeScorerTest, FactoryNames) {

@@ -9,6 +9,7 @@
 
 #include "ivr/adaptive/adaptive_engine.h"
 #include "ivr/core/fault_injection.h"
+#include "ivr/core/string_util.h"
 #include "ivr/obs/metrics.h"
 #include "ivr/retrieval/engine.h"
 #include "ivr/video/generator.h"
@@ -109,6 +110,37 @@ TEST_F(StatsGoldenTest, SummaryReportsTheWorkload) {
   EXPECT_NE(summary.find("-- observability summary --"), std::string::npos);
   EXPECT_NE(summary.find("engine.queries"), std::string::npos);
   EXPECT_EQ(summary.find("(no activity recorded)"), std::string::npos);
+}
+
+TEST_F(StatsGoldenTest, StatsJsonQuantilesUseTheNearestRankConvention) {
+  // Regression for the floor-vs-ceil off-by-one: the p50 of 7 recorded
+  // values is the 4th smallest (nearest-rank = ceil(q*count)), never the
+  // 3rd. Pin it end to end through the --stats-json rendering with one
+  // value per bucket so the two conventions give different bytes.
+  obs::Registry::Global().ResetValues();
+  obs::LatencyHistogram* histogram =
+      obs::Registry::Global().GetHistogram("test.quantile_pin_us");
+  const int64_t values[] = {1, 2, 4, 8, 16, 32, 64};
+  for (const int64_t value : values) histogram->Record(value);
+
+  const obs::HistogramSnapshot snap = histogram->Snapshot();
+  const int64_t fourth = obs::LatencyHistogram::BucketUpperBound(
+      obs::LatencyHistogram::BucketIndex(8));
+  const int64_t third = obs::LatencyHistogram::BucketUpperBound(
+      obs::LatencyHistogram::BucketIndex(4));
+  ASSERT_NE(fourth, third) << "values must land in distinct buckets";
+  EXPECT_EQ(snap.Quantile(0.50), fourth);
+  // ceil(0.99 * 7) = 7: the p99 of seven values is the largest one.
+  EXPECT_EQ(snap.Quantile(0.99),
+            obs::LatencyHistogram::BucketUpperBound(
+                obs::LatencyHistogram::BucketIndex(64)));
+
+  const std::string json = obs::StatsJson();
+  const std::string needle = StrFormat(
+      "\"test.quantile_pin_us\": {\"count\": 7, \"sum\": 127, "
+      "\"max\": 64, \"p50\": %lld", static_cast<long long>(fourth));
+  EXPECT_NE(json.find(needle), std::string::npos)
+      << "stats json: " << json;
 }
 
 TEST_F(StatsGoldenTest, EmptyRegistryValuesStillRenderValidSkeleton) {

@@ -350,13 +350,17 @@ grep -q 'bounds VIOLATION: phase "open_micro"' "$WORK_DIR/canary_trip.txt"
 grep -q "max_p99_us" "$WORK_DIR/canary_trip.txt"
 
 # Mixed read/write soak: open-loop readers against the live engine while
-# the ingest writer appends and publishes inside the phase.
+# the ingest writer appends and publishes inside the phase — including a
+# publish_rate-paced drain phase — checked against the committed
+# publish-latency bounds (incremental publish must stay fast under load).
 "$TOOLS/ivr_workload" \
     --workload "$SRC_DIR/workloads/mixed_ingest_soak.json" \
+    --bounds "$SRC_DIR/workloads/mixed_ingest_soak_bounds.json" \
     --collection "$WORK_DIR/c.ivr" --ingest-dir "$WORK_DIR/wl_ingest" \
     > "$WORK_DIR/soak.log" 2> /dev/null
 grep -q "appends [1-9]" "$WORK_DIR/soak.log"
 grep -q "publishes [1-9]" "$WORK_DIR/soak.log"
+grep -q "bounds: all phases within" "$WORK_DIR/soak.log"
 
 # The http target drives the same phases through ivr_httpd's v1 API with
 # the --port override supplying the ephemeral port.

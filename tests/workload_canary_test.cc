@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "ivr/core/file_util.h"
 #include "ivr/video/generator.h"
 #include "ivr/workload/orchestrator.h"
 #include "ivr/workload/report.h"
@@ -81,6 +82,86 @@ TEST(WorkloadCanaryTest, InjectedSlowdownTripsTheBounds) {
   EXPECT_TRUE(p99_violation) << violations->front();
 }
 
+WorkloadSpec IngestCanarySpec() {
+  Result<WorkloadSpec> spec = ParseWorkload(R"({
+    "name": "ingest_canary", "seed": 5, "cache": {"mb": 4},
+    "ingest": {"stream_seed": 7, "stream_videos": 4, "stream_topics": 5,
+               "merge_after": 3, "background_merge": true},
+    "phases": [
+      {"name": "ingest_micro", "mode": "open", "actors": 2,
+       "duration_ms": 400, "rate": 40, "k": 5,
+       "writes": {"rate": 40, "publish_rate": 20}}
+    ]})");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).value();
+}
+
+Result<RunArtifacts> RunIngestCanary(int64_t canary_delay_us,
+                                     const char* dir_name) {
+  GeneratorOptions options;
+  options.seed = 77;
+  options.num_videos = 10;
+  options.num_topics = 5;
+  OrchestratorConfig config;
+  config.collection = GenerateCollection(options).value();
+  config.ingest_dir = ::testing::TempDir() + "/" + dir_name;
+  if (FileExists(config.ingest_dir)) {
+    const auto entries = ListDirectory(config.ingest_dir);
+    if (entries.ok()) {
+      for (const std::string& entry : *entries) {
+        (void)RemoveFile(config.ingest_dir + "/" + entry);
+      }
+    }
+  }
+  config.canary_delay_us = canary_delay_us;
+  Orchestrator orchestrator(IngestCanarySpec(), std::move(config));
+  return orchestrator.Run();
+}
+
+// The clean bound is deliberately loose (2s): a micro-delta publish is
+// single-digit milliseconds, but a ctest -jN machine can starve the
+// writer thread for hundreds of milliseconds, and the clean canary must
+// not flake on scheduling noise. The trip test uses a tight 250ms bound
+// instead, which its injected 300ms delay is guaranteed to exceed.
+const char* kCleanIngestBounds = R"({
+  "phases": {
+    "ingest_micro": {"max_failures": 0, "max_publish_p99_us": 2000000}
+  }})";
+const char* kTightIngestBounds = R"({
+  "phases": {
+    "ingest_micro": {"max_failures": 0, "max_publish_p99_us": 250000}
+  }})";
+
+TEST(WorkloadCanaryTest, CleanIngestRunPassesPublishLatencyBound) {
+  const Result<RunArtifacts> run = RunIngestCanary(0, "canary_ingest_ok");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->report.phases.size(), 1u);
+  EXPECT_GT(run->report.phases[0].publish_latency.count, 0u);
+  const Result<std::vector<std::string>> violations =
+      CheckBounds(run->report, kCleanIngestBounds);
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  EXPECT_TRUE(violations->empty())
+      << "unexpected violation: " << violations->front();
+}
+
+TEST(WorkloadCanaryTest, SlowPublishTripsThePublishLatencyBound) {
+  const Result<RunArtifacts> run =
+      RunIngestCanary(300000, "canary_ingest_slow");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const Result<std::vector<std::string>> violations =
+      CheckBounds(run->report, kTightIngestBounds);
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  bool publish_violation = false;
+  for (const std::string& violation : *violations) {
+    if (violation.find("ingest_micro") != std::string::npos &&
+        violation.find("max_publish_p99_us") != std::string::npos) {
+      publish_violation = true;
+    }
+  }
+  EXPECT_TRUE(publish_violation)
+      << "a 300ms injected publish delay must violate max_publish_p99_us";
+}
+
 /// A hand-built report for the pure bounds-evaluation cases.
 WorkloadReport TinyReport() {
   WorkloadReport report;
@@ -110,6 +191,19 @@ TEST(WorkloadCanaryTest, ViolationsNamePhaseAndBound) {
       << (*violations)[1];
   EXPECT_NE((*violations)[2].find("min_achieved_rate"), std::string::npos)
       << (*violations)[2];
+}
+
+TEST(WorkloadCanaryTest, PublishBoundOnPhaseWithoutPublishesIsAViolation) {
+  // A publish-latency bound that nothing ever measures must fire, the
+  // same way a bound naming a missing phase is an error.
+  const Result<std::vector<std::string>> violations = CheckBounds(
+      TinyReport(),
+      R"({"phases": {"serve": {"max_publish_p99_us": 100000}}})");
+  ASSERT_TRUE(violations.ok()) << violations.status().ToString();
+  ASSERT_EQ(violations->size(), 1u);
+  EXPECT_NE((*violations)[0].find("no publishes were measured"),
+            std::string::npos)
+      << (*violations)[0];
 }
 
 TEST(WorkloadCanaryTest, SatisfiedBoundsProduceNoViolations) {

@@ -22,7 +22,8 @@ const char* kFullDoc = R"({
   "cache": {"mb": 16, "shards": 4},
   "service": {"shards": 4, "max_sessions": 100, "ttl_ms": 60000},
   "ingest": {"stream_seed": 7, "stream_videos": 6, "stream_topics": 6,
-             "publish_every": 2},
+             "publish_every": 2, "merge_after": 3,
+             "background_merge": true},
   "phases": [
     {"name": "warm", "mode": "closed", "actors": 4, "sessions": 16,
      "session_mix": [{"user": "novice", "weight": 3},
@@ -85,6 +86,63 @@ TEST(WorkloadParserTest, MinimalDocumentGetsDefaults) {
   Result<WorkloadSpec> reparsed = ParseWorkload(canonical);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   EXPECT_EQ(reparsed->ToJson(), canonical);
+}
+
+TEST(WorkloadParserTest, PublishRatePacingRoundTrips) {
+  Result<WorkloadSpec> spec = ParseWorkload(
+      R"({"name": "pr",
+          "ingest": {"merge_after": 2},
+          "phases": [
+            {"name": "p", "mode": "open", "duration_ms": 100, "rate": 10,
+             "writes": {"rate": 5, "publish_rate": 2.5}}]})");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->ingest->merge_after, 2u);
+  EXPECT_FALSE(spec->ingest->background_merge);
+  ASSERT_TRUE(spec->phases[0].writes.has_value());
+  EXPECT_EQ(spec->phases[0].writes->publish_rate, 2.5);
+  // Time-based pacing replaces the count trigger outright — no inherited
+  // workload-level publish_every default.
+  EXPECT_EQ(spec->phases[0].writes->publish_every, 0u);
+
+  const std::string canonical = spec->ToJson();
+  Result<WorkloadSpec> reparsed = ParseWorkload(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToJson(), canonical);
+}
+
+TEST(WorkloadParserTest, RejectsBadPublishAndMergeKnobs) {
+  // publish_rate and publish_every cannot both be set.
+  const std::string both = ParseError(
+      R"({"name": "w", "ingest": {},
+          "phases": [
+            {"name": "p", "mode": "open", "duration_ms": 100, "rate": 10,
+             "writes": {"rate": 5, "publish_rate": 2,
+                        "publish_every": 3}}]})");
+  EXPECT_NE(both.find("publish_every"), std::string::npos) << both;
+  EXPECT_NE(both.find("mutually exclusive"), std::string::npos) << both;
+
+  const std::string nonpositive = ParseError(
+      R"({"name": "w", "ingest": {},
+          "phases": [
+            {"name": "p", "mode": "open", "duration_ms": 100, "rate": 10,
+             "writes": {"rate": 5, "publish_rate": 0}}]})");
+  EXPECT_NE(nonpositive.find("publish_rate"), std::string::npos)
+      << nonpositive;
+
+  // background_merge without a threshold could never merge.
+  const std::string orphan_merge = ParseError(
+      R"({"name": "w", "ingest": {"background_merge": true},
+          "phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(orphan_merge.find("$.ingest.background_merge"),
+            std::string::npos)
+      << orphan_merge;
+
+  const std::string non_bool = ParseError(
+      R"({"name": "w", "ingest": {"merge_after": 2,
+                                  "background_merge": 1},
+          "phases": [{"name": "p", "mode": "closed", "sessions": 1}]})");
+  EXPECT_NE(non_bool.find("must be true or false"), std::string::npos)
+      << non_bool;
 }
 
 TEST(WorkloadParserTest, RejectsNonObjectAndGarbage) {

@@ -3,6 +3,7 @@
 //
 //   ivr_ingest --dir DIR [--base c.ivr] [--source s.ivr]
 //              [--publish-every 0] [--merge-after N] [--merge]
+//              [--background-merge]
 //              [--list] [--check] [--export PATH] [--k 10]
 //              [--cache-mb N] [--cache-shards S]
 //              [--fault-spec SPEC] [--fault-seed N]
@@ -15,6 +16,8 @@
 //                     videos (0 = one publish at the end);
 //   --merge           compacts the published segments into one;
 //   --merge-after N   auto-compacts once N segments accumulate;
+//   --background-merge  runs auto-compaction on the merge thread
+//                     instead of inline on the publisher;
 //   --export PATH     saves the served snapshot as a monolithic .ivr;
 //   --list            prints the manifest journal record by record;
 //   --check           proves the generational composition correct: the
@@ -62,8 +65,8 @@ int Main(int argc, char** argv) {
   }
   const Status flags_ok = args->RejectUnknown(
       {"dir", "base", "source", "publish-every", "merge-after", "merge",
-       "list", "check", "export", "k", "cache-mb", "cache-shards",
-       "fault-spec", "fault-seed", "stats-json", "trace"});
+       "background-merge", "list", "check", "export", "k", "cache-mb",
+       "cache-shards", "fault-spec", "fault-seed", "stats-json", "trace"});
   if (!flags_ok.ok()) {
     std::fprintf(stderr, "%s\n", flags_ok.ToString().c_str());
     return 2;
@@ -116,6 +119,13 @@ int Main(int argc, char** argv) {
   options.cache = *cache;
   options.merge_after_segments =
       static_cast<size_t>(args->GetInt("merge-after", 0).value_or(0));
+  const Result<bool> background_merge = args->GetBool("background-merge");
+  if (!background_merge.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 background_merge.status().ToString().c_str());
+    return 2;
+  }
+  options.background_merge = *background_merge;
   Result<std::unique_ptr<LiveEngine>> live_result =
       LiveEngine::Open(std::move(base), options);
   if (!live_result.ok()) {
@@ -203,7 +213,7 @@ int Main(int argc, char** argv) {
   const std::shared_ptr<const EngineSnapshot> snapshot = live.Acquire();
   const std::string export_path = args->GetString("export");
   if (!export_path.empty()) {
-    const Status saved = SaveCollection(*snapshot->data, export_path);
+    const Status saved = SaveCollection(live.ExportCollection(), export_path);
     if (!saved.ok()) {
       std::fprintf(stderr, "export: %s\n", saved.ToString().c_str());
       return 1;
@@ -225,7 +235,7 @@ int Main(int argc, char** argv) {
     const std::string check_path =
         export_path.empty() ? dir + "/check-export.ivr" : export_path;
     if (export_path.empty()) {
-      const Status saved = SaveCollection(*snapshot->data, check_path);
+      const Status saved = SaveCollection(live.ExportCollection(), check_path);
       if (!saved.ok()) {
         std::fprintf(stderr, "check export: %s\n", saved.ToString().c_str());
         return 1;
@@ -248,7 +258,7 @@ int Main(int argc, char** argv) {
     const size_t k =
         static_cast<size_t>(args->GetInt("k", 10).value_or(10));
     size_t mismatches = 0;
-    for (const SearchTopic& topic : snapshot->data->topics.topics) {
+    for (const SearchTopic& topic : snapshot->topics->topics) {
       Query query;
       query.text = topic.title;
       query.examples = topic.examples;
@@ -266,12 +276,12 @@ int Main(int argc, char** argv) {
     }
     if (mismatches > 0) {
       std::fprintf(stderr, "check FAILED: %zu/%zu topics diverged\n",
-                   mismatches, snapshot->data->topics.size());
+                   mismatches, snapshot->topics->size());
       return 1;
     }
     std::printf("check ok: %zu topics bit-identical at k=%zu "
                 "(generation %llu)\n",
-                snapshot->data->topics.size(), k,
+                snapshot->topics->size(), k,
                 static_cast<unsigned long long>(snapshot->generation));
   }
 
